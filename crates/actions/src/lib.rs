@@ -1,0 +1,69 @@
+//! Atomic action (transaction) substrate for `groupview`.
+//!
+//! The paper (§2.2) assumes an *Atomic Action service* with the classic
+//! properties — serialisability, failure atomicity, permanence of effect —
+//! plus two structuring facilities its binding schemes rely on:
+//!
+//! * **nested atomic actions** (Figure 6): a child action whose locks and
+//!   effects are inherited by its parent on commit and undone on abort;
+//! * **nested top-level actions** (Figure 8): an independent top-level
+//!   action started from *within* another action, committing durably
+//!   regardless of what the enclosing action later does.
+//!
+//! It also requires a lock-based concurrency-control service with **type
+//! specific lock modes**: §4.2.1 introduces an *exclude-write* lock that is
+//! compatible with read locks, so a committing client can prune failed
+//! stores from `St(A)` without forcing concurrent readers to abort.
+//!
+//! This crate implements all of that:
+//!
+//! * [`LockManager`] — strict two-phase locking over abstract [`LockKey`]s
+//!   with [`LockMode::Read`] / [`LockMode::Write`] /
+//!   [`LockMode::ExcludeWrite`] modes, refusal-based conflict handling (the
+//!   paper's schemes abort rather than wait), upgrade rules, and Moss-style
+//!   ancestor inheritance for nested actions;
+//! * [`TxSystem`] — the action manager: begin/commit/abort for top-level,
+//!   nested, and nested-top-level actions, LIFO undo logs, and a two-phase
+//!   commit protocol over [`Participant`]s;
+//! * [`StoreWriteParticipant`] — the standard participant that installs new
+//!   object states into a node's stable store at commit (phase 1 writes the
+//!   store's intent log; in-doubt transactions are resolved from the
+//!   coordinator's decision record after a crash).
+//!
+//! # Example
+//!
+//! ```rust
+//! use groupview_sim::{Sim, SimConfig, NodeId};
+//! use groupview_store::Stores;
+//! use groupview_actions::{TxSystem, LockKey, LockMode};
+//!
+//! let sim = Sim::new(SimConfig::new(1).with_nodes(2));
+//! let stores = Stores::new(&sim);
+//! let tx = TxSystem::new(&sim, &stores);
+//!
+//! let a = tx.begin_top(NodeId::new(0));
+//! let key = LockKey::new(1, 42);
+//! tx.lock(a, key, LockMode::Write)?;
+//!
+//! // A concurrent action cannot acquire a conflicting lock...
+//! let b = tx.begin_top(NodeId::new(1));
+//! assert!(tx.lock(b, key, LockMode::Read).is_err());
+//!
+//! tx.commit(a)?;
+//! // ...until the holder commits.
+//! tx.lock(b, key, LockMode::Read)?;
+//! tx.commit(b)?;
+//! # Ok::<(), groupview_actions::TxError>(())
+//! ```
+
+pub mod action;
+pub mod error;
+pub mod lock;
+pub mod manager;
+pub mod participant;
+
+pub use action::{ActionId, ActionKind, ActionStatus};
+pub use error::TxError;
+pub use lock::{LockKey, LockManager, LockMode};
+pub use manager::{TxStats, TxSystem};
+pub use participant::{Participant, StoreWriteParticipant};

@@ -1,0 +1,850 @@
+//! The action manager: begin/commit/abort and two-phase commit.
+
+use crate::action::{ActionId, ActionKind, ActionStatus};
+use crate::error::TxError;
+use crate::lock::{Ancestry, LockKey, LockManager, LockMode};
+use crate::participant::Participant;
+use groupview_sim::{NodeId, Sim};
+use groupview_store::{Stores, TxToken};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+type Undo = Box<dyn FnOnce()>;
+
+struct ActionRecord {
+    kind: ActionKind,
+    status: ActionStatus,
+    /// Structural parent (for nested *and* nested-top-level actions).
+    parent: Option<ActionId>,
+    /// The node coordinating this action's commit.
+    client_node: NodeId,
+    undos: Vec<Undo>,
+    participants: Vec<Box<dyn Participant>>,
+    children: Vec<ActionId>,
+}
+
+impl fmt::Debug for ActionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActionRecord")
+            .field("kind", &self.kind)
+            .field("status", &self.status)
+            .field("parent", &self.parent)
+            .field("undos", &self.undos.len())
+            .field("participants", &self.participants.len())
+            .finish()
+    }
+}
+
+/// Aggregate statistics over all actions of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Actions begun (all kinds).
+    pub started: u64,
+    /// Actions committed (all kinds).
+    pub committed: u64,
+    /// Actions aborted (all kinds).
+    pub aborted: u64,
+    /// Lock requests refused.
+    pub lock_refusals: u64,
+    /// Top-level commits that failed in phase 1.
+    pub prepare_failures: u64,
+}
+
+struct TxInner {
+    sim: Sim,
+    next_id: u64,
+    actions: HashMap<ActionId, ActionRecord>,
+    lock_parents: HashMap<ActionId, Option<ActionId>>,
+    locks: LockManager,
+    /// The coordinator's durable decision record: `token → committed?`.
+    /// Store recovery consults this to resolve in-doubt transactions.
+    decisions: HashMap<TxToken, bool>,
+    stats: TxStats,
+}
+
+struct AncestryView<'a> {
+    map: &'a HashMap<ActionId, Option<ActionId>>,
+}
+
+impl Ancestry for AncestryView<'_> {
+    fn lock_parent(&self, a: ActionId) -> Option<ActionId> {
+        self.map.get(&a).copied().flatten()
+    }
+}
+
+/// The atomic-action service.
+///
+/// One `TxSystem` manages every action in the simulated world — it plays the
+/// role of Arjuna's atomic action module on each node, with bookkeeping
+/// centralised because the simulation is single-threaded. Message and
+/// stable-storage costs are still charged where a distributed implementation
+/// would pay them (participant RPCs, decision-record forces).
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Clone)]
+pub struct TxSystem {
+    inner: Rc<RefCell<TxInner>>,
+    stores: Stores,
+}
+
+impl fmt::Debug for TxSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("TxSystem")
+            .field("actions", &inner.actions.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl TxSystem {
+    /// Creates the action service for a world.
+    pub fn new(sim: &Sim, stores: &Stores) -> TxSystem {
+        TxSystem {
+            inner: Rc::new(RefCell::new(TxInner {
+                sim: sim.clone(),
+                next_id: 1,
+                actions: HashMap::new(),
+                lock_parents: HashMap::new(),
+                locks: LockManager::new(),
+                decisions: HashMap::new(),
+                stats: TxStats::default(),
+            })),
+            stores: stores.clone(),
+        }
+    }
+
+    /// The store registry this service commits against.
+    pub fn stores(&self) -> &Stores {
+        &self.stores
+    }
+
+    // ----- lifecycle ---------------------------------------------------
+
+    /// Begins a top-level action coordinated by `client_node`.
+    pub fn begin_top(&self, client_node: NodeId) -> ActionId {
+        self.begin(ActionKind::TopLevel, None, client_node)
+    }
+
+    /// Begins an action nested in `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not an active action.
+    pub fn begin_nested(&self, parent: ActionId) -> ActionId {
+        let node = {
+            let inner = self.inner.borrow();
+            let rec = inner
+                .actions
+                .get(&parent)
+                .unwrap_or_else(|| panic!("begin_nested: unknown parent {parent}"));
+            assert_eq!(
+                rec.status,
+                ActionStatus::Active,
+                "begin_nested: parent {parent} is not active"
+            );
+            rec.client_node
+        };
+        self.begin(ActionKind::Nested, Some(parent), node)
+    }
+
+    /// Begins a *nested top-level* action from within `enclosing`
+    /// (paper Figure 8): it commits independently of `enclosing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enclosing` is not an active action.
+    pub fn begin_nested_top(&self, enclosing: ActionId) -> ActionId {
+        let node = {
+            let inner = self.inner.borrow();
+            let rec = inner
+                .actions
+                .get(&enclosing)
+                .unwrap_or_else(|| panic!("begin_nested_top: unknown action {enclosing}"));
+            assert_eq!(
+                rec.status,
+                ActionStatus::Active,
+                "begin_nested_top: enclosing {enclosing} is not active"
+            );
+            rec.client_node
+        };
+        self.begin(ActionKind::NestedTopLevel, Some(enclosing), node)
+    }
+
+    fn begin(&self, kind: ActionKind, parent: Option<ActionId>, node: NodeId) -> ActionId {
+        let mut inner = self.inner.borrow_mut();
+        let id = ActionId::from_raw(inner.next_id);
+        inner.next_id += 1;
+        // Lock ancestry flows only through Nested links.
+        let lock_parent = match kind {
+            ActionKind::Nested => parent,
+            ActionKind::TopLevel | ActionKind::NestedTopLevel => None,
+        };
+        inner.lock_parents.insert(id, lock_parent);
+        if let Some(p) = parent {
+            if let Some(prec) = inner.actions.get_mut(&p) {
+                prec.children.push(id);
+            }
+        }
+        inner.actions.insert(
+            id,
+            ActionRecord {
+                kind,
+                status: ActionStatus::Active,
+                parent,
+                client_node: node,
+                undos: Vec::new(),
+                participants: Vec::new(),
+                children: Vec::new(),
+            },
+        );
+        inner.stats.started += 1;
+        id
+    }
+
+    // ----- per-action operations ----------------------------------------
+
+    /// Acquires (or upgrades to) `mode` on `key` on behalf of `action`.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::LockRefused`] on conflict with an unrelated action,
+    /// [`TxError::NotActive`] if the action cannot lock anymore.
+    pub fn lock(&self, action: ActionId, key: LockKey, mode: LockMode) -> Result<(), TxError> {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.is_active(action) {
+            return Err(TxError::NotActive(action));
+        }
+        let TxInner {
+            locks,
+            lock_parents,
+            stats,
+            ..
+        } = &mut *inner;
+        let view = AncestryView { map: lock_parents };
+        locks.acquire(&view, action, key, mode).map_err(|held| {
+            stats.lock_refusals += 1;
+            TxError::LockRefused {
+                key,
+                requested: mode,
+                held,
+            }
+        })
+    }
+
+    /// Registers compensation to run if `action` (or an ancestor it merges
+    /// into) aborts. Undos run in LIFO order.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NotActive`] if the action is not active.
+    pub fn push_undo(&self, action: ActionId, undo: impl FnOnce() + 'static) -> Result<(), TxError> {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.is_active(action) {
+            return Err(TxError::NotActive(action));
+        }
+        inner
+            .actions
+            .get_mut(&action)
+            .expect("checked active")
+            .undos
+            .push(Box::new(undo));
+        Ok(())
+    }
+
+    /// Registers a two-phase-commit participant for `action`'s (eventual)
+    /// top-level commit.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NotActive`] if the action is not active.
+    pub fn add_participant(
+        &self,
+        action: ActionId,
+        p: Box<dyn Participant>,
+    ) -> Result<(), TxError> {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.is_active(action) {
+            return Err(TxError::NotActive(action));
+        }
+        inner
+            .actions
+            .get_mut(&action)
+            .expect("checked active")
+            .participants
+            .push(p);
+        Ok(())
+    }
+
+    // ----- termination ---------------------------------------------------
+
+    /// Commits `action`.
+    ///
+    /// * Nested actions merge their locks, undos, and participants into the
+    ///   parent.
+    /// * Top-level (and nested-top-level) actions run two-phase commit over
+    ///   their participants, force the decision record, and release locks.
+    ///
+    /// Any still-active nested children are aborted first (they did not
+    /// commit, so their effects must not survive). Active nested-top-level
+    /// children are independent and untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NotActive`], [`TxError::CoordinatorDown`], or
+    /// [`TxError::PrepareFailed`] (in which case the action has aborted).
+    pub fn commit(&self, action: ActionId) -> Result<(), TxError> {
+        // Abort stray active nested children first.
+        let stray: Vec<ActionId> = {
+            let inner = self.inner.borrow();
+            match inner.actions.get(&action) {
+                Some(rec) if rec.status == ActionStatus::Active => rec
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|c| {
+                        inner.actions.get(c).is_some_and(|r| {
+                            r.status == ActionStatus::Active && r.kind == ActionKind::Nested
+                        })
+                    })
+                    .collect(),
+                _ => return Err(TxError::NotActive(action)),
+            }
+        };
+        for child in stray {
+            self.abort(child);
+        }
+
+        let kind = {
+            let inner = self.inner.borrow();
+            inner.actions.get(&action).expect("checked above").kind
+        };
+        match kind {
+            ActionKind::Nested => self.commit_nested(action),
+            ActionKind::TopLevel | ActionKind::NestedTopLevel => self.commit_top(action),
+        }
+    }
+
+    fn commit_nested(&self, action: ActionId) -> Result<(), TxError> {
+        let mut inner = self.inner.borrow_mut();
+        let parent = inner
+            .actions
+            .get(&action)
+            .and_then(|r| r.parent)
+            .expect("nested action has a parent");
+        let rec = inner.actions.get_mut(&action).expect("exists");
+        let undos = std::mem::take(&mut rec.undos);
+        let participants = std::mem::take(&mut rec.participants);
+        rec.status = ActionStatus::Committed;
+        inner.locks.transfer(action, parent);
+        let prec = inner
+            .actions
+            .get_mut(&parent)
+            .expect("parent record exists");
+        prec.undos.extend(undos);
+        prec.participants.extend(participants);
+        inner.stats.committed += 1;
+        Ok(())
+    }
+
+    fn commit_top(&self, action: ActionId) -> Result<(), TxError> {
+        let (sim, node, mut participants) = {
+            let mut inner = self.inner.borrow_mut();
+            let rec = inner.actions.get_mut(&action).expect("checked active");
+            let node = rec.client_node;
+            let participants = std::mem::take(&mut rec.participants);
+            (inner.sim.clone(), node, participants)
+        };
+
+        if !sim.is_up(node) {
+            // The coordinator itself is dead; nothing can be decided now.
+            // Put the participants back and abort the whole action.
+            {
+                let mut inner = self.inner.borrow_mut();
+                if let Some(rec) = inner.actions.get_mut(&action) {
+                    rec.participants = participants;
+                }
+            }
+            self.abort(action);
+            return Err(TxError::CoordinatorDown(node));
+        }
+
+        // Phase 1: prepare everyone.
+        let mut failed: Option<NodeId> = None;
+        for p in participants.iter_mut() {
+            if !p.prepare() {
+                failed = Some(p.node());
+                break;
+            }
+        }
+        if let Some(bad_node) = failed {
+            for p in participants.iter_mut() {
+                p.abort();
+            }
+            {
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.prepare_failures += 1;
+                inner.decisions.insert(TxToken::new(action.raw()), false);
+            }
+            self.abort(action);
+            return Err(TxError::PrepareFailed { node: bad_node });
+        }
+
+        // Decision point: force the commit record at the coordinator.
+        if !participants.is_empty() {
+            sim.charge_stable_write();
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.decisions.insert(TxToken::new(action.raw()), true);
+        }
+
+        // Phase 2: best-effort commit; unreachable participants stay
+        // in-doubt and are resolved by store recovery via `decision`.
+        for p in participants.iter_mut() {
+            let _ = p.commit();
+        }
+
+        let mut inner = self.inner.borrow_mut();
+        let rec = inner.actions.get_mut(&action).expect("exists");
+        rec.status = ActionStatus::Committed;
+        rec.undos.clear();
+        inner.locks.release_all(action);
+        inner.stats.committed += 1;
+        Ok(())
+    }
+
+    /// Aborts `action`: undoes its (and its active nested children's)
+    /// effects in LIFO order, tells registered participants to discard
+    /// staged state, and releases all locks.
+    ///
+    /// Aborting a non-active action is a no-op (abort is idempotent).
+    pub fn abort(&self, action: ActionId) {
+        let mut undos: Vec<Undo> = Vec::new();
+        let mut participants: Vec<Box<dyn Participant>> = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.collect_abort(action, &mut undos, &mut participants);
+        }
+        // Run compensation outside the borrow: undo closures touch
+        // database/replica state through their own handles.
+        for u in undos {
+            u();
+        }
+        for mut p in participants {
+            p.abort();
+        }
+    }
+
+    // ----- introspection --------------------------------------------------
+
+    /// The status of `action`, if known.
+    pub fn status(&self, action: ActionId) -> Option<ActionStatus> {
+        self.inner.borrow().actions.get(&action).map(|r| r.status)
+    }
+
+    /// Whether `action` is currently active.
+    pub fn is_active(&self, action: ActionId) -> bool {
+        self.status(action) == Some(ActionStatus::Active)
+    }
+
+    /// The kind of `action`, if known.
+    pub fn kind(&self, action: ActionId) -> Option<ActionKind> {
+        self.inner.borrow().actions.get(&action).map(|r| r.kind)
+    }
+
+    /// The structural parent of `action`, if any.
+    pub fn parent(&self, action: ActionId) -> Option<ActionId> {
+        self.inner.borrow().actions.get(&action).and_then(|r| r.parent)
+    }
+
+    /// The coordinator node of `action`.
+    pub fn client_node(&self, action: ActionId) -> Option<NodeId> {
+        self.inner
+            .borrow()
+            .actions
+            .get(&action)
+            .map(|r| r.client_node)
+    }
+
+    /// The stable transaction token of `action` (for store intent logs).
+    pub fn token(action: ActionId) -> TxToken {
+        TxToken::new(action.raw())
+    }
+
+    /// The coordinator's decision for a transaction token: `Some(true)` if
+    /// committed, `Some(false)` if aborted, `None` if never decided
+    /// (presumed abort).
+    pub fn decision(&self, token: TxToken) -> Option<bool> {
+        self.inner.borrow().decisions.get(&token).copied()
+    }
+
+    /// Whether the lock table is completely empty (quiescence invariant).
+    pub fn locks_empty(&self) -> bool {
+        self.inner.borrow().locks.is_empty()
+    }
+
+    /// The mode `action` holds on `key`, if any.
+    pub fn lock_mode_of(&self, action: ActionId, key: LockKey) -> Option<LockMode> {
+        self.inner.borrow().locks.mode_of(action, key)
+    }
+
+    /// Current holders of `key` (tests and diagnostics).
+    pub fn lock_holders(&self, key: LockKey) -> Vec<(ActionId, LockMode)> {
+        self.inner.borrow().locks.holders(key)
+    }
+
+    /// Aggregate statistics (lock refusals come from the lock manager).
+    pub fn stats(&self) -> TxStats {
+        let inner = self.inner.borrow();
+        TxStats {
+            lock_refusals: inner.locks.refusals(),
+            ..inner.stats
+        }
+    }
+}
+
+impl TxInner {
+    fn is_active(&self, action: ActionId) -> bool {
+        self.actions
+            .get(&action)
+            .is_some_and(|r| r.status == ActionStatus::Active)
+    }
+
+    /// Depth-first collection of undo work for `action` and its active
+    /// nested children; marks everything aborted and releases locks.
+    fn collect_abort(
+        &mut self,
+        action: ActionId,
+        undos: &mut Vec<Undo>,
+        participants: &mut Vec<Box<dyn Participant>>,
+    ) {
+        if !self.is_active(action) {
+            return;
+        }
+        let children = self
+            .actions
+            .get(&action)
+            .map(|r| r.children.clone())
+            .unwrap_or_default();
+        // Children's effects are more recent: undo them first (but only
+        // nested ones — nested-top-level children are independent).
+        for child in children.into_iter().rev() {
+            let is_nested = self
+                .actions
+                .get(&child)
+                .is_some_and(|r| r.kind == ActionKind::Nested);
+            if is_nested {
+                self.collect_abort(child, undos, participants);
+            }
+        }
+        let rec = self.actions.get_mut(&action).expect("checked active");
+        rec.status = ActionStatus::Aborted;
+        let mut own = std::mem::take(&mut rec.undos);
+        own.reverse(); // LIFO
+        undos.extend(own);
+        participants.extend(std::mem::take(&mut rec.participants));
+        self.locks.release_all(action);
+        self.stats.aborted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::StoreWriteParticipant;
+    use groupview_sim::SimConfig;
+    use groupview_store::{ObjectState, TypeTag, Uid};
+    use std::cell::RefCell as StdRefCell;
+    use std::rc::Rc as StdRc;
+
+    fn world() -> (Sim, Stores, TxSystem) {
+        let sim = Sim::new(SimConfig::new(5).with_nodes(4));
+        let stores = Stores::new(&sim);
+        for n in sim.nodes() {
+            stores.add_store(n);
+        }
+        let tx = TxSystem::new(&sim, &stores);
+        (sim, stores, tx)
+    }
+
+    fn key(k: u64) -> LockKey {
+        LockKey::new(1, k)
+    }
+
+    fn state(b: &[u8]) -> ObjectState {
+        ObjectState::initial(TypeTag::new(1), b.to_vec())
+    }
+
+    #[test]
+    fn top_level_lifecycle() {
+        let (_, _, tx) = world();
+        let a = tx.begin_top(NodeId::new(0));
+        assert!(tx.is_active(a));
+        assert_eq!(tx.kind(a), Some(ActionKind::TopLevel));
+        assert_eq!(tx.client_node(a), Some(NodeId::new(0)));
+        tx.commit(a).unwrap();
+        assert_eq!(tx.status(a), Some(ActionStatus::Committed));
+        assert_eq!(tx.commit(a), Err(TxError::NotActive(a)));
+        let s = tx.stats();
+        assert_eq!((s.started, s.committed, s.aborted), (1, 1, 0));
+    }
+
+    #[test]
+    fn locks_released_at_top_commit_only() {
+        let (_, _, tx) = world();
+        let a = tx.begin_top(NodeId::new(0));
+        let n = tx.begin_nested(a);
+        tx.lock(n, key(1), LockMode::Read).unwrap();
+        tx.commit(n).unwrap();
+        // Lock inherited by parent, still blocking writers:
+        let b = tx.begin_top(NodeId::new(1));
+        assert!(matches!(
+            tx.lock(b, key(1), LockMode::Write),
+            Err(TxError::LockRefused { .. })
+        ));
+        tx.commit(a).unwrap();
+        tx.lock(b, key(1), LockMode::Write).unwrap();
+        tx.commit(b).unwrap();
+        assert!(tx.locks_empty());
+    }
+
+    #[test]
+    fn nested_abort_runs_undos_in_lifo_order() {
+        let (_, _, tx) = world();
+        let log = StdRc::new(StdRefCell::new(Vec::new()));
+        let a = tx.begin_top(NodeId::new(0));
+        let n = tx.begin_nested(a);
+        for i in 0..3 {
+            let log2 = log.clone();
+            tx.push_undo(n, move || log2.borrow_mut().push(i)).unwrap();
+        }
+        tx.abort(n);
+        assert_eq!(*log.borrow(), vec![2, 1, 0]);
+        assert_eq!(tx.status(n), Some(ActionStatus::Aborted));
+        // Parent unaffected.
+        assert!(tx.is_active(a));
+        tx.commit(a).unwrap();
+    }
+
+    #[test]
+    fn parent_abort_undoes_committed_child_effects() {
+        let (_, _, tx) = world();
+        let hit = StdRc::new(StdRefCell::new(0));
+        let a = tx.begin_top(NodeId::new(0));
+        let n = tx.begin_nested(a);
+        let hit2 = hit.clone();
+        tx.push_undo(n, move || *hit2.borrow_mut() += 1).unwrap();
+        tx.commit(n).unwrap();
+        assert_eq!(*hit.borrow(), 0, "commit of child must not run undos");
+        tx.abort(a);
+        assert_eq!(*hit.borrow(), 1, "parent abort undoes child effects");
+        assert!(tx.locks_empty());
+    }
+
+    #[test]
+    fn commit_aborts_stray_active_nested_children() {
+        let (_, _, tx) = world();
+        let hit = StdRc::new(StdRefCell::new(0));
+        let a = tx.begin_top(NodeId::new(0));
+        let n = tx.begin_nested(a);
+        let hit2 = hit.clone();
+        tx.push_undo(n, move || *hit2.borrow_mut() += 1).unwrap();
+        tx.commit(a).unwrap();
+        assert_eq!(tx.status(n), Some(ActionStatus::Aborted));
+        assert_eq!(*hit.borrow(), 1);
+    }
+
+    #[test]
+    fn nested_top_level_commits_independently() {
+        let (sim, stores, tx) = world();
+        let uid = Uid::from_raw(1);
+        let a = tx.begin_top(NodeId::new(0));
+        let ntl = tx.begin_nested_top(a);
+        assert_eq!(tx.kind(ntl), Some(ActionKind::NestedTopLevel));
+        assert_eq!(tx.parent(ntl), Some(a));
+        // The NTL action writes durably through a store participant.
+        tx.add_participant(
+            ntl,
+            Box::new(StoreWriteParticipant::new(
+                &sim,
+                &stores,
+                NodeId::new(0),
+                NodeId::new(1),
+                TxSystem::token(ntl),
+                vec![(uid, state(b"ntl"))],
+            )),
+        )
+        .unwrap();
+        tx.commit(ntl).unwrap();
+        // Enclosing aborts afterwards; the NTL effect survives.
+        tx.abort(a);
+        assert_eq!(stores.read_local(NodeId::new(1), uid).unwrap().data, b"ntl");
+        assert_eq!(tx.status(ntl), Some(ActionStatus::Committed));
+    }
+
+    #[test]
+    fn ntl_locks_do_not_flow_to_enclosing() {
+        let (_, _, tx) = world();
+        let a = tx.begin_top(NodeId::new(0));
+        let ntl = tx.begin_nested_top(a);
+        tx.lock(ntl, key(5), LockMode::Write).unwrap();
+        // The enclosing action is unrelated for locking purposes:
+        assert!(matches!(
+            tx.lock(a, key(5), LockMode::Read),
+            Err(TxError::LockRefused { .. })
+        ));
+        tx.commit(ntl).unwrap();
+        // After NTL commit the lock is gone entirely (not inherited).
+        tx.lock(a, key(5), LockMode::Write).unwrap();
+        tx.commit(a).unwrap();
+        assert!(tx.locks_empty());
+    }
+
+    #[test]
+    fn two_phase_commit_installs_on_all_stores() {
+        let (sim, stores, tx) = world();
+        let uid = Uid::from_raw(7);
+        let a = tx.begin_top(NodeId::new(0));
+        for target in [NodeId::new(1), NodeId::new(2)] {
+            tx.add_participant(
+                a,
+                Box::new(StoreWriteParticipant::new(
+                    &sim,
+                    &stores,
+                    NodeId::new(0),
+                    target,
+                    TxSystem::token(a),
+                    vec![(uid, state(b"v1"))],
+                )),
+            )
+            .unwrap();
+        }
+        tx.commit(a).unwrap();
+        assert_eq!(stores.read_local(NodeId::new(1), uid).unwrap().data, b"v1");
+        assert_eq!(stores.read_local(NodeId::new(2), uid).unwrap().data, b"v1");
+        assert_eq!(tx.decision(TxSystem::token(a)), Some(true));
+    }
+
+    #[test]
+    fn prepare_failure_aborts_everything() {
+        let (sim, stores, tx) = world();
+        let uid = Uid::from_raw(8);
+        stores.write_local(NodeId::new(1), uid, state(b"old")).unwrap();
+        sim.crash(NodeId::new(2));
+        let a = tx.begin_top(NodeId::new(0));
+        for target in [NodeId::new(1), NodeId::new(2)] {
+            tx.add_participant(
+                a,
+                Box::new(StoreWriteParticipant::new(
+                    &sim,
+                    &stores,
+                    NodeId::new(0),
+                    target,
+                    TxSystem::token(a),
+                    vec![(uid, state(b"new"))],
+                )),
+            )
+            .unwrap();
+        }
+        let err = tx.commit(a).unwrap_err();
+        assert_eq!(err, TxError::PrepareFailed { node: NodeId::new(2) });
+        assert_eq!(tx.status(a), Some(ActionStatus::Aborted));
+        // Nothing installed anywhere; node 1's intent log cleaned up.
+        assert_eq!(stores.read_local(NodeId::new(1), uid).unwrap().data, b"old");
+        assert!(stores.with(NodeId::new(1), |s| s.indoubt()).unwrap().is_empty());
+        assert_eq!(tx.decision(TxSystem::token(a)), Some(false));
+        assert_eq!(tx.stats().prepare_failures, 1);
+    }
+
+    #[test]
+    fn participant_crash_between_phases_resolved_by_decision_record() {
+        let (sim, stores, tx) = world();
+        let uid = Uid::from_raw(9);
+        let victim = NodeId::new(1);
+        let a = tx.begin_top(NodeId::new(0));
+        tx.add_participant(
+            a,
+            Box::new(StoreWriteParticipant::new(
+                &sim,
+                &stores,
+                NodeId::new(0),
+                victim,
+                TxSystem::token(a),
+                vec![(uid, state(b"durable"))],
+            )),
+        )
+        .unwrap();
+        // Crash the participant right after it acknowledges prepare: the
+        // prepare RPC involves 2 sends from the victim's perspective? No —
+        // the victim only sends the prepare reply (1 send), then the commit
+        // reply. Crash it after the prepare reply:
+        sim.crash_after_sends(victim, 1);
+        tx.commit(a).unwrap(); // decision = commit; phase 2 to victim fails
+        assert!(!sim.is_up(victim));
+        // Recovery: the store finds the in-doubt tx and asks the
+        // coordinator's decision record.
+        sim.recover(victim);
+        let indoubt = stores.with(victim, |s| s.indoubt()).unwrap();
+        assert_eq!(indoubt, vec![TxSystem::token(a)]);
+        assert_eq!(tx.decision(TxSystem::token(a)), Some(true));
+        stores.commit_local(victim, TxSystem::token(a)).unwrap();
+        assert_eq!(stores.read_local(victim, uid).unwrap().data, b"durable");
+    }
+
+    #[test]
+    fn coordinator_down_cannot_commit() {
+        let (sim, _, tx) = world();
+        let a = tx.begin_top(NodeId::new(0));
+        tx.lock(a, key(3), LockMode::Write).unwrap();
+        sim.crash(NodeId::new(0));
+        assert_eq!(tx.commit(a), Err(TxError::CoordinatorDown(NodeId::new(0))));
+        assert_eq!(tx.status(a), Some(ActionStatus::Aborted));
+        assert!(tx.locks_empty());
+    }
+
+    #[test]
+    fn operations_on_terminated_actions_fail_cleanly() {
+        let (_, _, tx) = world();
+        let a = tx.begin_top(NodeId::new(0));
+        tx.commit(a).unwrap();
+        assert_eq!(
+            tx.lock(a, key(1), LockMode::Read),
+            Err(TxError::NotActive(a))
+        );
+        assert_eq!(tx.push_undo(a, || {}), Err(TxError::NotActive(a)));
+        // Abort of a committed action is a no-op.
+        tx.abort(a);
+        assert_eq!(tx.status(a), Some(ActionStatus::Committed));
+    }
+
+    #[test]
+    fn nested_chain_three_deep_inherits_to_root() {
+        let (_, _, tx) = world();
+        let a = tx.begin_top(NodeId::new(0));
+        let n1 = tx.begin_nested(a);
+        let n2 = tx.begin_nested(n1);
+        tx.lock(n2, key(4), LockMode::Write).unwrap();
+        tx.commit(n2).unwrap();
+        tx.commit(n1).unwrap();
+        assert_eq!(tx.lock_mode_of(a, key(4)), Some(LockMode::Write));
+        let b = tx.begin_top(NodeId::new(1));
+        assert!(tx.lock(b, key(4), LockMode::Read).is_err());
+        tx.commit(a).unwrap();
+        tx.lock(b, key(4), LockMode::Read).unwrap();
+        tx.commit(b).unwrap();
+    }
+
+    #[test]
+    fn abort_statistics_count_whole_subtree() {
+        let (_, _, tx) = world();
+        let a = tx.begin_top(NodeId::new(0));
+        let n1 = tx.begin_nested(a);
+        let _n2 = tx.begin_nested(n1);
+        tx.abort(a);
+        let s = tx.stats();
+        assert_eq!(s.aborted, 3, "root + two nested children");
+    }
+}

@@ -1,0 +1,245 @@
+//! Two-phase-commit participants.
+
+use groupview_sim::{NodeId, Sim};
+use groupview_store::{ObjectState, Stores, TxToken, Uid};
+
+/// A resource taking part in an action's two-phase commit.
+///
+/// The action manager drives participants through `prepare` (phase 1,
+/// durable) and then `commit` or `abort` (phase 2). A participant whose node
+/// crashes between the phases is left *in doubt*; its recovery consults the
+/// coordinator's decision record ([`crate::TxSystem::decision`]).
+pub trait Participant {
+    /// The node this participant's durable state lives on.
+    fn node(&self) -> NodeId;
+
+    /// Phase 1: durably stage the participant's effects. Returns whether
+    /// the participant is prepared; `false` vetoes the commit.
+    fn prepare(&mut self) -> bool;
+
+    /// Phase 2: make the staged effects permanent. Returns `false` when the
+    /// participant was unreachable — the decision stands and recovery will
+    /// finish the job.
+    fn commit(&mut self) -> bool;
+
+    /// Phase 2 alternative: discard staged effects (best effort; presumed
+    /// abort makes lost messages harmless).
+    fn abort(&mut self);
+}
+
+/// The standard participant: installs new object states into one node's
+/// stable store.
+///
+/// Commit processing in the paper copies the state of a modified object "to
+/// the object stores of all the nodes ∈ StA" (§3.2 case 2); the replication
+/// layer creates one `StoreWriteParticipant` per store node. Prepare writes
+/// the store's intent log; commit installs; both go over the simulated
+/// network unless the store is on the coordinator's own node.
+#[derive(Debug)]
+pub struct StoreWriteParticipant {
+    sim: Sim,
+    stores: Stores,
+    coordinator: NodeId,
+    target: NodeId,
+    token: TxToken,
+    writes: Vec<(Uid, ObjectState)>,
+}
+
+impl StoreWriteParticipant {
+    /// Creates a participant installing `writes` on `target`'s store, with
+    /// two-phase-commit messages sent from `coordinator`.
+    pub fn new(
+        sim: &Sim,
+        stores: &Stores,
+        coordinator: NodeId,
+        target: NodeId,
+        token: TxToken,
+        writes: Vec<(Uid, ObjectState)>,
+    ) -> Self {
+        StoreWriteParticipant {
+            sim: sim.clone(),
+            stores: stores.clone(),
+            coordinator,
+            target,
+            token,
+            writes,
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        self.writes.iter().map(|(_, s)| s.wire_size()).sum::<usize>() + 24
+    }
+
+    fn is_local(&self) -> bool {
+        self.coordinator == self.target
+    }
+}
+
+impl Participant for StoreWriteParticipant {
+    fn node(&self) -> NodeId {
+        self.target
+    }
+
+    fn prepare(&mut self) -> bool {
+        let writes = self.writes.clone();
+        if self.is_local() {
+            return self
+                .stores
+                .prepare_local(self.target, self.token, writes)
+                .is_ok();
+        }
+        let stores = self.stores.clone();
+        let target = self.target;
+        let token = self.token;
+        let bytes = self.wire_size();
+        self.sim
+            .rpc(self.coordinator, self.target, bytes, 16, move || {
+                stores.prepare_local(target, token, writes).is_ok()
+            })
+            .unwrap_or(false)
+    }
+
+    fn commit(&mut self) -> bool {
+        if self.is_local() {
+            return self.stores.commit_local(self.target, self.token).is_ok();
+        }
+        let stores = self.stores.clone();
+        let target = self.target;
+        let token = self.token;
+        self.sim
+            .rpc(self.coordinator, self.target, 24, 16, move || {
+                stores.commit_local(target, token).is_ok()
+            })
+            .unwrap_or(false)
+    }
+
+    fn abort(&mut self) {
+        if self.is_local() {
+            let _ = self.stores.abort_local(self.target, self.token);
+            return;
+        }
+        let stores = self.stores.clone();
+        let target = self.target;
+        let token = self.token;
+        let _ = self.sim.rpc(self.coordinator, self.target, 24, 16, move || {
+            let _ = stores.abort_local(target, token);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupview_sim::SimConfig;
+    use groupview_store::{StoreError, TypeTag};
+
+    fn world() -> (Sim, Stores) {
+        let sim = Sim::new(SimConfig::new(4).with_nodes(3));
+        let stores = Stores::new(&sim);
+        stores.add_store(NodeId::new(0));
+        stores.add_store(NodeId::new(1));
+        (sim, stores)
+    }
+
+    fn state(b: &[u8]) -> ObjectState {
+        ObjectState::initial(TypeTag::new(1), b.to_vec())
+    }
+
+    #[test]
+    fn remote_prepare_commit_installs() {
+        let (sim, stores) = world();
+        let uid = Uid::from_raw(1);
+        let mut p = StoreWriteParticipant::new(
+            &sim,
+            &stores,
+            NodeId::new(0),
+            NodeId::new(1),
+            TxToken::new(5),
+            vec![(uid, state(b"x"))],
+        );
+        assert!(p.prepare());
+        assert_eq!(
+            stores.read_local(NodeId::new(1), uid),
+            Err(StoreError::NotFound(uid)),
+            "prepared but not installed"
+        );
+        assert!(p.commit());
+        assert_eq!(stores.read_local(NodeId::new(1), uid).unwrap().data, b"x");
+        assert_eq!(p.node(), NodeId::new(1));
+    }
+
+    #[test]
+    fn local_participant_skips_the_network() {
+        let (sim, stores) = world();
+        let uid = Uid::from_raw(2);
+        let before = sim.counters().delivered;
+        let mut p = StoreWriteParticipant::new(
+            &sim,
+            &stores,
+            NodeId::new(0),
+            NodeId::new(0),
+            TxToken::new(6),
+            vec![(uid, state(b"y"))],
+        );
+        assert!(p.prepare());
+        assert!(p.commit());
+        assert_eq!(sim.counters().delivered, before, "no messages for local store");
+        assert_eq!(stores.read_local(NodeId::new(0), uid).unwrap().data, b"y");
+    }
+
+    #[test]
+    fn prepare_fails_when_target_down() {
+        let (sim, stores) = world();
+        sim.crash(NodeId::new(1));
+        let mut p = StoreWriteParticipant::new(
+            &sim,
+            &stores,
+            NodeId::new(0),
+            NodeId::new(1),
+            TxToken::new(7),
+            vec![(Uid::from_raw(3), state(b"z"))],
+        );
+        assert!(!p.prepare());
+    }
+
+    #[test]
+    fn abort_discards_prepared_writes() {
+        let (sim, stores) = world();
+        let uid = Uid::from_raw(4);
+        stores.write_local(NodeId::new(1), uid, state(b"old")).unwrap();
+        let mut p = StoreWriteParticipant::new(
+            &sim,
+            &stores,
+            NodeId::new(0),
+            NodeId::new(1),
+            TxToken::new(8),
+            vec![(uid, state(b"new"))],
+        );
+        assert!(p.prepare());
+        p.abort();
+        assert_eq!(stores.read_local(NodeId::new(1), uid).unwrap().data, b"old");
+        assert!(stores.with(NodeId::new(1), |s| s.indoubt()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn crash_between_phases_leaves_indoubt() {
+        let (sim, stores) = world();
+        let uid = Uid::from_raw(5);
+        let mut p = StoreWriteParticipant::new(
+            &sim,
+            &stores,
+            NodeId::new(0),
+            NodeId::new(1),
+            TxToken::new(9),
+            vec![(uid, state(b"w"))],
+        );
+        assert!(p.prepare());
+        sim.crash(NodeId::new(1));
+        assert!(!p.commit(), "commit attempt fails, decision stands");
+        sim.recover(NodeId::new(1));
+        assert_eq!(
+            stores.with(NodeId::new(1), |s| s.indoubt()).unwrap(),
+            vec![TxToken::new(9)]
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Lock-manager hot paths: grants, shared readers, upgrades, ancestry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use groupview_actions::lock::{LockManager, MapAncestry};
+use groupview_actions::{ActionId, LockKey, LockMode};
+use std::hint::black_box;
+
+fn a(n: u64) -> ActionId {
+    ActionId::from_raw(n)
+}
+
+fn bench_grant_release(c: &mut Criterion) {
+    let anc = MapAncestry::default();
+    c.bench_function("locks/grant+release", |b| {
+        let mut lm = LockManager::new();
+        let key = LockKey::new(1, 42);
+        b.iter(|| {
+            lm.acquire(&anc, a(1), key, LockMode::Write).expect("grant");
+            lm.release_all(a(1));
+        })
+    });
+}
+
+fn bench_shared_readers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locks/shared_readers");
+    for readers in [2u64, 8, 32] {
+        let anc = MapAncestry::default();
+        group.bench_function(BenchmarkId::from_parameter(readers), |b| {
+            let mut lm = LockManager::new();
+            let key = LockKey::new(1, 7);
+            b.iter(|| {
+                for r in 0..readers {
+                    lm.acquire(&anc, a(r), key, LockMode::Read).expect("read");
+                }
+                // The §4.2.1 case: an exclude-write amidst the readers.
+                lm.acquire(&anc, a(readers), key, LockMode::ExcludeWrite)
+                    .expect("exclude-write");
+                for r in 0..=readers {
+                    lm.release_all(a(r));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_refused_conflict(c: &mut Criterion) {
+    let anc = MapAncestry::default();
+    c.bench_function("locks/refusal", |b| {
+        let mut lm = LockManager::new();
+        let key = LockKey::new(1, 9);
+        lm.acquire(&anc, a(1), key, LockMode::Write).expect("hold");
+        b.iter(|| {
+            let refused = lm.acquire(&anc, a(2), key, LockMode::Read);
+            black_box(refused.is_err())
+        })
+    });
+}
+
+fn bench_ancestor_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locks/ancestor_chain");
+    for depth in [1u64, 4, 16] {
+        let mut anc = MapAncestry::default();
+        for d in 1..=depth {
+            anc.0.insert(a(d), a(d - 1));
+        }
+        group.bench_function(BenchmarkId::from_parameter(depth), |b| {
+            let mut lm = LockManager::new();
+            let key = LockKey::new(1, 3);
+            lm.acquire(&anc, a(0), key, LockMode::Write).expect("root");
+            b.iter(|| {
+                // The deepest descendant re-acquires through the chain.
+                lm.acquire(&anc, a(depth), key, LockMode::Write)
+                    .expect("inherit");
+                lm.release_all(a(depth));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locks/nested_transfer");
+    for keys in [1u64, 8, 32] {
+        let anc = MapAncestry::default();
+        group.bench_function(BenchmarkId::from_parameter(keys), |b| {
+            let mut lm = LockManager::new();
+            b.iter(|| {
+                for k in 0..keys {
+                    lm.acquire(&anc, a(2), LockKey::new(1, k), LockMode::Write)
+                        .expect("child");
+                }
+                lm.transfer(a(2), a(1));
+                lm.release_all(a(1));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grant_release,
+    bench_shared_readers,
+    bench_refused_conflict,
+    bench_ancestor_chain,
+    bench_transfer,
+);
+criterion_main!(benches);

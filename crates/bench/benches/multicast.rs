@@ -1,0 +1,77 @@
+//! Group communication: reliable-ordered vs unreliable delivery across
+//! group sizes (the §2.3(2) machinery active replication rides on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use groupview_group::comms::DeliveryMode;
+use groupview_group::member::RecordingMember;
+use groupview_group::{GroupComms, GroupId};
+use groupview_sim::{NodeId, Sim, SimConfig};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn setup(members: u32, mode: DeliveryMode) -> (Sim, GroupComms, GroupId) {
+    let sim = Sim::new(SimConfig::new(5).with_nodes(members as usize + 1));
+    let comms = GroupComms::new(&sim);
+    let group = comms.create_group(mode);
+    for m in 1..=members {
+        comms
+            .join(
+                group,
+                NodeId::new(m),
+                Rc::new(RefCell::new(RecordingMember::default())),
+            )
+            .expect("join");
+    }
+    (sim, comms, group)
+}
+
+fn bench_multicast_sizes(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("multicast/reliable_by_size");
+    for members in [1u32, 3, 5, 9] {
+        let (_sim, comms, group) = setup(members, DeliveryMode::ReliableOrdered);
+        bench_group.bench_function(BenchmarkId::from_parameter(members), |b| {
+            b.iter(|| {
+                let out = comms
+                    .multicast(group, NodeId::new(0), b"operation")
+                    .expect("multicast");
+                black_box(out.seq)
+            })
+        });
+    }
+    bench_group.finish();
+}
+
+fn bench_delivery_modes(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("multicast/mode");
+    for (mode, name) in [
+        (DeliveryMode::ReliableOrdered, "reliable"),
+        (DeliveryMode::Unreliable, "unreliable"),
+    ] {
+        let (_sim, comms, group) = setup(5, mode);
+        bench_group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = comms
+                    .multicast(group, NodeId::new(0), b"operation")
+                    .expect("multicast");
+                black_box(out.replies.len())
+            })
+        });
+    }
+    bench_group.finish();
+}
+
+fn bench_view_refresh(c: &mut Criterion) {
+    let (_sim, comms, group) = setup(9, DeliveryMode::ReliableOrdered);
+    c.bench_function("multicast/refresh_view", |b| {
+        b.iter(|| black_box(comms.refresh_view(group).expect("view").id))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_multicast_sizes,
+    bench_delivery_modes,
+    bench_view_refresh,
+);
+criterion_main!(benches);

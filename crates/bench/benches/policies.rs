@@ -1,0 +1,110 @@
+//! Invocation cost per replication policy and group size (§2.3(2)) — the
+//! price of masking failures, as wall-clock throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use groupview_actions::ActionId;
+use groupview_replication::{Counter, CounterOp, ObjectGroup, ReplicationPolicy, System};
+use groupview_sim::NodeId;
+use std::hint::black_box;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn activated(
+    policy: ReplicationPolicy,
+    replicas: usize,
+) -> (System, groupview_replication::Client, ActionId, ObjectGroup) {
+    let sys = System::builder(13).nodes(9).policy(policy).build();
+    let servers: Vec<NodeId> = (1..=replicas as u32).map(n).collect();
+    let uid = sys
+        .create_object(Box::new(Counter::new(0)), &servers, &servers)
+        .expect("create");
+    let client = sys.client(n(7));
+    let action = client.begin();
+    let group = client.activate(action, uid, replicas).expect("activate");
+    (sys, client, action, group)
+}
+
+fn bench_invoke_by_policy(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("policies/invoke_3_replicas");
+    for policy in ReplicationPolicy::ALL {
+        let (_sys, client, action, group) = activated(policy, 3);
+        bench_group.bench_function(BenchmarkId::from_parameter(policy.to_string()), |b| {
+            b.iter(|| {
+                let reply = client
+                    .invoke(action, &group, &CounterOp::Add(1).encode())
+                    .expect("invoke");
+                black_box(reply)
+            })
+        });
+    }
+    bench_group.finish();
+}
+
+fn bench_active_by_group_size(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("policies/active_by_size");
+    for replicas in [1usize, 2, 3, 5] {
+        let (_sys, client, action, group) = activated(ReplicationPolicy::Active, replicas);
+        bench_group.bench_function(BenchmarkId::from_parameter(replicas), |b| {
+            b.iter(|| {
+                let reply = client
+                    .invoke(action, &group, &CounterOp::Add(1).encode())
+                    .expect("invoke");
+                black_box(reply)
+            })
+        });
+    }
+    bench_group.finish();
+}
+
+fn bench_cohort_checkpoint_cost(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("policies/cohort_by_size");
+    for replicas in [1usize, 3, 5] {
+        let (_sys, client, action, group) =
+            activated(ReplicationPolicy::CoordinatorCohort, replicas);
+        bench_group.bench_function(BenchmarkId::from_parameter(replicas), |b| {
+            b.iter(|| {
+                // Each mutation checkpoints to all cohorts.
+                let reply = client
+                    .invoke(action, &group, &CounterOp::Add(1).encode())
+                    .expect("invoke");
+                black_box(reply)
+            })
+        });
+    }
+    bench_group.finish();
+}
+
+fn bench_read_vs_write(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("policies/read_vs_write");
+    let (_sys, client, action, group) = activated(ReplicationPolicy::Active, 3);
+    bench_group.bench_function("write", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .invoke(action, &group, &CounterOp::Add(1).encode())
+                    .expect("write"),
+            )
+        })
+    });
+    bench_group.bench_function("read", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .invoke_read(action, &group, &CounterOp::Get.encode())
+                    .expect("read"),
+            )
+        })
+    });
+    bench_group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_invoke_by_policy,
+    bench_active_by_group_size,
+    bench_cohort_checkpoint_cost,
+    bench_read_vs_write,
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates the paper's figures as measured tables.
+//!
+//! ```text
+//! cargo run -p groupview-bench --bin experiments --release          # all
+//! cargo run -p groupview-bench --bin experiments --release e9 e10  # some
+//! ```
+
+use groupview_bench::all_experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all_experiments().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+
+    println!("# groupview experiments\n");
+    println!(
+        "Reproduction of Little, McCue, Shrivastava — \"Maintaining Information \
+         about Persistent Replicated Objects in a Distributed System\" (ICDCS 1993).\n"
+    );
+
+    for experiment in all_experiments() {
+        if !wanted.iter().any(|w| w == experiment.id) {
+            continue;
+        }
+        let started = Instant::now();
+        let tables = (experiment.run)();
+        let elapsed = started.elapsed();
+        println!("# {} — {}", experiment.id.to_uppercase(), experiment.figure);
+        println!("Paper claim: {}\n", experiment.claim);
+        for table in tables {
+            println!("{table}");
+        }
+        println!("({} finished in {:.2?})\n", experiment.id, elapsed);
+    }
+}

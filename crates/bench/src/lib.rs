@@ -1,0 +1,17 @@
+//! Experiment harness regenerating every figure of the paper.
+//!
+//! The paper's figures are schematic protocol diagrams, not measured plots;
+//! each experiment here quantifies the claim behind one figure (or section)
+//! — see `DESIGN.md` for the full index and `EXPERIMENTS.md` for recorded
+//! paper-vs-measured results. Run them with:
+//!
+//! ```text
+//! cargo run -p groupview-bench --bin experiments --release [e1..e12|all]
+//! ```
+//!
+//! Every experiment is a pure function of its seeds: re-running reproduces
+//! the tables bit-for-bit.
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, run_experiment, Experiment};

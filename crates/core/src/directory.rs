@@ -1,0 +1,358 @@
+//! The name directory: user-given names → UIDs (§2.2).
+//!
+//! "The naming and binding service provides a mapping from user-given names
+//! of objects to UIDs, and from UIDs to location information." The location
+//! half lives in [`crate::ObjectServerDb`] / [`crate::ObjectStateDb`]; this
+//! module supplies the first half: a hierarchical-free, flat directory of
+//! string names, itself a persistent object manipulated under atomic
+//! actions (per-name locks, undo records), exactly like the two databases.
+
+use crate::error::DbError;
+use groupview_actions::{ActionId, LockKey, LockMode, TxSystem};
+use groupview_sim::{NodeId, Sim};
+use groupview_store::Uid;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Lock namespace for directory entries (databases use 1 and 2, objects 3).
+pub const DIRECTORY_SPACE: u16 = 4;
+
+/// The lock key protecting one directory name.
+pub fn name_key(name: &str) -> LockKey {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    LockKey::new(DIRECTORY_SPACE, h.finish())
+}
+
+struct Inner {
+    entries: BTreeMap<String, Uid>,
+    lookups: u64,
+}
+
+/// A flat directory mapping application-level names to [`Uid`]s.
+///
+/// Operations run at the directory's node under the caller's atomic action:
+/// `lookup` takes a read lock on the name, `bind_name`/`unbind_name` take a
+/// write lock and register undo records, so directory updates commit or
+/// abort together with the rest of the action (e.g. object creation).
+#[derive(Clone)]
+pub struct Directory {
+    tx: TxSystem,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for Directory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Directory")
+            .field("entries", &self.inner.borrow().entries.len())
+            .finish()
+    }
+}
+
+impl Directory {
+    /// Creates an empty directory managed by the given action service.
+    pub fn new(tx: &TxSystem) -> Self {
+        Directory {
+            tx: tx.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                entries: BTreeMap::new(),
+                lookups: 0,
+            })),
+        }
+    }
+
+    /// Binds `name` to `uid` within `action`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::AlreadyExists`] if the name is taken (by a different UID),
+    /// or a lock refusal.
+    pub fn bind_name(&self, action: ActionId, name: &str, uid: Uid) -> Result<(), DbError> {
+        self.tx.lock(action, name_key(name), LockMode::Write)?;
+        {
+            let mut inner = self.inner.borrow_mut();
+            match inner.entries.get(name) {
+                Some(&existing) if existing == uid => return Ok(()), // idempotent
+                Some(_) => return Err(DbError::AlreadyExists(uid)),
+                None => {
+                    inner.entries.insert(name.to_string(), uid);
+                }
+            }
+        }
+        let handle = self.inner.clone();
+        let name = name.to_string();
+        self.tx.push_undo(action, move || {
+            handle.borrow_mut().entries.remove(&name);
+        })?;
+        Ok(())
+    }
+
+    /// Looks `name` up within `action` (read lock on the name).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] (with a nil UID) for unknown names, or a lock
+    /// refusal.
+    pub fn lookup(&self, action: ActionId, name: &str) -> Result<Uid, DbError> {
+        self.tx.lock(action, name_key(name), LockMode::Read)?;
+        let mut inner = self.inner.borrow_mut();
+        inner.lookups += 1;
+        inner
+            .entries
+            .get(name)
+            .copied()
+            .ok_or(DbError::NotFound(Uid::from_raw(0)))
+    }
+
+    /// Removes `name` within `action`. Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// A lock refusal.
+    pub fn unbind_name(&self, action: ActionId, name: &str) -> Result<bool, DbError> {
+        self.tx.lock(action, name_key(name), LockMode::Write)?;
+        let removed = self.inner.borrow_mut().entries.remove(name);
+        if let Some(uid) = removed {
+            let handle = self.inner.clone();
+            let name = name.to_string();
+            self.tx.push_undo(action, move || {
+                handle.borrow_mut().entries.insert(name.clone(), uid);
+            })?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// All bound names, sorted (diagnostics; no locks).
+    pub fn names(&self) -> Vec<String> {
+        self.inner.borrow().entries.keys().cloned().collect()
+    }
+
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.inner.borrow().lookups
+    }
+}
+
+/// RPC access to a [`Directory`] hosted at a node.
+#[derive(Clone, Debug)]
+pub struct RemoteDirectory {
+    sim: Sim,
+    node: NodeId,
+    directory: Directory,
+}
+
+impl RemoteDirectory {
+    /// Wraps a directory hosted at `node`.
+    pub fn new(sim: &Sim, node: NodeId, directory: Directory) -> Self {
+        RemoteDirectory {
+            sim: sim.clone(),
+            node,
+            directory,
+        }
+    }
+
+    /// The hosting node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The local handle (for co-located callers and tests).
+    pub fn local(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Remote `lookup` from `caller`.
+    ///
+    /// # Errors
+    ///
+    /// Directory errors or [`DbError::Net`].
+    pub fn lookup_from(
+        &self,
+        caller: NodeId,
+        action: ActionId,
+        name: &str,
+    ) -> Result<Uid, DbError> {
+        let dir = self.directory.clone();
+        let name = name.to_string();
+        self.sim
+            .rpc_flat(caller, self.node, 48 + name.len(), 24, move || {
+                dir.lookup(action, &name)
+            })
+    }
+
+    /// Remote `bind_name` from `caller`.
+    ///
+    /// # Errors
+    ///
+    /// Directory errors or [`DbError::Net`].
+    pub fn bind_name_from(
+        &self,
+        caller: NodeId,
+        action: ActionId,
+        name: &str,
+        uid: Uid,
+    ) -> Result<(), DbError> {
+        let dir = self.directory.clone();
+        let name = name.to_string();
+        self.sim
+            .rpc_flat(caller, self.node, 56 + name.len(), 16, move || {
+                dir.bind_name(action, &name, uid)
+            })
+    }
+
+    /// Remote `unbind_name` from `caller`.
+    ///
+    /// # Errors
+    ///
+    /// Directory errors or [`DbError::Net`].
+    pub fn unbind_name_from(
+        &self,
+        caller: NodeId,
+        action: ActionId,
+        name: &str,
+    ) -> Result<bool, DbError> {
+        let dir = self.directory.clone();
+        let name = name.to_string();
+        self.sim
+            .rpc_flat(caller, self.node, 48 + name.len(), 16, move || {
+                dir.unbind_name(action, &name)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupview_sim::SimConfig;
+    use groupview_store::Stores;
+
+    fn world() -> (Sim, TxSystem, Directory) {
+        let sim = Sim::new(SimConfig::new(66).with_nodes(3));
+        let stores = Stores::new(&sim);
+        let tx = TxSystem::new(&sim, &stores);
+        let dir = Directory::new(&tx);
+        (sim, tx, dir)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn bind_lookup_unbind_roundtrip() {
+        let (_, tx, dir) = world();
+        let uid = Uid::from_raw(7);
+        let a = tx.begin_top(n(0));
+        dir.bind_name(a, "accounts/alice", uid).unwrap();
+        assert_eq!(dir.lookup(a, "accounts/alice"), Ok(uid));
+        tx.commit(a).unwrap();
+
+        let b = tx.begin_top(n(0));
+        assert_eq!(dir.lookup(b, "accounts/alice"), Ok(uid));
+        assert!(dir.unbind_name(b, "accounts/alice").unwrap());
+        assert!(!dir.unbind_name(b, "accounts/alice").unwrap());
+        tx.commit(b).unwrap();
+        assert!(dir.names().is_empty());
+        assert!(dir.lookups() >= 2);
+    }
+
+    #[test]
+    fn bind_is_idempotent_but_collisions_fail() {
+        let (_, tx, dir) = world();
+        let a = tx.begin_top(n(0));
+        dir.bind_name(a, "x", Uid::from_raw(1)).unwrap();
+        dir.bind_name(a, "x", Uid::from_raw(1)).unwrap();
+        assert_eq!(
+            dir.bind_name(a, "x", Uid::from_raw(2)),
+            Err(DbError::AlreadyExists(Uid::from_raw(2)))
+        );
+        tx.commit(a).unwrap();
+    }
+
+    #[test]
+    fn abort_undoes_bind_and_unbind() {
+        let (_, tx, dir) = world();
+        let uid = Uid::from_raw(3);
+        let a = tx.begin_top(n(0));
+        dir.bind_name(a, "keep", uid).unwrap();
+        tx.commit(a).unwrap();
+
+        let b = tx.begin_top(n(0));
+        dir.bind_name(b, "temp", Uid::from_raw(4)).unwrap();
+        dir.unbind_name(b, "keep").unwrap();
+        tx.abort(b);
+        assert_eq!(dir.names(), vec!["keep".to_string()]);
+        let c = tx.begin_top(n(0));
+        assert_eq!(dir.lookup(c, "keep"), Ok(uid));
+        tx.commit(c).unwrap();
+    }
+
+    #[test]
+    fn unknown_name_not_found() {
+        let (_, tx, dir) = world();
+        let a = tx.begin_top(n(0));
+        assert!(matches!(dir.lookup(a, "ghost"), Err(DbError::NotFound(_))));
+        tx.abort(a);
+    }
+
+    #[test]
+    fn per_name_locking_allows_disjoint_writers() {
+        let (_, tx, dir) = world();
+        let a = tx.begin_top(n(0));
+        let b = tx.begin_top(n(1));
+        dir.bind_name(a, "a-name", Uid::from_raw(1)).unwrap();
+        dir.bind_name(b, "b-name", Uid::from_raw(2)).unwrap();
+        // Same name conflicts:
+        let err = dir.bind_name(b, "a-name", Uid::from_raw(3)).unwrap_err();
+        assert!(err.is_lock_refused());
+        tx.commit(a).unwrap();
+        tx.commit(b).unwrap();
+        assert_eq!(dir.names().len(), 2);
+    }
+
+    #[test]
+    fn readers_share_names() {
+        let (_, tx, dir) = world();
+        let setup = tx.begin_top(n(0));
+        dir.bind_name(setup, "shared", Uid::from_raw(9)).unwrap();
+        tx.commit(setup).unwrap();
+        let a = tx.begin_top(n(0));
+        let b = tx.begin_top(n(1));
+        assert!(dir.lookup(a, "shared").is_ok());
+        assert!(dir.lookup(b, "shared").is_ok());
+        tx.commit(a).unwrap();
+        tx.commit(b).unwrap();
+    }
+
+    #[test]
+    fn remote_directory_roundtrip_and_failure() {
+        let (sim, tx, dir) = world();
+        let remote = RemoteDirectory::new(&sim, n(0), dir);
+        assert_eq!(remote.node(), n(0));
+        let a = tx.begin_top(n(1));
+        remote
+            .bind_name_from(n(1), a, "remote", Uid::from_raw(5))
+            .unwrap();
+        assert_eq!(remote.lookup_from(n(1), a, "remote"), Ok(Uid::from_raw(5)));
+        tx.commit(a).unwrap();
+        assert_eq!(remote.local().names().len(), 1);
+
+        sim.crash(n(0));
+        let b = tx.begin_top(n(1));
+        assert!(matches!(
+            remote.lookup_from(n(1), b, "remote"),
+            Err(DbError::Net(_))
+        ));
+        tx.abort(b);
+        sim.recover(n(0));
+        let c = tx.begin_top(n(1));
+        assert!(remote.unbind_name_from(n(1), c, "remote").unwrap());
+        tx.commit(c).unwrap();
+    }
+}

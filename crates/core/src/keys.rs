@@ -1,0 +1,32 @@
+//! Lock-key namespaces of the naming service.
+
+use groupview_actions::LockKey;
+use groupview_store::Uid;
+
+/// Namespace of Object Server database entries.
+pub const SERVER_SPACE: u16 = 1;
+/// Namespace of Object State database entries.
+pub const STATE_SPACE: u16 = 2;
+
+/// The lock key protecting `uid`'s Object Server database entry.
+pub fn server_entry_key(uid: Uid) -> LockKey {
+    LockKey::new(SERVER_SPACE, uid.raw())
+}
+
+/// The lock key protecting `uid`'s Object State database entry.
+pub fn state_entry_key(uid: Uid) -> LockKey {
+    LockKey::new(STATE_SPACE, uid.raw())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        let uid = Uid::from_raw(9);
+        assert_ne!(server_entry_key(uid), state_entry_key(uid));
+        assert_eq!(server_entry_key(uid).key(), 9);
+        assert_eq!(state_entry_key(uid).key(), 9);
+    }
+}

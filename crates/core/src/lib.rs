@@ -1,0 +1,54 @@
+//! The `groupview` naming-and-binding service — the paper's contribution.
+//!
+//! For every persistent object `A`, the service maintains the two node sets
+//! of §3.1:
+//!
+//! * `StA` — nodes whose object stores contain states of `A`
+//!   (the **Object State database**, [`ObjectStateDb`]);
+//! * `SvA` — nodes capable of running a server for `A`
+//!   (the **Object Server database**, [`ObjectServerDb`]).
+//!
+//! Clients consult the Object Server database to bind to servers; servers
+//! consult the Object State database to load and store object states. Both
+//! databases are ordinary persistent objects manipulated under atomic
+//! actions (the paper's Arjuna implementation calls the pair the *group view
+//! database*); every entry is concurrency-controlled independently with the
+//! lock modes of [`groupview_actions`], including the §4.2.1 exclude-write
+//! mode.
+//!
+//! The three client access schemes of §4.1 are implemented by [`Binder`]:
+//!
+//! 1. [`BindingScheme::Standard`] — `GetServer` as a nested action of the
+//!    client action (Figure 6); `Sv` is static and failed servers are
+//!    discovered "the hard way" at probe time.
+//! 2. [`BindingScheme::IndependentTopLevel`] — separate top-level actions
+//!    before and after the client action maintain *use lists* and prune
+//!    failed servers (Figure 7).
+//! 3. [`BindingScheme::NestedTopLevel`] — the same updates performed from
+//!    nested top-level actions inside the client action (Figure 8).
+//!
+//! Recovery (§4.1.2, §4.2): [`RecoveryManager`] re-`Insert`s recovered
+//! server nodes (which doubles as a quiescence check) and refreshes +
+//! re-`Include`s recovered store nodes; [`CleanupDaemon`] reclaims use-list
+//! entries leaked by crashed clients.
+
+pub mod binder;
+pub mod cleanup;
+pub mod directory;
+pub mod error;
+pub mod keys;
+pub mod naming;
+pub mod nonatomic;
+pub mod recovery;
+pub mod server_db;
+pub mod state_db;
+
+pub use binder::{BindRequest, Binder, Binding, BindingScheme};
+pub use cleanup::{CleanupDaemon, CleanupReport};
+pub use directory::{Directory, RemoteDirectory};
+pub use error::{BindError, DbError};
+pub use naming::NamingService;
+pub use nonatomic::{RemoteServerCache, ServerCache};
+pub use recovery::{RecoveryManager, RecoveryReport};
+pub use server_db::{ObjectServerDb, ServerDbOps, ServerEntry};
+pub use state_db::{ExcludePolicy, ObjectStateDb, StateDbOps, StateEntry};

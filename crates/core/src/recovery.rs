@@ -1,0 +1,434 @@
+//! Node recovery protocols (§4.1.2 and §4.2).
+//!
+//! The paper prescribes two recovery duties:
+//!
+//! * A crashed node with an **object store** "must ensure, upon recovery,
+//!   that its objects do contain the latest committed states. For this
+//!   purpose, it can run atomic actions to update its object states and
+//!   then invoke the `Include(..)` operation for making the object states
+//!   available again." (§4.2)
+//! * A recovered **server** node executes `Insert(UIDA, δ)` before it is
+//!   ready to act as a server again — "execution of this operation is
+//!   necessary to check that A is quiescent" (§4.1.2).
+//!
+//! Additionally, two-phase commit leaves *in-doubt* prepared transactions in
+//! the store's intent log; recovery resolves them against the coordinator's
+//! decision record (presumed abort for undecided ones).
+
+use crate::error::DbError;
+use crate::naming::NamingService;
+use crate::nonatomic::RemoteServerCache;
+use groupview_actions::TxSystem;
+use groupview_sim::{NodeId, Sim};
+use groupview_store::{Stores, TxToken, Uid};
+use std::fmt;
+
+/// What one recovery pass accomplished.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// In-doubt transactions resolved as committed.
+    pub resolved_commits: Vec<TxToken>,
+    /// In-doubt transactions resolved as aborted (incl. presumed abort).
+    pub resolved_aborts: Vec<TxToken>,
+    /// Objects whose local state was refreshed from a current `St` member.
+    pub refreshed: Vec<Uid>,
+    /// Objects re-`Include`d into their `St` set.
+    pub included: Vec<Uid>,
+    /// Objects for which the recovered server node's `Insert` succeeded.
+    pub inserted: Vec<Uid>,
+    /// Objects whose `Insert` was refused (not quiescent / lock contention)
+    /// — the caller should retry these later.
+    pub insert_deferred: Vec<Uid>,
+    /// Objects whose store refresh failed (no reachable current store) —
+    /// retry later.
+    pub refresh_deferred: Vec<Uid>,
+}
+
+impl RecoveryReport {
+    /// Whether anything remains to retry.
+    pub fn fully_recovered(&self) -> bool {
+        self.insert_deferred.is_empty() && self.refresh_deferred.is_empty()
+    }
+
+    /// Folds another report's results into this one (e.g. store-side and
+    /// server-side passes of the same node).
+    pub fn merge(&mut self, other: RecoveryReport) {
+        self.resolved_commits.extend(other.resolved_commits);
+        self.resolved_aborts.extend(other.resolved_aborts);
+        self.refreshed.extend(other.refreshed);
+        self.included.extend(other.included);
+        self.inserted.extend(other.inserted);
+        self.insert_deferred.extend(other.insert_deferred);
+        self.refresh_deferred.extend(other.refresh_deferred);
+    }
+}
+
+/// Runs the paper's recovery protocols for crashed nodes.
+#[derive(Clone)]
+pub struct RecoveryManager {
+    sim: Sim,
+    tx: TxSystem,
+    naming: NamingService,
+    stores: Stores,
+    cache: Option<RemoteServerCache>,
+}
+
+impl fmt::Debug for RecoveryManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryManager").finish_non_exhaustive()
+    }
+}
+
+impl RecoveryManager {
+    /// Creates a recovery manager for the world.
+    pub fn new(sim: &Sim, naming: &NamingService, stores: &Stores) -> Self {
+        RecoveryManager {
+            sim: sim.clone(),
+            tx: naming.tx().clone(),
+            naming: naming.clone(),
+            stores: stores.clone(),
+            cache: None,
+        }
+    }
+
+    /// Attaches the non-atomic server cache: a recovered server node then
+    /// re-announces itself there too (the §5 extension's recovery path).
+    pub fn with_cache(mut self, cache: RemoteServerCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Brings `node` back up (if needed) and runs the full recovery
+    /// protocol: in-doubt resolution, store refresh + `Include`, and server
+    /// re-`Insert`.
+    pub fn recover_node(&self, node: NodeId) -> RecoveryReport {
+        self.sim.recover(node);
+        let mut report = RecoveryReport::default();
+        if self.stores.has_store(node) {
+            report.merge(self.recover_store(node));
+        }
+        report.merge(self.recover_server(node));
+        report
+    }
+
+    /// Store-side recovery of an already-up `node`.
+    ///
+    /// 1. Resolves in-doubt prepared transactions against the coordinator's
+    ///    decision record.
+    /// 2. For each object held locally: if the node is no longer in `St`
+    ///    (it was excluded while down), fetch the latest state from a
+    ///    current `St` member, install it, and `Include` the node back.
+    pub fn recover_store(&self, node: NodeId) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        if !self.sim.is_up(node) {
+            return report;
+        }
+        // (1) in-doubt resolution.
+        let indoubt = self.stores.with(node, |s| s.indoubt()).unwrap_or_default();
+        for token in indoubt {
+            if self.tx.decision(token) == Some(true) {
+                if self.stores.commit_local(node, token).is_ok() {
+                    report.resolved_commits.push(token);
+                }
+            } else {
+                // Decided-abort or undecided: presumed abort.
+                let _ = self.stores.abort_local(node, token);
+                report.resolved_aborts.push(token);
+            }
+        }
+        // (2) refresh + Include.
+        let mut uids = self.stores.with(node, |s| s.uids()).unwrap_or_default();
+        uids.sort_unstable();
+        for uid in uids {
+            match self.refresh_one(node, uid) {
+                Ok(RefreshOutcome::AlreadyCurrent) => {}
+                Ok(RefreshOutcome::Refreshed) => {
+                    report.refreshed.push(uid);
+                    report.included.push(uid);
+                }
+                Ok(RefreshOutcome::IncludedAsIs) => report.included.push(uid),
+                Err(_) => report.refresh_deferred.push(uid),
+            }
+        }
+        report
+    }
+
+    /// Server-side recovery of an already-up `node`: executes `Insert` for
+    /// every object listing it in `Sv` — the §4.1.2 quiescence check.
+    pub fn recover_server(&self, node: NodeId) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        if !self.sim.is_up(node) {
+            return report;
+        }
+        for uid in self.naming.server_db.uids() {
+            let listed = self
+                .naming
+                .server_db
+                .entry(uid)
+                .is_some_and(|e| e.servers.contains(&node));
+            if !listed {
+                continue;
+            }
+            let action = self.tx.begin_top(node);
+            match self.naming.insert_from(node, action, uid, node) {
+                Ok(_) => match self.tx.commit(action) {
+                    Ok(()) => {
+                        if let Some(cache) = &self.cache {
+                            cache.report_server_from(node, uid, node);
+                        }
+                        report.inserted.push(uid)
+                    }
+                    Err(_) => report.insert_deferred.push(uid),
+                },
+                Err(e) => {
+                    self.tx.abort(action);
+                    match e {
+                        DbError::NotQuiescent(_) => report.insert_deferred.push(uid),
+                        e if e.is_lock_refused() => report.insert_deferred.push(uid),
+                        _ => report.insert_deferred.push(uid),
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    fn refresh_one(&self, node: NodeId, uid: Uid) -> Result<RefreshOutcome, DbError> {
+        let action = self.tx.begin_top(node);
+        let outcome = (|| {
+            let view = self.naming.get_view_from(node, action, uid)?;
+            if view.contains(node) {
+                // Still in St: by the system invariant the local state is the
+                // latest committed one (it would have been excluded
+                // otherwise) — nothing to do.
+                return Ok(RefreshOutcome::AlreadyCurrent);
+            }
+            // Fetch from the first reachable current store.
+            let mut fetched = None;
+            for &src in &view.stores {
+                if let Ok(state) = self.stores.read_remote(node, src, uid) {
+                    fetched = Some(state);
+                    break;
+                }
+            }
+            match fetched {
+                Some(state) => {
+                    self.stores
+                        .write_local(node, uid, state)
+                        .map_err(|_| DbError::NotFound(uid))?;
+                    self.naming.include_from(node, action, uid, node)?;
+                    Ok(RefreshOutcome::Refreshed)
+                }
+                None if view.is_empty() => {
+                    // Nobody else holds a state: this node's copy is the best
+                    // available — include it as-is.
+                    self.naming.include_from(node, action, uid, node)?;
+                    Ok(RefreshOutcome::IncludedAsIs)
+                }
+                None => Err(DbError::Net(groupview_sim::NetError::Timeout)),
+            }
+        })();
+        match &outcome {
+            Ok(_) => {
+                if self.tx.commit(action).is_err() {
+                    return Err(DbError::Tx(groupview_actions::TxError::NotActive(action)));
+                }
+            }
+            Err(_) => self.tx.abort(action),
+        }
+        outcome
+    }
+}
+
+/// What happened to one object during store recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefreshOutcome {
+    AlreadyCurrent,
+    Refreshed,
+    IncludedAsIs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_db::ExcludePolicy;
+    use groupview_sim::{ClientId, SimConfig};
+    use groupview_store::{ObjectState, TypeTag};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn uid() -> Uid {
+        Uid::from_raw(1)
+    }
+
+    fn state(b: &[u8]) -> ObjectState {
+        ObjectState::initial(TypeTag::new(1), b.to_vec())
+    }
+
+    /// naming at n0; stores at n1, n2; servers n1, n2.
+    fn world() -> (Sim, TxSystem, NamingService, Stores, RecoveryManager) {
+        let sim = Sim::new(SimConfig::new(44).with_nodes(4));
+        let stores = Stores::new(&sim);
+        stores.add_store(n(1));
+        stores.add_store(n(2));
+        let tx = TxSystem::new(&sim, &stores);
+        let ns = NamingService::new(&sim, &tx, n(0));
+        let a = tx.begin_top(n(0));
+        ns.register_object(a, uid(), vec![n(1), n(2)], vec![n(1), n(2)])
+            .unwrap();
+        tx.commit(a).unwrap();
+        stores.write_local(n(1), uid(), state(b"v0")).unwrap();
+        stores.write_local(n(2), uid(), state(b"v0")).unwrap();
+        let rm = RecoveryManager::new(&sim, &ns, &stores);
+        (sim, tx, ns, stores, rm)
+    }
+
+    #[test]
+    fn excluded_store_is_refreshed_and_reincluded() {
+        let (sim, tx, ns, stores, rm) = world();
+        // n2 crashes; a commit writes v1 to n1 only and excludes n2.
+        sim.crash(n(2));
+        let a = tx.begin_top(n(3));
+        stores.write_local(n(1), uid(), state(b"v1")).unwrap();
+        ns.exclude_from(n(3), a, &[(uid(), vec![n(2)])], ExcludePolicy::ExcludeWriteLock)
+            .unwrap();
+        tx.commit(a).unwrap();
+        assert_eq!(ns.state_db.entry(uid()).unwrap().stores, vec![n(1)]);
+
+        let report = rm.recover_node(n(2));
+        assert_eq!(report.refreshed, vec![uid()]);
+        assert_eq!(report.included, vec![uid()]);
+        assert!(report.fully_recovered());
+        assert_eq!(
+            stores.read_local(n(2), uid()).unwrap().data,
+            b"v1",
+            "state refreshed from n1"
+        );
+        assert_eq!(ns.state_db.entry(uid()).unwrap().stores, vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn store_still_in_st_needs_no_refresh() {
+        let (sim, _tx, ns, stores, rm) = world();
+        sim.crash(n(2));
+        // No commit happened while n2 was down — it is still in St.
+        let report = rm.recover_node(n(2));
+        assert!(report.refreshed.is_empty());
+        assert!(report.included.is_empty());
+        assert_eq!(stores.read_local(n(2), uid()).unwrap().data, b"v0");
+        assert_eq!(ns.state_db.entry(uid()).unwrap().stores.len(), 2);
+    }
+
+    #[test]
+    fn server_insert_runs_on_recovery() {
+        let (sim, _tx, ns, _stores, rm) = world();
+        sim.crash(n(1));
+        let report = rm.recover_node(n(1));
+        assert!(report.refreshed.is_empty(), "still in St");
+        assert_eq!(report.inserted, vec![uid()], "quiescence check passed");
+        assert_eq!(ns.server_db.entry(uid()).unwrap().servers.len(), 2);
+    }
+
+    #[test]
+    fn server_insert_deferred_while_clients_active() {
+        let (sim, tx, ns, _stores, rm) = world();
+        // A client is using the object (non-empty use list).
+        let a = tx.begin_top(n(3));
+        ns.server_db
+            .get_server_locked(a, uid(), groupview_actions::LockMode::Write)
+            .unwrap();
+        ns.server_db
+            .increment(a, ClientId::new(7), uid(), &[n(2)])
+            .unwrap();
+        tx.commit(a).unwrap();
+
+        sim.crash(n(1));
+        let report = rm.recover_node(n(1));
+        assert_eq!(report.insert_deferred, vec![uid()]);
+        assert!(!report.fully_recovered());
+
+        // After the client releases, a retry succeeds.
+        let b = tx.begin_top(n(3));
+        ns.server_db
+            .decrement(b, ClientId::new(7), uid(), &[n(2)])
+            .unwrap();
+        tx.commit(b).unwrap();
+        let retry = rm.recover_server(n(1));
+        assert_eq!(retry.inserted, vec![uid()]);
+    }
+
+    #[test]
+    fn indoubt_transactions_resolve_from_decision_record() {
+        let (sim, tx, _ns, stores, rm) = world();
+        // Simulate a participant crash between phases: prepared writes with
+        // a committed decision, plus an undecided one.
+        let committed_tok = {
+            let a = tx.begin_top(n(3));
+            tx.add_participant(
+                a,
+                Box::new(groupview_actions::StoreWriteParticipant::new(
+                    &sim,
+                    &stores,
+                    n(3),
+                    n(1),
+                    TxSystem::token(a),
+                    vec![(uid(), state(b"committed"))],
+                )),
+            )
+            .unwrap();
+            sim.crash_after_sends(n(1), 1); // dies after prepare ack
+            tx.commit(a).unwrap();
+            TxSystem::token(a)
+        };
+        // Also park an undecided prepared tx directly in the (now down)
+        // store's stable intent log — possible because stable storage is
+        // written before the crash in the real protocol.
+        sim.recover(n(1));
+        let orphan = TxToken::new(9999);
+        stores
+            .prepare_local(n(1), orphan, vec![(uid(), state(b"orphan"))])
+            .unwrap();
+        sim.crash(n(1));
+
+        let report = rm.recover_node(n(1));
+        assert_eq!(report.resolved_commits, vec![committed_tok]);
+        assert_eq!(report.resolved_aborts, vec![orphan]);
+        assert_eq!(
+            stores.read_local(n(1), uid()).unwrap().data,
+            b"committed",
+            "decided-commit installed, orphan discarded"
+        );
+    }
+
+    #[test]
+    fn recovery_of_node_without_store_only_reinserts() {
+        let (sim, _tx, ns, _stores, rm) = world();
+        // n3 has no store and is not in Sv: recovery is a no-op.
+        sim.crash(n(3));
+        let report = rm.recover_node(n(3));
+        assert_eq!(report, RecoveryReport::default());
+        assert!(ns.server_db.entry(uid()).unwrap().servers.contains(&n(1)));
+    }
+
+    #[test]
+    fn refresh_deferred_when_no_source_reachable() {
+        let (sim, tx, ns, stores, rm) = world();
+        // Exclude n2, then also take n1 (the only current store) down.
+        sim.crash(n(2));
+        let a = tx.begin_top(n(3));
+        ns.exclude_from(n(3), a, &[(uid(), vec![n(2)])], ExcludePolicy::ExcludeWriteLock)
+            .unwrap();
+        tx.commit(a).unwrap();
+        sim.crash(n(1));
+        let report = rm.recover_node(n(2));
+        assert_eq!(report.refresh_deferred, vec![uid()]);
+        assert!(!report.fully_recovered());
+        // Once n1 is back, the retry succeeds.
+        rm.recover_node(n(1));
+        let retry = rm.recover_store(n(2));
+        assert_eq!(retry.included, vec![uid()]);
+        assert_eq!(stores.read_local(n(2), uid()).unwrap().data, b"v0");
+    }
+}

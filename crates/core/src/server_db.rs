@@ -1,0 +1,695 @@
+//! The Object Server database: `UID → SvA` plus use lists (§4.1).
+
+use crate::error::DbError;
+use crate::keys::server_entry_key;
+use groupview_actions::{ActionId, LockMode, TxSystem};
+use groupview_sim::{ClientId, NodeId};
+use groupview_store::Uid;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+
+/// One object's entry: the set `SvA` and the per-server *use lists*.
+///
+/// The paper's use list for a server node is a set of `<Ni, Ci>` pairs
+/// counting the clients using that server (§4.1.3). We key counters directly
+/// by [`ClientId`]; a per-client-node aggregation would lose the information
+/// the cleanup daemon needs when a single client crashes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerEntry {
+    /// `SvA`: nodes capable of running a server, in insertion order.
+    pub servers: Vec<NodeId>,
+    /// Per server node, the reference counts of clients bound to it.
+    pub use_lists: BTreeMap<NodeId, BTreeMap<ClientId, u32>>,
+}
+
+impl ServerEntry {
+    /// Creates an entry with the given server set and empty use lists.
+    pub fn new(servers: Vec<NodeId>) -> Self {
+        ServerEntry {
+            servers,
+            use_lists: BTreeMap::new(),
+        }
+    }
+
+    /// Servers whose use list is non-empty (the object is activated there).
+    pub fn active_servers(&self) -> Vec<NodeId> {
+        self.servers
+            .iter()
+            .copied()
+            .filter(|n| self.use_lists.get(n).is_some_and(|ul| !ul.is_empty()))
+            .collect()
+    }
+
+    /// Whether no client is using any server (quiescent / passive object).
+    pub fn is_quiescent(&self) -> bool {
+        self.use_lists.values().all(BTreeMap::is_empty)
+    }
+
+    /// Total of all use-list counters (diagnostics).
+    pub fn total_uses(&self) -> u64 {
+        self.use_lists
+            .values()
+            .flat_map(|ul| ul.values())
+            .map(|&c| c as u64)
+            .sum()
+    }
+
+    /// The clients currently counted against `host`.
+    pub fn clients_of(&self, host: NodeId) -> Vec<ClientId> {
+        self.use_lists
+            .get(&host)
+            .map(|ul| ul.keys().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+impl fmt::Display for ServerEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sv={{")?;
+        for (i, s) in self.servers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}} uses={}", self.total_uses())
+    }
+}
+
+/// Operation counters for the Object Server database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerDbOps {
+    /// `GetServer` calls served.
+    pub get_server: u64,
+    /// `Insert` calls served (including refused-as-not-quiescent).
+    pub insert: u64,
+    /// `Remove` calls served.
+    pub remove: u64,
+    /// `Increment` calls served.
+    pub increment: u64,
+    /// `Decrement` calls served.
+    pub decrement: u64,
+}
+
+struct Inner {
+    entries: HashMap<Uid, ServerEntry>,
+    ops: ServerDbOps,
+}
+
+/// The Object Server database (`UID → SvA` mappings).
+///
+/// All operations execute on behalf of an atomic action: they acquire the
+/// entry's lock in the appropriate mode (`GetServer` reads; everything else
+/// writes), mutate in place, and register undo records so an abort of the
+/// surrounding action restores the entry exactly. Locks follow strict 2PL,
+/// so uncommitted changes are never visible to other actions.
+///
+/// Methods here run *at the database's node*; remote access goes through
+/// [`crate::NamingService`], which wraps them in RPC.
+#[derive(Clone)]
+pub struct ObjectServerDb {
+    tx: TxSystem,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for ObjectServerDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectServerDb")
+            .field("entries", &self.inner.borrow().entries.len())
+            .finish()
+    }
+}
+
+impl ObjectServerDb {
+    /// Creates an empty database managed by the given action service.
+    pub fn new(tx: &TxSystem) -> Self {
+        ObjectServerDb {
+            tx: tx.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                entries: HashMap::new(),
+                ops: ServerDbOps::default(),
+            })),
+        }
+    }
+
+    /// Creates the entry for a new object with server set `servers`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::AlreadyExists`] or a lock refusal.
+    pub fn create_entry(
+        &self,
+        action: ActionId,
+        uid: Uid,
+        servers: Vec<NodeId>,
+    ) -> Result<(), DbError> {
+        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.entries.contains_key(&uid) {
+                return Err(DbError::AlreadyExists(uid));
+            }
+            inner.entries.insert(uid, ServerEntry::new(servers));
+        }
+        let handle = self.inner.clone();
+        self.tx.push_undo(action, move || {
+            handle.borrow_mut().entries.remove(&uid);
+        })?;
+        Ok(())
+    }
+
+    /// `GetServer(objectname)`: returns the entry (server list and use
+    /// lists) under a lock of the caller's choosing — `Read` for the
+    /// standard scheme, `Write` when the caller will update the entry in the
+    /// same action (avoids upgrade livelock between concurrent binders).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] or a lock refusal.
+    pub fn get_server_locked(
+        &self,
+        action: ActionId,
+        uid: Uid,
+        mode: LockMode,
+    ) -> Result<ServerEntry, DbError> {
+        self.tx.lock(action, server_entry_key(uid), mode)?;
+        let mut inner = self.inner.borrow_mut();
+        inner.ops.get_server += 1;
+        inner
+            .entries
+            .get(&uid)
+            .cloned()
+            .ok_or(DbError::NotFound(uid))
+    }
+
+    /// `GetServer` under a read lock (the common case).
+    ///
+    /// # Errors
+    ///
+    /// See [`ObjectServerDb::get_server_locked`].
+    pub fn get_server(&self, action: ActionId, uid: Uid) -> Result<ServerEntry, DbError> {
+        self.get_server_locked(action, uid, LockMode::Read)
+    }
+
+    /// `Insert(objectname, hostname)`: adds a server node.
+    ///
+    /// Per §4.1.2 this doubles as the quiescence check run by a recovered
+    /// server node: it requires the entry's write lock **and** empty use
+    /// lists. Returns whether the host was actually added (re-inserting an
+    /// existing host still performs the quiescence check and succeeds as a
+    /// no-op — that is exactly what a recovered node wants to know).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`], [`DbError::NotQuiescent`], or a lock refusal.
+    pub fn insert(&self, action: ActionId, uid: Uid, host: NodeId) -> Result<bool, DbError> {
+        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        let added = {
+            let mut inner = self.inner.borrow_mut();
+            inner.ops.insert += 1;
+            let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            if !entry.is_quiescent() {
+                return Err(DbError::NotQuiescent(uid));
+            }
+            if entry.servers.contains(&host) {
+                false
+            } else {
+                entry.servers.push(host);
+                true
+            }
+        };
+        if added {
+            let handle = self.inner.clone();
+            self.tx.push_undo(action, move || {
+                if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+                    e.servers.retain(|&s| s != host);
+                }
+            })?;
+        }
+        Ok(added)
+    }
+
+    /// `Remove(objectname, hostname)`: removes a server node and its use
+    /// list. Returns whether the host was present.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] or a lock refusal.
+    pub fn remove(&self, action: ActionId, uid: Uid, host: NodeId) -> Result<bool, DbError> {
+        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        let removed = {
+            let mut inner = self.inner.borrow_mut();
+            inner.ops.remove += 1;
+            let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            if let Some(pos) = entry.servers.iter().position(|&s| s == host) {
+                entry.servers.remove(pos);
+                Some((pos, entry.use_lists.remove(&host)))
+            } else {
+                None
+            }
+        };
+        if let Some((pos, use_list)) = removed {
+            let handle = self.inner.clone();
+            self.tx.push_undo(action, move || {
+                if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+                    let pos = pos.min(e.servers.len());
+                    e.servers.insert(pos, host);
+                    if let Some(ul) = use_list {
+                        e.use_lists.insert(host, ul);
+                    }
+                }
+            })?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// `Increment(client, hostnames...)`: bumps `client`'s counter in the
+    /// use list of each named host (§4.1.3).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] or a lock refusal.
+    pub fn increment(
+        &self,
+        action: ActionId,
+        client: ClientId,
+        uid: Uid,
+        hosts: &[NodeId],
+    ) -> Result<(), DbError> {
+        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.ops.increment += 1;
+            let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            for &host in hosts {
+                *entry
+                    .use_lists
+                    .entry(host)
+                    .or_default()
+                    .entry(client)
+                    .or_insert(0) += 1;
+            }
+        }
+        let handle = self.inner.clone();
+        let hosts: Vec<NodeId> = hosts.to_vec();
+        self.tx.push_undo(action, move || {
+            if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+                for &host in &hosts {
+                    decrement_counter(e, host, client);
+                }
+            }
+        })?;
+        Ok(())
+    }
+
+    /// `Decrement(client, hostnames...)`: the complement of `Increment`.
+    /// Counters saturate at zero and empty entries are pruned.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] or a lock refusal.
+    pub fn decrement(
+        &self,
+        action: ActionId,
+        client: ClientId,
+        uid: Uid,
+        hosts: &[NodeId],
+    ) -> Result<(), DbError> {
+        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        let touched: Vec<NodeId> = {
+            let mut inner = self.inner.borrow_mut();
+            inner.ops.decrement += 1;
+            let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            hosts
+                .iter()
+                .copied()
+                .filter(|&host| decrement_counter(entry, host, client))
+                .collect()
+        };
+        let handle = self.inner.clone();
+        self.tx.push_undo(action, move || {
+            if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+                for &host in &touched {
+                    *e.use_lists
+                        .entry(host)
+                        .or_default()
+                        .entry(client)
+                        .or_insert(0) += 1;
+                }
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Removes every use-list entry of `client` across all objects and
+    /// hosts (cleanup after a client crash). Returns `(uid, host)` pairs
+    /// cleaned.
+    ///
+    /// # Errors
+    ///
+    /// A lock refusal on any affected entry (nothing else).
+    pub fn purge_client(
+        &self,
+        action: ActionId,
+        client: ClientId,
+    ) -> Result<Vec<(Uid, NodeId)>, DbError> {
+        // Find affected entries first (no locks needed for the scan: the
+        // sweep re-checks under the entry lock before mutating).
+        let affected: Vec<Uid> = {
+            let inner = self.inner.borrow();
+            inner
+                .entries
+                .iter()
+                .filter(|(_, e)| {
+                    e.use_lists.values().any(|ul| ul.contains_key(&client))
+                })
+                .map(|(&uid, _)| uid)
+                .collect()
+        };
+        let mut cleaned = Vec::new();
+        for uid in affected {
+            self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+            let removed: Vec<(NodeId, u32)> = {
+                let mut inner = self.inner.borrow_mut();
+                let Some(entry) = inner.entries.get_mut(&uid) else {
+                    continue;
+                };
+                let mut removed = Vec::new();
+                for (&host, ul) in entry.use_lists.iter_mut() {
+                    if let Some(count) = ul.remove(&client) {
+                        removed.push((host, count));
+                    }
+                }
+                removed
+            };
+            for &(host, count) in &removed {
+                cleaned.push((uid, host));
+                let handle = self.inner.clone();
+                self.tx.push_undo(action, move || {
+                    if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+                        e.use_lists.entry(host).or_default().insert(client, count);
+                    }
+                })?;
+            }
+        }
+        Ok(cleaned)
+    }
+
+    // ----- unlocked introspection (tests, metrics, daemons) -------------
+
+    /// Snapshot of an entry without locking (diagnostics only).
+    pub fn entry(&self, uid: Uid) -> Option<ServerEntry> {
+        self.inner.borrow().entries.get(&uid).cloned()
+    }
+
+    /// All object UIDs with entries, sorted.
+    pub fn uids(&self) -> Vec<Uid> {
+        let mut v: Vec<Uid> = self.inner.borrow().entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every client appearing in some use list (sorted, deduplicated).
+    /// The cleanup daemon checks these against liveness.
+    pub fn clients_in_use(&self) -> Vec<ClientId> {
+        let inner = self.inner.borrow();
+        let mut v: Vec<ClientId> = inner
+            .entries
+            .values()
+            .flat_map(|e| e.use_lists.values())
+            .flat_map(|ul| ul.keys().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Operation counters.
+    pub fn ops(&self) -> ServerDbOps {
+        self.inner.borrow().ops
+    }
+}
+
+/// Removes one use of `host` by `client`; returns whether a counter changed.
+fn decrement_counter(entry: &mut ServerEntry, host: NodeId, client: ClientId) -> bool {
+    let Some(ul) = entry.use_lists.get_mut(&host) else {
+        return false;
+    };
+    let Some(c) = ul.get_mut(&client) else {
+        return false;
+    };
+    *c = c.saturating_sub(1);
+    if *c == 0 {
+        ul.remove(&client);
+        if ul.is_empty() {
+            entry.use_lists.remove(&host);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupview_sim::{Sim, SimConfig};
+    use groupview_store::Stores;
+
+    fn world() -> (Sim, TxSystem, ObjectServerDb) {
+        let sim = Sim::new(SimConfig::new(21).with_nodes(4));
+        let stores = Stores::new(&sim);
+        let tx = TxSystem::new(&sim, &stores);
+        let db = ObjectServerDb::new(&tx);
+        (sim, tx, db)
+    }
+
+    fn uid() -> Uid {
+        Uid::from_raw(1)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn c(i: u32) -> ClientId {
+        ClientId::new(i)
+    }
+
+    fn setup_entry(tx: &TxSystem, db: &ObjectServerDb) {
+        let a = tx.begin_top(n(0));
+        db.create_entry(a, uid(), vec![n(1), n(2)]).unwrap();
+        tx.commit(a).unwrap();
+    }
+
+    #[test]
+    fn create_get_roundtrip() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        let e = db.get_server(a, uid()).unwrap();
+        assert_eq!(e.servers, vec![n(1), n(2)]);
+        assert!(e.is_quiescent());
+        tx.commit(a).unwrap();
+        assert_eq!(db.uids(), vec![uid()]);
+        assert_eq!(db.ops().get_server, 1);
+    }
+
+    #[test]
+    fn create_duplicate_fails() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        assert_eq!(
+            db.create_entry(a, uid(), vec![n(3)]),
+            Err(DbError::AlreadyExists(uid()))
+        );
+        tx.abort(a);
+    }
+
+    #[test]
+    fn create_undone_on_abort() {
+        let (_, tx, db) = world();
+        let a = tx.begin_top(n(0));
+        db.create_entry(a, uid(), vec![n(1)]).unwrap();
+        tx.abort(a);
+        assert_eq!(db.entry(uid()), None);
+    }
+
+    #[test]
+    fn get_server_missing_entry() {
+        let (_, tx, db) = world();
+        let a = tx.begin_top(n(0));
+        assert_eq!(db.get_server(a, uid()), Err(DbError::NotFound(uid())));
+        tx.abort(a);
+    }
+
+    #[test]
+    fn insert_remove_with_undo() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        // Insert n3, commit: persists.
+        let a = tx.begin_top(n(0));
+        assert!(db.insert(a, uid(), n(3)).unwrap());
+        assert!(!db.insert(a, uid(), n(3)).unwrap(), "re-insert is a no-op");
+        tx.commit(a).unwrap();
+        assert_eq!(db.entry(uid()).unwrap().servers, vec![n(1), n(2), n(3)]);
+        // Remove n1 then abort: restored at its old position.
+        let b = tx.begin_top(n(0));
+        assert!(db.remove(b, uid(), n(1)).unwrap());
+        assert!(!db.remove(b, uid(), n(1)).unwrap());
+        assert_eq!(db.entry(uid()).unwrap().servers, vec![n(2), n(3)]);
+        tx.abort(b);
+        assert_eq!(db.entry(uid()).unwrap().servers, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn insert_requires_quiescence() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        db.increment(a, c(1), uid(), &[n(1)]).unwrap();
+        tx.commit(a).unwrap();
+        // Object in use: a recovered server node's Insert must be refused.
+        let b = tx.begin_top(n(0));
+        assert_eq!(db.insert(b, uid(), n(3)), Err(DbError::NotQuiescent(uid())));
+        tx.abort(b);
+        // After the client decrements, Insert succeeds.
+        let d = tx.begin_top(n(0));
+        db.decrement(d, c(1), uid(), &[n(1)]).unwrap();
+        tx.commit(d).unwrap();
+        let e = tx.begin_top(n(0));
+        assert!(db.insert(e, uid(), n(3)).unwrap());
+        tx.commit(e).unwrap();
+    }
+
+    #[test]
+    fn increment_decrement_lifecycle() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        db.increment(a, c(1), uid(), &[n(1), n(2)]).unwrap();
+        db.increment(a, c(2), uid(), &[n(1)]).unwrap();
+        tx.commit(a).unwrap();
+        let e = db.entry(uid()).unwrap();
+        assert_eq!(e.total_uses(), 3);
+        assert_eq!(e.active_servers(), vec![n(1), n(2)]);
+        assert_eq!(e.clients_of(n(1)), vec![c(1), c(2)]);
+        assert!(!e.is_quiescent());
+        // Decrement c1 everywhere.
+        let b = tx.begin_top(n(0));
+        db.decrement(b, c(1), uid(), &[n(1), n(2)]).unwrap();
+        tx.commit(b).unwrap();
+        let e = db.entry(uid()).unwrap();
+        assert_eq!(e.total_uses(), 1);
+        assert_eq!(e.active_servers(), vec![n(1)]);
+    }
+
+    #[test]
+    fn increment_undone_on_abort() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        db.increment(a, c(1), uid(), &[n(1)]).unwrap();
+        tx.abort(a);
+        assert!(db.entry(uid()).unwrap().is_quiescent());
+    }
+
+    #[test]
+    fn decrement_undone_on_abort() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        db.increment(a, c(1), uid(), &[n(1)]).unwrap();
+        tx.commit(a).unwrap();
+        let b = tx.begin_top(n(0));
+        db.decrement(b, c(1), uid(), &[n(1)]).unwrap();
+        assert!(db.entry(uid()).unwrap().is_quiescent());
+        tx.abort(b);
+        assert_eq!(db.entry(uid()).unwrap().total_uses(), 1);
+    }
+
+    #[test]
+    fn decrement_saturates_at_zero() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        db.decrement(a, c(9), uid(), &[n(1)]).unwrap();
+        tx.commit(a).unwrap();
+        assert!(db.entry(uid()).unwrap().is_quiescent());
+    }
+
+    #[test]
+    fn remove_drops_use_list_and_abort_restores_it() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        db.increment(a, c(1), uid(), &[n(1)]).unwrap();
+        tx.commit(a).unwrap();
+        let b = tx.begin_top(n(0));
+        db.remove(b, uid(), n(1)).unwrap();
+        assert!(db.entry(uid()).unwrap().is_quiescent());
+        tx.abort(b);
+        let e = db.entry(uid()).unwrap();
+        assert_eq!(e.clients_of(n(1)), vec![c(1)], "use list restored");
+    }
+
+    #[test]
+    fn concurrent_readers_share_writer_refused() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let r1 = tx.begin_top(n(0));
+        let r2 = tx.begin_top(n(3));
+        db.get_server(r1, uid()).unwrap();
+        db.get_server(r2, uid()).unwrap();
+        let w = tx.begin_top(n(0));
+        let err = db.insert(w, uid(), n(3)).unwrap_err();
+        assert!(err.is_lock_refused());
+        tx.abort(w);
+        tx.commit(r1).unwrap();
+        tx.commit(r2).unwrap();
+        assert!(tx.locks_empty());
+    }
+
+    #[test]
+    fn purge_client_cleans_all_entries() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let uid2 = Uid::from_raw(2);
+        let a = tx.begin_top(n(0));
+        db.create_entry(a, uid2, vec![n(2)]).unwrap();
+        db.increment(a, c(1), uid(), &[n(1), n(2)]).unwrap();
+        db.increment(a, c(1), uid2, &[n(2)]).unwrap();
+        db.increment(a, c(2), uid2, &[n(2)]).unwrap();
+        tx.commit(a).unwrap();
+        let b = tx.begin_top(n(0));
+        let mut cleaned = db.purge_client(b, c(1)).unwrap();
+        cleaned.sort_unstable();
+        assert_eq!(cleaned, vec![(uid(), n(1)), (uid(), n(2)), (uid2, n(2))]);
+        tx.commit(b).unwrap();
+        assert!(db.entry(uid()).unwrap().is_quiescent());
+        assert_eq!(db.entry(uid2).unwrap().total_uses(), 1, "c2 untouched");
+    }
+
+    #[test]
+    fn purge_undone_on_abort() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        let a = tx.begin_top(n(0));
+        db.increment(a, c(1), uid(), &[n(1)]).unwrap();
+        tx.commit(a).unwrap();
+        let b = tx.begin_top(n(0));
+        db.purge_client(b, c(1)).unwrap();
+        tx.abort(b);
+        assert_eq!(db.entry(uid()).unwrap().total_uses(), 1);
+    }
+
+    #[test]
+    fn entry_display() {
+        let e = ServerEntry::new(vec![n(1), n(2)]);
+        assert_eq!(e.to_string(), "Sv={n1,n2} uses=0");
+    }
+}

@@ -1,0 +1,458 @@
+//! The Object State database: `UID → StA` (§4.2).
+
+use crate::error::DbError;
+use crate::keys::state_entry_key;
+use groupview_actions::{ActionId, LockMode, TxSystem};
+use groupview_sim::NodeId;
+use groupview_store::Uid;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// One object's entry: the set `StA` of nodes whose object stores hold a
+/// (current) state of the object.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateEntry {
+    /// `StA`, in insertion order.
+    pub stores: Vec<NodeId>,
+}
+
+impl StateEntry {
+    /// Creates an entry with the given store set.
+    pub fn new(stores: Vec<NodeId>) -> Self {
+        StateEntry { stores }
+    }
+
+    /// Whether `node` is listed.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.stores.contains(&node)
+    }
+
+    /// Number of listed stores.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Whether the object has no listed store (it is then unavailable).
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+}
+
+impl fmt::Display for StateEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "St={{")?;
+        for (i, s) in self.stores.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// How `Exclude` obtains its lock when the committing client already holds
+/// a read lock on the entry (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExcludePolicy {
+    /// Promote the read lock to a plain write lock. Refused whenever any
+    /// other client holds a read lock — the paper's noted disadvantage.
+    PromoteToWrite,
+    /// Use the type-specific exclude-write lock, which is compatible with
+    /// read locks: concurrent readers do not block the exclusion.
+    ExcludeWriteLock,
+}
+
+impl ExcludePolicy {
+    /// The lock mode this policy requests.
+    pub fn mode(self) -> LockMode {
+        match self {
+            ExcludePolicy::PromoteToWrite => LockMode::Write,
+            ExcludePolicy::ExcludeWriteLock => LockMode::ExcludeWrite,
+        }
+    }
+}
+
+/// Operation counters for the Object State database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateDbOps {
+    /// `GetView` calls served.
+    pub get_view: u64,
+    /// `Include` calls served.
+    pub include: u64,
+    /// `Exclude` calls served (batch = one call).
+    pub exclude: u64,
+    /// Individual store-node exclusions applied.
+    pub excluded_nodes: u64,
+}
+
+struct Inner {
+    entries: HashMap<Uid, StateEntry>,
+    ops: StateDbOps,
+}
+
+/// The Object State database (`UID → StA` mappings).
+///
+/// Servers call [`ObjectStateDb::get_view`] to find stores to load from and
+/// [`ObjectStateDb::exclude`] at commit time to prune stores that missed the
+/// state write; a recovered store node calls [`ObjectStateDb::include`]
+/// after refreshing its states (§4.2). As with the server database, each
+/// entry is independently lock-controlled and all mutations carry undo
+/// records.
+#[derive(Clone)]
+pub struct ObjectStateDb {
+    tx: TxSystem,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for ObjectStateDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectStateDb")
+            .field("entries", &self.inner.borrow().entries.len())
+            .finish()
+    }
+}
+
+impl ObjectStateDb {
+    /// Creates an empty database managed by the given action service.
+    pub fn new(tx: &TxSystem) -> Self {
+        ObjectStateDb {
+            tx: tx.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                entries: HashMap::new(),
+                ops: StateDbOps::default(),
+            })),
+        }
+    }
+
+    /// Creates the entry for a new object with store set `stores`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::AlreadyExists`] or a lock refusal.
+    pub fn create_entry(
+        &self,
+        action: ActionId,
+        uid: Uid,
+        stores: Vec<NodeId>,
+    ) -> Result<(), DbError> {
+        self.tx.lock(action, state_entry_key(uid), LockMode::Write)?;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.entries.contains_key(&uid) {
+                return Err(DbError::AlreadyExists(uid));
+            }
+            inner.entries.insert(uid, StateEntry::new(stores));
+        }
+        let handle = self.inner.clone();
+        self.tx.push_undo(action, move || {
+            handle.borrow_mut().entries.remove(&uid);
+        })?;
+        Ok(())
+    }
+
+    /// `GetView(objectname)`: the list of store nodes, under a read lock.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] or a lock refusal.
+    pub fn get_view(&self, action: ActionId, uid: Uid) -> Result<StateEntry, DbError> {
+        self.tx.lock(action, state_entry_key(uid), LockMode::Read)?;
+        let mut inner = self.inner.borrow_mut();
+        inner.ops.get_view += 1;
+        inner
+            .entries
+            .get(&uid)
+            .cloned()
+            .ok_or(DbError::NotFound(uid))
+    }
+
+    /// `Include(objectname, hostname)`: re-adds a store node whose object
+    /// store again holds the latest committed state. Returns whether the
+    /// host was actually added.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] or a lock refusal.
+    pub fn include(&self, action: ActionId, uid: Uid, host: NodeId) -> Result<bool, DbError> {
+        self.tx.lock(action, state_entry_key(uid), LockMode::Write)?;
+        let added = {
+            let mut inner = self.inner.borrow_mut();
+            inner.ops.include += 1;
+            let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            if entry.contains(host) {
+                false
+            } else {
+                entry.stores.push(host);
+                true
+            }
+        };
+        if added {
+            let handle = self.inner.clone();
+            self.tx.push_undo(action, move || {
+                if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+                    e.stores.retain(|&s| s != host);
+                }
+            })?;
+        }
+        Ok(added)
+    }
+
+    /// `Exclude(<objectname, nodelist>, ...)`: removes, for each object in
+    /// the batch, the named store nodes from its `St` set — the paper's
+    /// commit-time guarantee that `StA` only names nodes holding mutually
+    /// consistent, latest states.
+    ///
+    /// The lock mode is chosen by `policy` (§4.2.1): plain write (read-lock
+    /// promotion — refused under concurrent readers) or the type-specific
+    /// exclude-write lock (compatible with readers). Returns the number of
+    /// store-node entries removed.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] for an unknown object, or a lock refusal — in
+    /// which case, per the paper, the caller's action must abort.
+    pub fn exclude(
+        &self,
+        action: ActionId,
+        batch: &[(Uid, Vec<NodeId>)],
+        policy: ExcludePolicy,
+    ) -> Result<usize, DbError> {
+        // Lock everything first so the batch is all-or-nothing.
+        for (uid, _) in batch {
+            self.tx.lock(action, state_entry_key(*uid), policy.mode())?;
+        }
+        let mut total = 0;
+        for (uid, nodes) in batch {
+            let uid = *uid;
+            let removed: Vec<(usize, NodeId)> = {
+                let mut inner = self.inner.borrow_mut();
+                let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+                let mut removed = Vec::new();
+                for &node in nodes {
+                    if let Some(pos) = entry.stores.iter().position(|&s| s == node) {
+                        entry.stores.remove(pos);
+                        removed.push((pos, node));
+                    }
+                }
+                removed
+            };
+            total += removed.len();
+            if !removed.is_empty() {
+                let handle = self.inner.clone();
+                self.tx.push_undo(action, move || {
+                    if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+                        // Reinsert in reverse so positions stay valid.
+                        for &(pos, node) in removed.iter().rev() {
+                            let pos = pos.min(e.stores.len());
+                            e.stores.insert(pos, node);
+                        }
+                    }
+                })?;
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        inner.ops.exclude += 1;
+        inner.ops.excluded_nodes += total as u64;
+        Ok(total)
+    }
+
+    // ----- unlocked introspection ---------------------------------------
+
+    /// Snapshot of an entry without locking (diagnostics only).
+    pub fn entry(&self, uid: Uid) -> Option<StateEntry> {
+        self.inner.borrow().entries.get(&uid).cloned()
+    }
+
+    /// All object UIDs with entries, sorted.
+    pub fn uids(&self) -> Vec<Uid> {
+        let mut v: Vec<Uid> = self.inner.borrow().entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Operation counters.
+    pub fn ops(&self) -> StateDbOps {
+        self.inner.borrow().ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupview_sim::{Sim, SimConfig};
+    use groupview_store::Stores;
+
+    fn world() -> (Sim, TxSystem, ObjectStateDb) {
+        let sim = Sim::new(SimConfig::new(22).with_nodes(5));
+        let stores = Stores::new(&sim);
+        let tx = TxSystem::new(&sim, &stores);
+        let db = ObjectStateDb::new(&tx);
+        (sim, tx, db)
+    }
+
+    fn uid() -> Uid {
+        Uid::from_raw(1)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn setup(tx: &TxSystem, db: &ObjectStateDb, stores: Vec<NodeId>) {
+        let a = tx.begin_top(n(0));
+        db.create_entry(a, uid(), stores).unwrap();
+        tx.commit(a).unwrap();
+    }
+
+    #[test]
+    fn create_get_view_roundtrip() {
+        let (_, tx, db) = world();
+        setup(&tx, &db, vec![n(1), n(2)]);
+        let a = tx.begin_top(n(0));
+        let e = db.get_view(a, uid()).unwrap();
+        assert_eq!(e.stores, vec![n(1), n(2)]);
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        assert!(e.contains(n(1)));
+        tx.commit(a).unwrap();
+        assert_eq!(db.ops().get_view, 1);
+        assert_eq!(db.uids(), vec![uid()]);
+        assert_eq!(e.to_string(), "St={n1,n2}");
+    }
+
+    #[test]
+    fn exclude_removes_and_abort_restores_order() {
+        let (_, tx, db) = world();
+        setup(&tx, &db, vec![n(1), n(2), n(3)]);
+        let a = tx.begin_top(n(0));
+        let removed = db
+            .exclude(a, &[(uid(), vec![n(1), n(3)])], ExcludePolicy::PromoteToWrite)
+            .unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(db.entry(uid()).unwrap().stores, vec![n(2)]);
+        tx.abort(a);
+        assert_eq!(
+            db.entry(uid()).unwrap().stores,
+            vec![n(1), n(2), n(3)],
+            "abort must restore the original order"
+        );
+    }
+
+    #[test]
+    fn exclude_batch_spans_objects() {
+        let (_, tx, db) = world();
+        setup(&tx, &db, vec![n(1), n(2)]);
+        let uid2 = Uid::from_raw(2);
+        let a = tx.begin_top(n(0));
+        db.create_entry(a, uid2, vec![n(2), n(3)]).unwrap();
+        tx.commit(a).unwrap();
+        let b = tx.begin_top(n(0));
+        let removed = db
+            .exclude(
+                b,
+                &[(uid(), vec![n(2)]), (uid2, vec![n(2), n(9)])],
+                ExcludePolicy::ExcludeWriteLock,
+            )
+            .unwrap();
+        assert_eq!(removed, 2, "n9 was not present and does not count");
+        tx.commit(b).unwrap();
+        assert_eq!(db.entry(uid()).unwrap().stores, vec![n(1)]);
+        assert_eq!(db.entry(uid2).unwrap().stores, vec![n(3)]);
+        assert_eq!(db.ops().excluded_nodes, 2);
+    }
+
+    #[test]
+    fn promotion_policy_blocked_by_concurrent_reader() {
+        // The §4.2.1 problem: reader R and committing client W both hold
+        // read locks; W's promotion to Write is refused.
+        let (_, tx, db) = world();
+        setup(&tx, &db, vec![n(1), n(2)]);
+        let r = tx.begin_top(n(3));
+        db.get_view(r, uid()).unwrap();
+        let w = tx.begin_top(n(0));
+        db.get_view(w, uid()).unwrap();
+        let err = db
+            .exclude(w, &[(uid(), vec![n(2)])], ExcludePolicy::PromoteToWrite)
+            .unwrap_err();
+        assert!(err.is_lock_refused());
+        tx.abort(w);
+        tx.commit(r).unwrap();
+    }
+
+    #[test]
+    fn exclude_write_policy_succeeds_under_readers() {
+        // Same scenario with the type-specific lock: succeeds.
+        let (_, tx, db) = world();
+        setup(&tx, &db, vec![n(1), n(2)]);
+        let r = tx.begin_top(n(3));
+        db.get_view(r, uid()).unwrap();
+        let w = tx.begin_top(n(0));
+        db.get_view(w, uid()).unwrap();
+        let removed = db
+            .exclude(w, &[(uid(), vec![n(2)])], ExcludePolicy::ExcludeWriteLock)
+            .unwrap();
+        assert_eq!(removed, 1);
+        tx.commit(w).unwrap();
+        tx.commit(r).unwrap();
+        assert_eq!(db.entry(uid()).unwrap().stores, vec![n(1)]);
+        assert!(tx.locks_empty());
+    }
+
+    #[test]
+    fn two_concurrent_excluders_serialize() {
+        let (_, tx, db) = world();
+        setup(&tx, &db, vec![n(1), n(2)]);
+        let a = tx.begin_top(n(0));
+        let b = tx.begin_top(n(3));
+        db.exclude(a, &[(uid(), vec![n(1)])], ExcludePolicy::ExcludeWriteLock)
+            .unwrap();
+        let err = db
+            .exclude(b, &[(uid(), vec![n(2)])], ExcludePolicy::ExcludeWriteLock)
+            .unwrap_err();
+        assert!(err.is_lock_refused());
+        tx.commit(a).unwrap();
+        tx.abort(b);
+    }
+
+    #[test]
+    fn include_readds_with_undo() {
+        let (_, tx, db) = world();
+        setup(&tx, &db, vec![n(1)]);
+        let a = tx.begin_top(n(0));
+        assert!(db.include(a, uid(), n(2)).unwrap());
+        assert!(!db.include(a, uid(), n(2)).unwrap(), "idempotent");
+        tx.abort(a);
+        assert_eq!(db.entry(uid()).unwrap().stores, vec![n(1)]);
+        let b = tx.begin_top(n(0));
+        db.include(b, uid(), n(2)).unwrap();
+        tx.commit(b).unwrap();
+        assert_eq!(db.entry(uid()).unwrap().stores, vec![n(1), n(2)]);
+        assert_eq!(db.ops().include, 3);
+    }
+
+    #[test]
+    fn unknown_objects_are_reported() {
+        let (_, tx, db) = world();
+        let a = tx.begin_top(n(0));
+        assert_eq!(db.get_view(a, uid()), Err(DbError::NotFound(uid())));
+        assert_eq!(db.include(a, uid(), n(1)), Err(DbError::NotFound(uid())));
+        assert_eq!(
+            db.exclude(a, &[(uid(), vec![n(1)])], ExcludePolicy::PromoteToWrite),
+            Err(DbError::NotFound(uid()))
+        );
+        tx.abort(a);
+    }
+
+    #[test]
+    fn policy_modes() {
+        assert_eq!(ExcludePolicy::PromoteToWrite.mode(), LockMode::Write);
+        assert_eq!(
+            ExcludePolicy::ExcludeWriteLock.mode(),
+            LockMode::ExcludeWrite
+        );
+    }
+}

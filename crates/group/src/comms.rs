@@ -1,0 +1,503 @@
+//! Multicast machinery: the group table and the two delivery protocols.
+
+use crate::member::GroupMember;
+use crate::view::{GroupId, View};
+use groupview_sim::{NodeId, Sim};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Which multicast protocol a group uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryMode {
+    /// Total order + survivor atomicity (relay on sender crash). What the
+    /// paper requires for replica groups.
+    ReliableOrdered,
+    /// Independent best-effort sends; partial delivery on failure. Exists to
+    /// reproduce the paper's Figure 1 divergence (experiment E1).
+    Unreliable,
+}
+
+/// Statistics for one group's multicast traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MulticastStats {
+    /// Multicasts attempted.
+    pub multicasts: u64,
+    /// Multicasts for which at least one live member did not receive the
+    /// message (possible only in [`DeliveryMode::Unreliable`], or when a
+    /// member crashed concurrently).
+    pub partial_deliveries: u64,
+    /// Relay rounds performed by the reliable protocol.
+    pub relays: u64,
+    /// View changes (joins, leaves, crash evictions).
+    pub view_changes: u64,
+}
+
+/// Failures of group operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupError {
+    /// The group id is not registered.
+    UnknownGroup(GroupId),
+    /// The group currently has no live members to deliver to.
+    NoLiveMembers(GroupId),
+    /// The sending node is down (driver bug).
+    SenderDown(NodeId),
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            GroupError::NoLiveMembers(g) => write!(f, "group {g} has no live members"),
+            GroupError::SenderDown(n) => write!(f, "sending node {n} is down"),
+        }
+    }
+}
+
+impl Error for GroupError {}
+
+/// Result of one multicast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastOutcome {
+    /// The total-order sequence number assigned to the message.
+    pub seq: u64,
+    /// Members that delivered the message, with their reply bytes.
+    pub replies: Vec<(NodeId, Vec<u8>)>,
+    /// Live members that did *not* deliver (divergence candidates).
+    pub missed: Vec<NodeId>,
+    /// Whether a relay round was needed (reliable mode only).
+    pub relayed: bool,
+}
+
+impl MulticastOutcome {
+    /// Reply bytes from the first member that answered.
+    pub fn first_reply(&self) -> Option<&[u8]> {
+        self.replies.first().map(|(_, r)| r.as_slice())
+    }
+}
+
+type MemberHandle = Rc<RefCell<dyn GroupMember>>;
+
+struct GroupState {
+    view: View,
+    mode: DeliveryMode,
+    members: HashMap<NodeId, MemberHandle>,
+    next_seq: u64,
+    stats: MulticastStats,
+}
+
+struct CommsInner {
+    groups: HashMap<GroupId, GroupState>,
+    next_group: u64,
+}
+
+/// The group-communication service.
+///
+/// Cloneable handle, one per world. Groups are created with a
+/// [`DeliveryMode`]; members join with a [`GroupMember`] handle; senders
+/// multicast by group id.
+#[derive(Clone)]
+pub struct GroupComms {
+    sim: Sim,
+    inner: Rc<RefCell<CommsInner>>,
+}
+
+impl fmt::Debug for GroupComms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupComms")
+            .field("groups", &self.inner.borrow().groups.len())
+            .finish()
+    }
+}
+
+impl GroupComms {
+    /// Creates the service for a world.
+    pub fn new(sim: &Sim) -> GroupComms {
+        GroupComms {
+            sim: sim.clone(),
+            inner: Rc::new(RefCell::new(CommsInner {
+                groups: HashMap::new(),
+                next_group: 1,
+            })),
+        }
+    }
+
+    /// Creates an empty group with the given delivery mode.
+    pub fn create_group(&self, mode: DeliveryMode) -> GroupId {
+        let mut inner = self.inner.borrow_mut();
+        let id = GroupId::from_raw(inner.next_group);
+        inner.next_group += 1;
+        inner.groups.insert(
+            id,
+            GroupState {
+                view: View::empty(),
+                mode,
+                members: HashMap::new(),
+                next_seq: 1,
+                stats: MulticastStats::default(),
+            },
+        );
+        id
+    }
+
+    /// Destroys a group entirely (object passivation).
+    pub fn destroy_group(&self, group: GroupId) {
+        self.inner.borrow_mut().groups.remove(&group);
+    }
+
+    /// Adds `node` to the group, handling its deliveries with `member`.
+    /// Re-joining replaces the previous handle without a view change.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::UnknownGroup`] if the group does not exist.
+    pub fn join(
+        &self,
+        group: GroupId,
+        node: NodeId,
+        member: MemberHandle,
+    ) -> Result<View, GroupError> {
+        let mut inner = self.inner.borrow_mut();
+        let g = inner
+            .groups
+            .get_mut(&group)
+            .ok_or(GroupError::UnknownGroup(group))?;
+        if !g.view.contains(node) {
+            g.view.members.push(node);
+            g.view.id += 1;
+            g.stats.view_changes += 1;
+        }
+        g.members.insert(node, member);
+        Ok(g.view.clone())
+    }
+
+    /// Removes `node` from the group.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::UnknownGroup`] if the group does not exist.
+    pub fn leave(&self, group: GroupId, node: NodeId) -> Result<View, GroupError> {
+        let mut inner = self.inner.borrow_mut();
+        let g = inner
+            .groups
+            .get_mut(&group)
+            .ok_or(GroupError::UnknownGroup(group))?;
+        if g.view.contains(node) {
+            g.view.members.retain(|&m| m != node);
+            g.view.id += 1;
+            g.stats.view_changes += 1;
+            g.members.remove(&node);
+        }
+        Ok(g.view.clone())
+    }
+
+    /// The group's current view.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::UnknownGroup`] if the group does not exist.
+    pub fn view(&self, group: GroupId) -> Result<View, GroupError> {
+        let inner = self.inner.borrow();
+        inner
+            .groups
+            .get(&group)
+            .map(|g| g.view.clone())
+            .ok_or(GroupError::UnknownGroup(group))
+    }
+
+    /// Evicts crashed members from the view (failure-detector sweep),
+    /// returning the possibly updated view.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::UnknownGroup`] if the group does not exist.
+    pub fn refresh_view(&self, group: GroupId) -> Result<View, GroupError> {
+        let mut inner = self.inner.borrow_mut();
+        let sim = self.sim.clone();
+        let g = inner
+            .groups
+            .get_mut(&group)
+            .ok_or(GroupError::UnknownGroup(group))?;
+        let before = g.view.members.len();
+        g.view.members.retain(|&m| sim.is_up(m));
+        if g.view.members.len() != before {
+            g.view.id += 1;
+            g.stats.view_changes += 1;
+            g.members.retain(|&m, _| sim.is_up(m));
+        }
+        Ok(g.view.clone())
+    }
+
+    /// Statistics for a group (zeroes for unknown groups).
+    pub fn stats(&self, group: GroupId) -> MulticastStats {
+        self.inner
+            .borrow()
+            .groups
+            .get(&group)
+            .map(|g| g.stats)
+            .unwrap_or_default()
+    }
+
+    /// Multicasts `msg` from `from` to every member of `group`, according
+    /// to the group's delivery mode. `from` need not be a member.
+    ///
+    /// In reliable-ordered mode the call guarantees that every member that
+    /// is still up when the call returns has delivered the message (relaying
+    /// through a receiving member if `from` crashed mid-spray), all with the
+    /// same sequence number. In unreliable mode each member is tried once.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::SenderDown`] if `from` is down at call time,
+    /// [`GroupError::UnknownGroup`], or [`GroupError::NoLiveMembers`] if no
+    /// member is reachable.
+    pub fn multicast(
+        &self,
+        group: GroupId,
+        from: NodeId,
+        msg: &[u8],
+    ) -> Result<MulticastOutcome, GroupError> {
+        if !self.sim.is_up(from) {
+            return Err(GroupError::SenderDown(from));
+        }
+        // Snapshot what we need, then release the borrow: member handlers
+        // must be free to use the simulator.
+        let (mode, seq, targets) = {
+            let mut inner = self.inner.borrow_mut();
+            let g = inner
+                .groups
+                .get_mut(&group)
+                .ok_or(GroupError::UnknownGroup(group))?;
+            let seq = g.next_seq;
+            g.next_seq += 1;
+            g.stats.multicasts += 1;
+            let targets: Vec<(NodeId, MemberHandle)> = g
+                .view
+                .members
+                .iter()
+                .filter_map(|&n| g.members.get(&n).map(|h| (n, h.clone())))
+                .collect();
+            (g.mode, seq, targets)
+        };
+
+        let mut replies = Vec::new();
+        let mut missed = Vec::new();
+        let mut relayed = false;
+
+        for (node, handle) in &targets {
+            let delivered = match self.sim.deliver(from, *node, msg.len() + 16) {
+                Ok(_) => true,
+                Err(_) if mode == DeliveryMode::ReliableOrdered => {
+                    // Sender may have crashed mid-spray, or the link failed.
+                    // Relay through any member that already has the message.
+                    if let Some(&(relay, _)) = replies
+                        .iter()
+                        .map(|(n, _): &(NodeId, Vec<u8>)| n)
+                        .find(|&&r| self.sim.is_up(r))
+                        .map(|n| targets.iter().find(|(tn, _)| tn == n).expect("is a target"))
+                    {
+                        match self.sim.deliver(relay, *node, msg.len() + 16) {
+                            Ok(_) => {
+                                relayed = true;
+                                true
+                            }
+                            Err(_) => false,
+                        }
+                    } else {
+                        false
+                    }
+                }
+                Err(_) => false,
+            };
+            if delivered {
+                let reply = handle.borrow_mut().deliver(seq, msg);
+                // Reply/ack back to the sender; losing it does not undo the
+                // delivery (that asymmetry is the whole point of Figure 1).
+                let _ = self.sim.deliver(*node, from, reply.len() + 16);
+                replies.push((*node, reply));
+            } else if self.sim.is_up(*node) {
+                missed.push(*node);
+            }
+        }
+
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(g) = inner.groups.get_mut(&group) {
+                if !missed.is_empty() {
+                    g.stats.partial_deliveries += 1;
+                }
+                if relayed {
+                    g.stats.relays += 1;
+                }
+            }
+        }
+
+        if replies.is_empty() {
+            return Err(GroupError::NoLiveMembers(group));
+        }
+        Ok(MulticastOutcome {
+            seq,
+            replies,
+            missed,
+            relayed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::RecordingMember;
+    use groupview_sim::SimConfig;
+
+    fn world() -> (Sim, GroupComms) {
+        let sim = Sim::new(SimConfig::new(11).with_nodes(5));
+        let comms = GroupComms::new(&sim);
+        (sim, comms)
+    }
+
+    fn join_recording(
+        comms: &GroupComms,
+        g: GroupId,
+        node: NodeId,
+    ) -> Rc<RefCell<RecordingMember>> {
+        let m = Rc::new(RefCell::new(RecordingMember::default()));
+        comms.join(g, node, m.clone()).unwrap();
+        m
+    }
+
+    #[test]
+    fn reliable_multicast_reaches_all_members_in_order() {
+        let (_sim, comms) = world();
+        let g = comms.create_group(DeliveryMode::ReliableOrdered);
+        let m1 = join_recording(&comms, g, NodeId::new(1));
+        let m2 = join_recording(&comms, g, NodeId::new(2));
+        let out1 = comms.multicast(g, NodeId::new(0), b"op1").unwrap();
+        let out2 = comms.multicast(g, NodeId::new(0), b"op2").unwrap();
+        assert_eq!(out1.seq, 1);
+        assert_eq!(out2.seq, 2);
+        assert_eq!(out1.replies.len(), 2);
+        assert!(out1.missed.is_empty());
+        assert_eq!(m1.borrow().log, m2.borrow().log, "identical order everywhere");
+        assert_eq!(m1.borrow().log.len(), 2);
+    }
+
+    #[test]
+    fn figure1_unreliable_sender_crash_diverges() {
+        // GA = {A1, A2}; B replies and crashes after reaching only A1.
+        let (sim, comms) = world();
+        let ga = comms.create_group(DeliveryMode::Unreliable);
+        let a1 = join_recording(&comms, ga, NodeId::new(1));
+        let a2 = join_recording(&comms, ga, NodeId::new(2));
+        let b = NodeId::new(3);
+        sim.crash_after_sends(b, 1);
+        let out = comms.multicast(ga, b, b"reply").unwrap();
+        assert_eq!(out.replies.len(), 1);
+        assert_eq!(out.missed, vec![NodeId::new(2)]);
+        assert_eq!(a1.borrow().log.len(), 1);
+        assert_eq!(a2.borrow().log.len(), 0, "A2 diverged from A1");
+        assert_eq!(comms.stats(ga).partial_deliveries, 1);
+    }
+
+    #[test]
+    fn figure1_reliable_sender_crash_relays() {
+        // Same scenario with the reliable protocol: A1 relays to A2.
+        let (sim, comms) = world();
+        let ga = comms.create_group(DeliveryMode::ReliableOrdered);
+        let a1 = join_recording(&comms, ga, NodeId::new(1));
+        let a2 = join_recording(&comms, ga, NodeId::new(2));
+        let b = NodeId::new(3);
+        sim.crash_after_sends(b, 1);
+        let out = comms.multicast(ga, b, b"reply").unwrap();
+        assert!(out.relayed);
+        assert!(out.missed.is_empty());
+        assert_eq!(a1.borrow().log, a2.borrow().log, "no divergence");
+        assert_eq!(comms.stats(ga).relays, 1);
+        assert_eq!(comms.stats(ga).partial_deliveries, 0);
+    }
+
+    #[test]
+    fn crashed_member_is_skipped_then_evicted() {
+        let (sim, comms) = world();
+        let g = comms.create_group(DeliveryMode::ReliableOrdered);
+        let m1 = join_recording(&comms, g, NodeId::new(1));
+        let _m2 = join_recording(&comms, g, NodeId::new(2));
+        sim.crash(NodeId::new(2));
+        let out = comms.multicast(g, NodeId::new(0), b"x").unwrap();
+        assert_eq!(out.replies.len(), 1);
+        assert!(out.missed.is_empty(), "a dead member is not 'missed'");
+        assert_eq!(m1.borrow().log.len(), 1);
+        let v = comms.refresh_view(g).unwrap();
+        assert_eq!(v.members, vec![NodeId::new(1)]);
+        assert_eq!(comms.stats(g).view_changes, 3, "2 joins + 1 eviction");
+    }
+
+    #[test]
+    fn no_live_members_is_an_error() {
+        let (sim, comms) = world();
+        let g = comms.create_group(DeliveryMode::ReliableOrdered);
+        let _m = join_recording(&comms, g, NodeId::new(1));
+        sim.crash(NodeId::new(1));
+        assert_eq!(
+            comms.multicast(g, NodeId::new(0), b"x"),
+            Err(GroupError::NoLiveMembers(g))
+        );
+        // Empty group too:
+        let g2 = comms.create_group(DeliveryMode::ReliableOrdered);
+        assert_eq!(
+            comms.multicast(g2, NodeId::new(0), b"x"),
+            Err(GroupError::NoLiveMembers(g2))
+        );
+    }
+
+    #[test]
+    fn sender_down_and_unknown_group_errors() {
+        let (sim, comms) = world();
+        let g = comms.create_group(DeliveryMode::Unreliable);
+        sim.crash(NodeId::new(0));
+        assert_eq!(
+            comms.multicast(g, NodeId::new(0), b"x"),
+            Err(GroupError::SenderDown(NodeId::new(0)))
+        );
+        assert_eq!(
+            comms.multicast(GroupId::from_raw(99), NodeId::new(1), b"x"),
+            Err(GroupError::UnknownGroup(GroupId::from_raw(99)))
+        );
+        assert!(comms.view(GroupId::from_raw(99)).is_err());
+    }
+
+    #[test]
+    fn leave_and_destroy() {
+        let (_sim, comms) = world();
+        let g = comms.create_group(DeliveryMode::ReliableOrdered);
+        join_recording(&comms, g, NodeId::new(1));
+        join_recording(&comms, g, NodeId::new(2));
+        let v = comms.leave(g, NodeId::new(1)).unwrap();
+        assert_eq!(v.members, vec![NodeId::new(2)]);
+        comms.destroy_group(g);
+        assert!(comms.view(g).is_err());
+    }
+
+    #[test]
+    fn rejoining_member_does_not_bump_view() {
+        let (_sim, comms) = world();
+        let g = comms.create_group(DeliveryMode::ReliableOrdered);
+        join_recording(&comms, g, NodeId::new(1));
+        let v1 = comms.view(g).unwrap();
+        join_recording(&comms, g, NodeId::new(1));
+        let v2 = comms.view(g).unwrap();
+        assert_eq!(v1.id, v2.id);
+        assert_eq!(v2.members.len(), 1);
+    }
+
+    #[test]
+    fn first_reply_accessor() {
+        let (_sim, comms) = world();
+        let g = comms.create_group(DeliveryMode::ReliableOrdered);
+        join_recording(&comms, g, NodeId::new(1));
+        let out = comms.multicast(g, NodeId::new(0), b"m").unwrap();
+        assert_eq!(out.first_reply(), Some(&b"ack1"[..]));
+    }
+}

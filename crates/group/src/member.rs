@@ -1,0 +1,47 @@
+//! The receiving side of group communication.
+
+/// A process that receives group multicasts.
+///
+/// Implementors are typically object replicas: `deliver` applies the
+/// operation carried by `msg` and returns the reply bytes. The `seq`
+/// argument is the group's total-order sequence number — every member
+/// receives the same messages with the same sequence numbers, which
+/// implementors may assert to validate ordering.
+///
+/// `deliver` must not call back into [`crate::GroupComms`] for the same
+/// group (the membership table is not re-entrant); sending *new* multicasts
+/// from a delivery should be done after the delivery completes.
+pub trait GroupMember {
+    /// Handles one delivered message, returning reply bytes.
+    fn deliver(&mut self, seq: u64, msg: &[u8]) -> Vec<u8>;
+}
+
+/// A trivial member that records what it saw; useful in tests and examples.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecordingMember {
+    /// `(seq, msg)` pairs in delivery order.
+    pub log: Vec<(u64, Vec<u8>)>,
+}
+
+impl GroupMember for RecordingMember {
+    fn deliver(&mut self, seq: u64, msg: &[u8]) -> Vec<u8> {
+        self.log.push((seq, msg.to_vec()));
+        format!("ack{seq}").into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_member_logs_in_order() {
+        let mut m = RecordingMember::default();
+        assert_eq!(m.deliver(1, b"a"), b"ack1");
+        assert_eq!(m.deliver(2, b"b"), b"ack2");
+        assert_eq!(
+            m.log,
+            vec![(1, b"a".to_vec()), (2, b"b".to_vec())]
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Object activation (paper §3.2, Figures 2–5).
+//!
+//! "Activating `A` will consist of creating a server at the node ∈ SvA and
+//! loading the state from any node ∈ StA" — generalised here to every
+//! `|Sv| × |St|` configuration:
+//!
+//! 1. **Join or select.** If the object is already activated (live, loaded
+//!    replicas exist), the client "must be bound to all of the functioning
+//!    servers ∈ SvA'" — it joins the *existing* activation set, which is
+//!    what keeps all activated copies mutually consistent across client
+//!    actions. Only a passive object gets a fresh server selection.
+//! 2. Bind through the configured scheme ([`groupview_core::Binder`]),
+//!    which also maintains use lists / prunes dead servers per Figures 6–8.
+//! 3. Fetch `St(A)` via `GetView`, run as a nested action so the read lock
+//!    on the state entry is held by the client action (needed later for the
+//!    commit-time `Exclude`).
+//! 4. For a fresh activation, load every bound replica from any reachable
+//!    store in `St` — stores hold only committed states, so a fresh
+//!    activation can never observe uncommitted or stale data.
+//! 5. For active replication, enrol all replicas in the object's reliable
+//!    ordered multicast group.
+
+use crate::error::ActivateError;
+use crate::invoke::{ObjectGroup, ReplicaMember};
+use crate::policy::ReplicationPolicy;
+use crate::system::System;
+use groupview_actions::ActionId;
+use groupview_core::{BindRequest, DbError};
+use groupview_group::DeliveryMode;
+use groupview_sim::{ClientId, NodeId};
+use groupview_store::Uid;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+impl System {
+    /// The object's current activation set: nodes with live, loaded
+    /// replicas. Empty for passive objects.
+    pub(crate) fn activation_set(&self, uid: Uid) -> Vec<NodeId> {
+        let inner = &self.inner;
+        inner
+            .registry
+            .replicas_of(uid)
+            .into_iter()
+            .filter(|(node, handle)| {
+                inner.sim.is_up(*node) && handle.borrow_mut().is_loaded(&inner.sim)
+            })
+            .map(|(node, _)| node)
+            .collect()
+    }
+
+    /// Activates `uid` for a client action; see the module docs.
+    pub(crate) fn do_activate(
+        &self,
+        action: ActionId,
+        client: ClientId,
+        client_node: NodeId,
+        uid: Uid,
+        replicas: usize,
+        read_only: bool,
+    ) -> Result<ObjectGroup, ActivateError> {
+        let inner = &self.inner;
+        // Single-copy passive activates exactly one copy (§2.3(2)(iii)).
+        let k = match inner.policy {
+            ReplicationPolicy::SingleCopyPassive => 1,
+            _ => replicas.max(1),
+        };
+        let mut req = BindRequest::new(client, client_node, uid).with_replicas(k);
+        if read_only {
+            req = req.read_only();
+        }
+        // Join the existing activation, if any (§3.2: bind to all of SvA').
+        let joined = self.activation_set(uid);
+        let fresh = joined.is_empty();
+        if !fresh {
+            req = req.with_required(joined.clone());
+        }
+        let binding = inner.binder.bind(action, &req)?;
+
+        // Any member of the previous activation that this binding could NOT
+        // reach (crashed or partitioned) will miss the coming operations:
+        // expel it — unload its replica so it can never re-enter the
+        // activation set with stale state. Its next activation reloads the
+        // committed state from the object stores.
+        for &node in &joined {
+            if !binding.servers.contains(&node) {
+                if let Some(handle) = inner.registry.get(uid, node) {
+                    handle.borrow_mut().unload(&inner.sim);
+                }
+            }
+        }
+
+        // GetView as a nested action of the client action: the read lock on
+        // the St entry is inherited and held to the client's end.
+        let viewer = binding.servers.first().copied().unwrap_or(client_node);
+        let nested = inner.tx.begin_nested(action);
+        let st_entry = match inner.naming.get_view_from(viewer, nested, uid) {
+            Ok(e) => {
+                inner
+                    .tx
+                    .commit(nested)
+                    .map_err(|e| ActivateError::Db(DbError::Tx(e)))?;
+                e
+            }
+            Err(e) => {
+                inner.tx.abort(nested);
+                return Err(ActivateError::Db(e));
+            }
+        };
+
+        // Fresh activation: load every bound replica from the object stores.
+        // (A joined activation binds only loaded replicas by construction.)
+        if fresh {
+            for &server in &binding.servers {
+                let replica = inner.registry.get_or_create(&inner.sim, uid, server);
+                if replica.borrow_mut().is_loaded(&inner.sim) {
+                    continue;
+                }
+                let mut loaded = false;
+                for &src in &st_entry.stores {
+                    if let Ok(state) = inner.stores.read_remote(server, src, uid) {
+                        if !replica.borrow_mut().load(&inner.sim, &state, &inner.types) {
+                            return Err(ActivateError::UnknownType(uid));
+                        }
+                        loaded = true;
+                        break;
+                    }
+                }
+                if !loaded {
+                    return Err(ActivateError::NoState(uid));
+                }
+            }
+        }
+
+        // Active replication: enrol replicas in the object's group, and
+        // evict members that are no longer part of the activation (e.g. a
+        // node that crashed and recovered: it is up again, but its replica
+        // lost its volatile state and must not receive operations until a
+        // fresh activation reloads it).
+        let comms_group = if inner.policy == ReplicationPolicy::Active {
+            let gid = *inner
+                .active_groups
+                .borrow_mut()
+                .entry(uid)
+                .or_insert_with(|| inner.comms.create_group(DeliveryMode::ReliableOrdered));
+            if let Ok(view) = inner.comms.view(gid) {
+                for member in view.members {
+                    if !binding.servers.contains(&member) {
+                        let _ = inner.comms.leave(gid, member);
+                    }
+                }
+            }
+            for &server in &binding.servers {
+                let replica = inner.registry.get_or_create(&inner.sim, uid, server);
+                let member = ReplicaMember::new(&inner.sim, replica);
+                let _ = inner.comms.join(gid, server, Rc::new(RefCell::new(member)));
+            }
+            Some(gid)
+        } else {
+            None
+        };
+
+        Ok(ObjectGroup {
+            uid,
+            policy: inner.policy,
+            servers: binding.servers.clone(),
+            st_nodes: st_entry.stores,
+            comms_group,
+            req,
+            binding,
+        })
+    }
+}

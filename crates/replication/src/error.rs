@@ -1,0 +1,183 @@
+//! Errors of the replication layer.
+
+use groupview_actions::TxError;
+use groupview_core::{BindError, DbError};
+use groupview_sim::NetError;
+use groupview_store::Uid;
+use std::error::Error;
+use std::fmt;
+
+/// Failures of object activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActivateError {
+    /// Binding to servers failed.
+    Bind(BindError),
+    /// No store in `St` could supply the object's state.
+    NoState(Uid),
+    /// The stored state's class is not registered at the server node.
+    UnknownType(Uid),
+    /// A naming-database failure.
+    Db(DbError),
+}
+
+impl fmt::Display for ActivateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActivateError::Bind(e) => write!(f, "activation failed to bind: {e}"),
+            ActivateError::NoState(uid) => {
+                write!(f, "no store could supply the state of {uid}")
+            }
+            ActivateError::UnknownType(uid) => {
+                write!(f, "no registered class for the stored state of {uid}")
+            }
+            ActivateError::Db(e) => write!(f, "activation database failure: {e}"),
+        }
+    }
+}
+
+impl Error for ActivateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ActivateError::Bind(e) => Some(e),
+            ActivateError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BindError> for ActivateError {
+    fn from(e: BindError) -> Self {
+        ActivateError::Bind(e)
+    }
+}
+
+impl From<DbError> for ActivateError {
+    fn from(e: DbError) -> Self {
+        ActivateError::Db(e)
+    }
+}
+
+/// Failures of operation invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvokeError {
+    /// The object-level lock was refused or the action is dead.
+    Tx(TxError),
+    /// Every bound replica has failed; the action must abort.
+    AllReplicasFailed(Uid),
+    /// The single activated copy failed (single-copy passive policy);
+    /// per §2.3(2)(iii) the action must abort.
+    ServerFailed(Uid),
+    /// A replica exists but holds no loaded state (activation raced a
+    /// crash); the action should abort and retry.
+    NotLoaded(Uid),
+}
+
+impl fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvokeError::Tx(e) => write!(f, "invocation failed: {e}"),
+            InvokeError::AllReplicasFailed(uid) => {
+                write!(f, "all replicas of {uid} have failed")
+            }
+            InvokeError::ServerFailed(uid) => write!(f, "the server for {uid} has failed"),
+            InvokeError::NotLoaded(uid) => write!(f, "replica of {uid} lost its state"),
+        }
+    }
+}
+
+impl Error for InvokeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            InvokeError::Tx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TxError> for InvokeError {
+    fn from(e: TxError) -> Self {
+        InvokeError::Tx(e)
+    }
+}
+
+/// Failures of client-action commit (including commit-time write-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitError {
+    /// Every store in `St` refused the new state; nothing can persist.
+    AllStoresFailed(Uid),
+    /// The commit-time `Exclude` could not obtain its lock — per §4.2.1 the
+    /// client action must abort.
+    Exclude(DbError),
+    /// The underlying two-phase commit failed.
+    Tx(TxError),
+    /// A surviving replica could not supply the final state.
+    NoFinalState(Uid),
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::AllStoresFailed(uid) => {
+                write!(f, "no store in St({uid}) accepted the new state")
+            }
+            CommitError::Exclude(e) => write!(f, "commit-time exclude failed: {e}"),
+            CommitError::Tx(e) => write!(f, "commit failed: {e}"),
+            CommitError::NoFinalState(uid) => {
+                write!(f, "no surviving replica could supply the final state of {uid}")
+            }
+        }
+    }
+}
+
+impl Error for CommitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CommitError::Exclude(e) => Some(e),
+            CommitError::Tx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TxError> for CommitError {
+    fn from(e: TxError) -> Self {
+        CommitError::Tx(e)
+    }
+}
+
+impl From<NetError> for InvokeError {
+    fn from(e: NetError) -> Self {
+        InvokeError::Tx(TxError::Net(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let uid = Uid::from_raw(4);
+        assert!(ActivateError::NoState(uid).to_string().contains("state"));
+        assert!(ActivateError::UnknownType(uid).to_string().contains("class"));
+        assert!(InvokeError::AllReplicasFailed(uid)
+            .to_string()
+            .contains("replicas"));
+        assert!(InvokeError::ServerFailed(uid).to_string().contains("server"));
+        assert!(InvokeError::NotLoaded(uid).to_string().contains("state"));
+        assert!(CommitError::AllStoresFailed(uid).to_string().contains("store"));
+        assert!(CommitError::NoFinalState(uid).to_string().contains("final"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: ActivateError = BindError::Contention.into();
+        assert_eq!(e, ActivateError::Bind(BindError::Contention));
+        let e: ActivateError = DbError::NotFound(Uid::from_raw(1)).into();
+        assert!(matches!(e, ActivateError::Db(_)));
+        let e: InvokeError = NetError::Timeout.into();
+        assert!(matches!(e, InvokeError::Tx(TxError::Net(_))));
+        let e: CommitError = TxError::NotActive(groupview_actions::ActionId::from_raw(1)).into();
+        assert!(matches!(e, CommitError::Tx(_)));
+    }
+}

@@ -1,0 +1,361 @@
+//! Operation invocation under the three replication policies (§2.3(2)).
+
+use crate::error::InvokeError;
+use crate::object::InvokeResult;
+use crate::policy::ReplicationPolicy;
+use crate::replica::ReplicaHandle;
+use crate::system::System;
+use groupview_actions::{ActionId, LockKey, LockMode};
+use groupview_core::{BindRequest, Binding};
+use groupview_group::{GroupId, GroupMember};
+use groupview_sim::{NodeId, Sim};
+use groupview_store::Uid;
+use std::fmt;
+
+/// Lock namespace for object-level concurrency control (the databases use
+/// spaces 1 and 2; see [`groupview_core::keys`]).
+pub const OBJECT_SPACE: u16 = 3;
+
+/// The lock key serialising operations on `uid` itself.
+pub fn object_key(uid: Uid) -> LockKey {
+    LockKey::new(OBJECT_SPACE, uid.raw())
+}
+
+/// A client's handle to an activated object: the bound servers plus the
+/// `St` view captured (and read-locked) at activation.
+#[derive(Debug, Clone)]
+pub struct ObjectGroup {
+    /// The object.
+    pub uid: Uid,
+    /// The replication policy the object is activated under.
+    pub policy: ReplicationPolicy,
+    /// The bound servers (`Sv'`).
+    pub servers: Vec<NodeId>,
+    /// `St(A)` as read at activation (its entry stays read-locked by the
+    /// client action, so it cannot change underneath).
+    pub st_nodes: Vec<NodeId>,
+    /// The multicast group (active replication only).
+    pub(crate) comms_group: Option<GroupId>,
+    /// The original bind request (needed for binding completion).
+    pub(crate) req: BindRequest,
+    /// The binding (registration state, statistics).
+    pub(crate) binding: Binding,
+}
+
+impl ObjectGroup {
+    /// The binding statistics recorded when this group was activated.
+    pub fn binding(&self) -> &Binding {
+        &self.binding
+    }
+}
+
+/// Adapter making a [`ReplicaHandle`] a multicast group member.
+pub(crate) struct ReplicaMember {
+    sim: Sim,
+    replica: ReplicaHandle,
+}
+
+impl ReplicaMember {
+    pub(crate) fn new(sim: &Sim, replica: ReplicaHandle) -> Self {
+        ReplicaMember {
+            sim: sim.clone(),
+            replica,
+        }
+    }
+}
+
+impl fmt::Debug for ReplicaMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicaMember").finish_non_exhaustive()
+    }
+}
+
+impl GroupMember for ReplicaMember {
+    fn deliver(&mut self, _seq: u64, msg: &[u8]) -> Vec<u8> {
+        let Some((op_id, op)) = decode_group_msg(msg) else {
+            return encode_member_reply(None);
+        };
+        let result = self.replica.borrow_mut().invoke(&self.sim, op_id, op);
+        encode_member_reply(result)
+    }
+}
+
+/// `[op_id: u64 LE][op bytes]`
+fn encode_group_msg(op_id: u64, op: &[u8]) -> Vec<u8> {
+    let mut v = op_id.to_le_bytes().to_vec();
+    v.extend_from_slice(op);
+    v
+}
+
+fn decode_group_msg(msg: &[u8]) -> Option<(u64, &[u8])> {
+    let op_id = u64::from_le_bytes(msg.get(..8)?.try_into().ok()?);
+    Some((op_id, msg.get(8..)?))
+}
+
+/// `[status: 0 ok / 1 not-loaded][mutated: 0/1][reply bytes]`
+fn encode_member_reply(result: Option<InvokeResult>) -> Vec<u8> {
+    match result {
+        Some(r) => {
+            let mut v = vec![0u8, u8::from(r.mutated)];
+            v.extend_from_slice(&r.reply);
+            v
+        }
+        None => vec![1u8, 0u8],
+    }
+}
+
+fn decode_member_reply(bytes: &[u8]) -> Option<(bool, bool, Vec<u8>)> {
+    let loaded = *bytes.first()? == 0;
+    let mutated = *bytes.get(1)? == 1;
+    Some((loaded, mutated, bytes.get(2..)?.to_vec()))
+}
+
+impl System {
+    /// Invokes `op` on the activated object behind `group`, on behalf of
+    /// `action`, declaring write (`true`) or read-only (`false`) intent for
+    /// object-level concurrency control.
+    pub(crate) fn do_invoke(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        op: &[u8],
+        write_intent: bool,
+    ) -> Result<Vec<u8>, InvokeError> {
+        let inner = &self.inner;
+        let mode = if write_intent {
+            LockMode::Write
+        } else {
+            LockMode::Read
+        };
+        inner.tx.lock(action, object_key(group.uid), mode)?;
+        let op_id = self.next_op_id();
+        if write_intent {
+            self.push_object_undo(action, group.uid, op_id)?;
+        }
+        let (reply, mutated) = match group.policy {
+            ReplicationPolicy::Active => self.invoke_active(group, op_id, op)?,
+            ReplicationPolicy::CoordinatorCohort => self.invoke_cohort(group, op_id, op)?,
+            ReplicationPolicy::SingleCopyPassive => self.invoke_single(group, op_id, op)?,
+        };
+        if mutated {
+            self.mark_dirty(action, group.uid);
+        }
+        Ok(reply)
+    }
+
+    /// Registers an undo that restores every live replica of `uid` to its
+    /// pre-operation state if the action later aborts.
+    fn push_object_undo(
+        &self,
+        action: ActionId,
+        uid: Uid,
+        op_id: u64,
+    ) -> Result<(), groupview_actions::TxError> {
+        let inner = &self.inner;
+        let mut snapshot = None;
+        let mut handles = Vec::new();
+        for (node, handle) in inner.registry.replicas_of(uid) {
+            if !inner.sim.is_up(node) {
+                continue;
+            }
+            let snap = handle.borrow_mut().snapshot_state(&inner.sim);
+            if let Some(state) = snap {
+                if snapshot.is_none() {
+                    snapshot = Some((state.type_tag, state.data));
+                }
+                handles.push(handle);
+            }
+        }
+        let Some((tag, data)) = snapshot else {
+            return Ok(()); // nothing loaded — nothing to undo
+        };
+        let sim = inner.sim.clone();
+        let types = inner.types.clone();
+        inner.tx.push_undo(action, move || {
+            for handle in &handles {
+                handle
+                    .borrow_mut()
+                    .restore_data(&sim, tag, &data, &[op_id], &types);
+            }
+        })
+    }
+
+    /// §2.3(2)(i): every replica processes the op via reliable ordered
+    /// multicast; crashed replicas are masked while at least one survives.
+    fn invoke_active(
+        &self,
+        group: &ObjectGroup,
+        op_id: u64,
+        op: &[u8],
+    ) -> Result<(Vec<u8>, bool), InvokeError> {
+        let inner = &self.inner;
+        let gid = group
+            .comms_group
+            .ok_or(InvokeError::AllReplicasFailed(group.uid))?;
+        let _ = inner.comms.refresh_view(gid);
+        let msg = encode_group_msg(op_id, op);
+        let outcome = inner
+            .comms
+            .multicast(gid, group.req.client_node, &msg)
+            .map_err(|_| InvokeError::AllReplicasFailed(group.uid))?;
+        // Virtual synchrony: a live member that nevertheless missed the
+        // delivery (network partition) no longer holds current state — it
+        // must be expelled from the activated group, or a later activation
+        // could join its stale copy. Its next activation reloads from the
+        // object stores.
+        for &node in &outcome.missed {
+            if let Some(handle) = inner.registry.get(group.uid, node) {
+                handle.borrow_mut().unload(&inner.sim);
+            }
+            let _ = inner.comms.leave(gid, node);
+        }
+        // Use the first reply from a member that actually holds state; a
+        // member that lost its volatile state answers "not loaded" and is
+        // ignored (it is evicted at the next activation).
+        let mut saw_unloaded = false;
+        for (_, reply) in &outcome.replies {
+            match decode_member_reply(reply) {
+                Some((true, mutated, payload)) => return Ok((payload, mutated)),
+                Some((false, _, _)) => saw_unloaded = true,
+                None => {}
+            }
+        }
+        if saw_unloaded {
+            Err(InvokeError::NotLoaded(group.uid))
+        } else {
+            Err(InvokeError::AllReplicasFailed(group.uid))
+        }
+    }
+
+    /// §2.3(2)(ii): the coordinator (lowest-id live loaded replica)
+    /// processes and checkpoints to the cohorts; on its failure a cohort is
+    /// elected and the operation retried (deduplicated by `op_id`).
+    fn invoke_cohort(
+        &self,
+        group: &ObjectGroup,
+        op_id: u64,
+        op: &[u8],
+    ) -> Result<(Vec<u8>, bool), InvokeError> {
+        let inner = &self.inner;
+        let uid = group.uid;
+        // At most one retry per server: each failure removes a coordinator.
+        for _ in 0..=group.servers.len() {
+            let coordinator = group
+                .servers
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    inner.sim.is_up(s)
+                        && inner
+                            .registry
+                            .get(uid, s)
+                            .is_some_and(|r| r.borrow_mut().is_loaded(&inner.sim))
+                })
+                .min();
+            let Some(coord) = coordinator else {
+                return Err(InvokeError::AllReplicasFailed(uid));
+            };
+            let cohorts: Vec<NodeId> = group
+                .servers
+                .iter()
+                .copied()
+                .filter(|&s| s != coord && inner.sim.is_up(s))
+                .collect();
+            let replica = inner.registry.get(uid, coord).expect("checked loaded");
+            let sim = inner.sim.clone();
+            let registry = inner.registry.clone();
+            let types = inner.types.clone();
+            let op_vec = op.to_vec();
+            let missed_cohorts: std::rc::Rc<std::cell::RefCell<Vec<NodeId>>> =
+                std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let missed_in_handler = missed_cohorts.clone();
+            let result = inner.sim.rpc(
+                group.req.client_node,
+                coord,
+                op.len() + 24,
+                64,
+                move || {
+                    let result = replica.borrow_mut().invoke(&sim, op_id, &op_vec);
+                    if let Some(res) = &result {
+                        if res.mutated {
+                            // Checkpoint the new state to every cohort.
+                            let snapshot = replica.borrow_mut().snapshot_state(&sim);
+                            if let Some(state) = snapshot {
+                                for &cohort in &cohorts {
+                                    let target = registry.get_or_create(&sim, uid, cohort);
+                                    let state = state.clone();
+                                    let entry =
+                                        Some((op_id, res.reply.clone(), res.mutated));
+                                    let types = types.clone();
+                                    let sim_inner = sim.clone();
+                                    if sim
+                                        .send_oneway(coord, cohort, state.wire_size(), move || {
+                                            target.borrow_mut().install_checkpoint(
+                                                &sim_inner,
+                                                &state,
+                                                entry,
+                                                &types,
+                                            );
+                                        })
+                                        .is_err()
+                                        && sim.is_up(cohort)
+                                    {
+                                        // Live but unreachable (partition):
+                                        // the cohort missed this checkpoint
+                                        // and must leave the activated group.
+                                        missed_in_handler.borrow_mut().push(cohort);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    result
+                },
+            );
+            // Expel cohorts that missed the checkpoint (stale copies).
+            for &node in missed_cohorts.borrow().iter() {
+                if let Some(handle) = inner.registry.get(uid, node) {
+                    handle.borrow_mut().unload(&inner.sim);
+                }
+            }
+            match result {
+                Ok(Some(res)) => return Ok((res.reply, res.mutated)),
+                Ok(None) => return Err(InvokeError::NotLoaded(uid)),
+                Err(_) => continue, // coordinator failed; elect the next one
+            }
+        }
+        Err(InvokeError::AllReplicasFailed(uid))
+    }
+
+    /// §2.3(2)(iii): the single activated copy processes; its failure means
+    /// the action must abort.
+    fn invoke_single(
+        &self,
+        group: &ObjectGroup,
+        op_id: u64,
+        op: &[u8],
+    ) -> Result<(Vec<u8>, bool), InvokeError> {
+        let inner = &self.inner;
+        let uid = group.uid;
+        let server = *group
+            .servers
+            .first()
+            .ok_or(InvokeError::ServerFailed(uid))?;
+        let replica = inner
+            .registry
+            .get(uid, server)
+            .ok_or(InvokeError::NotLoaded(uid))?;
+        let sim = inner.sim.clone();
+        let op_vec = op.to_vec();
+        let result = inner
+            .sim
+            .rpc(group.req.client_node, server, op.len() + 24, 64, move || {
+                replica.borrow_mut().invoke(&sim, op_id, &op_vec)
+            });
+        match result {
+            Ok(Some(res)) => Ok((res.reply, res.mutated)),
+            Ok(None) => Err(InvokeError::NotLoaded(uid)),
+            Err(_) => Err(InvokeError::ServerFailed(uid)),
+        }
+    }
+}

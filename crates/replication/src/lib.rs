@@ -1,0 +1,64 @@
+//! Replica management for `groupview`.
+//!
+//! This crate turns the substrates (simulation, stores, actions, groups) and
+//! the naming service into a usable persistent-replicated-object system. It
+//! implements §2.3(2) of the paper — the three **object replication
+//! policies**:
+//!
+//! * [`ReplicationPolicy::Active`]: all bound replicas execute every
+//!   operation, delivered through reliable totally-ordered multicast; up to
+//!   `k−1` replica failures are masked.
+//! * [`ReplicationPolicy::CoordinatorCohort`]: one replica (the lowest-id
+//!   live one) executes and checkpoints its state to the cohorts; on
+//!   coordinator failure a cohort is elected and the operation is retried
+//!   (duplicate execution is suppressed by operation ids).
+//! * [`ReplicationPolicy::SingleCopyPassive`]: a single activated copy; its
+//!   failure aborts the client action; the new state reaches all stores in
+//!   `St` only at commit.
+//!
+//! and §3.2's activation/commit machinery for every `|Sv| × |St|`
+//! configuration (Figures 2–5): activation loads state from any store in
+//! `St`; commit copies the new state to all functioning stores in `St` and
+//! **`Exclude`s the rest** so later bindings can never see stale data; the
+//! read optimisation skips the copy entirely when the object was not
+//! modified.
+//!
+//! The entry point is [`System`] (built with [`SystemBuilder`]) and its
+//! per-application [`Client`] handles:
+//!
+//! ```rust
+//! use groupview_replication::{System, Counter, CounterOp};
+//!
+//! let mut sys = System::builder(7).nodes(5).build();
+//! let nodes = sys.sim().nodes();
+//! let uid = sys
+//!     .create_object(Box::new(Counter::new(0)), &nodes[1..4], &nodes[1..4])
+//!     .expect("create");
+//!
+//! let client = sys.client(nodes[4]);
+//! let action = client.begin();
+//! let group = client.activate(action, uid, 2).expect("activate");
+//! client
+//!     .invoke(action, &group, &CounterOp::Add(5).encode())
+//!     .expect("invoke");
+//! client.commit(action).expect("commit");
+//! ```
+
+pub mod activation;
+pub mod error;
+pub mod invoke;
+pub mod object;
+pub mod policy;
+pub mod replica;
+pub mod system;
+pub mod writeback;
+
+pub use error::{ActivateError, CommitError, InvokeError};
+pub use invoke::ObjectGroup;
+pub use object::{
+    Account, AccountOp, Counter, CounterOp, InvokeResult, KvMap, KvOp, ReplicaObject,
+    TypeRegistry,
+};
+pub use policy::ReplicationPolicy;
+pub use replica::{ReplicaRegistry, ServerReplica};
+pub use system::{Client, System, SystemBuilder};

@@ -1,0 +1,402 @@
+//! Server replicas: activated copies of persistent objects.
+
+use crate::object::{InvokeResult, ReplicaObject, TypeRegistry};
+use groupview_sim::{NodeId, Sim};
+use groupview_store::{ObjectState, TypeTag, Uid, Version, Volatile};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// The loaded, volatile part of a replica.
+struct Loaded {
+    obj: Box<dyn ReplicaObject>,
+    base_version: Version,
+    /// Operation dedup cache: `op_id → (reply, mutated)`. Suppresses
+    /// re-execution when a client retries an operation after a coordinator
+    /// failover that already applied it (checkpoint included the effect).
+    applied: HashMap<u64, (Vec<u8>, bool)>,
+}
+
+impl fmt::Debug for Loaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Loaded")
+            .field("base_version", &self.base_version)
+            .field("applied", &self.applied.len())
+            .finish()
+    }
+}
+
+/// An activated copy of an object at one server node.
+///
+/// The object's in-memory state is **volatile** (wrapped in
+/// [`Volatile`]): a crash of the hosting node silently discards it, and the
+/// next activation reloads from an object store — exactly the paper's
+/// passive-object/activation model (§2.2).
+#[derive(Debug)]
+pub struct ServerReplica {
+    uid: Uid,
+    node: NodeId,
+    state: Volatile<Option<Loaded>>,
+}
+
+impl ServerReplica {
+    /// Creates an unloaded replica of `uid` at `node`.
+    pub fn new(sim: &Sim, uid: Uid, node: NodeId) -> Self {
+        ServerReplica {
+            uid,
+            node,
+            state: Volatile::new(sim, node),
+        }
+    }
+
+    /// The object this replica serves.
+    pub fn uid(&self) -> Uid {
+        self.uid
+    }
+
+    /// The node hosting this replica.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether the replica currently holds a loaded state (crash-aware).
+    pub fn is_loaded(&mut self, sim: &Sim) -> bool {
+        self.state.get(sim).is_some()
+    }
+
+    /// Loads the replica from a stored state.
+    ///
+    /// Returns `false` when the state's class is not in `types` (the node
+    /// lacks the object's code, §3.1).
+    pub fn load(&mut self, sim: &Sim, state: &ObjectState, types: &TypeRegistry) -> bool {
+        let Some(obj) = types.decode(state.type_tag, &state.data) else {
+            return false;
+        };
+        self.state.set(
+            sim,
+            Some(Loaded {
+                obj,
+                base_version: state.version,
+                applied: HashMap::new(),
+            }),
+        );
+        true
+    }
+
+    /// Unloads the replica (passivation: "destroying the server", §2.3(3)).
+    pub fn unload(&mut self, sim: &Sim) {
+        self.state.set(sim, None);
+    }
+
+    /// Executes an operation with at-most-once semantics per `op_id`.
+    /// Returns `None` when no state is loaded.
+    pub fn invoke(&mut self, sim: &Sim, op_id: u64, op: &[u8]) -> Option<InvokeResult> {
+        let loaded = self.state.get_mut(sim).as_mut()?;
+        if let Some((reply, _mutated)) = loaded.applied.get(&op_id) {
+            // Duplicate delivery: return the cached reply without mutating
+            // (and without reporting a fresh mutation).
+            return Some(InvokeResult::read(reply.clone()));
+        }
+        let result = loaded.obj.invoke(op);
+        loaded
+            .applied
+            .insert(op_id, (result.reply.clone(), result.mutated));
+        Some(result)
+    }
+
+    /// A snapshot of the current (possibly uncommitted) state, tagged with
+    /// the replica's base (last committed) version.
+    pub fn snapshot_state(&mut self, sim: &Sim) -> Option<ObjectState> {
+        let loaded = self.state.get_mut(sim).as_mut()?;
+        Some(ObjectState {
+            type_tag: loaded.obj.type_tag(),
+            version: loaded.base_version,
+            data: loaded.obj.snapshot(),
+        })
+    }
+
+    /// The last committed version this replica is based on.
+    pub fn base_version(&mut self, sim: &Sim) -> Option<Version> {
+        self.state.get_mut(sim).as_ref().map(|l| l.base_version)
+    }
+
+    /// Records that the surrounding action committed at `version`.
+    pub fn mark_committed(&mut self, sim: &Sim, version: Version) {
+        if let Some(loaded) = self.state.get_mut(sim).as_mut() {
+            loaded.base_version = version;
+        }
+    }
+
+    /// Installs a coordinator checkpoint: full state plus the dedup entry
+    /// of the operation that produced it.
+    pub fn install_checkpoint(
+        &mut self,
+        sim: &Sim,
+        state: &ObjectState,
+        op_entry: Option<(u64, Vec<u8>, bool)>,
+        types: &TypeRegistry,
+    ) -> bool {
+        let Some(obj) = types.decode(state.type_tag, &state.data) else {
+            return false;
+        };
+        let cell = self.state.get_mut(sim);
+        let applied = match cell.take() {
+            Some(mut prev) => {
+                if let Some((op_id, reply, mutated)) = &op_entry {
+                    prev.applied.insert(*op_id, (reply.clone(), *mutated));
+                }
+                prev.applied
+            }
+            None => {
+                let mut m = HashMap::new();
+                if let Some((op_id, reply, mutated)) = &op_entry {
+                    m.insert(*op_id, (reply.clone(), *mutated));
+                }
+                m
+            }
+        };
+        *cell = Some(Loaded {
+            obj,
+            base_version: state.version,
+            applied,
+        });
+        true
+    }
+
+    /// Restores the object's data (undo of uncommitted invocations); the
+    /// base version and dedup cache are preserved, but the undone
+    /// operations' cache entries are dropped so a retry re-executes them.
+    pub fn restore_data(
+        &mut self,
+        sim: &Sim,
+        tag: TypeTag,
+        data: &[u8],
+        undone_ops: &[u64],
+        types: &TypeRegistry,
+    ) -> bool {
+        let Some(obj) = types.decode(tag, data) else {
+            return false;
+        };
+        if let Some(loaded) = self.state.get_mut(sim).as_mut() {
+            loaded.obj = obj;
+            for op in undone_ops {
+                loaded.applied.remove(op);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Shared handle to a replica.
+pub type ReplicaHandle = Rc<RefCell<ServerReplica>>;
+
+/// Registry of all activated replicas, keyed by `(object, node)`.
+#[derive(Clone, Default)]
+pub struct ReplicaRegistry {
+    inner: Rc<RefCell<HashMap<(Uid, NodeId), ReplicaHandle>>>,
+}
+
+impl fmt::Debug for ReplicaRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicaRegistry")
+            .field("replicas", &self.inner.borrow().len())
+            .finish()
+    }
+}
+
+impl ReplicaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ReplicaRegistry::default()
+    }
+
+    /// The replica of `uid` at `node`, creating an unloaded one if absent.
+    pub fn get_or_create(&self, sim: &Sim, uid: Uid, node: NodeId) -> ReplicaHandle {
+        self.inner
+            .borrow_mut()
+            .entry((uid, node))
+            .or_insert_with(|| Rc::new(RefCell::new(ServerReplica::new(sim, uid, node))))
+            .clone()
+    }
+
+    /// The replica of `uid` at `node`, if one was ever activated.
+    pub fn get(&self, uid: Uid, node: NodeId) -> Option<ReplicaHandle> {
+        self.inner.borrow().get(&(uid, node)).cloned()
+    }
+
+    /// All replicas of `uid`, sorted by node.
+    pub fn replicas_of(&self, uid: Uid) -> Vec<(NodeId, ReplicaHandle)> {
+        let mut v: Vec<(NodeId, ReplicaHandle)> = self
+            .inner
+            .borrow()
+            .iter()
+            .filter(|((u, _), _)| *u == uid)
+            .map(|(&(_, n), h)| (n, h.clone()))
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// Drops every replica of `uid` (passivation).
+    pub fn remove_object(&self, uid: Uid) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let before = inner.len();
+        inner.retain(|&(u, _), _| u != uid);
+        before - inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Counter, CounterOp};
+    use groupview_sim::SimConfig;
+
+    fn world() -> (Sim, TypeRegistry) {
+        (
+            Sim::new(SimConfig::new(3).with_nodes(3)),
+            TypeRegistry::with_builtins(),
+        )
+    }
+
+    fn counter_state(v: i64) -> ObjectState {
+        ObjectState::initial(Counter::TYPE_TAG, Counter::new(v).snapshot())
+    }
+
+    #[test]
+    fn load_invoke_snapshot_cycle() {
+        let (sim, types) = world();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        assert!(!r.is_loaded(&sim));
+        assert!(r.invoke(&sim, 1, &CounterOp::Get.encode()).is_none());
+        assert!(r.load(&sim, &counter_state(10), &types));
+        assert!(r.is_loaded(&sim));
+        let res = r.invoke(&sim, 1, &CounterOp::Add(5).encode()).unwrap();
+        assert!(res.mutated);
+        assert_eq!(CounterOp::decode_reply(&res.reply), Some(15));
+        let snap = r.snapshot_state(&sim).unwrap();
+        assert_eq!(snap.version, Version::INITIAL, "base version until commit");
+        assert_eq!(Counter::decode(&snap.data).value(), 15);
+        assert_eq!(r.uid(), Uid::from_raw(1));
+        assert_eq!(r.node(), NodeId::new(0));
+    }
+
+    #[test]
+    fn crash_discards_loaded_state() {
+        let (sim, types) = world();
+        let n = NodeId::new(1);
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), n);
+        r.load(&sim, &counter_state(5), &types);
+        sim.crash(n);
+        sim.recover(n);
+        assert!(!r.is_loaded(&sim), "volatile state lost");
+        assert!(r.snapshot_state(&sim).is_none());
+        assert!(r.base_version(&sim).is_none());
+    }
+
+    #[test]
+    fn duplicate_op_ids_execute_once() {
+        let (sim, types) = world();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        r.load(&sim, &counter_state(0), &types);
+        let op = CounterOp::Add(1).encode();
+        let first = r.invoke(&sim, 42, &op).unwrap();
+        assert!(first.mutated);
+        let dup = r.invoke(&sim, 42, &op).unwrap();
+        assert!(!dup.mutated, "duplicate must not report a new mutation");
+        assert_eq!(dup.reply, first.reply, "cached reply returned");
+        let check = r.invoke(&sim, 43, &CounterOp::Get.encode()).unwrap();
+        assert_eq!(CounterOp::decode_reply(&check.reply), Some(1));
+    }
+
+    #[test]
+    fn mark_committed_updates_base_version() {
+        let (sim, types) = world();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        r.load(&sim, &counter_state(0), &types);
+        r.mark_committed(&sim, Version::new(3));
+        assert_eq!(r.base_version(&sim), Some(Version::new(3)));
+        assert_eq!(r.snapshot_state(&sim).unwrap().version, Version::new(3));
+    }
+
+    #[test]
+    fn checkpoint_installs_state_and_dedup_entry() {
+        let (sim, types) = world();
+        let mut cohort = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(1));
+        cohort.load(&sim, &counter_state(0), &types);
+        // Coordinator applied op 7 producing value 9; cohort installs.
+        let chk = ObjectState {
+            type_tag: Counter::TYPE_TAG,
+            version: Version::INITIAL,
+            data: Counter::new(9).snapshot(),
+        };
+        assert!(cohort.install_checkpoint(&sim, &chk, Some((7, 9i64.to_le_bytes().to_vec(), true)), &types));
+        // A retried op 7 at the (now promoted) cohort is deduped.
+        let res = cohort.invoke(&sim, 7, &CounterOp::Add(9).encode()).unwrap();
+        assert!(!res.mutated);
+        assert_eq!(CounterOp::decode_reply(&res.reply), Some(9));
+        let get = cohort.invoke(&sim, 8, &CounterOp::Get.encode()).unwrap();
+        assert_eq!(CounterOp::decode_reply(&get.reply), Some(9));
+    }
+
+    #[test]
+    fn checkpoint_onto_unloaded_replica_loads_it() {
+        let (sim, types) = world();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(1));
+        assert!(r.install_checkpoint(&sim, &counter_state(4), None, &types));
+        assert!(r.is_loaded(&sim));
+    }
+
+    #[test]
+    fn restore_data_undoes_and_forgets_ops() {
+        let (sim, types) = world();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        r.load(&sim, &counter_state(10), &types);
+        let before = r.snapshot_state(&sim).unwrap();
+        r.invoke(&sim, 5, &CounterOp::Add(100).encode()).unwrap();
+        assert!(r.restore_data(&sim, before.type_tag, &before.data, &[5], &types));
+        let v = r.invoke(&sim, 6, &CounterOp::Get.encode()).unwrap();
+        assert_eq!(CounterOp::decode_reply(&v.reply), Some(10));
+        // Op 5 can run again after the undo.
+        let again = r.invoke(&sim, 5, &CounterOp::Add(1).encode()).unwrap();
+        assert!(again.mutated);
+    }
+
+    #[test]
+    fn unknown_type_refuses_load() {
+        let (sim, _) = world();
+        let empty = TypeRegistry::default();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        assert!(!r.load(&sim, &counter_state(1), &empty));
+        assert!(!r.is_loaded(&sim));
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let (sim, _types) = world();
+        let reg = ReplicaRegistry::new();
+        let uid = Uid::from_raw(1);
+        assert!(reg.get(uid, NodeId::new(0)).is_none());
+        let h1 = reg.get_or_create(&sim, uid, NodeId::new(0));
+        let h2 = reg.get_or_create(&sim, uid, NodeId::new(0));
+        assert!(Rc::ptr_eq(&h1, &h2), "same replica handle");
+        reg.get_or_create(&sim, uid, NodeId::new(1));
+        reg.get_or_create(&sim, Uid::from_raw(2), NodeId::new(1));
+        assert_eq!(reg.replicas_of(uid).len(), 2);
+        assert_eq!(reg.remove_object(uid), 2);
+        assert!(reg.replicas_of(uid).is_empty());
+        assert!(reg.get(Uid::from_raw(2), NodeId::new(1)).is_some());
+    }
+
+    #[test]
+    fn unload_passivates() {
+        let (sim, types) = world();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        r.load(&sim, &counter_state(1), &types);
+        r.unload(&sim);
+        assert!(!r.is_loaded(&sim));
+    }
+}

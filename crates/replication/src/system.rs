@@ -1,0 +1,748 @@
+//! The `System` façade: the public API a downstream user programs against.
+
+use crate::error::{ActivateError, CommitError, InvokeError};
+use crate::invoke::ObjectGroup;
+use crate::object::{ReplicaObject, TypeRegistry};
+use crate::policy::ReplicationPolicy;
+use crate::replica::ReplicaRegistry;
+use groupview_actions::{ActionId, StoreWriteParticipant, TxSystem};
+use groupview_core::{
+    Binder, BindingScheme, CleanupDaemon, DbError, Directory, ExcludePolicy, NamingService,
+    RecoveryManager, RemoteDirectory, RemoteServerCache, ServerCache,
+};
+use groupview_group::{GroupComms, GroupId};
+use groupview_sim::{ClientId, NetConfig, NodeId, Sim, SimConfig};
+use groupview_store::{ObjectState, Stores, Uid, UidGen, Version};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+pub(crate) struct SystemInner {
+    pub(crate) sim: Sim,
+    pub(crate) stores: Stores,
+    pub(crate) tx: TxSystem,
+    pub(crate) comms: GroupComms,
+    pub(crate) naming: NamingService,
+    pub(crate) binder: Binder,
+    pub(crate) registry: ReplicaRegistry,
+    pub(crate) types: TypeRegistry,
+    pub(crate) recovery: RecoveryManager,
+    pub(crate) cleanup: CleanupDaemon,
+    pub(crate) directory: RemoteDirectory,
+    pub(crate) server_cache: Option<RemoteServerCache>,
+    pub(crate) policy: ReplicationPolicy,
+    pub(crate) exclude_policy: ExcludePolicy,
+    pub(crate) exclude_enabled: bool,
+    pub(crate) active_groups: RefCell<HashMap<Uid, GroupId>>,
+    uid_gen: RefCell<UidGen>,
+    next_op: Cell<u64>,
+    next_client: Cell<u32>,
+    dirty: RefCell<HashSet<(u64, u64)>>,
+}
+
+/// A complete persistent-replicated-object system over a simulated world.
+///
+/// Construct with [`System::builder`]; create objects with
+/// [`System::create_object`]; obtain per-application [`Client`] handles with
+/// [`System::client`]. See the [crate docs](crate) for a full example.
+#[derive(Clone)]
+pub struct System {
+    pub(crate) inner: Rc<SystemInner>,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("policy", &self.inner.policy)
+            .field("scheme", &self.inner.binder.scheme())
+            .field("nodes", &self.inner.sim.num_nodes())
+            .finish()
+    }
+}
+
+/// Configures and builds a [`System`].
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    seed: u64,
+    nodes: usize,
+    scheme: BindingScheme,
+    policy: ReplicationPolicy,
+    exclude_policy: ExcludePolicy,
+    net: NetConfig,
+    naming_node: u32,
+    trace: bool,
+    exclude_enabled: bool,
+}
+
+impl SystemBuilder {
+    /// Number of nodes in the world (default 4). Node 0 hosts the naming
+    /// service unless overridden.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// The database access scheme (default [`BindingScheme::Standard`], as
+    /// in Arjuna: "by default, standard atomic actions are used").
+    pub fn scheme(mut self, scheme: BindingScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// The replication policy (default [`ReplicationPolicy::Active`]).
+    pub fn policy(mut self, policy: ReplicationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// How commit-time `Exclude` locks the state entry (default
+    /// [`ExcludePolicy::ExcludeWriteLock`], the paper's recommendation).
+    pub fn exclude_policy(mut self, p: ExcludePolicy) -> Self {
+        self.exclude_policy = p;
+        self
+    }
+
+    /// Network model overrides.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Which node hosts the naming service (default node 0).
+    pub fn naming_node(mut self, node: NodeId) -> Self {
+        self.naming_node = node.raw();
+        self
+    }
+
+    /// **Ablation only**: disables the commit-time `Exclude` protocol, so
+    /// `St` keeps listing stores that missed state copies. This deliberately
+    /// breaks the paper's §2.3(3) guarantee — experiment E10 uses it to
+    /// measure how many stale bindings the protocol prevents.
+    pub fn ablate_disable_exclude(mut self) -> Self {
+        self.exclude_enabled = false;
+        self
+    }
+
+    /// Enables simulation event tracing.
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 nodes are requested or the naming node is out
+    /// of range.
+    pub fn build(self) -> System {
+        assert!(self.nodes >= 2, "a groupview system needs at least 2 nodes");
+        assert!(
+            (self.naming_node as usize) < self.nodes,
+            "naming node out of range"
+        );
+        let mut cfg = SimConfig::new(self.seed).with_nodes(self.nodes).with_net(self.net);
+        if self.trace {
+            cfg = cfg.with_trace();
+        }
+        let sim = Sim::new(cfg);
+        let stores = Stores::new(&sim);
+        let tx = TxSystem::new(&sim, &stores);
+        let comms = GroupComms::new(&sim);
+        let naming_node = NodeId::new(self.naming_node);
+        let naming = NamingService::new(&sim, &tx, naming_node);
+        let binder = Binder::new(&sim, &naming, self.scheme);
+        let recovery = RecoveryManager::new(&sim, &naming, &stores);
+        let cleanup = CleanupDaemon::new(&sim, &naming);
+        let directory = RemoteDirectory::new(&sim, naming_node, Directory::new(&tx));
+        let server_cache = if self.scheme.uses_server_cache() {
+            Some(RemoteServerCache::new(&sim, naming_node, ServerCache::new()))
+        } else {
+            None
+        };
+        let binder = match &server_cache {
+            Some(cache) => binder.with_cache(cache.clone()),
+            None => binder,
+        };
+        let recovery = match &server_cache {
+            Some(cache) => recovery.with_cache(cache.clone()),
+            None => recovery,
+        };
+        System {
+            inner: Rc::new(SystemInner {
+                registry: ReplicaRegistry::new(),
+                types: TypeRegistry::with_builtins(),
+                policy: self.policy,
+                exclude_policy: self.exclude_policy,
+                exclude_enabled: self.exclude_enabled,
+                active_groups: RefCell::new(HashMap::new()),
+                uid_gen: RefCell::new(UidGen::new(naming_node)),
+                next_op: Cell::new(1),
+                next_client: Cell::new(0),
+                dirty: RefCell::new(HashSet::new()),
+                sim,
+                stores,
+                tx,
+                comms,
+                naming,
+                binder,
+                recovery,
+                cleanup,
+                directory,
+                server_cache,
+            }),
+        }
+    }
+}
+
+impl System {
+    /// Starts building a system with the given deterministic seed.
+    pub fn builder(seed: u64) -> SystemBuilder {
+        SystemBuilder {
+            seed,
+            nodes: 4,
+            scheme: BindingScheme::Standard,
+            policy: ReplicationPolicy::Active,
+            exclude_policy: ExcludePolicy::ExcludeWriteLock,
+            net: NetConfig::default(),
+            naming_node: 0,
+            trace: false,
+            exclude_enabled: true,
+        }
+    }
+
+    // ----- accessors -----------------------------------------------------
+
+    /// The simulation world.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// The object store registry.
+    pub fn stores(&self) -> &Stores {
+        &self.inner.stores
+    }
+
+    /// The atomic action service.
+    pub fn tx(&self) -> &TxSystem {
+        &self.inner.tx
+    }
+
+    /// The naming-and-binding service.
+    pub fn naming(&self) -> &NamingService {
+        &self.inner.naming
+    }
+
+    /// The client-side binder.
+    pub fn binder(&self) -> &Binder {
+        &self.inner.binder
+    }
+
+    /// The group communication service.
+    pub fn comms(&self) -> &GroupComms {
+        &self.inner.comms
+    }
+
+    /// The replica registry.
+    pub fn registry(&self) -> &ReplicaRegistry {
+        &self.inner.registry
+    }
+
+    /// The class registry (pre-loaded with the built-in classes).
+    pub fn types(&self) -> &TypeRegistry {
+        &self.inner.types
+    }
+
+    /// The recovery manager.
+    pub fn recovery(&self) -> &RecoveryManager {
+        &self.inner.recovery
+    }
+
+    /// The use-list cleanup daemon.
+    pub fn cleanup(&self) -> &CleanupDaemon {
+        &self.inner.cleanup
+    }
+
+    /// The name directory (user-given names → UIDs, §2.2), hosted at the
+    /// naming node.
+    pub fn directory(&self) -> &RemoteDirectory {
+        &self.inner.directory
+    }
+
+    /// The non-atomic server cache, present only under
+    /// [`BindingScheme::CachedNameServer`] (the paper's §5 extension).
+    pub fn server_cache(&self) -> Option<&RemoteServerCache> {
+        self.inner.server_cache.as_ref()
+    }
+
+    /// Creates a persistent object *and binds a name to it* in one atomic
+    /// action: if any part fails, neither the object nor the name exists.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::create_object`]; additionally
+    /// [`DbError::AlreadyExists`] if the name is taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sv` or `st` is empty.
+    pub fn create_named_object(
+        &self,
+        name: &str,
+        object: Box<dyn ReplicaObject>,
+        sv: &[NodeId],
+        st: &[NodeId],
+    ) -> Result<Uid, DbError> {
+        assert!(!sv.is_empty(), "an object needs at least one server node");
+        assert!(!st.is_empty(), "an object needs at least one store node");
+        let inner = &self.inner;
+        let uid = inner.uid_gen.borrow_mut().next_uid();
+        let initial = ObjectState::initial(object.type_tag(), object.snapshot());
+        let action = inner.tx.begin_top(inner.naming.node());
+        let result = (|| {
+            inner.directory.local().bind_name(action, name, uid)?;
+            inner
+                .naming
+                .register_object(action, uid, sv.to_vec(), st.to_vec())?;
+            for &node in st {
+                inner.stores.add_store(node);
+                let participant = StoreWriteParticipant::new(
+                    &inner.sim,
+                    &inner.stores,
+                    inner.naming.node(),
+                    node,
+                    TxSystem::token(action),
+                    vec![(uid, initial.clone())],
+                );
+                inner
+                    .tx
+                    .add_participant(action, Box::new(participant))
+                    .map_err(DbError::Tx)?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                inner.tx.commit(action).map_err(DbError::Tx)?;
+                if let Some(cache) = &inner.server_cache {
+                    cache.local().seed(uid, sv.to_vec());
+                }
+                Ok(uid)
+            }
+            Err(e) => {
+                inner.tx.abort(action);
+                Err(e)
+            }
+        }
+    }
+
+    /// The replication policy in force.
+    pub fn policy(&self) -> ReplicationPolicy {
+        self.inner.policy
+    }
+
+    /// The binding scheme in force.
+    pub fn scheme(&self) -> BindingScheme {
+        self.inner.binder.scheme()
+    }
+
+    // ----- object lifecycle ------------------------------------------------
+
+    /// Creates a persistent object: registers it in both databases with
+    /// server set `sv` and store set `st`, and durably writes its initial
+    /// state to every store in `st` — all in one atomic action. Nodes in
+    /// `st` are equipped with object stores if they lack one.
+    ///
+    /// # Errors
+    ///
+    /// Database or commit failures abort the creation atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sv` or `st` is empty.
+    pub fn create_object(
+        &self,
+        object: Box<dyn ReplicaObject>,
+        sv: &[NodeId],
+        st: &[NodeId],
+    ) -> Result<Uid, DbError> {
+        assert!(!sv.is_empty(), "an object needs at least one server node");
+        assert!(!st.is_empty(), "an object needs at least one store node");
+        let inner = &self.inner;
+        let uid = inner.uid_gen.borrow_mut().next_uid();
+        let initial = ObjectState::initial(object.type_tag(), object.snapshot());
+        let action = inner.tx.begin_top(inner.naming.node());
+        if let Err(e) = inner
+            .naming
+            .register_object(action, uid, sv.to_vec(), st.to_vec())
+        {
+            inner.tx.abort(action);
+            return Err(e);
+        }
+        for &node in st {
+            inner.stores.add_store(node);
+            let participant = StoreWriteParticipant::new(
+                &inner.sim,
+                &inner.stores,
+                inner.naming.node(),
+                node,
+                TxSystem::token(action),
+                vec![(uid, initial.clone())],
+            );
+            if let Err(e) = inner.tx.add_participant(action, Box::new(participant)) {
+                inner.tx.abort(action);
+                return Err(DbError::Tx(e));
+            }
+        }
+        inner.tx.commit(action).map_err(DbError::Tx)?;
+        if let Some(cache) = &inner.server_cache {
+            cache.local().seed(uid, sv.to_vec());
+        }
+        Ok(uid)
+    }
+
+    /// Hands out a client handle running at `node`, with a fresh client id.
+    pub fn client(&self, node: NodeId) -> Client {
+        let id = ClientId::new(self.inner.next_client.get());
+        self.inner.next_client.set(id.raw() + 1);
+        self.client_with_id(id, node)
+    }
+
+    /// A client handle with an explicit id (workload drivers).
+    pub fn client_with_id(&self, id: ClientId, node: NodeId) -> Client {
+        Client {
+            sys: self.clone(),
+            id,
+            node,
+            groups: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// Passivates `uid` if it is quiescent: no use-list entries, and no
+    /// in-flight action holds a lock on the object or its database entries
+    /// (§2.3(3): "an active copy of an object which is no longer in use
+    /// will be said to be in a quiescent state; a quiescent object can
+    /// passivate itself by destroying the server"). Unloads and drops all
+    /// replicas and destroys the multicast group. Returns whether
+    /// passivation happened.
+    pub fn try_passivate(&self, uid: Uid) -> bool {
+        let inner = &self.inner;
+        let quiescent = inner
+            .naming
+            .server_db
+            .entry(uid)
+            .is_none_or(|e| e.is_quiescent());
+        if !quiescent {
+            return false;
+        }
+        let in_use = !inner
+            .tx
+            .lock_holders(crate::invoke::object_key(uid))
+            .is_empty()
+            || !inner
+                .tx
+                .lock_holders(groupview_core::keys::state_entry_key(uid))
+                .is_empty()
+            || !inner
+                .tx
+                .lock_holders(groupview_core::keys::server_entry_key(uid))
+                .is_empty();
+        if in_use {
+            return false;
+        }
+        inner.registry.remove_object(uid);
+        if let Some(gid) = inner.active_groups.borrow_mut().remove(&uid) {
+            inner.comms.destroy_group(gid);
+        }
+        true
+    }
+
+    // ----- internal bookkeeping -------------------------------------------
+
+    pub(crate) fn next_op_id(&self) -> u64 {
+        let id = self.inner.next_op.get();
+        self.inner.next_op.set(id + 1);
+        id
+    }
+
+    pub(crate) fn mark_dirty(&self, action: ActionId, uid: Uid) {
+        self.inner.dirty.borrow_mut().insert((action.raw(), uid.raw()));
+    }
+
+    pub(crate) fn is_dirty(&self, action: ActionId, uid: Uid) -> bool {
+        self.inner.dirty.borrow().contains(&(action.raw(), uid.raw()))
+    }
+
+    pub(crate) fn clear_dirty(&self, action: ActionId) {
+        self.inner
+            .dirty
+            .borrow_mut()
+            .retain(|&(a, _)| a != action.raw());
+    }
+
+    pub(crate) fn bump_replica_versions(&self, group: &ObjectGroup, version: Version) {
+        for &node in &group.servers {
+            if !self.inner.sim.is_up(node) {
+                continue;
+            }
+            if let Some(handle) = self.inner.registry.get(group.uid, node) {
+                handle.borrow_mut().mark_committed(&self.inner.sim, version);
+            }
+        }
+    }
+}
+
+/// A client application: runs atomic actions against persistent objects.
+///
+/// Obtained from [`System::client`]. All methods are deterministic given
+/// the world's seed.
+#[derive(Clone)]
+pub struct Client {
+    sys: System,
+    id: ClientId,
+    node: NodeId,
+    /// Object groups activated per action, awaiting binding completion.
+    groups: Rc<RefCell<HashMap<u64, Vec<ObjectGroup>>>>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("id", &self.id)
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl Client {
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Begins a top-level atomic action.
+    pub fn begin(&self) -> ActionId {
+        self.sys.inner.tx.begin_top(self.node)
+    }
+
+    /// Resolves a name through the directory (a nested action of `action`,
+    /// per the paper's lookup-then-bind flow) and activates the object.
+    ///
+    /// # Errors
+    ///
+    /// [`ActivateError::Db`] for unknown names or directory failures, plus
+    /// everything [`Client::activate`] can report.
+    pub fn activate_by_name(
+        &self,
+        action: ActionId,
+        name: &str,
+        replicas: usize,
+    ) -> Result<ObjectGroup, ActivateError> {
+        let nested = self.sys.inner.tx.begin_nested(action);
+        let uid = match self
+            .sys
+            .inner
+            .directory
+            .lookup_from(self.node, nested, name)
+        {
+            Ok(uid) => {
+                self.sys
+                    .inner
+                    .tx
+                    .commit(nested)
+                    .map_err(|e| ActivateError::Db(DbError::Tx(e)))?;
+                uid
+            }
+            Err(e) => {
+                self.sys.inner.tx.abort(nested);
+                return Err(ActivateError::Db(e));
+            }
+        };
+        self.activate(action, uid, replicas)
+    }
+
+    /// Activates `uid` with up to `replicas` servers for read-write use,
+    /// binding according to the system's scheme and loading passive state
+    /// from the object stores as needed.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActivateError`]; per the paper a failed binding means the
+    /// client action must abort ([`Client::abort`]).
+    pub fn activate(
+        &self,
+        action: ActionId,
+        uid: Uid,
+        replicas: usize,
+    ) -> Result<ObjectGroup, ActivateError> {
+        let group = self
+            .sys
+            .do_activate(action, self.id, self.node, uid, replicas, false)?;
+        self.groups
+            .borrow_mut()
+            .entry(action.raw())
+            .or_default()
+            .push(group.clone());
+        Ok(group)
+    }
+
+    /// Activates `uid` for read-only use (enables the standard scheme's
+    /// bind-anywhere optimisation and, with [`Client::invoke_read`], the
+    /// commit-time no-copy optimisation).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::activate`].
+    pub fn activate_read_only(
+        &self,
+        action: ActionId,
+        uid: Uid,
+        replicas: usize,
+    ) -> Result<ObjectGroup, ActivateError> {
+        let group = self
+            .sys
+            .do_activate(action, self.id, self.node, uid, replicas, true)?;
+        self.groups
+            .borrow_mut()
+            .entry(action.raw())
+            .or_default()
+            .push(group.clone());
+        Ok(group)
+    }
+
+    /// Invokes a state-changing operation (object write lock).
+    ///
+    /// # Errors
+    ///
+    /// See [`InvokeError`]; on error the action should be aborted.
+    pub fn invoke(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        op: &[u8],
+    ) -> Result<Vec<u8>, InvokeError> {
+        self.sys.do_invoke(action, group, op, true)
+    }
+
+    /// Invokes a read-only operation (object read lock; concurrent readers
+    /// allowed).
+    ///
+    /// # Errors
+    ///
+    /// See [`InvokeError`].
+    pub fn invoke_read(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        op: &[u8],
+    ) -> Result<Vec<u8>, InvokeError> {
+        self.sys.do_invoke(action, group, op, false)
+    }
+
+    /// Commits the action: copies every modified object's new state to all
+    /// functioning stores in its `St` (excluding the rest), runs two-phase
+    /// commit, and completes bindings per the scheme.
+    ///
+    /// # Errors
+    ///
+    /// On any error the action has been aborted and all its effects undone.
+    pub fn commit(&self, action: ActionId) -> Result<(), CommitError> {
+        let sys = &self.sys;
+        let groups = self
+            .groups
+            .borrow_mut()
+            .remove(&action.raw())
+            .unwrap_or_default();
+
+        // Figure 8: Decrement runs as a nested top-level action *inside*
+        // the client action. A contended decrement is left to the cleanup
+        // daemon rather than failing the commit.
+        if sys.scheme() == BindingScheme::NestedTopLevel {
+            for g in &groups {
+                let _ = sys.inner.binder.complete(Some(action), &g.req, &g.binding);
+            }
+        }
+
+        // Commit-time state copy (with Exclude) for modified objects.
+        let mut committed_versions: Vec<(usize, Version)> = Vec::new();
+        for (i, g) in groups.iter().enumerate() {
+            if sys.is_dirty(action, g.uid) {
+                match sys.do_writeback(action, g) {
+                    Ok(version) => committed_versions.push((i, version)),
+                    Err(e) => {
+                        sys.inner.tx.abort(action);
+                        self.finish_bindings(&groups);
+                        sys.clear_dirty(action);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        match sys.inner.tx.commit(action) {
+            Ok(()) => {
+                for (i, version) in committed_versions {
+                    sys.bump_replica_versions(&groups[i], version);
+                }
+                if sys.scheme() == BindingScheme::IndependentTopLevel {
+                    self.finish_bindings(&groups);
+                }
+                sys.clear_dirty(action);
+                Ok(())
+            }
+            Err(e) => {
+                self.finish_bindings(&groups);
+                sys.clear_dirty(action);
+                Err(CommitError::Tx(e))
+            }
+        }
+    }
+
+    /// Aborts the action, undoing all its effects, and completes any
+    /// registered bindings (the Decrement of Figures 7/8).
+    pub fn abort(&self, action: ActionId) {
+        let groups = self
+            .groups
+            .borrow_mut()
+            .remove(&action.raw())
+            .unwrap_or_default();
+        self.sys.inner.tx.abort(action);
+        self.finish_bindings(&groups);
+        self.sys.clear_dirty(action);
+    }
+
+    /// Simulates this client crashing mid-action: the action is aborted by
+    /// the system (its node noticed the broken binding) but **no binding
+    /// completion runs** — use lists stay incremented until the cleanup
+    /// daemon reclaims them. Returns the leaked group count.
+    pub fn crash_without_cleanup(&self, action: ActionId) -> usize {
+        let groups = self
+            .groups
+            .borrow_mut()
+            .remove(&action.raw())
+            .unwrap_or_default();
+        self.sys.inner.tx.abort(action);
+        self.sys.clear_dirty(action);
+        groups.iter().filter(|g| g.binding.registered).count()
+    }
+
+    /// Best-effort binding completion for the independent scheme (and as a
+    /// fallback for nested-top-level after the action ended).
+    fn finish_bindings(&self, groups: &[ObjectGroup]) {
+        if self.sys.scheme() == BindingScheme::NestedTopLevel {
+            // Already completed inside the action (or deliberately leaked).
+            return;
+        }
+        for g in groups {
+            if g.binding.registered {
+                let _ = self.sys.inner.binder.complete(None, &g.req, &g.binding);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Commit-time state copy with `Exclude` (§2.3(3), §3.2, §4.2).
+//!
+//! "At commit time, an attempt is made to copy the state of the object at α
+//! to the object stores of all the nodes ∈ StA. To ensure that StA contains
+//! the names of only those nodes with mutually consistent states of A, the
+//! names of all those nodes for which the copy operation failed must be
+//! removed from StA."
+//!
+//! The copy is the *prepare* phase of the store write: each store in `St`
+//! durably stages the new state; stores that cannot be reached are
+//! `Exclude`d from `St` within the same client action (so the exclusion
+//! commits or aborts atomically with the state change). The staged writes
+//! then ride the action's two-phase commit via pre-prepared participants.
+//!
+//! Failure rules straight from the paper:
+//! * every store down → the action must abort ([`CommitError::AllStoresFailed`]);
+//! * the `Exclude` lock refused (plain-write promotion under concurrent
+//!   readers) → the action must abort ([`CommitError::Exclude`]);
+//! * the object was never modified → no copy at all (read optimisation).
+
+use crate::error::CommitError;
+use crate::invoke::ObjectGroup;
+use crate::system::System;
+use groupview_actions::{ActionId, Participant, StoreWriteParticipant, TxSystem};
+use groupview_sim::NodeId;
+use groupview_store::{ObjectState, Version};
+
+/// Wraps an already-prepared store write so the action's two-phase commit
+/// does not prepare it twice.
+struct PrePrepared {
+    inner: StoreWriteParticipant,
+}
+
+impl Participant for PrePrepared {
+    fn node(&self) -> NodeId {
+        self.inner.node()
+    }
+
+    fn prepare(&mut self) -> bool {
+        true // staged during write-back
+    }
+
+    fn commit(&mut self) -> bool {
+        self.inner.commit()
+    }
+
+    fn abort(&mut self) {
+        self.inner.abort();
+    }
+}
+
+impl System {
+    /// Stages the modified state of `group`'s object on every functioning
+    /// store in `St`, excluding the unreachable ones, and registers the
+    /// staged writes with `action`'s two-phase commit. Returns the version
+    /// the object will have once the action commits.
+    pub(crate) fn do_writeback(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+    ) -> Result<Version, CommitError> {
+        let inner = &self.inner;
+        let uid = group.uid;
+
+        // The final (uncommitted) state from a surviving replica the action
+        // actually wrote through (the bound set Sv').
+        let mut final_state: Option<ObjectState> = None;
+        for &node in &group.servers {
+            if !inner.sim.is_up(node) {
+                continue;
+            }
+            let Some(handle) = inner.registry.get(uid, node) else {
+                continue;
+            };
+            let snapshot = handle.borrow_mut().snapshot_state(&inner.sim);
+            if let Some(state) = snapshot {
+                final_state = Some(state);
+                break;
+            }
+        }
+        let base = final_state.ok_or(CommitError::NoFinalState(uid))?;
+        let new_version = base.version.next();
+        let new_state = ObjectState {
+            type_tag: base.type_tag,
+            version: new_version,
+            data: base.data,
+        };
+
+        let token = TxSystem::token(action);
+        let coordinator = inner
+            .tx
+            .client_node(action)
+            .unwrap_or(group.req.client_node);
+
+        // Stage on every store in St; collect failures.
+        let mut prepared: Vec<StoreWriteParticipant> = Vec::new();
+        let mut failed: Vec<NodeId> = Vec::new();
+        for &st_node in &group.st_nodes {
+            let mut participant = StoreWriteParticipant::new(
+                &inner.sim,
+                &inner.stores,
+                coordinator,
+                st_node,
+                token,
+                vec![(uid, new_state.clone())],
+            );
+            if participant.prepare() {
+                prepared.push(participant);
+            } else {
+                failed.push(st_node);
+            }
+        }
+
+        if prepared.is_empty() {
+            // "all the nodes ∈ StA are down" — the action must abort.
+            return Err(CommitError::AllStoresFailed(uid));
+        }
+
+        if !failed.is_empty() && inner.exclude_enabled {
+            // Exclude the missed stores within this same action. The client
+            // already holds a read lock on the entry (taken at activation);
+            // the policy decides whether this is a write promotion or the
+            // paper's exclude-write lock.
+            if let Err(e) = inner.naming.exclude_from(
+                coordinator,
+                action,
+                &[(uid, failed.clone())],
+                inner.exclude_policy,
+            ) {
+                for mut p in prepared {
+                    p.abort();
+                }
+                return Err(CommitError::Exclude(e));
+            }
+        }
+
+        for participant in prepared {
+            inner
+                .tx
+                .add_participant(action, Box::new(PrePrepared { inner: participant }))
+                .map_err(CommitError::Tx)?;
+        }
+        Ok(new_version)
+    }
+}

@@ -1,0 +1,435 @@
+//! End-to-end scenarios across the whole replication stack.
+
+use groupview_core::{BindingScheme, ExcludePolicy};
+use groupview_replication::{
+    Account, AccountOp, Counter, CounterOp, InvokeError, ReplicationPolicy, System,
+};
+use groupview_sim::NodeId;
+use groupview_store::Version;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// 6 nodes: n0 naming, n1-n3 servers+stores, n4-n5 client nodes.
+fn system(policy: ReplicationPolicy, scheme: BindingScheme) -> System {
+    System::builder(77)
+        .nodes(6)
+        .policy(policy)
+        .scheme(scheme)
+        .build()
+}
+
+fn create_counter(sys: &System, value: i64) -> groupview_store::Uid {
+    sys.create_object(
+        Box::new(Counter::new(value)),
+        &[n(1), n(2), n(3)],
+        &[n(1), n(2), n(3)],
+    )
+    .expect("create object")
+}
+
+fn counter_value(sys: &System, uid: groupview_store::Uid, client_node: NodeId) -> i64 {
+    let client = sys.client(client_node);
+    let a = client.begin();
+    let g = client.activate_read_only(a, uid, 1).expect("activate ro");
+    let reply = client
+        .invoke_read(a, &g, &CounterOp::Get.encode())
+        .expect("read");
+    client.commit(a).expect("commit read");
+    CounterOp::decode_reply(&reply).expect("reply")
+}
+
+#[test]
+fn full_cycle_all_policies() {
+    for policy in ReplicationPolicy::ALL {
+        let sys = system(policy, BindingScheme::Standard);
+        let uid = create_counter(&sys, 100);
+        let client = sys.client(n(4));
+        let a = client.begin();
+        let g = client.activate(a, uid, 2).expect("activate");
+        let r = client
+            .invoke(a, &g, &CounterOp::Add(11).encode())
+            .expect("invoke");
+        assert_eq!(CounterOp::decode_reply(&r), Some(111), "policy {policy}");
+        client.commit(a).expect("commit");
+        // All three stores hold the committed v1 state.
+        for store in [n(1), n(2), n(3)] {
+            let state = sys.stores().read_local(store, uid).expect("stored");
+            assert_eq!(state.version, Version::new(1), "policy {policy}");
+            assert_eq!(Counter::decode(&state.data).value(), 111);
+        }
+        assert_eq!(counter_value(&sys, uid, n(5)), 111);
+    }
+}
+
+#[test]
+fn abort_undoes_replica_state_and_stores() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    let uid = create_counter(&sys, 50);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 2).expect("activate");
+    client
+        .invoke(a, &g, &CounterOp::Add(999).encode())
+        .expect("invoke");
+    client.abort(a);
+    // Replica in-memory state restored; stores untouched.
+    assert_eq!(counter_value(&sys, uid, n(5)), 50);
+    let state = sys.stores().read_local(n(1), uid).expect("stored");
+    assert_eq!(state.version, Version::INITIAL);
+    assert!(sys.tx().locks_empty(), "no stray locks after abort");
+}
+
+#[test]
+fn active_replication_masks_server_crash_mid_action() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    let uid = create_counter(&sys, 0);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 3).expect("activate");
+    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op1");
+    // One replica dies; the group masks it.
+    sys.sim().crash(n(2));
+    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op2");
+    client.commit(a).expect("commit despite replica crash");
+    assert_eq!(counter_value(&sys, uid, n(5)), 2);
+}
+
+#[test]
+fn coordinator_cohort_failover_mid_action() {
+    let sys = system(ReplicationPolicy::CoordinatorCohort, BindingScheme::Standard);
+    let uid = create_counter(&sys, 0);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 3).expect("activate");
+    client.invoke(a, &g, &CounterOp::Add(5).encode()).expect("op1");
+    // The coordinator (lowest-id live loaded = n1) fails; a cohort that
+    // received the checkpoint takes over transparently.
+    sys.sim().crash(n(1));
+    let r = client
+        .invoke(a, &g, &CounterOp::Add(5).encode())
+        .expect("op2 after failover");
+    assert_eq!(CounterOp::decode_reply(&r), Some(10));
+    client.commit(a).expect("commit");
+    assert_eq!(counter_value(&sys, uid, n(5)), 10);
+}
+
+#[test]
+fn single_copy_passive_crash_aborts_action() {
+    let sys = system(ReplicationPolicy::SingleCopyPassive, BindingScheme::Standard);
+    let uid = create_counter(&sys, 7);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 3).expect("activate");
+    assert_eq!(g.servers.len(), 1, "single copy policy activates one server");
+    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op1");
+    sys.sim().crash(g.servers[0]);
+    let err = client
+        .invoke(a, &g, &CounterOp::Add(1).encode())
+        .expect_err("server crashed");
+    assert_eq!(err, InvokeError::ServerFailed(uid));
+    client.abort(a);
+    // Restart: a fresh activation succeeds on another server node and sees
+    // only committed state.
+    assert_eq!(counter_value(&sys, uid, n(5)), 7);
+}
+
+#[test]
+fn commit_excludes_crashed_store_and_later_recovery_reincludes() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    let uid = create_counter(&sys, 0);
+    // A store node (with no active replica bound) crashes before commit.
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 2).expect("activate"); // binds n1, n2
+    assert_eq!(g.servers, vec![n(1), n(2)]);
+    client.invoke(a, &g, &CounterOp::Add(42).encode()).expect("op");
+    sys.sim().crash(n(3));
+    client.commit(a).expect("commit succeeds without n3");
+    // n3 was excluded from St.
+    let st = sys.naming().state_db.entry(uid).expect("entry");
+    assert_eq!(st.stores, vec![n(1), n(2)]);
+    // Its stable store still has the stale v0 state.
+    sys.sim().recover(n(3));
+    let stale = sys.stores().read_local(n(3), uid).expect("stale state");
+    assert_eq!(stale.version, Version::INITIAL);
+    sys.sim().crash(n(3));
+    // Recovery refreshes and re-includes.
+    let report = sys.recovery().recover_node(n(3));
+    assert_eq!(report.refreshed, vec![uid]);
+    let st = sys.naming().state_db.entry(uid).expect("entry");
+    assert_eq!(st.stores, vec![n(1), n(2), n(3)]);
+    let fresh = sys.stores().read_local(n(3), uid).expect("fresh state");
+    assert_eq!(fresh.version, Version::new(1));
+    assert_eq!(Counter::decode(&fresh.data).value(), 42);
+}
+
+#[test]
+fn read_only_action_skips_state_copy() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    let uid = create_counter(&sys, 5);
+    // Note the store versions before.
+    let v_before = sys.stores().read_local(n(1), uid).unwrap().version;
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate_read_only(a, uid, 1).expect("activate");
+    client
+        .invoke_read(a, &g, &CounterOp::Get.encode())
+        .expect("read");
+    client.commit(a).expect("commit");
+    assert_eq!(
+        sys.stores().read_local(n(1), uid).unwrap().version,
+        v_before,
+        "read optimisation: no copy to object stores"
+    );
+}
+
+#[test]
+fn all_stores_down_aborts_commit() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    let uid = create_counter(&sys, 0);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 2).expect("activate");
+    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op");
+    // Every store node dies before commit. (The bound servers ARE the
+    // store nodes here, so the final state still lives in... nowhere —
+    // replicas are on the same crashed nodes.) Crash only stores' disks is
+    // not possible: crash all three nodes.
+    for i in [1, 2, 3] {
+        sys.sim().crash(n(i));
+    }
+    let err = client.commit(a).expect_err("nothing can persist");
+    // With the replicas gone too, the failure may surface as a missing
+    // final state or as all stores failing — both mean "abort".
+    match err {
+        groupview_replication::CommitError::AllStoresFailed(u)
+        | groupview_replication::CommitError::NoFinalState(u) => assert_eq!(u, uid),
+        other => panic!("unexpected commit error: {other}"),
+    }
+    assert!(sys.tx().locks_empty());
+}
+
+#[test]
+fn independent_scheme_full_client_lifecycle() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::IndependentTopLevel);
+    let uid = create_counter(&sys, 0);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 2).expect("activate");
+    assert!(g.binding().registered);
+    // Use lists are visible while the action runs.
+    let entry = sys.naming().server_db.entry(uid).expect("entry");
+    assert_eq!(entry.total_uses(), 2);
+    client.invoke(a, &g, &CounterOp::Add(3).encode()).expect("op");
+    client.commit(a).expect("commit");
+    // Decrement ran after the action: quiescent again.
+    let entry = sys.naming().server_db.entry(uid).expect("entry");
+    assert!(entry.is_quiescent());
+    assert_eq!(counter_value(&sys, uid, n(5)), 3);
+}
+
+#[test]
+fn nested_top_level_scheme_full_client_lifecycle() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::NestedTopLevel);
+    let uid = create_counter(&sys, 0);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 2).expect("activate");
+    client.invoke(a, &g, &CounterOp::Add(3).encode()).expect("op");
+    client.commit(a).expect("commit");
+    assert!(sys.naming().server_db.entry(uid).unwrap().is_quiescent());
+    assert_eq!(counter_value(&sys, uid, n(5)), 3);
+}
+
+#[test]
+fn crashed_client_leak_reclaimed_by_cleanup_daemon() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::IndependentTopLevel);
+    let uid = create_counter(&sys, 0);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 2).expect("activate");
+    let _ = g;
+    // The client crashes without decrementing.
+    let leaked = client.crash_without_cleanup(a);
+    assert_eq!(leaked, 1);
+    let entry = sys.naming().server_db.entry(uid).unwrap();
+    assert_eq!(entry.total_uses(), 2, "use lists leaked");
+    // Insert (e.g. a recovered server) is refused while the leak persists.
+    assert!(!entry.is_quiescent());
+    // The daemon reclaims once it learns the client is dead.
+    let report = sys.cleanup().sweep(|_| false);
+    assert_eq!(report.reclaimed(), 2);
+    assert!(sys.naming().server_db.entry(uid).unwrap().is_quiescent());
+}
+
+#[test]
+fn passivation_after_quiescence() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::IndependentTopLevel);
+    let uid = create_counter(&sys, 1);
+    let client = sys.client(n(4));
+    let a = client.begin();
+    let g = client.activate(a, uid, 2).expect("activate");
+    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op");
+    assert!(!sys.try_passivate(uid), "in use: cannot passivate");
+    client.commit(a).expect("commit");
+    assert!(sys.try_passivate(uid), "quiescent: passivated");
+    assert!(sys.registry().replicas_of(uid).is_empty());
+    // Re-activation reloads from stores and sees the committed value.
+    assert_eq!(counter_value(&sys, uid, n(5)), 2);
+}
+
+#[test]
+fn object_write_lock_serialises_writers() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    let uid = create_counter(&sys, 0);
+    let c1 = sys.client(n(4));
+    let c2 = sys.client(n(5));
+    let a1 = c1.begin();
+    let g1 = c1.activate(a1, uid, 2).expect("activate 1");
+    c1.invoke(a1, &g1, &CounterOp::Add(1).encode()).expect("op 1");
+    // Second writer is refused at the object lock.
+    let a2 = c2.begin();
+    let g2 = c2.activate(a2, uid, 2).expect("activate 2");
+    let err = c2
+        .invoke(a2, &g2, &CounterOp::Add(1).encode())
+        .expect_err("write-write conflict");
+    assert!(matches!(err, InvokeError::Tx(_)));
+    c2.abort(a2);
+    c1.commit(a1).expect("commit 1");
+    // Now the second client can proceed.
+    let a3 = c2.begin();
+    let g3 = c2.activate(a3, uid, 2).expect("activate 3");
+    c2.invoke(a3, &g3, &CounterOp::Add(1).encode()).expect("op 3");
+    c2.commit(a3).expect("commit 3");
+    assert_eq!(counter_value(&sys, uid, n(4)), 2);
+}
+
+#[test]
+fn concurrent_readers_share_the_object() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    let uid = create_counter(&sys, 9);
+    let c1 = sys.client(n(4));
+    let c2 = sys.client(n(5));
+    let a1 = c1.begin();
+    let a2 = c2.begin();
+    let g1 = c1.activate_read_only(a1, uid, 1).expect("activate 1");
+    let g2 = c2.activate_read_only(a2, uid, 1).expect("activate 2");
+    let r1 = c1.invoke_read(a1, &g1, &CounterOp::Get.encode()).expect("r1");
+    let r2 = c2.invoke_read(a2, &g2, &CounterOp::Get.encode()).expect("r2");
+    assert_eq!(CounterOp::decode_reply(&r1), Some(9));
+    assert_eq!(CounterOp::decode_reply(&r2), Some(9));
+    c1.commit(a1).expect("commit 1");
+    c2.commit(a2).expect("commit 2");
+}
+
+#[test]
+fn bank_transfer_is_atomic_across_two_objects() {
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    let alice = sys
+        .create_object(Box::new(Account::new(100)), &[n(1), n(2)], &[n(1), n(2)])
+        .expect("alice");
+    let bob = sys
+        .create_object(Box::new(Account::new(10)), &[n(2), n(3)], &[n(2), n(3)])
+        .expect("bob");
+    let client = sys.client(n(4));
+
+    // Successful transfer.
+    let a = client.begin();
+    let ga = client.activate(a, alice, 2).expect("activate alice");
+    let gb = client.activate(a, bob, 2).expect("activate bob");
+    let w = client
+        .invoke(a, &ga, &AccountOp::Withdraw(40).encode())
+        .expect("withdraw");
+    assert_eq!(AccountOp::decode_reply(&w), Some(60));
+    client
+        .invoke(a, &gb, &AccountOp::Deposit(40).encode())
+        .expect("deposit");
+    client.commit(a).expect("commit transfer");
+
+    // Failed transfer aborts both legs.
+    let b = client.begin();
+    let ga = client.activate(b, alice, 2).expect("activate alice");
+    let gb = client.activate(b, bob, 2).expect("activate bob");
+    client
+        .invoke(b, &ga, &AccountOp::Withdraw(10).encode())
+        .expect("withdraw");
+    client
+        .invoke(b, &gb, &AccountOp::Deposit(10).encode())
+        .expect("deposit");
+    client.abort(b); // application decides to roll back
+
+    // Balances: only the first transfer happened.
+    let check = sys.client(n(5));
+    let c = check.begin();
+    let ga = check.activate_read_only(c, alice, 1).expect("alice ro");
+    let gb = check.activate_read_only(c, bob, 1).expect("bob ro");
+    let ra = check
+        .invoke_read(c, &ga, &AccountOp::Balance.encode())
+        .expect("balance a");
+    let rb = check
+        .invoke_read(c, &gb, &AccountOp::Balance.encode())
+        .expect("balance b");
+    check.commit(c).expect("commit check");
+    assert_eq!(AccountOp::decode_reply(&ra), Some(60));
+    assert_eq!(AccountOp::decode_reply(&rb), Some(50));
+}
+
+#[test]
+fn exclude_policy_promote_aborts_under_concurrent_reader() {
+    // §4.2.1: with plain write promotion the committing writer aborts when
+    // readers share the St entry; with the exclude-write lock it succeeds.
+    for (policy, expect_ok) in [
+        (ExcludePolicy::PromoteToWrite, false),
+        (ExcludePolicy::ExcludeWriteLock, true),
+    ] {
+        let sys = System::builder(78)
+            .nodes(6)
+            .policy(ReplicationPolicy::Active)
+            .exclude_policy(policy)
+            .build();
+        let uid = create_counter(&sys, 0);
+        // A reader holds a read lock on the St entry (via activation).
+        let reader = sys.client(n(5));
+        let ra = reader.begin();
+        let _rg = reader.activate_read_only(ra, uid, 1).expect("reader");
+        // The writer modifies and commits while a store is down → Exclude.
+        let writer = sys.client(n(4));
+        let wa = writer.begin();
+        let wg = writer.activate(wa, uid, 1).expect("writer");
+        writer
+            .invoke(wa, &wg, &CounterOp::Add(1).encode())
+            .expect("op");
+        sys.sim().crash(n(3));
+        let result = writer.commit(wa);
+        assert_eq!(result.is_ok(), expect_ok, "policy {policy:?}");
+        reader.commit(ra).expect("reader commit");
+    }
+}
+
+#[test]
+fn deterministic_same_seed_same_outcome() {
+    let run = |seed: u64| {
+        let sys = System::builder(seed)
+            .nodes(6)
+            .policy(ReplicationPolicy::Active)
+            .build();
+        let uid = create_counter(&sys, 0);
+        let client = sys.client(n(4));
+        for i in 0..5 {
+            let a = client.begin();
+            let g = client.activate(a, uid, 2).expect("activate");
+            client
+                .invoke(a, &g, &CounterOp::Add(i).encode())
+                .expect("op");
+            client.commit(a).expect("commit");
+        }
+        (
+            counter_value(&sys, uid, n(5)),
+            sys.sim().counters().delivered,
+            sys.sim().now(),
+        )
+    };
+    assert_eq!(run(123), run(123), "identical seeds, identical runs");
+}

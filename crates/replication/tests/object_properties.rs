@@ -1,0 +1,144 @@
+//! Property tests for the object classes: operation and snapshot codecs
+//! round-trip for arbitrary inputs, and replica application matches a
+//! direct model.
+
+use groupview_replication::{
+    Account, AccountOp, Counter, CounterOp, KvMap, KvOp, ReplicaObject,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn counter_op_roundtrip(delta in any::<i64>()) {
+        for op in [CounterOp::Get, CounterOp::Add(delta)] {
+            prop_assert_eq!(CounterOp::decode(&op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn counter_model_equivalence(start in any::<i64>(), deltas in prop::collection::vec(-1_000i64..1_000, 0..20)) {
+        let mut object = Counter::new(start);
+        let mut model = start;
+        for d in &deltas {
+            let result = object.invoke(&CounterOp::Add(*d).encode());
+            model += d;
+            prop_assert_eq!(CounterOp::decode_reply(&result.reply), Some(model));
+            prop_assert!(result.mutated);
+        }
+        // Snapshot/decode preserves the final state exactly.
+        let restored = Counter::decode(&object.snapshot());
+        prop_assert_eq!(restored.value(), model);
+    }
+
+    #[test]
+    fn kv_op_roundtrip(key in "[a-zA-Z0-9/_.-]{0,24}", value in "\\PC{0,32}") {
+        for op in [
+            KvOp::Get(key.clone()),
+            KvOp::Put(key.clone(), value.clone()),
+            KvOp::Delete(key.clone()),
+            KvOp::Len,
+        ] {
+            prop_assert_eq!(KvOp::decode(&op.encode()), Some(op.clone()));
+        }
+    }
+
+    #[test]
+    fn kv_model_equivalence(
+        ops in prop::collection::vec(
+            ("[a-d]", "\\PC{0,16}", 0u8..3),
+            0..30,
+        ),
+    ) {
+        let mut object = KvMap::new();
+        let mut model = std::collections::BTreeMap::<String, String>::new();
+        for (key, value, kind) in &ops {
+            match kind {
+                0 => {
+                    let result = object.invoke(&KvOp::Put(key.clone(), value.clone()).encode());
+                    let prev = model.insert(key.clone(), value.clone()).unwrap_or_default();
+                    prop_assert_eq!(result.reply, prev.into_bytes());
+                    prop_assert!(result.mutated);
+                }
+                1 => {
+                    let result = object.invoke(&KvOp::Get(key.clone()).encode());
+                    let expect = model.get(key).cloned().unwrap_or_default();
+                    prop_assert_eq!(result.reply, expect.into_bytes());
+                    prop_assert!(!result.mutated);
+                }
+                _ => {
+                    let result = object.invoke(&KvOp::Delete(key.clone()).encode());
+                    let prev = model.remove(key).unwrap_or_default();
+                    prop_assert_eq!(result.reply, prev.into_bytes());
+                }
+            }
+        }
+        // Snapshot round-trip equals the model.
+        let restored = KvMap::decode(&object.snapshot());
+        prop_assert_eq!(restored.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(restored.get(k), Some(v.as_str()));
+        }
+    }
+
+    #[test]
+    fn account_op_roundtrip(amount in any::<u64>()) {
+        for op in [
+            AccountOp::Balance,
+            AccountOp::Deposit(amount),
+            AccountOp::Withdraw(amount),
+        ] {
+            prop_assert_eq!(AccountOp::decode(&op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn account_never_overdraws(
+        start in 0u64..1_000_000,
+        ops in prop::collection::vec((0u8..2, 0u64..10_000), 0..30),
+    ) {
+        let mut object = Account::new(start);
+        let mut model = start;
+        for (kind, amount) in &ops {
+            if *kind == 0 {
+                let result = object.invoke(&AccountOp::Deposit(*amount).encode());
+                model += amount;
+                prop_assert_eq!(AccountOp::decode_reply(&result.reply), Some(model));
+            } else {
+                let result = object.invoke(&AccountOp::Withdraw(*amount).encode());
+                if *amount > model {
+                    prop_assert_eq!(
+                        AccountOp::decode_reply(&result.reply),
+                        Some(AccountOp::REFUSED)
+                    );
+                    prop_assert!(!result.mutated, "refused withdrawal must not mutate");
+                } else {
+                    model -= amount;
+                    prop_assert_eq!(AccountOp::decode_reply(&result.reply), Some(model));
+                }
+            }
+            prop_assert_eq!(object.balance(), model);
+        }
+        prop_assert_eq!(Account::decode(&object.snapshot()).balance(), model);
+    }
+
+    /// Garbage bytes never mutate any object and never panic.
+    #[test]
+    fn garbage_ops_are_harmless(bytes in prop::collection::vec(any::<u8>(), 0..40)) {
+        // Skip inputs that happen to decode as valid mutating ops.
+        let mut counter = Counter::new(5);
+        if CounterOp::decode(&bytes).is_none() {
+            prop_assert!(!counter.invoke(&bytes).mutated);
+            prop_assert_eq!(counter.value(), 5);
+        }
+        let mut kv = KvMap::new();
+        if KvOp::decode(&bytes).is_none() {
+            prop_assert!(!kv.invoke(&bytes).mutated);
+        }
+        let mut account = Account::new(5);
+        if AccountOp::decode(&bytes).is_none() {
+            prop_assert!(!account.invoke(&bytes).mutated);
+        }
+    }
+}

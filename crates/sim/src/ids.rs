@@ -1,0 +1,124 @@
+//! Identifiers for the entities participating in a simulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a simulated node (a "workstation" in the paper's model).
+///
+/// Node ids are dense indices assigned by [`crate::Sim`] in creation order,
+/// so they can be used to index per-node tables.
+///
+/// ```rust
+/// use groupview_sim::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node, usable for table lookup.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw numeric id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identity of a logical client application.
+///
+/// A client is an *application program* in the paper's terminology: it runs
+/// atomic actions against persistent objects from some node. Clients are
+/// tracked separately from nodes because several clients may run on one node
+/// and the Object Server database's *use lists* count clients, not nodes.
+///
+/// ```rust
+/// use groupview_sim::ClientId;
+/// assert_eq!(ClientId::new(7).to_string(), "c7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Creates a client id.
+    pub const fn new(id: u32) -> Self {
+        ClientId(id)
+    }
+
+    /// The raw numeric id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The dense index of this client, usable for table lookup.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(v: u32) -> Self {
+        ClientId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let n = NodeId::new(12);
+        assert_eq!(n.index(), 12);
+        assert_eq!(n.raw(), 12);
+        assert_eq!(format!("{n}"), "n12");
+        assert_eq!(NodeId::from(12u32), n);
+    }
+
+    #[test]
+    fn client_id_roundtrip_and_display() {
+        let c = ClientId::new(3);
+        assert_eq!(c.raw(), 3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "c3");
+        assert_eq!(ClientId::from(3u32), c);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(ClientId::new(1) < ClientId::new(2));
+        let set: HashSet<NodeId> = [NodeId::new(1), NodeId::new(1), NodeId::new(2)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Deterministic discrete-event simulation kernel for `groupview`.
+//!
+//! The paper this project reproduces (Little, McCue, Shrivastava,
+//! *Maintaining Information about Persistent Replicated Objects in a
+//! Distributed System*, ICDCS 1993) assumes a set of fail-silent
+//! workstations connected by a local-area network. This crate provides that
+//! substrate as a **deterministic, single-threaded simulation**: every run is
+//! a pure function of its [`SimConfig`] (including the RNG seed), which makes
+//! protocol-level failure interleavings — "the node crashed after delivering
+//! one of its two replies" — exactly reproducible in tests and benchmarks.
+//!
+//! # Responsibilities
+//!
+//! * **Virtual time** ([`SimTime`], [`SimDuration`]) advanced by message
+//!   latencies and explicit charges.
+//! * **Node lifecycle**: nodes are *up* or *crashed* (fail-silent, §2.1 of
+//!   the paper). Each crash bumps the node's *epoch*, which downstream crates
+//!   use to invalidate volatile state automatically.
+//! * **Network model**: per-message latency (base + jitter), probabilistic
+//!   drops, symmetric partitions, and scripted fault points such as
+//!   [`Sim::crash_after_sends`].
+//! * **RPC**: a synchronous request/response helper ([`Sim::rpc`]) that
+//!   preserves the failure asymmetry the paper reasons about — a server may
+//!   execute an invocation and crash *before* the reply is delivered.
+//! * **Cost accounts**: per-client latency/message accounting that stays
+//!   correct when a driver interleaves many logical clients.
+//! * **Event schedule**: timed crash/recovery/custom events for workloads.
+//!
+//! # Example
+//!
+//! ```rust
+//! use groupview_sim::{Sim, SimConfig, NodeId};
+//!
+//! let sim = Sim::new(SimConfig::new(42).with_nodes(3));
+//! let a = NodeId::new(0);
+//! let b = NodeId::new(1);
+//! let reply = sim.rpc(a, b, 64, 16, || "pong").expect("b is up");
+//! assert_eq!(reply, "pong");
+//! sim.crash(b);
+//! assert!(sim.rpc(a, b, 64, 16, || "pong").is_err());
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod rpc;
+pub mod time;
+pub mod trace;
+pub mod world;
+
+pub use config::{NetConfig, SimConfig};
+pub use error::NetError;
+pub use ids::{ClientId, NodeId};
+pub use metrics::{Cost, NetCounters};
+pub use time::{SimDuration, SimTime};
+pub use trace::TraceEvent;
+pub use world::{ScheduledEvent, Sim};

@@ -1,0 +1,127 @@
+//! Optional event tracing for debugging protocol runs.
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single traced simulation event.
+///
+/// Traces are only recorded when [`crate::SimConfig::trace`] is set; they are
+/// invaluable when a seeded failure test misbehaves, and power the
+/// `examples/failover` walk-through.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message was delivered.
+    Deliver {
+        /// Delivery completion time.
+        at: SimTime,
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A message was lost (drop, partition, or dead destination).
+    Lost {
+        /// Time of the attempt.
+        at: SimTime,
+        /// Sending node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Human-readable cause.
+        cause: &'static str,
+    },
+    /// A node crashed.
+    Crash {
+        /// Crash time.
+        at: SimTime,
+        /// The node that failed.
+        node: NodeId,
+    },
+    /// A node recovered.
+    Recover {
+        /// Recovery time.
+        at: SimTime,
+        /// The node that came back.
+        node: NodeId,
+    },
+    /// Free-form annotation emitted by protocol layers.
+    Note {
+        /// Annotation time.
+        at: SimTime,
+        /// The annotation text.
+        text: String,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual time at which this event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Deliver { at, .. }
+            | TraceEvent::Lost { at, .. }
+            | TraceEvent::Crash { at, .. }
+            | TraceEvent::Recover { at, .. }
+            | TraceEvent::Note { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Deliver { at, from, to, bytes } => {
+                write!(f, "[{at}] {from} -> {to} ({bytes}B)")
+            }
+            TraceEvent::Lost { at, from, to, cause } => {
+                write!(f, "[{at}] {from} -x-> {to} ({cause})")
+            }
+            TraceEvent::Crash { at, node } => write!(f, "[{at}] CRASH {node}"),
+            TraceEvent::Recover { at, node } => write!(f, "[{at}] RECOVER {node}"),
+            TraceEvent::Note { at, text } => write!(f, "[{at}] note: {text}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_extracts_time_for_all_variants() {
+        let t = SimTime::from_micros(5);
+        let events = [
+            TraceEvent::Deliver {
+                at: t,
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                bytes: 8,
+            },
+            TraceEvent::Lost {
+                at: t,
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                cause: "drop",
+            },
+            TraceEvent::Crash {
+                at: t,
+                node: NodeId::new(2),
+            },
+            TraceEvent::Recover {
+                at: t,
+                node: NodeId::new(2),
+            },
+            TraceEvent::Note {
+                at: t,
+                text: "hello".into(),
+            },
+        ];
+        for e in &events {
+            assert_eq!(e.at(), t);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,744 @@
+//! The simulation world: nodes, network, virtual clock, fault injection.
+
+use crate::config::SimConfig;
+use crate::error::NetError;
+use crate::ids::NodeId;
+use crate::metrics::{Cost, NetCounters};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// An event scheduled at a virtual time, executed by [`Sim::run_due_events`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ScheduledEvent {
+    /// Crash the node at the scheduled time.
+    Crash(NodeId),
+    /// Recover the node at the scheduled time. The driver is expected to run
+    /// the appropriate recovery protocol afterwards (the simulator only flips
+    /// liveness).
+    Recover(NodeId),
+    /// An opaque marker returned to the driver (e.g. "run cleanup daemon").
+    Custom(u64),
+}
+
+#[derive(Debug)]
+struct NodeState {
+    up: bool,
+    /// Incremented on every crash; volatile state tagged with an older epoch
+    /// is considered lost (see `groupview-store`'s `Volatile`).
+    epoch: u64,
+    /// Scripted fault point: crash this node after it completes this many
+    /// more successful sends.
+    crash_after_sends: Option<u32>,
+}
+
+#[derive(Debug)]
+struct SimCore {
+    cfg: SimConfig,
+    clock: SimTime,
+    rng: StdRng,
+    nodes: Vec<NodeState>,
+    /// Symmetric blocked pairs, stored with the smaller id first.
+    blocked: HashSet<(NodeId, NodeId)>,
+    counters: NetCounters,
+    accounts: HashMap<u64, Cost>,
+    active_account: Option<u64>,
+    schedule: BinaryHeap<Reverse<(SimTime, u64, ScheduledEvent)>>,
+    schedule_seq: u64,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+/// Handle to a simulation world.
+///
+/// `Sim` is a cheap, cloneable handle (`Rc`-based — the simulator is
+/// deliberately single-threaded for determinism). All protocol layers keep a
+/// clone and interact with the world through it.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<RefCell<SimCore>>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let core = self.inner.borrow();
+        f.debug_struct("Sim")
+            .field("clock", &core.clock)
+            .field("nodes", &core.nodes.len())
+            .field("counters", &core.counters)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a new world from a configuration.
+    pub fn new(cfg: SimConfig) -> Sim {
+        let nodes = (0..cfg.nodes)
+            .map(|_| NodeState {
+                up: true,
+                epoch: 0,
+                crash_after_sends: None,
+            })
+            .collect();
+        Sim {
+            inner: Rc::new(RefCell::new(SimCore {
+                rng: StdRng::seed_from_u64(cfg.seed),
+                clock: SimTime::ZERO,
+                nodes,
+                blocked: HashSet::new(),
+                counters: NetCounters::default(),
+                accounts: HashMap::new(),
+                active_account: None,
+                schedule: BinaryHeap::new(),
+                schedule_seq: 0,
+                trace: if cfg.trace { Some(Vec::new()) } else { None },
+                cfg,
+            })),
+        }
+    }
+
+    /// The configuration this world was created with.
+    pub fn config(&self) -> SimConfig {
+        self.inner.borrow().cfg
+    }
+
+    /// Adds a node to the world, returning its id.
+    pub fn add_node(&self) -> NodeId {
+        let mut core = self.inner.borrow_mut();
+        let id = NodeId::new(core.nodes.len() as u32);
+        core.nodes.push(NodeState {
+            up: true,
+            epoch: 0,
+            crash_after_sends: None,
+        });
+        id
+    }
+
+    /// Number of nodes in the world.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// All node ids, in creation order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId::new).collect()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().clock
+    }
+
+    /// Advances the clock without charging any account (driver idle time).
+    pub fn advance(&self, d: SimDuration) {
+        self.inner.borrow_mut().clock += d;
+    }
+
+    // ----- node lifecycle ---------------------------------------------------
+
+    /// Whether the node is currently functioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this world.
+    pub fn is_up(&self, n: NodeId) -> bool {
+        self.inner.borrow().nodes[n.index()].up
+    }
+
+    /// The node's crash epoch: incremented on every crash. Volatile state
+    /// tagged with an older epoch must be treated as lost.
+    pub fn epoch(&self, n: NodeId) -> u64 {
+        self.inner.borrow().nodes[n.index()].epoch
+    }
+
+    /// Crashes a node (fail-silent). Idempotent.
+    pub fn crash(&self, n: NodeId) {
+        let mut core = self.inner.borrow_mut();
+        core.crash_node(n);
+    }
+
+    /// Recovers a crashed node. The node's volatile state stays lost (its
+    /// epoch was bumped at crash time); stable storage is unaffected.
+    /// Idempotent.
+    pub fn recover(&self, n: NodeId) {
+        let mut core = self.inner.borrow_mut();
+        if !core.nodes[n.index()].up {
+            core.nodes[n.index()].up = true;
+            core.nodes[n.index()].crash_after_sends = None;
+            core.counters.recoveries += 1;
+            let at = core.clock;
+            core.trace(TraceEvent::Recover { at, node: n });
+        }
+    }
+
+    /// Scripted fault point: node `n` crashes immediately after completing
+    /// its next `k` successful sends.
+    ///
+    /// This reproduces the paper's Figure 1 scenario ("B fails during
+    /// delivery of the reply to GA" such that A1 receives the reply but A2
+    /// does not): set `k = 1` before `B` sprays its replies.
+    pub fn crash_after_sends(&self, n: NodeId, k: u32) {
+        self.inner.borrow_mut().nodes[n.index()].crash_after_sends = Some(k);
+    }
+
+    // ----- partitions -------------------------------------------------------
+
+    /// Blocks all traffic between `a` and `b` (symmetric).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.inner.borrow_mut().blocked.insert(norm_pair(a, b));
+    }
+
+    /// Restores traffic between `a` and `b`.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.inner.borrow_mut().blocked.remove(&norm_pair(a, b));
+    }
+
+    /// Partitions the world into two sides: every cross-side pair is blocked.
+    pub fn partition_groups(&self, side_a: &[NodeId], side_b: &[NodeId]) {
+        let mut core = self.inner.borrow_mut();
+        for &a in side_a {
+            for &b in side_b {
+                core.blocked.insert(norm_pair(a, b));
+            }
+        }
+    }
+
+    /// Removes all partitions.
+    pub fn heal_all(&self) {
+        self.inner.borrow_mut().blocked.clear();
+    }
+
+    /// Whether traffic between `a` and `b` is currently blocked.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.inner.borrow().blocked.contains(&norm_pair(a, b))
+    }
+
+    // ----- randomness -------------------------------------------------------
+
+    /// Uniform `f64` in `[0, 1)` from the seeded generator.
+    pub fn random_f64(&self) -> f64 {
+        self.inner.borrow_mut().rng.random()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random_below(&self, n: u64) -> u64 {
+        assert!(n > 0, "random_below(0)");
+        self.inner.borrow_mut().rng.random_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.random_f64() < p
+        }
+    }
+
+    /// Fisher–Yates shuffle using the seeded generator.
+    pub fn shuffle<T>(&self, items: &mut [T]) {
+        let mut core = self.inner.borrow_mut();
+        for i in (1..items.len()).rev() {
+            let j = core.rng.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    // ----- cost accounts ----------------------------------------------------
+
+    /// Sets the account subsequent message costs are charged to.
+    ///
+    /// Workload drivers set this to the acting client's id before running a
+    /// client step, so per-client latency is measured correctly even though
+    /// the world is single-threaded.
+    pub fn set_active_account(&self, account: Option<u64>) {
+        self.inner.borrow_mut().active_account = account;
+    }
+
+    /// The currently active account, if any.
+    pub fn active_account(&self) -> Option<u64> {
+        self.inner.borrow().active_account
+    }
+
+    /// Resets an account to zero cost.
+    pub fn account_reset(&self, account: u64) {
+        self.inner.borrow_mut().accounts.insert(account, Cost::ZERO);
+    }
+
+    /// Reads an account's accumulated cost.
+    pub fn account_cost(&self, account: u64) -> Cost {
+        self.inner
+            .borrow()
+            .accounts
+            .get(&account)
+            .copied()
+            .unwrap_or(Cost::ZERO)
+    }
+
+    /// Charges local (non-network) work to the clock and active account,
+    /// e.g. a stable-storage force.
+    pub fn charge_local(&self, d: SimDuration) {
+        let mut core = self.inner.borrow_mut();
+        core.clock += d;
+        core.charge(d, 0);
+    }
+
+    /// Charges the configured stable-storage write cost.
+    pub fn charge_stable_write(&self) {
+        let d = self.inner.borrow().cfg.net.stable_write;
+        self.charge_local(d);
+    }
+
+    // ----- messaging --------------------------------------------------------
+
+    /// Attempts to deliver one message from `from` to `to`.
+    ///
+    /// On success the clock advances by the sampled latency, which is charged
+    /// to the active account, and the latency is returned. On failure the
+    /// clock does **not** advance here — RPC-level code charges the timeout
+    /// (see [`Sim::charge_timeout`]) because only the caller knows whether it
+    /// waits.
+    ///
+    /// Scripted `crash_after_sends` fault points fire after a successful
+    /// send completes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NodeDown`] if either endpoint is crashed,
+    /// [`NetError::Partitioned`] if the pair is partitioned, and
+    /// [`NetError::Dropped`] on a random loss.
+    pub fn deliver(&self, from: NodeId, to: NodeId, bytes: usize) -> Result<SimDuration, NetError> {
+        let mut core = self.inner.borrow_mut();
+        let at = core.clock;
+        if !core.nodes[from.index()].up {
+            core.counters.to_down_node += 1;
+            core.trace(TraceEvent::Lost { at, from, to, cause: "sender down" });
+            return Err(NetError::NodeDown(from));
+        }
+        if core.blocked.contains(&norm_pair(from, to)) {
+            core.counters.partitioned += 1;
+            core.trace(TraceEvent::Lost { at, from, to, cause: "partitioned" });
+            return Err(NetError::Partitioned { from, to });
+        }
+        let p = core.cfg.net.drop_probability;
+        if p > 0.0 && core.rng.random::<f64>() < p {
+            core.counters.dropped += 1;
+            core.trace(TraceEvent::Lost { at, from, to, cause: "dropped" });
+            return Err(NetError::Dropped);
+        }
+        if !core.nodes[to.index()].up {
+            core.counters.to_down_node += 1;
+            core.trace(TraceEvent::Lost { at, from, to, cause: "receiver down" });
+            return Err(NetError::NodeDown(to));
+        }
+        let jitter = core.cfg.net.jitter.as_micros();
+        let extra = if jitter == 0 { 0 } else { core.rng.random_range(0..=jitter) };
+        let latency = core.cfg.net.base_latency + SimDuration::from_micros(extra);
+        core.clock += latency;
+        core.charge(latency, 1);
+        core.counters.delivered += 1;
+        core.counters.bytes_delivered += bytes as u64;
+        let at = core.clock;
+        core.trace(TraceEvent::Deliver { at, from, to, bytes });
+        // Fire scripted fault point after the send completed.
+        if let Some(k) = core.nodes[from.index()].crash_after_sends {
+            if k <= 1 {
+                core.crash_node(from);
+            } else {
+                core.nodes[from.index()].crash_after_sends = Some(k - 1);
+            }
+        }
+        Ok(latency)
+    }
+
+    /// Charges one RPC timeout to the clock, the active account, and the
+    /// timeout counter.
+    pub fn charge_timeout(&self) {
+        let mut core = self.inner.borrow_mut();
+        let d = core.cfg.net.rpc_timeout;
+        core.clock += d;
+        core.charge(d, 1);
+        core.counters.timeouts += 1;
+    }
+
+    // ----- schedule ---------------------------------------------------------
+
+    /// Schedules an event at an absolute virtual time.
+    pub fn schedule(&self, at: SimTime, ev: ScheduledEvent) {
+        let mut core = self.inner.borrow_mut();
+        let seq = core.schedule_seq;
+        core.schedule_seq += 1;
+        core.schedule.push(Reverse((at, seq, ev)));
+    }
+
+    /// Schedules an event `after` from now.
+    pub fn schedule_in(&self, after: SimDuration, ev: ScheduledEvent) {
+        let at = self.now() + after;
+        self.schedule(at, ev);
+    }
+
+    /// Executes all events due at or before the current time.
+    ///
+    /// `Crash`/`Recover` are applied to the world; every fired event
+    /// (including `Custom`) is returned so drivers can react (e.g. run a
+    /// recovery protocol after a `Recover`).
+    pub fn run_due_events(&self) -> Vec<ScheduledEvent> {
+        let mut fired = Vec::new();
+        loop {
+            let ev = {
+                let mut core = self.inner.borrow_mut();
+                match core.schedule.peek() {
+                    Some(Reverse((at, _, _))) if *at <= core.clock => {
+                        let Reverse((_, _, ev)) = core.schedule.pop().expect("peeked");
+                        Some(ev)
+                    }
+                    _ => None,
+                }
+            };
+            match ev {
+                Some(ScheduledEvent::Crash(n)) => {
+                    self.crash(n);
+                    fired.push(ScheduledEvent::Crash(n));
+                }
+                Some(ScheduledEvent::Recover(n)) => {
+                    self.recover(n);
+                    fired.push(ScheduledEvent::Recover(n));
+                }
+                Some(custom) => fired.push(custom),
+                None => break,
+            }
+        }
+        fired
+    }
+
+    /// Whether any scheduled events remain.
+    pub fn has_pending_events(&self) -> bool {
+        !self.inner.borrow().schedule.is_empty()
+    }
+
+    /// The time of the next scheduled event, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.inner
+            .borrow()
+            .schedule
+            .peek()
+            .map(|Reverse((at, _, _))| *at)
+    }
+
+    // ----- instrumentation --------------------------------------------------
+
+    /// Snapshot of the global network counters.
+    pub fn counters(&self) -> NetCounters {
+        self.inner.borrow().counters
+    }
+
+    /// Appends a free-form note to the trace (no-op when tracing is off).
+    pub fn note(&self, text: impl Into<String>) {
+        let mut core = self.inner.borrow_mut();
+        let at = core.clock;
+        let text = text.into();
+        core.trace(TraceEvent::Note { at, text });
+    }
+
+    /// Takes the recorded trace, leaving an empty one. Returns `None` when
+    /// tracing was not enabled.
+    pub fn take_trace(&self) -> Option<Vec<TraceEvent>> {
+        self.inner
+            .borrow_mut()
+            .trace
+            .as_mut()
+            .map(std::mem::take)
+    }
+}
+
+impl SimCore {
+    fn crash_node(&mut self, n: NodeId) {
+        if self.nodes[n.index()].up {
+            self.nodes[n.index()].up = false;
+            self.nodes[n.index()].epoch += 1;
+            self.nodes[n.index()].crash_after_sends = None;
+            self.counters.crashes += 1;
+            let at = self.clock;
+            self.trace(TraceEvent::Crash { at, node: n });
+        }
+    }
+
+    fn charge(&mut self, d: SimDuration, msgs: u64) {
+        if let Some(acct) = self.active_account {
+            let entry = self.accounts.entry(acct).or_insert(Cost::ZERO);
+            entry.latency += d;
+            entry.messages += msgs;
+        }
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(ev);
+        }
+    }
+}
+
+fn norm_pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+
+    fn sim3() -> Sim {
+        Sim::new(SimConfig::new(1).with_nodes(3))
+    }
+
+    #[test]
+    fn deliver_advances_clock_and_counts() {
+        let sim = sim3();
+        let before = sim.now();
+        let lat = sim
+            .deliver(NodeId::new(0), NodeId::new(1), 100)
+            .expect("delivery");
+        assert!(lat >= sim.config().net.base_latency);
+        assert_eq!(sim.now(), before + lat);
+        let c = sim.counters();
+        assert_eq!(c.delivered, 1);
+        assert_eq!(c.bytes_delivered, 100);
+    }
+
+    #[test]
+    fn deliver_to_crashed_node_fails() {
+        let sim = sim3();
+        sim.crash(NodeId::new(1));
+        assert_eq!(
+            sim.deliver(NodeId::new(0), NodeId::new(1), 1),
+            Err(NetError::NodeDown(NodeId::new(1)))
+        );
+        assert_eq!(sim.counters().to_down_node, 1);
+    }
+
+    #[test]
+    fn deliver_from_crashed_node_fails() {
+        let sim = sim3();
+        sim.crash(NodeId::new(0));
+        assert_eq!(
+            sim.deliver(NodeId::new(0), NodeId::new(1), 1),
+            Err(NetError::NodeDown(NodeId::new(0)))
+        );
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_healed() {
+        let sim = sim3();
+        let (a, b) = (NodeId::new(0), NodeId::new(2));
+        sim.partition(a, b);
+        assert!(sim.is_partitioned(a, b));
+        assert!(matches!(
+            sim.deliver(a, b, 1),
+            Err(NetError::Partitioned { .. })
+        ));
+        assert!(matches!(
+            sim.deliver(b, a, 1),
+            Err(NetError::Partitioned { .. })
+        ));
+        // unrelated pair unaffected
+        assert!(sim.deliver(a, NodeId::new(1), 1).is_ok());
+        sim.heal(a, b);
+        assert!(sim.deliver(a, b, 1).is_ok());
+    }
+
+    #[test]
+    fn partition_groups_blocks_cross_traffic() {
+        let sim = Sim::new(SimConfig::new(1).with_nodes(4));
+        let ns = sim.nodes();
+        sim.partition_groups(&ns[..2], &ns[2..]);
+        assert!(sim.deliver(ns[0], ns[1], 1).is_ok());
+        assert!(sim.deliver(ns[2], ns[3], 1).is_ok());
+        assert!(sim.deliver(ns[0], ns[2], 1).is_err());
+        sim.heal_all();
+        assert!(sim.deliver(ns[0], ns[2], 1).is_ok());
+    }
+
+    #[test]
+    fn drops_follow_probability() {
+        let sim = Sim::new(
+            SimConfig::new(7)
+                .with_nodes(2)
+                .with_net(NetConfig::default().with_drop_probability(0.5)),
+        );
+        let mut dropped = 0;
+        for _ in 0..200 {
+            if sim.deliver(NodeId::new(0), NodeId::new(1), 1) == Err(NetError::Dropped) {
+                dropped += 1;
+            }
+        }
+        // 200 Bernoulli(0.5) trials: overwhelmingly within [60, 140].
+        assert!((60..=140).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn crash_bumps_epoch_and_recover_does_not() {
+        let sim = sim3();
+        let n = NodeId::new(1);
+        assert_eq!(sim.epoch(n), 0);
+        sim.crash(n);
+        sim.crash(n); // idempotent
+        assert_eq!(sim.epoch(n), 1);
+        assert!(!sim.is_up(n));
+        sim.recover(n);
+        sim.recover(n); // idempotent
+        assert!(sim.is_up(n));
+        assert_eq!(sim.epoch(n), 1);
+        assert_eq!(sim.counters().crashes, 1);
+        assert_eq!(sim.counters().recoveries, 1);
+    }
+
+    #[test]
+    fn crash_after_sends_fires_at_exact_count() {
+        let sim = sim3();
+        let b = NodeId::new(1);
+        sim.crash_after_sends(b, 2);
+        assert!(sim.deliver(b, NodeId::new(0), 1).is_ok());
+        assert!(sim.is_up(b));
+        assert!(sim.deliver(b, NodeId::new(2), 1).is_ok());
+        assert!(!sim.is_up(b), "b must crash after its second send");
+        assert!(sim.deliver(b, NodeId::new(0), 1).is_err());
+    }
+
+    #[test]
+    fn accounts_charge_only_active_client() {
+        let sim = sim3();
+        sim.account_reset(1);
+        sim.account_reset(2);
+        sim.set_active_account(Some(1));
+        sim.deliver(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        sim.set_active_account(Some(2));
+        sim.deliver(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        sim.deliver(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        sim.set_active_account(None);
+        sim.deliver(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        assert_eq!(sim.account_cost(1).messages, 1);
+        assert_eq!(sim.account_cost(2).messages, 2);
+        assert!(sim.account_cost(1).latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn charge_timeout_advances_clock_and_counts() {
+        let sim = sim3();
+        sim.account_reset(9);
+        sim.set_active_account(Some(9));
+        let before = sim.now();
+        sim.charge_timeout();
+        assert_eq!(sim.now(), before + sim.config().net.rpc_timeout);
+        assert_eq!(sim.counters().timeouts, 1);
+        assert_eq!(sim.account_cost(9).messages, 1);
+    }
+
+    #[test]
+    fn schedule_fires_in_time_order() {
+        let sim = sim3();
+        sim.schedule(SimTime::from_micros(100), ScheduledEvent::Crash(NodeId::new(2)));
+        sim.schedule(SimTime::from_micros(50), ScheduledEvent::Custom(7));
+        assert!(sim.run_due_events().is_empty(), "nothing due at t=0");
+        sim.advance(SimDuration::from_micros(60));
+        assert_eq!(sim.run_due_events(), vec![ScheduledEvent::Custom(7)]);
+        assert!(sim.is_up(NodeId::new(2)));
+        sim.advance(SimDuration::from_micros(60));
+        assert_eq!(
+            sim.run_due_events(),
+            vec![ScheduledEvent::Crash(NodeId::new(2))]
+        );
+        assert!(!sim.is_up(NodeId::new(2)));
+        assert!(!sim.has_pending_events());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let sim = sim3();
+        sim.advance(SimDuration::from_micros(500));
+        sim.schedule_in(SimDuration::from_micros(10), ScheduledEvent::Custom(1));
+        assert_eq!(sim.next_event_at(), Some(SimTime::from_micros(510)));
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let sim = Sim::new(SimConfig::new(1).with_nodes(2).with_trace());
+        sim.deliver(NodeId::new(0), NodeId::new(1), 5).unwrap();
+        sim.crash(NodeId::new(1));
+        sim.note("checkpoint");
+        let trace = sim.take_trace().expect("tracing enabled");
+        assert_eq!(trace.len(), 3);
+        assert!(matches!(trace[0], TraceEvent::Deliver { .. }));
+        assert!(matches!(trace[1], TraceEvent::Crash { .. }));
+        assert!(matches!(trace[2], TraceEvent::Note { .. }));
+        // take_trace drains
+        assert_eq!(sim.take_trace().expect("still enabled").len(), 0);
+    }
+
+    #[test]
+    fn trace_disabled_returns_none() {
+        let sim = sim3();
+        assert!(sim.take_trace().is_none());
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let run = |seed: u64| {
+            let sim = Sim::new(
+                SimConfig::new(seed)
+                    .with_nodes(2)
+                    .with_net(NetConfig::default().with_drop_probability(0.3)),
+            );
+            let mut outcomes = Vec::new();
+            for _ in 0..50 {
+                outcomes.push(sim.deliver(NodeId::new(0), NodeId::new(1), 1).is_ok());
+            }
+            (outcomes, sim.now())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    fn add_node_extends_world() {
+        let sim = sim3();
+        let n = sim.add_node();
+        assert_eq!(n, NodeId::new(3));
+        assert_eq!(sim.num_nodes(), 4);
+        assert!(sim.is_up(n));
+        assert_eq!(sim.nodes().len(), 4);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let sim = Sim::new(SimConfig::new(5).with_nodes(1));
+        let mut v: Vec<u32> = (0..10).collect();
+        sim.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let sim = sim3();
+        assert!(!sim.chance(0.0));
+        assert!(sim.chance(1.0));
+    }
+}

@@ -1,0 +1,330 @@
+//! Registry of all object stores in the world.
+
+use crate::error::StoreError;
+use crate::stable::{StableStore, TxToken};
+use crate::state::ObjectState;
+use crate::uid::Uid;
+use groupview_sim::{NodeId, Sim};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Cheap, cloneable handle to every node's object store.
+///
+/// The paper assumes "at least one node (say β) whose object store contains
+/// the state of the object" (§3.1); which nodes have stores at all is a
+/// deployment choice, so stores are added explicitly with
+/// [`Stores::add_store`].
+///
+/// All accessors enforce the failure model: a crashed node's store exists
+/// (stable storage survives) but cannot be read or written until the node
+/// recovers. Remote accessors ([`Stores::read_remote`],
+/// [`Stores::write_remote`]) go through the simulated network and charge
+/// message costs; write paths also charge the stable-storage force cost.
+#[derive(Clone)]
+pub struct Stores {
+    sim: Sim,
+    inner: Rc<RefCell<HashMap<NodeId, StableStore>>>,
+}
+
+impl fmt::Debug for Stores {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let map = self.inner.borrow();
+        f.debug_struct("Stores")
+            .field("nodes", &map.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Stores {
+    /// Creates an empty registry bound to a simulation.
+    pub fn new(sim: &Sim) -> Self {
+        Stores {
+            sim: sim.clone(),
+            inner: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// Equips `node` with an (empty) object store. Idempotent.
+    pub fn add_store(&self, node: NodeId) {
+        self.inner
+            .borrow_mut()
+            .entry(node)
+            .or_insert_with(|| StableStore::new(node));
+    }
+
+    /// Whether `node` has an object store (regardless of liveness).
+    pub fn has_store(&self, node: NodeId) -> bool {
+        self.inner.borrow().contains_key(&node)
+    }
+
+    /// Nodes that have stores, sorted.
+    pub fn store_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.inner.borrow().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Runs `f` against the store on `node` if the node is up.
+    ///
+    /// This is the low-level accessor used by server-side handlers that are
+    /// already executing on `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoStore`] if the node has no store, or
+    /// [`StoreError::NodeDown`] if it is crashed.
+    pub fn with<R>(
+        &self,
+        node: NodeId,
+        f: impl FnOnce(&mut StableStore) -> R,
+    ) -> Result<R, StoreError> {
+        if !self.sim.is_up(node) {
+            return Err(StoreError::NodeDown(node));
+        }
+        let mut map = self.inner.borrow_mut();
+        let store = map.get_mut(&node).ok_or(StoreError::NoStore(node))?;
+        Ok(f(store))
+    }
+
+    /// Reads the committed state of `uid` from the store on `node` (local).
+    ///
+    /// # Errors
+    ///
+    /// See [`Stores::with`]; additionally [`StoreError::NotFound`].
+    pub fn read_local(&self, node: NodeId, uid: Uid) -> Result<ObjectState, StoreError> {
+        self.with(node, |s| s.read(uid))?
+    }
+
+    /// Writes a committed state to the store on `node` (local), charging the
+    /// stable-storage force cost.
+    ///
+    /// # Errors
+    ///
+    /// See [`Stores::with`].
+    pub fn write_local(
+        &self,
+        node: NodeId,
+        uid: Uid,
+        state: ObjectState,
+    ) -> Result<(), StoreError> {
+        self.with(node, |s| s.write(uid, state))?;
+        self.sim.charge_stable_write();
+        Ok(())
+    }
+
+    /// Reads `uid` from the store on `target` via RPC from `from`.
+    ///
+    /// # Errors
+    ///
+    /// Network failures surface as [`StoreError::Net`]; store-level failures
+    /// as in [`Stores::read_local`].
+    pub fn read_remote(
+        &self,
+        from: NodeId,
+        target: NodeId,
+        uid: Uid,
+    ) -> Result<ObjectState, StoreError> {
+        let this = self.clone();
+        // Response size is approximated by a typical state size; exact
+        // accounting would require running the handler first.
+        self.sim
+            .rpc_flat(from, target, 32, 256, move || this.read_local(target, uid))
+    }
+
+    /// Writes `state` for `uid` to the store on `target` via RPC from `from`.
+    ///
+    /// # Errors
+    ///
+    /// Network failures surface as [`StoreError::Net`]; store-level failures
+    /// as in [`Stores::write_local`].
+    pub fn write_remote(
+        &self,
+        from: NodeId,
+        target: NodeId,
+        uid: Uid,
+        state: ObjectState,
+    ) -> Result<(), StoreError> {
+        let this = self.clone();
+        let bytes = state.wire_size();
+        self.sim.rpc_flat(from, target, bytes, 16, move || {
+            this.write_local(target, uid, state)
+        })
+    }
+
+    // ----- two-phase-commit participant operations (local) -------------
+
+    /// Durably prepares writes for `tx` on `node`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Stores::with`].
+    pub fn prepare_local(
+        &self,
+        node: NodeId,
+        tx: TxToken,
+        writes: Vec<(Uid, ObjectState)>,
+    ) -> Result<(), StoreError> {
+        self.with(node, |s| s.prepare(tx, writes))?;
+        self.sim.charge_stable_write();
+        Ok(())
+    }
+
+    /// Commits prepared writes for `tx` on `node`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Stores::with`]; additionally [`StoreError::TxUnknown`].
+    pub fn commit_local(&self, node: NodeId, tx: TxToken) -> Result<(), StoreError> {
+        let r = self.with(node, |s| s.commit(tx))?;
+        self.sim.charge_stable_write();
+        r
+    }
+
+    /// Aborts prepared writes for `tx` on `node` (no-op if unknown).
+    ///
+    /// # Errors
+    ///
+    /// See [`Stores::with`].
+    pub fn abort_local(&self, node: NodeId, tx: TxToken) -> Result<(), StoreError> {
+        self.with(node, |s| s.abort(tx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::TypeTag;
+    use groupview_sim::SimConfig;
+
+    fn world() -> (Sim, Stores) {
+        let sim = Sim::new(SimConfig::new(2).with_nodes(3));
+        let stores = Stores::new(&sim);
+        stores.add_store(NodeId::new(1));
+        stores.add_store(NodeId::new(2));
+        (sim, stores)
+    }
+
+    fn st(data: &[u8]) -> ObjectState {
+        ObjectState::initial(TypeTag::new(1), data.to_vec())
+    }
+
+    #[test]
+    fn local_roundtrip_and_missing_store() {
+        let (_sim, stores) = world();
+        let uid = Uid::from_raw(1);
+        assert_eq!(
+            stores.read_local(NodeId::new(0), uid),
+            Err(StoreError::NoStore(NodeId::new(0)))
+        );
+        stores.write_local(NodeId::new(1), uid, st(b"v")).unwrap();
+        assert_eq!(stores.read_local(NodeId::new(1), uid).unwrap().data, b"v");
+        assert_eq!(
+            stores.read_local(NodeId::new(2), uid),
+            Err(StoreError::NotFound(uid))
+        );
+        assert_eq!(stores.store_nodes(), vec![NodeId::new(1), NodeId::new(2)]);
+        assert!(stores.has_store(NodeId::new(1)));
+        assert!(!stores.has_store(NodeId::new(0)));
+    }
+
+    #[test]
+    fn crashed_node_store_is_unavailable_but_durable() {
+        let (sim, stores) = world();
+        let uid = Uid::from_raw(1);
+        let n = NodeId::new(1);
+        stores.write_local(n, uid, st(b"v")).unwrap();
+        sim.crash(n);
+        assert_eq!(stores.read_local(n, uid), Err(StoreError::NodeDown(n)));
+        assert_eq!(
+            stores.write_local(n, uid, st(b"w")),
+            Err(StoreError::NodeDown(n))
+        );
+        sim.recover(n);
+        assert_eq!(stores.read_local(n, uid).unwrap().data, b"v");
+    }
+
+    #[test]
+    fn remote_read_and_write_use_the_network() {
+        let (sim, stores) = world();
+        let uid = Uid::from_raw(3);
+        let before = sim.counters().delivered;
+        stores
+            .write_remote(NodeId::new(0), NodeId::new(1), uid, st(b"remote"))
+            .unwrap();
+        let got = stores.read_remote(NodeId::new(0), NodeId::new(1), uid).unwrap();
+        assert_eq!(got.data, b"remote");
+        assert_eq!(
+            sim.counters().delivered - before,
+            4,
+            "two RPCs = four messages"
+        );
+    }
+
+    #[test]
+    fn remote_access_to_down_node_is_a_net_error() {
+        let (sim, stores) = world();
+        sim.crash(NodeId::new(1));
+        let err = stores
+            .read_remote(NodeId::new(0), NodeId::new(1), Uid::from_raw(1))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Net(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn prepare_commit_via_registry() {
+        let (_sim, stores) = world();
+        let n = NodeId::new(1);
+        let uid = Uid::from_raw(4);
+        stores.write_local(n, uid, st(b"old")).unwrap();
+        let tx = TxToken::new(11);
+        stores
+            .prepare_local(n, tx, vec![(uid, st(b"new"))])
+            .unwrap();
+        assert_eq!(stores.read_local(n, uid).unwrap().data, b"old");
+        stores.commit_local(n, tx).unwrap();
+        assert_eq!(stores.read_local(n, uid).unwrap().data, b"new");
+    }
+
+    #[test]
+    fn prepare_abort_via_registry() {
+        let (_sim, stores) = world();
+        let n = NodeId::new(2);
+        let uid = Uid::from_raw(5);
+        stores.write_local(n, uid, st(b"old")).unwrap();
+        let tx = TxToken::new(12);
+        stores
+            .prepare_local(n, tx, vec![(uid, st(b"new"))])
+            .unwrap();
+        stores.abort_local(n, tx).unwrap();
+        assert_eq!(stores.read_local(n, uid).unwrap().data, b"old");
+    }
+
+    #[test]
+    fn intent_log_survives_crash_for_recovery() {
+        let (sim, stores) = world();
+        let n = NodeId::new(1);
+        let uid = Uid::from_raw(6);
+        let tx = TxToken::new(13);
+        stores
+            .prepare_local(n, tx, vec![(uid, st(b"pending"))])
+            .unwrap();
+        sim.crash(n);
+        sim.recover(n);
+        let indoubt = stores.with(n, |s| s.indoubt()).unwrap();
+        assert_eq!(indoubt, vec![tx], "prepared tx must survive the crash");
+        stores.commit_local(n, tx).unwrap();
+        assert_eq!(stores.read_local(n, uid).unwrap().data, b"pending");
+    }
+
+    #[test]
+    fn stable_writes_charge_local_cost() {
+        let (sim, stores) = world();
+        let before = sim.now();
+        stores
+            .write_local(NodeId::new(1), Uid::from_raw(7), st(b"x"))
+            .unwrap();
+        assert!(sim.now() > before, "stable write must cost virtual time");
+    }
+}

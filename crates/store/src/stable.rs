@@ -1,0 +1,223 @@
+//! One node's stable object store with a two-phase-commit intent log.
+
+use crate::error::StoreError;
+use crate::state::ObjectState;
+use crate::uid::Uid;
+use groupview_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Token naming a prepared transaction in a store's intent log.
+///
+/// The atomic-action layer uses its action ids here; the store layer only
+/// needs an opaque stable identifier (keeping this crate below the actions
+/// crate in the dependency order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxToken(u64);
+
+impl TxToken {
+    /// Wraps a raw transaction number.
+    pub const fn new(raw: u64) -> Self {
+        TxToken(raw)
+    }
+
+    /// The raw transaction number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx:{}", self.0)
+    }
+}
+
+/// A single node's stable object store.
+///
+/// Contents survive crashes of the owning node (paper §2.1: "any data stored
+/// on stable storage remains unaffected by a crash"); *access* requires the
+/// node to be up, which the [`crate::Stores`] registry enforces.
+///
+/// Besides committed object states the store keeps an **intent log** of
+/// writes prepared by two-phase commit but not yet resolved. After a crash,
+/// recovery inspects [`StableStore::indoubt`] and resolves each entry.
+#[derive(Debug, Clone)]
+pub struct StableStore {
+    node: NodeId,
+    objects: HashMap<Uid, ObjectState>,
+    intents: HashMap<TxToken, Vec<(Uid, ObjectState)>>,
+}
+
+impl StableStore {
+    /// Creates an empty store owned by `node`.
+    pub fn new(node: NodeId) -> Self {
+        StableStore {
+            node,
+            objects: HashMap::new(),
+            intents: HashMap::new(),
+        }
+    }
+
+    /// The node owning this store.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Reads the committed state of `uid`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the store holds no state for `uid`.
+    pub fn read(&self, uid: Uid) -> Result<ObjectState, StoreError> {
+        self.objects
+            .get(&uid)
+            .cloned()
+            .ok_or(StoreError::NotFound(uid))
+    }
+
+    /// Installs a committed state for `uid`, replacing any previous one.
+    pub fn write(&mut self, uid: Uid, state: ObjectState) {
+        self.objects.insert(uid, state);
+    }
+
+    /// Deletes the state for `uid`. Returns whether anything was removed.
+    pub fn remove(&mut self, uid: Uid) -> bool {
+        self.objects.remove(&uid).is_some()
+    }
+
+    /// Whether the store holds a state for `uid`.
+    pub fn contains(&self, uid: Uid) -> bool {
+        self.objects.contains_key(&uid)
+    }
+
+    /// All UIDs stored here, in unspecified order.
+    pub fn uids(&self) -> Vec<Uid> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Number of committed objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store holds no committed objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    // ----- intent log (two-phase commit) -------------------------------
+
+    /// Phase 1: durably records the writes of transaction `tx` without
+    /// installing them.
+    pub fn prepare(&mut self, tx: TxToken, writes: Vec<(Uid, ObjectState)>) {
+        self.intents.insert(tx, writes);
+    }
+
+    /// Phase 2 (commit): installs the prepared writes of `tx`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::TxUnknown`] if `tx` was never prepared here (or was
+    /// already resolved).
+    pub fn commit(&mut self, tx: TxToken) -> Result<(), StoreError> {
+        let writes = self.intents.remove(&tx).ok_or(StoreError::TxUnknown(tx))?;
+        for (uid, state) in writes {
+            self.objects.insert(uid, state);
+        }
+        Ok(())
+    }
+
+    /// Phase 2 (abort): discards the prepared writes of `tx`. Idempotent —
+    /// aborting an unknown transaction is a no-op (presumed abort).
+    pub fn abort(&mut self, tx: TxToken) {
+        self.intents.remove(&tx);
+    }
+
+    /// Transactions prepared here but not yet resolved; recovery must decide
+    /// each one (this reproduction uses presumed-abort).
+    pub fn indoubt(&self) -> Vec<TxToken> {
+        let mut v: Vec<TxToken> = self.intents.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ObjectState, TypeTag};
+
+    fn st(data: &[u8]) -> ObjectState {
+        ObjectState::initial(TypeTag::new(1), data.to_vec())
+    }
+
+    fn store() -> StableStore {
+        StableStore::new(NodeId::new(0))
+    }
+
+    #[test]
+    fn write_read_remove_roundtrip() {
+        let mut s = store();
+        let uid = Uid::from_raw(5);
+        assert_eq!(s.read(uid), Err(StoreError::NotFound(uid)));
+        s.write(uid, st(b"a"));
+        assert_eq!(s.read(uid).unwrap().data, b"a");
+        assert!(s.contains(uid));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert!(s.remove(uid));
+        assert!(!s.remove(uid));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn uids_lists_everything() {
+        let mut s = store();
+        s.write(Uid::from_raw(1), st(b"x"));
+        s.write(Uid::from_raw(2), st(b"y"));
+        let mut uids = s.uids();
+        uids.sort_unstable();
+        assert_eq!(uids, vec![Uid::from_raw(1), Uid::from_raw(2)]);
+    }
+
+    #[test]
+    fn prepare_then_commit_installs_writes() {
+        let mut s = store();
+        let uid = Uid::from_raw(9);
+        s.write(uid, st(b"old"));
+        let tx = TxToken::new(1);
+        s.prepare(tx, vec![(uid, st(b"new"))]);
+        // Not installed yet:
+        assert_eq!(s.read(uid).unwrap().data, b"old");
+        assert_eq!(s.indoubt(), vec![tx]);
+        s.commit(tx).unwrap();
+        assert_eq!(s.read(uid).unwrap().data, b"new");
+        assert!(s.indoubt().is_empty());
+        // Double commit is an error (already resolved).
+        assert_eq!(s.commit(tx), Err(StoreError::TxUnknown(tx)));
+    }
+
+    #[test]
+    fn prepare_then_abort_discards_writes() {
+        let mut s = store();
+        let uid = Uid::from_raw(9);
+        s.write(uid, st(b"old"));
+        let tx = TxToken::new(2);
+        s.prepare(tx, vec![(uid, st(b"new"))]);
+        s.abort(tx);
+        assert_eq!(s.read(uid).unwrap().data, b"old");
+        // Presumed abort: aborting again (or an unknown tx) is fine.
+        s.abort(tx);
+        s.abort(TxToken::new(77));
+    }
+
+    #[test]
+    fn indoubt_is_sorted_and_complete() {
+        let mut s = store();
+        s.prepare(TxToken::new(3), vec![]);
+        s.prepare(TxToken::new(1), vec![]);
+        assert_eq!(s.indoubt(), vec![TxToken::new(1), TxToken::new(3)]);
+    }
+}

@@ -1,0 +1,507 @@
+//! The workload driver: interleaved client state machines.
+
+use crate::metrics::Histogram;
+use crate::spec::{FaultAction, FaultScript, WorkloadSpec};
+use groupview_actions::{ActionId, TxStats};
+use groupview_replication::{Client, CounterOp, ObjectGroup, System};
+use groupview_sim::{ClientId, NetCounters, ScheduledEvent, SimDuration};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Everything a workload run measured.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Actions started (including ones that later aborted).
+    pub attempts: u64,
+    /// Actions that committed.
+    pub commits: u64,
+    /// Actions that aborted (any phase).
+    pub aborts: u64,
+    /// Aborts during binding/activation.
+    pub abort_bind: u64,
+    /// Aborts during operation invocation.
+    pub abort_invoke: u64,
+    /// Aborts during commit (write-back, exclude, or two-phase commit).
+    pub abort_commit: u64,
+    /// Dead servers discovered "the hard way" at bind time.
+    pub probe_failures: u64,
+    /// Binding attempts retried due to lock contention.
+    pub bind_retries: u64,
+    /// Failed servers pruned from `Sv` by the updating schemes.
+    pub servers_removed: u64,
+    /// Registered bindings abandoned by crashed clients.
+    pub leaked_bindings: u64,
+    /// Use-list entries reclaimed by cleanup sweeps.
+    pub cleanup_reclaimed: u64,
+    /// Per-action virtual latency (µs), successful and failed alike.
+    pub action_latency_us: Histogram,
+    /// Per-action message counts.
+    pub action_messages: Histogram,
+    /// Driver steps executed.
+    pub steps: u64,
+    /// Final transaction-layer statistics.
+    pub tx: TxStats,
+    /// Final network counters.
+    pub net: NetCounters,
+}
+
+impl RunMetrics {
+    /// Fraction of attempted actions that committed.
+    pub fn availability(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        self.commits as f64 / self.attempts as f64
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attempts={} commits={} aborts={} (bind={} invoke={} commit={}) availability={:.1}%",
+            self.attempts,
+            self.commits,
+            self.aborts,
+            self.abort_bind,
+            self.abort_invoke,
+            self.abort_commit,
+            self.availability() * 100.0
+        )
+    }
+}
+
+enum Phase {
+    Idle,
+    Running {
+        action: ActionId,
+        group: ObjectGroup,
+        ops_left: usize,
+        read_only: bool,
+    },
+}
+
+struct Machine {
+    idx: usize,
+    client: Client,
+    actions_left: usize,
+    phase: Phase,
+    dead: bool,
+}
+
+impl Machine {
+    fn is_finished(&self) -> bool {
+        self.dead || (self.actions_left == 0 && matches!(self.phase, Phase::Idle))
+    }
+}
+
+/// Runs a [`WorkloadSpec`] against a [`System`], one client step at a time.
+///
+/// Clients are interleaved in a seeded-random order every step, so lock
+/// contention, use-list overlap, and crash windows between steps are all
+/// exercised deterministically. The driver drives **counter objects**
+/// ([`groupview_replication::Counter`]): write actions invoke `Add(1)`,
+/// read-only actions invoke `Get`.
+pub struct Driver {
+    sys: System,
+    spec: WorkloadSpec,
+    script: FaultScript,
+}
+
+impl fmt::Debug for Driver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Driver")
+            .field("clients", &self.spec.clients)
+            .field("faults", &self.script.len())
+            .finish()
+    }
+}
+
+impl Driver {
+    /// Creates a driver for the given system and workload.
+    pub fn new(sys: &System, spec: WorkloadSpec) -> Self {
+        Driver {
+            sys: sys.clone(),
+            spec,
+            script: FaultScript::new(),
+        }
+    }
+
+    /// Attaches a deterministic fault script.
+    pub fn with_faults(mut self, script: FaultScript) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Runs the workload to completion and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no objects or no client nodes.
+    pub fn run(&self) -> RunMetrics {
+        assert!(!self.spec.objects.is_empty(), "workload needs objects");
+        assert!(!self.spec.client_nodes.is_empty(), "workload needs client nodes");
+        let sys = &self.sys;
+        let mut metrics = RunMetrics::default();
+        let mut machines: Vec<Machine> = (0..self.spec.clients)
+            .map(|i| {
+                let node = self.spec.client_nodes[i % self.spec.client_nodes.len()];
+                Machine {
+                    idx: i,
+                    client: sys.client_with_id(ClientId::new(i as u32), node),
+                    actions_left: self.spec.actions_per_client,
+                    phase: Phase::Idle,
+                    dead: false,
+                }
+            })
+            .collect();
+
+        // Generous upper bound: every action takes ops+2 steps plus retries.
+        let max_steps = (self.spec.total_actions() as u64)
+            * (self.spec.ops_per_action as u64 + 3)
+            * 4
+            + 1000;
+
+        // Nodes whose recovery protocol still has deferred work (`Insert`
+        // refused while non-quiescent, `Include` refused by reader locks):
+        // the paper's recovering node keeps retrying, so does the driver.
+        let mut recovering: Vec<groupview_sim::NodeId> = Vec::new();
+
+        let mut step = 0u64;
+        while step < max_steps {
+            step += 1;
+            // Scripted faults.
+            for fault in self.script.due(step) {
+                if let FaultAction::RecoverNode(node) = fault {
+                    recovering.push(node);
+                }
+                self.apply_fault(fault, &mut machines, &mut metrics);
+            }
+            // Simulator-scheduled events (crash/recover at virtual times).
+            for ev in sys.sim().run_due_events() {
+                if let ScheduledEvent::Recover(node) = ev {
+                    recovering.push(node);
+                    sys.recovery().recover_node(node);
+                }
+            }
+            // Retry deferred recovery work.
+            recovering.retain(|&node| {
+                if !sys.sim().is_up(node) {
+                    return false; // crashed again; a future recover re-adds it
+                }
+                let mut report = sys.recovery().recover_store(node);
+                report.merge(sys.recovery().recover_server(node));
+                !report.fully_recovered()
+            });
+            sys.sim().advance(SimDuration::from_micros(50));
+
+            let mut order: Vec<usize> = machines
+                .iter()
+                .filter(|m| !m.is_finished())
+                .map(|m| m.idx)
+                .collect();
+            if order.is_empty() && recovering.is_empty() {
+                break;
+            }
+            sys.sim().shuffle(&mut order);
+            for idx in order {
+                self.step_machine(&mut machines[idx], &mut metrics);
+            }
+        }
+        metrics.steps = step;
+        metrics.tx = sys.tx().stats();
+        metrics.net = sys.sim().counters();
+        sys.sim().set_active_account(None);
+        metrics
+    }
+
+    fn apply_fault(&self, fault: FaultAction, machines: &mut [Machine], metrics: &mut RunMetrics) {
+        match fault {
+            FaultAction::CrashNode(node) => self.sys.sim().crash(node),
+            FaultAction::RecoverNode(node) => {
+                self.sys.recovery().recover_node(node);
+            }
+            FaultAction::CrashClient(i) => {
+                if let Some(m) = machines.get_mut(i) {
+                    if !m.dead {
+                        m.dead = true;
+                        if let Phase::Running { action, .. } =
+                            std::mem::replace(&mut m.phase, Phase::Idle)
+                        {
+                            metrics.leaked_bindings +=
+                                m.client.crash_without_cleanup(action) as u64;
+                            metrics.aborts += 1;
+                        }
+                    }
+                }
+            }
+            FaultAction::CleanupSweep => {
+                let dead: HashSet<ClientId> = machines
+                    .iter()
+                    .filter(|m| m.dead)
+                    .map(|m| m.client.id())
+                    .collect();
+                let report = self.sys.cleanup().sweep(|c| !dead.contains(&c));
+                metrics.cleanup_reclaimed += report.reclaimed() as u64;
+            }
+        }
+    }
+
+    fn step_machine(&self, m: &mut Machine, metrics: &mut RunMetrics) {
+        if m.dead {
+            return;
+        }
+        let sim = self.sys.sim();
+        let account = m.idx as u64;
+        sim.set_active_account(Some(account));
+
+        match std::mem::replace(&mut m.phase, Phase::Idle) {
+            Phase::Idle => {
+                if m.actions_left == 0 {
+                    return;
+                }
+                m.actions_left -= 1;
+                metrics.attempts += 1;
+                sim.account_reset(account);
+                let read_only = sim.chance(self.spec.read_fraction);
+                let uid = self.spec.objects
+                    [sim.random_below(self.spec.objects.len() as u64) as usize];
+                let action = m.client.begin();
+                let outcome = if read_only {
+                    m.client.activate_read_only(action, uid, self.spec.replicas)
+                } else {
+                    m.client.activate(action, uid, self.spec.replicas)
+                };
+                match outcome {
+                    Ok(group) => {
+                        let b = group.binding();
+                        metrics.probe_failures += u64::from(b.probe_failures);
+                        metrics.bind_retries += u64::from(b.retries);
+                        metrics.servers_removed += b.removed.len() as u64;
+                        m.phase = Phase::Running {
+                            action,
+                            group,
+                            ops_left: self.spec.ops_per_action,
+                            read_only,
+                        };
+                    }
+                    Err(_) => {
+                        m.client.abort(action);
+                        metrics.abort_bind += 1;
+                        self.finish_action(m, metrics, false);
+                    }
+                }
+            }
+            Phase::Running {
+                action,
+                group,
+                ops_left,
+                read_only,
+            } => {
+                if ops_left > 0 {
+                    let result = if read_only {
+                        m.client
+                            .invoke_read(action, &group, &CounterOp::Get.encode())
+                    } else {
+                        m.client.invoke(action, &group, &CounterOp::Add(1).encode())
+                    };
+                    match result {
+                        Ok(_) => {
+                            m.phase = Phase::Running {
+                                action,
+                                group,
+                                ops_left: ops_left - 1,
+                                read_only,
+                            };
+                        }
+                        Err(_) => {
+                            m.client.abort(action);
+                            metrics.abort_invoke += 1;
+                            self.finish_action(m, metrics, false);
+                        }
+                    }
+                } else {
+                    let uid = group.uid;
+                    match m.client.commit(action) {
+                        Ok(()) => self.finish_action(m, metrics, true),
+                        Err(_) => {
+                            metrics.abort_commit += 1;
+                            self.finish_action(m, metrics, false);
+                        }
+                    }
+                    if self.spec.passivate_between_actions {
+                        let _ = self.sys.try_passivate(uid);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_action(&self, m: &Machine, metrics: &mut RunMetrics, committed: bool) {
+        if committed {
+            metrics.commits += 1;
+        } else {
+            metrics.aborts += 1;
+        }
+        let cost = self.sys.sim().account_cost(m.idx as u64);
+        metrics.action_latency_us.add(cost.latency.as_micros());
+        metrics.action_messages.add(cost.messages);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupview_core::BindingScheme;
+    use groupview_replication::{Counter, ReplicationPolicy};
+    use groupview_sim::NodeId;
+    use groupview_store::Uid;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn world(policy: ReplicationPolicy, scheme: BindingScheme, seed: u64) -> (System, Vec<Uid>) {
+        let sys = System::builder(seed)
+            .nodes(7)
+            .policy(policy)
+            .scheme(scheme)
+            .build();
+        let uids = (0..3)
+            .map(|i| {
+                sys.create_object(
+                    Box::new(Counter::new(i)),
+                    &[n(1), n(2), n(3)],
+                    &[n(1), n(2), n(3)],
+                )
+                .expect("create")
+            })
+            .collect();
+        (sys, uids)
+    }
+
+    fn spec(objects: Vec<Uid>) -> WorkloadSpec {
+        WorkloadSpec::new(objects, vec![n(4), n(5), n(6)])
+            .clients(3)
+            .actions_per_client(4)
+            .ops_per_action(2)
+    }
+
+    #[test]
+    fn fault_free_run_accounts_for_every_action() {
+        let (sys, uids) = world(ReplicationPolicy::Active, BindingScheme::Standard, 9);
+        let metrics = Driver::new(&sys, spec(uids)).run();
+        assert_eq!(metrics.attempts, 12);
+        assert_eq!(metrics.commits + metrics.aborts, 12);
+        // No faults: the only possible aborts are object-lock contention
+        // between interleaved writers (refusal-based locking).
+        assert_eq!(metrics.aborts, metrics.abort_invoke);
+        assert!(metrics.availability() >= 0.6, "{metrics}");
+        assert_eq!(metrics.action_latency_us.count(), 12);
+        assert!(sys.tx().locks_empty(), "quiescent at end");
+    }
+
+    #[test]
+    fn single_client_run_commits_everything() {
+        let (sys, uids) = world(ReplicationPolicy::Active, BindingScheme::Standard, 9);
+        let spec = WorkloadSpec::new(uids, vec![n(4)])
+            .clients(1)
+            .actions_per_client(6)
+            .ops_per_action(2);
+        let metrics = Driver::new(&sys, spec).run();
+        assert_eq!(metrics.commits, 6);
+        assert_eq!(metrics.aborts, 0);
+        assert_eq!(metrics.availability(), 1.0);
+        assert!(metrics.to_string().contains("availability=100.0%"));
+    }
+
+    #[test]
+    fn active_policy_survives_server_crash() {
+        let (sys, uids) = world(ReplicationPolicy::Active, BindingScheme::Standard, 10);
+        let script = FaultScript::new().at(5, FaultAction::CrashNode(n(2)));
+        let metrics = Driver::new(&sys, spec(uids)).with_faults(script).run();
+        assert_eq!(metrics.attempts, 12);
+        // The crash itself is masked: no invoke failure is fatal beyond
+        // ordinary lock contention, and commits continue after the crash.
+        assert!(metrics.commits >= 8, "{metrics}");
+        assert_eq!(metrics.abort_commit, 0, "write-back must survive: {metrics}");
+    }
+
+    #[test]
+    fn single_copy_crash_causes_aborts() {
+        let (sys, uids) = world(
+            ReplicationPolicy::SingleCopyPassive,
+            BindingScheme::Standard,
+            11,
+        );
+        let script = FaultScript::new().at(3, FaultAction::CrashNode(n(1)));
+        let metrics = Driver::new(&sys, spec(uids)).with_faults(script).run();
+        assert!(metrics.aborts > 0, "in-flight singletons abort: {metrics}");
+        // New activations fail over to other Sv members, so later actions
+        // commit again.
+        assert!(metrics.commits > 0);
+    }
+
+    #[test]
+    fn client_crash_leaks_then_sweep_reclaims() {
+        let (sys, uids) = world(
+            ReplicationPolicy::Active,
+            BindingScheme::IndependentTopLevel,
+            12,
+        );
+        let script = FaultScript::new()
+            .at(2, FaultAction::CrashClient(0))
+            .at(8, FaultAction::CleanupSweep);
+        let metrics = Driver::new(&sys, spec(uids)).with_faults(script).run();
+        assert!(metrics.leaked_bindings >= 1, "{metrics:?}");
+        assert!(metrics.cleanup_reclaimed >= 1);
+        for uid in sys.naming().server_db.uids() {
+            assert!(
+                sys.naming().server_db.entry(uid).unwrap().is_quiescent(),
+                "all use lists reclaimed"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_action_restores_full_strength() {
+        let (sys, uids) = world(ReplicationPolicy::Active, BindingScheme::Standard, 13);
+        let script = FaultScript::new()
+            .at(2, FaultAction::CrashNode(n(3)))
+            .at(10, FaultAction::RecoverNode(n(3)));
+        let metrics = Driver::new(&sys, spec(uids)).with_faults(script).run();
+        assert!(metrics.commits > 0);
+        // After recovery every object's St is back to full strength.
+        for &uid in &sys.naming().state_db.uids() {
+            assert_eq!(
+                sys.naming().state_db.entry(uid).unwrap().len(),
+                3,
+                "St restored after recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let (sys, uids) = world(ReplicationPolicy::Active, BindingScheme::Standard, seed);
+            let script = FaultScript::new().at(4, FaultAction::CrashNode(n(1)));
+            let m = Driver::new(&sys, spec(uids)).with_faults(script).run();
+            (m.commits, m.aborts, m.net.delivered, m.steps)
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn read_only_workload_uses_read_path() {
+        let (sys, uids) = world(ReplicationPolicy::Active, BindingScheme::Standard, 14);
+        let spec = spec(uids).read_fraction(1.0);
+        let metrics = Driver::new(&sys, spec).run();
+        assert_eq!(metrics.commits, 12);
+        // Read-only actions never copy state: every store still holds v0.
+        for uid in sys.naming().state_db.uids() {
+            let st = sys.stores().read_local(n(1), uid).unwrap();
+            assert_eq!(st.version, groupview_store::Version::INITIAL);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Workload generation and measurement for `groupview`.
+//!
+//! The paper contains no quantitative evaluation — its claims about the
+//! binding schemes, replication policies, and recovery protocols are
+//! qualitative. This crate turns those claims into numbers:
+//!
+//! * [`WorkloadSpec`] describes a population of client applications (how
+//!   many, where they run, which objects they touch, read/write mix,
+//!   operations per action);
+//! * [`FaultScript`] schedules deterministic fault injections (node
+//!   crashes/recoveries, client crashes, cleanup sweeps) at specific driver
+//!   steps;
+//! * [`Driver`] interleaves the clients **step by step** — one bind, one
+//!   invocation, or one commit per step — so lock contention between
+//!   concurrent actions is real, then collects [`RunMetrics`];
+//! * [`Histogram`] and [`TextTable`] render the results the way the
+//!   experiment harness prints them.
+
+pub mod driver;
+pub mod metrics;
+pub mod spec;
+pub mod table;
+
+pub use driver::{Driver, RunMetrics};
+pub use metrics::Histogram;
+pub use spec::{FaultAction, FaultScript, WorkloadSpec};
+pub use table::TextTable;

@@ -1,0 +1,164 @@
+//! Simple sample-based histograms for latency and message counts.
+
+use std::fmt;
+
+/// A collection of `u64` samples with summary statistics.
+///
+/// Keeps all samples (experiment runs are small); percentiles are exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn add(&mut self, sample: u64) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Exact percentile by nearest-rank (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).floor() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p95={} max={}",
+            self.count(),
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.max()
+        )
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Histogram {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_on_known_data() {
+        let h: Histogram = (1..=100u64).collect();
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.mean(), 50.5);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p95(), 95);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.total(), 5050);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn merge_and_extend() {
+        let mut a: Histogram = [1u64, 2].into_iter().collect();
+        let b: Histogram = [3u64].into_iter().collect();
+        a.merge(&b);
+        a.extend([4u64]);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.total(), 10);
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_validates_range() {
+        Histogram::new().percentile(150.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Workload descriptions and deterministic fault scripts.
+
+use groupview_sim::NodeId;
+use groupview_store::Uid;
+
+/// Describes a population of client applications for [`crate::Driver`].
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of logical clients.
+    pub clients: usize,
+    /// Nodes clients run on, assigned round-robin.
+    pub client_nodes: Vec<NodeId>,
+    /// Objects the workload touches; each action picks one (seeded) at
+    /// random.
+    pub objects: Vec<Uid>,
+    /// Actions each client runs before stopping.
+    pub actions_per_client: usize,
+    /// Operations invoked inside each action.
+    pub ops_per_action: usize,
+    /// Fraction of actions that are read-only (uses the read-optimised
+    /// binding and skips commit-time state copies).
+    pub read_fraction: f64,
+    /// Desired server replicas per binding (`|Sv'|`).
+    pub replicas: usize,
+    /// Whether to passivate each object after an action on it finishes (the
+    /// paper's normal mode: "objects not in use normally remain in a
+    /// passive state"). Off by default so replicas stay warm.
+    pub passivate_between_actions: bool,
+}
+
+impl WorkloadSpec {
+    /// A small default workload over the given objects and client nodes.
+    pub fn new(objects: Vec<Uid>, client_nodes: Vec<NodeId>) -> Self {
+        WorkloadSpec {
+            clients: 4,
+            client_nodes,
+            objects,
+            actions_per_client: 10,
+            ops_per_action: 3,
+            read_fraction: 0.0,
+            replicas: 2,
+            passivate_between_actions: false,
+        }
+    }
+
+    /// Sets the client count.
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n;
+        self
+    }
+
+    /// Sets actions per client.
+    pub fn actions_per_client(mut self, n: usize) -> Self {
+        self.actions_per_client = n;
+        self
+    }
+
+    /// Sets operations per action.
+    pub fn ops_per_action(mut self, n: usize) -> Self {
+        self.ops_per_action = n;
+        self
+    }
+
+    /// Sets the read-only action fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is outside `[0, 1]`.
+    pub fn read_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "read fraction must be in [0,1]");
+        self.read_fraction = f;
+        self
+    }
+
+    /// Sets the desired replica count per binding.
+    pub fn replicas(mut self, k: usize) -> Self {
+        self.replicas = k;
+        self
+    }
+
+    /// Passivates objects whenever an action on them finishes.
+    pub fn passivate_between_actions(mut self) -> Self {
+        self.passivate_between_actions = true;
+        self
+    }
+
+    /// Total actions the workload will attempt.
+    pub fn total_actions(&self) -> usize {
+        self.clients * self.actions_per_client
+    }
+}
+
+/// One scripted fault, applied when the driver reaches a given step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash a node (fail-silent).
+    CrashNode(NodeId),
+    /// Recover a node and run the full §4 recovery protocol.
+    RecoverNode(NodeId),
+    /// Crash a client (by index): its in-flight action is abandoned and —
+    /// under the updating schemes — its use-list entries leak until a
+    /// cleanup sweep.
+    CrashClient(usize),
+    /// Run one cleanup-daemon sweep (crashed clients are considered dead).
+    CleanupSweep,
+}
+
+/// A deterministic schedule of [`FaultAction`]s keyed by driver step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    events: Vec<(u64, FaultAction)>,
+}
+
+impl FaultScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// Adds an action at the given step (steps start at 1).
+    pub fn at(mut self, step: u64, action: FaultAction) -> Self {
+        self.events.push((step, action));
+        self
+    }
+
+    /// All actions scheduled for `step`, in insertion order.
+    pub fn due(&self, step: u64) -> Vec<FaultAction> {
+        self.events
+            .iter()
+            .filter(|(s, _)| *s == step)
+            .map(|(_, a)| a.clone())
+            .collect()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders() {
+        let spec = WorkloadSpec::new(vec![Uid::from_raw(1)], vec![NodeId::new(0)])
+            .clients(8)
+            .actions_per_client(5)
+            .ops_per_action(2)
+            .read_fraction(0.5)
+            .replicas(3);
+        assert_eq!(spec.clients, 8);
+        assert_eq!(spec.total_actions(), 40);
+        assert_eq!(spec.replicas, 3);
+        assert_eq!(spec.read_fraction, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction")]
+    fn read_fraction_validated() {
+        let _ = WorkloadSpec::new(vec![], vec![]).read_fraction(2.0);
+    }
+
+    #[test]
+    fn script_schedule() {
+        let script = FaultScript::new()
+            .at(3, FaultAction::CrashNode(NodeId::new(1)))
+            .at(3, FaultAction::CrashClient(0))
+            .at(5, FaultAction::CleanupSweep);
+        assert_eq!(script.len(), 3);
+        assert!(!script.is_empty());
+        assert_eq!(
+            script.due(3),
+            vec![
+                FaultAction::CrashNode(NodeId::new(1)),
+                FaultAction::CrashClient(0)
+            ]
+        );
+        assert!(script.due(4).is_empty());
+        assert_eq!(script.due(5), vec![FaultAction::CleanupSweep]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Bank transfers: atomic actions across several replicated accounts, with
+//! crash injection — the classic motivating workload for the
+//! object-and-action model (paper §2.2).
+//!
+//! Runs a batch of transfers between replicated accounts while servers crash
+//! and recover, then audits the books: despite failures and aborts, the
+//! total balance is conserved, because every transfer is an atomic action.
+//!
+//! ```text
+//! cargo run --example bank_transfers
+//! ```
+
+use groupview::{Account, AccountOp, NodeId, ReplicationPolicy, System, Uid};
+
+const ACCOUNTS: usize = 4;
+const INITIAL_BALANCE: u64 = 1_000;
+const TRANSFERS: usize = 60;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = System::builder(7)
+        .nodes(8)
+        .policy(ReplicationPolicy::Active)
+        .build();
+    let nodes = sys.sim().nodes();
+    let bank_nodes = &nodes[1..5]; // n1-n4 hold servers and stores
+    let teller_node = nodes[6];
+
+    // Open the accounts, replicated across three nodes each (staggered).
+    let mut accounts: Vec<Uid> = Vec::new();
+    for i in 0..ACCOUNTS {
+        let replicas: Vec<NodeId> = (0..3).map(|j| bank_nodes[(i + j) % bank_nodes.len()]).collect();
+        let uid = sys.create_object(
+            Box::new(Account::new(INITIAL_BALANCE)),
+            &replicas,
+            &replicas,
+        )?;
+        accounts.push(uid);
+        println!("account {i}: {uid} on {replicas:?}");
+    }
+
+    let teller = sys.client(teller_node);
+    let mut committed = 0u32;
+    let mut aborted = 0u32;
+
+    for round in 0..TRANSFERS {
+        // Crash and recover bank nodes as the batch runs.
+        match round {
+            15 => {
+                println!("-- crash {} --", bank_nodes[0]);
+                sys.sim().crash(bank_nodes[0]);
+            }
+            30 => {
+                println!("-- crash {} --", bank_nodes[2]);
+                sys.sim().crash(bank_nodes[2]);
+            }
+            40 => {
+                println!("-- recover {} and {} --", bank_nodes[0], bank_nodes[2]);
+                sys.recovery().recover_node(bank_nodes[0]);
+                sys.recovery().recover_node(bank_nodes[2]);
+            }
+            _ => {}
+        }
+
+        let from = accounts[round % ACCOUNTS];
+        let to = accounts[(round + 1) % ACCOUNTS];
+        let amount = 10 + (round as u64 % 90);
+
+        // One transfer = one atomic action touching two replicated objects.
+        let action = teller.begin();
+        let outcome = (|| -> Result<bool, Box<dyn std::error::Error>> {
+            let src = teller.activate(action, from, 2)?;
+            let dst = teller.activate(action, to, 2)?;
+            let withdrawal =
+                teller.invoke(action, &src, &AccountOp::Withdraw(amount).encode())?;
+            if AccountOp::decode_reply(&withdrawal) == Some(AccountOp::REFUSED) {
+                return Ok(false); // insufficient funds: roll back
+            }
+            teller.invoke(action, &dst, &AccountOp::Deposit(amount).encode())?;
+            Ok(true)
+        })();
+        match outcome {
+            Ok(true) => match teller.commit(action) {
+                Ok(()) => committed += 1,
+                Err(_) => aborted += 1,
+            },
+            Ok(false) | Err(_) => {
+                teller.abort(action);
+                aborted += 1;
+            }
+        }
+    }
+
+    println!("\n{committed} transfers committed, {aborted} aborted");
+
+    // Audit: read every account and check conservation of money.
+    let auditor = sys.client(nodes[7]);
+    let action = auditor.begin();
+    let mut total = 0u64;
+    for (i, &uid) in accounts.iter().enumerate() {
+        let group = auditor.activate_read_only(action, uid, 1)?;
+        let reply = auditor.invoke_read(action, &group, &AccountOp::Balance.encode())?;
+        let balance = AccountOp::decode_reply(&reply).unwrap();
+        println!("account {i}: balance {balance}");
+        total += balance;
+    }
+    auditor.commit(action)?;
+
+    let expected = INITIAL_BALANCE * ACCOUNTS as u64;
+    println!("total = {total} (expected {expected})");
+    assert_eq!(total, expected, "atomicity violated!");
+    println!("books balance: every transfer was atomic despite {aborted} aborts");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! # groupview
+//!
+//! A complete Rust implementation of the system described in
+//!
+//! > M.C. Little, D.L. McCue, S.K. Shrivastava, *"Maintaining Information
+//! > about Persistent Replicated Objects in a Distributed System"*,
+//! > Proceedings of the 13th International Conference on Distributed
+//! > Computing Systems (ICDCS), Pittsburgh, May 1993, pp. 491–498.
+//!
+//! — persistent objects managed by nested atomic actions, replicated for
+//! availability, with a **naming-and-binding service** (the Arjuna *group
+//! view database*) that guarantees clients only ever bind to replicas that
+//! are mutually consistent and hold the latest committed state.
+//!
+//! The system runs over a deterministic discrete-event simulation, so every
+//! protocol behaviour — including crash interleavings such as "the server
+//! executed the call, then died before replying" — is exactly reproducible
+//! from a seed.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use groupview::{System, Counter, CounterOp, ReplicationPolicy};
+//!
+//! // A five-node world; node 0 hosts the naming service.
+//! let sys = System::builder(42)
+//!     .nodes(5)
+//!     .policy(ReplicationPolicy::Active)
+//!     .build();
+//! let nodes = sys.sim().nodes();
+//!
+//! // A counter stored on three nodes, servable by the same three.
+//! let uid = sys
+//!     .create_object(Box::new(Counter::new(0)), &nodes[1..4], &nodes[1..4])?;
+//!
+//! // A client runs an atomic action against two active replicas.
+//! let client = sys.client(nodes[4]);
+//! let action = client.begin();
+//! let group = client.activate(action, uid, 2)?;
+//! client.invoke(action, &group, &CounterOp::Add(10).encode())?;
+//! client.commit(action)?;
+//!
+//! // A crash of one replica is masked; the state is safe on every store.
+//! sys.sim().crash(nodes[1]);
+//! let action = client.begin();
+//! let group = client.activate(action, uid, 2)?;
+//! let reply = client.invoke_read(action, &group, &CounterOp::Get.encode())?;
+//! assert_eq!(CounterOp::decode_reply(&reply), Some(10));
+//! client.commit(action)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `groupview-sim` | deterministic simulation kernel: virtual time, crashes, network model, RPC |
+//! | [`store`] | `groupview-store` | UIDs, versioned object states, stable object stores, volatile cells |
+//! | [`actions`] | `groupview-actions` | lock manager (incl. exclude-write mode), nested + nested-top-level atomic actions, two-phase commit |
+//! | [`group`] | `groupview-group` | membership views, reliable totally-ordered multicast, election |
+//! | [`core`] | `groupview-core` | **the paper's contribution**: Object Server / Object State databases, use lists, binding schemes, recovery, cleanup |
+//! | [`replication`] | `groupview-replication` | replication policies, activation, commit-time write-back, the [`System`] façade |
+//! | [`workload`] | `groupview-workload` | workload driver, fault scripts, metrics, tables |
+//!
+//! The most common types are re-exported at the crate root.
+
+pub use groupview_actions as actions;
+pub use groupview_core as core;
+pub use groupview_group as group;
+pub use groupview_replication as replication;
+pub use groupview_sim as sim;
+pub use groupview_store as store;
+pub use groupview_workload as workload;
+
+pub use groupview_actions::{ActionId, LockMode, TxSystem};
+pub use groupview_core::{
+    BindError, Binder, BindingScheme, CleanupDaemon, DbError, ExcludePolicy, NamingService,
+    RecoveryManager,
+};
+pub use groupview_replication::{
+    Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, InvokeError,
+    KvMap, KvOp, ObjectGroup, ReplicaObject, ReplicationPolicy, System, SystemBuilder,
+};
+pub use groupview_sim::{ClientId, NetConfig, NodeId, Sim, SimConfig};
+pub use groupview_store::{ObjectState, Stores, TypeTag, Uid, Version};
+pub use groupview_workload::{Driver, FaultAction, FaultScript, RunMetrics, WorkloadSpec};

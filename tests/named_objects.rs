@@ -1,0 +1,130 @@
+//! The name directory end to end: names → UIDs → bound replicas (§2.2's
+//! full lookup chain), including atomicity of creation-with-naming.
+
+use groupview::{
+    Account, AccountOp, DbError, KvMap, KvOp, NodeId, ReplicationPolicy, System,
+};
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn build() -> System {
+    System::builder(401)
+        .nodes(6)
+        .policy(ReplicationPolicy::Active)
+        .build()
+}
+
+#[test]
+fn create_named_lookup_invoke_roundtrip() {
+    let sys = build();
+    let uid = sys
+        .create_named_object(
+            "accounts/alice",
+            Box::new(Account::new(500)),
+            &[n(1), n(2)],
+            &[n(1), n(2)],
+        )
+        .expect("create named");
+
+    let client = sys.client(n(4));
+    let action = client.begin();
+    let group = client
+        .activate_by_name(action, "accounts/alice", 2)
+        .expect("activate by name");
+    assert_eq!(group.uid, uid);
+    let reply = client
+        .invoke(action, &group, &AccountOp::Withdraw(100).encode())
+        .expect("withdraw");
+    assert_eq!(AccountOp::decode_reply(&reply), Some(400));
+    client.commit(action).expect("commit");
+}
+
+#[test]
+fn unknown_names_fail_cleanly() {
+    let sys = build();
+    let client = sys.client(n(4));
+    let action = client.begin();
+    let err = client
+        .activate_by_name(action, "no/such/object", 1)
+        .expect_err("unknown name");
+    assert!(matches!(
+        err,
+        groupview::ActivateError::Db(DbError::NotFound(_))
+    ));
+    client.abort(action);
+}
+
+#[test]
+fn name_collisions_abort_creation_atomically() {
+    let sys = build();
+    sys.create_named_object("kv/config", Box::new(KvMap::new()), &[n(1)], &[n(1)])
+        .expect("first");
+    let objects_before = sys.naming().server_db.uids().len();
+    let err = sys
+        .create_named_object("kv/config", Box::new(KvMap::new()), &[n(2)], &[n(2)])
+        .expect_err("name taken");
+    assert!(matches!(err, DbError::AlreadyExists(_)));
+    // The failed creation left nothing behind: no object entries, no name.
+    assert_eq!(sys.naming().server_db.uids().len(), objects_before);
+    assert_eq!(sys.directory().local().names(), vec!["kv/config".to_string()]);
+}
+
+#[test]
+fn names_survive_naming_node_crash_and_recovery() {
+    let sys = build();
+    sys.create_named_object("kv/session", Box::new(KvMap::new()), &[n(1), n(2)], &[n(1), n(2)])
+        .expect("create");
+    // Write through the name.
+    let client = sys.client(n(4));
+    let action = client.begin();
+    let group = client
+        .activate_by_name(action, "kv/session", 2)
+        .expect("activate");
+    client
+        .invoke(action, &group, &KvOp::Put("user".into(), "mcl".into()).encode())
+        .expect("put");
+    client.commit(action).expect("commit");
+
+    // The naming node crashes: lookups fail while it is down...
+    sys.sim().crash(n(0));
+    let action = client.begin();
+    assert!(client.activate_by_name(action, "kv/session", 2).is_err());
+    client.abort(action);
+
+    // ...and work again after recovery (directory state is in the service's
+    // persistent object, which our simulation keeps with the service).
+    sys.recovery().recover_node(n(0));
+    let action = client.begin();
+    let group = client
+        .activate_by_name(action, "kv/session", 2)
+        .expect("activate after recovery");
+    let reply = client
+        .invoke_read(action, &group, &KvOp::Get("user".into()).encode())
+        .expect("get");
+    assert_eq!(reply, b"mcl");
+    client.commit(action).expect("commit");
+}
+
+#[test]
+fn directory_updates_are_transactional_with_the_client_action() {
+    let sys = build();
+    let uid = sys
+        .create_named_object("tmp/a", Box::new(KvMap::new()), &[n(1)], &[n(1)])
+        .expect("create");
+    // Rename within an action, then abort: the rename is undone.
+    let tx = sys.tx();
+    let action = tx.begin_top(n(0));
+    let dir = sys.directory().local();
+    assert!(dir.unbind_name(action, "tmp/a").unwrap());
+    dir.bind_name(action, "tmp/b", uid).unwrap();
+    tx.abort(action);
+    assert_eq!(dir.names(), vec!["tmp/a".to_string()]);
+    // And committed when the action commits.
+    let action = tx.begin_top(n(0));
+    assert!(dir.unbind_name(action, "tmp/a").unwrap());
+    dir.bind_name(action, "tmp/b", uid).unwrap();
+    tx.commit(action).unwrap();
+    assert_eq!(dir.names(), vec!["tmp/b".to_string()]);
+}
