@@ -40,13 +40,20 @@ pub enum TxError {
 impl fmt::Display for TxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TxError::LockRefused { key, requested, held } => write!(
+            TxError::LockRefused {
+                key,
+                requested,
+                held,
+            } => write!(
                 f,
                 "lock {requested} on {key} refused (conflicting {held} lock held)"
             ),
             TxError::NotActive(a) => write!(f, "action {a} is not active"),
             TxError::PrepareFailed { node } => {
-                write!(f, "two-phase commit: participant on {node} failed to prepare")
+                write!(
+                    f,
+                    "two-phase commit: participant on {node} failed to prepare"
+                )
             }
             TxError::CoordinatorDown(n) => write!(f, "coordinator node {n} is down"),
             TxError::Net(e) => write!(f, "network failure: {e}"),
@@ -84,9 +91,11 @@ mod tests {
         assert!(TxError::NotActive(ActionId::from_raw(3))
             .to_string()
             .contains("a3"));
-        assert!(TxError::PrepareFailed { node: NodeId::new(1) }
-            .to_string()
-            .contains("prepare"));
+        assert!(TxError::PrepareFailed {
+            node: NodeId::new(1)
+        }
+        .to_string()
+        .contains("prepare"));
         assert!(TxError::CoordinatorDown(NodeId::new(2))
             .to_string()
             .contains("n2"));

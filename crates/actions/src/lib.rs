@@ -62,8 +62,8 @@ pub mod lock;
 pub mod manager;
 pub mod participant;
 
-pub use action::{ActionId, ActionKind, ActionStatus};
-pub use error::TxError;
-pub use lock::{LockKey, LockManager, LockMode};
-pub use manager::{TxStats, TxSystem};
-pub use participant::{Participant, StoreWriteParticipant};
+pub use crate::action::{ActionId, ActionKind, ActionStatus};
+pub use crate::error::TxError;
+pub use crate::lock::{LockKey, LockManager, LockMode};
+pub use crate::manager::{TxStats, TxSystem};
+pub use crate::participant::{Participant, StoreWriteParticipant};

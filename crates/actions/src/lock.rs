@@ -232,7 +232,9 @@ impl LockManager {
                 .iter()
                 .find(|&&(hid, _)| hid == child)
                 .map(|&(_, m)| m);
-            let Some(child_mode) = child_mode else { continue };
+            let Some(child_mode) = child_mode else {
+                continue;
+            };
             holders.retain(|&(hid, _)| hid != child);
             if let Some(entry) = holders.iter_mut().find(|(hid, _)| *hid == parent) {
                 entry.1 = entry.1.max(child_mode);
@@ -339,7 +341,8 @@ mod tests {
     fn exclude_write_coexists_with_readers_only() {
         let mut lm = LockManager::new();
         lm.acquire(&none(), a(1), K, LockMode::Read).unwrap();
-        lm.acquire(&none(), a(2), K, LockMode::ExcludeWrite).unwrap();
+        lm.acquire(&none(), a(2), K, LockMode::ExcludeWrite)
+            .unwrap();
         // another reader still fine
         lm.acquire(&none(), a(3), K, LockMode::Read).unwrap();
         // but a second excluder is refused
@@ -375,7 +378,8 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(&none(), a(1), K, LockMode::Read).unwrap();
         lm.acquire(&none(), a(2), K, LockMode::Read).unwrap();
-        lm.acquire(&none(), a(1), K, LockMode::ExcludeWrite).unwrap();
+        lm.acquire(&none(), a(1), K, LockMode::ExcludeWrite)
+            .unwrap();
         assert_eq!(lm.mode_of(a(1), K), Some(LockMode::ExcludeWrite));
         assert_eq!(lm.mode_of(a(2), K), Some(LockMode::Read));
     }

@@ -240,7 +240,11 @@ impl TxSystem {
     /// # Errors
     ///
     /// [`TxError::NotActive`] if the action is not active.
-    pub fn push_undo(&self, action: ActionId, undo: impl FnOnce() + 'static) -> Result<(), TxError> {
+    pub fn push_undo(
+        &self,
+        action: ActionId,
+        undo: impl FnOnce() + 'static,
+    ) -> Result<(), TxError> {
         let mut inner = self.inner.borrow_mut();
         if !inner.is_active(action) {
             return Err(TxError::NotActive(action));
@@ -457,7 +461,11 @@ impl TxSystem {
 
     /// The structural parent of `action`, if any.
     pub fn parent(&self, action: ActionId) -> Option<ActionId> {
-        self.inner.borrow().actions.get(&action).and_then(|r| r.parent)
+        self.inner
+            .borrow()
+            .actions
+            .get(&action)
+            .and_then(|r| r.parent)
     }
 
     /// The coordinator node of `action`.
@@ -732,7 +740,9 @@ mod tests {
     fn prepare_failure_aborts_everything() {
         let (sim, stores, tx) = world();
         let uid = Uid::from_raw(8);
-        stores.write_local(NodeId::new(1), uid, state(b"old")).unwrap();
+        stores
+            .write_local(NodeId::new(1), uid, state(b"old"))
+            .unwrap();
         sim.crash(NodeId::new(2));
         let a = tx.begin_top(NodeId::new(0));
         for target in [NodeId::new(1), NodeId::new(2)] {
@@ -750,11 +760,19 @@ mod tests {
             .unwrap();
         }
         let err = tx.commit(a).unwrap_err();
-        assert_eq!(err, TxError::PrepareFailed { node: NodeId::new(2) });
+        assert_eq!(
+            err,
+            TxError::PrepareFailed {
+                node: NodeId::new(2)
+            }
+        );
         assert_eq!(tx.status(a), Some(ActionStatus::Aborted));
         // Nothing installed anywhere; node 1's intent log cleaned up.
         assert_eq!(stores.read_local(NodeId::new(1), uid).unwrap().data, b"old");
-        assert!(stores.with(NodeId::new(1), |s| s.indoubt()).unwrap().is_empty());
+        assert!(stores
+            .with(NodeId::new(1), |s| s.indoubt())
+            .unwrap()
+            .is_empty());
         assert_eq!(tx.decision(TxSystem::token(a)), Some(false));
         assert_eq!(tx.stats().prepare_failures, 1);
     }

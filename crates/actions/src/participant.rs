@@ -67,7 +67,11 @@ impl StoreWriteParticipant {
     }
 
     fn wire_size(&self) -> usize {
-        self.writes.iter().map(|(_, s)| s.wire_size()).sum::<usize>() + 24
+        self.writes
+            .iter()
+            .map(|(_, s)| s.wire_size())
+            .sum::<usize>()
+            + 24
     }
 
     fn is_local(&self) -> bool {
@@ -121,9 +125,11 @@ impl Participant for StoreWriteParticipant {
         let stores = self.stores.clone();
         let target = self.target;
         let token = self.token;
-        let _ = self.sim.rpc(self.coordinator, self.target, 24, 16, move || {
-            let _ = stores.abort_local(target, token);
-        });
+        let _ = self
+            .sim
+            .rpc(self.coordinator, self.target, 24, 16, move || {
+                let _ = stores.abort_local(target, token);
+            });
     }
 }
 
@@ -183,7 +189,11 @@ mod tests {
         );
         assert!(p.prepare());
         assert!(p.commit());
-        assert_eq!(sim.counters().delivered, before, "no messages for local store");
+        assert_eq!(
+            sim.counters().delivered,
+            before,
+            "no messages for local store"
+        );
         assert_eq!(stores.read_local(NodeId::new(0), uid).unwrap().data, b"y");
     }
 
@@ -206,7 +216,9 @@ mod tests {
     fn abort_discards_prepared_writes() {
         let (sim, stores) = world();
         let uid = Uid::from_raw(4);
-        stores.write_local(NodeId::new(1), uid, state(b"old")).unwrap();
+        stores
+            .write_local(NodeId::new(1), uid, state(b"old"))
+            .unwrap();
         let mut p = StoreWriteParticipant::new(
             &sim,
             &stores,
@@ -218,7 +230,10 @@ mod tests {
         assert!(p.prepare());
         p.abort();
         assert_eq!(stores.read_local(NodeId::new(1), uid).unwrap().data, b"old");
-        assert!(stores.with(NodeId::new(1), |s| s.indoubt()).unwrap().is_empty());
+        assert!(stores
+            .with(NodeId::new(1), |s| s.indoubt())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

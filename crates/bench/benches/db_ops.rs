@@ -92,7 +92,10 @@ fn bench_increment_decrement(c: &mut Criterion) {
 
 fn bench_exclude_include(c: &mut Criterion) {
     let mut group = c.benchmark_group("state_db/exclude+include");
-    for policy in [ExcludePolicy::PromoteToWrite, ExcludePolicy::ExcludeWriteLock] {
+    for policy in [
+        ExcludePolicy::PromoteToWrite,
+        ExcludePolicy::ExcludeWriteLock,
+    ] {
         let (_sim, tx, ns, uids) = world(128);
         let mut i = 0usize;
         group.bench_function(BenchmarkId::from_parameter(format!("{policy:?}")), |b| {
@@ -103,7 +106,9 @@ fn bench_exclude_include(c: &mut Criterion) {
                 ns.state_db
                     .exclude(a, &[(uid, vec![NodeId::new(3)])], policy)
                     .expect("exclude");
-                ns.state_db.include(a, uid, NodeId::new(3)).expect("include");
+                ns.state_db
+                    .include(a, uid, NodeId::new(3))
+                    .expect("include");
                 tx.commit(a).expect("commit");
             })
         });

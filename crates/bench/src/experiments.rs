@@ -170,13 +170,7 @@ fn build_world(
 
 /// Generates a crash/recover script: each step, while the node is up, it
 /// crashes with probability `p` and recovers `down_for` steps later.
-fn random_crash_script(
-    seed: u64,
-    node: NodeId,
-    steps: u64,
-    p: f64,
-    down_for: u64,
-) -> FaultScript {
+fn random_crash_script(seed: u64, node: NodeId, steps: u64, p: f64, down_for: u64) -> FaultScript {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut script = FaultScript::new();
     let mut down_until = 0u64;
@@ -280,7 +274,15 @@ fn e1_trial(seed: u64, mode: DeliveryMode, drop_p: f64) -> bool {
 fn e2() -> Vec<TextTable> {
     let mut table = TextTable::new(
         "E2: |Sv|=|St|=1 baseline — availability vs crash probability of the object's node",
-        &["crash p/step", "attempts", "commits", "availability", "bind aborts", "invoke aborts", "commit aborts"],
+        &[
+            "crash p/step",
+            "attempts",
+            "commits",
+            "availability",
+            "bind aborts",
+            "invoke aborts",
+            "commit aborts",
+        ],
     );
     for (i, p) in [0.0, 0.01, 0.05, 0.10, 0.20].into_iter().enumerate() {
         let (sys, uids) = build_world(
@@ -319,7 +321,14 @@ fn e2() -> Vec<TextTable> {
 fn e3() -> Vec<TextTable> {
     let mut table = TextTable::new(
         "E3: |Sv|=1, |St|=k — one store crashes mid-run (recovering later)",
-        &["|St|", "availability", "mean msgs/action", "mean latency us", "stores excluded", "St size at end"],
+        &[
+            "|St|",
+            "availability",
+            "mean msgs/action",
+            "mean latency us",
+            "stores excluded",
+            "St size at end",
+        ],
     );
     for k in 1..=5usize {
         let stores: Vec<NodeId> = (1..=k as u32).map(n).collect();
@@ -365,7 +374,12 @@ fn e4() -> Vec<TextTable> {
     // spare to mask the failure; k>=2 rides it out.
     let mut masking = TextTable::new(
         "E4a: |Sv|=k, |St|=1 active replication — one bound server crashes mid-run",
-        &["|Sv|", "availability", "mean msgs/action", "mean latency us"],
+        &[
+            "|Sv|",
+            "availability",
+            "mean msgs/action",
+            "mean latency us",
+        ],
     );
     for k in 1..=5usize {
         let servers: Vec<NodeId> = (1..=k as u32).map(n).collect();
@@ -504,7 +518,11 @@ fn scheme_sweep_row(scheme: BindingScheme, crashed: usize, seed: u64) -> Vec<Str
         .replicas(2)
         .passivate_between_actions();
     let m = Driver::new(&sys, spec).with_faults(script).run();
-    let sv_len = sys.naming().server_db.entry(uids[0]).map_or(0, |e| e.servers.len());
+    let sv_len = sys
+        .naming()
+        .server_db
+        .entry(uids[0])
+        .map_or(0, |e| e.servers.len());
     vec![
         crashed.to_string(),
         m.attempts.to_string(),
@@ -561,7 +579,12 @@ fn e7() -> Vec<TextTable> {
     // Client-crash leak: two clients die mid-action; the daemon reclaims.
     let mut leak = TextTable::new(
         "E7b: client crashes leak use-list entries until a cleanup sweep",
-        &["clients crashed", "leaked bindings", "reclaimed by sweep", "quiescent after"],
+        &[
+            "clients crashed",
+            "leaked bindings",
+            "reclaimed by sweep",
+            "quiescent after",
+        ],
     );
     let servers: Vec<NodeId> = (1..=4).map(n).collect();
     let (sys, uids) = build_world(
@@ -614,7 +637,13 @@ fn e8() -> Vec<TextTable> {
 
     let mut cmp = TextTable::new(
         "E8b: schemes side by side (1 of 4 servers crashed)",
-        &["scheme", "availability", "dead probes", "probes/action", "mean msgs/action"],
+        &[
+            "scheme",
+            "availability",
+            "dead probes",
+            "probes/action",
+            "mean msgs/action",
+        ],
     );
     for scheme in BindingScheme::ALL {
         let row = scheme_sweep_row(scheme, 1, 2_850 + scheme as u64);
@@ -636,11 +665,18 @@ fn e8() -> Vec<TextTable> {
 fn e9() -> Vec<TextTable> {
     let mut table = TextTable::new(
         "E9: commit-time Exclude under R concurrent readers (20 trials each)",
-        &["readers", "promote-to-write commits", "exclude-write commits"],
+        &[
+            "readers",
+            "promote-to-write commits",
+            "exclude-write commits",
+        ],
     );
     for readers in [0usize, 1, 2, 4, 8] {
         let mut cells = vec![readers.to_string()];
-        for policy in [ExcludePolicy::PromoteToWrite, ExcludePolicy::ExcludeWriteLock] {
+        for policy in [
+            ExcludePolicy::PromoteToWrite,
+            ExcludePolicy::ExcludeWriteLock,
+        ] {
             let trials = 20;
             let mut ok = 0;
             for t in 0..trials {
@@ -702,7 +738,12 @@ fn e9_trial(seed: u64, readers: usize, policy: ExcludePolicy) -> bool {
 fn e10() -> Vec<TextTable> {
     let mut table = TextTable::new(
         "E10: stale-binding prevention (150 seeded trials per variant)",
-        &["variant", "fresh reads", "stale reads", "correctly unavailable"],
+        &[
+            "variant",
+            "fresh reads",
+            "stale reads",
+            "correctly unavailable",
+        ],
     );
     for ablate in [false, true] {
         let trials = 150;
@@ -717,7 +758,12 @@ fn e10() -> Vec<TextTable> {
             }
         }
         table.row(vec![
-            if ablate { "exclude DISABLED (ablation)" } else { "exclude enabled (paper)" }.into(),
+            if ablate {
+                "exclude DISABLED (ablation)"
+            } else {
+                "exclude enabled (paper)"
+            }
+            .into(),
             fresh.to_string(),
             stale.to_string(),
             unavailable.to_string(),
@@ -736,7 +782,9 @@ enum E10Outcome {
 /// back *without* running the Include protocol while n1 is down. A reader
 /// then tries to use the object.
 fn e10_trial(seed: u64, ablate: bool) -> E10Outcome {
-    let mut builder = System::builder(seed).nodes(5).policy(ReplicationPolicy::Active);
+    let mut builder = System::builder(seed)
+        .nodes(5)
+        .policy(ReplicationPolicy::Active);
     if ablate {
         builder = builder.ablate_disable_exclude();
     }
@@ -792,15 +840,15 @@ fn e10_trial(seed: u64, ablate: bool) -> E10Outcome {
 fn e11() -> Vec<TextTable> {
     let mut table = TextTable::new(
         "E11: attempts until a recovered store is re-Included, under reader load",
-        &["concurrent readers", "recovery attempts", "virtual ms to inclusion"],
+        &[
+            "concurrent readers",
+            "recovery attempts",
+            "virtual ms to inclusion",
+        ],
     );
     for load in [0usize, 2, 4, 6] {
         let (attempts, ms) = e11_trial(6_000 + load as u64, load);
-        table.row(vec![
-            load.to_string(),
-            attempts.to_string(),
-            fmt_f64(ms),
-        ]);
+        table.row(vec![load.to_string(), attempts.to_string(), fmt_f64(ms)]);
     }
     vec![table]
 }
@@ -814,7 +862,11 @@ fn e11_trial(seed: u64, load: usize) -> (u64, f64) {
         .policy(ReplicationPolicy::Active)
         .build();
     let uid = sys
-        .create_object(Box::new(Counter::new(0)), &[n(1), n(2), n(3)], &[n(1), n(2), n(3)])
+        .create_object(
+            Box::new(Counter::new(0)),
+            &[n(1), n(2), n(3)],
+            &[n(1), n(2), n(3)],
+        )
         .expect("create");
     sys.sim().crash(n(3));
     let writer = sys.client(n(10));
@@ -876,7 +928,15 @@ fn e11_trial(seed: u64, load: usize) -> (u64, f64) {
 fn e12() -> Vec<TextTable> {
     let mut table = TextTable::new(
         "E12: replication policies — one of three servers crashes mid-run, later recovers",
-        &["policy", "attempts", "availability", "invoke aborts", "mean msgs/action", "mean latency us", "p95 latency us"],
+        &[
+            "policy",
+            "attempts",
+            "availability",
+            "invoke aborts",
+            "mean msgs/action",
+            "mean latency us",
+            "p95 latency us",
+        ],
     );
     for policy in ReplicationPolicy::ALL {
         let (sys, uids) = build_world(
@@ -921,7 +981,12 @@ fn e13() -> Vec<TextTable> {
     // the non-atomic cache accepts every update instantly.
     let mut admin = TextTable::new(
         "E13a: replication-degree changes racing long client actions (60 rounds)",
-        &["scheme", "admin attempts", "admin successes", "success rate"],
+        &[
+            "scheme",
+            "admin attempts",
+            "admin successes",
+            "success rate",
+        ],
     );
     for scheme in [BindingScheme::Standard, BindingScheme::CachedNameServer] {
         let (attempts, successes) = e13_admin_trial(8_000, scheme);
@@ -938,7 +1003,12 @@ fn e13() -> Vec<TextTable> {
     // database intact): still zero stale reads.
     let mut safety = TextTable::new(
         "E13b: E10's stale-binding scenario under the cached scheme (150 trials)",
-        &["scheme", "fresh reads", "stale reads", "correctly unavailable"],
+        &[
+            "scheme",
+            "fresh reads",
+            "stale reads",
+            "correctly unavailable",
+        ],
     );
     for scheme in [BindingScheme::Standard, BindingScheme::CachedNameServer] {
         let trials = 150;
@@ -1009,9 +1079,15 @@ fn e13_admin_trial(seed: u64, scheme: BindingScheme) -> (u64, u64) {
         } else {
             let action = sys.tx().begin_top(n(0));
             let result = if listed {
-                sys.naming().server_db.remove(action, uid, spare).map(|_| ())
+                sys.naming()
+                    .server_db
+                    .remove(action, uid, spare)
+                    .map(|_| ())
             } else {
-                sys.naming().server_db.insert(action, uid, spare).map(|_| ())
+                sys.naming()
+                    .server_db
+                    .insert(action, uid, spare)
+                    .map(|_| ())
             };
             match result {
                 Ok(()) if sys.tx().commit(action).is_ok() => {
@@ -1102,8 +1178,14 @@ mod tests {
         let tables = e1();
         let text = tables[0].to_string();
         // Unreliable mode diverges every time; reliable never.
-        assert!(text.contains("unreliable") && text.contains("100.0%"), "{text}");
-        assert!(text.contains("reliable-ordered") && text.contains("0.0%"), "{text}");
+        assert!(
+            text.contains("unreliable") && text.contains("100.0%"),
+            "{text}"
+        );
+        assert!(
+            text.contains("reliable-ordered") && text.contains("0.0%"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -1138,7 +1220,10 @@ mod tests {
         let disabled = lines.iter().find(|l| l.contains("DISABLED")).unwrap();
         // Paper protocol: zero stale reads.
         let enabled_cells: Vec<&str> = enabled.split('|').map(str::trim).collect();
-        assert_eq!(enabled_cells[3], "0", "stale reads with exclude on: {enabled}");
+        assert_eq!(
+            enabled_cells[3], "0",
+            "stale reads with exclude on: {enabled}"
+        );
         // Ablation: staleness appears.
         let disabled_cells: Vec<&str> = disabled.split('|').map(str::trim).collect();
         let stale: u32 = disabled_cells[3].parse().unwrap();

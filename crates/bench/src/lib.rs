@@ -14,4 +14,4 @@
 
 pub mod experiments;
 
-pub use experiments::{all_experiments, run_experiment, Experiment};
+pub use crate::experiments::{all_experiments, run_experiment, Experiment};

@@ -325,16 +325,17 @@ impl Binder {
     fn bind_standard(&self, action: ActionId, req: &BindRequest) -> Result<Binding, BindError> {
         // GetServer as a nested action of the client action (Figure 6).
         let nested = self.tx.begin_nested(action);
-        let entry = match self
-            .naming
-            .get_server_from(req.client_node, nested, req.uid, LockMode::Read)
-        {
-            Ok(e) => e,
-            Err(e) => {
-                self.tx.abort(nested);
-                return Err(e.into());
-            }
-        };
+        let entry =
+            match self
+                .naming
+                .get_server_from(req.client_node, nested, req.uid, LockMode::Read)
+            {
+                Ok(e) => e,
+                Err(e) => {
+                    self.tx.abort(nested);
+                    return Err(e.into());
+                }
+            };
         self.tx.commit(nested).map_err(BindError::Tx)?;
 
         // An already-activated object pins the selection to SvA' (§3.2).
@@ -651,7 +652,9 @@ mod tests {
         let (_, tx, ns, binder) = world(BindingScheme::IndependentTopLevel);
         // An unrelated action camps on the entry's write lock.
         let blocker = tx.begin_top(n(0));
-        ns.server_db.get_server_locked(blocker, uid(), LockMode::Write).unwrap();
+        ns.server_db
+            .get_server_locked(blocker, uid(), LockMode::Write)
+            .unwrap();
         let a = tx.begin_top(n(4));
         assert_eq!(binder.bind(a, &req()), Err(BindError::Contention));
         tx.abort(a);

@@ -12,8 +12,8 @@ use groupview_actions::{ActionId, LockKey, LockMode, TxSystem};
 use groupview_sim::{NodeId, Sim};
 use groupview_store::Uid;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;

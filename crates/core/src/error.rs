@@ -86,7 +86,10 @@ impl fmt::Display for BindError {
         match self {
             BindError::Db(e) => write!(f, "binding failed in the naming service: {e}"),
             BindError::NoServers { probed } => {
-                write!(f, "no functioning server found ({probed} candidates probed)")
+                write!(
+                    f,
+                    "no functioning server found ({probed} candidates probed)"
+                )
             }
             BindError::Contention => write!(f, "binding gave up after repeated lock refusals"),
             BindError::Tx(e) => write!(f, "binding action failed: {e}"),

@@ -43,12 +43,12 @@ pub mod recovery;
 pub mod server_db;
 pub mod state_db;
 
-pub use binder::{BindRequest, Binder, Binding, BindingScheme};
-pub use cleanup::{CleanupDaemon, CleanupReport};
-pub use directory::{Directory, RemoteDirectory};
-pub use error::{BindError, DbError};
-pub use naming::NamingService;
-pub use nonatomic::{RemoteServerCache, ServerCache};
-pub use recovery::{RecoveryManager, RecoveryReport};
-pub use server_db::{ObjectServerDb, ServerDbOps, ServerEntry};
-pub use state_db::{ExcludePolicy, ObjectStateDb, StateDbOps, StateEntry};
+pub use crate::binder::{BindRequest, Binder, Binding, BindingScheme};
+pub use crate::cleanup::{CleanupDaemon, CleanupReport};
+pub use crate::directory::{Directory, RemoteDirectory};
+pub use crate::error::{BindError, DbError};
+pub use crate::naming::NamingService;
+pub use crate::nonatomic::{RemoteServerCache, ServerCache};
+pub use crate::recovery::{RecoveryManager, RecoveryReport};
+pub use crate::server_db::{ObjectServerDb, ServerDbOps, ServerEntry};
+pub use crate::state_db::{ExcludePolicy, ObjectStateDb, StateDbOps, StateEntry};

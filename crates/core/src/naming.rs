@@ -107,9 +107,10 @@ impl NamingService {
         mode: LockMode,
     ) -> Result<ServerEntry, DbError> {
         let db = self.server_db.clone();
-        self.sim.rpc_flat(caller, self.node, REQ, RESP_ENTRY, move || {
-            db.get_server_locked(action, uid, mode)
-        })
+        self.sim
+            .rpc_flat(caller, self.node, REQ, RESP_ENTRY, move || {
+                db.get_server_locked(action, uid, mode)
+            })
     }
 
     /// Remote `Insert` from `caller`.
@@ -126,9 +127,10 @@ impl NamingService {
         host: NodeId,
     ) -> Result<bool, DbError> {
         let db = self.server_db.clone();
-        self.sim.rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
-            db.insert(action, uid, host)
-        })
+        self.sim
+            .rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
+                db.insert(action, uid, host)
+            })
     }
 
     /// Remote `Remove` from `caller`.
@@ -144,9 +146,10 @@ impl NamingService {
         host: NodeId,
     ) -> Result<bool, DbError> {
         let db = self.server_db.clone();
-        self.sim.rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
-            db.remove(action, uid, host)
-        })
+        self.sim
+            .rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
+                db.remove(action, uid, host)
+            })
     }
 
     /// Remote `Increment` from `caller`.
@@ -164,9 +167,10 @@ impl NamingService {
     ) -> Result<(), DbError> {
         let db = self.server_db.clone();
         let hosts = hosts.to_vec();
-        self.sim.rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
-            db.increment(action, client, uid, &hosts)
-        })
+        self.sim
+            .rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
+                db.increment(action, client, uid, &hosts)
+            })
     }
 
     /// Remote `Decrement` from `caller`.
@@ -184,9 +188,10 @@ impl NamingService {
     ) -> Result<(), DbError> {
         let db = self.server_db.clone();
         let hosts = hosts.to_vec();
-        self.sim.rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
-            db.decrement(action, client, uid, &hosts)
-        })
+        self.sim
+            .rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
+                db.decrement(action, client, uid, &hosts)
+            })
     }
 
     // ----- remote Object State database operations ------------------------
@@ -203,9 +208,10 @@ impl NamingService {
         uid: Uid,
     ) -> Result<StateEntry, DbError> {
         let db = self.state_db.clone();
-        self.sim.rpc_flat(caller, self.node, REQ, RESP_ENTRY, move || {
-            db.get_view(action, uid)
-        })
+        self.sim
+            .rpc_flat(caller, self.node, REQ, RESP_ENTRY, move || {
+                db.get_view(action, uid)
+            })
     }
 
     /// Remote `Include` from `caller`.
@@ -221,9 +227,10 @@ impl NamingService {
         host: NodeId,
     ) -> Result<bool, DbError> {
         let db = self.state_db.clone();
-        self.sim.rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
-            db.include(action, uid, host)
-        })
+        self.sim
+            .rpc_flat(caller, self.node, REQ, RESP_SMALL, move || {
+                db.include(action, uid, host)
+            })
     }
 
     /// Remote `Exclude` from `caller`.
@@ -241,9 +248,10 @@ impl NamingService {
     ) -> Result<usize, DbError> {
         let db = self.state_db.clone();
         let batch = batch.to_vec();
-        self.sim.rpc_flat(caller, self.node, REQ + 32, RESP_SMALL, move || {
-            db.exclude(action, &batch, policy)
-        })
+        self.sim
+            .rpc_flat(caller, self.node, REQ + 32, RESP_SMALL, move || {
+                db.exclude(action, &batch, policy)
+            })
     }
 }
 
@@ -344,8 +352,13 @@ mod tests {
         ns.decrement_from(n(1), c, ClientId::new(5), uid, &[n(1)])
             .unwrap();
         ns.remove_from(n(1), c, uid, n(3)).unwrap();
-        ns.exclude_from(n(1), c, &[(uid, vec![n(2)])], ExcludePolicy::ExcludeWriteLock)
-            .unwrap();
+        ns.exclude_from(
+            n(1),
+            c,
+            &[(uid, vec![n(2)])],
+            ExcludePolicy::ExcludeWriteLock,
+        )
+        .unwrap();
         ns.include_from(n(1), c, uid, n(2)).unwrap();
         tx.commit(c).unwrap();
         assert_eq!(ns.server_db.entry(uid).unwrap().servers, vec![n(1)]);

@@ -292,8 +292,13 @@ mod tests {
         sim.crash(n(2));
         let a = tx.begin_top(n(3));
         stores.write_local(n(1), uid(), state(b"v1")).unwrap();
-        ns.exclude_from(n(3), a, &[(uid(), vec![n(2)])], ExcludePolicy::ExcludeWriteLock)
-            .unwrap();
+        ns.exclude_from(
+            n(3),
+            a,
+            &[(uid(), vec![n(2)])],
+            ExcludePolicy::ExcludeWriteLock,
+        )
+        .unwrap();
         tx.commit(a).unwrap();
         assert_eq!(ns.state_db.entry(uid()).unwrap().stores, vec![n(1)]);
 
@@ -418,8 +423,13 @@ mod tests {
         // Exclude n2, then also take n1 (the only current store) down.
         sim.crash(n(2));
         let a = tx.begin_top(n(3));
-        ns.exclude_from(n(3), a, &[(uid(), vec![n(2)])], ExcludePolicy::ExcludeWriteLock)
-            .unwrap();
+        ns.exclude_from(
+            n(3),
+            a,
+            &[(uid(), vec![n(2)])],
+            ExcludePolicy::ExcludeWriteLock,
+        )
+        .unwrap();
         tx.commit(a).unwrap();
         sim.crash(n(1));
         let report = rm.recover_node(n(2));

@@ -146,7 +146,8 @@ impl ObjectServerDb {
         uid: Uid,
         servers: Vec<NodeId>,
     ) -> Result<(), DbError> {
-        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        self.tx
+            .lock(action, server_entry_key(uid), LockMode::Write)?;
         {
             let mut inner = self.inner.borrow_mut();
             if inner.entries.contains_key(&uid) {
@@ -206,7 +207,8 @@ impl ObjectServerDb {
     ///
     /// [`DbError::NotFound`], [`DbError::NotQuiescent`], or a lock refusal.
     pub fn insert(&self, action: ActionId, uid: Uid, host: NodeId) -> Result<bool, DbError> {
-        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        self.tx
+            .lock(action, server_entry_key(uid), LockMode::Write)?;
         let added = {
             let mut inner = self.inner.borrow_mut();
             inner.ops.insert += 1;
@@ -239,7 +241,8 @@ impl ObjectServerDb {
     ///
     /// [`DbError::NotFound`] or a lock refusal.
     pub fn remove(&self, action: ActionId, uid: Uid, host: NodeId) -> Result<bool, DbError> {
-        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        self.tx
+            .lock(action, server_entry_key(uid), LockMode::Write)?;
         let removed = {
             let mut inner = self.inner.borrow_mut();
             inner.ops.remove += 1;
@@ -281,7 +284,8 @@ impl ObjectServerDb {
         uid: Uid,
         hosts: &[NodeId],
     ) -> Result<(), DbError> {
-        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        self.tx
+            .lock(action, server_entry_key(uid), LockMode::Write)?;
         {
             let mut inner = self.inner.borrow_mut();
             inner.ops.increment += 1;
@@ -320,7 +324,8 @@ impl ObjectServerDb {
         uid: Uid,
         hosts: &[NodeId],
     ) -> Result<(), DbError> {
-        self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+        self.tx
+            .lock(action, server_entry_key(uid), LockMode::Write)?;
         let touched: Vec<NodeId> = {
             let mut inner = self.inner.borrow_mut();
             inner.ops.decrement += 1;
@@ -365,15 +370,14 @@ impl ObjectServerDb {
             inner
                 .entries
                 .iter()
-                .filter(|(_, e)| {
-                    e.use_lists.values().any(|ul| ul.contains_key(&client))
-                })
+                .filter(|(_, e)| e.use_lists.values().any(|ul| ul.contains_key(&client)))
                 .map(|(&uid, _)| uid)
                 .collect()
         };
         let mut cleaned = Vec::new();
         for uid in affected {
-            self.tx.lock(action, server_entry_key(uid), LockMode::Write)?;
+            self.tx
+                .lock(action, server_entry_key(uid), LockMode::Write)?;
             let removed: Vec<(NodeId, u32)> = {
                 let mut inner = self.inner.borrow_mut();
                 let Some(entry) = inner.entries.get_mut(&uid) else {

@@ -139,7 +139,8 @@ impl ObjectStateDb {
         uid: Uid,
         stores: Vec<NodeId>,
     ) -> Result<(), DbError> {
-        self.tx.lock(action, state_entry_key(uid), LockMode::Write)?;
+        self.tx
+            .lock(action, state_entry_key(uid), LockMode::Write)?;
         {
             let mut inner = self.inner.borrow_mut();
             if inner.entries.contains_key(&uid) {
@@ -178,7 +179,8 @@ impl ObjectStateDb {
     ///
     /// [`DbError::NotFound`] or a lock refusal.
     pub fn include(&self, action: ActionId, uid: Uid, host: NodeId) -> Result<bool, DbError> {
-        self.tx.lock(action, state_entry_key(uid), LockMode::Write)?;
+        self.tx
+            .lock(action, state_entry_key(uid), LockMode::Write)?;
         let added = {
             let mut inner = self.inner.borrow_mut();
             inner.ops.include += 1;
@@ -330,7 +332,11 @@ mod tests {
         setup(&tx, &db, vec![n(1), n(2), n(3)]);
         let a = tx.begin_top(n(0));
         let removed = db
-            .exclude(a, &[(uid(), vec![n(1), n(3)])], ExcludePolicy::PromoteToWrite)
+            .exclude(
+                a,
+                &[(uid(), vec![n(1), n(3)])],
+                ExcludePolicy::PromoteToWrite,
+            )
             .unwrap();
         assert_eq!(removed, 2);
         assert_eq!(db.entry(uid()).unwrap().stores, vec![n(2)]);

@@ -1,11 +1,11 @@
 //! Multicast machinery: the group table and the two delivery protocols.
 
+use crate::error::GroupError;
 use crate::member::GroupMember;
 use crate::view::{GroupId, View};
 use groupview_sim::{NodeId, Sim};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
@@ -34,29 +34,6 @@ pub struct MulticastStats {
     /// View changes (joins, leaves, crash evictions).
     pub view_changes: u64,
 }
-
-/// Failures of group operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GroupError {
-    /// The group id is not registered.
-    UnknownGroup(GroupId),
-    /// The group currently has no live members to deliver to.
-    NoLiveMembers(GroupId),
-    /// The sending node is down (driver bug).
-    SenderDown(NodeId),
-}
-
-impl fmt::Display for GroupError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            GroupError::UnknownGroup(g) => write!(f, "unknown group {g}"),
-            GroupError::NoLiveMembers(g) => write!(f, "group {g} has no live members"),
-            GroupError::SenderDown(n) => write!(f, "sending node {n} is down"),
-        }
-    }
-}
-
-impl Error for GroupError {}
 
 /// Result of one multicast.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -380,7 +357,11 @@ mod tests {
         assert_eq!(out2.seq, 2);
         assert_eq!(out1.replies.len(), 2);
         assert!(out1.missed.is_empty());
-        assert_eq!(m1.borrow().log, m2.borrow().log, "identical order everywhere");
+        assert_eq!(
+            m1.borrow().log,
+            m2.borrow().log,
+            "identical order everywhere"
+        );
         assert_eq!(m1.borrow().log.len(), 2);
     }
 

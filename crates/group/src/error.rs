@@ -1,0 +1,52 @@
+//! Group-communication errors.
+//!
+//! Every crate in the workspace keeps its error type in an `error` module
+//! with the same shape: a `Display` impl naming the failing subject, a
+//! `std::error::Error` impl exposing `source()` for wrapped layers, and
+//! `From` conversions so `?` composes across crate boundaries.
+
+use crate::view::GroupId;
+use groupview_sim::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Failures of group operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupError {
+    /// The group id is not registered.
+    UnknownGroup(GroupId),
+    /// The group currently has no live members to deliver to.
+    NoLiveMembers(GroupId),
+    /// The sending node is down (driver bug).
+    SenderDown(NodeId),
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            GroupError::NoLiveMembers(g) => write!(f, "group {g} has no live members"),
+            GroupError::SenderDown(n) => write!(f, "sending node {n} is down"),
+        }
+    }
+}
+
+impl Error for GroupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_the_subject() {
+        assert!(GroupError::UnknownGroup(GroupId::from_raw(3))
+            .to_string()
+            .contains("g3"));
+        assert!(GroupError::NoLiveMembers(GroupId::from_raw(1))
+            .to_string()
+            .contains("live"));
+        assert!(GroupError::SenderDown(NodeId::new(2))
+            .to_string()
+            .contains("n2"));
+    }
+}

@@ -27,9 +27,11 @@
 //! coordinator-cohort replication).
 
 pub mod comms;
+pub mod error;
 pub mod member;
 pub mod view;
 
-pub use comms::{DeliveryMode, GroupComms, GroupError, MulticastOutcome, MulticastStats};
-pub use member::GroupMember;
-pub use view::{GroupId, View};
+pub use crate::comms::{DeliveryMode, GroupComms, MulticastOutcome, MulticastStats};
+pub use crate::error::GroupError;
+pub use crate::member::GroupMember;
+pub use crate::view::{GroupId, View};

@@ -39,9 +39,6 @@ mod tests {
         let mut m = RecordingMember::default();
         assert_eq!(m.deliver(1, b"a"), b"ack1");
         assert_eq!(m.deliver(2, b"b"), b"ack2");
-        assert_eq!(
-            m.log,
-            vec![(1, b"a".to_vec()), (2, b"b".to_vec())]
-        );
+        assert_eq!(m.log, vec![(1, b"a".to_vec()), (2, b"b".to_vec())]);
     }
 }

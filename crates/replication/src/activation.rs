@@ -25,7 +25,7 @@ use crate::invoke::{ObjectGroup, ReplicaMember};
 use crate::policy::ReplicationPolicy;
 use crate::system::System;
 use groupview_actions::ActionId;
-use groupview_core::{BindRequest, DbError};
+use groupview_core::BindRequest;
 use groupview_group::DeliveryMode;
 use groupview_sim::{ClientId, NodeId};
 use groupview_store::Uid;
@@ -95,10 +95,7 @@ impl System {
         let nested = inner.tx.begin_nested(action);
         let st_entry = match inner.naming.get_view_from(viewer, nested, uid) {
             Ok(e) => {
-                inner
-                    .tx
-                    .commit(nested)
-                    .map_err(|e| ActivateError::Db(DbError::Tx(e)))?;
+                inner.tx.commit(nested)?;
                 e
             }
             Err(e) => {

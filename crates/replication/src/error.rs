@@ -57,6 +57,12 @@ impl From<DbError> for ActivateError {
     }
 }
 
+impl From<TxError> for ActivateError {
+    fn from(e: TxError) -> Self {
+        ActivateError::Db(DbError::Tx(e))
+    }
+}
+
 /// Failures of operation invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InvokeError {
@@ -123,7 +129,10 @@ impl fmt::Display for CommitError {
             CommitError::Exclude(e) => write!(f, "commit-time exclude failed: {e}"),
             CommitError::Tx(e) => write!(f, "commit failed: {e}"),
             CommitError::NoFinalState(uid) => {
-                write!(f, "no surviving replica could supply the final state of {uid}")
+                write!(
+                    f,
+                    "no surviving replica could supply the final state of {uid}"
+                )
             }
         }
     }
@@ -159,13 +168,19 @@ mod tests {
     fn displays_are_informative() {
         let uid = Uid::from_raw(4);
         assert!(ActivateError::NoState(uid).to_string().contains("state"));
-        assert!(ActivateError::UnknownType(uid).to_string().contains("class"));
+        assert!(ActivateError::UnknownType(uid)
+            .to_string()
+            .contains("class"));
         assert!(InvokeError::AllReplicasFailed(uid)
             .to_string()
             .contains("replicas"));
-        assert!(InvokeError::ServerFailed(uid).to_string().contains("server"));
+        assert!(InvokeError::ServerFailed(uid)
+            .to_string()
+            .contains("server"));
         assert!(InvokeError::NotLoaded(uid).to_string().contains("state"));
-        assert!(CommitError::AllStoresFailed(uid).to_string().contains("store"));
+        assert!(CommitError::AllStoresFailed(uid)
+            .to_string()
+            .contains("store"));
         assert!(CommitError::NoFinalState(uid).to_string().contains("final"));
     }
 

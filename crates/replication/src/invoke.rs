@@ -269,49 +269,47 @@ impl System {
             let missed_cohorts: std::rc::Rc<std::cell::RefCell<Vec<NodeId>>> =
                 std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
             let missed_in_handler = missed_cohorts.clone();
-            let result = inner.sim.rpc(
-                group.req.client_node,
-                coord,
-                op.len() + 24,
-                64,
-                move || {
-                    let result = replica.borrow_mut().invoke(&sim, op_id, &op_vec);
-                    if let Some(res) = &result {
-                        if res.mutated {
-                            // Checkpoint the new state to every cohort.
-                            let snapshot = replica.borrow_mut().snapshot_state(&sim);
-                            if let Some(state) = snapshot {
-                                for &cohort in &cohorts {
-                                    let target = registry.get_or_create(&sim, uid, cohort);
-                                    let state = state.clone();
-                                    let entry =
-                                        Some((op_id, res.reply.clone(), res.mutated));
-                                    let types = types.clone();
-                                    let sim_inner = sim.clone();
-                                    if sim
-                                        .send_oneway(coord, cohort, state.wire_size(), move || {
-                                            target.borrow_mut().install_checkpoint(
-                                                &sim_inner,
-                                                &state,
-                                                entry,
-                                                &types,
-                                            );
-                                        })
-                                        .is_err()
-                                        && sim.is_up(cohort)
-                                    {
-                                        // Live but unreachable (partition):
-                                        // the cohort missed this checkpoint
-                                        // and must leave the activated group.
-                                        missed_in_handler.borrow_mut().push(cohort);
+            let result =
+                inner
+                    .sim
+                    .rpc(group.req.client_node, coord, op.len() + 24, 64, move || {
+                        let result = replica.borrow_mut().invoke(&sim, op_id, &op_vec);
+                        if let Some(res) = &result {
+                            if res.mutated {
+                                // Checkpoint the new state to every cohort.
+                                let snapshot = replica.borrow_mut().snapshot_state(&sim);
+                                if let Some(state) = snapshot {
+                                    for &cohort in &cohorts {
+                                        let target = registry.get_or_create(&sim, uid, cohort);
+                                        let state = state.clone();
+                                        let entry = Some((op_id, res.reply.clone(), res.mutated));
+                                        let types = types.clone();
+                                        let sim_inner = sim.clone();
+                                        if sim
+                                            .send_oneway(
+                                                coord,
+                                                cohort,
+                                                state.wire_size(),
+                                                move || {
+                                                    target.borrow_mut().install_checkpoint(
+                                                        &sim_inner, &state, entry, &types,
+                                                    );
+                                                },
+                                            )
+                                            .is_err()
+                                            && sim.is_up(cohort)
+                                        {
+                                            // Live but unreachable (partition):
+                                            // the cohort missed this checkpoint
+                                            // and must leave the activated group.
+                                            missed_in_handler.borrow_mut().push(cohort);
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    result
-                },
-            );
+                        result
+                    });
             // Expel cohorts that missed the checkpoint (stale copies).
             for &node in missed_cohorts.borrow().iter() {
                 if let Some(handle) = inner.registry.get(uid, node) {
@@ -347,11 +345,13 @@ impl System {
             .ok_or(InvokeError::NotLoaded(uid))?;
         let sim = inner.sim.clone();
         let op_vec = op.to_vec();
-        let result = inner
-            .sim
-            .rpc(group.req.client_node, server, op.len() + 24, 64, move || {
-                replica.borrow_mut().invoke(&sim, op_id, &op_vec)
-            });
+        let result = inner.sim.rpc(
+            group.req.client_node,
+            server,
+            op.len() + 24,
+            64,
+            move || replica.borrow_mut().invoke(&sim, op_id, &op_vec),
+        );
         match result {
             Ok(Some(res)) => Ok((res.reply, res.mutated)),
             Ok(None) => Err(InvokeError::NotLoaded(uid)),

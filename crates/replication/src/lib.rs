@@ -53,12 +53,11 @@ pub mod replica;
 pub mod system;
 pub mod writeback;
 
-pub use error::{ActivateError, CommitError, InvokeError};
-pub use invoke::ObjectGroup;
-pub use object::{
-    Account, AccountOp, Counter, CounterOp, InvokeResult, KvMap, KvOp, ReplicaObject,
-    TypeRegistry,
+pub use crate::error::{ActivateError, CommitError, InvokeError};
+pub use crate::invoke::ObjectGroup;
+pub use crate::object::{
+    Account, AccountOp, Counter, CounterOp, InvokeResult, KvMap, KvOp, ReplicaObject, TypeRegistry,
 };
-pub use policy::ReplicationPolicy;
-pub use replica::{ReplicaRegistry, ServerReplica};
-pub use system::{Client, System, SystemBuilder};
+pub use crate::policy::ReplicationPolicy;
+pub use crate::replica::{ReplicaRegistry, ServerReplica};
+pub use crate::system::{Client, System, SystemBuilder};

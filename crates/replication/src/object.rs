@@ -347,9 +347,13 @@ impl ReplicaObject for KvMap {
 
     fn invoke(&mut self, op: &[u8]) -> InvokeResult {
         match KvOp::decode(op) {
-            Some(KvOp::Get(k)) => {
-                InvokeResult::read(self.entries.get(&k).cloned().unwrap_or_default().into_bytes())
-            }
+            Some(KvOp::Get(k)) => InvokeResult::read(
+                self.entries
+                    .get(&k)
+                    .cloned()
+                    .unwrap_or_default()
+                    .into_bytes(),
+            ),
             Some(KvOp::Put(k, v)) => {
                 let prev = self.entries.insert(k, v).unwrap_or_default();
                 InvokeResult::wrote(prev.into_bytes())
@@ -426,9 +430,8 @@ impl AccountOp {
 
     /// Decodes an operation; `None` for malformed input.
     pub fn decode(bytes: &[u8]) -> Option<AccountOp> {
-        let amount = |b: &[u8]| -> Option<u64> {
-            Some(u64::from_le_bytes(b.get(1..9)?.try_into().ok()?))
-        };
+        let amount =
+            |b: &[u8]| -> Option<u64> { Some(u64::from_le_bytes(b.get(1..9)?.try_into().ok()?)) };
         match bytes.first()? {
             0 => Some(AccountOp::Balance),
             1 => Some(AccountOp::Deposit(amount(bytes)?)),
@@ -479,9 +482,7 @@ impl ReplicaObject for Account {
 
     fn invoke(&mut self, op: &[u8]) -> InvokeResult {
         match AccountOp::decode(op) {
-            Some(AccountOp::Balance) => {
-                InvokeResult::read(self.balance.to_le_bytes().to_vec())
-            }
+            Some(AccountOp::Balance) => InvokeResult::read(self.balance.to_le_bytes().to_vec()),
             Some(AccountOp::Deposit(a)) => {
                 self.balance += a;
                 InvokeResult::wrote(self.balance.to_le_bytes().to_vec())

@@ -333,7 +333,12 @@ mod tests {
             version: Version::INITIAL,
             data: Counter::new(9).snapshot(),
         };
-        assert!(cohort.install_checkpoint(&sim, &chk, Some((7, 9i64.to_le_bytes().to_vec(), true)), &types));
+        assert!(cohort.install_checkpoint(
+            &sim,
+            &chk,
+            Some((7, 9i64.to_le_bytes().to_vec(), true)),
+            &types
+        ));
         // A retried op 7 at the (now promoted) cohort is deduped.
         let res = cohort.invoke(&sim, 7, &CounterOp::Add(9).encode()).unwrap();
         assert!(!res.mutated);

@@ -142,7 +142,9 @@ impl SystemBuilder {
             (self.naming_node as usize) < self.nodes,
             "naming node out of range"
         );
-        let mut cfg = SimConfig::new(self.seed).with_nodes(self.nodes).with_net(self.net);
+        let mut cfg = SimConfig::new(self.seed)
+            .with_nodes(self.nodes)
+            .with_net(self.net);
         if self.trace {
             cfg = cfg.with_trace();
         }
@@ -157,7 +159,11 @@ impl SystemBuilder {
         let cleanup = CleanupDaemon::new(&sim, &naming);
         let directory = RemoteDirectory::new(&sim, naming_node, Directory::new(&tx));
         let server_cache = if self.scheme.uses_server_cache() {
-            Some(RemoteServerCache::new(&sim, naming_node, ServerCache::new()))
+            Some(RemoteServerCache::new(
+                &sim,
+                naming_node,
+                ServerCache::new(),
+            ))
         } else {
             None
         };
@@ -315,16 +321,13 @@ impl System {
                     TxSystem::token(action),
                     vec![(uid, initial.clone())],
                 );
-                inner
-                    .tx
-                    .add_participant(action, Box::new(participant))
-                    .map_err(DbError::Tx)?;
+                inner.tx.add_participant(action, Box::new(participant))?;
             }
             Ok(())
         })();
         match result {
             Ok(()) => {
-                inner.tx.commit(action).map_err(DbError::Tx)?;
+                inner.tx.commit(action)?;
                 if let Some(cache) = &inner.server_cache {
                     cache.local().seed(uid, sv.to_vec());
                 }
@@ -395,7 +398,7 @@ impl System {
                 return Err(DbError::Tx(e));
             }
         }
-        inner.tx.commit(action).map_err(DbError::Tx)?;
+        inner.tx.commit(action)?;
         if let Some(cache) = &inner.server_cache {
             cache.local().seed(uid, sv.to_vec());
         }
@@ -467,11 +470,17 @@ impl System {
     }
 
     pub(crate) fn mark_dirty(&self, action: ActionId, uid: Uid) {
-        self.inner.dirty.borrow_mut().insert((action.raw(), uid.raw()));
+        self.inner
+            .dirty
+            .borrow_mut()
+            .insert((action.raw(), uid.raw()));
     }
 
     pub(crate) fn is_dirty(&self, action: ActionId, uid: Uid) -> bool {
-        self.inner.dirty.borrow().contains(&(action.raw(), uid.raw()))
+        self.inner
+            .dirty
+            .borrow()
+            .contains(&(action.raw(), uid.raw()))
     }
 
     pub(crate) fn clear_dirty(&self, action: ActionId) {
@@ -552,11 +561,7 @@ impl Client {
             .lookup_from(self.node, nested, name)
         {
             Ok(uid) => {
-                self.sys
-                    .inner
-                    .tx
-                    .commit(nested)
-                    .map_err(|e| ActivateError::Db(DbError::Tx(e)))?;
+                self.sys.inner.tx.commit(nested)?;
                 uid
             }
             Err(e) => {

@@ -88,22 +88,31 @@ fn active_replication_masks_server_crash_mid_action() {
     let client = sys.client(n(4));
     let a = client.begin();
     let g = client.activate(a, uid, 3).expect("activate");
-    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op1");
+    client
+        .invoke(a, &g, &CounterOp::Add(1).encode())
+        .expect("op1");
     // One replica dies; the group masks it.
     sys.sim().crash(n(2));
-    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op2");
+    client
+        .invoke(a, &g, &CounterOp::Add(1).encode())
+        .expect("op2");
     client.commit(a).expect("commit despite replica crash");
     assert_eq!(counter_value(&sys, uid, n(5)), 2);
 }
 
 #[test]
 fn coordinator_cohort_failover_mid_action() {
-    let sys = system(ReplicationPolicy::CoordinatorCohort, BindingScheme::Standard);
+    let sys = system(
+        ReplicationPolicy::CoordinatorCohort,
+        BindingScheme::Standard,
+    );
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
     let a = client.begin();
     let g = client.activate(a, uid, 3).expect("activate");
-    client.invoke(a, &g, &CounterOp::Add(5).encode()).expect("op1");
+    client
+        .invoke(a, &g, &CounterOp::Add(5).encode())
+        .expect("op1");
     // The coordinator (lowest-id live loaded = n1) fails; a cohort that
     // received the checkpoint takes over transparently.
     sys.sim().crash(n(1));
@@ -117,13 +126,22 @@ fn coordinator_cohort_failover_mid_action() {
 
 #[test]
 fn single_copy_passive_crash_aborts_action() {
-    let sys = system(ReplicationPolicy::SingleCopyPassive, BindingScheme::Standard);
+    let sys = system(
+        ReplicationPolicy::SingleCopyPassive,
+        BindingScheme::Standard,
+    );
     let uid = create_counter(&sys, 7);
     let client = sys.client(n(4));
     let a = client.begin();
     let g = client.activate(a, uid, 3).expect("activate");
-    assert_eq!(g.servers.len(), 1, "single copy policy activates one server");
-    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op1");
+    assert_eq!(
+        g.servers.len(),
+        1,
+        "single copy policy activates one server"
+    );
+    client
+        .invoke(a, &g, &CounterOp::Add(1).encode())
+        .expect("op1");
     sys.sim().crash(g.servers[0]);
     let err = client
         .invoke(a, &g, &CounterOp::Add(1).encode())
@@ -144,7 +162,9 @@ fn commit_excludes_crashed_store_and_later_recovery_reincludes() {
     let a = client.begin();
     let g = client.activate(a, uid, 2).expect("activate"); // binds n1, n2
     assert_eq!(g.servers, vec![n(1), n(2)]);
-    client.invoke(a, &g, &CounterOp::Add(42).encode()).expect("op");
+    client
+        .invoke(a, &g, &CounterOp::Add(42).encode())
+        .expect("op");
     sys.sim().crash(n(3));
     client.commit(a).expect("commit succeeds without n3");
     // n3 was excluded from St.
@@ -192,7 +212,9 @@ fn all_stores_down_aborts_commit() {
     let client = sys.client(n(4));
     let a = client.begin();
     let g = client.activate(a, uid, 2).expect("activate");
-    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op");
+    client
+        .invoke(a, &g, &CounterOp::Add(1).encode())
+        .expect("op");
     // Every store node dies before commit. (The bound servers ARE the
     // store nodes here, so the final state still lives in... nowhere —
     // replicas are on the same crashed nodes.) Crash only stores' disks is
@@ -213,7 +235,10 @@ fn all_stores_down_aborts_commit() {
 
 #[test]
 fn independent_scheme_full_client_lifecycle() {
-    let sys = system(ReplicationPolicy::Active, BindingScheme::IndependentTopLevel);
+    let sys = system(
+        ReplicationPolicy::Active,
+        BindingScheme::IndependentTopLevel,
+    );
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
     let a = client.begin();
@@ -222,7 +247,9 @@ fn independent_scheme_full_client_lifecycle() {
     // Use lists are visible while the action runs.
     let entry = sys.naming().server_db.entry(uid).expect("entry");
     assert_eq!(entry.total_uses(), 2);
-    client.invoke(a, &g, &CounterOp::Add(3).encode()).expect("op");
+    client
+        .invoke(a, &g, &CounterOp::Add(3).encode())
+        .expect("op");
     client.commit(a).expect("commit");
     // Decrement ran after the action: quiescent again.
     let entry = sys.naming().server_db.entry(uid).expect("entry");
@@ -237,7 +264,9 @@ fn nested_top_level_scheme_full_client_lifecycle() {
     let client = sys.client(n(4));
     let a = client.begin();
     let g = client.activate(a, uid, 2).expect("activate");
-    client.invoke(a, &g, &CounterOp::Add(3).encode()).expect("op");
+    client
+        .invoke(a, &g, &CounterOp::Add(3).encode())
+        .expect("op");
     client.commit(a).expect("commit");
     assert!(sys.naming().server_db.entry(uid).unwrap().is_quiescent());
     assert_eq!(counter_value(&sys, uid, n(5)), 3);
@@ -245,7 +274,10 @@ fn nested_top_level_scheme_full_client_lifecycle() {
 
 #[test]
 fn crashed_client_leak_reclaimed_by_cleanup_daemon() {
-    let sys = system(ReplicationPolicy::Active, BindingScheme::IndependentTopLevel);
+    let sys = system(
+        ReplicationPolicy::Active,
+        BindingScheme::IndependentTopLevel,
+    );
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
     let a = client.begin();
@@ -266,12 +298,17 @@ fn crashed_client_leak_reclaimed_by_cleanup_daemon() {
 
 #[test]
 fn passivation_after_quiescence() {
-    let sys = system(ReplicationPolicy::Active, BindingScheme::IndependentTopLevel);
+    let sys = system(
+        ReplicationPolicy::Active,
+        BindingScheme::IndependentTopLevel,
+    );
     let uid = create_counter(&sys, 1);
     let client = sys.client(n(4));
     let a = client.begin();
     let g = client.activate(a, uid, 2).expect("activate");
-    client.invoke(a, &g, &CounterOp::Add(1).encode()).expect("op");
+    client
+        .invoke(a, &g, &CounterOp::Add(1).encode())
+        .expect("op");
     assert!(!sys.try_passivate(uid), "in use: cannot passivate");
     client.commit(a).expect("commit");
     assert!(sys.try_passivate(uid), "quiescent: passivated");
@@ -288,7 +325,8 @@ fn object_write_lock_serialises_writers() {
     let c2 = sys.client(n(5));
     let a1 = c1.begin();
     let g1 = c1.activate(a1, uid, 2).expect("activate 1");
-    c1.invoke(a1, &g1, &CounterOp::Add(1).encode()).expect("op 1");
+    c1.invoke(a1, &g1, &CounterOp::Add(1).encode())
+        .expect("op 1");
     // Second writer is refused at the object lock.
     let a2 = c2.begin();
     let g2 = c2.activate(a2, uid, 2).expect("activate 2");
@@ -301,7 +339,8 @@ fn object_write_lock_serialises_writers() {
     // Now the second client can proceed.
     let a3 = c2.begin();
     let g3 = c2.activate(a3, uid, 2).expect("activate 3");
-    c2.invoke(a3, &g3, &CounterOp::Add(1).encode()).expect("op 3");
+    c2.invoke(a3, &g3, &CounterOp::Add(1).encode())
+        .expect("op 3");
     c2.commit(a3).expect("commit 3");
     assert_eq!(counter_value(&sys, uid, n(4)), 2);
 }
@@ -316,8 +355,12 @@ fn concurrent_readers_share_the_object() {
     let a2 = c2.begin();
     let g1 = c1.activate_read_only(a1, uid, 1).expect("activate 1");
     let g2 = c2.activate_read_only(a2, uid, 1).expect("activate 2");
-    let r1 = c1.invoke_read(a1, &g1, &CounterOp::Get.encode()).expect("r1");
-    let r2 = c2.invoke_read(a2, &g2, &CounterOp::Get.encode()).expect("r2");
+    let r1 = c1
+        .invoke_read(a1, &g1, &CounterOp::Get.encode())
+        .expect("r1");
+    let r2 = c2
+        .invoke_read(a2, &g2, &CounterOp::Get.encode())
+        .expect("r2");
     assert_eq!(CounterOp::decode_reply(&r1), Some(9));
     assert_eq!(CounterOp::decode_reply(&r2), Some(9));
     c1.commit(a1).expect("commit 1");

@@ -2,9 +2,7 @@
 //! round-trip for arbitrary inputs, and replica application matches a
 //! direct model.
 
-use groupview_replication::{
-    Account, AccountOp, Counter, CounterOp, KvMap, KvOp, ReplicaObject,
-};
+use groupview_replication::{Account, AccountOp, Counter, CounterOp, KvMap, KvOp, ReplicaObject};
 use proptest::prelude::*;
 
 proptest! {

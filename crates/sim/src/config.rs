@@ -41,7 +41,10 @@ impl NetConfig {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn with_drop_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
         self.drop_probability = p;
         self
     }

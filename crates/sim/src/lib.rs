@@ -49,10 +49,10 @@ pub mod time;
 pub mod trace;
 pub mod world;
 
-pub use config::{NetConfig, SimConfig};
-pub use error::NetError;
-pub use ids::{ClientId, NodeId};
-pub use metrics::{Cost, NetCounters};
-pub use time::{SimDuration, SimTime};
-pub use trace::TraceEvent;
-pub use world::{ScheduledEvent, Sim};
+pub use crate::config::{NetConfig, SimConfig};
+pub use crate::error::NetError;
+pub use crate::ids::{ClientId, NodeId};
+pub use crate::metrics::{Cost, NetCounters};
+pub use crate::time::{SimDuration, SimTime};
+pub use crate::trace::TraceEvent;
+pub use crate::world::{ScheduledEvent, Sim};

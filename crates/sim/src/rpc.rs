@@ -148,9 +148,7 @@ mod tests {
         s.crash(NodeId::new(1));
         let ran = Rc::new(Cell::new(false));
         let ran2 = ran.clone();
-        let got = s.rpc(NodeId::new(0), NodeId::new(1), 1, 1, move || {
-            ran2.set(true)
-        });
+        let got = s.rpc(NodeId::new(0), NodeId::new(1), 1, 1, move || ran2.set(true));
         assert_eq!(got, Err(NetError::Timeout));
         assert!(!ran.get(), "handler must not run when request is lost");
         assert_eq!(s.counters().timeouts, 1);
@@ -213,15 +211,14 @@ mod tests {
             }
         }
         let s = sim();
-        let ok: Result<u32, AppError> =
-            s.rpc_flat(NodeId::new(0), NodeId::new(1), 1, 1, || Ok(5));
+        let ok: Result<u32, AppError> = s.rpc_flat(NodeId::new(0), NodeId::new(1), 1, 1, || Ok(5));
         assert_eq!(ok, Ok(5));
-        let logic: Result<u32, AppError> =
-            s.rpc_flat(NodeId::new(0), NodeId::new(1), 1, 1, || Err(AppError::Logic));
+        let logic: Result<u32, AppError> = s.rpc_flat(NodeId::new(0), NodeId::new(1), 1, 1, || {
+            Err(AppError::Logic)
+        });
         assert_eq!(logic, Err(AppError::Logic));
         s.crash(NodeId::new(1));
-        let net: Result<u32, AppError> =
-            s.rpc_flat(NodeId::new(0), NodeId::new(1), 1, 1, || Ok(5));
+        let net: Result<u32, AppError> = s.rpc_flat(NodeId::new(0), NodeId::new(1), 1, 1, || Ok(5));
         assert_eq!(net, Err(AppError::Net(NetError::Timeout)));
     }
 

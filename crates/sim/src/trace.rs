@@ -73,10 +73,20 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Deliver { at, from, to, bytes } => {
+            TraceEvent::Deliver {
+                at,
+                from,
+                to,
+                bytes,
+            } => {
                 write!(f, "[{at}] {from} -> {to} ({bytes}B)")
             }
-            TraceEvent::Lost { at, from, to, cause } => {
+            TraceEvent::Lost {
+                at,
+                from,
+                to,
+                cause,
+            } => {
                 write!(f, "[{at}] {from} -x-> {to} ({cause})")
             }
             TraceEvent::Crash { at, node } => write!(f, "[{at}] CRASH {node}"),

@@ -325,34 +325,63 @@ impl Sim {
         let at = core.clock;
         if !core.nodes[from.index()].up {
             core.counters.to_down_node += 1;
-            core.trace(TraceEvent::Lost { at, from, to, cause: "sender down" });
+            core.trace(TraceEvent::Lost {
+                at,
+                from,
+                to,
+                cause: "sender down",
+            });
             return Err(NetError::NodeDown(from));
         }
         if core.blocked.contains(&norm_pair(from, to)) {
             core.counters.partitioned += 1;
-            core.trace(TraceEvent::Lost { at, from, to, cause: "partitioned" });
+            core.trace(TraceEvent::Lost {
+                at,
+                from,
+                to,
+                cause: "partitioned",
+            });
             return Err(NetError::Partitioned { from, to });
         }
         let p = core.cfg.net.drop_probability;
         if p > 0.0 && core.rng.random::<f64>() < p {
             core.counters.dropped += 1;
-            core.trace(TraceEvent::Lost { at, from, to, cause: "dropped" });
+            core.trace(TraceEvent::Lost {
+                at,
+                from,
+                to,
+                cause: "dropped",
+            });
             return Err(NetError::Dropped);
         }
         if !core.nodes[to.index()].up {
             core.counters.to_down_node += 1;
-            core.trace(TraceEvent::Lost { at, from, to, cause: "receiver down" });
+            core.trace(TraceEvent::Lost {
+                at,
+                from,
+                to,
+                cause: "receiver down",
+            });
             return Err(NetError::NodeDown(to));
         }
         let jitter = core.cfg.net.jitter.as_micros();
-        let extra = if jitter == 0 { 0 } else { core.rng.random_range(0..=jitter) };
+        let extra = if jitter == 0 {
+            0
+        } else {
+            core.rng.random_range(0..=jitter)
+        };
         let latency = core.cfg.net.base_latency + SimDuration::from_micros(extra);
         core.clock += latency;
         core.charge(latency, 1);
         core.counters.delivered += 1;
         core.counters.bytes_delivered += bytes as u64;
         let at = core.clock;
-        core.trace(TraceEvent::Deliver { at, from, to, bytes });
+        core.trace(TraceEvent::Deliver {
+            at,
+            from,
+            to,
+            bytes,
+        });
         // Fire scripted fault point after the send completed.
         if let Some(k) = core.nodes[from.index()].crash_after_sends {
             if k <= 1 {
@@ -456,11 +485,7 @@ impl Sim {
     /// Takes the recorded trace, leaving an empty one. Returns `None` when
     /// tracing was not enabled.
     pub fn take_trace(&self) -> Option<Vec<TraceEvent>> {
-        self.inner
-            .borrow_mut()
-            .trace
-            .as_mut()
-            .map(std::mem::take)
+        self.inner.borrow_mut().trace.as_mut().map(std::mem::take)
     }
 }
 
@@ -653,7 +678,10 @@ mod tests {
     #[test]
     fn schedule_fires_in_time_order() {
         let sim = sim3();
-        sim.schedule(SimTime::from_micros(100), ScheduledEvent::Crash(NodeId::new(2)));
+        sim.schedule(
+            SimTime::from_micros(100),
+            ScheduledEvent::Crash(NodeId::new(2)),
+        );
         sim.schedule(SimTime::from_micros(50), ScheduledEvent::Custom(7));
         assert!(sim.run_due_events().is_empty(), "nothing due at t=0");
         sim.advance(SimDuration::from_micros(60));

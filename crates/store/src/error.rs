@@ -54,10 +54,18 @@ mod tests {
 
     #[test]
     fn displays_mention_the_subject() {
-        assert!(StoreError::NoStore(NodeId::new(1)).to_string().contains("n1"));
-        assert!(StoreError::NodeDown(NodeId::new(2)).to_string().contains("down"));
-        assert!(StoreError::Net(NetError::Timeout).to_string().contains("timed out"));
-        assert!(StoreError::TxUnknown(TxToken::new(9)).to_string().contains("tx:9"));
+        assert!(StoreError::NoStore(NodeId::new(1))
+            .to_string()
+            .contains("n1"));
+        assert!(StoreError::NodeDown(NodeId::new(2))
+            .to_string()
+            .contains("down"));
+        assert!(StoreError::Net(NetError::Timeout)
+            .to_string()
+            .contains("timed out"));
+        assert!(StoreError::TxUnknown(TxToken::new(9))
+            .to_string()
+            .contains("tx:9"));
     }
 
     #[test]

@@ -47,9 +47,9 @@ pub mod state;
 pub mod uid;
 pub mod volatile;
 
-pub use error::StoreError;
-pub use registry::Stores;
-pub use stable::{StableStore, TxToken};
-pub use state::{ObjectState, TypeTag, Version};
-pub use uid::{Uid, UidGen};
-pub use volatile::Volatile;
+pub use crate::error::StoreError;
+pub use crate::registry::Stores;
+pub use crate::stable::{StableStore, TxToken};
+pub use crate::state::{ObjectState, TypeTag, Version};
+pub use crate::uid::{Uid, UidGen};
+pub use crate::volatile::Volatile;

@@ -253,7 +253,9 @@ mod tests {
         stores
             .write_remote(NodeId::new(0), NodeId::new(1), uid, st(b"remote"))
             .unwrap();
-        let got = stores.read_remote(NodeId::new(0), NodeId::new(1), uid).unwrap();
+        let got = stores
+            .read_remote(NodeId::new(0), NodeId::new(1), uid)
+            .unwrap();
         assert_eq!(got.data, b"remote");
         assert_eq!(
             sim.counters().delivered - before,

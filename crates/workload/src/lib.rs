@@ -21,7 +21,7 @@ pub mod metrics;
 pub mod spec;
 pub mod table;
 
-pub use driver::{Driver, RunMetrics};
-pub use metrics::Histogram;
-pub use spec::{FaultAction, FaultScript, WorkloadSpec};
-pub use table::TextTable;
+pub use crate::driver::{Driver, RunMetrics};
+pub use crate::metrics::Histogram;
+pub use crate::spec::{FaultAction, FaultScript, WorkloadSpec};
+pub use crate::table::TextTable;

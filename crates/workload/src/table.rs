@@ -63,7 +63,12 @@ impl fmt::Display for TextTable {
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             write!(f, "|")?;
             for (i, cell) in cells.iter().enumerate() {
-                write!(f, " {:<width$} |", cell, width = w.get(i).copied().unwrap_or(0))?;
+                write!(
+                    f,
+                    " {:<width$} |",
+                    cell,
+                    width = w.get(i).copied().unwrap_or(0)
+                )?;
             }
             writeln!(f)
         };

@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Open the accounts, replicated across three nodes each (staggered).
     let mut accounts: Vec<Uid> = Vec::new();
     for i in 0..ACCOUNTS {
-        let replicas: Vec<NodeId> = (0..3).map(|j| bank_nodes[(i + j) % bank_nodes.len()]).collect();
+        let replicas: Vec<NodeId> = (0..3)
+            .map(|j| bank_nodes[(i + j) % bank_nodes.len()])
+            .collect();
         let uid = sys.create_object(
             Box::new(Account::new(INITIAL_BALANCE)),
             &replicas,
@@ -70,8 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = (|| -> Result<bool, Box<dyn std::error::Error>> {
             let src = teller.activate(action, from, 2)?;
             let dst = teller.activate(action, to, 2)?;
-            let withdrawal =
-                teller.invoke(action, &src, &AccountOp::Withdraw(amount).encode())?;
+            let withdrawal = teller.invoke(action, &src, &AccountOp::Withdraw(amount).encode())?;
             if AccountOp::decode_reply(&withdrawal) == Some(AccountOp::REFUSED) {
                 return Ok(false); // insufficient funds: roll back
             }

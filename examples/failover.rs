@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let group = client.activate(action, uid, 2)?;
     client.invoke(action, &group, &CounterOp::Add(23).encode())?;
     client.commit(action)?;
-    println!("committed Add(23) while n3 was down -> St = {:?}", st_of(&sys, uid));
+    println!(
+        "committed Add(23) while n3 was down -> St = {:?}",
+        st_of(&sys, uid)
+    );
     assert_eq!(st_of(&sys, uid), vec![n(1), n(2)]);
 
     // 2. n3's stable store survived the crash — but it holds version 0.

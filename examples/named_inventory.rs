@@ -29,12 +29,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sys.create_named_object(name, Box::new(KvMap::new()), &shelf_nodes, &shelf_nodes)?;
         println!("created {name}");
     }
-    sys.create_named_object("till", Box::new(Account::new(0)), &shelf_nodes, &shelf_nodes)?;
+    sys.create_named_object(
+        "till",
+        Box::new(Account::new(0)),
+        &shelf_nodes,
+        &shelf_nodes,
+    )?;
     println!("created till");
 
     // A name collision aborts atomically — nothing is half-created.
     let err = sys
-        .create_named_object("till", Box::new(Account::new(9)), &shelf_nodes, &shelf_nodes)
+        .create_named_object(
+            "till",
+            Box::new(Account::new(9)),
+            &shelf_nodes,
+            &shelf_nodes,
+        )
         .unwrap_err();
     println!("duplicate 'till' refused: {err}");
 
@@ -44,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sale = clerk.begin();
     let tools = clerk.activate_by_name(sale, "shelves/tools", 2)?;
     let till = clerk.activate_by_name(sale, "till", 2)?;
-    clerk.invoke(sale, &tools, &KvOp::Put("hammer".into(), "3 in stock".into()).encode())?;
+    clerk.invoke(
+        sale,
+        &tools,
+        &KvOp::Put("hammer".into(), "3 in stock".into()).encode(),
+    )?;
     clerk.invoke(sale, &till, &AccountOp::Deposit(25).encode())?;
     clerk.commit(sale)?;
     println!("sale committed: stocked hammers, took 25 into the till");
@@ -77,6 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "rename aborted; directory still has: {:?}",
         sys.directory().local().names()
     );
-    assert!(sys.directory().local().names().contains(&"shelves/paint".to_string()));
+    assert!(sys
+        .directory()
+        .local()
+        .names()
+        .contains(&"shelves/paint".to_string()));
     Ok(())
 }

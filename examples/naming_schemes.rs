@@ -58,7 +58,11 @@ fn main() {
             metrics.probe_failures,
             metrics.action_messages.mean(),
             entry.servers.len(),
-            if scheme.maintains_use_lists() { "yes" } else { "no" },
+            if scheme.maintains_use_lists() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
 

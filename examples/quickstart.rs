@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Crash one of the bound replicas. Active replication masks it.
     sys.sim().crash(group.servers[0]);
-    println!("crashed {} — the binding service routes around it", group.servers[0]);
+    println!(
+        "crashed {} — the binding service routes around it",
+        group.servers[0]
+    );
 
     let action = client.begin();
     let group = client.activate(action, uid, 2)?;

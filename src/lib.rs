@@ -78,8 +78,8 @@ pub use groupview_core::{
     RecoveryManager,
 };
 pub use groupview_replication::{
-    Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, InvokeError,
-    KvMap, KvOp, ObjectGroup, ReplicaObject, ReplicationPolicy, System, SystemBuilder,
+    Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, InvokeError, KvMap,
+    KvOp, ObjectGroup, ReplicaObject, ReplicationPolicy, System, SystemBuilder,
 };
 pub use groupview_sim::{ClientId, NetConfig, NodeId, Sim, SimConfig};
 pub use groupview_store::{ObjectState, Stores, TypeTag, Uid, Version};

@@ -81,7 +81,9 @@ fn growing_sv_makes_the_new_server_bindable() {
     sys.sim().crash(n(1));
     let client = sys.client(n(5));
     let action = client.begin();
-    let group = client.activate(action, uid, 2).expect("bind the new server");
+    let group = client
+        .activate(action, uid, 2)
+        .expect("bind the new server");
     assert_eq!(group.servers, vec![n(2), n(3)]);
     let reply = client
         .invoke_read(action, &group, &CounterOp::Get.encode())

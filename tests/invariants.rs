@@ -194,7 +194,10 @@ impl World {
             assert!(guard < 50, "recovery never reached a fixpoint");
         }
         // I5: no locks survive the workload.
-        assert!(self.sys.tx().locks_empty(), "I5 violated: locks left behind");
+        assert!(
+            self.sys.tx().locks_empty(),
+            "I5 violated: locks left behind"
+        );
         // I4: all use lists quiescent.
         for &uid in &self.objects {
             let entry = self.sys.naming().server_db.entry(uid).expect("entry");
@@ -229,7 +232,11 @@ impl World {
                 .invoke_read(action, &group, &CounterOp::Get.encode())
                 .expect("read after full recovery");
             client.commit(action).expect("commit");
-            assert_eq!(CounterOp::decode_reply(&reply), Some(self.model[o]), "object {o}");
+            assert_eq!(
+                CounterOp::decode_reply(&reply),
+                Some(self.model[o]),
+                "object {o}"
+            );
         }
     }
 }

@@ -1,9 +1,7 @@
 //! The name directory end to end: names → UIDs → bound replicas (§2.2's
 //! full lookup chain), including atomicity of creation-with-naming.
 
-use groupview::{
-    Account, AccountOp, DbError, KvMap, KvOp, NodeId, ReplicationPolicy, System,
-};
+use groupview::{Account, AccountOp, DbError, KvMap, KvOp, NodeId, ReplicationPolicy, System};
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
@@ -68,14 +66,22 @@ fn name_collisions_abort_creation_atomically() {
     assert!(matches!(err, DbError::AlreadyExists(_)));
     // The failed creation left nothing behind: no object entries, no name.
     assert_eq!(sys.naming().server_db.uids().len(), objects_before);
-    assert_eq!(sys.directory().local().names(), vec!["kv/config".to_string()]);
+    assert_eq!(
+        sys.directory().local().names(),
+        vec!["kv/config".to_string()]
+    );
 }
 
 #[test]
 fn names_survive_naming_node_crash_and_recovery() {
     let sys = build();
-    sys.create_named_object("kv/session", Box::new(KvMap::new()), &[n(1), n(2)], &[n(1), n(2)])
-        .expect("create");
+    sys.create_named_object(
+        "kv/session",
+        Box::new(KvMap::new()),
+        &[n(1), n(2)],
+        &[n(1), n(2)],
+    )
+    .expect("create");
     // Write through the name.
     let client = sys.client(n(4));
     let action = client.begin();
@@ -83,7 +89,11 @@ fn names_survive_naming_node_crash_and_recovery() {
         .activate_by_name(action, "kv/session", 2)
         .expect("activate");
     client
-        .invoke(action, &group, &KvOp::Put("user".into(), "mcl".into()).encode())
+        .invoke(
+            action,
+            &group,
+            &KvOp::Put("user".into(), "mcl".into()).encode(),
+        )
         .expect("put");
     client.commit(action).expect("commit");
 

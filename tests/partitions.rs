@@ -30,7 +30,9 @@ fn client_partitioned_from_naming_service_cannot_bind() {
     let client = sys.client(n(4));
     sys.sim().partition(n(4), n(0));
     let action = client.begin();
-    let err = client.activate(action, uid, 2).expect_err("naming unreachable");
+    let err = client
+        .activate(action, uid, 2)
+        .expect_err("naming unreachable");
     assert!(matches!(err, groupview::ActivateError::Bind(_)));
     client.abort(action);
     // Healing restores service.
@@ -50,8 +52,13 @@ fn client_partitioned_from_a_server_binds_elsewhere() {
     // The client cannot reach n1, but n2/n3 still serve it.
     sys.sim().partition(n(4), n(1));
     let action = client.begin();
-    let group = client.activate(action, uid, 2).expect("bind around partition");
-    assert!(!group.servers.contains(&n(1)), "partitioned server probed dead");
+    let group = client
+        .activate(action, uid, 2)
+        .expect("bind around partition");
+    assert!(
+        !group.servers.contains(&n(1)),
+        "partitioned server probed dead"
+    );
     assert_eq!(group.servers.len(), 2);
     client
         .invoke(action, &group, &CounterOp::Add(5).encode())
@@ -86,14 +93,19 @@ fn store_partitioned_at_commit_gets_excluded_then_reincluded() {
     let st = sys.naming().state_db.entry(uid).expect("entry");
     assert_eq!(st.stores.len(), 3);
     let state = sys.stores().read_local(n(3), uid).expect("state");
-    assert_eq!(Counter::decode(&state.data).value(), 9, "refreshed to latest");
+    assert_eq!(
+        Counter::decode(&state.data).value(),
+        9,
+        "refreshed to latest"
+    );
 }
 
 #[test]
 fn partition_between_groups_blocks_cross_traffic_only() {
     let (sys, uid) = build(204);
     // Split: {naming, servers} | {client node 4}; client 5 unaffected.
-    sys.sim().partition_groups(&[n(0), n(1), n(2), n(3)], &[n(4)]);
+    sys.sim()
+        .partition_groups(&[n(0), n(1), n(2), n(3)], &[n(4)]);
     let cut_off = sys.client(n(4));
     let action = cut_off.begin();
     assert!(cut_off.activate(action, uid, 2).is_err());

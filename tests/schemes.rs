@@ -2,9 +2,7 @@
 //! the *outcome* of the same logical workload — they differ only in how the
 //! binding metadata is maintained.
 
-use groupview::{
-    BindingScheme, Counter, CounterOp, NodeId, ReplicationPolicy, System, Uid,
-};
+use groupview::{BindingScheme, Counter, CounterOp, NodeId, ReplicationPolicy, System, Uid};
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)

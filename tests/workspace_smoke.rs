@@ -1,0 +1,37 @@
+//! Workspace smoke test: the root-crate quickstart, end to end.
+//!
+//! This is the façade's doc example as a plain integration test, so a
+//! broken workspace wiring (manifests, re-exports, cross-crate `From`
+//! chains) fails here with a readable assertion rather than a doctest
+//! harness error.
+
+use groupview::{Counter, CounterOp, ReplicationPolicy, System};
+
+#[test]
+fn quickstart_runs_end_to_end() -> Result<(), Box<dyn std::error::Error>> {
+    // A five-node world; node 0 hosts the naming service.
+    let sys = System::builder(42)
+        .nodes(5)
+        .policy(ReplicationPolicy::Active)
+        .build();
+    let nodes = sys.sim().nodes();
+
+    // A counter stored on three nodes, servable by the same three.
+    let uid = sys.create_object(Box::new(Counter::new(0)), &nodes[1..4], &nodes[1..4])?;
+
+    // A client runs an atomic action against two active replicas.
+    let client = sys.client(nodes[4]);
+    let action = client.begin();
+    let group = client.activate(action, uid, 2)?;
+    client.invoke(action, &group, &CounterOp::Add(10).encode())?;
+    client.commit(action)?;
+
+    // A crash of one replica is masked; the state is safe on every store.
+    sys.sim().crash(nodes[1]);
+    let action = client.begin();
+    let group = client.activate(action, uid, 2)?;
+    let reply = client.invoke_read(action, &group, &CounterOp::Get.encode())?;
+    assert_eq!(CounterOp::decode_reply(&reply), Some(10));
+    client.commit(action)?;
+    Ok(())
+}

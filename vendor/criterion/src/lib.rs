@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this crate supplies the
+//! API surface the workspace's five bench targets use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. `cargo bench --no-run`
+//! compiles exactly as with the real crate; `cargo bench` runs each closure
+//! for a short calibrated burst and prints a mean wall-clock time per
+//! iteration (no warm-up discipline, no outlier analysis, no HTML reports).
+//! Swap in the real `criterion` via `[workspace.dependencies]` once
+//! registry access exists.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark identifier (mirror of `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters_run: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One calibration call, then a short measured burst.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            // Keep each benchmark fast: a burst of at most ~50ms or 10k iters.
+            if iters >= 10_000 || (iters.is_multiple_of(16) && start.elapsed().as_millis() >= 50) {
+                break;
+            }
+        }
+        self.iters_run = iters;
+        self.nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_run: 0,
+        nanos: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters_run > 0 {
+        let per_iter = bencher.nanos / bencher.iters_run as u128;
+        println!(
+            "{name:<48} {per_iter:>12} ns/iter ({} iters)",
+            bencher.iters_run
+        );
+    } else {
+        println!("{name:<48} (no measurement)");
+    }
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks a single named function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks one member of the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Benchmarks one member with an explicit input value.
+    pub fn bench_with_input<I: Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,153 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest compiles full regexes into strategies. The workspace only
+//! uses simple patterns — sequences of character classes (`[a-zA-Z0-9/_.-]`),
+//! the Unicode escape `\PC` ("any non-control character"), and literal
+//! characters, each optionally followed by a `{min,max}` repetition — so
+//! that subset is what this parser supports. Unsupported syntax panics with
+//! a pointer here rather than generating wrong data silently.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// Sample uniformly from this set of characters.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// The stand-in's interpretation of `\PC`: printable ASCII plus a few
+/// multi-byte code points, so byte-length-prefixed encodings get exercised
+/// with `char` lengths of 2, 3, and 4 bytes (real proptest samples all of
+/// non-control Unicode here).
+fn printable() -> Vec<char> {
+    (b' '..=b'~')
+        .map(|b| b as char)
+        .chain(['é', 'ß', '→', '日', '🦀'])
+        .collect()
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let rest: String = chars[i + 1..].iter().collect();
+                if rest.starts_with("PC") {
+                    i += 3;
+                    Atom::Class(printable())
+                } else if let Some(&escaped) = chars.get(i + 1) {
+                    i += 2;
+                    Atom::Class(vec![escaped])
+                } else {
+                    panic!("dangling \\ in pattern {pattern:?}");
+                }
+            }
+            c if c != '{' && c != '}' => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+            _ => panic!(
+                "unsupported pattern syntax at {i} in {pattern:?} \
+                 (extend vendor/proptest/src/string.rs)"
+            ),
+        };
+        // Optional {min,max} / {n} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {min,max}"),
+                    hi.trim().parse().expect("bad {min,max}"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {n}");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Samples one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let span = (piece.max - piece.min + 1) as u64;
+        let count = piece.min + rng.below(span) as usize;
+        let Atom::Class(set) = &piece.atom;
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        for _ in 0..count {
+            out.push(set[rng.below(set.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let s = sample_pattern("[a-zA-Z0-9/_.-]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "/_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..500 {
+            let s = sample_pattern("\\PC{0,32}", &mut rng);
+            // {0,32} bounds the repetition count (chars), not the byte
+            // length — multi-byte code points make these differ.
+            assert!(s.chars().count() <= 32);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the real `serde` cannot
+//! be fetched. The repository only *derives* `Serialize`/`Deserialize` as a
+//! forward-compatibility marker — no code path serialises anything — so this
+//! crate provides the two trait names (for `use serde::{Serialize,
+//! Deserialize}` imports) and, under the `derive` feature, re-exports the
+//! no-op derive macros from the sibling `serde_derive` stub.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built in an environment without access to crates.io, so
+//! the real `serde_derive` cannot be fetched. Nothing in this repository
+//! actually serialises through serde yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations only declare intent — so the derives here
+//! accept the input and expand to nothing. When a real serialisation
+//! backend lands, swap this crate for the genuine `serde_derive` by editing
+//! `[workspace.dependencies]` in the root manifest.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
