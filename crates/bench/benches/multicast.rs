@@ -1,39 +1,46 @@
 //! Group communication: reliable-ordered vs unreliable delivery across
-//! group sizes (the §2.3(2) machinery active replication rides on).
+//! group sizes (the §2.3(2) machinery active replication rides on), plus
+//! per-op wire-buffer allocation counts for the fan-out path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use groupview_group::comms::DeliveryMode;
-use groupview_group::member::RecordingMember;
+use groupview_group::member::{GroupMember, RecordingMember};
 use groupview_group::{GroupComms, GroupId};
+use groupview_sim::wire::{self, Bytes};
 use groupview_sim::{NodeId, Sim, SimConfig};
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
 
-fn setup(members: u32, mode: DeliveryMode) -> (Sim, GroupComms, GroupId) {
+fn setup_with(
+    members: u32,
+    mode: DeliveryMode,
+    member: fn() -> Rc<RefCell<dyn GroupMember>>,
+) -> (Sim, GroupComms, GroupId) {
     let sim = Sim::new(SimConfig::new(5).with_nodes(members as usize + 1));
     let comms = GroupComms::new(&sim);
     let group = comms.create_group(mode);
     for m in 1..=members {
-        comms
-            .join(
-                group,
-                NodeId::new(m),
-                Rc::new(RefCell::new(RecordingMember::default())),
-            )
-            .expect("join");
+        comms.join(group, NodeId::new(m), member()).expect("join");
     }
     (sim, comms, group)
+}
+
+fn setup(members: u32, mode: DeliveryMode) -> (Sim, GroupComms, GroupId) {
+    setup_with(members, mode, || {
+        Rc::new(RefCell::new(RecordingMember::default()))
+    })
 }
 
 fn bench_multicast_sizes(c: &mut Criterion) {
     let mut bench_group = c.benchmark_group("multicast/reliable_by_size");
     for members in [1u32, 3, 5, 9] {
         let (_sim, comms, group) = setup(members, DeliveryMode::ReliableOrdered);
+        let msg = Bytes::from_static(b"operation");
         bench_group.bench_function(BenchmarkId::from_parameter(members), |b| {
             b.iter(|| {
                 let out = comms
-                    .multicast(group, NodeId::new(0), b"operation")
+                    .multicast(group, NodeId::new(0), &msg)
                     .expect("multicast");
                 black_box(out.seq)
             })
@@ -49,10 +56,11 @@ fn bench_delivery_modes(c: &mut Criterion) {
         (DeliveryMode::Unreliable, "unreliable"),
     ] {
         let (_sim, comms, group) = setup(5, mode);
+        let msg = Bytes::from_static(b"operation");
         bench_group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let out = comms
-                    .multicast(group, NodeId::new(0), b"operation")
+                    .multicast(group, NodeId::new(0), &msg)
                     .expect("multicast");
                 black_box(out.replies.len())
             })
@@ -68,10 +76,51 @@ fn bench_view_refresh(c: &mut Criterion) {
     });
 }
 
+/// Replies with a static ack: isolates the *protocol's* allocation
+/// behaviour from the member implementation's.
+struct StaticAckMember;
+
+impl GroupMember for StaticAckMember {
+    fn deliver(&mut self, _seq: u64, msg: &Bytes) -> Bytes {
+        black_box(msg.len());
+        Bytes::from_static(b"ack")
+    }
+}
+
+/// Reports wire-buffer allocations per multicast, by group size. The
+/// fan-out path shares one message buffer with every member, so the counts
+/// must stay at zero regardless of cohort size — CI prints these so a
+/// regression (a reintroduced per-member clone) is visible in the logs.
+fn bench_fanout_allocation_counts(_c: &mut Criterion) {
+    const OPS: u64 = 1_000;
+    for members in [1u32, 3, 5, 9] {
+        let (_sim, comms, group) = setup_with(members, DeliveryMode::ReliableOrdered, || {
+            Rc::new(RefCell::new(StaticAckMember))
+        });
+        let msg = Bytes::from_static(b"operation");
+        for _ in 0..8 {
+            let _ = comms.multicast(group, NodeId::new(0), &msg);
+        }
+        let before = wire::stats();
+        for _ in 0..OPS {
+            comms
+                .multicast(group, NodeId::new(0), &msg)
+                .expect("multicast");
+        }
+        let d = wire::stats().since(before);
+        println!(
+            "multicast/fanout_wire_allocs/{members:<37} {:>8.3} allocs/op {:>8.1} B copied/op",
+            d.buffer_allocs as f64 / OPS as f64,
+            d.bytes_copied as f64 / OPS as f64,
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_multicast_sizes,
     bench_delivery_modes,
     bench_view_refresh,
+    bench_fanout_allocation_counts,
 );
 criterion_main!(benches);

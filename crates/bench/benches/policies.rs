@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use groupview_actions::ActionId;
 use groupview_replication::{Counter, CounterOp, ObjectGroup, ReplicationPolicy, System};
+use groupview_sim::wire;
 use groupview_sim::NodeId;
 use std::hint::black_box;
 
@@ -100,11 +101,60 @@ fn bench_read_vs_write(c: &mut Criterion) {
     bench_group.finish();
 }
 
+/// Reports wire-buffer allocations per invocation, by policy (3 replicas)
+/// and for reads vs writes. One operation frame is pooled per invoke; the
+/// remaining allocations are object-level reply/snapshot encodes. CI
+/// prints these so hot-path allocation regressions show up in the logs.
+fn bench_invoke_allocation_counts(_c: &mut Criterion) {
+    const OPS: u64 = 1_000;
+    fn report(label: String, policy: ReplicationPolicy, op: &[u8], read: bool) {
+        let (_sys, client, action, group) = activated(policy, 3);
+        let run = || {
+            if read {
+                client.invoke_read(action, &group, op).expect("invoke")
+            } else {
+                client.invoke(action, &group, op).expect("invoke")
+            }
+        };
+        for _ in 0..8 {
+            black_box(run());
+        }
+        let before = wire::stats();
+        for _ in 0..OPS {
+            black_box(run());
+        }
+        let d = wire::stats().since(before);
+        println!(
+            "{label:<48} {:>8.3} allocs/op {:>8.1} B copied/op {:>8.3} reuses/op",
+            d.buffer_allocs as f64 / OPS as f64,
+            d.bytes_copied as f64 / OPS as f64,
+            d.pool_reuses as f64 / OPS as f64,
+        );
+    }
+    let write = CounterOp::Add(1).encode();
+    let read = CounterOp::Get.encode();
+    for policy in ReplicationPolicy::ALL {
+        report(
+            format!("policies/invoke_wire_allocs/{policy}"),
+            policy,
+            &write,
+            false,
+        );
+    }
+    report(
+        "policies/read_wire_allocs/active".to_string(),
+        ReplicationPolicy::Active,
+        &read,
+        true,
+    );
+}
+
 criterion_group!(
     benches,
     bench_invoke_by_policy,
     bench_active_by_group_size,
     bench_cohort_checkpoint_cost,
     bench_read_vs_write,
+    bench_invoke_allocation_counts,
 );
 criterion_main!(benches);

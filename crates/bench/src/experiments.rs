@@ -9,7 +9,7 @@ use groupview_group::comms::DeliveryMode;
 use groupview_group::member::RecordingMember;
 use groupview_group::GroupComms;
 use groupview_replication::{Counter, CounterOp, ReplicationPolicy, System};
-use groupview_sim::{NetConfig, NodeId, Sim, SimConfig};
+use groupview_sim::{Bytes, NetConfig, NodeId, Sim, SimConfig};
 use groupview_store::Uid;
 use groupview_workload::table::{fmt_f64, fmt_pct};
 use groupview_workload::{Driver, FaultAction, FaultScript, TextTable, WorkloadSpec};
@@ -262,7 +262,7 @@ fn e1_trial(seed: u64, mode: DeliveryMode, drop_p: f64) -> bool {
     if drop_p == 0.0 {
         sim.crash_after_sends(b, 1);
     }
-    let _ = comms.multicast(ga, b, b"reply");
+    let _ = comms.multicast(ga, b, &Bytes::from_static(b"reply"));
     let diverged = a1.borrow().log != a2.borrow().log;
     diverged
 }

@@ -3,7 +3,7 @@
 use crate::error::GroupError;
 use crate::member::GroupMember;
 use crate::view::{GroupId, View};
-use groupview_sim::{NodeId, Sim};
+use groupview_sim::{Bytes, NodeId, Sim};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -40,8 +40,9 @@ pub struct MulticastStats {
 pub struct MulticastOutcome {
     /// The total-order sequence number assigned to the message.
     pub seq: u64,
-    /// Members that delivered the message, with their reply bytes.
-    pub replies: Vec<(NodeId, Vec<u8>)>,
+    /// Members that delivered the message, with their reply buffers
+    /// (cloning an entry is a refcount bump, not a copy).
+    pub replies: Vec<(NodeId, Bytes)>,
     /// Live members that did *not* deliver (divergence candidates).
     pub missed: Vec<NodeId>,
     /// Whether a relay round was needed (reliable mode only).
@@ -50,8 +51,8 @@ pub struct MulticastOutcome {
 
 impl MulticastOutcome {
     /// Reply bytes from the first member that answered.
-    pub fn first_reply(&self) -> Option<&[u8]> {
-        self.replies.first().map(|(_, r)| r.as_slice())
+    pub fn first_reply(&self) -> Option<&Bytes> {
+        self.replies.first().map(|(_, r)| r)
     }
 }
 
@@ -220,6 +221,10 @@ impl GroupComms {
     /// Multicasts `msg` from `from` to every member of `group`, according
     /// to the group's delivery mode. `from` need not be a member.
     ///
+    /// The fan-out is zero-copy: every member's `deliver` receives a
+    /// reference to the *same* shared buffer, however large the group. The
+    /// simulated network charges per-member message costs as before.
+    ///
     /// In reliable-ordered mode the call guarantees that every member that
     /// is still up when the call returns has delivered the message (relaying
     /// through a receiving member if `from` crashed mid-spray), all with the
@@ -234,7 +239,7 @@ impl GroupComms {
         &self,
         group: GroupId,
         from: NodeId,
-        msg: &[u8],
+        msg: &Bytes,
     ) -> Result<MulticastOutcome, GroupError> {
         if !self.sim.is_up(from) {
             return Err(GroupError::SenderDown(from));
@@ -264,18 +269,18 @@ impl GroupComms {
         let mut relayed = false;
 
         for (node, handle) in &targets {
-            let delivered = match self.sim.deliver(from, *node, msg.len() + 16) {
+            let delivered = match self.sim.deliver(from, *node, msg.wire_size()) {
                 Ok(_) => true,
                 Err(_) if mode == DeliveryMode::ReliableOrdered => {
                     // Sender may have crashed mid-spray, or the link failed.
                     // Relay through any member that already has the message.
                     if let Some(&(relay, _)) = replies
                         .iter()
-                        .map(|(n, _): &(NodeId, Vec<u8>)| n)
+                        .map(|(n, _): &(NodeId, Bytes)| n)
                         .find(|&&r| self.sim.is_up(r))
                         .map(|n| targets.iter().find(|(tn, _)| tn == n).expect("is a target"))
                     {
-                        match self.sim.deliver(relay, *node, msg.len() + 16) {
+                        match self.sim.deliver(relay, *node, msg.wire_size()) {
                             Ok(_) => {
                                 relayed = true;
                                 true
@@ -289,10 +294,12 @@ impl GroupComms {
                 Err(_) => false,
             };
             if delivered {
+                // Every member sees the same shared buffer — no per-member
+                // payload clone, regardless of cohort size.
                 let reply = handle.borrow_mut().deliver(seq, msg);
                 // Reply/ack back to the sender; losing it does not undo the
                 // delivery (that asymmetry is the whole point of Figure 1).
-                let _ = self.sim.deliver(*node, from, reply.len() + 16);
+                let _ = self.sim.deliver(*node, from, reply.wire_size());
                 replies.push((*node, reply));
             } else if self.sim.is_up(*node) {
                 missed.push(*node);
@@ -351,8 +358,12 @@ mod tests {
         let g = comms.create_group(DeliveryMode::ReliableOrdered);
         let m1 = join_recording(&comms, g, NodeId::new(1));
         let m2 = join_recording(&comms, g, NodeId::new(2));
-        let out1 = comms.multicast(g, NodeId::new(0), b"op1").unwrap();
-        let out2 = comms.multicast(g, NodeId::new(0), b"op2").unwrap();
+        let out1 = comms
+            .multicast(g, NodeId::new(0), &Bytes::from_static(b"op1"))
+            .unwrap();
+        let out2 = comms
+            .multicast(g, NodeId::new(0), &Bytes::from_static(b"op2"))
+            .unwrap();
         assert_eq!(out1.seq, 1);
         assert_eq!(out2.seq, 2);
         assert_eq!(out1.replies.len(), 2);
@@ -374,7 +385,9 @@ mod tests {
         let a2 = join_recording(&comms, ga, NodeId::new(2));
         let b = NodeId::new(3);
         sim.crash_after_sends(b, 1);
-        let out = comms.multicast(ga, b, b"reply").unwrap();
+        let out = comms
+            .multicast(ga, b, &Bytes::from_static(b"reply"))
+            .unwrap();
         assert_eq!(out.replies.len(), 1);
         assert_eq!(out.missed, vec![NodeId::new(2)]);
         assert_eq!(a1.borrow().log.len(), 1);
@@ -391,7 +404,9 @@ mod tests {
         let a2 = join_recording(&comms, ga, NodeId::new(2));
         let b = NodeId::new(3);
         sim.crash_after_sends(b, 1);
-        let out = comms.multicast(ga, b, b"reply").unwrap();
+        let out = comms
+            .multicast(ga, b, &Bytes::from_static(b"reply"))
+            .unwrap();
         assert!(out.relayed);
         assert!(out.missed.is_empty());
         assert_eq!(a1.borrow().log, a2.borrow().log, "no divergence");
@@ -406,7 +421,9 @@ mod tests {
         let m1 = join_recording(&comms, g, NodeId::new(1));
         let _m2 = join_recording(&comms, g, NodeId::new(2));
         sim.crash(NodeId::new(2));
-        let out = comms.multicast(g, NodeId::new(0), b"x").unwrap();
+        let out = comms
+            .multicast(g, NodeId::new(0), &Bytes::from_static(b"x"))
+            .unwrap();
         assert_eq!(out.replies.len(), 1);
         assert!(out.missed.is_empty(), "a dead member is not 'missed'");
         assert_eq!(m1.borrow().log.len(), 1);
@@ -422,13 +439,13 @@ mod tests {
         let _m = join_recording(&comms, g, NodeId::new(1));
         sim.crash(NodeId::new(1));
         assert_eq!(
-            comms.multicast(g, NodeId::new(0), b"x"),
+            comms.multicast(g, NodeId::new(0), &Bytes::from_static(b"x")),
             Err(GroupError::NoLiveMembers(g))
         );
         // Empty group too:
         let g2 = comms.create_group(DeliveryMode::ReliableOrdered);
         assert_eq!(
-            comms.multicast(g2, NodeId::new(0), b"x"),
+            comms.multicast(g2, NodeId::new(0), &Bytes::from_static(b"x")),
             Err(GroupError::NoLiveMembers(g2))
         );
     }
@@ -439,11 +456,15 @@ mod tests {
         let g = comms.create_group(DeliveryMode::Unreliable);
         sim.crash(NodeId::new(0));
         assert_eq!(
-            comms.multicast(g, NodeId::new(0), b"x"),
+            comms.multicast(g, NodeId::new(0), &Bytes::from_static(b"x")),
             Err(GroupError::SenderDown(NodeId::new(0)))
         );
         assert_eq!(
-            comms.multicast(GroupId::from_raw(99), NodeId::new(1), b"x"),
+            comms.multicast(
+                GroupId::from_raw(99),
+                NodeId::new(1),
+                &Bytes::from_static(b"x")
+            ),
             Err(GroupError::UnknownGroup(GroupId::from_raw(99)))
         );
         assert!(comms.view(GroupId::from_raw(99)).is_err());
@@ -478,7 +499,35 @@ mod tests {
         let (_sim, comms) = world();
         let g = comms.create_group(DeliveryMode::ReliableOrdered);
         join_recording(&comms, g, NodeId::new(1));
-        let out = comms.multicast(g, NodeId::new(0), b"m").unwrap();
-        assert_eq!(out.first_reply(), Some(&b"ack1"[..]));
+        let out = comms
+            .multicast(g, NodeId::new(0), &Bytes::from_static(b"m"))
+            .unwrap();
+        assert_eq!(out.first_reply().expect("one reply"), b"ack1");
+    }
+
+    #[test]
+    fn fanout_shares_one_buffer_across_all_members() {
+        let (_sim, comms) = world();
+        let g = comms.create_group(DeliveryMode::ReliableOrdered);
+        let members: Vec<_> = (1..=4u32)
+            .map(|i| join_recording(&comms, g, NodeId::new(i)))
+            .collect();
+        let msg = Bytes::from(b"one-shared-frame".to_vec());
+        let msg_ptr = msg.as_slice().as_ptr();
+        let before = groupview_sim::wire::stats();
+        let out = comms.multicast(g, NodeId::new(0), &msg).unwrap();
+        let delta = groupview_sim::wire::stats().since(before);
+        assert_eq!(out.replies.len(), 4);
+        assert_eq!(
+            delta.bytes_copied, 0,
+            "zero payload copies on the fan-out path"
+        );
+        for m in &members {
+            assert_eq!(
+                m.borrow().log[0].1.as_slice().as_ptr(),
+                msg_ptr,
+                "every member aliases the sender's buffer"
+            );
+        }
     }
 }

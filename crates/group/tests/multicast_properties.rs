@@ -5,7 +5,7 @@
 use groupview_group::comms::DeliveryMode;
 use groupview_group::member::RecordingMember;
 use groupview_group::GroupComms;
-use groupview_sim::{NodeId, Sim, SimConfig};
+use groupview_sim::{Bytes, NodeId, Sim, SimConfig};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -58,7 +58,7 @@ proptest! {
         for ev in &events {
             match *ev {
                 Ev::Cast(payload) => {
-                    let _ = comms.multicast(group, sender, &[payload]);
+                    let _ = comms.multicast(group, sender, &Bytes::from(vec![payload]));
                 }
                 Ev::Crash(i) => {
                     sim.crash(members[i].0);
@@ -120,7 +120,7 @@ proptest! {
                 if i == crash_at {
                     sim.crash_after_sends(sender, 1);
                 }
-                let _ = comms.multicast(group, sender, &[*p]);
+                let _ = comms.multicast(group, sender, &Bytes::from(vec![*p]));
             }
             let diverged = a.borrow().log != b.borrow().log;
             diverged

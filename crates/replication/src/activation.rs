@@ -148,7 +148,7 @@ impl System {
             }
             for &server in &binding.servers {
                 let replica = inner.registry.get_or_create(&inner.sim, uid, server);
-                let member = ReplicaMember::new(&inner.sim, replica);
+                let member = ReplicaMember::new(&inner.sim, &inner.wire, replica);
                 let _ = inner.comms.join(gid, server, Rc::new(RefCell::new(member)));
             }
             Some(gid)

@@ -2,6 +2,7 @@
 
 use groupview_actions::TxError;
 use groupview_core::{BindError, DbError};
+use groupview_group::GroupError;
 use groupview_sim::NetError;
 use groupview_store::Uid;
 use std::error::Error;
@@ -68,7 +69,13 @@ impl From<TxError> for ActivateError {
 pub enum InvokeError {
     /// The object-level lock was refused or the action is dead.
     Tx(TxError),
-    /// Every bound replica has failed; the action must abort.
+    /// The group-communication layer refused the multicast, carrying the
+    /// concrete failure (unknown group, sender down, no live members) for
+    /// diagnostics instead of collapsing everything into
+    /// [`InvokeError::AllReplicasFailed`].
+    Group(GroupError),
+    /// Every bound replica has failed (retry/election genuinely
+    /// exhausted); the action must abort.
     AllReplicasFailed(Uid),
     /// The single activated copy failed (single-copy passive policy);
     /// per §2.3(2)(iii) the action must abort.
@@ -78,10 +85,21 @@ pub enum InvokeError {
     NotLoaded(Uid),
 }
 
+impl InvokeError {
+    /// Whether this failure was caused by node/replica failures (as opposed
+    /// to ordinary lock contention between live clients). Workload metrics
+    /// use this to tell "a crash made the action abort" apart from "two
+    /// writers raced".
+    pub fn is_failure_caused(&self) -> bool {
+        !matches!(self, InvokeError::Tx(TxError::LockRefused { .. }))
+    }
+}
+
 impl fmt::Display for InvokeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InvokeError::Tx(e) => write!(f, "invocation failed: {e}"),
+            InvokeError::Group(e) => write!(f, "invocation multicast failed: {e}"),
             InvokeError::AllReplicasFailed(uid) => {
                 write!(f, "all replicas of {uid} have failed")
             }
@@ -95,6 +113,7 @@ impl Error for InvokeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             InvokeError::Tx(e) => Some(e),
+            InvokeError::Group(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +122,12 @@ impl Error for InvokeError {
 impl From<TxError> for InvokeError {
     fn from(e: TxError) -> Self {
         InvokeError::Tx(e)
+    }
+}
+
+impl From<GroupError> for InvokeError {
+    fn from(e: GroupError) -> Self {
+        InvokeError::Group(e)
     }
 }
 
@@ -192,6 +217,22 @@ mod tests {
         assert!(matches!(e, ActivateError::Db(_)));
         let e: InvokeError = NetError::Timeout.into();
         assert!(matches!(e, InvokeError::Tx(TxError::Net(_))));
+        let g: InvokeError =
+            GroupError::NoLiveMembers(groupview_group::GroupId::from_raw(2)).into();
+        assert!(matches!(g, InvokeError::Group(_)));
+        assert!(g.is_failure_caused());
+        assert!(g.to_string().contains("multicast"));
+        assert!(Error::source(&g).is_some(), "source chain preserved");
+        assert!(
+            InvokeError::Tx(TxError::Net(NetError::Timeout)).is_failure_caused(),
+            "a lost database RPC is a failure, not contention"
+        );
+        let refused = InvokeError::Tx(TxError::LockRefused {
+            key: groupview_actions::LockKey::new(3, 1),
+            requested: groupview_actions::LockMode::Write,
+            held: groupview_actions::LockMode::Read,
+        });
+        assert!(!refused.is_failure_caused(), "contention is not a failure");
         let e: CommitError = TxError::NotActive(groupview_actions::ActionId::from_raw(1)).into();
         assert!(matches!(e, CommitError::Tx(_)));
     }

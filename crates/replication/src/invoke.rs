@@ -1,15 +1,22 @@
 //! Operation invocation under the three replication policies (§2.3(2)).
+//!
+//! Every policy shares one wire discipline: the operation is encoded into a
+//! single pooled [`GroupMsg`] frame per invocation, and that frame — not a
+//! fresh vector per RPC closure — travels to however many replicas the
+//! policy involves. Replies and checkpoints come back as shared buffers
+//! too; see `docs/WIRE.md` for the ownership rules.
 
 use crate::error::InvokeError;
-use crate::object::InvokeResult;
 use crate::policy::ReplicationPolicy;
 use crate::replica::ReplicaHandle;
 use crate::system::System;
+use crate::wire::{GroupMsgCodec, MemberReply, MemberReplyCodec};
 use groupview_actions::{ActionId, LockKey, LockMode};
 use groupview_core::{BindRequest, Binding};
 use groupview_group::{GroupId, GroupMember};
-use groupview_sim::{NodeId, Sim};
-use groupview_store::Uid;
+use groupview_sim::wire::Codec;
+use groupview_sim::{Bytes, NodeId, Sim, WireEncoder};
+use groupview_store::{SnapshotCodec, Uid};
 use std::fmt;
 
 /// Lock namespace for object-level concurrency control (the databases use
@@ -52,13 +59,15 @@ impl ObjectGroup {
 /// Adapter making a [`ReplicaHandle`] a multicast group member.
 pub(crate) struct ReplicaMember {
     sim: Sim,
+    wire: WireEncoder,
     replica: ReplicaHandle,
 }
 
 impl ReplicaMember {
-    pub(crate) fn new(sim: &Sim, replica: ReplicaHandle) -> Self {
+    pub(crate) fn new(sim: &Sim, wire: &WireEncoder, replica: ReplicaHandle) -> Self {
         ReplicaMember {
             sim: sim.clone(),
+            wire: wire.clone(),
             replica,
         }
     }
@@ -71,43 +80,15 @@ impl fmt::Debug for ReplicaMember {
 }
 
 impl GroupMember for ReplicaMember {
-    fn deliver(&mut self, _seq: u64, msg: &[u8]) -> Vec<u8> {
-        let Some((op_id, op)) = decode_group_msg(msg) else {
-            return encode_member_reply(None);
+    fn deliver(&mut self, _seq: u64, msg: &Bytes) -> Bytes {
+        let reply = match GroupMsgCodec::decode(msg) {
+            Some(m) => {
+                MemberReply::from(self.replica.borrow_mut().invoke(&self.sim, m.op_id, &m.op))
+            }
+            None => MemberReply::NotLoaded,
         };
-        let result = self.replica.borrow_mut().invoke(&self.sim, op_id, op);
-        encode_member_reply(result)
+        MemberReplyCodec::encode(&self.wire, &reply)
     }
-}
-
-/// `[op_id: u64 LE][op bytes]`
-fn encode_group_msg(op_id: u64, op: &[u8]) -> Vec<u8> {
-    let mut v = op_id.to_le_bytes().to_vec();
-    v.extend_from_slice(op);
-    v
-}
-
-fn decode_group_msg(msg: &[u8]) -> Option<(u64, &[u8])> {
-    let op_id = u64::from_le_bytes(msg.get(..8)?.try_into().ok()?);
-    Some((op_id, msg.get(8..)?))
-}
-
-/// `[status: 0 ok / 1 not-loaded][mutated: 0/1][reply bytes]`
-fn encode_member_reply(result: Option<InvokeResult>) -> Vec<u8> {
-    match result {
-        Some(r) => {
-            let mut v = vec![0u8, u8::from(r.mutated)];
-            v.extend_from_slice(&r.reply);
-            v
-        }
-        None => vec![1u8, 0u8],
-    }
-}
-
-fn decode_member_reply(bytes: &[u8]) -> Option<(bool, bool, Vec<u8>)> {
-    let loaded = *bytes.first()? == 0;
-    let mutated = *bytes.get(1)? == 1;
-    Some((loaded, mutated, bytes.get(2..)?.to_vec()))
 }
 
 impl System {
@@ -120,7 +101,7 @@ impl System {
         group: &ObjectGroup,
         op: &[u8],
         write_intent: bool,
-    ) -> Result<Vec<u8>, InvokeError> {
+    ) -> Result<Bytes, InvokeError> {
         let inner = &self.inner;
         let mode = if write_intent {
             LockMode::Write
@@ -132,10 +113,15 @@ impl System {
         if write_intent {
             self.push_object_undo(action, group.uid, op_id)?;
         }
+        // The only encode of this operation: one pooled frame shared by
+        // every replica the policy touches (and by the retry loop of the
+        // coordinator-cohort policy). Its buffer returns to the pool when
+        // the last reference drops at the end of this call.
+        let msg = GroupMsgCodec::encode_parts(&inner.wire, op_id, op);
         let (reply, mutated) = match group.policy {
-            ReplicationPolicy::Active => self.invoke_active(group, op_id, op)?,
-            ReplicationPolicy::CoordinatorCohort => self.invoke_cohort(group, op_id, op)?,
-            ReplicationPolicy::SingleCopyPassive => self.invoke_single(group, op_id, op)?,
+            ReplicationPolicy::Active => self.invoke_active(group, &msg)?,
+            ReplicationPolicy::CoordinatorCohort => self.invoke_cohort(group, &msg)?,
+            ReplicationPolicy::SingleCopyPassive => self.invoke_single(group, &msg)?,
         };
         if mutated {
             self.mark_dirty(action, group.uid);
@@ -158,13 +144,20 @@ impl System {
             if !inner.sim.is_up(node) {
                 continue;
             }
-            let snap = handle.borrow_mut().snapshot_state(&inner.sim);
-            if let Some(state) = snap {
-                if snapshot.is_none() {
-                    snapshot = Some((state.type_tag, state.data));
-                }
-                handles.push(handle);
+            if !handle.borrow_mut().is_loaded(&inner.sim) {
+                continue;
             }
+            if snapshot.is_none() {
+                // One snapshot restores every replica (all loaded copies
+                // are mutually consistent); the undo closure keeps a
+                // refcount on its shared buffer, not a private copy.
+                let state = handle
+                    .borrow_mut()
+                    .snapshot_state(&inner.sim)
+                    .expect("checked loaded");
+                snapshot = Some((state.type_tag, state.data));
+            }
+            handles.push(handle);
         }
         let Some((tag, data)) = snapshot else {
             return Ok(()); // nothing loaded — nothing to undo
@@ -185,19 +178,17 @@ impl System {
     fn invoke_active(
         &self,
         group: &ObjectGroup,
-        op_id: u64,
-        op: &[u8],
-    ) -> Result<(Vec<u8>, bool), InvokeError> {
+        msg: &Bytes,
+    ) -> Result<(Bytes, bool), InvokeError> {
         let inner = &self.inner;
         let gid = group
             .comms_group
             .ok_or(InvokeError::AllReplicasFailed(group.uid))?;
         let _ = inner.comms.refresh_view(gid);
-        let msg = encode_group_msg(op_id, op);
         let outcome = inner
             .comms
-            .multicast(gid, group.req.client_node, &msg)
-            .map_err(|_| InvokeError::AllReplicasFailed(group.uid))?;
+            .multicast(gid, group.req.client_node, msg)
+            .map_err(InvokeError::Group)?;
         // Virtual synchrony: a live member that nevertheless missed the
         // delivery (network partition) no longer holds current state — it
         // must be expelled from the activated group, or a later activation
@@ -211,12 +202,13 @@ impl System {
         }
         // Use the first reply from a member that actually holds state; a
         // member that lost its volatile state answers "not loaded" and is
-        // ignored (it is evicted at the next activation).
+        // ignored (it is evicted at the next activation). The returned
+        // payload is a zero-copy slice of the member's reply frame.
         let mut saw_unloaded = false;
         for (_, reply) in &outcome.replies {
-            match decode_member_reply(reply) {
-                Some((true, mutated, payload)) => return Ok((payload, mutated)),
-                Some((false, _, _)) => saw_unloaded = true,
+            match MemberReplyCodec::decode(reply) {
+                Some(MemberReply::Loaded(r)) => return Ok((r.reply, r.mutated)),
+                Some(MemberReply::NotLoaded) => saw_unloaded = true,
                 None => {}
             }
         }
@@ -233,9 +225,8 @@ impl System {
     fn invoke_cohort(
         &self,
         group: &ObjectGroup,
-        op_id: u64,
-        op: &[u8],
-    ) -> Result<(Vec<u8>, bool), InvokeError> {
+        msg: &Bytes,
+    ) -> Result<(Bytes, bool), InvokeError> {
         let inner = &self.inner;
         let uid = group.uid;
         // At most one retry per server: each failure removes a coordinator.
@@ -265,37 +256,38 @@ impl System {
             let sim = inner.sim.clone();
             let registry = inner.registry.clone();
             let types = inner.types.clone();
-            let op_vec = op.to_vec();
+            let wire = inner.wire.clone();
             let missed_cohorts: std::rc::Rc<std::cell::RefCell<Vec<NodeId>>> =
                 std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
             let missed_in_handler = missed_cohorts.clone();
             let result =
                 inner
                     .sim
-                    .rpc(group.req.client_node, coord, op.len() + 24, 64, move || {
-                        let result = replica.borrow_mut().invoke(&sim, op_id, &op_vec);
+                    .rpc_payload(group.req.client_node, coord, msg, 64, move |frame| {
+                        let m = GroupMsgCodec::decode(frame)?;
+                        let result = replica.borrow_mut().invoke(&sim, m.op_id, &m.op);
                         if let Some(res) = &result {
                             if res.mutated {
-                                // Checkpoint the new state to every cohort.
+                                // Checkpoint the new state to every cohort:
+                                // encode ONE snapshot frame and push the same
+                                // buffer to all of them; each cohort decodes a
+                                // zero-copy view.
                                 let snapshot = replica.borrow_mut().snapshot_state(&sim);
                                 if let Some(state) = snapshot {
+                                    let frame = SnapshotCodec::encode(&wire, &state);
                                     for &cohort in &cohorts {
                                         let target = registry.get_or_create(&sim, uid, cohort);
-                                        let state = state.clone();
-                                        let entry = Some((op_id, res.reply.clone(), res.mutated));
-                                        let types = types.clone();
-                                        let sim_inner = sim.clone();
+                                        let entry = Some((m.op_id, res.reply.clone(), res.mutated));
+                                        let types = &types;
+                                        let sim_inner = &sim;
                                         if sim
-                                            .send_oneway(
-                                                coord,
-                                                cohort,
-                                                state.wire_size(),
-                                                move || {
+                                            .send_oneway_payload(coord, cohort, &frame, |payload| {
+                                                if let Some(chk) = SnapshotCodec::decode(payload) {
                                                     target.borrow_mut().install_checkpoint(
-                                                        &sim_inner, &state, entry, &types,
+                                                        sim_inner, &chk, entry, types,
                                                     );
-                                                },
-                                            )
+                                                }
+                                            })
                                             .is_err()
                                             && sim.is_up(cohort)
                                         {
@@ -330,9 +322,8 @@ impl System {
     fn invoke_single(
         &self,
         group: &ObjectGroup,
-        op_id: u64,
-        op: &[u8],
-    ) -> Result<(Vec<u8>, bool), InvokeError> {
+        msg: &Bytes,
+    ) -> Result<(Bytes, bool), InvokeError> {
         let inner = &self.inner;
         let uid = group.uid;
         let server = *group
@@ -344,14 +335,12 @@ impl System {
             .get(uid, server)
             .ok_or(InvokeError::NotLoaded(uid))?;
         let sim = inner.sim.clone();
-        let op_vec = op.to_vec();
-        let result = inner.sim.rpc(
-            group.req.client_node,
-            server,
-            op.len() + 24,
-            64,
-            move || replica.borrow_mut().invoke(&sim, op_id, &op_vec),
-        );
+        let result = inner
+            .sim
+            .rpc_payload(group.req.client_node, server, msg, 64, move |frame| {
+                GroupMsgCodec::decode(frame)
+                    .and_then(|m| replica.borrow_mut().invoke(&sim, m.op_id, &m.op))
+            });
         match result {
             Ok(Some(res)) => Ok((res.reply, res.mutated)),
             Ok(None) => Err(InvokeError::NotLoaded(uid)),

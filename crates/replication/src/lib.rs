@@ -51,6 +51,7 @@ pub mod object;
 pub mod policy;
 pub mod replica;
 pub mod system;
+pub mod wire;
 pub mod writeback;
 
 pub use crate::error::{ActivateError, CommitError, InvokeError};
@@ -61,3 +62,4 @@ pub use crate::object::{
 pub use crate::policy::ReplicationPolicy;
 pub use crate::replica::{ReplicaRegistry, ServerReplica};
 pub use crate::system::{Client, System, SystemBuilder};
+pub use crate::wire::{GroupMsg, GroupMsgCodec, MemberReply, MemberReplyCodec};

@@ -11,6 +11,7 @@
 //! little-endian byte encodings so that snapshots are deterministic and
 //! self-contained (no serialization framework needed on the wire).
 
+use groupview_sim::Bytes;
 use groupview_store::TypeTag;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -20,8 +21,10 @@ use std::rc::Rc;
 /// Outcome of invoking an operation on an object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvokeResult {
-    /// Reply bytes returned to the client.
-    pub reply: Vec<u8>,
+    /// Reply bytes returned to the client (reference-counted: cloning the
+    /// result — into dedup caches, checkpoint entries, reply frames —
+    /// shares the buffer).
+    pub reply: Bytes,
     /// Whether the operation modified the object's state. Drives the
     /// paper's read optimisation: unmodified objects skip the commit-time
     /// state copy entirely.
@@ -30,17 +33,17 @@ pub struct InvokeResult {
 
 impl InvokeResult {
     /// A read-only result.
-    pub fn read(reply: Vec<u8>) -> Self {
+    pub fn read(reply: impl Into<Bytes>) -> Self {
         InvokeResult {
-            reply,
+            reply: reply.into(),
             mutated: false,
         }
     }
 
     /// A state-changing result.
-    pub fn wrote(reply: Vec<u8>) -> Self {
+    pub fn wrote(reply: impl Into<Bytes>) -> Self {
         InvokeResult {
-            reply,
+            reply: reply.into(),
             mutated: true,
         }
     }
@@ -550,7 +553,10 @@ mod tests {
         let r = m.invoke(&KvOp::Put("k1".into(), "v2".into()).encode());
         assert_eq!(r.reply, b"v1", "previous value returned");
         let r = m.invoke(&KvOp::Len.encode());
-        assert_eq!(u64::from_le_bytes(r.reply.try_into().unwrap()), 1);
+        assert_eq!(
+            u64::from_le_bytes(r.reply.as_slice().try_into().unwrap()),
+            1
+        );
         let r = m.invoke(&KvOp::Delete("k1".into()).encode());
         assert!(r.mutated);
         assert_eq!(r.reply, b"v2");

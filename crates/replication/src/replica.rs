@@ -1,7 +1,7 @@
 //! Server replicas: activated copies of persistent objects.
 
 use crate::object::{InvokeResult, ReplicaObject, TypeRegistry};
-use groupview_sim::{NodeId, Sim};
+use groupview_sim::{Bytes, NodeId, Sim};
 use groupview_store::{ObjectState, TypeTag, Uid, Version, Volatile};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -15,7 +15,9 @@ struct Loaded {
     /// Operation dedup cache: `op_id → (reply, mutated)`. Suppresses
     /// re-execution when a client retries an operation after a coordinator
     /// failover that already applied it (checkpoint included the effect).
-    applied: HashMap<u64, (Vec<u8>, bool)>,
+    /// Replies are shared [`Bytes`], so caching costs a refcount, not a
+    /// copy.
+    applied: HashMap<u64, (Bytes, bool)>,
 }
 
 impl fmt::Debug for Loaded {
@@ -106,13 +108,15 @@ impl ServerReplica {
     }
 
     /// A snapshot of the current (possibly uncommitted) state, tagged with
-    /// the replica's base (last committed) version.
+    /// the replica's base (last committed) version. The returned state's
+    /// data is a shared buffer: cloning it per cohort or per store
+    /// participant shares, not copies.
     pub fn snapshot_state(&mut self, sim: &Sim) -> Option<ObjectState> {
         let loaded = self.state.get_mut(sim).as_mut()?;
         Some(ObjectState {
             type_tag: loaded.obj.type_tag(),
             version: loaded.base_version,
-            data: loaded.obj.snapshot(),
+            data: Bytes::from(loaded.obj.snapshot()),
         })
     }
 
@@ -134,7 +138,7 @@ impl ServerReplica {
         &mut self,
         sim: &Sim,
         state: &ObjectState,
-        op_entry: Option<(u64, Vec<u8>, bool)>,
+        op_entry: Option<(u64, Bytes, bool)>,
         types: &TypeRegistry,
     ) -> bool {
         let Some(obj) = types.decode(state.type_tag, &state.data) else {
@@ -331,12 +335,12 @@ mod tests {
         let chk = ObjectState {
             type_tag: Counter::TYPE_TAG,
             version: Version::INITIAL,
-            data: Counter::new(9).snapshot(),
+            data: Counter::new(9).snapshot().into(),
         };
         assert!(cohort.install_checkpoint(
             &sim,
             &chk,
-            Some((7, 9i64.to_le_bytes().to_vec(), true)),
+            Some((7, Bytes::from(9i64.to_le_bytes().to_vec()), true)),
             &types
         ));
         // A retried op 7 at the (now promoted) cohort is deduped.

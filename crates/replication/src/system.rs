@@ -11,7 +11,7 @@ use groupview_core::{
     RecoveryManager, RemoteDirectory, RemoteServerCache, ServerCache,
 };
 use groupview_group::{GroupComms, GroupId};
-use groupview_sim::{ClientId, NetConfig, NodeId, Sim, SimConfig};
+use groupview_sim::{Bytes, ClientId, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
 use groupview_store::{ObjectState, Stores, Uid, UidGen, Version};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
@@ -35,6 +35,9 @@ pub(crate) struct SystemInner {
     pub(crate) exclude_policy: ExcludePolicy,
     pub(crate) exclude_enabled: bool,
     pub(crate) active_groups: RefCell<HashMap<Uid, GroupId>>,
+    /// Shared scratch-buffer pool for every wire encode in the system
+    /// (operation frames, member replies, checkpoint snapshots).
+    pub(crate) wire: WireEncoder,
     uid_gen: RefCell<UidGen>,
     next_op: Cell<u64>,
     next_client: Cell<u32>,
@@ -183,6 +186,7 @@ impl SystemBuilder {
                 exclude_policy: self.exclude_policy,
                 exclude_enabled: self.exclude_enabled,
                 active_groups: RefCell::new(HashMap::new()),
+                wire: WireEncoder::new(),
                 uid_gen: RefCell::new(UidGen::new(naming_node)),
                 next_op: Cell::new(1),
                 next_client: Cell::new(0),
@@ -623,6 +627,9 @@ impl Client {
 
     /// Invokes a state-changing operation (object write lock).
     ///
+    /// The reply is a shared [`Bytes`] buffer (usually a zero-copy slice of
+    /// the replica's reply frame); it dereferences to `&[u8]` for decoding.
+    ///
     /// # Errors
     ///
     /// See [`InvokeError`]; on error the action should be aborted.
@@ -631,7 +638,7 @@ impl Client {
         action: ActionId,
         group: &ObjectGroup,
         op: &[u8],
-    ) -> Result<Vec<u8>, InvokeError> {
+    ) -> Result<Bytes, InvokeError> {
         self.sys.do_invoke(action, group, op, true)
     }
 
@@ -646,7 +653,7 @@ impl Client {
         action: ActionId,
         group: &ObjectGroup,
         op: &[u8],
-    ) -> Result<Vec<u8>, InvokeError> {
+    ) -> Result<Bytes, InvokeError> {
         self.sys.do_invoke(action, group, op, false)
     }
 

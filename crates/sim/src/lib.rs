@@ -25,6 +25,9 @@
 //! * **Cost accounts**: per-client latency/message accounting that stays
 //!   correct when a driver interleaves many logical clients.
 //! * **Event schedule**: timed crash/recovery/custom events for workloads.
+//! * **Wire layer** ([`wire`]): reference-counted [`Bytes`] buffers, the
+//!   pooled [`WireEncoder`], and the [`Codec`] trait — the zero-copy
+//!   payload substrate every protocol layer shares.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ pub mod metrics;
 pub mod rpc;
 pub mod time;
 pub mod trace;
+pub mod wire;
 pub mod world;
 
 pub use crate::config::{NetConfig, SimConfig};
@@ -55,4 +59,5 @@ pub use crate::ids::{ClientId, NodeId};
 pub use crate::metrics::{Cost, NetCounters};
 pub use crate::time::{SimDuration, SimTime};
 pub use crate::trace::TraceEvent;
+pub use crate::wire::{Bytes, Codec, WireEncoder, WireStats};
 pub use crate::world::{ScheduledEvent, Sim};

@@ -50,6 +50,6 @@ pub mod volatile;
 pub use crate::error::StoreError;
 pub use crate::registry::Stores;
 pub use crate::stable::{StableStore, TxToken};
-pub use crate::state::{ObjectState, TypeTag, Version};
+pub use crate::state::{ObjectState, SnapshotCodec, TypeTag, Version};
 pub use crate::uid::{Uid, UidGen};
 pub use crate::volatile::Volatile;

@@ -81,6 +81,6 @@ pub use groupview_replication::{
     Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, InvokeError, KvMap,
     KvOp, ObjectGroup, ReplicaObject, ReplicationPolicy, System, SystemBuilder,
 };
-pub use groupview_sim::{ClientId, NetConfig, NodeId, Sim, SimConfig};
-pub use groupview_store::{ObjectState, Stores, TypeTag, Uid, Version};
+pub use groupview_sim::{Bytes, ClientId, Codec, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
+pub use groupview_store::{ObjectState, SnapshotCodec, Stores, TypeTag, Uid, Version};
 pub use groupview_workload::{Driver, FaultAction, FaultScript, RunMetrics, WorkloadSpec};
