@@ -66,4 +66,4 @@ pub use crate::action::{ActionId, ActionKind, ActionStatus};
 pub use crate::error::TxError;
 pub use crate::lock::{LockKey, LockManager, LockMode};
 pub use crate::manager::{TxStats, TxSystem};
-pub use crate::participant::{Participant, StoreWriteParticipant};
+pub use crate::participant::{Participant, PrepareFault, StoreWriteParticipant};

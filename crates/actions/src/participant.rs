@@ -1,7 +1,37 @@
 //! Two-phase-commit participants.
 
-use groupview_sim::{NodeId, Sim};
+use groupview_sim::{NetError, NodeId, Sim};
 use groupview_store::{ObjectState, Stores, TxToken, Uid};
+use std::fmt;
+
+/// Why a participant's prepare phase failed — the *source* of a store-write
+/// failure, so commit-error taxonomies can tell a crashed/unreachable store
+/// from a store that refused the write locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepareFault {
+    /// The store node could not be reached (down, partitioned, or the
+    /// message was lost).
+    Net(NetError),
+    /// The store was reachable but refused to stage the write.
+    Refused(NodeId),
+}
+
+impl PrepareFault {
+    /// Whether the fault was caused by a node/network failure (as opposed
+    /// to a local refusal).
+    pub fn is_failure_caused(&self) -> bool {
+        matches!(self, PrepareFault::Net(_))
+    }
+}
+
+impl fmt::Display for PrepareFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepareFault::Net(e) => write!(f, "store unreachable: {e}"),
+            PrepareFault::Refused(n) => write!(f, "store on {n} refused the write"),
+        }
+    }
+}
 
 /// A resource taking part in an action's two-phase commit.
 ///
@@ -77,6 +107,37 @@ impl StoreWriteParticipant {
     fn is_local(&self) -> bool {
         self.coordinator == self.target
     }
+
+    /// Phase 1 with an explained outcome: stages the writes like
+    /// [`Participant::prepare`] but reports *why* a failure happened, so the
+    /// caller can distinguish an unreachable store from a refused write.
+    ///
+    /// # Errors
+    ///
+    /// [`PrepareFault::Net`] when the store node could not be reached,
+    /// [`PrepareFault::Refused`] when it rejected the staged write.
+    pub fn try_prepare(&mut self) -> Result<(), PrepareFault> {
+        let writes = self.writes.clone();
+        let target = self.target;
+        if self.is_local() {
+            return self
+                .stores
+                .prepare_local(target, self.token, writes)
+                .map_err(|_| PrepareFault::Refused(target));
+        }
+        let stores = self.stores.clone();
+        let token = self.token;
+        let bytes = self.wire_size();
+        match self
+            .sim
+            .rpc(self.coordinator, self.target, bytes, 16, move || {
+                stores.prepare_local(target, token, writes).is_ok()
+            }) {
+            Ok(true) => Ok(()),
+            Ok(false) => Err(PrepareFault::Refused(target)),
+            Err(e) => Err(PrepareFault::Net(e)),
+        }
+    }
 }
 
 impl Participant for StoreWriteParticipant {
@@ -85,22 +146,7 @@ impl Participant for StoreWriteParticipant {
     }
 
     fn prepare(&mut self) -> bool {
-        let writes = self.writes.clone();
-        if self.is_local() {
-            return self
-                .stores
-                .prepare_local(self.target, self.token, writes)
-                .is_ok();
-        }
-        let stores = self.stores.clone();
-        let target = self.target;
-        let token = self.token;
-        let bytes = self.wire_size();
-        self.sim
-            .rpc(self.coordinator, self.target, bytes, 16, move || {
-                stores.prepare_local(target, token, writes).is_ok()
-            })
-            .unwrap_or(false)
+        self.try_prepare().is_ok()
     }
 
     fn commit(&mut self) -> bool {
@@ -210,6 +256,30 @@ mod tests {
             vec![(Uid::from_raw(3), state(b"z"))],
         );
         assert!(!p.prepare());
+        let fault = p.try_prepare().expect_err("target is down");
+        assert!(
+            fault.is_failure_caused(),
+            "a dead store is a failure: {fault}"
+        );
+        assert!(matches!(fault, PrepareFault::Net(_)));
+    }
+
+    #[test]
+    fn try_prepare_reports_refusal_distinctly() {
+        let (sim, stores) = world();
+        // Node 2 has no store: the prepare is delivered but refused locally.
+        let mut p = StoreWriteParticipant::new(
+            &sim,
+            &stores,
+            NodeId::new(0),
+            NodeId::new(2),
+            TxToken::new(11),
+            vec![(Uid::from_raw(4), state(b"q"))],
+        );
+        let fault = p.try_prepare().expect_err("no store at node 2");
+        assert_eq!(fault, PrepareFault::Refused(NodeId::new(2)));
+        assert!(!fault.is_failure_caused(), "a refusal is not a crash");
+        assert!(fault.to_string().contains("refused"));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! History-recorder overhead: heap allocations per committed operation,
+//! measured with a counting global allocator (the same per-op counting rig
+//! the wire benches use, but at the allocator level, so *every* heap
+//! allocation is visible, not just wire buffers).
+//!
+//! The scenario engine's `History` must be safe to leave on in every chaos
+//! run, so its happy path is budgeted at **≤ 2 heap allocations per
+//! committed op** (steady state is 0: `Bytes` clones are refcount bumps and
+//! the event vec is pre-sized; the budget leaves room for growth
+//! reallocation). The bench asserts the budget — CI fails if recording
+//! regresses into copying.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use groupview_scenario::History;
+use groupview_sim::{Bytes, SimTime};
+use groupview_store::Uid;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Records `ops` committed operations (one `Invoked` + one `Committed`
+/// event each, sharing refcounted op/reply buffers) and returns the heap
+/// allocations that recording performed.
+fn record_committed_ops(history: &mut History, ops: u64) -> u64 {
+    let uid = Uid::from_raw(1);
+    let op = Bytes::from(vec![1u8, 1, 0, 0, 0, 0, 0, 0, 0]);
+    let reply = Bytes::from(7i64.to_le_bytes().to_vec());
+    let before = allocs();
+    for i in 0..ops {
+        let at = SimTime::from_micros(i);
+        history.invoked(at, 0, i, uid, op.clone(), reply.clone(), true);
+        history.committed(at, 0, i, uid);
+    }
+    allocs() - before
+}
+
+fn bench_recorder_allocs(_c: &mut Criterion) {
+    const OPS: u64 = 10_000;
+    // Pre-sized recorder: the runner sizes history from the workload spec.
+    let mut presized = History::with_capacity(2 * OPS as usize);
+    let d = record_committed_ops(&mut presized, OPS);
+    println!(
+        "history/record_presized_heap_allocs              {:>8.4} allocs/op",
+        d as f64 / OPS as f64
+    );
+    assert!(
+        d as f64 / OPS as f64 <= 2.0,
+        "history recorder exceeded its allocation budget: \
+         {d} allocs for {OPS} committed ops"
+    );
+    black_box(presized.len());
+
+    // Unsized recorder: growth reallocation is amortized, still within
+    // budget.
+    let mut growing = History::new();
+    let d = record_committed_ops(&mut growing, OPS);
+    println!(
+        "history/record_growing_heap_allocs               {:>8.4} allocs/op",
+        d as f64 / OPS as f64
+    );
+    assert!(
+        d as f64 / OPS as f64 <= 2.0,
+        "growing history recorder exceeded its allocation budget: \
+         {d} allocs for {OPS} committed ops"
+    );
+    black_box(growing.len());
+}
+
+fn bench_recorder_throughput(c: &mut Criterion) {
+    let mut history = History::with_capacity(1 << 20);
+    let uid = Uid::from_raw(1);
+    let op = Bytes::from(vec![1u8, 1, 0, 0, 0, 0, 0, 0, 0]);
+    let reply = Bytes::from(7i64.to_le_bytes().to_vec());
+    let mut i = 0u64;
+    c.bench_function("history/record_committed_op", |b| {
+        b.iter(|| {
+            let at = SimTime::from_micros(i);
+            history.invoked(at, 0, i, uid, op.clone(), reply.clone(), true);
+            history.committed(at, 0, i, uid);
+            i += 1;
+            black_box(history.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_recorder_allocs, bench_recorder_throughput);
+criterion_main!(benches);

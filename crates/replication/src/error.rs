@@ -1,6 +1,6 @@
 //! Errors of the replication layer.
 
-use groupview_actions::TxError;
+use groupview_actions::{PrepareFault, TxError};
 use groupview_core::{BindError, DbError};
 use groupview_group::GroupError;
 use groupview_sim::NetError;
@@ -19,6 +19,22 @@ pub enum ActivateError {
     UnknownType(Uid),
     /// A naming-database failure.
     Db(DbError),
+}
+
+impl ActivateError {
+    /// Whether this failure was caused by node/network failures, as opposed
+    /// to ordinary lock contention between live clients (the activation
+    /// counterpart of [`InvokeError::is_failure_caused`]).
+    pub fn is_failure_caused(&self) -> bool {
+        match self {
+            ActivateError::Bind(BindError::Contention) => false,
+            ActivateError::Bind(BindError::Db(db)) | ActivateError::Db(db) => !db.is_lock_refused(),
+            ActivateError::Bind(BindError::Tx(tx)) => !matches!(tx, TxError::LockRefused { .. }),
+            ActivateError::Bind(BindError::NoServers { .. })
+            | ActivateError::NoState(_)
+            | ActivateError::UnknownType(_) => true,
+        }
+    }
 }
 
 impl fmt::Display for ActivateError {
@@ -134,8 +150,16 @@ impl From<GroupError> for InvokeError {
 /// Failures of client-action commit (including commit-time write-back).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommitError {
-    /// Every store in `St` refused the new state; nothing can persist.
-    AllStoresFailed(Uid),
+    /// Every store in `St` failed the commit-time state copy; nothing can
+    /// persist. Carries the source of the *last* store-write failure so
+    /// metrics and oracles can attribute the abort (all-stores-down vs a
+    /// refused write).
+    AllStoresFailed {
+        /// The object whose state could not be copied anywhere.
+        uid: Uid,
+        /// Why the last attempted store failed its prepare.
+        last: PrepareFault,
+    },
     /// The commit-time `Exclude` could not obtain its lock — per §4.2.1 the
     /// client action must abort.
     Exclude(DbError),
@@ -145,11 +169,31 @@ pub enum CommitError {
     NoFinalState(Uid),
 }
 
+impl CommitError {
+    /// Whether this failure was caused by node/store failures, as opposed to
+    /// ordinary lock contention between live clients (the commit-time
+    /// counterpart of [`InvokeError::is_failure_caused`]). Workload metrics
+    /// and the scenario oracle use this to tell "a crash made the commit
+    /// fail" apart from "the exclude lock was refused by a concurrent
+    /// reader".
+    pub fn is_failure_caused(&self) -> bool {
+        match self {
+            // Every store unreachable is always failure-caused; a refused
+            // write with no network failure anywhere is a store-side
+            // rejection, not a crash.
+            CommitError::AllStoresFailed { last, .. } => last.is_failure_caused(),
+            CommitError::NoFinalState(_) => true,
+            CommitError::Exclude(e) => !e.is_lock_refused(),
+            CommitError::Tx(e) => !matches!(e, TxError::LockRefused { .. }),
+        }
+    }
+}
+
 impl fmt::Display for CommitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CommitError::AllStoresFailed(uid) => {
-                write!(f, "no store in St({uid}) accepted the new state")
+            CommitError::AllStoresFailed { uid, last } => {
+                write!(f, "no store in St({uid}) accepted the new state ({last})")
             }
             CommitError::Exclude(e) => write!(f, "commit-time exclude failed: {e}"),
             CommitError::Tx(e) => write!(f, "commit failed: {e}"),
@@ -203,10 +247,60 @@ mod tests {
             .to_string()
             .contains("server"));
         assert!(InvokeError::NotLoaded(uid).to_string().contains("state"));
-        assert!(CommitError::AllStoresFailed(uid)
-            .to_string()
-            .contains("store"));
+        assert!(CommitError::AllStoresFailed {
+            uid,
+            last: PrepareFault::Net(NetError::Timeout)
+        }
+        .to_string()
+        .contains("store"));
         assert!(CommitError::NoFinalState(uid).to_string().contains("final"));
+    }
+
+    #[test]
+    fn activate_error_failure_taxonomy() {
+        let uid = Uid::from_raw(4);
+        assert!(ActivateError::Bind(BindError::NoServers { probed: 2 }).is_failure_caused());
+        assert!(ActivateError::NoState(uid).is_failure_caused());
+        assert!(ActivateError::Db(DbError::Net(NetError::Timeout)).is_failure_caused());
+        assert!(!ActivateError::Bind(BindError::Contention).is_failure_caused());
+        let refused = TxError::LockRefused {
+            key: groupview_actions::LockKey::new(1, 1),
+            requested: groupview_actions::LockMode::Write,
+            held: groupview_actions::LockMode::Read,
+        };
+        assert!(!ActivateError::Bind(BindError::Tx(refused)).is_failure_caused());
+        assert!(!ActivateError::Db(DbError::Tx(refused)).is_failure_caused());
+    }
+
+    #[test]
+    fn commit_error_failure_taxonomy() {
+        let uid = Uid::from_raw(4);
+        // Crash-caused: stores unreachable, lost final state, net failures.
+        assert!(CommitError::AllStoresFailed {
+            uid,
+            last: PrepareFault::Net(NetError::NodeDown(groupview_sim::NodeId::new(1)))
+        }
+        .is_failure_caused());
+        assert!(CommitError::NoFinalState(uid).is_failure_caused());
+        assert!(CommitError::Tx(TxError::PrepareFailed {
+            node: groupview_sim::NodeId::new(2)
+        })
+        .is_failure_caused());
+        assert!(CommitError::Exclude(DbError::Net(NetError::Timeout)).is_failure_caused());
+        // Contention: refused locks anywhere in the chain.
+        let refused = TxError::LockRefused {
+            key: groupview_actions::LockKey::new(3, 1),
+            requested: groupview_actions::LockMode::Write,
+            held: groupview_actions::LockMode::Read,
+        };
+        assert!(!CommitError::Tx(refused).is_failure_caused());
+        assert!(!CommitError::Exclude(DbError::Tx(refused)).is_failure_caused());
+        // A locally refused write with no crash is not failure-caused.
+        assert!(!CommitError::AllStoresFailed {
+            uid,
+            last: PrepareFault::Refused(groupview_sim::NodeId::new(3))
+        }
+        .is_failure_caused());
     }
 
     #[test]

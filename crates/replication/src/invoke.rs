@@ -246,11 +246,28 @@ impl System {
             let Some(coord) = coordinator else {
                 return Err(InvokeError::AllReplicasFailed(uid));
             };
+
+            // Checkpoints go only to cohorts that still hold a *loaded*
+            // replica. A member that was expelled from the activation (its
+            // bind probe failed, or it missed an earlier checkpoint) must
+            // stay unloaded until a fresh activation reloads it from the
+            // object stores — re-installing state here would resurrect it
+            // into the activation set behind a concurrent action's back,
+            // and a later activation could then elect it (stale) as
+            // coordinator, silently losing committed updates. (Found by the
+            // scenario oracle under `cohort/lossy_window`.)
             let cohorts: Vec<NodeId> = group
                 .servers
                 .iter()
                 .copied()
-                .filter(|&s| s != coord && inner.sim.is_up(s))
+                .filter(|&s| {
+                    s != coord
+                        && inner.sim.is_up(s)
+                        && inner
+                            .registry
+                            .get(uid, s)
+                            .is_some_and(|r| r.borrow_mut().is_loaded(&inner.sim))
+                })
                 .collect();
             let replica = inner.registry.get(uid, coord).expect("checked loaded");
             let sim = inner.sim.clone();
@@ -276,7 +293,12 @@ impl System {
                                 if let Some(state) = snapshot {
                                     let frame = SnapshotCodec::encode(&wire, &state);
                                     for &cohort in &cohorts {
-                                        let target = registry.get_or_create(&sim, uid, cohort);
+                                        // Pre-filtered loaded above; a missing
+                                        // handle means the cohort was expelled
+                                        // concurrently and must stay out.
+                                        let Some(target) = registry.get(uid, cohort) else {
+                                            continue;
+                                        };
                                         let entry = Some((m.op_id, res.reply.clone(), res.mutated));
                                         let types = &types;
                                         let sim_inner = &sim;

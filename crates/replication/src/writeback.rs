@@ -92,9 +92,10 @@ impl System {
             .client_node(action)
             .unwrap_or(group.req.client_node);
 
-        // Stage on every store in St; collect failures.
+        // Stage on every store in St; collect failures with their sources.
         let mut prepared: Vec<StoreWriteParticipant> = Vec::new();
         let mut failed: Vec<NodeId> = Vec::new();
+        let mut last_fault = None;
         for &st_node in &group.st_nodes {
             let mut participant = StoreWriteParticipant::new(
                 &inner.sim,
@@ -104,16 +105,22 @@ impl System {
                 token,
                 vec![(uid, new_state.clone())],
             );
-            if participant.prepare() {
-                prepared.push(participant);
-            } else {
-                failed.push(st_node);
+            match participant.try_prepare() {
+                Ok(()) => prepared.push(participant),
+                Err(fault) => {
+                    failed.push(st_node);
+                    last_fault = Some(fault);
+                }
             }
         }
 
         if prepared.is_empty() {
-            // "all the nodes ∈ StA are down" — the action must abort.
-            return Err(CommitError::AllStoresFailed(uid));
+            // "all the nodes ∈ StA are down" — the action must abort. The
+            // carried fault lets metrics attribute the abort to the crash.
+            return Err(CommitError::AllStoresFailed {
+                uid,
+                last: last_fault.expect("st_nodes is never empty"),
+            });
         }
 
         if !failed.is_empty() && inner.exclude_enabled {

@@ -224,12 +224,14 @@ fn all_stores_down_aborts_commit() {
     }
     let err = client.commit(a).expect_err("nothing can persist");
     // With the replicas gone too, the failure may surface as a missing
-    // final state or as all stores failing — both mean "abort".
+    // final state or as all stores failing — both mean "abort", and both
+    // must be attributed to the crashes, not to contention.
     match err {
-        groupview_replication::CommitError::AllStoresFailed(u)
+        groupview_replication::CommitError::AllStoresFailed { uid: u, .. }
         | groupview_replication::CommitError::NoFinalState(u) => assert_eq!(u, uid),
         other => panic!("unexpected commit error: {other}"),
     }
+    assert!(err.is_failure_caused(), "crash-caused commit abort: {err}");
     assert!(sys.tx().locks_empty());
 }
 

@@ -1,0 +1,57 @@
+//! Deterministic chaos engineering for `groupview`: fault plans, nemeses,
+//! history recording, and a consistency oracle.
+//!
+//! The paper's claim is that GroupView/state-database information stays
+//! correct *through* failures — crashes mid-update, §4 recovery, cleanup of
+//! dead clients. This crate turns that claim into a scenario factory:
+//!
+//! * [`FaultPlan`] (`plan`) — a deterministic fault schedule keyed by **sim
+//!   time**, executed through the simulator's event queue, so faults land
+//!   inside an action's message exchanges rather than only between driver
+//!   steps. Legacy step-keyed
+//!   [`FaultScript`](groupview_workload::FaultScript)s convert losslessly
+//!   via `From`.
+//! * nemeses (`nemesis`) — seeded generators ([`rolling_crashes`],
+//!   [`flapping_partition`], [`lossy_window`], [`client_churn`],
+//!   [`recovery_storm`]) mapping one scenario family to unbounded concrete
+//!   schedules.
+//! * [`History`] (`history`) — a near-zero-allocation recorder of every
+//!   client invoke/commit/abort (payloads are refcounted
+//!   [`Bytes`](groupview_sim::Bytes) clones).
+//! * [`Oracle`] (`oracle`) — replays the committed history sequentially
+//!   (every reply must match the model; final store states must equal the
+//!   model's), then checks the paper's post-recovery invariants: quiescent
+//!   use lists, `St` restored to full strength, byte-identical stores, no
+//!   leaked locks.
+//! * the runner (`runner`) — [`Scenario`] = workload × plan × checks, run
+//!   as a multi-seed matrix producing [`ScenarioReport`]s; plus
+//!   [`canned_scenarios`], the ≥ 8-scenario suite CI drives across seeds.
+//!
+//! # Example
+//!
+//! ```rust
+//! use groupview_scenario::{canned_scenarios, run_matrix};
+//!
+//! let reports = run_matrix(&canned_scenarios()[..1], &[7]);
+//! assert!(reports[0].passed(), "{}", reports[0]);
+//! ```
+
+pub mod history;
+pub mod nemesis;
+pub mod oracle;
+pub mod plan;
+pub mod runner;
+pub mod scenarios;
+
+pub use crate::history::{Event, EventKind, History};
+pub use crate::nemesis::{
+    client_churn, flapping_partition, lossy_window, recovery_storm, rolling_crashes,
+};
+pub use crate::oracle::{
+    check_counter_states, check_quiescent_invariants, ObjectModel, Oracle, OracleReport,
+};
+pub use crate::plan::{FaultPlan, PlanAction, PlanError, PlanEvent, Trigger};
+pub use crate::runner::{
+    run_matrix, run_plan, run_scenario, Checks, PlanGenerator, RunOutcome, Scenario, ScenarioReport,
+};
+pub use crate::scenarios::canned_scenarios;

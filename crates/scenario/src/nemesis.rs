@@ -1,0 +1,344 @@
+//! Seeded nemeses: randomized [`FaultPlan`] generators.
+//!
+//! Each generator maps a seed to one concrete, **well-formed** fault
+//! schedule from a scenario family — same seed, same plan — so a single
+//! canned scenario yields unbounded distinct schedules across a seed
+//! matrix. Well-formedness (crash/recover balanced, heal only after
+//! partition, times monotone) is guaranteed by construction and
+//! property-tested in `tests/plan_properties.rs`.
+
+use crate::plan::{FaultPlan, PlanAction};
+use groupview_sim::{NodeId, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng_for(seed: u64, stream: u64) -> StdRng {
+    // Distinct streams per nemesis family so composing two nemeses with the
+    // same scenario seed still yields independent schedules.
+    StdRng::seed_from_u64(seed ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Uniform jitter in `[0, bound)` microseconds (0 when `bound` is 0).
+fn jitter(rng: &mut StdRng, bound: u64) -> u64 {
+    if bound == 0 {
+        0
+    } else {
+        rng.random_range(0..bound)
+    }
+}
+
+/// Crashes the given nodes one at a time in rotation: node `k` goes down
+/// roughly `start + k·period` after the run begins (with jitter) and
+/// recovers `downtime` later,
+/// so at most one node of the set is ever down.
+pub fn rolling_crashes(
+    seed: u64,
+    nodes: &[NodeId],
+    start: SimDuration,
+    period: SimDuration,
+    downtime: SimDuration,
+    rounds: usize,
+) -> FaultPlan {
+    assert!(!nodes.is_empty(), "rolling_crashes needs nodes");
+    assert!(
+        downtime < period,
+        "downtime must fit inside the rotation period"
+    );
+    let mut rng = rng_for(seed, 1);
+    let mut plan = FaultPlan::new();
+    let slack = period.as_micros() - downtime.as_micros();
+    let mut t = start.as_micros();
+    for round in 0..rounds {
+        let node = nodes[round % nodes.len()];
+        let down_at = t + jitter(&mut rng, slack / 2);
+        let up_at = down_at + downtime.as_micros();
+        plan = plan
+            .at_micros(down_at, PlanAction::CrashNode(node))
+            .at_micros(up_at, PlanAction::RecoverNode(node));
+        t += period.as_micros();
+    }
+    plan
+}
+
+/// Repeatedly splits the world into `side_a` vs `side_b` and heals it: each
+/// flap blocks all cross-side traffic for roughly half a period.
+pub fn flapping_partition(
+    seed: u64,
+    side_a: &[NodeId],
+    side_b: &[NodeId],
+    start: SimDuration,
+    period: SimDuration,
+    flaps: usize,
+) -> FaultPlan {
+    assert!(
+        !side_a.is_empty() && !side_b.is_empty(),
+        "flapping_partition needs two non-empty sides"
+    );
+    let mut rng = rng_for(seed, 2);
+    let mut plan = FaultPlan::new();
+    let half = period.as_micros() / 2;
+    let mut t = start.as_micros();
+    for _ in 0..flaps {
+        let cut_at = t + jitter(&mut rng, half / 2);
+        let heal_at = cut_at + half / 2 + jitter(&mut rng, half / 2);
+        plan = plan
+            .at_micros(
+                cut_at,
+                PlanAction::PartitionGroups(side_a.to_vec(), side_b.to_vec()),
+            )
+            .at_micros(heal_at, PlanAction::HealAll);
+        t += period.as_micros();
+    }
+    plan
+}
+
+/// Ramps the network's message-loss probability up to `peak` and back to
+/// zero across `window`, in `steps` increments per side. Always ends with
+/// the loss probability restored to 0.
+pub fn lossy_window(
+    seed: u64,
+    start: SimDuration,
+    window: SimDuration,
+    peak: f64,
+    steps: usize,
+) -> FaultPlan {
+    assert!((0.0..=1.0).contains(&peak), "peak must be in [0,1]");
+    assert!(steps > 0, "lossy_window needs at least one step");
+    let mut rng = rng_for(seed, 3);
+    let mut plan = FaultPlan::new();
+    let total_steps = 2 * steps; // up then down
+    let stride = window.as_micros() / total_steps as u64;
+    let mut t = start.as_micros();
+    for i in 1..=steps {
+        let p = peak * i as f64 / steps as f64;
+        plan = plan.at_micros(
+            t + jitter(&mut rng, stride / 2),
+            PlanAction::SetDropProbability(p),
+        );
+        t += stride;
+    }
+    for i in (0..steps).rev() {
+        let p = peak * i as f64 / steps as f64;
+        plan = plan.at_micros(
+            t + jitter(&mut rng, stride / 2),
+            PlanAction::SetDropProbability(p),
+        );
+        t += stride;
+    }
+    plan
+}
+
+/// Crashes `kills` distinct clients at random times within the window and
+/// schedules periodic cleanup sweeps (plus one final sweep after the last
+/// kill) so leaked use-list entries are reclaimed.
+pub fn client_churn(
+    seed: u64,
+    clients: usize,
+    start: SimDuration,
+    window: SimDuration,
+    kills: usize,
+    sweep_every: usize,
+) -> FaultPlan {
+    assert!(kills <= clients, "cannot kill more clients than exist");
+    assert!(sweep_every > 0, "sweep_every must be positive");
+    let mut rng = rng_for(seed, 4);
+    // Pick `kills` distinct victims by partial Fisher–Yates.
+    let mut pool: Vec<usize> = (0..clients).collect();
+    for i in 0..kills.min(clients.saturating_sub(1)) {
+        let j = rng.random_range(i..clients);
+        pool.swap(i, j);
+    }
+    let mut kill_times: Vec<u64> = (0..kills)
+        .map(|_| start.as_micros() + jitter(&mut rng, window.as_micros().max(1)))
+        .collect();
+    kill_times.sort_unstable();
+    // Strictly spaced so an interleaved sweep at `kill + 1` stays monotone.
+    for i in 1..kill_times.len() {
+        if kill_times[i] < kill_times[i - 1] + 2 {
+            kill_times[i] = kill_times[i - 1] + 2;
+        }
+    }
+    let mut plan = FaultPlan::new();
+    let mut since_sweep = 0;
+    let mut last = start.as_micros();
+    for (k, &at) in kill_times.iter().enumerate() {
+        plan = plan.at_micros(at, PlanAction::CrashClient(pool[k]));
+        last = at;
+        since_sweep += 1;
+        if since_sweep == sweep_every {
+            last += 1;
+            plan = plan.at_micros(last, PlanAction::CleanupSweep);
+            since_sweep = 0;
+        }
+    }
+    plan.at_micros(last + 1, PlanAction::CleanupSweep)
+}
+
+/// Crashes *every* given node within `spread` of `at` (in random order),
+/// then recovers them all — again in random order — within another
+/// `spread`. The §4 recovery protocols then race each other: the storm the
+/// paper's joint-fixpoint recovery must survive.
+pub fn recovery_storm(
+    seed: u64,
+    nodes: &[NodeId],
+    at: SimDuration,
+    spread: SimDuration,
+) -> FaultPlan {
+    assert!(!nodes.is_empty(), "recovery_storm needs nodes");
+    let mut rng = rng_for(seed, 5);
+    let mut order: Vec<NodeId> = nodes.to_vec();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let spread_us = spread.as_micros().max(1);
+    let mut crash_times: Vec<u64> = order
+        .iter()
+        .map(|_| at.as_micros() + jitter(&mut rng, spread_us))
+        .collect();
+    crash_times.sort_unstable();
+    let mut plan = FaultPlan::new();
+    for (node, t) in order.iter().zip(&crash_times) {
+        plan = plan.at_micros(*t, PlanAction::CrashNode(*node));
+    }
+    let recover_from = at.as_micros() + spread_us;
+    let mut recover_times: Vec<u64> = order
+        .iter()
+        .map(|_| recover_from + jitter(&mut rng, spread_us))
+        .collect();
+    recover_times.sort_unstable();
+    // Recover in a *different* shuffle than the crash order.
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    for (node, t) in order.iter().zip(&recover_times) {
+        plan = plan.at_micros(*t, PlanAction::RecoverNode(*node));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn trio() -> Vec<NodeId> {
+        vec![n(1), n(2), n(3)]
+    }
+
+    #[test]
+    fn rolling_crashes_are_balanced_and_deterministic() {
+        let mk = |seed| {
+            rolling_crashes(
+                seed,
+                &trio(),
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(8),
+                5,
+            )
+        };
+        let plan = mk(7);
+        assert_eq!(plan.len(), 10, "a crash and a recover per round");
+        plan.validate().expect("well-formed");
+        assert_eq!(plan, mk(7), "same seed, same plan");
+        assert_ne!(plan, mk(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn flapping_partition_always_heals() {
+        let plan = flapping_partition(
+            3,
+            &[n(4), n(5)],
+            &[n(2)],
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+            4,
+        );
+        plan.validate().expect("well-formed");
+        assert!(matches!(
+            plan.events().last().unwrap().action,
+            PlanAction::HealAll
+        ));
+    }
+
+    #[test]
+    fn lossy_window_ends_dry() {
+        let plan = lossy_window(
+            9,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(12),
+            0.4,
+            3,
+        );
+        plan.validate().expect("well-formed");
+        let last = plan.events().last().unwrap();
+        assert_eq!(last.action, PlanAction::SetDropProbability(0.0));
+        // Ramp reaches the peak (within float error) exactly once.
+        let peak_hits = plan
+            .events()
+            .iter()
+            .filter(
+                |e| matches!(e.action, PlanAction::SetDropProbability(p) if (p - 0.4).abs() < 1e-12),
+            )
+            .count();
+        assert_eq!(peak_hits, 1);
+    }
+
+    #[test]
+    fn client_churn_kills_distinct_clients_and_sweeps() {
+        let plan = client_churn(
+            11,
+            6,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(30),
+            4,
+            2,
+        );
+        plan.validate().expect("well-formed");
+        let mut victims: Vec<usize> = plan
+            .events()
+            .iter()
+            .filter_map(|e| match e.action {
+                PlanAction::CrashClient(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(victims.len(), 4);
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 4, "victims are distinct");
+        let sweeps = plan
+            .events()
+            .iter()
+            .filter(|e| e.action == PlanAction::CleanupSweep)
+            .count();
+        assert_eq!(sweeps, 3, "one per two kills plus the final sweep");
+    }
+
+    #[test]
+    fn recovery_storm_downs_and_restores_everyone() {
+        let plan = recovery_storm(
+            5,
+            &trio(),
+            SimDuration::from_millis(4),
+            SimDuration::from_millis(3),
+        );
+        plan.validate().expect("well-formed");
+        let crashes = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, PlanAction::CrashNode(_)))
+            .count();
+        let recovers = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, PlanAction::RecoverNode(_)))
+            .count();
+        assert_eq!((crashes, recovers), (3, 3));
+    }
+}

@@ -1,0 +1,356 @@
+//! The consistency oracle: sequential-replay equivalence plus the paper's
+//! post-recovery invariants.
+//!
+//! Two families of checks:
+//!
+//! 1. **History replay** ([`Oracle::verify`], part one): committed actions
+//!    are replayed in commit order against a sequential counter model.
+//!    Strict two-phase locking with refusal makes commit order a
+//!    serialization order, so every recorded reply must match the model —
+//!    `Add` replies the post-op value, `Get` replies the current value —
+//!    and after quiesce every store in `St(A)` must hold the model's final
+//!    value (invariant I2).
+//! 2. **Paper invariants after quiesce + recovery** (part two,
+//!    [`check_quiescent_invariants`]): no leaked locks (I5), use lists
+//!    quiescent (I4), `St` restored to full strength, and all listed
+//!    stores byte-identical (I1). This generalizes what the repo-level
+//!    `tests/invariants.rs` used to hard-code.
+
+use crate::history::{EventKind, History};
+use groupview_replication::{Counter, CounterOp, System};
+use groupview_store::Uid;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What the oracle knows about one object under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectModel {
+    /// The object.
+    pub uid: Uid,
+    /// The counter's initial committed value.
+    pub initial: i64,
+    /// `|St|` at creation — the strength recovery must restore.
+    pub full_strength: usize,
+}
+
+/// The oracle's verdict over one run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Committed actions replayed.
+    pub committed_actions: u64,
+    /// Operations replayed inside those actions.
+    pub replayed_ops: u64,
+    /// The model's final value per object.
+    pub final_values: Vec<(Uid, i64)>,
+    /// Everything that did not check out (empty means the run verified).
+    pub violations: Vec<String>,
+}
+
+impl OracleReport {
+    /// Whether every check passed.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            write!(
+                f,
+                "ok ({} commits, {} ops replayed)",
+                self.committed_actions, self.replayed_ops
+            )
+        } else {
+            write!(
+                f,
+                "{} violation(s); first: {}",
+                self.violations.len(),
+                self.violations[0]
+            )
+        }
+    }
+}
+
+/// Replays histories and checks invariants for a set of counter objects.
+///
+/// The oracle is deliberately counter-specific — like Crichlow & Hartley's
+/// replicated-counter validation, a trivially modelable object makes the
+/// *system's* behaviour the only unknown.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    objects: Vec<ObjectModel>,
+}
+
+impl Oracle {
+    /// An oracle for the given objects.
+    pub fn new(objects: Vec<ObjectModel>) -> Self {
+        Oracle { objects }
+    }
+
+    /// The objects under test.
+    pub fn objects(&self) -> &[ObjectModel] {
+        &self.objects
+    }
+
+    /// Runs the full verdict: history replay, final-state equivalence, and
+    /// the paper's quiescence invariants. The caller must have quiesced the
+    /// system first (healed partitions, recovered nodes, swept dead
+    /// clients, no in-flight actions).
+    pub fn verify(&self, sys: &System, history: &History) -> OracleReport {
+        let mut report = self.replay(history);
+        let expected: Vec<(Uid, i64)> = report.final_values.clone();
+        report
+            .violations
+            .extend(check_counter_states(sys, &expected));
+        report
+            .violations
+            .extend(check_quiescent_invariants(sys, &self.objects));
+        report
+    }
+
+    /// Part one only: replays the committed prefix of `history` against the
+    /// sequential model and checks every recorded reply.
+    pub fn replay(&self, history: &History) -> OracleReport {
+        let mut report = OracleReport::default();
+        let mut model: HashMap<Uid, i64> =
+            self.objects.iter().map(|o| (o.uid, o.initial)).collect();
+        // Ops buffered per in-flight action, replayed at its commit event
+        // (commit order == serialization order under strict 2PL).
+        let mut pending: HashMap<u64, Vec<(Uid, CounterOp, Option<i64>)>> = HashMap::new();
+        for ev in history.events() {
+            match &ev.kind {
+                EventKind::Invoked { op, reply, .. } => {
+                    let Some(decoded) = CounterOp::decode(op) else {
+                        report
+                            .violations
+                            .push(format!("action {}: undecodable op", ev.action));
+                        continue;
+                    };
+                    pending.entry(ev.action).or_default().push((
+                        ev.uid,
+                        decoded,
+                        CounterOp::decode_reply(reply),
+                    ));
+                }
+                EventKind::Committed => {
+                    report.committed_actions += 1;
+                    for (uid, op, observed) in pending.remove(&ev.action).unwrap_or_default() {
+                        let Some(value) = model.get_mut(&uid) else {
+                            report
+                                .violations
+                                .push(format!("action {}: unknown object {uid}", ev.action));
+                            continue;
+                        };
+                        report.replayed_ops += 1;
+                        let expected = match op {
+                            CounterOp::Add(d) => {
+                                *value += d;
+                                *value
+                            }
+                            CounterOp::Get => *value,
+                        };
+                        if observed != Some(expected) {
+                            report.violations.push(format!(
+                                "action {} on {uid}: {op:?} replied {observed:?}, \
+                                 sequential replay expects {expected}",
+                                ev.action
+                            ));
+                        }
+                    }
+                }
+                // Aborted and crashed actions must leave no trace; their
+                // buffered ops are simply dropped from the model.
+                EventKind::Aborted { .. } | EventKind::CrashedMidAction => {
+                    pending.remove(&ev.action);
+                }
+            }
+        }
+        report.final_values = self
+            .objects
+            .iter()
+            .map(|o| (o.uid, model[&o.uid]))
+            .collect();
+        report
+    }
+}
+
+/// Checks that every functioning store listed in each object's `St` holds a
+/// counter state equal to `expected` (invariant I2 after quiesce: committed
+/// effects survive).
+pub fn check_counter_states(sys: &System, expected: &[(Uid, i64)]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for &(uid, want) in expected {
+        let Some(entry) = sys.naming().state_db.entry(uid) else {
+            violations.push(format!("{uid}: no state-db entry"));
+            continue;
+        };
+        for &node in &entry.stores {
+            match sys.stores().read_local(node, uid) {
+                Ok(state) => {
+                    let got = Counter::decode(&state.data).value();
+                    if got != want {
+                        violations.push(format!(
+                            "{uid} at {node}: committed value {got}, model says {want} (I2)"
+                        ));
+                    }
+                }
+                Err(e) => {
+                    violations.push(format!("{uid} at {node}: unreadable after quiesce: {e}"))
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Checks the paper's invariants on a quiesced, fully recovered system:
+/// empty lock table (I5), quiescent use lists (I4), `St` back to full
+/// strength, and byte-identical states across each `St` (I1).
+pub fn check_quiescent_invariants(sys: &System, objects: &[ObjectModel]) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !sys.tx().locks_empty() {
+        violations.push("I5 violated: locks left behind after quiesce".to_string());
+    }
+    for obj in objects {
+        let uid = obj.uid;
+        match sys.naming().server_db.entry(uid) {
+            Some(entry) if !entry.is_quiescent() => {
+                violations.push(format!(
+                    "I4 violated: {uid} use list not quiescent: {entry}"
+                ));
+            }
+            None => violations.push(format!("{uid}: no server-db entry")),
+            _ => {}
+        }
+        let Some(entry) = sys.naming().state_db.entry(uid) else {
+            violations.push(format!("{uid}: no state-db entry"));
+            continue;
+        };
+        if entry.len() != obj.full_strength {
+            violations.push(format!(
+                "{uid}: St has {} stores after recovery, expected {}",
+                entry.len(),
+                obj.full_strength
+            ));
+        }
+        let mut states = Vec::new();
+        for &node in &entry.stores {
+            match sys.stores().read_local(node, uid) {
+                Ok(state) => states.push((node, state)),
+                Err(e) => violations.push(format!("{uid} at {node}: unreadable: {e}")),
+            }
+        }
+        for pair in states.windows(2) {
+            if pair[0].1 != pair[1].1 {
+                violations.push(format!(
+                    "I1 violated: {uid} stores {} and {} disagree",
+                    pair[0].0, pair[1].0
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupview_sim::{Bytes, SimTime};
+
+    fn uid() -> Uid {
+        Uid::from_raw(1)
+    }
+
+    fn oracle() -> Oracle {
+        Oracle::new(vec![ObjectModel {
+            uid: uid(),
+            initial: 0,
+            full_strength: 3,
+        }])
+    }
+
+    fn op(o: CounterOp) -> Bytes {
+        Bytes::from(o.encode())
+    }
+
+    fn reply(v: i64) -> Bytes {
+        Bytes::from(v.to_le_bytes().to_vec())
+    }
+
+    #[test]
+    fn replay_accepts_a_consistent_history() {
+        let mut h = History::new();
+        let t = SimTime::ZERO;
+        h.invoked(t, 0, 1, uid(), op(CounterOp::Add(2)), reply(2), true);
+        h.committed(t, 0, 1, uid());
+        // An aborted action's ops must not move the model.
+        h.invoked(t, 1, 2, uid(), op(CounterOp::Add(50)), reply(52), true);
+        h.aborted(t, 1, 2, uid(), false);
+        h.invoked(t, 0, 3, uid(), op(CounterOp::Get), reply(2), false);
+        h.committed(t, 0, 3, uid());
+        let report = oracle().replay(&h);
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.committed_actions, 2);
+        assert_eq!(report.replayed_ops, 2);
+        assert_eq!(report.final_values, vec![(uid(), 2)]);
+        assert!(report.to_string().contains("ok"));
+    }
+
+    #[test]
+    fn replay_flags_a_lost_update() {
+        let mut h = History::new();
+        let t = SimTime::ZERO;
+        h.invoked(t, 0, 1, uid(), op(CounterOp::Add(1)), reply(1), true);
+        h.committed(t, 0, 1, uid());
+        // A second committed Add(1) whose reply shows the first was lost.
+        h.invoked(t, 1, 2, uid(), op(CounterOp::Add(1)), reply(1), true);
+        h.committed(t, 1, 2, uid());
+        let report = oracle().replay(&h);
+        assert!(!report.is_ok());
+        assert!(report.violations[0].contains("expects 2"), "{report}");
+    }
+
+    #[test]
+    fn replay_flags_a_stale_read() {
+        let mut h = History::new();
+        let t = SimTime::ZERO;
+        h.invoked(t, 0, 1, uid(), op(CounterOp::Add(3)), reply(3), true);
+        h.committed(t, 0, 1, uid());
+        h.invoked(t, 1, 2, uid(), op(CounterOp::Get), reply(0), false);
+        h.committed(t, 1, 2, uid());
+        let report = oracle().replay(&h);
+        assert!(!report.is_ok());
+        assert!(report.to_string().contains("violation"));
+    }
+
+    #[test]
+    fn replay_drops_crashed_actions() {
+        let mut h = History::new();
+        let t = SimTime::ZERO;
+        h.invoked(t, 0, 1, uid(), op(CounterOp::Add(7)), reply(7), true);
+        h.crashed(t, 0, 1, uid());
+        let report = oracle().replay(&h);
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.final_values, vec![(uid(), 0)]);
+    }
+
+    #[test]
+    fn replay_flags_undecodable_ops_and_unknown_objects() {
+        let mut h = History::new();
+        let t = SimTime::ZERO;
+        h.invoked(t, 0, 1, uid(), Bytes::from_static(b"\xff"), reply(0), true);
+        h.invoked(
+            t,
+            0,
+            1,
+            Uid::from_raw(99),
+            op(CounterOp::Add(1)),
+            reply(1),
+            true,
+        );
+        h.committed(t, 0, 1, uid());
+        let report = oracle().replay(&h);
+        assert_eq!(report.violations.len(), 2, "{report}");
+    }
+}

@@ -1,0 +1,473 @@
+//! Time-driven fault plans.
+//!
+//! A [`FaultPlan`] is a deterministic schedule of [`PlanAction`]s keyed by
+//! **simulation time** (as an offset from the start of the run, so plans
+//! compose with any amount of setup cost) — unlike the step-keyed
+//! [`FaultScript`](groupview_workload::FaultScript) it supersedes, a plan
+//! can fire *inside* an action's message exchanges, not just between driver
+//! steps. The runner installs every timed entry as a
+//! [`groupview_sim::ScheduledEvent`] in the world's event queue before the
+//! workload starts.
+//!
+//! Legacy step-keyed scripts convert losslessly via `From<FaultScript>`:
+//! their entries become [`Trigger::Step`] events, which the runner applies
+//! at exactly the same point of the drive loop the old driver did, so the
+//! conversion preserves run-for-run behaviour (asserted by the
+//! `script_conversion_parity` test).
+
+use groupview_sim::{NodeId, SimDuration};
+use groupview_workload::{FaultAction, FaultScript};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One fault-injection primitive a plan can schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanAction {
+    /// Crash a node (fail-silent).
+    CrashNode(NodeId),
+    /// Recover a node and run the full §4 recovery protocol.
+    RecoverNode(NodeId),
+    /// Crash a client (by machine index): its in-flight action is abandoned
+    /// and — under the updating schemes — its use-list entries leak until a
+    /// cleanup sweep.
+    CrashClient(usize),
+    /// Run one cleanup-daemon sweep (crashed clients count as dead).
+    CleanupSweep,
+    /// Block all traffic between two nodes (symmetric).
+    PartitionLink(NodeId, NodeId),
+    /// Restore traffic between two nodes.
+    HealLink(NodeId, NodeId),
+    /// Split the world: block every cross-side pair.
+    PartitionGroups(Vec<NodeId>, Vec<NodeId>),
+    /// Remove every partition.
+    HealAll,
+    /// Set the network's per-message loss probability (ramped up and back
+    /// down by the `lossy_window` nemesis).
+    SetDropProbability(f64),
+}
+
+impl fmt::Display for PlanAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanAction::CrashNode(n) => write!(f, "crash {n}"),
+            PlanAction::RecoverNode(n) => write!(f, "recover {n}"),
+            PlanAction::CrashClient(i) => write!(f, "crash client {i}"),
+            PlanAction::CleanupSweep => write!(f, "cleanup sweep"),
+            PlanAction::PartitionLink(a, b) => write!(f, "partition {a} -/- {b}"),
+            PlanAction::HealLink(a, b) => write!(f, "heal {a} --- {b}"),
+            PlanAction::PartitionGroups(a, b) => {
+                write!(f, "partition {} nodes -/- {} nodes", a.len(), b.len())
+            }
+            PlanAction::HealAll => write!(f, "heal all"),
+            PlanAction::SetDropProbability(p) => write!(f, "set drop probability {p}"),
+        }
+    }
+}
+
+/// When a plan entry fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// At a virtual-time offset from the start of the run (scheduled into
+    /// the simulator's event queue when the run begins).
+    At(SimDuration),
+    /// At the start of a driver step (legacy `FaultScript` semantics; only
+    /// produced by the `From<FaultScript>` shim).
+    Step(u64),
+}
+
+/// One scheduled entry of a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEvent {
+    /// When the action fires.
+    pub trigger: Trigger,
+    /// What happens.
+    pub action: PlanAction,
+}
+
+/// A deterministic, time-keyed schedule of fault injections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<PlanEvent>,
+}
+
+/// A well-formedness violation found by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A node is recovered without a preceding crash (or crashed twice
+    /// without an intervening recover).
+    UnbalancedNodeFault {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A link is healed without a preceding partition.
+    HealWithoutPartition {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A drop probability outside `[0, 1]`.
+    BadProbability {
+        /// Index of the offending event.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnbalancedNodeFault { index } => {
+                write!(f, "event {index} crashes/recovers a node out of order")
+            }
+            PlanError::HealWithoutPartition { index } => {
+                write!(f, "event {index} heals a link that was never partitioned")
+            }
+            PlanError::BadProbability { index } => {
+                write!(f, "event {index} sets a drop probability outside [0,1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an action at a virtual-time offset from the start of the run.
+    #[must_use]
+    pub fn at(mut self, offset: SimDuration, action: PlanAction) -> Self {
+        self.events.push(PlanEvent {
+            trigger: Trigger::At(offset),
+            action,
+        });
+        self
+    }
+
+    /// Adds an action `micros` microseconds after the start of the run.
+    #[must_use]
+    pub fn at_micros(self, micros: u64, action: PlanAction) -> Self {
+        self.at(SimDuration::from_micros(micros), action)
+    }
+
+    /// Adds an action at the start of a driver step (legacy `FaultScript`
+    /// semantics; steps start at 1).
+    #[must_use]
+    pub fn at_step(mut self, step: u64, action: PlanAction) -> Self {
+        self.events.push(PlanEvent {
+            trigger: Trigger::Step(step),
+            action,
+        });
+        self
+    }
+
+    /// Appends all of `other`'s events (compose nemeses).
+    #[must_use]
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.events.extend(other.events);
+        self
+    }
+
+    /// All events, in insertion order.
+    pub fn events(&self) -> &[PlanEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `(index, offset)` of every timed event — what the runner schedules
+    /// into the simulator as `ScheduledEvent::Custom(index)`.
+    pub fn timed_events(&self) -> impl Iterator<Item = (usize, SimDuration)> + '_ {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e.trigger {
+                Trigger::At(t) => Some((i, t)),
+                Trigger::Step(_) => None,
+            })
+    }
+
+    /// Actions due at the start of driver step `step`, in insertion order
+    /// (legacy script semantics).
+    pub fn due_at_step(&self, step: u64) -> impl Iterator<Item = &PlanAction> + '_ {
+        self.events.iter().filter_map(move |e| match e.trigger {
+            Trigger::Step(s) if s == step => Some(&e.action),
+            _ => None,
+        })
+    }
+
+    /// Whether the timed events appear in non-decreasing offset order (a
+    /// property every single nemesis guarantees; a [`FaultPlan::merge`] of
+    /// two nemeses usually does not, which is fine — scheduling is
+    /// independent of vector order).
+    pub fn is_time_sorted(&self) -> bool {
+        self.timed_events()
+            .map(|(_, t)| t)
+            .collect::<Vec<_>>()
+            .windows(2)
+            .all(|w| w[0] <= w[1])
+    }
+
+    /// Checks the plan's well-formedness **in firing order**: node
+    /// crash/recover balanced, links healed only after being partitioned,
+    /// probabilities in range. Timed events are evaluated sorted by offset
+    /// (stable, so equal offsets keep insertion order — `merge`d nemeses
+    /// validate like the schedule that actually runs) and step-keyed events
+    /// sorted by step; the two streams interleave at runtime in a way that
+    /// cannot be known statically, so each is checked on its own.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PlanError`] found (indices refer to [`FaultPlan::events`]
+    /// order).
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let mut timed: Vec<(SimDuration, usize)> = Vec::new();
+        let mut stepped: Vec<(u64, usize)> = Vec::new();
+        for (index, ev) in self.events.iter().enumerate() {
+            match ev.trigger {
+                Trigger::At(t) => timed.push((t, index)),
+                Trigger::Step(st) => stepped.push((st, index)),
+            }
+        }
+        timed.sort_by_key(|&(t, _)| t);
+        stepped.sort_by_key(|&(st, _)| st);
+        self.validate_stream(timed.iter().map(|&(_, i)| i))?;
+        self.validate_stream(stepped.iter().map(|&(_, i)| i))
+    }
+
+    fn validate_stream(&self, indices: impl Iterator<Item = usize>) -> Result<(), PlanError> {
+        let mut down: HashSet<NodeId> = HashSet::new();
+        let mut blocked: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for index in indices {
+            match &self.events[index].action {
+                PlanAction::CrashNode(n) => {
+                    if !down.insert(*n) {
+                        return Err(PlanError::UnbalancedNodeFault { index });
+                    }
+                }
+                PlanAction::RecoverNode(n) => {
+                    if !down.remove(n) {
+                        return Err(PlanError::UnbalancedNodeFault { index });
+                    }
+                }
+                PlanAction::PartitionLink(a, b) => {
+                    blocked.insert(norm(*a, *b));
+                }
+                PlanAction::HealLink(a, b) => {
+                    if !blocked.remove(&norm(*a, *b)) {
+                        return Err(PlanError::HealWithoutPartition { index });
+                    }
+                }
+                PlanAction::PartitionGroups(side_a, side_b) => {
+                    for &a in side_a {
+                        for &b in side_b {
+                            blocked.insert(norm(a, b));
+                        }
+                    }
+                }
+                PlanAction::HealAll => blocked.clear(),
+                PlanAction::SetDropProbability(p) => {
+                    if !(0.0..=1.0).contains(p) {
+                        return Err(PlanError::BadProbability { index });
+                    }
+                }
+                PlanAction::CrashClient(_) | PlanAction::CleanupSweep => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn norm(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl From<FaultAction> for PlanAction {
+    fn from(a: FaultAction) -> Self {
+        match a {
+            FaultAction::CrashNode(n) => PlanAction::CrashNode(n),
+            FaultAction::RecoverNode(n) => PlanAction::RecoverNode(n),
+            FaultAction::CrashClient(i) => PlanAction::CrashClient(i),
+            FaultAction::CleanupSweep => PlanAction::CleanupSweep,
+        }
+    }
+}
+
+impl From<FaultScript> for FaultPlan {
+    /// Lossless shim for legacy step-keyed scripts: every entry becomes a
+    /// [`Trigger::Step`] event applied at the same point of the drive loop
+    /// the old driver used, so converted scripts behave identically.
+    fn from(script: FaultScript) -> Self {
+        let mut plan = FaultPlan::new();
+        for (step, action) in script.events() {
+            plan = plan.at_step(*step, action.clone().into());
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn builders_and_accessors() {
+        let plan = FaultPlan::new()
+            .at_micros(100, PlanAction::CrashNode(n(1)))
+            .at_micros(300, PlanAction::RecoverNode(n(1)))
+            .at_step(4, PlanAction::CleanupSweep);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.timed_events().count(), 2);
+        assert_eq!(plan.due_at_step(4).count(), 1);
+        assert_eq!(plan.due_at_step(5).count(), 0);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = FaultPlan::new().at_micros(10, PlanAction::HealAll);
+        let b = FaultPlan::new().at_micros(20, PlanAction::CleanupSweep);
+        assert_eq!(a.merge(b).len(), 2);
+    }
+
+    #[test]
+    fn validate_checks_firing_order_not_insertion_order() {
+        // Inserted out of time order: at runtime the recover (100µs) would
+        // fire before the crash (200µs) — firing-order validation rejects
+        // it at the event that actually fires out of balance.
+        let plan = FaultPlan::new()
+            .at_micros(200, PlanAction::CrashNode(n(1)))
+            .at_micros(100, PlanAction::RecoverNode(n(1)));
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::UnbalancedNodeFault { index: 1 })
+        );
+        assert!(!plan.is_time_sorted());
+    }
+
+    #[test]
+    fn merged_nemeses_with_overlapping_windows_validate() {
+        // Each half is internally sorted; the concatenation is not — but
+        // the merged schedule is perfectly executable and must validate.
+        let crashes = FaultPlan::new()
+            .at_micros(2_000, PlanAction::CrashNode(n(1)))
+            .at_micros(9_000, PlanAction::RecoverNode(n(1)));
+        let loss = FaultPlan::new()
+            .at_micros(1_000, PlanAction::SetDropProbability(0.2))
+            .at_micros(8_000, PlanAction::SetDropProbability(0.0));
+        let merged = crashes.merge(loss);
+        assert!(!merged.is_time_sorted());
+        assert!(merged.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_recover_without_crash() {
+        let plan = FaultPlan::new().at_micros(100, PlanAction::RecoverNode(n(1)));
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::UnbalancedNodeFault { index: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_double_crash() {
+        let plan = FaultPlan::new()
+            .at_micros(100, PlanAction::CrashNode(n(1)))
+            .at_micros(200, PlanAction::CrashNode(n(1)));
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::UnbalancedNodeFault { index: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_heal_without_partition() {
+        let plan = FaultPlan::new().at_micros(100, PlanAction::HealLink(n(1), n(2)));
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::HealWithoutPartition { index: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_accepts_group_partition_then_link_heal() {
+        let plan = FaultPlan::new()
+            .at_micros(
+                100,
+                PlanAction::PartitionGroups(vec![n(1)], vec![n(2), n(3)]),
+            )
+            .at_micros(200, PlanAction::HealLink(n(2), n(1)))
+            .at_micros(300, PlanAction::HealAll);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        let plan = FaultPlan::new().at_micros(10, PlanAction::SetDropProbability(1.5));
+        assert_eq!(plan.validate(), Err(PlanError::BadProbability { index: 0 }));
+    }
+
+    #[test]
+    fn script_conversion_is_lossless() {
+        let script = FaultScript::new()
+            .at(3, FaultAction::CrashNode(n(1)))
+            .at(3, FaultAction::CrashClient(0))
+            .at(7, FaultAction::RecoverNode(n(1)))
+            .at(9, FaultAction::CleanupSweep);
+        let plan = FaultPlan::from(script.clone());
+        assert_eq!(plan.len(), script.len());
+        assert_eq!(plan.timed_events().count(), 0, "all entries step-keyed");
+        let due: Vec<_> = plan.due_at_step(3).cloned().collect();
+        assert_eq!(
+            due,
+            vec![PlanAction::CrashNode(n(1)), PlanAction::CrashClient(0)]
+        );
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        for (action, needle) in [
+            (PlanAction::CrashNode(n(1)), "crash"),
+            (PlanAction::RecoverNode(n(1)), "recover"),
+            (PlanAction::CrashClient(2), "client"),
+            (PlanAction::CleanupSweep, "sweep"),
+            (PlanAction::PartitionLink(n(1), n(2)), "partition"),
+            (PlanAction::HealLink(n(1), n(2)), "heal"),
+            (
+                PlanAction::PartitionGroups(vec![n(1)], vec![n(2)]),
+                "partition",
+            ),
+            (PlanAction::HealAll, "heal"),
+            (PlanAction::SetDropProbability(0.5), "drop"),
+        ] {
+            assert!(action.to_string().contains(needle), "{action}");
+        }
+        let err = FaultPlan::new()
+            .at(
+                SimDuration::from_micros(5),
+                PlanAction::HealLink(n(1), n(2)),
+            )
+            .validate()
+            .unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}

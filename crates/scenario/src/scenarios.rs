@@ -1,0 +1,250 @@
+//! Canned scenarios: the matrix CI runs across seeds.
+//!
+//! Ten scenarios over one topology (7 nodes: node 0 names, nodes 1–3 serve
+//! and store, nodes 4–6 host clients) covering all three replication
+//! policies, all fault families (crashes, rolling crashes, partitions,
+//! flapping partitions, message loss, client churn, recovery storms), and
+//! three binding schemes. Every scenario demands the oracle's
+//! sequential-replay equivalence and the paper's post-recovery invariants;
+//! scenarios where active replication should fully mask the injected
+//! faults additionally demand a zero failure-caused abort count.
+
+use crate::nemesis;
+use crate::plan::{FaultPlan, PlanAction};
+use crate::runner::{Checks, Scenario};
+use groupview_core::BindingScheme;
+use groupview_replication::ReplicationPolicy;
+use groupview_sim::{NodeId, SimDuration};
+use groupview_workload::WorkloadSpec;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn servers() -> Vec<NodeId> {
+    vec![n(1), n(2), n(3)]
+}
+
+fn base_workload() -> WorkloadSpec {
+    WorkloadSpec::new(vec![], vec![n(4), n(5), n(6)])
+        .clients(3)
+        .actions_per_client(4)
+        .ops_per_action(2)
+        .replicas(2)
+}
+
+fn base(name: &'static str, policy: ReplicationPolicy) -> Scenario {
+    Scenario {
+        name,
+        policy,
+        scheme: BindingScheme::Standard,
+        nodes: 7,
+        server_nodes: servers(),
+        objects: 2,
+        workload: base_workload(),
+        plan: Box::new(|_| FaultPlan::new()),
+        checks: Checks::default(),
+    }
+}
+
+/// The canned scenario suite (≥ 8 scenarios, all three policies).
+pub fn canned_scenarios() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+
+    // 1. Fault-free baseline: everything must commit-or-contend, replay
+    //    exactly, and a fault-free run is trivially "masked".
+    let mut sc = base("active/fault_free", ReplicationPolicy::Active);
+    sc.checks.expect_crash_masked = true;
+    scenarios.push(sc);
+
+    // 2. One server crash mid-run, recovered later: active replication
+    //    must mask it completely (the crash-masking flagship).
+    let mut sc = base("active/masked_server_crash", ReplicationPolicy::Active);
+    sc.plan = Box::new(|_| {
+        FaultPlan::new()
+            .at(SimDuration::from_millis(3), PlanAction::CrashNode(n(2)))
+            .at(SimDuration::from_millis(45), PlanAction::RecoverNode(n(2)))
+    });
+    sc.checks.expect_crash_masked = true;
+    scenarios.push(sc);
+
+    // 3. Rolling crashes across the whole server set: at most one replica
+    //    down at a time; recovery repeatedly re-Includes and re-Inserts.
+    let mut sc = base("active/rolling_crashes", ReplicationPolicy::Active);
+    sc.plan = Box::new(|seed| {
+        nemesis::rolling_crashes(
+            seed,
+            &[n(1), n(2), n(3)],
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(12),
+            3,
+        )
+    });
+    scenarios.push(sc);
+
+    // 4. Flapping partition between the client side and one server: missed
+    //    deliveries expel the member (virtual synchrony) instead of
+    //    corrupting it.
+    let mut sc = base("active/flapping_partition", ReplicationPolicy::Active);
+    sc.scheme = BindingScheme::NestedTopLevel;
+    sc.plan = Box::new(|seed| {
+        nemesis::flapping_partition(
+            seed,
+            &[n(4), n(5), n(6)],
+            &[n(2)],
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(16),
+            3,
+        )
+    });
+    scenarios.push(sc);
+
+    // 5. Recovery storm: every server crashes nearly at once, then all
+    //    recover in random order — the joint-fixpoint recovery drill.
+    let mut sc = base("active/recovery_storm", ReplicationPolicy::Active);
+    sc.plan = Box::new(|seed| {
+        nemesis::recovery_storm(
+            seed,
+            &[n(1), n(2), n(3)],
+            SimDuration::from_millis(6),
+            SimDuration::from_millis(5),
+        )
+    });
+    sc.checks.expect_commits = false; // a storm may blanket the short run
+    scenarios.push(sc);
+
+    // 6. Client churn under the use-list-updating scheme: crashed clients
+    //    leak use-list entries; sweeps must reclaim every one.
+    let mut sc = base("active/client_churn", ReplicationPolicy::Active);
+    sc.scheme = BindingScheme::IndependentTopLevel;
+    sc.workload = base_workload().clients(4).actions_per_client(4);
+    sc.plan = Box::new(|seed| {
+        nemesis::client_churn(
+            seed,
+            4,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(25),
+            2,
+            1,
+        )
+    });
+    scenarios.push(sc);
+
+    // 7. Passivation churn: objects passivate between actions while servers
+    //    roll over, exercising activation-from-store under crashes.
+    let mut sc = base("active/passivate_rolling", ReplicationPolicy::Active);
+    sc.workload = base_workload().passivate_between_actions();
+    sc.plan = Box::new(|seed| {
+        nemesis::rolling_crashes(
+            seed,
+            &[n(2), n(3)],
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(28),
+            SimDuration::from_millis(10),
+            2,
+        )
+    });
+    scenarios.push(sc);
+
+    // 8. Coordinator-cohort under a lossy window: dropped checkpoints and
+    //    RPCs abort actions (failure-caused) but can never corrupt state.
+    let mut sc = base("cohort/lossy_window", ReplicationPolicy::CoordinatorCohort);
+    sc.plan = Box::new(|seed| {
+        nemesis::lossy_window(
+            seed,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(24),
+            0.12,
+            3,
+        )
+    });
+    sc.checks.expect_commits = false; // heavy loss can abort a short run
+    scenarios.push(sc);
+
+    // 9. Coordinator-cohort with a read-heavy mix and a coordinator crash:
+    //    a cohort is elected and the retried ops must not double-apply.
+    let mut sc = base(
+        "cohort/coordinator_crash",
+        ReplicationPolicy::CoordinatorCohort,
+    );
+    sc.workload = base_workload().read_fraction(0.5);
+    sc.plan = Box::new(|_| {
+        FaultPlan::new()
+            .at(SimDuration::from_millis(4), PlanAction::CrashNode(n(1)))
+            .at(SimDuration::from_millis(40), PlanAction::RecoverNode(n(1)))
+    });
+    scenarios.push(sc);
+
+    // 10. Single-copy passive with a server crash: in-flight actions abort
+    //     (attributed to the failure), later activations fail over, and the
+    //     recovered store is refreshed before re-Inclusion.
+    let mut sc = base(
+        "single_copy/crash_failover",
+        ReplicationPolicy::SingleCopyPassive,
+    );
+    sc.plan = Box::new(|_| {
+        FaultPlan::new()
+            .at(SimDuration::from_millis(3), PlanAction::CrashNode(n(1)))
+            .at(SimDuration::from_millis(40), PlanAction::RecoverNode(n(1)))
+    });
+    scenarios.push(sc);
+
+    // 11. Single-copy passive under client-server partitions: binds and
+    //     invokes fail fast, heal restores service, nothing goes stale.
+    let mut sc = base(
+        "single_copy/flapping_partition",
+        ReplicationPolicy::SingleCopyPassive,
+    );
+    sc.plan = Box::new(|seed| {
+        nemesis::flapping_partition(
+            seed,
+            &[n(4), n(5), n(6)],
+            &[n(1), n(2)],
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(18),
+            2,
+        )
+    });
+    sc.checks.expect_commits = false;
+    scenarios.push(sc);
+
+    scenarios
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_policies_and_is_large_enough() {
+        let scenarios = canned_scenarios();
+        assert!(
+            scenarios.len() >= 8,
+            "the issue demands ≥8 canned scenarios"
+        );
+        for policy in ReplicationPolicy::ALL {
+            assert!(
+                scenarios.iter().any(|s| s.policy == policy),
+                "no scenario covers {policy:?}"
+            );
+        }
+        // Names are unique (reports would be ambiguous otherwise).
+        let mut names: Vec<_> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len());
+    }
+
+    #[test]
+    fn every_canned_plan_is_well_formed_across_seeds() {
+        for scenario in canned_scenarios() {
+            for seed in [1, 2, 3, 99, 1234] {
+                let plan = (scenario.plan)(seed);
+                plan.validate().unwrap_or_else(|e| {
+                    panic!("{} seed {seed}: malformed plan: {e}", scenario.name)
+                });
+            }
+        }
+    }
+}

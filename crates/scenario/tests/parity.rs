@@ -1,0 +1,150 @@
+//! `FaultScript` → `FaultPlan` conversion preserves semantics: the scenario
+//! runner driving a converted script reproduces the legacy
+//! `groupview_workload::Driver` run **bit for bit** — same commits, same
+//! abort taxonomy, same message counts, same step count — on the existing
+//! fault workloads (including the crash-masking test's exact
+//! configuration). This is what lets the time-keyed plan subsume the
+//! step-keyed script path without behavior change.
+
+use groupview_core::BindingScheme;
+use groupview_replication::{Counter, ReplicationPolicy, System};
+use groupview_scenario::{run_plan, FaultPlan};
+use groupview_sim::NodeId;
+use groupview_store::Uid;
+use groupview_workload::{Driver, FaultAction, FaultScript, RunMetrics, WorkloadSpec};
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn world(policy: ReplicationPolicy, scheme: BindingScheme, seed: u64) -> (System, Vec<Uid>) {
+    let sys = System::builder(seed)
+        .nodes(7)
+        .policy(policy)
+        .scheme(scheme)
+        .build();
+    let uids = (0..3)
+        .map(|i| {
+            sys.create_object(
+                Box::new(Counter::new(i)),
+                &[n(1), n(2), n(3)],
+                &[n(1), n(2), n(3)],
+            )
+            .expect("create")
+        })
+        .collect();
+    (sys, uids)
+}
+
+fn spec(objects: Vec<Uid>) -> WorkloadSpec {
+    WorkloadSpec::new(objects, vec![n(4), n(5), n(6)])
+        .clients(3)
+        .actions_per_client(4)
+        .ops_per_action(2)
+}
+
+/// Every externally observable metric the two paths must agree on.
+fn fingerprint(m: &RunMetrics) -> Vec<u64> {
+    vec![
+        m.attempts,
+        m.commits,
+        m.aborts,
+        m.abort_bind,
+        m.abort_bind_contention,
+        m.abort_bind_failure,
+        m.abort_invoke,
+        m.abort_contention,
+        m.abort_failure,
+        m.abort_commit,
+        m.abort_commit_contention,
+        m.abort_commit_failure,
+        m.leaked_bindings,
+        m.cleanup_reclaimed,
+        m.steps,
+    ]
+}
+
+fn assert_parity(policy: ReplicationPolicy, scheme: BindingScheme, seed: u64, script: FaultScript) {
+    // Two identical worlds from the same seed: one driven by the legacy
+    // step-keyed driver, one by the scenario runner through the shim.
+    let (sys_a, uids_a) = world(policy, scheme, seed);
+    let legacy = Driver::new(&sys_a, spec(uids_a))
+        .with_faults(script.clone())
+        .run();
+
+    let (sys_b, uids_b) = world(policy, scheme, seed);
+    let outcome = run_plan(&sys_b, &spec(uids_b), &FaultPlan::from(script));
+
+    assert_eq!(
+        fingerprint(&legacy),
+        fingerprint(&outcome.metrics),
+        "legacy: {legacy}\nplan:   {}",
+        outcome.metrics
+    );
+    assert_eq!(legacy.net.delivered, outcome.metrics.net.delivered);
+    assert_eq!(legacy.net.crashes, outcome.metrics.net.crashes);
+    assert_eq!(legacy.net.timeouts, outcome.metrics.net.timeouts);
+    assert_eq!(
+        sys_a.sim().now(),
+        sys_b.sim().now(),
+        "both paths end at the same virtual time"
+    );
+}
+
+/// The crash-masking test's exact configuration (seed 13, crash node 2 at
+/// step 5): the converted plan must mask the crash identically.
+#[test]
+fn crash_masking_script_converts_without_behavior_change() {
+    assert_parity(
+        ReplicationPolicy::Active,
+        BindingScheme::Standard,
+        13,
+        FaultScript::new().at(5, FaultAction::CrashNode(n(2))),
+    );
+}
+
+#[test]
+fn single_copy_crash_script_converts_without_behavior_change() {
+    assert_parity(
+        ReplicationPolicy::SingleCopyPassive,
+        BindingScheme::Standard,
+        11,
+        FaultScript::new().at(3, FaultAction::CrashNode(n(1))),
+    );
+}
+
+#[test]
+fn client_crash_and_sweep_script_converts_without_behavior_change() {
+    assert_parity(
+        ReplicationPolicy::Active,
+        BindingScheme::IndependentTopLevel,
+        12,
+        FaultScript::new()
+            .at(2, FaultAction::CrashClient(0))
+            .at(8, FaultAction::CleanupSweep),
+    );
+}
+
+#[test]
+fn recovery_script_converts_without_behavior_change() {
+    assert_parity(
+        ReplicationPolicy::Active,
+        BindingScheme::Standard,
+        13,
+        FaultScript::new()
+            .at(2, FaultAction::CrashNode(n(3)))
+            .at(10, FaultAction::RecoverNode(n(3))),
+    );
+}
+
+#[test]
+fn fault_free_runs_convert_without_behavior_change() {
+    for seed in [9, 42, 77] {
+        assert_parity(
+            ReplicationPolicy::CoordinatorCohort,
+            BindingScheme::Standard,
+            seed,
+            FaultScript::new(),
+        );
+    }
+}

@@ -48,6 +48,26 @@ pub enum TraceEvent {
         /// The node that came back.
         node: NodeId,
     },
+    /// A link was partitioned (one event per newly blocked pair, with the
+    /// smaller id first). Subsequent sends on the pair fail with
+    /// [`crate::NetError::Partitioned`] until a matching [`TraceEvent::Heal`].
+    Partition {
+        /// Time the link was blocked.
+        at: SimTime,
+        /// One endpoint (the smaller id).
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A previously partitioned link was healed.
+    Heal {
+        /// Time the link was restored.
+        at: SimTime,
+        /// One endpoint (the smaller id).
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
     /// Free-form annotation emitted by protocol layers.
     Note {
         /// Annotation time.
@@ -65,6 +85,8 @@ impl TraceEvent {
             | TraceEvent::Lost { at, .. }
             | TraceEvent::Crash { at, .. }
             | TraceEvent::Recover { at, .. }
+            | TraceEvent::Partition { at, .. }
+            | TraceEvent::Heal { at, .. }
             | TraceEvent::Note { at, .. } => *at,
         }
     }
@@ -91,6 +113,8 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::Crash { at, node } => write!(f, "[{at}] CRASH {node}"),
             TraceEvent::Recover { at, node } => write!(f, "[{at}] RECOVER {node}"),
+            TraceEvent::Partition { at, a, b } => write!(f, "[{at}] PARTITION {a} -/- {b}"),
+            TraceEvent::Heal { at, a, b } => write!(f, "[{at}] HEAL {a} --- {b}"),
             TraceEvent::Note { at, text } => write!(f, "[{at}] note: {text}"),
         }
     }
@@ -123,6 +147,16 @@ mod tests {
             TraceEvent::Recover {
                 at: t,
                 node: NodeId::new(2),
+            },
+            TraceEvent::Partition {
+                at: t,
+                a: NodeId::new(0),
+                b: NodeId::new(1),
+            },
+            TraceEvent::Heal {
+                at: t,
+                a: NodeId::new(0),
+                b: NodeId::new(1),
             },
             TraceEvent::Note {
                 at: t,

@@ -192,12 +192,12 @@ impl Sim {
 
     /// Blocks all traffic between `a` and `b` (symmetric).
     pub fn partition(&self, a: NodeId, b: NodeId) {
-        self.inner.borrow_mut().blocked.insert(norm_pair(a, b));
+        self.inner.borrow_mut().block_pair(a, b);
     }
 
     /// Restores traffic between `a` and `b`.
     pub fn heal(&self, a: NodeId, b: NodeId) {
-        self.inner.borrow_mut().blocked.remove(&norm_pair(a, b));
+        self.inner.borrow_mut().unblock_pair(a, b);
     }
 
     /// Partitions the world into two sides: every cross-side pair is blocked.
@@ -205,19 +205,45 @@ impl Sim {
         let mut core = self.inner.borrow_mut();
         for &a in side_a {
             for &b in side_b {
-                core.blocked.insert(norm_pair(a, b));
+                core.block_pair(a, b);
             }
         }
     }
 
     /// Removes all partitions.
     pub fn heal_all(&self) {
-        self.inner.borrow_mut().blocked.clear();
+        let mut core = self.inner.borrow_mut();
+        let mut pairs: Vec<(NodeId, NodeId)> = core.blocked.iter().copied().collect();
+        pairs.sort_unstable();
+        for (a, b) in pairs {
+            core.unblock_pair(a, b);
+        }
     }
 
     /// Whether traffic between `a` and `b` is currently blocked.
     pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
         self.inner.borrow().blocked.contains(&norm_pair(a, b))
+    }
+
+    // ----- network quality --------------------------------------------------
+
+    /// The current per-message loss probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.inner.borrow().cfg.net.drop_probability
+    }
+
+    /// Changes the per-message loss probability mid-run (fault plans ramp
+    /// this up and back down to model lossy windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn set_drop_probability(&self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
+        self.inner.borrow_mut().cfg.net.drop_probability = p;
     }
 
     // ----- randomness -------------------------------------------------------
@@ -490,6 +516,22 @@ impl Sim {
 }
 
 impl SimCore {
+    fn block_pair(&mut self, a: NodeId, b: NodeId) {
+        let (a, b) = norm_pair(a, b);
+        if self.blocked.insert((a, b)) {
+            let at = self.clock;
+            self.trace(TraceEvent::Partition { at, a, b });
+        }
+    }
+
+    fn unblock_pair(&mut self, a: NodeId, b: NodeId) {
+        let (a, b) = norm_pair(a, b);
+        if self.blocked.remove(&(a, b)) {
+            let at = self.clock;
+            self.trace(TraceEvent::Heal { at, a, b });
+        }
+    }
+
     fn crash_node(&mut self, n: NodeId) {
         if self.nodes[n.index()].up {
             self.nodes[n.index()].up = false;
@@ -723,6 +765,111 @@ mod tests {
     fn trace_disabled_returns_none() {
         let sim = sim3();
         assert!(sim.take_trace().is_none());
+    }
+
+    #[test]
+    fn partition_and_heal_are_traced_once_per_pair() {
+        let sim = Sim::new(SimConfig::new(1).with_nodes(4).with_trace());
+        let ns = sim.nodes();
+        sim.partition(ns[3], ns[0]); // stored with the smaller id first
+        sim.partition(ns[0], ns[3]); // already blocked: no second event
+        sim.partition_groups(&ns[..2], &ns[2..]);
+        sim.heal(ns[0], ns[2]);
+        sim.heal(ns[0], ns[2]); // already healed: no second event
+        sim.heal_all();
+        let trace = sim.take_trace().expect("tracing enabled");
+        let partitions: Vec<_> = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Partition { .. }))
+            .collect();
+        let heals: Vec<_> = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Heal { .. }))
+            .collect();
+        // 0-3 once, then the three *new* cross pairs (0-2, 1-2, 1-3).
+        assert_eq!(partitions.len(), 4);
+        // Every blocked pair healed exactly once.
+        assert_eq!(heals.len(), 4);
+        assert!(matches!(
+            partitions[0],
+            TraceEvent::Partition { a, b, .. } if *a == ns[0] && *b == ns[3]
+        ));
+    }
+
+    /// Every `Lost { cause: "partitioned" }` trace entry must be preceded by
+    /// a `Partition` event for that pair with no intervening `Heal` — i.e.
+    /// the trace explains every [`NetError::Partitioned`] loss.
+    #[test]
+    fn partitioned_losses_line_up_with_partition_trace_events() {
+        let sim = Sim::new(SimConfig::new(3).with_nodes(3).with_trace());
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        sim.partition(a, b);
+        assert_eq!(
+            sim.deliver(a, b, 1),
+            Err(NetError::Partitioned { from: a, to: b })
+        );
+        sim.heal(a, b);
+        sim.deliver(a, b, 1).expect("healed");
+        sim.partition(b, c);
+        assert_eq!(
+            sim.deliver(c, b, 1),
+            Err(NetError::Partitioned { from: c, to: b })
+        );
+        let trace = sim.take_trace().expect("tracing enabled");
+        let mut blocked: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut partitioned_losses = 0;
+        for ev in &trace {
+            match *ev {
+                TraceEvent::Partition { a, b, .. } => {
+                    blocked.insert(norm_pair(a, b));
+                }
+                TraceEvent::Heal { a, b, .. } => {
+                    blocked.remove(&norm_pair(a, b));
+                }
+                TraceEvent::Lost {
+                    from,
+                    to,
+                    cause: "partitioned",
+                    ..
+                } => {
+                    partitioned_losses += 1;
+                    assert!(
+                        blocked.contains(&norm_pair(from, to)),
+                        "loss on {from}->{to} not explained by a Partition event"
+                    );
+                }
+                TraceEvent::Deliver { from, to, .. } => {
+                    assert!(
+                        !blocked.contains(&norm_pair(from, to)),
+                        "delivery on a partitioned pair {from}->{to}"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(partitioned_losses, 2, "both losses appear in the trace");
+    }
+
+    #[test]
+    fn drop_probability_can_be_ramped_mid_run() {
+        let sim = Sim::new(SimConfig::new(7).with_nodes(2));
+        assert_eq!(sim.drop_probability(), 0.0);
+        for _ in 0..50 {
+            assert!(sim.deliver(NodeId::new(0), NodeId::new(1), 1).is_ok());
+        }
+        sim.set_drop_probability(1.0);
+        assert_eq!(
+            sim.deliver(NodeId::new(0), NodeId::new(1), 1),
+            Err(NetError::Dropped)
+        );
+        sim.set_drop_probability(0.0);
+        assert!(sim.deliver(NodeId::new(0), NodeId::new(1), 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn set_drop_probability_validates_range() {
+        sim3().set_drop_probability(1.5);
     }
 
     #[test]

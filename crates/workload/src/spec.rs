@@ -123,6 +123,12 @@ impl FaultScript {
         self
     }
 
+    /// All scheduled `(step, action)` pairs, in insertion order. Used by the
+    /// scenario engine's `FaultPlan` conversion shim.
+    pub fn events(&self) -> &[(u64, FaultAction)] {
+        &self.events
+    }
+
     /// All actions scheduled for `step`, in insertion order.
     pub fn due(&self, step: u64) -> Vec<FaultAction> {
         self.events

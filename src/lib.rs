@@ -61,6 +61,7 @@
 //! | [`core`] | `groupview-core` | **the paper's contribution**: Object Server / Object State databases, use lists, binding schemes, recovery, cleanup |
 //! | [`replication`] | `groupview-replication` | replication policies, activation, commit-time write-back, the [`System`] façade |
 //! | [`workload`] | `groupview-workload` | workload driver, fault scripts, metrics, tables |
+//! | [`scenario`] | `groupview-scenario` | chaos engine: time-keyed fault plans, seeded nemeses, history recorder, consistency oracle, scenario matrix |
 //!
 //! The most common types are re-exported at the crate root.
 
@@ -68,6 +69,7 @@ pub use groupview_actions as actions;
 pub use groupview_core as core;
 pub use groupview_group as group;
 pub use groupview_replication as replication;
+pub use groupview_scenario as scenario;
 pub use groupview_sim as sim;
 pub use groupview_store as store;
 pub use groupview_workload as workload;
@@ -80,6 +82,10 @@ pub use groupview_core::{
 pub use groupview_replication::{
     Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, InvokeError, KvMap,
     KvOp, ObjectGroup, ReplicaObject, ReplicationPolicy, System, SystemBuilder,
+};
+pub use groupview_scenario::{
+    canned_scenarios, FaultPlan, History, Oracle, OracleReport, PlanAction, Scenario,
+    ScenarioReport,
 };
 pub use groupview_sim::{Bytes, ClientId, Codec, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
 pub use groupview_store::{ObjectState, SnapshotCodec, Stores, TypeTag, Uid, Version};

@@ -12,6 +12,7 @@
 //! sweeps is run against a model (the expected committed value of each
 //! counter); the invariants are checked after every step and at the end.
 
+use groupview::scenario::{check_counter_states, check_quiescent_invariants, ObjectModel};
 use groupview::{Counter, CounterOp, NodeId, ReplicationPolicy, System, Uid};
 use proptest::prelude::*;
 
@@ -193,34 +194,30 @@ impl World {
             guard += 1;
             assert!(guard < 50, "recovery never reached a fixpoint");
         }
-        // I5: no locks survive the workload.
-        assert!(
-            self.sys.tx().locks_empty(),
-            "I5 violated: locks left behind"
-        );
-        // I4: all use lists quiescent.
-        for &uid in &self.objects {
-            let entry = self.sys.naming().server_db.entry(uid).expect("entry");
-            assert!(entry.is_quiescent(), "I4 violated: {entry}");
-        }
-        // After full recovery every store again holds the model value (I2),
-        // and every object's St is back to full strength.
-        for (o, &uid) in self.objects.iter().enumerate() {
-            let entry = self.sys.naming().state_db.entry(uid).expect("entry");
-            assert_eq!(entry.len(), 3, "object {o} St not fully restored");
-            for &node in &entry.stores {
-                let state = self
-                    .sys
-                    .stores()
-                    .read_local(node, uid)
-                    .expect("store readable after recovery");
-                assert_eq!(
-                    Counter::decode(&state.data).value(),
-                    self.model[o],
-                    "I2 violated after recovery for object {o} at {node}"
-                );
-            }
-        }
+        // I5 (no leaked locks), I4 (quiescent use lists), St restored to
+        // full strength, and I1 (byte-identical stores): the scenario
+        // oracle's quiescent-invariant check, which generalizes what this
+        // test used to hard-code.
+        let objects: Vec<ObjectModel> = self
+            .objects
+            .iter()
+            .map(|&uid| ObjectModel {
+                uid,
+                initial: 0,
+                full_strength: 3,
+            })
+            .collect();
+        let violations = check_quiescent_invariants(&self.sys, &objects);
+        assert!(violations.is_empty(), "invariants violated: {violations:?}");
+        // I2 after recovery: every store holds the model's committed value.
+        let expected: Vec<(Uid, i64)> = self
+            .objects
+            .iter()
+            .zip(&self.model)
+            .map(|(&uid, &v)| (uid, v))
+            .collect();
+        let violations = check_counter_states(&self.sys, &expected);
+        assert!(violations.is_empty(), "I2 violated: {violations:?}");
         // Final read-back through the public API (I3 again).
         for (o, &uid) in self.objects.iter().enumerate() {
             let client = self.sys.client(n(5));

@@ -24,8 +24,16 @@ fn build(scheme: BindingScheme, policy: ReplicationPolicy) -> (System, Uid) {
     (sys, uid)
 }
 
+/// Why a workload round failed: `true` means failure-caused per the error
+/// taxonomy (`ActivateError`/`InvokeError`/`CommitError::is_failure_caused`).
+struct RoundError(bool);
+
 /// Runs the same deterministic sequence of actions (with a crash and a
 /// recovery in the middle) and returns the final committed value.
+///
+/// Causal assertion instead of a seed-sensitive commit floor: this workload
+/// has **one** client, so lock contention is impossible — any abort must be
+/// attributed to the injected crash by the error taxonomy.
 fn run_workload(sys: &System, uid: Uid) -> i64 {
     let client = sys.client(n(5));
     let mut expected = 0i64;
@@ -37,16 +45,27 @@ fn run_workload(sys: &System, uid: Uid) -> i64 {
             sys.recovery().recover_node(n(2));
         }
         let action = client.begin();
-        let worked = (|| {
-            let group = client.activate(action, uid, 2).ok()?;
+        let worked = (|| -> Result<(), RoundError> {
+            let group = client
+                .activate(action, uid, 2)
+                .map_err(|e| RoundError(e.is_failure_caused()))?;
             client
                 .invoke(action, &group, &CounterOp::Add(round).encode())
-                .ok()?;
-            client.commit(action).ok()
+                .map_err(|e| RoundError(e.is_failure_caused()))?;
+            client
+                .commit(action)
+                .map_err(|e| RoundError(e.is_failure_caused()))
         })();
         match worked {
-            Some(()) => expected += round,
-            None => client.abort(action),
+            Ok(()) => expected += round,
+            Err(RoundError(failure_caused)) => {
+                assert!(
+                    failure_caused,
+                    "round {round}: a single-client abort must be failure-caused, \
+                     not contention"
+                );
+                client.abort(action);
+            }
         }
     }
     // Read back through a fresh client on another node.
@@ -71,6 +90,13 @@ fn all_schemes_agree_on_outcomes_active() {
         let (sys, uid) = build(scheme, ReplicationPolicy::Active);
         let value = run_workload(&sys, uid);
         assert!(sys.tx().locks_empty(), "{scheme}: locks left behind");
+        // Causal, not seed-dependent: active replication with a surviving
+        // replica must mask the crash, so *every* round commits.
+        assert_eq!(
+            value,
+            (0..12).sum::<i64>(),
+            "{scheme}: the crash was not masked"
+        );
         results.push((scheme, value));
     }
     // Every scheme commits exactly the same sequence (the workload is
