@@ -1,15 +1,39 @@
-//! Regenerates the paper's figures as measured tables.
+//! Regenerates the paper's figures as measured tables, and runs the
+//! scenario-driven soak.
 //!
 //! ```text
 //! cargo run -p groupview-bench --bin experiments --release          # all
 //! cargo run -p groupview-bench --bin experiments --release e9 e10  # some
+//! cargo run -p groupview-bench --bin experiments --release soak    # soak
+//! cargo run -p groupview-bench --bin experiments --release soak 5 100
+//! #                                        rounds ───┘     │
+//! #                                        base seed ──────┘
 //! ```
 
 use groupview_bench::all_experiments;
+use groupview_scenario::{run_soak, SoakConfig};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("soak") {
+        let rounds = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+        let base_seed = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(1);
+        let cfg = SoakConfig { base_seed, rounds };
+        println!(
+            "# soak — {} rounds × 3 policies from seed {} (chained nemeses, \
+             counter+kv+account oracles)\n",
+            cfg.rounds, cfg.base_seed
+        );
+        let started = Instant::now();
+        let report = run_soak(&cfg);
+        println!("{report}");
+        println!("(soak finished in {:.2?})", started.elapsed());
+        if !report.passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all_experiments().iter().map(|e| e.id.to_string()).collect()
     } else {

@@ -9,10 +9,11 @@ use groupview_group::comms::DeliveryMode;
 use groupview_group::member::RecordingMember;
 use groupview_group::GroupComms;
 use groupview_replication::{Counter, CounterOp, ReplicationPolicy, System};
+use groupview_scenario::run_plan;
 use groupview_sim::{Bytes, NetConfig, NodeId, Sim, SimConfig};
 use groupview_store::Uid;
 use groupview_workload::table::{fmt_f64, fmt_pct};
-use groupview_workload::{Driver, FaultAction, FaultScript, TextTable, WorkloadSpec};
+use groupview_workload::{FaultAction, FaultScript, RunMetrics, TextTable, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -168,6 +169,14 @@ fn build_world(
     (sys, uids)
 }
 
+/// Drives `spec` with a step-keyed fault script through the scenario
+/// runner — the single execution engine that replaced the legacy
+/// `workload::Driver` (bit-for-bit identical runs; see the scenario
+/// crate's parity suite).
+fn run_script(sys: &System, spec: &WorkloadSpec, script: FaultScript) -> RunMetrics {
+    run_plan(sys, spec, &script.into()).metrics
+}
+
 /// Generates a crash/recover script: each step, while the node is up, it
 /// crashes with probability `p` and recovers `down_for` steps later.
 fn random_crash_script(seed: u64, node: NodeId, steps: u64, p: f64, down_for: u64) -> FaultScript {
@@ -300,7 +309,7 @@ fn e2() -> Vec<TextTable> {
             .actions_per_client(60)
             .ops_per_action(2)
             .replicas(1);
-        let m = Driver::new(&sys, spec).with_faults(script).run();
+        let m = run_script(&sys, &spec, script);
         table.row(vec![
             format!("{p:.2}"),
             m.attempts.to_string(),
@@ -351,7 +360,7 @@ fn e3() -> Vec<TextTable> {
             .actions_per_client(50)
             .ops_per_action(2)
             .replicas(1);
-        let m = Driver::new(&sys, spec).with_faults(script).run();
+        let m = run_script(&sys, &spec, script);
         let st_len = sys.naming().state_db.entry(uids[0]).map_or(0, |e| e.len());
         table.row(vec![
             k.to_string(),
@@ -400,7 +409,7 @@ fn e4() -> Vec<TextTable> {
             .actions_per_client(50)
             .ops_per_action(2)
             .replicas(k);
-        let m = Driver::new(&sys, spec).with_faults(script).run();
+        let m = run_script(&sys, &spec, script);
         masking.row(vec![
             k.to_string(),
             fmt_pct(m.availability()),
@@ -435,7 +444,7 @@ fn e4() -> Vec<TextTable> {
             .actions_per_client(40)
             .ops_per_action(2)
             .replicas(4);
-        let m = Driver::new(&sys, spec).with_faults(script).run();
+        let m = run_script(&sys, &spec, script);
         threshold.row(vec![
             crashed.to_string(),
             fmt_pct(m.availability()),
@@ -480,7 +489,7 @@ fn e5() -> Vec<TextTable> {
                 .actions_per_client(40)
                 .ops_per_action(2)
                 .replicas(sv_k);
-            let m = Driver::new(&sys, spec).with_faults(script).run();
+            let m = run_script(&sys, &spec, script);
             cells.push(fmt_pct(m.availability()));
         }
         table.row(cells);
@@ -517,7 +526,7 @@ fn scheme_sweep_row(scheme: BindingScheme, crashed: usize, seed: u64) -> Vec<Str
         .ops_per_action(1)
         .replicas(2)
         .passivate_between_actions();
-    let m = Driver::new(&sys, spec).with_faults(script).run();
+    let m = run_script(&sys, &spec, script);
     let sv_len = sys
         .naming()
         .server_db
@@ -604,7 +613,7 @@ fn e7() -> Vec<TextTable> {
         .actions_per_client(8)
         .ops_per_action(2)
         .replicas(2);
-    let m = Driver::new(&sys, spec).with_faults(script).run();
+    let m = run_script(&sys, &spec, script);
     // The daemon sweeps after the run; clients 0 and 1 are dead.
     let report = sys.cleanup().sweep(|c| c.raw() > 1);
     let quiescent = uids.iter().all(|&uid| {
@@ -956,7 +965,7 @@ fn e12() -> Vec<TextTable> {
             .actions_per_client(30)
             .ops_per_action(2)
             .replicas(3);
-        let m = Driver::new(&sys, spec).with_faults(script).run();
+        let m = run_script(&sys, &spec, script);
         table.row(vec![
             policy.to_string(),
             m.attempts.to_string(),

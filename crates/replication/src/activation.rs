@@ -128,17 +128,48 @@ impl System {
             }
         }
 
+        // Pin the state lineage of every bound replica: a later reload (a
+        // reborn copy after a crash) bumps the incarnation, and this
+        // action's invoke/commit paths refuse the mismatch instead of
+        // silently losing the action's uncommitted updates.
+        let incarnations: Vec<(NodeId, u64)> = binding
+            .servers
+            .iter()
+            .map(|&server| {
+                let inc = inner
+                    .registry
+                    .get(uid, server)
+                    .map_or(0, |r| r.borrow().incarnation());
+                (server, inc)
+            })
+            .collect();
+
         // Active replication: enrol replicas in the object's group, and
         // evict members that are no longer part of the activation (e.g. a
         // node that crashed and recovered: it is up again, but its replica
         // lost its volatile state and must not receive operations until a
         // fresh activation reloads it).
         let comms_group = if inner.policy == ReplicationPolicy::Active {
-            let gid = *inner
-                .active_groups
-                .borrow_mut()
-                .entry(uid)
-                .or_insert_with(|| inner.comms.create_group(DeliveryMode::ReliableOrdered));
+            let mut groups = inner.active_groups.borrow_mut();
+            let gid = if fresh {
+                // A fresh activation starts a new lineage, so it also gets
+                // a fresh multicast group. Destroying the previous group
+                // makes any action still bound to the dead activation fail
+                // its next multicast outright — it must abort anyway, and
+                // this keeps its operations from ever executing on the
+                // reborn replicas.
+                if let Some(old) = groups.remove(&uid) {
+                    inner.comms.destroy_group(old);
+                }
+                let gid = inner.comms.create_group(DeliveryMode::ReliableOrdered);
+                groups.insert(uid, gid);
+                gid
+            } else {
+                *groups
+                    .entry(uid)
+                    .or_insert_with(|| inner.comms.create_group(DeliveryMode::ReliableOrdered))
+            };
+            drop(groups);
             if let Ok(view) = inner.comms.view(gid) {
                 for member in view.members {
                     if !binding.servers.contains(&member) {
@@ -146,9 +177,9 @@ impl System {
                     }
                 }
             }
-            for &server in &binding.servers {
+            for (&server, &(_, incarnation)) in binding.servers.iter().zip(&incarnations) {
                 let replica = inner.registry.get_or_create(&inner.sim, uid, server);
-                let member = ReplicaMember::new(&inner.sim, &inner.wire, replica);
+                let member = ReplicaMember::new(&inner.sim, &inner.wire, replica, incarnation);
                 let _ = inner.comms.join(gid, server, Rc::new(RefCell::new(member)));
             }
             Some(gid)
@@ -164,6 +195,7 @@ impl System {
             comms_group,
             req,
             binding,
+            incarnations,
         })
     }
 }

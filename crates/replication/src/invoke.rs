@@ -47,12 +47,38 @@ pub struct ObjectGroup {
     pub(crate) req: BindRequest,
     /// The binding (registration state, statistics).
     pub(crate) binding: Binding,
+    /// The state lineage of every bound replica, pinned at activation
+    /// (see [`crate::ServerReplica::incarnation`]): invoke and commit
+    /// refuse replicas that were reborn (crashed and reloaded by a later
+    /// activation) underneath this action.
+    pub(crate) incarnations: Vec<(NodeId, u64)>,
 }
 
 impl ObjectGroup {
     /// The binding statistics recorded when this group was activated.
     pub fn binding(&self) -> &Binding {
         &self.binding
+    }
+
+    /// The incarnation pinned for `node` at activation.
+    pub(crate) fn pinned_incarnation(&self, node: NodeId) -> Option<u64> {
+        self.incarnations
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|&(_, inc)| inc)
+    }
+
+    /// Whether `node`'s replica still belongs to the lineage this action
+    /// bound: up, present, and of the pinned incarnation.
+    fn same_lineage(&self, sys: &System, node: NodeId) -> bool {
+        let inner = &sys.inner;
+        inner.sim.is_up(node)
+            && self.pinned_incarnation(node).is_some_and(|pinned| {
+                inner
+                    .registry
+                    .get(self.uid, node)
+                    .is_some_and(|r| r.borrow().incarnation() == pinned)
+            })
     }
 }
 
@@ -61,14 +87,24 @@ pub(crate) struct ReplicaMember {
     sim: Sim,
     wire: WireEncoder,
     replica: ReplicaHandle,
+    /// The lineage this membership was enrolled for: a reborn replica
+    /// (reloaded by a later activation) answers "not loaded" instead of
+    /// executing operations that belong to the previous incarnation.
+    expected_incarnation: u64,
 }
 
 impl ReplicaMember {
-    pub(crate) fn new(sim: &Sim, wire: &WireEncoder, replica: ReplicaHandle) -> Self {
+    pub(crate) fn new(
+        sim: &Sim,
+        wire: &WireEncoder,
+        replica: ReplicaHandle,
+        expected_incarnation: u64,
+    ) -> Self {
         ReplicaMember {
             sim: sim.clone(),
             wire: wire.clone(),
             replica,
+            expected_incarnation,
         }
     }
 }
@@ -81,11 +117,15 @@ impl fmt::Debug for ReplicaMember {
 
 impl GroupMember for ReplicaMember {
     fn deliver(&mut self, _seq: u64, msg: &Bytes) -> Bytes {
-        let reply = match GroupMsgCodec::decode(msg) {
-            Some(m) => {
-                MemberReply::from(self.replica.borrow_mut().invoke(&self.sim, m.op_id, &m.op))
+        let reply = if self.replica.borrow().incarnation() != self.expected_incarnation {
+            MemberReply::NotLoaded
+        } else {
+            match GroupMsgCodec::decode(msg) {
+                Some(m) => {
+                    MemberReply::from(self.replica.borrow_mut().invoke(&self.sim, m.op_id, &m.op))
+                }
+                None => MemberReply::NotLoaded,
             }
-            None => MemberReply::NotLoaded,
         };
         MemberReplyCodec::encode(&self.wire, &reply)
     }
@@ -111,7 +151,7 @@ impl System {
         inner.tx.lock(action, object_key(group.uid), mode)?;
         let op_id = self.next_op_id();
         if write_intent {
-            self.push_object_undo(action, group.uid, op_id)?;
+            self.push_object_undo(action, group, op_id)?;
         }
         // The only encode of this operation: one pooled frame shared by
         // every replica the policy touches (and by the retry loop of the
@@ -129,21 +169,26 @@ impl System {
         Ok(reply)
     }
 
-    /// Registers an undo that restores every live replica of `uid` to its
-    /// pre-operation state if the action later aborts.
+    /// Registers an undo that restores every live same-lineage replica of
+    /// the group's object to its pre-operation state if the action later
+    /// aborts. Reborn replicas (a different incarnation than the action
+    /// bound) belong to other activations and must not be touched — in
+    /// either direction.
     fn push_object_undo(
         &self,
         action: ActionId,
-        uid: Uid,
+        group: &ObjectGroup,
         op_id: u64,
     ) -> Result<(), groupview_actions::TxError> {
         let inner = &self.inner;
+        let uid = group.uid;
         let mut snapshot = None;
         let mut handles = Vec::new();
-        for (node, handle) in inner.registry.replicas_of(uid) {
-            if !inner.sim.is_up(node) {
+        for &node in &group.servers {
+            if !group.same_lineage(self, node) {
                 continue;
             }
+            let handle = inner.registry.get(uid, node).expect("lineage checked");
             if !handle.borrow_mut().is_loaded(&inner.sim) {
                 continue;
             }
@@ -157,7 +202,8 @@ impl System {
                     .expect("checked loaded");
                 snapshot = Some((state.type_tag, state.data));
             }
-            handles.push(handle);
+            let pinned = group.pinned_incarnation(node).expect("lineage checked");
+            handles.push((handle, pinned));
         }
         let Some((tag, data)) = snapshot else {
             return Ok(()); // nothing loaded — nothing to undo
@@ -165,7 +211,10 @@ impl System {
         let sim = inner.sim.clone();
         let types = inner.types.clone();
         inner.tx.push_undo(action, move || {
-            for handle in &handles {
+            for (handle, pinned) in &handles {
+                if handle.borrow().incarnation() != *pinned {
+                    continue; // reborn since: another activation's state
+                }
                 handle
                     .borrow_mut()
                     .restore_data(&sim, tag, &data, &[op_id], &types);
@@ -231,12 +280,16 @@ impl System {
         let uid = group.uid;
         // At most one retry per server: each failure removes a coordinator.
         for _ in 0..=group.servers.len() {
+            // Only replicas of the pinned lineage may coordinate: a reborn
+            // replica (reloaded from the stores by a later activation) is
+            // loaded and alive, but has lost this action's uncommitted
+            // operations — electing it would silently roll them back.
             let coordinator = group
                 .servers
                 .iter()
                 .copied()
                 .filter(|&s| {
-                    inner.sim.is_up(s)
+                    group.same_lineage(self, s)
                         && inner
                             .registry
                             .get(uid, s)
@@ -262,7 +315,7 @@ impl System {
                 .copied()
                 .filter(|&s| {
                     s != coord
-                        && inner.sim.is_up(s)
+                        && group.same_lineage(self, s)
                         && inner
                             .registry
                             .get(uid, s)
@@ -356,10 +409,21 @@ impl System {
             .registry
             .get(uid, server)
             .ok_or(InvokeError::NotLoaded(uid))?;
+        let pinned = group.pinned_incarnation(server).unwrap_or(0);
         let sim = inner.sim.clone();
         let result = inner
             .sim
             .rpc_payload(group.req.client_node, server, msg, 64, move |frame| {
+                // Server-side lineage check: a reborn copy (the server
+                // crashed — losing this action's uncommitted updates — and
+                // a later activation reloaded it from the stores) is not
+                // the copy this action bound; it refuses the call instead
+                // of executing on the wrong state, and per §2.3(2)(iii)
+                // the action aborts. The refusal costs a normal round
+                // trip, like any other server reply.
+                if replica.borrow().incarnation() != pinned {
+                    return None;
+                }
                 GroupMsgCodec::decode(frame)
                     .and_then(|m| replica.borrow_mut().invoke(&sim, m.op_id, &m.op))
             });

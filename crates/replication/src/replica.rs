@@ -39,6 +39,19 @@ impl fmt::Debug for Loaded {
 pub struct ServerReplica {
     uid: Uid,
     node: NodeId,
+    /// Monotone count of state loads from an object store — the replica's
+    /// state **lineage**. A crash-then-reload (by any later activation)
+    /// produces a replica that is byte-plausible but belongs to a different
+    /// lineage: it has lost every uncommitted operation of the actions
+    /// bound to the previous incarnation. Activations pin the incarnation
+    /// of every bound replica; invoke/commit paths refuse replicas whose
+    /// incarnation no longer matches, so an in-flight action whose replica
+    /// was reborn underneath it aborts instead of silently losing its own
+    /// updates. (Found by the scenario oracle under `send_window_crashes`:
+    /// a server armed to crash mid-reply was reloaded by a concurrent
+    /// activation, and the original action kept invoking against the
+    /// reborn copy.)
+    incarnation: u64,
     state: Volatile<Option<Loaded>>,
 }
 
@@ -48,8 +61,16 @@ impl ServerReplica {
         ServerReplica {
             uid,
             node,
+            incarnation: 0,
             state: Volatile::new(sim, node),
         }
+    }
+
+    /// The current state lineage (see the field docs). Checkpoint installs
+    /// and undo restores continue a lineage; only [`ServerReplica::load`]
+    /// starts a new one.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
     }
 
     /// The object this replica serves.
@@ -75,6 +96,7 @@ impl ServerReplica {
         let Some(obj) = types.decode(state.type_tag, &state.data) else {
             return false;
         };
+        self.incarnation += 1;
         self.state.set(
             sim,
             Some(Loaded {
@@ -398,6 +420,29 @@ mod tests {
         assert_eq!(reg.remove_object(uid), 2);
         assert!(reg.replicas_of(uid).is_empty());
         assert!(reg.get(Uid::from_raw(2), NodeId::new(1)).is_some());
+    }
+
+    #[test]
+    fn incarnation_counts_loads_only() {
+        let (sim, types) = world();
+        let n = NodeId::new(1);
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), n);
+        assert_eq!(r.incarnation(), 0);
+        r.load(&sim, &counter_state(5), &types);
+        assert_eq!(r.incarnation(), 1, "a load starts a new lineage");
+        // Within-lineage transitions don't bump: checkpoint, undo, commit.
+        r.install_checkpoint(&sim, &counter_state(9), None, &types);
+        let snap = r.snapshot_state(&sim).unwrap();
+        r.restore_data(&sim, snap.type_tag, &snap.data, &[], &types);
+        r.mark_committed(&sim, Version::new(2));
+        assert_eq!(r.incarnation(), 1);
+        // A crash alone doesn't either — the reload after it does.
+        sim.crash(n);
+        sim.recover(n);
+        assert_eq!(r.incarnation(), 1);
+        assert!(!r.is_loaded(&sim));
+        r.load(&sim, &counter_state(5), &types);
+        assert_eq!(r.incarnation(), 2, "the reborn replica is a new lineage");
     }
 
     #[test]

@@ -495,11 +495,16 @@ impl System {
     }
 
     pub(crate) fn bump_replica_versions(&self, group: &ObjectGroup, version: Version) {
-        for &node in &group.servers {
+        for &(node, pinned) in &group.incarnations {
             if !self.inner.sim.is_up(node) {
                 continue;
             }
             if let Some(handle) = self.inner.registry.get(group.uid, node) {
+                // A reborn replica belongs to a later activation's lineage;
+                // this action's commit says nothing about its base version.
+                if handle.borrow().incarnation() != pinned {
+                    continue;
+                }
                 handle.borrow_mut().mark_committed(&self.inner.sim, version);
             }
         }

@@ -63,15 +63,25 @@ impl System {
         let uid = group.uid;
 
         // The final (uncommitted) state from a surviving replica the action
-        // actually wrote through (the bound set Sv').
+        // actually wrote through (the bound set Sv'). Only replicas of the
+        // lineage pinned at activation qualify: a reborn copy (crashed and
+        // reloaded from the stores by a later activation) holds the last
+        // *committed* state without this action's operations — committing
+        // its snapshot would silently discard them.
         let mut final_state: Option<ObjectState> = None;
         for &node in &group.servers {
+            let Some(pinned) = group.pinned_incarnation(node) else {
+                continue;
+            };
             if !inner.sim.is_up(node) {
                 continue;
             }
             let Some(handle) = inner.registry.get(uid, node) else {
                 continue;
             };
+            if handle.borrow().incarnation() != pinned {
+                continue;
+            }
             let snapshot = handle.borrow_mut().snapshot_state(&inner.sim);
             if let Some(state) = snapshot {
                 final_state = Some(state);

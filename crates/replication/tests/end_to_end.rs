@@ -478,3 +478,55 @@ fn deterministic_same_seed_same_outcome() {
     };
     assert_eq!(run(123), run(123), "identical seeds, identical runs");
 }
+
+/// The paper's Figure 1 window, end to end: an in-flight action's server
+/// crashes (losing the action's uncommitted update), a *concurrent*
+/// activation reloads the replica from the committed stores, and the
+/// original action tries to continue. The reborn copy is a different state
+/// lineage — the action must abort (failure-attributed), never silently
+/// continue against state that lost its own first operation. (Found by the
+/// scenario oracle under the `send_window_crashes` nemesis.)
+#[test]
+fn reborn_replica_fails_the_in_flight_action() {
+    for policy in [
+        ReplicationPolicy::SingleCopyPassive,
+        ReplicationPolicy::CoordinatorCohort,
+        ReplicationPolicy::Active,
+    ] {
+        let sys = system(policy, BindingScheme::Standard);
+        let uid = create_counter(&sys, 0);
+        let a_client = sys.client(n(4));
+        let action = a_client.begin();
+        let group = a_client.activate(action, uid, 3).expect("activate A");
+        let r = a_client
+            .invoke(action, &group, &CounterOp::Add(1).encode())
+            .expect("first op");
+        assert_eq!(CounterOp::decode_reply(&r), Some(1), "policy {policy}");
+
+        // Every bound server dies mid-action (uncommitted state lost) and
+        // recovers; then another client's activation reloads the replicas
+        // from the committed (value 0) stores.
+        for &server in &[n(1), n(2), n(3)] {
+            sys.sim().crash(server);
+        }
+        for &server in &[n(1), n(2), n(3)] {
+            sys.recovery().recover_node(server);
+        }
+        let b_client = sys.client(n(5));
+        let b_action = b_client.begin();
+        let _b_group = b_client
+            .activate_read_only(b_action, uid, 3)
+            .expect("B reactivates the passive object");
+
+        // A's next invoke must fail — the reborn replicas never see the op.
+        let err = a_client
+            .invoke(action, &group, &CounterOp::Add(1).encode())
+            .expect_err("the in-flight action must not continue on reborn replicas");
+        assert!(err.is_failure_caused(), "policy {policy}: {err}");
+        a_client.abort(action);
+        b_client.commit(b_action).expect("B commits its read");
+
+        // Nothing of A's aborted action leaked into the committed state.
+        assert_eq!(counter_value(&sys, uid, n(5)), 0, "policy {policy}");
+    }
+}

@@ -12,6 +12,7 @@
 //!   [`FaultScript`](groupview_workload::FaultScript)s convert losslessly
 //!   via `From`.
 //! * nemeses (`nemesis`) — seeded generators ([`rolling_crashes`],
+//!   [`send_window_crashes`] for the paper's Figure 1 window,
 //!   [`flapping_partition`], [`lossy_window`], [`client_churn`],
 //!   [`recovery_storm`]) mapping one scenario family to unbounded concrete
 //!   schedules.
@@ -19,13 +20,20 @@
 //!   client invoke/commit/abort (payloads are refcounted
 //!   [`Bytes`](groupview_sim::Bytes) clones).
 //! * [`Oracle`] (`oracle`) — replays the committed history sequentially
-//!   (every reply must match the model; final store states must equal the
-//!   model's), then checks the paper's post-recovery invariants: quiescent
-//!   use lists, `St` restored to full strength, byte-identical stores, no
-//!   leaked locks.
-//! * the runner (`runner`) — [`Scenario`] = workload × plan × checks, run
-//!   as a multi-seed matrix producing [`ScenarioReport`]s; plus
-//!   [`canned_scenarios`], the ≥ 8-scenario suite CI drives across seeds.
+//!   against real-class models ([`ModelKind`]: counter, kv map, account —
+//!   every reply must match the model; final store states must equal the
+//!   model's snapshot), then checks the paper's post-recovery invariants:
+//!   quiescent use lists, `St` restored to full strength, byte-identical
+//!   stores, no leaked locks.
+//! * the runner (`runner`) — the workspace's **single workload execution
+//!   engine** ([`run_plan`]/[`run_plan_typed`]; it retired
+//!   `workload::Driver`, reproducing its runs bit for bit —
+//!   `tests/parity.rs`). [`Scenario`] = workload × plan × checks, run as a
+//!   multi-seed matrix producing [`ScenarioReport`]s; plus
+//!   [`canned_scenarios`], the 14-scenario suite CI drives across seeds.
+//! * soak mode (`soak`) — [`run_soak`] chains composed nemesis schedules
+//!   across a seed range for the experiment harness, reporting an
+//!   aggregate oracle verdict summary.
 //!
 //! # Example
 //!
@@ -42,16 +50,21 @@ pub mod oracle;
 pub mod plan;
 pub mod runner;
 pub mod scenarios;
+pub mod soak;
 
 pub use crate::history::{Event, EventKind, History};
 pub use crate::nemesis::{
     client_churn, flapping_partition, lossy_window, recovery_storm, rolling_crashes,
+    send_window_crashes,
 };
 pub use crate::oracle::{
-    check_counter_states, check_quiescent_invariants, ObjectModel, Oracle, OracleReport,
+    check_counter_states, check_final_states, check_quiescent_invariants, ModelKind, ObjectModel,
+    Oracle, OracleReport,
 };
 pub use crate::plan::{FaultPlan, PlanAction, PlanError, PlanEvent, Trigger};
 pub use crate::runner::{
-    run_matrix, run_plan, run_scenario, Checks, PlanGenerator, RunOutcome, Scenario, ScenarioReport,
+    run_matrix, run_plan, run_plan_typed, run_scenario, Checks, PlanGenerator, RunOutcome,
+    Scenario, ScenarioReport,
 };
 pub use crate::scenarios::canned_scenarios;
+pub use crate::soak::{run_soak, SoakConfig, SoakReport};

@@ -128,6 +128,47 @@ pub fn lossy_window(
     plan
 }
 
+/// The paper's Figure 1 window, seeded: arms a
+/// [`PlanAction::CrashAfterSends`] fault point on the given nodes in
+/// rotation — node `k` is armed roughly `start + k·period` into the run
+/// with a send budget drawn from `1..=max_budget`, and recovered (or
+/// disarmed, if the budget never fired) `downtime` later. Because the
+/// budget ticks on send *attempts*, the crash lands inside whatever
+/// message exchange the node is in the middle of — a multicast fan-out, a
+/// reply spray — even on a lossy network, which is exactly the
+/// "B fails during delivery of the reply to GA" scenario.
+pub fn send_window_crashes(
+    seed: u64,
+    nodes: &[NodeId],
+    start: SimDuration,
+    period: SimDuration,
+    downtime: SimDuration,
+    max_budget: u32,
+    rounds: usize,
+) -> FaultPlan {
+    assert!(!nodes.is_empty(), "send_window_crashes needs nodes");
+    assert!(max_budget > 0, "send budgets are drawn from 1..=max_budget");
+    assert!(
+        downtime < period,
+        "downtime must fit inside the rotation period"
+    );
+    let mut rng = rng_for(seed, 6);
+    let mut plan = FaultPlan::new();
+    let slack = period.as_micros() - downtime.as_micros();
+    let mut t = start.as_micros();
+    for round in 0..rounds {
+        let node = nodes[round % nodes.len()];
+        let budget = 1 + rng.random_range(0..max_budget as u64) as u32;
+        let arm_at = t + jitter(&mut rng, slack / 2);
+        let recover_at = arm_at + downtime.as_micros();
+        plan = plan
+            .at_micros(arm_at, PlanAction::CrashAfterSends(node, budget))
+            .at_micros(recover_at, PlanAction::RecoverNode(node));
+        t += period.as_micros();
+    }
+    plan
+}
+
 /// Crashes `kills` distinct clients at random times within the window and
 /// schedules periodic cleanup sweeps (plus one final sweep after the last
 /// kill) so leaked use-list entries are reclaimed.
@@ -318,6 +359,32 @@ mod tests {
             .filter(|e| e.action == PlanAction::CleanupSweep)
             .count();
         assert_eq!(sweeps, 3, "one per two kills plus the final sweep");
+    }
+
+    #[test]
+    fn send_window_crashes_arm_and_recover_in_rotation() {
+        let mk = |seed| {
+            send_window_crashes(
+                seed,
+                &trio(),
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(8),
+                4,
+                5,
+            )
+        };
+        let plan = mk(7);
+        assert_eq!(plan.len(), 10, "an arm and a recover per round");
+        plan.validate().expect("well-formed");
+        assert!(plan.is_time_sorted());
+        assert_eq!(plan, mk(7), "same seed, same plan");
+        assert_ne!(plan, mk(8), "different seed, different schedule");
+        for ev in plan.events() {
+            if let PlanAction::CrashAfterSends(_, k) = ev.action {
+                assert!((1..=4).contains(&k), "budget {k} out of range");
+            }
+        }
     }
 
     #[test]

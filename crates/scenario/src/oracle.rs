@@ -4,12 +4,17 @@
 //! Two families of checks:
 //!
 //! 1. **History replay** ([`Oracle::verify`], part one): committed actions
-//!    are replayed in commit order against a sequential counter model.
-//!    Strict two-phase locking with refusal makes commit order a
-//!    serialization order, so every recorded reply must match the model —
-//!    `Add` replies the post-op value, `Get` replies the current value —
+//!    are replayed in commit order against a sequential model of each
+//!    object. Strict two-phase locking with refusal makes commit order a
+//!    serialization order, so every recorded reply must match the model's,
 //!    and after quiesce every store in `St(A)` must hold the model's final
-//!    value (invariant I2).
+//!    snapshot (invariant I2). The model **is** a fresh instance of the
+//!    real object class ([`ModelKind`] builds a [`Counter`], [`KvMap`], or
+//!    [`Account`]) executed without any replication machinery — so every
+//!    operation type the class supports is checked per reply, not just
+//!    counter adds (Crichlow & Hartley validate replicated objects per
+//!    operation type; Shapiro & Preguiça's history-checking is what catches
+//!    ordering bugs a final-state check misses).
 //! 2. **Paper invariants after quiesce + recovery** (part two,
 //!    [`check_quiescent_invariants`]): no leaked locks (I5), use lists
 //!    quiescent (I4), `St` restored to full strength, and all listed
@@ -17,18 +22,82 @@
 //!    `tests/invariants.rs` used to hard-code.
 
 use crate::history::{EventKind, History};
-use groupview_replication::{Counter, CounterOp, System};
+use groupview_replication::{
+    Account, AccountOp, Counter, CounterOp, KvMap, KvOp, ReplicaObject, System,
+};
 use groupview_store::Uid;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Which object class an oracle model replays, plus its initial state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// A [`Counter`] starting at the given value.
+    Counter {
+        /// The counter's initial committed value.
+        initial: i64,
+    },
+    /// An empty [`KvMap`].
+    KvMap,
+    /// An [`Account`] opened with the given balance.
+    Account {
+        /// The account's initial committed balance.
+        initial: u64,
+    },
+}
+
+impl ModelKind {
+    /// A zero-valued counter model (the historical default).
+    pub const COUNTER: ModelKind = ModelKind::Counter { initial: 0 };
+
+    /// Builds a fresh live instance of the class — both the object the
+    /// scenario runner registers with the system and the sequential model
+    /// the oracle replays.
+    pub fn fresh(&self) -> Box<dyn ReplicaObject> {
+        match *self {
+            ModelKind::Counter { initial } => Box::new(Counter::new(initial)),
+            ModelKind::KvMap => Box::new(KvMap::new()),
+            ModelKind::Account { initial } => Box::new(Account::new(initial)),
+        }
+    }
+
+    /// Whether `op` decodes as an operation of this class (undecodable ops
+    /// in a history are recorder bugs and flagged as violations).
+    fn decodes(&self, op: &[u8]) -> bool {
+        match self {
+            ModelKind::Counter { .. } => CounterOp::decode(op).is_some(),
+            ModelKind::KvMap => KvOp::decode(op).is_some(),
+            ModelKind::Account { .. } => AccountOp::decode(op).is_some(),
+        }
+    }
+
+    /// Human-readable decode of `op` for violation messages.
+    fn describe_op(&self, op: &[u8]) -> String {
+        match self {
+            ModelKind::Counter { .. } => format!("{:?}", CounterOp::decode(op)),
+            ModelKind::KvMap => format!("{:?}", KvOp::decode(op)),
+            ModelKind::Account { .. } => format!("{:?}", AccountOp::decode(op)),
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelKind::Counter { .. } => write!(f, "counter"),
+            ModelKind::KvMap => write!(f, "kv-map"),
+            ModelKind::Account { .. } => write!(f, "account"),
+        }
+    }
+}
 
 /// What the oracle knows about one object under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObjectModel {
     /// The object.
     pub uid: Uid,
-    /// The counter's initial committed value.
-    pub initial: i64,
+    /// The object's class and initial state.
+    pub kind: ModelKind,
     /// `|St|` at creation — the strength recovery must restore.
     pub full_strength: usize,
 }
@@ -40,8 +109,9 @@ pub struct OracleReport {
     pub committed_actions: u64,
     /// Operations replayed inside those actions.
     pub replayed_ops: u64,
-    /// The model's final value per object.
-    pub final_values: Vec<(Uid, i64)>,
+    /// The model's final snapshot per object — what every surviving store
+    /// must hold after quiesce (I2).
+    pub final_states: Vec<(Uid, Vec<u8>)>,
     /// Everything that did not check out (empty means the run verified).
     pub violations: Vec<String>,
 }
@@ -72,11 +142,11 @@ impl fmt::Display for OracleReport {
     }
 }
 
-/// Replays histories and checks invariants for a set of counter objects.
+/// Replays histories and checks invariants for a set of modeled objects.
 ///
-/// The oracle is deliberately counter-specific — like Crichlow & Hartley's
-/// replicated-counter validation, a trivially modelable object makes the
-/// *system's* behaviour the only unknown.
+/// The models are trivially sequential instances of the real classes, so
+/// the *system's* behaviour — replication, locking, recovery — is the only
+/// unknown under test.
 #[derive(Debug, Clone)]
 pub struct Oracle {
     objects: Vec<ObjectModel>,
@@ -99,10 +169,9 @@ impl Oracle {
     /// clients, no in-flight actions).
     pub fn verify(&self, sys: &System, history: &History) -> OracleReport {
         let mut report = self.replay(history);
-        let expected: Vec<(Uid, i64)> = report.final_values.clone();
         report
             .violations
-            .extend(check_counter_states(sys, &expected));
+            .extend(check_final_states(sys, &report.final_states));
         report
             .violations
             .extend(check_quiescent_invariants(sys, &self.objects));
@@ -110,51 +179,56 @@ impl Oracle {
     }
 
     /// Part one only: replays the committed prefix of `history` against the
-    /// sequential model and checks every recorded reply.
+    /// sequential models and checks every recorded reply.
     pub fn replay(&self, history: &History) -> OracleReport {
         let mut report = OracleReport::default();
-        let mut model: HashMap<Uid, i64> =
-            self.objects.iter().map(|o| (o.uid, o.initial)).collect();
+        let mut model: HashMap<Uid, (ModelKind, Box<dyn ReplicaObject>)> = self
+            .objects
+            .iter()
+            .map(|o| (o.uid, (o.kind, o.kind.fresh())))
+            .collect();
         // Ops buffered per in-flight action, replayed at its commit event
         // (commit order == serialization order under strict 2PL).
-        let mut pending: HashMap<u64, Vec<(Uid, CounterOp, Option<i64>)>> = HashMap::new();
+        type PendingOp = (Uid, groupview_sim::Bytes, groupview_sim::Bytes);
+        let mut pending: HashMap<u64, Vec<PendingOp>> = HashMap::new();
         for ev in history.events() {
             match &ev.kind {
                 EventKind::Invoked { op, reply, .. } => {
-                    let Some(decoded) = CounterOp::decode(op) else {
-                        report
-                            .violations
-                            .push(format!("action {}: undecodable op", ev.action));
-                        continue;
-                    };
-                    pending.entry(ev.action).or_default().push((
-                        ev.uid,
-                        decoded,
-                        CounterOp::decode_reply(reply),
-                    ));
+                    // Undecodable op bytes are a recorder bug no matter how
+                    // the action later ends — flag them here, where even an
+                    // aborted or crashed action's events are still seen.
+                    if let Some((kind, _)) = model.get(&ev.uid) {
+                        if !kind.decodes(op) {
+                            report
+                                .violations
+                                .push(format!("action {}: undecodable {kind} op", ev.action));
+                            continue;
+                        }
+                    }
+                    pending
+                        .entry(ev.action)
+                        .or_default()
+                        .push((ev.uid, op.clone(), reply.clone()));
                 }
                 EventKind::Committed => {
                     report.committed_actions += 1;
                     for (uid, op, observed) in pending.remove(&ev.action).unwrap_or_default() {
-                        let Some(value) = model.get_mut(&uid) else {
+                        let Some((kind, object)) = model.get_mut(&uid) else {
                             report
                                 .violations
                                 .push(format!("action {}: unknown object {uid}", ev.action));
                             continue;
                         };
                         report.replayed_ops += 1;
-                        let expected = match op {
-                            CounterOp::Add(d) => {
-                                *value += d;
-                                *value
-                            }
-                            CounterOp::Get => *value,
-                        };
-                        if observed != Some(expected) {
+                        let expected = object.invoke(&op).reply;
+                        if observed.as_slice() != expected.as_slice() {
                             report.violations.push(format!(
-                                "action {} on {uid}: {op:?} replied {observed:?}, \
-                                 sequential replay expects {expected}",
-                                ev.action
+                                "action {} on {uid} ({kind}): {} replied {:?}, \
+                                 sequential replay expects {:?}",
+                                ev.action,
+                                kind.describe_op(&op),
+                                observed.as_slice(),
+                                expected.as_slice(),
                             ));
                         }
                     }
@@ -166,32 +240,34 @@ impl Oracle {
                 }
             }
         }
-        report.final_values = self
+        report.final_states = self
             .objects
             .iter()
-            .map(|o| (o.uid, model[&o.uid]))
+            .map(|o| (o.uid, model[&o.uid].1.snapshot()))
             .collect();
         report
     }
 }
 
-/// Checks that every functioning store listed in each object's `St` holds a
-/// counter state equal to `expected` (invariant I2 after quiesce: committed
-/// effects survive).
-pub fn check_counter_states(sys: &System, expected: &[(Uid, i64)]) -> Vec<String> {
+/// Checks that every store listed in each object's `St` holds state bytes
+/// equal to the model's `expected` snapshot (invariant I2 after quiesce:
+/// committed effects survive).
+pub fn check_final_states(sys: &System, expected: &[(Uid, Vec<u8>)]) -> Vec<String> {
     let mut violations = Vec::new();
-    for &(uid, want) in expected {
-        let Some(entry) = sys.naming().state_db.entry(uid) else {
+    for (uid, want) in expected {
+        let Some(entry) = sys.naming().state_db.entry(*uid) else {
             violations.push(format!("{uid}: no state-db entry"));
             continue;
         };
         for &node in &entry.stores {
-            match sys.stores().read_local(node, uid) {
+            match sys.stores().read_local(node, *uid) {
                 Ok(state) => {
-                    let got = Counter::decode(&state.data).value();
-                    if got != want {
+                    if state.data.as_slice() != want.as_slice() {
                         violations.push(format!(
-                            "{uid} at {node}: committed value {got}, model says {want} (I2)"
+                            "{uid} at {node}: committed state {:?} differs from the \
+                             model's {:?} (I2)",
+                            state.data.as_slice(),
+                            want.as_slice(),
                         ));
                     }
                 }
@@ -202,6 +278,16 @@ pub fn check_counter_states(sys: &System, expected: &[(Uid, i64)]) -> Vec<String
         }
     }
     violations
+}
+
+/// Counter-specific convenience over [`check_final_states`]: checks that
+/// every store holds a counter state equal to `expected`.
+pub fn check_counter_states(sys: &System, expected: &[(Uid, i64)]) -> Vec<String> {
+    let snapshots: Vec<(Uid, Vec<u8>)> = expected
+        .iter()
+        .map(|&(uid, v)| (uid, Counter::new(v).snapshot()))
+        .collect();
+    check_final_states(sys, &snapshots)
 }
 
 /// Checks the paper's invariants on a quiesced, fully recovered system:
@@ -262,12 +348,16 @@ mod tests {
         Uid::from_raw(1)
     }
 
-    fn oracle() -> Oracle {
+    fn oracle_for(kind: ModelKind) -> Oracle {
         Oracle::new(vec![ObjectModel {
             uid: uid(),
-            initial: 0,
+            kind,
             full_strength: 3,
         }])
+    }
+
+    fn oracle() -> Oracle {
+        oracle_for(ModelKind::COUNTER)
     }
 
     fn op(o: CounterOp) -> Bytes {
@@ -293,7 +383,10 @@ mod tests {
         assert!(report.is_ok(), "{report}");
         assert_eq!(report.committed_actions, 2);
         assert_eq!(report.replayed_ops, 2);
-        assert_eq!(report.final_values, vec![(uid(), 2)]);
+        assert_eq!(
+            report.final_states,
+            vec![(uid(), 2i64.to_le_bytes().to_vec())]
+        );
         assert!(report.to_string().contains("ok"));
     }
 
@@ -308,7 +401,7 @@ mod tests {
         h.committed(t, 1, 2, uid());
         let report = oracle().replay(&h);
         assert!(!report.is_ok());
-        assert!(report.violations[0].contains("expects 2"), "{report}");
+        assert!(report.violations[0].contains("expects"), "{report}");
     }
 
     #[test]
@@ -332,7 +425,10 @@ mod tests {
         h.crashed(t, 0, 1, uid());
         let report = oracle().replay(&h);
         assert!(report.is_ok(), "{report}");
-        assert_eq!(report.final_values, vec![(uid(), 0)]);
+        assert_eq!(
+            report.final_states,
+            vec![(uid(), 0i64.to_le_bytes().to_vec())]
+        );
     }
 
     #[test]
@@ -352,5 +448,138 @@ mod tests {
         h.committed(t, 0, 1, uid());
         let report = oracle().replay(&h);
         assert_eq!(report.violations.len(), 2, "{report}");
+    }
+
+    /// Undecodable op bytes are a recorder bug even when the action never
+    /// commits: the check runs at the `Invoked` event, so an aborted
+    /// action's garbage is still flagged.
+    #[test]
+    fn replay_flags_undecodable_ops_of_aborted_actions() {
+        let mut h = History::new();
+        let t = SimTime::ZERO;
+        h.invoked(t, 0, 1, uid(), Bytes::from_static(b"\xff"), reply(0), true);
+        h.aborted(t, 0, 1, uid(), false);
+        let report = oracle().replay(&h);
+        assert_eq!(report.violations.len(), 1, "{report}");
+        assert!(report.violations[0].contains("undecodable"));
+    }
+
+    #[test]
+    fn kv_replay_checks_previous_value_replies() {
+        let kv = |o: KvOp| Bytes::from(o.encode());
+        let mut h = History::new();
+        let t = SimTime::ZERO;
+        h.invoked(
+            t,
+            0,
+            1,
+            uid(),
+            kv(KvOp::Put("k".into(), "v1".into())),
+            Bytes::from_static(b""),
+            true,
+        );
+        h.committed(t, 0, 1, uid());
+        // The second Put must reply with the first value.
+        h.invoked(
+            t,
+            1,
+            2,
+            uid(),
+            kv(KvOp::Put("k".into(), "v2".into())),
+            Bytes::from_static(b"v1"),
+            true,
+        );
+        h.invoked(
+            t,
+            1,
+            2,
+            uid(),
+            kv(KvOp::Get("k".into())),
+            Bytes::from_static(b"v2"),
+            false,
+        );
+        h.committed(t, 1, 2, uid());
+        let report = oracle_for(ModelKind::KvMap).replay(&h);
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.replayed_ops, 3);
+        // The final snapshot is the real KvMap encoding.
+        let mut model = KvMap::new();
+        model.invoke(&KvOp::Put("k".into(), "v2".into()).encode());
+        assert_eq!(report.final_states, vec![(uid(), model.snapshot())]);
+
+        // A lost first Put shows up in the second Put's reply.
+        let mut h = History::new();
+        h.invoked(
+            t,
+            0,
+            1,
+            uid(),
+            kv(KvOp::Put("k".into(), "v1".into())),
+            Bytes::from_static(b""),
+            true,
+        );
+        h.committed(t, 0, 1, uid());
+        h.invoked(
+            t,
+            1,
+            2,
+            uid(),
+            kv(KvOp::Put("k".into(), "v2".into())),
+            Bytes::from_static(b""),
+            true,
+        );
+        h.committed(t, 1, 2, uid());
+        let report = oracle_for(ModelKind::KvMap).replay(&h);
+        assert!(!report.is_ok(), "lost update must be flagged");
+        assert!(report.violations[0].contains("Put"), "{report}");
+    }
+
+    #[test]
+    fn account_replay_checks_refused_withdrawals() {
+        let acct = |o: AccountOp| Bytes::from(o.encode());
+        let r = |v: u64| Bytes::from(v.to_le_bytes().to_vec());
+        let mut h = History::new();
+        let t = SimTime::ZERO;
+        h.invoked(t, 0, 1, uid(), acct(AccountOp::Deposit(50)), r(60), true);
+        h.invoked(
+            t,
+            0,
+            1,
+            uid(),
+            acct(AccountOp::Withdraw(100)),
+            r(AccountOp::REFUSED),
+            true,
+        );
+        h.invoked(t, 0, 1, uid(), acct(AccountOp::Balance), r(60), false);
+        h.committed(t, 0, 1, uid());
+        let oracle = oracle_for(ModelKind::Account { initial: 10 });
+        let report = oracle.replay(&h);
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.replayed_ops, 3);
+        assert_eq!(
+            report.final_states,
+            vec![(uid(), 60u64.to_le_bytes().to_vec())]
+        );
+
+        // A refused withdrawal that "succeeded" in the history is flagged.
+        let mut h = History::new();
+        h.invoked(t, 0, 1, uid(), acct(AccountOp::Withdraw(100)), r(0), true);
+        h.committed(t, 0, 1, uid());
+        let report = oracle_for(ModelKind::Account { initial: 10 }).replay(&h);
+        assert!(!report.is_ok(), "overdraft must be flagged");
+        assert!(report.violations[0].contains("Withdraw"), "{report}");
+    }
+
+    #[test]
+    fn model_kinds_build_their_classes() {
+        assert_eq!(ModelKind::COUNTER.to_string(), "counter");
+        assert_eq!(ModelKind::KvMap.to_string(), "kv-map");
+        assert_eq!(ModelKind::Account { initial: 5 }.to_string(), "account");
+        let mut c = ModelKind::Counter { initial: 3 }.fresh();
+        let reply = c.invoke(&CounterOp::Get.encode()).reply;
+        assert_eq!(CounterOp::decode_reply(&reply), Some(3));
+        let a = ModelKind::Account { initial: 9 }.fresh();
+        assert_eq!(a.snapshot(), 9u64.to_le_bytes().to_vec());
+        assert!(ModelKind::KvMap.fresh().snapshot().starts_with(&[0]));
     }
 }

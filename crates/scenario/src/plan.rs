@@ -25,6 +25,19 @@ use std::fmt;
 pub enum PlanAction {
     /// Crash a node (fail-silent).
     CrashNode(NodeId),
+    /// Arm the paper's Figure 1 fault point: the node crashes immediately
+    /// after completing its next `k` send *attempts* (delivered, dropped,
+    /// partitioned, or to a dead receiver — see
+    /// [`groupview_sim::Sim::crash_after_sends`]). Unlike [`CrashNode`],
+    /// the crash lands *inside* whatever message exchange the node is in
+    /// the middle of — mid-multicast, mid-reply — which is exactly the
+    /// window where replicas can diverge. A later [`RecoverNode`] recovers
+    /// the node if the budget fired, and disarms the fault point if it
+    /// never did.
+    ///
+    /// [`CrashNode`]: PlanAction::CrashNode
+    /// [`RecoverNode`]: PlanAction::RecoverNode
+    CrashAfterSends(NodeId, u32),
     /// Recover a node and run the full §4 recovery protocol.
     RecoverNode(NodeId),
     /// Crash a client (by machine index): its in-flight action is abandoned
@@ -50,6 +63,9 @@ impl fmt::Display for PlanAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanAction::CrashNode(n) => write!(f, "crash {n}"),
+            PlanAction::CrashAfterSends(n, k) => {
+                write!(f, "crash {n} after {k} send attempts")
+            }
             PlanAction::RecoverNode(n) => write!(f, "recover {n}"),
             PlanAction::CrashClient(i) => write!(f, "crash client {i}"),
             PlanAction::CleanupSweep => write!(f, "cleanup sweep"),
@@ -109,6 +125,12 @@ pub enum PlanError {
         /// Index of the offending event.
         index: usize,
     },
+    /// A `CrashAfterSends` with a zero send budget (the simulator treats
+    /// `k = 0` like `k = 1`; a plan must say what it means).
+    BadSendBudget {
+        /// Index of the offending event.
+        index: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -122,6 +144,12 @@ impl fmt::Display for PlanError {
             }
             PlanError::BadProbability { index } => {
                 write!(f, "event {index} sets a drop probability outside [0,1]")
+            }
+            PlanError::BadSendBudget { index } => {
+                write!(
+                    f,
+                    "event {index} arms a crash-after-sends with a zero budget"
+                )
             }
         }
     }
@@ -246,16 +274,34 @@ impl FaultPlan {
 
     fn validate_stream(&self, indices: impl Iterator<Item = usize>) -> Result<(), PlanError> {
         let mut down: HashSet<NodeId> = HashSet::new();
+        // Nodes with an armed crash-after-sends budget: whether and when
+        // the crash fires depends on the run, so such a node may validly be
+        // crashed again (the budget never fired) or recovered (it did — or
+        // the recover just disarms it).
+        let mut armed: HashSet<NodeId> = HashSet::new();
         let mut blocked: HashSet<(NodeId, NodeId)> = HashSet::new();
         for index in indices {
             match &self.events[index].action {
                 PlanAction::CrashNode(n) => {
+                    armed.remove(n);
                     if !down.insert(*n) {
                         return Err(PlanError::UnbalancedNodeFault { index });
                     }
                 }
+                PlanAction::CrashAfterSends(n, k) => {
+                    if *k == 0 {
+                        return Err(PlanError::BadSendBudget { index });
+                    }
+                    // Arming a node that is statically known to be down is
+                    // a plan bug: the budget cannot tick while it is down,
+                    // and its eventual recover would just disarm it.
+                    if down.contains(n) {
+                        return Err(PlanError::UnbalancedNodeFault { index });
+                    }
+                    armed.insert(*n);
+                }
                 PlanAction::RecoverNode(n) => {
-                    if !down.remove(n) {
+                    if !down.remove(n) && !armed.remove(n) {
                         return Err(PlanError::UnbalancedNodeFault { index });
                     }
                 }
@@ -444,9 +490,48 @@ mod tests {
     }
 
     #[test]
+    fn crash_after_sends_validates_like_a_deferred_crash() {
+        // Arm → recover is balanced whether or not the budget fired.
+        let plan = FaultPlan::new()
+            .at_micros(100, PlanAction::CrashAfterSends(n(1), 2))
+            .at_micros(500, PlanAction::RecoverNode(n(1)));
+        assert!(plan.validate().is_ok());
+        // Arm → explicit crash is also fine (the budget never fired).
+        let plan = FaultPlan::new()
+            .at_micros(100, PlanAction::CrashAfterSends(n(1), 2))
+            .at_micros(500, PlanAction::CrashNode(n(1)))
+            .at_micros(900, PlanAction::RecoverNode(n(1)));
+        assert!(plan.validate().is_ok());
+        // Re-arming overwrites; still balanced by one recover.
+        let plan = FaultPlan::new()
+            .at_micros(100, PlanAction::CrashAfterSends(n(1), 2))
+            .at_micros(200, PlanAction::CrashAfterSends(n(1), 5))
+            .at_micros(500, PlanAction::RecoverNode(n(1)));
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_send_budget() {
+        let plan = FaultPlan::new().at_micros(100, PlanAction::CrashAfterSends(n(1), 0));
+        assert_eq!(plan.validate(), Err(PlanError::BadSendBudget { index: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_arming_a_down_node() {
+        let plan = FaultPlan::new()
+            .at_micros(100, PlanAction::CrashNode(n(1)))
+            .at_micros(200, PlanAction::CrashAfterSends(n(1), 1));
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::UnbalancedNodeFault { index: 1 })
+        );
+    }
+
+    #[test]
     fn displays_are_informative() {
         for (action, needle) in [
             (PlanAction::CrashNode(n(1)), "crash"),
+            (PlanAction::CrashAfterSends(n(1), 2), "send attempts"),
             (PlanAction::RecoverNode(n(1)), "recover"),
             (PlanAction::CrashClient(2), "client"),
             (PlanAction::CleanupSweep, "sweep"),

@@ -1,13 +1,13 @@
 //! The scenario runner: `Scenario = WorkloadSpec × FaultPlan × checks`.
 //!
-//! [`run_plan`] drives a counter workload against a [`System`] exactly the
-//! way [`groupview_workload::Driver`] does — same interleaving, same RNG
-//! draws, same metric accounting — while additionally executing a
-//! time-keyed [`FaultPlan`] through the simulator's event queue and
-//! recording a [`History`] for the oracle. Because the drive loops match
-//! step for step, a legacy `FaultScript` converted via
-//! `FaultPlan::from(script)` reproduces the old driver's runs bit for bit
-//! (asserted in `tests/parity.rs`).
+//! [`run_plan`] is the **single workload execution engine** of the
+//! workspace: it interleaves client state machines one step at a time
+//! (bind, invoke, or commit per step, in a seeded-random order), executes a
+//! time-keyed [`FaultPlan`] through the simulator's event queue, and
+//! records a [`History`] for the oracle. It subsumed the legacy
+//! `workload::Driver` — step-keyed `FaultScript`s convert losslessly via
+//! `FaultPlan::from(script)` and reproduce the old driver's runs bit for
+//! bit (`tests/parity.rs` pins the recorded legacy metrics).
 //!
 //! [`run_scenario`] adds the full verification cycle: build the world, run
 //! the plan, quiesce (heal + recover + sweep), and hand the history to the
@@ -15,14 +15,16 @@
 
 use crate::history::History;
 use crate::oracle::{
-    check_counter_states, check_quiescent_invariants, ObjectModel, Oracle, OracleReport,
+    check_final_states, check_quiescent_invariants, ModelKind, ObjectModel, Oracle, OracleReport,
 };
 use crate::plan::{FaultPlan, PlanAction};
 use groupview_core::BindingScheme;
-use groupview_replication::{Client, Counter, CounterOp, ObjectGroup, ReplicationPolicy, System};
-use groupview_sim::{Bytes, ClientId, NodeId, ScheduledEvent, SimDuration};
+use groupview_replication::{
+    AccountOp, Client, CounterOp, KvOp, ObjectGroup, ReplicationPolicy, System,
+};
+use groupview_sim::{Bytes, ClientId, NodeId, ScheduledEvent, Sim, SimDuration};
 use groupview_store::Uid;
-use groupview_workload::{Driver, RunMetrics, WorkloadSpec};
+use groupview_workload::{RunMetrics, WorkloadSpec};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -42,6 +44,9 @@ enum Phase {
     Running {
         action: groupview_actions::ActionId,
         group: Box<ObjectGroup>,
+        /// Index of the acted-on object in `spec.objects` (also indexes
+        /// the run's `ModelKind`s).
+        object_index: usize,
         ops_left: usize,
         read_only: bool,
     },
@@ -61,34 +66,129 @@ impl Machine {
     }
 }
 
-/// Pre-encoded counter operations shared by every invocation and history
-/// record (cloning [`Bytes`] is a refcount bump, so recording stays
-/// allocation-free on the happy path).
-struct Ops {
-    write: Bytes,
-    read: Bytes,
+/// Per-class operation generator.
+///
+/// Counter operations are pre-encoded once and shared by every invocation
+/// and history record (cloning [`Bytes`] is a refcount bump, so the
+/// counter path — the parity-pinned one — stays allocation-free and
+/// consumes **no extra RNG draws**). KvMap and Account operations are
+/// drawn from the seeded simulator RNG so the schedule stays deterministic.
+struct OpGen {
+    counter_write: Bytes,
+    counter_read: Bytes,
+    /// Monotone sequence for generated KvMap values, so every `Put` writes
+    /// a distinct value and the oracle's previous-value checks bite.
+    write_seq: u64,
+    /// Scratch kind-per-object lookup, parallel to `spec.objects`.
+    kinds: Vec<ModelKind>,
 }
 
-/// Runs `spec` against `sys` under `plan`, recording history.
-///
-/// Timed plan entries are installed into the simulator's event queue as
-/// [`ScheduledEvent::Custom`] markers before the first step; step-keyed
-/// entries (the legacy-script shim) fire at the top of the matching step,
-/// exactly where the old driver applied its `FaultScript`.
+/// KvMap workloads contend on this many distinct keys.
+const KV_KEYS: u64 = 3;
+
+impl OpGen {
+    fn new(kinds: Vec<ModelKind>) -> Self {
+        OpGen {
+            counter_write: Bytes::from(CounterOp::Add(1).encode()),
+            counter_read: Bytes::from(CounterOp::Get.encode()),
+            write_seq: 0,
+            kinds,
+        }
+    }
+
+    fn kind_of(&self, object_index: usize) -> ModelKind {
+        self.kinds[object_index]
+    }
+
+    fn write_op(&mut self, sim: &Sim, kind: ModelKind) -> Bytes {
+        match kind {
+            ModelKind::Counter { .. } => self.counter_write.clone(),
+            ModelKind::KvMap => {
+                let key = format!("k{}", sim.random_below(KV_KEYS));
+                self.write_seq += 1;
+                if sim.chance(0.2) {
+                    Bytes::from(KvOp::Delete(key).encode())
+                } else {
+                    Bytes::from(KvOp::Put(key, format!("v{}", self.write_seq)).encode())
+                }
+            }
+            ModelKind::Account { .. } => {
+                let amount = 1 + sim.random_below(5);
+                if sim.chance(0.5) {
+                    Bytes::from(AccountOp::Deposit(amount).encode())
+                } else {
+                    // Withdrawals overdraw sometimes: the REFUSED reply is
+                    // part of the per-operation-type contract under test.
+                    Bytes::from(AccountOp::Withdraw(amount).encode())
+                }
+            }
+        }
+    }
+
+    fn read_op(&mut self, sim: &Sim, kind: ModelKind) -> Bytes {
+        match kind {
+            ModelKind::Counter { .. } => self.counter_read.clone(),
+            ModelKind::KvMap => {
+                if sim.chance(0.25) {
+                    Bytes::from(KvOp::Len.encode())
+                } else {
+                    Bytes::from(KvOp::Get(format!("k{}", sim.random_below(KV_KEYS))).encode())
+                }
+            }
+            ModelKind::Account { .. } => Bytes::from(AccountOp::Balance.encode()),
+        }
+    }
+}
+
+/// Runs `spec` against `sys` under `plan`, treating every object as a
+/// zero-initialised counter (the historical workload; see
+/// [`run_plan_typed`] for mixed object classes).
 ///
 /// # Panics
 ///
 /// Panics if the spec has no objects or no client nodes.
 pub fn run_plan(sys: &System, spec: &WorkloadSpec, plan: &FaultPlan) -> RunOutcome {
+    run_plan_typed(
+        sys,
+        spec,
+        plan,
+        &vec![ModelKind::COUNTER; spec.objects.len()],
+    )
+}
+
+/// Runs `spec` against `sys` under `plan`, recording history.
+///
+/// `kinds[i]` names the class of `spec.objects[i]` and selects the
+/// operation mix driven against it: counters invoke `Add(1)`/`Get`, kv
+/// maps `Put`/`Delete`/`Get`/`Len` over a small contended key set, and
+/// accounts `Deposit`/`Withdraw` (sometimes overdrawing)/`Balance`.
+///
+/// Timed plan entries are installed into the simulator's event queue as
+/// [`ScheduledEvent::Custom`] markers before the first step; step-keyed
+/// entries (the legacy-script shim) fire at the top of the matching step,
+/// exactly where the retired driver applied its `FaultScript`.
+///
+/// # Panics
+///
+/// Panics if the spec has no objects or no client nodes, or if `kinds` is
+/// not parallel to `spec.objects`.
+pub fn run_plan_typed(
+    sys: &System,
+    spec: &WorkloadSpec,
+    plan: &FaultPlan,
+    kinds: &[ModelKind],
+) -> RunOutcome {
     assert!(!spec.objects.is_empty(), "workload needs objects");
     assert!(!spec.client_nodes.is_empty(), "workload needs client nodes");
+    assert_eq!(
+        kinds.len(),
+        spec.objects.len(),
+        "one ModelKind per workload object"
+    );
     let mut metrics = RunMetrics::default();
     let mut history =
         History::with_capacity(spec.total_actions() * (spec.ops_per_action + 1) + plan.len());
-    let ops = Ops {
-        write: Bytes::from(CounterOp::Add(1).encode()),
-        read: Bytes::from(CounterOp::Get.encode()),
-    };
+    let mut ops = OpGen::new(kinds.to_vec());
     let mut machines: Vec<Machine> = (0..spec.clients)
         .map(|i| {
             let node = spec.client_nodes[i % spec.client_nodes.len()];
@@ -109,7 +209,7 @@ pub fn run_plan(sys: &System, spec: &WorkloadSpec, plan: &FaultPlan) -> RunOutco
             .schedule_in(offset, ScheduledEvent::Custom(idx as u64));
     }
 
-    // Same generous bound as the legacy driver.
+    // Generous upper bound: every action takes ops+2 steps plus retries.
     let max_steps = (spec.total_actions() as u64) * (spec.ops_per_action as u64 + 3) * 4 + 1000;
 
     // Nodes whose recovery protocol still has deferred work; retried every
@@ -179,7 +279,7 @@ pub fn run_plan(sys: &System, spec: &WorkloadSpec, plan: &FaultPlan) -> RunOutco
             step_machine(
                 sys,
                 spec,
-                &ops,
+                &mut ops,
                 &mut machines[idx],
                 &mut metrics,
                 &mut history,
@@ -223,6 +323,9 @@ fn apply_plan_action(
 ) {
     match action {
         PlanAction::CrashNode(node) => sys.sim().crash(*node),
+        PlanAction::CrashAfterSends(node, budget) => {
+            sys.sim().crash_after_sends(*node, *budget);
+        }
         PlanAction::RecoverNode(node) => {
             recovering.push(*node);
             sys.recovery().recover_node(*node);
@@ -263,7 +366,7 @@ fn apply_plan_action(
 fn step_machine(
     sys: &System,
     spec: &WorkloadSpec,
-    ops: &Ops,
+    ops: &mut OpGen,
     m: &mut Machine,
     metrics: &mut RunMetrics,
     history: &mut History,
@@ -284,7 +387,8 @@ fn step_machine(
             metrics.attempts += 1;
             sim.account_reset(account);
             let read_only = sim.chance(spec.read_fraction);
-            let uid = spec.objects[sim.random_below(spec.objects.len() as u64) as usize];
+            let object_index = sim.random_below(spec.objects.len() as u64) as usize;
+            let uid = spec.objects[object_index];
             let action = m.client.begin();
             let outcome = if read_only {
                 m.client.activate_read_only(action, uid, spec.replicas)
@@ -300,6 +404,7 @@ fn step_machine(
                     m.phase = Phase::Running {
                         action,
                         group: Box::new(group),
+                        object_index,
                         ops_left: spec.ops_per_action,
                         read_only,
                     };
@@ -320,30 +425,37 @@ fn step_machine(
         Phase::Running {
             action,
             group,
+            object_index,
             ops_left,
             read_only,
         } => {
             if ops_left > 0 {
-                let result = if read_only {
-                    m.client.invoke_read(action, &group, &ops.read)
+                let kind = ops.kind_of(object_index);
+                let op = if read_only {
+                    ops.read_op(sim, kind)
                 } else {
-                    m.client.invoke(action, &group, &ops.write)
+                    ops.write_op(sim, kind)
+                };
+                let result = if read_only {
+                    m.client.invoke_read(action, &group, &op)
+                } else {
+                    m.client.invoke(action, &group, &op)
                 };
                 match result {
                     Ok(reply) => {
-                        let op = if read_only { &ops.read } else { &ops.write };
                         history.invoked(
                             sim.now(),
                             m.idx,
                             action.raw(),
                             group.uid,
-                            op.clone(),
+                            op,
                             reply,
                             !read_only,
                         );
                         m.phase = Phase::Running {
                             action,
                             group,
+                            object_index,
                             ops_left: ops_left - 1,
                             read_only,
                         };
@@ -449,8 +561,9 @@ pub struct Scenario {
     pub nodes: usize,
     /// Nodes serving *and* storing every object (`Sv = St`).
     pub server_nodes: Vec<NodeId>,
-    /// How many counter objects to create.
-    pub objects: usize,
+    /// The objects to create: one per entry, of the given class. Mixed
+    /// classes are fine — each gets its own sequential oracle model.
+    pub objects: Vec<ModelKind>,
     /// The workload shape; `objects` is filled in per run.
     pub workload: WorkloadSpec,
     /// Seed → concrete fault schedule.
@@ -516,7 +629,7 @@ impl fmt::Display for ScenarioReport {
     }
 }
 
-/// Runs one scenario under one seed: build the world, create the counters,
+/// Runs one scenario under one seed: build the world, create the objects,
 /// drive the plan, quiesce, and collect verdicts.
 pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
     let sys = System::builder(seed)
@@ -524,14 +637,12 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
         .policy(scenario.policy)
         .scheme(scenario.scheme)
         .build();
-    let uids: Vec<Uid> = (0..scenario.objects)
-        .map(|_| {
-            sys.create_object(
-                Box::new(Counter::new(0)),
-                &scenario.server_nodes,
-                &scenario.server_nodes,
-            )
-            .expect("object creation on a healthy world")
+    let uids: Vec<Uid> = scenario
+        .objects
+        .iter()
+        .map(|kind| {
+            sys.create_object(kind.fresh(), &scenario.server_nodes, &scenario.server_nodes)
+                .expect("object creation on a healthy world")
         })
         .collect();
     let mut spec = scenario.workload.clone();
@@ -553,24 +664,25 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
             failures: vec![format!("malformed plan: {e}")],
         };
     }
-    let outcome = run_plan(&sys, &spec, &plan);
+    let outcome = run_plan_typed(&sys, &spec, &plan, &scenario.objects);
     quiesce(&sys);
 
     let oracle = Oracle::new(
         uids.iter()
-            .map(|&uid| ObjectModel {
+            .zip(&scenario.objects)
+            .map(|(&uid, &kind)| ObjectModel {
                 uid,
-                initial: 0,
+                kind,
                 full_strength: scenario.server_nodes.len(),
             })
             .collect(),
     );
     let mut oracle_report = if scenario.checks.replay {
         let mut report = oracle.replay(&outcome.history);
-        let expected = report.final_values.clone();
+        let expected = report.final_states.clone();
         report
             .violations
-            .extend(check_counter_states(&sys, &expected));
+            .extend(check_final_states(&sys, &expected));
         report
     } else {
         OracleReport::default()
@@ -634,6 +746,10 @@ fn quiesce(sys: &System) {
     for node in sim.nodes() {
         if !sim.is_up(node) {
             sys.recovery().recover_node(node);
+        } else {
+            // Disarm scripted fault points that never fired (a pending
+            // `CrashAfterSends` budget must not crash a node mid-quiesce).
+            sim.recover(node);
         }
     }
     // One node's refresh may need another node up first: iterate to a
@@ -663,19 +779,10 @@ fn quiesce(sys: &System) {
     }
 }
 
-/// Legacy-driver equivalence helper: runs `spec` through the old
-/// [`Driver`] with a step-keyed script for comparison in tests.
-pub fn run_legacy_script(
-    sys: &System,
-    spec: &WorkloadSpec,
-    script: groupview_workload::FaultScript,
-) -> RunMetrics {
-    Driver::new(sys, spec.clone()).with_faults(script).run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nemesis;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
@@ -688,7 +795,7 @@ mod tests {
             scheme: BindingScheme::Standard,
             nodes: 7,
             server_nodes: vec![n(1), n(2), n(3)],
-            objects: 2,
+            objects: vec![ModelKind::COUNTER; 2],
             workload: WorkloadSpec::new(vec![], vec![n(4), n(5), n(6)])
                 .clients(3)
                 .actions_per_client(4)
@@ -787,5 +894,65 @@ mod tests {
         let reports = run_matrix(&scs, &[1, 2, 3]);
         assert_eq!(reports.len(), 6);
         assert!(reports.iter().all(|r| r.passed()));
+    }
+
+    #[test]
+    fn kv_and_account_workloads_verify_fault_free() {
+        let mut sc = scenario("typed/fault_free", Box::new(|_| FaultPlan::new()));
+        sc.objects = vec![ModelKind::KvMap, ModelKind::Account { initial: 10 }];
+        let report = run_scenario(&sc, 7);
+        assert!(report.passed(), "{report}");
+        assert!(report.oracle.replayed_ops > 0);
+    }
+
+    #[test]
+    fn kv_and_account_workloads_verify_under_crashes() {
+        let mut sc = scenario(
+            "typed/rolling",
+            Box::new(|seed| {
+                nemesis::rolling_crashes(
+                    seed,
+                    &[n(2), n(3)],
+                    SimDuration::from_millis(2),
+                    SimDuration::from_millis(25),
+                    SimDuration::from_millis(10),
+                    2,
+                )
+            }),
+        );
+        sc.objects = vec![
+            ModelKind::KvMap,
+            ModelKind::Account { initial: 5 },
+            ModelKind::COUNTER,
+        ];
+        for seed in [1, 2, 3] {
+            let report = run_scenario(&sc, seed);
+            assert!(report.passed(), "{report}");
+        }
+    }
+
+    #[test]
+    fn crash_after_sends_plan_action_fires_mid_exchange() {
+        // Arm the scripted Figure-1 fault point on a server early in the
+        // run: the node must actually crash (after its k-th send attempt),
+        // recover later, and the run must still verify.
+        let mut sc = scenario(
+            "figure1/window",
+            Box::new(|_| {
+                FaultPlan::new()
+                    .at(
+                        SimDuration::from_millis(2),
+                        PlanAction::CrashAfterSends(n(2), 3),
+                    )
+                    .at(SimDuration::from_millis(40), PlanAction::RecoverNode(n(2)))
+            }),
+        );
+        sc.checks.expect_commits = true;
+        let report = run_scenario(&sc, 13);
+        assert!(report.passed(), "{report}");
+        assert!(
+            report.crashes >= 1,
+            "the armed send-window crash fired: {report}"
+        );
     }
 }

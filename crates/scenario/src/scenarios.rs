@@ -1,15 +1,20 @@
 //! Canned scenarios: the matrix CI runs across seeds.
 //!
-//! Ten scenarios over one topology (7 nodes: node 0 names, nodes 1–3 serve
-//! and store, nodes 4–6 host clients) covering all three replication
-//! policies, all fault families (crashes, rolling crashes, partitions,
-//! flapping partitions, message loss, client churn, recovery storms), and
-//! three binding schemes. Every scenario demands the oracle's
-//! sequential-replay equivalence and the paper's post-recovery invariants;
-//! scenarios where active replication should fully mask the injected
-//! faults additionally demand a zero failure-caused abort count.
+//! Fourteen scenarios over one topology (7 nodes: node 0 names, nodes 1–3
+//! serve and store, nodes 4–6 host clients) covering all three replication
+//! policies, all fault families (crashes, rolling crashes, send-window
+//! crashes in the paper's Figure 1 window, partitions, flapping
+//! partitions, message loss, client churn, recovery storms), three binding
+//! schemes, and all three object classes (counters everywhere; the
+//! send-window scenarios also drive a KvMap and an Account so the oracle
+//! checks every operation type under mid-exchange crashes). Every scenario
+//! demands the oracle's sequential-replay equivalence and the paper's
+//! post-recovery invariants; scenarios where active replication should
+//! fully mask the injected faults additionally demand a zero
+//! failure-caused abort count.
 
 use crate::nemesis;
+use crate::oracle::ModelKind;
 use crate::plan::{FaultPlan, PlanAction};
 use crate::runner::{Checks, Scenario};
 use groupview_core::BindingScheme;
@@ -40,7 +45,7 @@ fn base(name: &'static str, policy: ReplicationPolicy) -> Scenario {
         scheme: BindingScheme::Standard,
         nodes: 7,
         server_nodes: servers(),
-        objects: 2,
+        objects: vec![ModelKind::COUNTER; 2],
         workload: base_workload(),
         plan: Box::new(|_| FaultPlan::new()),
         checks: Checks::default(),
@@ -209,6 +214,49 @@ pub fn canned_scenarios() -> Vec<Scenario> {
     sc.checks.expect_commits = false;
     scenarios.push(sc);
 
+    // 12–14. The paper's Figure 1 window, one scenario per policy: servers
+    // are armed to crash after a seeded number of send *attempts*, so the
+    // crash lands mid-exchange (mid-multicast, mid-reply) — under active
+    // replication mid-fan-out divergence must be masked; under
+    // coordinator-cohort the cohorts must take over without replaying or
+    // losing updates; under single-copy the affected actions abort but
+    // must never corrupt state. Each drives a KvMap *and* an Account (plus
+    // a counter), so the oracle's per-operation-type checks — previous
+    // values on Put, REFUSED overdrafts — all run in the crash window.
+    for (name, policy) in [
+        ("active/send_window_crashes", ReplicationPolicy::Active),
+        (
+            "cohort/send_window_crashes",
+            ReplicationPolicy::CoordinatorCohort,
+        ),
+        (
+            "single_copy/send_window_crashes",
+            ReplicationPolicy::SingleCopyPassive,
+        ),
+    ] {
+        let mut sc = base(name, policy);
+        sc.objects = vec![
+            ModelKind::KvMap,
+            ModelKind::Account { initial: 10 },
+            ModelKind::COUNTER,
+        ];
+        sc.plan = Box::new(|seed| {
+            // Long armed windows (20 of 24ms) and small budgets so the
+            // scripted crash reliably fires inside a message exchange.
+            nemesis::send_window_crashes(
+                seed,
+                &[n(1), n(2), n(3)],
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(24),
+                SimDuration::from_millis(20),
+                3,
+                3,
+            )
+        });
+        sc.checks.expect_commits = false; // an armed coordinator can blanket a short run
+        scenarios.push(sc);
+    }
+
     scenarios
 }
 
@@ -228,6 +276,17 @@ mod tests {
                 scenarios.iter().any(|s| s.policy == policy),
                 "no scenario covers {policy:?}"
             );
+            // Every policy gets a Figure-1 send-window scenario driving a
+            // KvMap and an Account alongside a counter.
+            let sw = scenarios
+                .iter()
+                .find(|s| s.policy == policy && s.name.ends_with("send_window_crashes"))
+                .unwrap_or_else(|| panic!("no send-window scenario for {policy:?}"));
+            assert!(sw.objects.contains(&ModelKind::KvMap));
+            assert!(sw
+                .objects
+                .iter()
+                .any(|k| matches!(k, ModelKind::Account { .. })));
         }
         // Names are unique (reports would be ambiguous otherwise).
         let mut names: Vec<_> = scenarios.iter().map(|s| s.name).collect();

@@ -1,17 +1,25 @@
-//! `FaultScript` → `FaultPlan` conversion preserves semantics: the scenario
-//! runner driving a converted script reproduces the legacy
-//! `groupview_workload::Driver` run **bit for bit** — same commits, same
-//! abort taxonomy, same message counts, same step count — on the existing
-//! fault workloads (including the crash-masking test's exact
-//! configuration). This is what lets the time-keyed plan subsume the
-//! step-keyed script path without behavior change.
+//! Runner-vs-recorded-metrics regression.
+//!
+//! Before `workload::Driver` was deleted, this suite ran the legacy driver
+//! and the scenario runner side by side on identical worlds and asserted
+//! **bit-for-bit** equality of every externally observable metric — the
+//! proof that the unified run loop reproduced the old one exactly. The
+//! legacy driver's measured fingerprints from that final green run are
+//! recorded below; the runner (driving the converted `FaultScript`s
+//! through `FaultPlan::from`) must keep reproducing them. Any drift means
+//! the unified loop no longer matches what the retired driver did — the
+//! same signal the live comparison gave, without keeping dead code around.
+//!
+//! (If a deliberate engine or RNG change invalidates these numbers,
+//! re-record them from a run you have verified by other means, and say so
+//! in the commit.)
 
 use groupview_core::BindingScheme;
 use groupview_replication::{Counter, ReplicationPolicy, System};
 use groupview_scenario::{run_plan, FaultPlan};
 use groupview_sim::NodeId;
 use groupview_store::Uid;
-use groupview_workload::{Driver, FaultAction, FaultScript, RunMetrics, WorkloadSpec};
+use groupview_workload::{FaultAction, FaultScript, RunMetrics, WorkloadSpec};
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
@@ -43,9 +51,9 @@ fn spec(objects: Vec<Uid>) -> WorkloadSpec {
         .ops_per_action(2)
 }
 
-/// Every externally observable metric the two paths must agree on.
-fn fingerprint(m: &RunMetrics) -> Vec<u64> {
-    vec![
+/// Every externally observable metric the runner must reproduce.
+fn fingerprint(m: &RunMetrics) -> [u64; 15] {
+    [
         m.attempts,
         m.commits,
         m.aborts,
@@ -64,87 +72,156 @@ fn fingerprint(m: &RunMetrics) -> Vec<u64> {
     ]
 }
 
-fn assert_parity(policy: ReplicationPolicy, scheme: BindingScheme, seed: u64, script: FaultScript) {
-    // Two identical worlds from the same seed: one driven by the legacy
-    // step-keyed driver, one by the scenario runner through the shim.
-    let (sys_a, uids_a) = world(policy, scheme, seed);
-    let legacy = Driver::new(&sys_a, spec(uids_a))
-        .with_faults(script.clone())
-        .run();
+/// The legacy `Driver`'s measured run, recorded at the moment of its
+/// retirement: metric fingerprint, delivered messages, crashes, timeouts,
+/// and the virtual end time in microseconds.
+struct Recorded {
+    fingerprint: [u64; 15],
+    delivered: u64,
+    crashes: u64,
+    timeouts: u64,
+    end_time_us: u64,
+}
 
-    let (sys_b, uids_b) = world(policy, scheme, seed);
-    let outcome = run_plan(&sys_b, &spec(uids_b), &FaultPlan::from(script));
-
+fn assert_reproduces(
+    policy: ReplicationPolicy,
+    scheme: BindingScheme,
+    seed: u64,
+    script: FaultScript,
+    recorded: &Recorded,
+) {
+    let (sys, uids) = world(policy, scheme, seed);
+    let outcome = run_plan(&sys, &spec(uids), &FaultPlan::from(script));
+    let m = &outcome.metrics;
     assert_eq!(
-        fingerprint(&legacy),
-        fingerprint(&outcome.metrics),
-        "legacy: {legacy}\nplan:   {}",
-        outcome.metrics
+        fingerprint(m),
+        recorded.fingerprint,
+        "runner drifted from the recorded legacy-driver metrics: {m}"
     );
-    assert_eq!(legacy.net.delivered, outcome.metrics.net.delivered);
-    assert_eq!(legacy.net.crashes, outcome.metrics.net.crashes);
-    assert_eq!(legacy.net.timeouts, outcome.metrics.net.timeouts);
+    assert_eq!(m.net.delivered, recorded.delivered);
+    assert_eq!(m.net.crashes, recorded.crashes);
+    assert_eq!(m.net.timeouts, recorded.timeouts);
     assert_eq!(
-        sys_a.sim().now(),
-        sys_b.sim().now(),
-        "both paths end at the same virtual time"
+        sys.sim().now().as_micros(),
+        recorded.end_time_us,
+        "virtual end time drifted"
     );
 }
 
 /// The crash-masking test's exact configuration (seed 13, crash node 2 at
 /// step 5): the converted plan must mask the crash identically.
 #[test]
-fn crash_masking_script_converts_without_behavior_change() {
-    assert_parity(
+fn crash_masking_run_matches_recorded_driver_metrics() {
+    assert_reproduces(
         ReplicationPolicy::Active,
         BindingScheme::Standard,
         13,
         FaultScript::new().at(5, FaultAction::CrashNode(n(2))),
+        &Recorded {
+            fingerprint: [12, 8, 4, 0, 0, 0, 4, 4, 0, 0, 0, 0, 0, 0, 15],
+            delivered: 252,
+            crashes: 1,
+            timeouts: 4,
+            end_time_us: 282_922,
+        },
     );
 }
 
 #[test]
-fn single_copy_crash_script_converts_without_behavior_change() {
-    assert_parity(
+fn single_copy_crash_run_matches_recorded_driver_metrics() {
+    assert_reproduces(
         ReplicationPolicy::SingleCopyPassive,
         BindingScheme::Standard,
         11,
         FaultScript::new().at(3, FaultAction::CrashNode(n(1))),
+        &Recorded {
+            fingerprint: [12, 8, 4, 0, 0, 0, 4, 2, 2, 0, 0, 0, 0, 0, 16],
+            delivered: 216,
+            crashes: 1,
+            timeouts: 12,
+            end_time_us: 419_388,
+        },
     );
 }
 
 #[test]
-fn client_crash_and_sweep_script_converts_without_behavior_change() {
-    assert_parity(
+fn client_crash_and_sweep_run_matches_recorded_driver_metrics() {
+    assert_reproduces(
         ReplicationPolicy::Active,
         BindingScheme::IndependentTopLevel,
         12,
         FaultScript::new()
             .at(2, FaultAction::CrashClient(0))
             .at(8, FaultAction::CleanupSweep),
+        &Recorded {
+            fingerprint: [9, 7, 2, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 2, 17],
+            delivered: 288,
+            crashes: 0,
+            timeouts: 0,
+            end_time_us: 231_098,
+        },
     );
 }
 
 #[test]
-fn recovery_script_converts_without_behavior_change() {
-    assert_parity(
+fn recovery_run_matches_recorded_driver_metrics() {
+    assert_reproduces(
         ReplicationPolicy::Active,
         BindingScheme::Standard,
         13,
         FaultScript::new()
             .at(2, FaultAction::CrashNode(n(3)))
             .at(10, FaultAction::RecoverNode(n(3))),
+        &Recorded {
+            fingerprint: [12, 7, 5, 0, 0, 0, 5, 5, 0, 0, 0, 0, 0, 0, 15],
+            delivered: 382,
+            crashes: 1,
+            timeouts: 4,
+            end_time_us: 364_327,
+        },
     );
 }
 
 #[test]
-fn fault_free_runs_convert_without_behavior_change() {
-    for seed in [9, 42, 77] {
-        assert_parity(
+fn fault_free_runs_match_recorded_driver_metrics() {
+    for (seed, recorded) in [
+        (
+            9,
+            Recorded {
+                fingerprint: [12, 8, 4, 0, 0, 0, 4, 4, 0, 0, 0, 0, 0, 0, 17],
+                delivered: 282,
+                crashes: 0,
+                timeouts: 0,
+                end_time_us: 231_785,
+            },
+        ),
+        (
+            42,
+            Recorded {
+                fingerprint: [12, 10, 2, 0, 0, 0, 2, 2, 0, 0, 0, 0, 0, 0, 17],
+                delivered: 318,
+                crashes: 0,
+                timeouts: 0,
+                end_time_us: 264_038,
+            },
+        ),
+        (
+            77,
+            Recorded {
+                fingerprint: [12, 9, 3, 0, 0, 0, 3, 3, 0, 0, 0, 0, 0, 0, 17],
+                delivered: 300,
+                crashes: 0,
+                timeouts: 0,
+                end_time_us: 249_361,
+            },
+        ),
+    ] {
+        assert_reproduces(
             ReplicationPolicy::CoordinatorCohort,
             BindingScheme::Standard,
             seed,
             FaultScript::new(),
+            &recorded,
         );
     }
 }

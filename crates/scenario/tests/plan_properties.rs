@@ -6,8 +6,8 @@
 //! * the `FaultScript` → `FaultPlan` conversion shim is lossless.
 
 use groupview_scenario::{
-    client_churn, flapping_partition, lossy_window, recovery_storm, rolling_crashes, FaultPlan,
-    PlanAction, Trigger,
+    client_churn, flapping_partition, lossy_window, recovery_storm, rolling_crashes,
+    send_window_crashes, FaultPlan, PlanAction, Trigger,
 };
 use groupview_sim::{NodeId, SimDuration};
 use groupview_workload::{FaultAction, FaultScript};
@@ -122,6 +122,49 @@ proptest! {
         victims.dedup();
         prop_assert_eq!(victims.len(), before);
         prop_assert_eq!(before, kills);
+    }
+
+    #[test]
+    fn send_window_crashes_always_well_formed(
+        seed in 0u64..1_000_000,
+        k in 1usize..5,
+        start in 0u64..10_000,
+        period in 2u64..50_000,
+        max_budget in 1u32..8,
+        rounds in 0usize..12,
+    ) {
+        let downtime = 1 + period / 2;
+        let plan = send_window_crashes(
+            seed,
+            &nodes(k),
+            SimDuration::from_micros(start),
+            SimDuration::from_micros(period + 2),
+            SimDuration::from_micros(downtime),
+            max_budget,
+            rounds,
+        );
+        plan.validate().expect("send_window_crashes must be well-formed");
+        prop_assert!(plan.is_time_sorted(), "nemesis offsets must be monotone");
+        prop_assert_eq!(plan.len(), rounds * 2, "an arm and a recover per round");
+        // Every armed budget is drawn from 1..=max_budget, and every arm is
+        // followed by a recover of the same node (CrashAfterSends
+        // well-formedness: never a zero budget, never armed-while-down).
+        for ev in plan.events() {
+            if let PlanAction::CrashAfterSends(_, budget) = ev.action {
+                prop_assert!((1..=max_budget).contains(&budget));
+            }
+        }
+        let arms = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, PlanAction::CrashAfterSends(..)))
+            .count();
+        let recovers = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, PlanAction::RecoverNode(_)))
+            .count();
+        prop_assert_eq!(arms, recovers);
     }
 
     #[test]

@@ -166,12 +166,14 @@ impl Sim {
 
     /// Recovers a crashed node. The node's volatile state stays lost (its
     /// epoch was bumped at crash time); stable storage is unaffected.
-    /// Idempotent.
+    /// Idempotent. Also disarms a pending [`Sim::crash_after_sends`] fault
+    /// point that never fired — "recover" returns the node to a healthy
+    /// state, scripted faults included.
     pub fn recover(&self, n: NodeId) {
         let mut core = self.inner.borrow_mut();
+        core.nodes[n.index()].crash_after_sends = None;
         if !core.nodes[n.index()].up {
             core.nodes[n.index()].up = true;
-            core.nodes[n.index()].crash_after_sends = None;
             core.counters.recoveries += 1;
             let at = core.clock;
             core.trace(TraceEvent::Recover { at, node: n });
@@ -179,11 +181,19 @@ impl Sim {
     }
 
     /// Scripted fault point: node `n` crashes immediately after completing
-    /// its next `k` successful sends.
+    /// its next `k` send *attempts*.
+    ///
+    /// Every attempt the node actually makes counts — delivered, randomly
+    /// dropped, partitioned, or addressed to a crashed receiver — because in
+    /// all of those cases the sender did hand the message to the network
+    /// before the budget ticks down. (Attempts refused because the sender
+    /// itself is already down are not sends at all.)
     ///
     /// This reproduces the paper's Figure 1 scenario ("B fails during
     /// delivery of the reply to GA" such that A1 receives the reply but A2
-    /// does not): set `k = 1` before `B` sprays its replies.
+    /// does not): set `k = 1` before `B` sprays its replies. Counting
+    /// attempts rather than deliveries keeps the crash at the scripted spot
+    /// even when a lossy network swallows some of the sends.
     pub fn crash_after_sends(&self, n: NodeId, k: u32) {
         self.inner.borrow_mut().nodes[n.index()].crash_after_sends = Some(k);
     }
@@ -338,8 +348,16 @@ impl Sim {
     /// (see [`Sim::charge_timeout`]) because only the caller knows whether it
     /// waits.
     ///
-    /// Scripted `crash_after_sends` fault points fire after a successful
-    /// send completes.
+    /// Scripted `crash_after_sends` fault points fire after the send
+    /// attempt completes, delivered or not (the sender sent either way; see
+    /// [`Sim::crash_after_sends`]).
+    ///
+    /// Loss attribution: the receiver's liveness is checked **before** the
+    /// random drop roll, so a message to a crashed receiver always counts
+    /// as `to_down_node` — a lossy network must never randomly reclassify
+    /// it as `dropped` (the scenario oracle's abort taxonomy relies on
+    /// these causes). This also means down-receiver traffic consumes no
+    /// RNG draw.
     ///
     /// # Errors
     ///
@@ -359,64 +377,12 @@ impl Sim {
             });
             return Err(NetError::NodeDown(from));
         }
-        if core.blocked.contains(&norm_pair(from, to)) {
-            core.counters.partitioned += 1;
-            core.trace(TraceEvent::Lost {
-                at,
-                from,
-                to,
-                cause: "partitioned",
-            });
-            return Err(NetError::Partitioned { from, to });
-        }
-        let p = core.cfg.net.drop_probability;
-        if p > 0.0 && core.rng.random::<f64>() < p {
-            core.counters.dropped += 1;
-            core.trace(TraceEvent::Lost {
-                at,
-                from,
-                to,
-                cause: "dropped",
-            });
-            return Err(NetError::Dropped);
-        }
-        if !core.nodes[to.index()].up {
-            core.counters.to_down_node += 1;
-            core.trace(TraceEvent::Lost {
-                at,
-                from,
-                to,
-                cause: "receiver down",
-            });
-            return Err(NetError::NodeDown(to));
-        }
-        let jitter = core.cfg.net.jitter.as_micros();
-        let extra = if jitter == 0 {
-            0
-        } else {
-            core.rng.random_range(0..=jitter)
-        };
-        let latency = core.cfg.net.base_latency + SimDuration::from_micros(extra);
-        core.clock += latency;
-        core.charge(latency, 1);
-        core.counters.delivered += 1;
-        core.counters.bytes_delivered += bytes as u64;
-        let at = core.clock;
-        core.trace(TraceEvent::Deliver {
-            at,
-            from,
-            to,
-            bytes,
-        });
-        // Fire scripted fault point after the send completed.
-        if let Some(k) = core.nodes[from.index()].crash_after_sends {
-            if k <= 1 {
-                core.crash_node(from);
-            } else {
-                core.nodes[from.index()].crash_after_sends = Some(k - 1);
-            }
-        }
-        Ok(latency)
+        // The sender is up: from here on the message has left the sender,
+        // so whatever the outcome, the attempt consumes one unit of the
+        // scripted crash-after-sends budget before returning.
+        let result = core.attempt_delivery(from, to, bytes);
+        core.consume_send_budget(from);
+        result
     }
 
     /// Charges one RPC timeout to the clock, the active account, and the
@@ -516,6 +482,80 @@ impl Sim {
 }
 
 impl SimCore {
+    /// One network attempt from an **up** sender: partition check, receiver
+    /// liveness, drop roll (in that order — attribution before randomness),
+    /// then latency and accounting on success.
+    fn attempt_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    ) -> Result<SimDuration, NetError> {
+        let at = self.clock;
+        if self.blocked.contains(&norm_pair(from, to)) {
+            self.counters.partitioned += 1;
+            self.trace(TraceEvent::Lost {
+                at,
+                from,
+                to,
+                cause: "partitioned",
+            });
+            return Err(NetError::Partitioned { from, to });
+        }
+        if !self.nodes[to.index()].up {
+            self.counters.to_down_node += 1;
+            self.trace(TraceEvent::Lost {
+                at,
+                from,
+                to,
+                cause: "receiver down",
+            });
+            return Err(NetError::NodeDown(to));
+        }
+        let p = self.cfg.net.drop_probability;
+        if p > 0.0 && self.rng.random::<f64>() < p {
+            self.counters.dropped += 1;
+            self.trace(TraceEvent::Lost {
+                at,
+                from,
+                to,
+                cause: "dropped",
+            });
+            return Err(NetError::Dropped);
+        }
+        let jitter = self.cfg.net.jitter.as_micros();
+        let extra = if jitter == 0 {
+            0
+        } else {
+            self.rng.random_range(0..=jitter)
+        };
+        let latency = self.cfg.net.base_latency + SimDuration::from_micros(extra);
+        self.clock += latency;
+        self.charge(latency, 1);
+        self.counters.delivered += 1;
+        self.counters.bytes_delivered += bytes as u64;
+        let at = self.clock;
+        self.trace(TraceEvent::Deliver {
+            at,
+            from,
+            to,
+            bytes,
+        });
+        Ok(latency)
+    }
+
+    /// Ticks down `from`'s scripted crash-after-sends budget by one attempt
+    /// and crashes the node when it reaches zero.
+    fn consume_send_budget(&mut self, from: NodeId) {
+        if let Some(k) = self.nodes[from.index()].crash_after_sends {
+            if k <= 1 {
+                self.crash_node(from);
+            } else {
+                self.nodes[from.index()].crash_after_sends = Some(k - 1);
+            }
+        }
+    }
+
     fn block_pair(&mut self, a: NodeId, b: NodeId) {
         let (a, b) = norm_pair(a, b);
         if self.blocked.insert((a, b)) {
@@ -686,6 +726,124 @@ mod tests {
         assert!(sim.deliver(b, NodeId::new(2), 1).is_ok());
         assert!(!sim.is_up(b), "b must crash after its second send");
         assert!(sim.deliver(b, NodeId::new(0), 1).is_err());
+    }
+
+    /// A message to a crashed receiver must always be attributed to
+    /// `to_down_node` — even with `drop_probability = 1.0`, when every
+    /// message that reaches the drop roll is lost. The receiver check comes
+    /// first precisely so the oracle's loss taxonomy stays causal.
+    #[test]
+    fn crashed_receiver_wins_attribution_over_certain_drop() {
+        let sim = Sim::new(
+            SimConfig::new(5)
+                .with_nodes(3)
+                .with_net(NetConfig::default().with_drop_probability(1.0))
+                .with_trace(),
+        );
+        sim.crash(NodeId::new(1));
+        assert_eq!(
+            sim.deliver(NodeId::new(0), NodeId::new(1), 1),
+            Err(NetError::NodeDown(NodeId::new(1)))
+        );
+        let c = sim.counters();
+        assert_eq!(c.to_down_node, 1, "attributed to the crashed receiver");
+        assert_eq!(c.dropped, 0, "never randomly reclassified as dropped");
+        // An up receiver still sees the certain drop.
+        assert_eq!(
+            sim.deliver(NodeId::new(0), NodeId::new(2), 1),
+            Err(NetError::Dropped)
+        );
+        assert_eq!(sim.counters().dropped, 1);
+        let trace = sim.take_trace().expect("tracing enabled");
+        let causes: Vec<&str> = trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Lost { cause, .. } => Some(*cause),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(causes, vec!["receiver down", "dropped"]);
+    }
+
+    /// Messages to a down receiver consume no RNG draw: the run's random
+    /// stream is identical whether or not down-receiver traffic happened.
+    #[test]
+    fn down_receiver_traffic_consumes_no_rng_draw() {
+        let run = |send_to_down: bool| {
+            let sim = Sim::new(
+                SimConfig::new(21)
+                    .with_nodes(3)
+                    .with_net(NetConfig::default().with_drop_probability(0.5)),
+            );
+            sim.crash(NodeId::new(2));
+            if send_to_down {
+                for _ in 0..10 {
+                    assert_eq!(
+                        sim.deliver(NodeId::new(0), NodeId::new(2), 1),
+                        Err(NetError::NodeDown(NodeId::new(2)))
+                    );
+                }
+            }
+            (0..50)
+                .map(|_| sim.deliver(NodeId::new(0), NodeId::new(1), 1).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// The scripted "crash after k sends" fires at the k-th send *attempt*:
+    /// a lossy network (here `drop_probability = 1.0`, so no send ever
+    /// succeeds) must not postpone the scripted crash.
+    #[test]
+    fn crash_after_sends_counts_failed_attempts() {
+        let sim = Sim::new(
+            SimConfig::new(7)
+                .with_nodes(3)
+                .with_net(NetConfig::default().with_drop_probability(1.0)),
+        );
+        let b = NodeId::new(1);
+        sim.crash_after_sends(b, 2);
+        assert_eq!(sim.deliver(b, NodeId::new(0), 1), Err(NetError::Dropped));
+        assert!(sim.is_up(b), "one attempt left in the budget");
+        assert_eq!(sim.deliver(b, NodeId::new(2), 1), Err(NetError::Dropped));
+        assert!(!sim.is_up(b), "b crashes at its second send attempt");
+    }
+
+    #[test]
+    fn crash_after_sends_counts_partitioned_and_down_receiver_attempts() {
+        let sim = sim3();
+        let b = NodeId::new(1);
+        sim.partition(b, NodeId::new(0));
+        sim.crash(NodeId::new(2));
+        sim.crash_after_sends(b, 3);
+        assert!(matches!(
+            sim.deliver(b, NodeId::new(0), 1),
+            Err(NetError::Partitioned { .. })
+        ));
+        assert!(sim.is_up(b));
+        assert_eq!(
+            sim.deliver(b, NodeId::new(2), 1),
+            Err(NetError::NodeDown(NodeId::new(2)))
+        );
+        assert!(sim.is_up(b));
+        sim.heal(b, NodeId::new(0));
+        assert!(sim.deliver(b, NodeId::new(0), 1).is_ok());
+        assert!(!sim.is_up(b), "third attempt exhausts the budget");
+    }
+
+    /// Attempts refused because the *sender* is down are not sends: they
+    /// must not tick an armed budget (the node is already crashed anyway,
+    /// but the recovered node must come back disarmed).
+    #[test]
+    fn recover_disarms_a_pending_send_budget() {
+        let sim = sim3();
+        let b = NodeId::new(1);
+        sim.crash_after_sends(b, 5);
+        sim.recover(b); // up + armed → disarm
+        for i in 0..10 {
+            assert!(sim.deliver(b, NodeId::new(i % 2 * 2), 1).is_ok());
+        }
+        assert!(sim.is_up(b), "recover cancelled the scripted fault point");
     }
 
     #[test]

@@ -2,26 +2,33 @@
 //!
 //! The paper contains no quantitative evaluation — its claims about the
 //! binding schemes, replication policies, and recovery protocols are
-//! qualitative. This crate turns those claims into numbers:
+//! qualitative. This crate holds the vocabulary that turns those claims
+//! into numbers:
 //!
 //! * [`WorkloadSpec`] describes a population of client applications (how
 //!   many, where they run, which objects they touch, read/write mix,
 //!   operations per action);
 //! * [`FaultScript`] schedules deterministic fault injections (node
-//!   crashes/recoveries, client crashes, cleanup sweeps) at specific driver
-//!   steps;
-//! * [`Driver`] interleaves the clients **step by step** — one bind, one
-//!   invocation, or one commit per step — so lock contention between
-//!   concurrent actions is real, then collects [`RunMetrics`];
-//! * [`Histogram`] and [`TextTable`] render the results the way the
-//!   experiment harness prints them.
+//!   crashes/recoveries, client crashes, cleanup sweeps) at specific
+//!   driver steps — the legacy step-keyed format, kept because it
+//!   converts losslessly into the scenario engine's time-keyed
+//!   `FaultPlan` (`FaultPlan::from(script)`);
+//! * [`RunMetrics`] is the record of everything a run measured — commits,
+//!   the contention-vs-failure abort taxonomy for bind/invoke/commit,
+//!   binding costs, [`Histogram`]s of per-action latency and messages;
+//! * [`TextTable`] renders results the way the experiment harness prints
+//!   them.
+//!
+//! The *execution engine* lives in `groupview-scenario`: its runner
+//! (`run_plan`) interleaves the client state machines step by step and
+//! fills in a [`RunMetrics`]. The old `workload::Driver` was retired after
+//! the runner reproduced its runs bit for bit (the scenario crate's
+//! `tests/parity.rs` pins the recorded legacy metrics).
 
-pub mod driver;
 pub mod metrics;
 pub mod spec;
 pub mod table;
 
-pub use crate::driver::{Driver, RunMetrics};
-pub use crate::metrics::Histogram;
+pub use crate::metrics::{Histogram, RunMetrics};
 pub use crate::spec::{FaultAction, FaultScript, WorkloadSpec};
 pub use crate::table::TextTable;

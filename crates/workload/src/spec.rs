@@ -3,7 +3,9 @@
 use groupview_sim::NodeId;
 use groupview_store::Uid;
 
-/// Describes a population of client applications for [`crate::Driver`].
+/// Describes a population of client applications for the scenario
+/// runner (`groupview-scenario`'s `run_plan`, the workspace's single
+/// workload execution engine).
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     /// Number of logical clients.

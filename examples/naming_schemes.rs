@@ -11,7 +11,7 @@
 
 use groupview::workload::table::fmt_pct;
 use groupview::{
-    BindingScheme, Counter, Driver, FaultAction, FaultScript, NodeId, ReplicationPolicy, System,
+    run_plan, BindingScheme, Counter, FaultAction, FaultScript, NodeId, ReplicationPolicy, System,
     WorkloadSpec,
 };
 
@@ -48,7 +48,7 @@ fn main() {
             .actions_per_client(10)
             .ops_per_action(2)
             .replicas(2);
-        let metrics = Driver::new(&sys, spec).with_faults(script).run();
+        let metrics = run_plan(&sys, &spec, &script.into()).metrics;
 
         let entry = sys.naming().server_db.entry(uids[0]).expect("entry");
         println!(

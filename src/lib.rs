@@ -60,8 +60,8 @@
 //! | [`group`] | `groupview-group` | membership views, reliable totally-ordered multicast, election |
 //! | [`core`] | `groupview-core` | **the paper's contribution**: Object Server / Object State databases, use lists, binding schemes, recovery, cleanup |
 //! | [`replication`] | `groupview-replication` | replication policies, activation, commit-time write-back, the [`System`] façade |
-//! | [`workload`] | `groupview-workload` | workload driver, fault scripts, metrics, tables |
-//! | [`scenario`] | `groupview-scenario` | chaos engine: time-keyed fault plans, seeded nemeses, history recorder, consistency oracle, scenario matrix |
+//! | [`workload`] | `groupview-workload` | workload specs, legacy fault scripts, run metrics, tables |
+//! | [`scenario`] | `groupview-scenario` | chaos + execution engine: the workload runner, time-keyed fault plans, seeded nemeses, history recorder, consistency oracle, scenario matrix, soak mode |
 //!
 //! The most common types are re-exported at the crate root.
 
@@ -84,9 +84,10 @@ pub use groupview_replication::{
     KvOp, ObjectGroup, ReplicaObject, ReplicationPolicy, System, SystemBuilder,
 };
 pub use groupview_scenario::{
-    canned_scenarios, FaultPlan, History, Oracle, OracleReport, PlanAction, Scenario,
-    ScenarioReport,
+    canned_scenarios, run_matrix, run_plan, run_plan_typed, run_scenario, run_soak, FaultPlan,
+    History, ModelKind, Oracle, OracleReport, PlanAction, Scenario, ScenarioReport, SoakConfig,
+    SoakReport,
 };
 pub use groupview_sim::{Bytes, ClientId, Codec, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
 pub use groupview_store::{ObjectState, SnapshotCodec, Stores, TypeTag, Uid, Version};
-pub use groupview_workload::{Driver, FaultAction, FaultScript, RunMetrics, WorkloadSpec};
+pub use groupview_workload::{FaultAction, FaultScript, RunMetrics, WorkloadSpec};

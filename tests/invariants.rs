@@ -12,7 +12,9 @@
 //! sweeps is run against a model (the expected committed value of each
 //! counter); the invariants are checked after every step and at the end.
 
-use groupview::scenario::{check_counter_states, check_quiescent_invariants, ObjectModel};
+use groupview::scenario::{
+    check_counter_states, check_quiescent_invariants, ModelKind, ObjectModel,
+};
 use groupview::{Counter, CounterOp, NodeId, ReplicationPolicy, System, Uid};
 use proptest::prelude::*;
 
@@ -203,7 +205,7 @@ impl World {
             .iter()
             .map(|&uid| ObjectModel {
                 uid,
-                initial: 0,
+                kind: ModelKind::COUNTER,
                 full_strength: 3,
             })
             .collect();
