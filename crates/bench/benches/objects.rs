@@ -1,0 +1,118 @@
+//! Object-boundary allocation cost: heap allocations per invocation, by
+//! replication policy, measured with a counting global allocator (every
+//! heap allocation is visible, not just wire buffers).
+//!
+//! This is the ROADMAP's "hot-path allocation" scoreboard for the
+//! `ReplicaObject` boundary. The encoder-aware object trait writes replica
+//! replies and undo snapshots through the pooled `WireEncoder` instead of
+//! returning fresh `Vec<u8>`s, and the typed `Handle` encodes the operation
+//! into a pooled frame instead of a caller-side vector — so the steady-state
+//! budgets below are **asserted**, not just printed. CI fails if the object
+//! boundary regresses into allocating again.
+//!
+//! Budgets (3 replicas, steady state, measured before/after the typed-API
+//! redesign): active invoke 18 → ≤ 16 allocs/op, coordinator-cohort
+//! 15 → ≤ 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use groupview_replication::{Counter, CounterOp, Handle, ReplicationPolicy, System};
+use groupview_sim::NodeId;
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Builds a 3-replica world and an activated typed handle, mid-action.
+fn activated(policy: ReplicationPolicy) -> (System, Handle<Counter>, groupview_actions::ActionId) {
+    let sys = System::builder(13).nodes(9).policy(policy).build();
+    let servers: Vec<NodeId> = (1..=3).map(n).collect();
+    let uid = sys
+        .create_typed(Counter::new(0), &servers, &servers)
+        .expect("create");
+    let client = sys.client(n(7));
+    let handle = uid.open(&client);
+    let action = client.begin();
+    handle.activate(action, 3).expect("activate");
+    (sys, handle, action)
+}
+
+/// Measures steady-state heap allocations per typed write invocation and
+/// asserts the policy's budget.
+fn report_policy(policy: ReplicationPolicy, budget: f64) {
+    const OPS: u64 = 1_000;
+    let (_sys, handle, action) = activated(policy);
+    // Warm up: fill the encoder pool, the dedup ring, and the undo stack's
+    // growth so the measured window is steady state.
+    for _ in 0..64 {
+        black_box(handle.invoke(action, CounterOp::Add(1)).expect("invoke"));
+    }
+    let before = allocs();
+    for _ in 0..OPS {
+        black_box(handle.invoke(action, CounterOp::Add(1)).expect("invoke"));
+    }
+    let per_op = (allocs() - before) as f64 / OPS as f64;
+    println!("objects/invoke_heap_allocs/{policy:<31} {per_op:>8.3} allocs/op (budget {budget})");
+    if std::env::var_os("OBJECTS_BENCH_NO_ASSERT").is_none() {
+        assert!(
+            per_op <= budget,
+            "{policy}: object-boundary allocations regressed: \
+             {per_op:.3} allocs/op exceeds the budget of {budget}"
+        );
+    }
+}
+
+/// The asserted scoreboard: the encoder-aware object boundary must keep
+/// per-invoke heap allocations at or under the post-redesign budgets.
+fn bench_invoke_heap_allocs(_c: &mut Criterion) {
+    report_policy(ReplicationPolicy::Active, 16.0);
+    report_policy(ReplicationPolicy::CoordinatorCohort, 13.0);
+    report_policy(ReplicationPolicy::SingleCopyPassive, 13.0);
+}
+
+/// Read path for contrast (no undo snapshot, no dirty marking).
+fn bench_read_heap_allocs(_c: &mut Criterion) {
+    const OPS: u64 = 1_000;
+    let (_sys, handle, action) = activated(ReplicationPolicy::Active);
+    for _ in 0..64 {
+        black_box(handle.invoke(action, CounterOp::Get).expect("read"));
+    }
+    let before = allocs();
+    for _ in 0..OPS {
+        black_box(handle.invoke(action, CounterOp::Get).expect("read"));
+    }
+    let per_op = (allocs() - before) as f64 / OPS as f64;
+    println!("objects/read_heap_allocs/active                  {per_op:>8.3} allocs/op");
+}
+
+criterion_group!(benches, bench_invoke_heap_allocs, bench_read_heap_allocs);
+criterion_main!(benches);

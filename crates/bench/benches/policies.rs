@@ -1,9 +1,10 @@
 //! Invocation cost per replication policy and group size (§2.3(2)) — the
-//! price of masking failures, as wall-clock throughput.
+//! price of masking failures, as wall-clock throughput. Driven through the
+//! typed `Handle` surface (the encoder-aware hot path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use groupview_actions::ActionId;
-use groupview_replication::{Counter, CounterOp, ObjectGroup, ReplicationPolicy, System};
+use groupview_replication::{Counter, CounterOp, Handle, ReplicationPolicy, System};
 use groupview_sim::wire;
 use groupview_sim::NodeId;
 use std::hint::black_box;
@@ -12,31 +13,27 @@ fn n(i: u32) -> NodeId {
     NodeId::new(i)
 }
 
-fn activated(
-    policy: ReplicationPolicy,
-    replicas: usize,
-) -> (System, groupview_replication::Client, ActionId, ObjectGroup) {
+fn activated(policy: ReplicationPolicy, replicas: usize) -> (System, Handle<Counter>, ActionId) {
     let sys = System::builder(13).nodes(9).policy(policy).build();
     let servers: Vec<NodeId> = (1..=replicas as u32).map(n).collect();
     let uid = sys
-        .create_object(Box::new(Counter::new(0)), &servers, &servers)
+        .create_typed(Counter::new(0), &servers, &servers)
         .expect("create");
     let client = sys.client(n(7));
+    let handle = uid.open(&client);
     let action = client.begin();
-    let group = client.activate(action, uid, replicas).expect("activate");
-    (sys, client, action, group)
+    handle.activate(action, replicas).expect("activate");
+    (sys, handle, action)
 }
 
 fn bench_invoke_by_policy(c: &mut Criterion) {
     let mut bench_group = c.benchmark_group("policies/invoke_3_replicas");
     for policy in ReplicationPolicy::ALL {
-        let (_sys, client, action, group) = activated(policy, 3);
+        let (_sys, handle, action) = activated(policy, 3);
         bench_group.bench_function(BenchmarkId::from_parameter(policy.to_string()), |b| {
             b.iter(|| {
-                let reply = client
-                    .invoke(action, &group, &CounterOp::Add(1).encode())
-                    .expect("invoke");
-                black_box(reply)
+                let value = handle.invoke(action, CounterOp::Add(1)).expect("invoke");
+                black_box(value)
             })
         });
     }
@@ -46,13 +43,11 @@ fn bench_invoke_by_policy(c: &mut Criterion) {
 fn bench_active_by_group_size(c: &mut Criterion) {
     let mut bench_group = c.benchmark_group("policies/active_by_size");
     for replicas in [1usize, 2, 3, 5] {
-        let (_sys, client, action, group) = activated(ReplicationPolicy::Active, replicas);
+        let (_sys, handle, action) = activated(ReplicationPolicy::Active, replicas);
         bench_group.bench_function(BenchmarkId::from_parameter(replicas), |b| {
             b.iter(|| {
-                let reply = client
-                    .invoke(action, &group, &CounterOp::Add(1).encode())
-                    .expect("invoke");
-                black_box(reply)
+                let value = handle.invoke(action, CounterOp::Add(1)).expect("invoke");
+                black_box(value)
             })
         });
     }
@@ -62,15 +57,12 @@ fn bench_active_by_group_size(c: &mut Criterion) {
 fn bench_cohort_checkpoint_cost(c: &mut Criterion) {
     let mut bench_group = c.benchmark_group("policies/cohort_by_size");
     for replicas in [1usize, 3, 5] {
-        let (_sys, client, action, group) =
-            activated(ReplicationPolicy::CoordinatorCohort, replicas);
+        let (_sys, handle, action) = activated(ReplicationPolicy::CoordinatorCohort, replicas);
         bench_group.bench_function(BenchmarkId::from_parameter(replicas), |b| {
             b.iter(|| {
                 // Each mutation checkpoints to all cohorts.
-                let reply = client
-                    .invoke(action, &group, &CounterOp::Add(1).encode())
-                    .expect("invoke");
-                black_box(reply)
+                let value = handle.invoke(action, CounterOp::Add(1)).expect("invoke");
+                black_box(value)
             })
         });
     }
@@ -79,49 +71,33 @@ fn bench_cohort_checkpoint_cost(c: &mut Criterion) {
 
 fn bench_read_vs_write(c: &mut Criterion) {
     let mut bench_group = c.benchmark_group("policies/read_vs_write");
-    let (_sys, client, action, group) = activated(ReplicationPolicy::Active, 3);
+    let (_sys, handle, action) = activated(ReplicationPolicy::Active, 3);
     bench_group.bench_function("write", |b| {
-        b.iter(|| {
-            black_box(
-                client
-                    .invoke(action, &group, &CounterOp::Add(1).encode())
-                    .expect("write"),
-            )
-        })
+        b.iter(|| black_box(handle.invoke(action, CounterOp::Add(1)).expect("write")))
     });
+    // `Get` is read-only: the handle takes the read lock automatically.
     bench_group.bench_function("read", |b| {
-        b.iter(|| {
-            black_box(
-                client
-                    .invoke_read(action, &group, &CounterOp::Get.encode())
-                    .expect("read"),
-            )
-        })
+        b.iter(|| black_box(handle.invoke(action, CounterOp::Get).expect("read")))
     });
     bench_group.finish();
 }
 
 /// Reports wire-buffer allocations per invocation, by policy (3 replicas)
-/// and for reads vs writes. One operation frame is pooled per invoke; the
-/// remaining allocations are object-level reply/snapshot encodes. CI
-/// prints these so hot-path allocation regressions show up in the logs.
+/// and for reads vs writes. The typed handle encodes the op into a pooled
+/// frame and the encoder-aware objects write replies/snapshots through the
+/// pool, so steady state is near zero; CI prints these so hot-path
+/// allocation regressions show up in the logs. (Heap-level budgets are
+/// *asserted* in the `objects` bench.)
 fn bench_invoke_allocation_counts(_c: &mut Criterion) {
     const OPS: u64 = 1_000;
-    fn report(label: String, policy: ReplicationPolicy, op: &[u8], read: bool) {
-        let (_sys, client, action, group) = activated(policy, 3);
-        let run = || {
-            if read {
-                client.invoke_read(action, &group, op).expect("invoke")
-            } else {
-                client.invoke(action, &group, op).expect("invoke")
-            }
-        };
+    fn report(label: String, policy: ReplicationPolicy, op: CounterOp) {
+        let (_sys, handle, action) = activated(policy, 3);
         for _ in 0..8 {
-            black_box(run());
+            black_box(handle.invoke(action, op).expect("invoke"));
         }
         let before = wire::stats();
         for _ in 0..OPS {
-            black_box(run());
+            black_box(handle.invoke(action, op).expect("invoke"));
         }
         let d = wire::stats().since(before);
         println!(
@@ -131,21 +107,17 @@ fn bench_invoke_allocation_counts(_c: &mut Criterion) {
             d.pool_reuses as f64 / OPS as f64,
         );
     }
-    let write = CounterOp::Add(1).encode();
-    let read = CounterOp::Get.encode();
     for policy in ReplicationPolicy::ALL {
         report(
             format!("policies/invoke_wire_allocs/{policy}"),
             policy,
-            &write,
-            false,
+            CounterOp::Add(1),
         );
     }
     report(
         "policies/read_wire_allocs/active".to_string(),
         ReplicationPolicy::Active,
-        &read,
-        true,
+        CounterOp::Get,
     );
 }
 

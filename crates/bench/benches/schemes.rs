@@ -4,27 +4,22 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use groupview_core::BindingScheme;
-use groupview_replication::{Counter, CounterOp, ReplicationPolicy, System};
+use groupview_replication::{Counter, CounterOp, ReplicationPolicy, System, TypedUid};
 use groupview_sim::NodeId;
-use groupview_store::Uid;
 use std::hint::black_box;
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
 }
 
-fn world(scheme: BindingScheme) -> (System, Uid) {
+fn world(scheme: BindingScheme) -> (System, TypedUid<Counter>) {
     let sys = System::builder(9)
         .nodes(7)
         .policy(ReplicationPolicy::Active)
         .scheme(scheme)
         .build();
     let uid = sys
-        .create_object(
-            Box::new(Counter::new(0)),
-            &[n(1), n(2), n(3)],
-            &[n(1), n(2), n(3)],
-        )
+        .create_typed(Counter::new(0), &[n(1), n(2), n(3)], &[n(1), n(2), n(3)])
         .expect("create");
     (sys, uid)
 }
@@ -34,14 +29,14 @@ fn bench_full_action(c: &mut Criterion) {
     for scheme in BindingScheme::ALL {
         let (sys, uid) = world(scheme);
         let client = sys.client(n(5));
+        let counter = uid.open(&client);
         group.bench_function(BenchmarkId::from_parameter(scheme.to_string()), |b| {
             b.iter(|| {
                 let action = client.begin();
-                let g = client.activate(action, uid, 2).expect("activate");
-                client
-                    .invoke(action, &g, &CounterOp::Add(1).encode())
-                    .expect("invoke");
+                counter.activate(action, 2).expect("activate");
+                counter.invoke(action, CounterOp::Add(1)).expect("invoke");
                 client.commit(action).expect("commit");
+                counter.forget(action);
             })
         });
     }
@@ -53,15 +48,15 @@ fn bench_read_action(c: &mut Criterion) {
     for scheme in BindingScheme::ALL {
         let (sys, uid) = world(scheme);
         let client = sys.client(n(5));
+        let counter = uid.open(&client);
         group.bench_function(BenchmarkId::from_parameter(scheme.to_string()), |b| {
             b.iter(|| {
                 let action = client.begin();
-                let g = client.activate_read_only(action, uid, 1).expect("activate");
-                let reply = client
-                    .invoke_read(action, &g, &CounterOp::Get.encode())
-                    .expect("read");
+                counter.activate_read_only(action, 1).expect("activate");
+                let value = counter.invoke(action, CounterOp::Get).expect("read");
                 client.commit(action).expect("commit");
-                black_box(reply)
+                counter.forget(action);
+                black_box(value)
             })
         });
     }
@@ -79,7 +74,7 @@ fn bench_bind_with_dead_server(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(scheme.to_string()), |b| {
             b.iter(|| {
                 let action = client.begin();
-                let g = client.activate(action, uid, 2).expect("activate");
+                let g = client.activate(action, uid.uid(), 2).expect("activate");
                 client.commit(action).expect("commit");
                 black_box(g.servers.len())
             })

@@ -727,10 +727,11 @@ fn e9_trial(seed: u64, readers: usize, policy: ExcludePolicy) -> bool {
     }
     // The writer mutates; one store crashes; commit needs Exclude.
     let writer = sys.client(n(12));
+    let counter = writer.open::<Counter>(uid);
     let action = writer.begin();
-    let group = writer.activate(action, uid, 1).expect("writer activates");
-    writer
-        .invoke(action, &group, &CounterOp::Add(1).encode())
+    counter.activate(action, 1).expect("writer activates");
+    counter
+        .invoke(action, CounterOp::Add(1))
         .expect("writer writes");
     sys.sim().crash(n(2));
     let committed = writer.commit(action).is_ok();
@@ -804,11 +805,10 @@ fn e10_trial(seed: u64, ablate: bool) -> E10Outcome {
     // Writer commits value 7 while n2 (a store) is down.
     sys.sim().crash(n(2));
     let writer = sys.client(n(3));
+    let counter = writer.open::<Counter>(uid);
     let action = writer.begin();
-    let group = writer.activate(action, uid, 1).expect("activate");
-    writer
-        .invoke(action, &group, &CounterOp::Add(7).encode())
-        .expect("write");
+    counter.activate(action, 1).expect("activate");
+    counter.invoke(action, CounterOp::Add(7)).expect("write");
     if writer.commit(action).is_err() {
         return E10Outcome::Unavailable;
     }
@@ -819,12 +819,13 @@ fn e10_trial(seed: u64, ablate: bool) -> E10Outcome {
     sys.sim().crash(n(1));
     // A new client binds and reads.
     let reader = sys.client(n(4));
+    let observer = reader.open::<Counter>(uid);
     let action = reader.begin();
-    match reader.activate_read_only(action, uid, 1) {
-        Ok(group) => match reader.invoke_read(action, &group, &CounterOp::Get.encode()) {
-            Ok(reply) => {
+    match observer.activate_read_only(action, 1) {
+        Ok(_) => match observer.invoke(action, CounterOp::Get) {
+            Ok(value) => {
                 let _ = reader.commit(action);
-                if CounterOp::decode_reply(&reply) == Some(7) {
+                if value == 7 {
                     E10Outcome::Fresh
                 } else {
                     E10Outcome::Stale
@@ -879,11 +880,10 @@ fn e11_trial(seed: u64, load: usize) -> (u64, f64) {
         .expect("create");
     sys.sim().crash(n(3));
     let writer = sys.client(n(10));
+    let counter = writer.open::<Counter>(uid);
     let action = writer.begin();
-    let group = writer.activate(action, uid, 2).expect("activate");
-    writer
-        .invoke(action, &group, &CounterOp::Add(1).encode())
-        .expect("write");
+    counter.activate(action, 2).expect("activate");
+    counter.invoke(action, CounterOp::Add(1)).expect("write");
     writer.commit(action).expect("commit excludes n3");
     assert_eq!(sys.naming().state_db.entry(uid).unwrap().len(), 2);
 
@@ -1127,28 +1127,26 @@ fn e13_safety_trial(seed: u64, scheme: BindingScheme) -> E10Outcome {
         .expect("create");
     sys.sim().crash(n(2));
     let writer = sys.client(n(3));
+    let counter = writer.open::<Counter>(uid);
     let action = writer.begin();
-    let Ok(group) = writer.activate(action, uid, 1) else {
+    if counter.activate(action, 1).is_err() {
         writer.abort(action);
         return E10Outcome::Unavailable;
-    };
-    if writer
-        .invoke(action, &group, &CounterOp::Add(7).encode())
-        .is_err()
-        || writer.commit(action).is_err()
-    {
+    }
+    if counter.invoke(action, CounterOp::Add(7)).is_err() || writer.commit(action).is_err() {
         return E10Outcome::Unavailable;
     }
     assert!(sys.try_passivate(uid));
     sys.sim().recover(n(2));
     sys.sim().crash(n(1));
     let reader = sys.client(n(4));
+    let observer = reader.open::<Counter>(uid);
     let action = reader.begin();
-    match reader.activate_read_only(action, uid, 1) {
-        Ok(group) => match reader.invoke_read(action, &group, &CounterOp::Get.encode()) {
-            Ok(reply) => {
+    match observer.activate_read_only(action, 1) {
+        Ok(_) => match observer.invoke(action, CounterOp::Get) {
+            Ok(value) => {
                 let _ = reader.commit(action);
-                if CounterOp::decode_reply(&reply) == Some(7) {
+                if value == 7 {
                     E10Outcome::Fresh
                 } else {
                     E10Outcome::Stale

@@ -208,6 +208,30 @@ impl GroupComms {
         Ok(g.view.clone())
     }
 
+    /// Like [`GroupComms::refresh_view`], but for callers that only need
+    /// the eviction side effect: no view clone is returned, so the
+    /// per-invocation fast path allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::UnknownGroup`] if the group does not exist.
+    pub fn prune_dead_members(&self, group: GroupId) -> Result<(), GroupError> {
+        let mut inner = self.inner.borrow_mut();
+        let sim = self.sim.clone();
+        let g = inner
+            .groups
+            .get_mut(&group)
+            .ok_or(GroupError::UnknownGroup(group))?;
+        let before = g.view.members.len();
+        g.view.members.retain(|&m| sim.is_up(m));
+        if g.view.members.len() != before {
+            g.view.id += 1;
+            g.stats.view_changes += 1;
+            g.members.retain(|&m, _| sim.is_up(m));
+        }
+        Ok(())
+    }
+
     /// Statistics for a group (zeroes for unknown groups).
     pub fn stats(&self, group: GroupId) -> MulticastStats {
         self.inner

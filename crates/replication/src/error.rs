@@ -99,15 +99,28 @@ pub enum InvokeError {
     /// A replica exists but holds no loaded state (activation raced a
     /// crash); the action should abort and retry.
     NotLoaded(Uid),
+    /// A typed `Handle` invoked without activating the object for this
+    /// action first (client programming error, not a system failure).
+    NotActivated(Uid),
+    /// A typed `Handle` received reply bytes that do not decode as the
+    /// class's reply type — a violation of the `ObjectType` codec contract.
+    MalformedReply(Uid),
 }
 
 impl InvokeError {
     /// Whether this failure was caused by node/replica failures (as opposed
     /// to ordinary lock contention between live clients). Workload metrics
     /// use this to tell "a crash made the action abort" apart from "two
-    /// writers raced".
+    /// writers raced". Typed-surface contract violations
+    /// ([`InvokeError::NotActivated`], [`InvokeError::MalformedReply`]) are
+    /// client bugs, not crashes, and count as neither.
     pub fn is_failure_caused(&self) -> bool {
-        !matches!(self, InvokeError::Tx(TxError::LockRefused { .. }))
+        !matches!(
+            self,
+            InvokeError::Tx(TxError::LockRefused { .. })
+                | InvokeError::NotActivated(_)
+                | InvokeError::MalformedReply(_)
+        )
     }
 }
 
@@ -121,6 +134,15 @@ impl fmt::Display for InvokeError {
             }
             InvokeError::ServerFailed(uid) => write!(f, "the server for {uid} has failed"),
             InvokeError::NotLoaded(uid) => write!(f, "replica of {uid} lost its state"),
+            InvokeError::NotActivated(uid) => {
+                write!(f, "{uid} was not activated for this action")
+            }
+            InvokeError::MalformedReply(uid) => {
+                write!(
+                    f,
+                    "reply from {uid} does not decode as its class's reply type"
+                )
+            }
         }
     }
 }
@@ -247,6 +269,14 @@ mod tests {
             .to_string()
             .contains("server"));
         assert!(InvokeError::NotLoaded(uid).to_string().contains("state"));
+        assert!(InvokeError::NotActivated(uid)
+            .to_string()
+            .contains("activated"));
+        assert!(InvokeError::MalformedReply(uid)
+            .to_string()
+            .contains("decode"));
+        assert!(!InvokeError::NotActivated(uid).is_failure_caused());
+        assert!(!InvokeError::MalformedReply(uid).is_failure_caused());
         assert!(CommitError::AllStoresFailed {
             uid,
             last: PrepareFault::Net(NetError::Timeout)

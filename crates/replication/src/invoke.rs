@@ -121,9 +121,11 @@ impl GroupMember for ReplicaMember {
             MemberReply::NotLoaded
         } else {
             match GroupMsgCodec::decode(msg) {
-                Some(m) => {
-                    MemberReply::from(self.replica.borrow_mut().invoke(&self.sim, m.op_id, &m.op))
-                }
+                Some(m) => MemberReply::from(
+                    self.replica
+                        .borrow_mut()
+                        .invoke(&self.sim, &self.wire, m.op_id, &m.op),
+                ),
                 None => MemberReply::NotLoaded,
             }
         };
@@ -198,7 +200,7 @@ impl System {
                 // refcount on its shared buffer, not a private copy.
                 let state = handle
                     .borrow_mut()
-                    .snapshot_state(&inner.sim)
+                    .snapshot_state(&inner.sim, &inner.wire)
                     .expect("checked loaded");
                 snapshot = Some((state.type_tag, state.data));
             }
@@ -233,7 +235,7 @@ impl System {
         let gid = group
             .comms_group
             .ok_or(InvokeError::AllReplicasFailed(group.uid))?;
-        let _ = inner.comms.refresh_view(gid);
+        let _ = inner.comms.prune_dead_members(gid);
         let outcome = inner
             .comms
             .multicast(gid, group.req.client_node, msg)
@@ -327,22 +329,24 @@ impl System {
             let registry = inner.registry.clone();
             let types = inner.types.clone();
             let wire = inner.wire.clone();
-            let missed_cohorts: std::rc::Rc<std::cell::RefCell<Vec<NodeId>>> =
-                std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-            let missed_in_handler = missed_cohorts.clone();
+            // Borrowed by the handler (rpc handlers are plain `FnOnce`s, not
+            // boxed), so the common no-miss case allocates nothing.
+            let missed_cohorts: std::cell::RefCell<Vec<NodeId>> =
+                std::cell::RefCell::new(Vec::new());
+            let missed_in_handler = &missed_cohorts;
             let result =
                 inner
                     .sim
                     .rpc_payload(group.req.client_node, coord, msg, 64, move |frame| {
                         let m = GroupMsgCodec::decode(frame)?;
-                        let result = replica.borrow_mut().invoke(&sim, m.op_id, &m.op);
+                        let result = replica.borrow_mut().invoke(&sim, &wire, m.op_id, &m.op);
                         if let Some(res) = &result {
                             if res.mutated {
                                 // Checkpoint the new state to every cohort:
                                 // encode ONE snapshot frame and push the same
                                 // buffer to all of them; each cohort decodes a
                                 // zero-copy view.
-                                let snapshot = replica.borrow_mut().snapshot_state(&sim);
+                                let snapshot = replica.borrow_mut().snapshot_state(&sim, &wire);
                                 if let Some(state) = snapshot {
                                     let frame = SnapshotCodec::encode(&wire, &state);
                                     for &cohort in &cohorts {
@@ -411,6 +415,7 @@ impl System {
             .ok_or(InvokeError::NotLoaded(uid))?;
         let pinned = group.pinned_incarnation(server).unwrap_or(0);
         let sim = inner.sim.clone();
+        let wire = inner.wire.clone();
         let result = inner
             .sim
             .rpc_payload(group.req.client_node, server, msg, 64, move |frame| {
@@ -425,7 +430,7 @@ impl System {
                     return None;
                 }
                 GroupMsgCodec::decode(frame)
-                    .and_then(|m| replica.borrow_mut().invoke(&sim, m.op_id, &m.op))
+                    .and_then(|m| replica.borrow_mut().invoke(&sim, &wire, m.op_id, &m.op))
             });
         match result {
             Ok(Some(res)) => Ok((res.reply, res.mutated)),

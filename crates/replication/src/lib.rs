@@ -23,8 +23,9 @@
 //! read optimisation skips the copy entirely when the object was not
 //! modified.
 //!
-//! The entry point is [`System`] (built with [`SystemBuilder`]) and its
-//! per-application [`Client`] handles:
+//! The entry point is [`System`] (built with [`SystemBuilder`]), its
+//! per-application [`Client`] handles, and the typed [`Handle`] surface
+//! ([`ObjectType`] classes — operations in, decoded replies out):
 //!
 //! ```rust
 //! use groupview_replication::{System, Counter, CounterOp};
@@ -32,15 +33,14 @@
 //! let mut sys = System::builder(7).nodes(5).build();
 //! let nodes = sys.sim().nodes();
 //! let uid = sys
-//!     .create_object(Box::new(Counter::new(0)), &nodes[1..4], &nodes[1..4])
+//!     .create_typed(Counter::new(0), &nodes[1..4], &nodes[1..4])
 //!     .expect("create");
 //!
 //! let client = sys.client(nodes[4]);
+//! let counter = uid.open(&client);
 //! let action = client.begin();
-//! let group = client.activate(action, uid, 2).expect("activate");
-//! client
-//!     .invoke(action, &group, &CounterOp::Add(5).encode())
-//!     .expect("invoke");
+//! counter.activate(action, 2).expect("activate");
+//! assert_eq!(counter.invoke(action, CounterOp::Add(5)).expect("invoke"), 5);
 //! client.commit(action).expect("commit");
 //! ```
 
@@ -51,6 +51,7 @@ pub mod object;
 pub mod policy;
 pub mod replica;
 pub mod system;
+pub mod typed;
 pub mod wire;
 pub mod writeback;
 
@@ -62,4 +63,5 @@ pub use crate::object::{
 pub use crate::policy::ReplicationPolicy;
 pub use crate::replica::{ReplicaRegistry, ServerReplica};
 pub use crate::system::{Client, System, SystemBuilder};
+pub use crate::typed::{Handle, KvReply, ObjectType, TypedUid};
 pub use crate::wire::{GroupMsg, GroupMsgCodec, MemberReply, MemberReplyCodec};

@@ -11,7 +11,7 @@
 //! little-endian byte encodings so that snapshots are deterministic and
 //! self-contained (no serialization framework needed on the wire).
 
-use groupview_sim::Bytes;
+use groupview_sim::{Bytes, WireEncoder};
 use groupview_store::TypeTag;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -53,15 +53,29 @@ impl InvokeResult {
 ///
 /// Implementations must be deterministic: active replication executes every
 /// operation at every replica and relies on identical results.
+///
+/// The trait is **encoder-aware**: replies and snapshots are written through
+/// the caller's pooled [`WireEncoder`] and returned as frozen [`Bytes`], so
+/// the object boundary allocates nothing in steady state (see
+/// `docs/OBJECTS.md` for the encoder-ownership rules). Implementations must
+/// not hold on to the encoder beyond the call.
 pub trait ReplicaObject {
     /// The stable tag identifying this class in object stores.
     fn type_tag(&self) -> TypeTag;
 
-    /// Executes one encoded operation.
-    fn invoke(&mut self, op: &[u8]) -> InvokeResult;
+    /// Executes one encoded operation, writing the reply into a frame
+    /// borrowed from `enc`. Malformed operations must be harmless reads.
+    fn invoke(&mut self, op: &[u8], enc: &WireEncoder) -> InvokeResult;
 
-    /// Encodes the full state for checkpointing / commit processing.
-    fn snapshot(&self) -> Vec<u8>;
+    /// Encodes the full state for checkpointing / commit processing into a
+    /// frame borrowed from `enc`.
+    fn snapshot(&self, enc: &WireEncoder) -> Bytes;
+
+    /// Replaces this object's state with a decoded snapshot, **in place**
+    /// (undo restores and checkpoint installs reuse the live instance
+    /// instead of decoding into a fresh box). Decoding is lenient, like the
+    /// class decoders: malformed bytes restore a well-defined default.
+    fn restore(&mut self, data: &[u8]);
 
     /// Clones the object behind the trait.
     fn boxed_clone(&self) -> Box<dyn ReplicaObject>;
@@ -195,19 +209,27 @@ impl ReplicaObject for Counter {
         Self::TYPE_TAG
     }
 
-    fn invoke(&mut self, op: &[u8]) -> InvokeResult {
+    fn invoke(&mut self, op: &[u8], enc: &WireEncoder) -> InvokeResult {
         match CounterOp::decode(op) {
-            Some(CounterOp::Get) => InvokeResult::read(self.value.to_le_bytes().to_vec()),
+            Some(CounterOp::Get) => InvokeResult::read(
+                enc.encode_with(|b| b.extend_from_slice(&self.value.to_le_bytes())),
+            ),
             Some(CounterOp::Add(d)) => {
                 self.value += d;
-                InvokeResult::wrote(self.value.to_le_bytes().to_vec())
+                InvokeResult::wrote(
+                    enc.encode_with(|b| b.extend_from_slice(&self.value.to_le_bytes())),
+                )
             }
-            None => InvokeResult::read(Vec::new()),
+            None => InvokeResult::read(Bytes::new()),
         }
     }
 
-    fn snapshot(&self) -> Vec<u8> {
-        self.value.to_le_bytes().to_vec()
+    fn snapshot(&self, enc: &WireEncoder) -> Bytes {
+        enc.encode_with(|b| b.extend_from_slice(&self.value.to_le_bytes()))
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        *self = Counter::decode(data);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplicaObject> {
@@ -348,38 +370,40 @@ impl ReplicaObject for KvMap {
         Self::TYPE_TAG
     }
 
-    fn invoke(&mut self, op: &[u8]) -> InvokeResult {
+    fn invoke(&mut self, op: &[u8], enc: &WireEncoder) -> InvokeResult {
         match KvOp::decode(op) {
-            Some(KvOp::Get(k)) => InvokeResult::read(
-                self.entries
-                    .get(&k)
-                    .cloned()
-                    .unwrap_or_default()
-                    .into_bytes(),
-            ),
+            Some(KvOp::Get(k)) => InvokeResult::read(enc.encode_with(|b| {
+                b.extend_from_slice(self.entries.get(&k).map_or("", String::as_str).as_bytes())
+            })),
             Some(KvOp::Put(k, v)) => {
                 let prev = self.entries.insert(k, v).unwrap_or_default();
-                InvokeResult::wrote(prev.into_bytes())
+                InvokeResult::wrote(enc.encode_with(|b| b.extend_from_slice(prev.as_bytes())))
             }
             Some(KvOp::Delete(k)) => {
                 let prev = self.entries.remove(&k).unwrap_or_default();
-                InvokeResult::wrote(prev.into_bytes())
+                InvokeResult::wrote(enc.encode_with(|b| b.extend_from_slice(prev.as_bytes())))
             }
             Some(KvOp::Len) => {
-                InvokeResult::read((self.entries.len() as u64).to_le_bytes().to_vec())
+                InvokeResult::read(enc.encode_with(|b| {
+                    b.extend_from_slice(&(self.entries.len() as u64).to_le_bytes())
+                }))
             }
-            None => InvokeResult::read(Vec::new()),
+            None => InvokeResult::read(Bytes::new()),
         }
     }
 
-    fn snapshot(&self) -> Vec<u8> {
-        let mut v = Vec::new();
-        v.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
-        for (k, val) in &self.entries {
-            put_str(&mut v, k);
-            put_str(&mut v, val);
-        }
-        v
+    fn snapshot(&self, enc: &WireEncoder) -> Bytes {
+        enc.encode_with(|v| {
+            v.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+            for (k, val) in &self.entries {
+                put_str(v, k);
+                put_str(v, val);
+            }
+        })
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        *self = KvMap::decode(data);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplicaObject> {
@@ -483,27 +507,32 @@ impl ReplicaObject for Account {
         Self::TYPE_TAG
     }
 
-    fn invoke(&mut self, op: &[u8]) -> InvokeResult {
+    fn invoke(&mut self, op: &[u8], enc: &WireEncoder) -> InvokeResult {
+        let reply = |v: u64| enc.encode_with(|b| b.extend_from_slice(&v.to_le_bytes()));
         match AccountOp::decode(op) {
-            Some(AccountOp::Balance) => InvokeResult::read(self.balance.to_le_bytes().to_vec()),
+            Some(AccountOp::Balance) => InvokeResult::read(reply(self.balance)),
             Some(AccountOp::Deposit(a)) => {
                 self.balance += a;
-                InvokeResult::wrote(self.balance.to_le_bytes().to_vec())
+                InvokeResult::wrote(reply(self.balance))
             }
             Some(AccountOp::Withdraw(a)) => {
                 if a > self.balance {
-                    InvokeResult::read(AccountOp::REFUSED.to_le_bytes().to_vec())
+                    InvokeResult::read(reply(AccountOp::REFUSED))
                 } else {
                     self.balance -= a;
-                    InvokeResult::wrote(self.balance.to_le_bytes().to_vec())
+                    InvokeResult::wrote(reply(self.balance))
                 }
             }
-            None => InvokeResult::read(Vec::new()),
+            None => InvokeResult::read(Bytes::new()),
         }
     }
 
-    fn snapshot(&self) -> Vec<u8> {
-        self.balance.to_le_bytes().to_vec()
+    fn snapshot(&self, enc: &WireEncoder) -> Bytes {
+        enc.encode_with(|b| b.extend_from_slice(&self.balance.to_le_bytes()))
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        *self = Account::decode(data);
     }
 
     fn boxed_clone(&self) -> Box<dyn ReplicaObject> {
@@ -515,13 +544,18 @@ impl ReplicaObject for Account {
 mod tests {
     use super::*;
 
+    fn enc() -> WireEncoder {
+        WireEncoder::new()
+    }
+
     #[test]
     fn counter_ops_roundtrip_and_apply() {
+        let enc = enc();
         let mut c = Counter::new(10);
-        let r = c.invoke(&CounterOp::Add(5).encode());
+        let r = c.invoke(&CounterOp::Add(5).encode(), &enc);
         assert!(r.mutated);
         assert_eq!(CounterOp::decode_reply(&r.reply), Some(15));
-        let r = c.invoke(&CounterOp::Get.encode());
+        let r = c.invoke(&CounterOp::Get.encode(), &enc);
         assert!(!r.mutated);
         assert_eq!(CounterOp::decode_reply(&r.reply), Some(15));
         assert_eq!(c.value(), 15);
@@ -535,29 +569,30 @@ mod tests {
     #[test]
     fn counter_snapshot_roundtrip() {
         let c = Counter::new(-42);
-        let restored = Counter::decode(&c.snapshot());
+        let restored = Counter::decode(&c.snapshot(&enc()));
         assert_eq!(restored, c);
         assert_eq!(c.type_tag(), Counter::TYPE_TAG);
     }
 
     #[test]
     fn kv_ops_roundtrip_and_apply() {
+        let enc = enc();
         let mut m = KvMap::new();
         assert!(m.is_empty());
-        let r = m.invoke(&KvOp::Put("k1".into(), "v1".into()).encode());
+        let r = m.invoke(&KvOp::Put("k1".into(), "v1".into()).encode(), &enc);
         assert!(r.mutated);
         assert!(r.reply.is_empty(), "no previous value");
-        let r = m.invoke(&KvOp::Get("k1".into()).encode());
+        let r = m.invoke(&KvOp::Get("k1".into()).encode(), &enc);
         assert!(!r.mutated);
         assert_eq!(r.reply, b"v1");
-        let r = m.invoke(&KvOp::Put("k1".into(), "v2".into()).encode());
+        let r = m.invoke(&KvOp::Put("k1".into(), "v2".into()).encode(), &enc);
         assert_eq!(r.reply, b"v1", "previous value returned");
-        let r = m.invoke(&KvOp::Len.encode());
+        let r = m.invoke(&KvOp::Len.encode(), &enc);
         assert_eq!(
             u64::from_le_bytes(r.reply.as_slice().try_into().unwrap()),
             1
         );
-        let r = m.invoke(&KvOp::Delete("k1".into()).encode());
+        let r = m.invoke(&KvOp::Delete("k1".into()).encode(), &enc);
         assert!(r.mutated);
         assert_eq!(r.reply, b"v2");
         assert_eq!(m.len(), 0);
@@ -578,26 +613,28 @@ mod tests {
 
     #[test]
     fn kv_snapshot_roundtrip() {
+        let enc = enc();
         let mut m = KvMap::new();
-        m.invoke(&KvOp::Put("a".into(), "1".into()).encode());
-        m.invoke(&KvOp::Put("b".into(), "2".into()).encode());
-        let restored = KvMap::decode(&m.snapshot());
+        m.invoke(&KvOp::Put("a".into(), "1".into()).encode(), &enc);
+        m.invoke(&KvOp::Put("b".into(), "2".into()).encode(), &enc);
+        let restored = KvMap::decode(&m.snapshot(&enc));
         assert_eq!(restored, m);
         assert_eq!(restored.get("b"), Some("2"));
     }
 
     #[test]
     fn account_ops_apply_with_overdraft_protection() {
+        let enc = enc();
         let mut a = Account::new(100);
-        let r = a.invoke(&AccountOp::Withdraw(30).encode());
+        let r = a.invoke(&AccountOp::Withdraw(30).encode(), &enc);
         assert!(r.mutated);
         assert_eq!(AccountOp::decode_reply(&r.reply), Some(70));
-        let r = a.invoke(&AccountOp::Withdraw(1000).encode());
+        let r = a.invoke(&AccountOp::Withdraw(1000).encode(), &enc);
         assert!(!r.mutated, "refused withdrawal must not mutate");
         assert_eq!(AccountOp::decode_reply(&r.reply), Some(AccountOp::REFUSED));
-        let r = a.invoke(&AccountOp::Deposit(10).encode());
+        let r = a.invoke(&AccountOp::Deposit(10).encode(), &enc);
         assert_eq!(AccountOp::decode_reply(&r.reply), Some(80));
-        let r = a.invoke(&AccountOp::Balance.encode());
+        let r = a.invoke(&AccountOp::Balance.encode(), &enc);
         assert!(!r.mutated);
         assert_eq!(a.balance(), 80);
         assert_eq!(
@@ -609,39 +646,78 @@ mod tests {
     #[test]
     fn account_snapshot_roundtrip() {
         let a = Account::new(12345);
-        assert_eq!(Account::decode(&a.snapshot()), a);
+        assert_eq!(Account::decode(&a.snapshot(&enc())), a);
     }
 
     #[test]
     fn registry_decodes_builtins() {
+        let enc = enc();
         let reg = TypeRegistry::with_builtins();
         assert!(reg.knows(Counter::TYPE_TAG));
         assert!(reg.knows(KvMap::TYPE_TAG));
         assert!(reg.knows(Account::TYPE_TAG));
         assert!(!reg.knows(TypeTag::new(99)));
         let c = Counter::new(7);
-        let mut decoded = reg.decode(Counter::TYPE_TAG, &c.snapshot()).unwrap();
-        let r = decoded.invoke(&CounterOp::Get.encode());
+        let mut decoded = reg.decode(Counter::TYPE_TAG, &c.snapshot(&enc)).unwrap();
+        let r = decoded.invoke(&CounterOp::Get.encode(), &enc);
         assert_eq!(CounterOp::decode_reply(&r.reply), Some(7));
         assert!(reg.decode(TypeTag::new(99), b"").is_none());
     }
 
     #[test]
     fn boxed_clone_is_independent() {
+        let enc = enc();
         let mut a = Counter::new(1);
         let b = a.boxed_clone();
-        a.invoke(&CounterOp::Add(1).encode());
+        a.invoke(&CounterOp::Add(1).encode(), &enc);
         assert_eq!(a.value(), 2);
-        assert_eq!(Counter::decode(&b.snapshot()).value(), 1);
+        assert_eq!(Counter::decode(&b.snapshot(&enc)).value(), 1);
+    }
+
+    #[test]
+    fn restore_replaces_state_in_place() {
+        let enc = enc();
+        let mut c = Counter::new(1);
+        c.restore(&Counter::new(9).snapshot(&enc));
+        assert_eq!(c.value(), 9);
+        c.restore(b"garbage");
+        assert_eq!(c.value(), 0, "lenient decode restores the default");
+        let mut m = KvMap::new();
+        m.invoke(&KvOp::Put("k".into(), "v".into()).encode(), &enc);
+        let snap = m.snapshot(&enc);
+        m.invoke(&KvOp::Delete("k".into()).encode(), &enc);
+        m.restore(&snap);
+        assert_eq!(m.get("k"), Some("v"));
+        let mut a = Account::new(3);
+        a.restore(&Account::new(77).snapshot(&enc));
+        assert_eq!(a.balance(), 77);
+    }
+
+    #[test]
+    fn replies_come_from_the_encoder_pool() {
+        let enc = enc();
+        let mut c = Counter::new(0);
+        drop(c.invoke(&CounterOp::Add(1).encode(), &enc));
+        assert!(enc.pooled() >= 1, "dropped reply returned to the pool");
+        let before = groupview_sim::wire::stats();
+        for _ in 0..50 {
+            drop(c.invoke(&CounterOp::Add(1).encode(), &enc));
+        }
+        assert_eq!(
+            groupview_sim::wire::stats().since(before).buffer_allocs,
+            0,
+            "steady-state replies must not allocate"
+        );
     }
 
     #[test]
     fn malformed_ops_are_harmless_reads() {
+        let enc = enc();
         let mut c = Counter::new(5);
-        assert!(!c.invoke(&[]).mutated);
+        assert!(!c.invoke(&[], &enc).mutated);
         let mut m = KvMap::new();
-        assert!(!m.invoke(&[255, 0, 0]).mutated);
+        assert!(!m.invoke(&[255, 0, 0], &enc).mutated);
         let mut a = Account::new(5);
-        assert!(!a.invoke(&[9]).mutated);
+        assert!(!a.invoke(&[9], &enc).mutated);
     }
 }

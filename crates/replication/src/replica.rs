@@ -1,23 +1,67 @@
 //! Server replicas: activated copies of persistent objects.
 
 use crate::object::{InvokeResult, ReplicaObject, TypeRegistry};
-use groupview_sim::{Bytes, NodeId, Sim};
+use groupview_sim::{Bytes, NodeId, Sim, WireEncoder};
 use groupview_store::{ObjectState, TypeTag, Uid, Version, Volatile};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+
+/// Entries kept in the per-replica operation dedup ring. Operation ids are
+/// globally monotone and a retry can only happen *inside* the invocation
+/// that issued the id (coordinator failover re-sends the in-flight frame;
+/// the simulator is single-threaded, so nothing interleaves), which makes
+/// anything but the most recent entries unreachable. Bounding the ring also
+/// bounds how many pooled reply buffers a replica pins: evicted replies
+/// return their storage to the [`WireEncoder`] pool, keeping steady-state
+/// reply encoding allocation-free.
+const APPLIED_CAP: usize = 8;
+
+/// Bounded at-most-once cache: `op_id → (reply, mutated)`, newest last.
+#[derive(Default)]
+struct AppliedRing {
+    entries: VecDeque<(u64, Bytes, bool)>,
+}
+
+impl AppliedRing {
+    fn get(&self, op_id: u64) -> Option<(&Bytes, bool)> {
+        self.entries
+            .iter()
+            .find(|(id, _, _)| *id == op_id)
+            .map(|(_, reply, mutated)| (reply, *mutated))
+    }
+
+    fn insert(&mut self, op_id: u64, reply: Bytes, mutated: bool) {
+        if let Some(slot) = self.entries.iter_mut().find(|(id, _, _)| *id == op_id) {
+            *slot = (op_id, reply, mutated);
+            return;
+        }
+        if self.entries.len() == APPLIED_CAP {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((op_id, reply, mutated));
+    }
+
+    fn remove(&mut self, op_id: u64) {
+        self.entries.retain(|(id, _, _)| *id != op_id);
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
 
 /// The loaded, volatile part of a replica.
 struct Loaded {
     obj: Box<dyn ReplicaObject>,
     base_version: Version,
-    /// Operation dedup cache: `op_id → (reply, mutated)`. Suppresses
+    /// Operation dedup cache (bounded; see [`AppliedRing`]). Suppresses
     /// re-execution when a client retries an operation after a coordinator
     /// failover that already applied it (checkpoint included the effect).
     /// Replies are shared [`Bytes`], so caching costs a refcount, not a
     /// copy.
-    applied: HashMap<u64, (Bytes, bool)>,
+    applied: AppliedRing,
 }
 
 impl fmt::Debug for Loaded {
@@ -102,7 +146,7 @@ impl ServerReplica {
             Some(Loaded {
                 obj,
                 base_version: state.version,
-                applied: HashMap::new(),
+                applied: AppliedRing::default(),
             }),
         );
         true
@@ -113,32 +157,40 @@ impl ServerReplica {
         self.state.set(sim, None);
     }
 
-    /// Executes an operation with at-most-once semantics per `op_id`.
-    /// Returns `None` when no state is loaded.
-    pub fn invoke(&mut self, sim: &Sim, op_id: u64, op: &[u8]) -> Option<InvokeResult> {
+    /// Executes an operation with at-most-once semantics per `op_id`,
+    /// writing the reply through the pooled `enc`. Returns `None` when no
+    /// state is loaded.
+    pub fn invoke(
+        &mut self,
+        sim: &Sim,
+        enc: &WireEncoder,
+        op_id: u64,
+        op: &[u8],
+    ) -> Option<InvokeResult> {
         let loaded = self.state.get_mut(sim).as_mut()?;
-        if let Some((reply, _mutated)) = loaded.applied.get(&op_id) {
+        if let Some((reply, _mutated)) = loaded.applied.get(op_id) {
             // Duplicate delivery: return the cached reply without mutating
             // (and without reporting a fresh mutation).
             return Some(InvokeResult::read(reply.clone()));
         }
-        let result = loaded.obj.invoke(op);
+        let result = loaded.obj.invoke(op, enc);
         loaded
             .applied
-            .insert(op_id, (result.reply.clone(), result.mutated));
+            .insert(op_id, result.reply.clone(), result.mutated);
         Some(result)
     }
 
     /// A snapshot of the current (possibly uncommitted) state, tagged with
     /// the replica's base (last committed) version. The returned state's
-    /// data is a shared buffer: cloning it per cohort or per store
-    /// participant shares, not copies.
-    pub fn snapshot_state(&mut self, sim: &Sim) -> Option<ObjectState> {
+    /// data is a pooled, shared buffer: cloning it per cohort or per store
+    /// participant shares, not copies, and the buffer's storage returns to
+    /// `enc`'s pool when the last clone drops.
+    pub fn snapshot_state(&mut self, sim: &Sim, enc: &WireEncoder) -> Option<ObjectState> {
         let loaded = self.state.get_mut(sim).as_mut()?;
         Some(ObjectState {
             type_tag: loaded.obj.type_tag(),
             version: loaded.base_version,
-            data: Bytes::from(loaded.obj.snapshot()),
+            data: loaded.obj.snapshot(enc),
         })
     }
 
@@ -155,7 +207,9 @@ impl ServerReplica {
     }
 
     /// Installs a coordinator checkpoint: full state plus the dedup entry
-    /// of the operation that produced it.
+    /// of the operation that produced it. A same-class loaded replica is
+    /// restored **in place** ([`ReplicaObject::restore`]); only an unloaded
+    /// (or, defensively, differently-tagged) replica decodes a fresh box.
     pub fn install_checkpoint(
         &mut self,
         sim: &Sim,
@@ -163,36 +217,40 @@ impl ServerReplica {
         op_entry: Option<(u64, Bytes, bool)>,
         types: &TypeRegistry,
     ) -> bool {
-        let Some(obj) = types.decode(state.type_tag, &state.data) else {
+        if !types.knows(state.type_tag) {
             return false;
-        };
+        }
         let cell = self.state.get_mut(sim);
-        let applied = match cell.take() {
-            Some(mut prev) => {
-                if let Some((op_id, reply, mutated)) = &op_entry {
-                    prev.applied.insert(*op_id, (reply.clone(), *mutated));
+        match cell.as_mut() {
+            Some(loaded) if loaded.obj.type_tag() == state.type_tag => {
+                loaded.obj.restore(&state.data);
+                loaded.base_version = state.version;
+                if let Some((op_id, reply, mutated)) = op_entry {
+                    loaded.applied.insert(op_id, reply, mutated);
                 }
-                prev.applied
             }
-            None => {
-                let mut m = HashMap::new();
-                if let Some((op_id, reply, mutated)) = &op_entry {
-                    m.insert(*op_id, (reply.clone(), *mutated));
+            _ => {
+                let Some(obj) = types.decode(state.type_tag, &state.data) else {
+                    return false;
+                };
+                let mut applied = AppliedRing::default();
+                if let Some((op_id, reply, mutated)) = op_entry {
+                    applied.insert(op_id, reply, mutated);
                 }
-                m
+                *cell = Some(Loaded {
+                    obj,
+                    base_version: state.version,
+                    applied,
+                });
             }
-        };
-        *cell = Some(Loaded {
-            obj,
-            base_version: state.version,
-            applied,
-        });
+        }
         true
     }
 
     /// Restores the object's data (undo of uncommitted invocations); the
     /// base version and dedup cache are preserved, but the undone
     /// operations' cache entries are dropped so a retry re-executes them.
+    /// Same-class restores happen in place, without decoding a fresh box.
     pub fn restore_data(
         &mut self,
         sim: &Sim,
@@ -201,18 +259,21 @@ impl ServerReplica {
         undone_ops: &[u64],
         types: &TypeRegistry,
     ) -> bool {
-        let Some(obj) = types.decode(tag, data) else {
+        let Some(loaded) = self.state.get_mut(sim).as_mut() else {
             return false;
         };
-        if let Some(loaded) = self.state.get_mut(sim).as_mut() {
-            loaded.obj = obj;
-            for op in undone_ops {
-                loaded.applied.remove(op);
-            }
-            true
+        if loaded.obj.type_tag() == tag {
+            loaded.obj.restore(data);
         } else {
-            false
+            let Some(obj) = types.decode(tag, data) else {
+                return false;
+            };
+            loaded.obj = obj;
         }
+        for op in undone_ops {
+            loaded.applied.remove(*op);
+        }
+        true
     }
 }
 
@@ -288,22 +349,29 @@ mod tests {
         )
     }
 
+    fn enc() -> WireEncoder {
+        WireEncoder::new()
+    }
+
     fn counter_state(v: i64) -> ObjectState {
-        ObjectState::initial(Counter::TYPE_TAG, Counter::new(v).snapshot())
+        ObjectState::initial(Counter::TYPE_TAG, Counter::new(v).snapshot(&enc()))
     }
 
     #[test]
     fn load_invoke_snapshot_cycle() {
         let (sim, types) = world();
+        let enc = enc();
         let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
         assert!(!r.is_loaded(&sim));
-        assert!(r.invoke(&sim, 1, &CounterOp::Get.encode()).is_none());
+        assert!(r.invoke(&sim, &enc, 1, &CounterOp::Get.encode()).is_none());
         assert!(r.load(&sim, &counter_state(10), &types));
         assert!(r.is_loaded(&sim));
-        let res = r.invoke(&sim, 1, &CounterOp::Add(5).encode()).unwrap();
+        let res = r
+            .invoke(&sim, &enc, 1, &CounterOp::Add(5).encode())
+            .unwrap();
         assert!(res.mutated);
         assert_eq!(CounterOp::decode_reply(&res.reply), Some(15));
-        let snap = r.snapshot_state(&sim).unwrap();
+        let snap = r.snapshot_state(&sim, &enc).unwrap();
         assert_eq!(snap.version, Version::INITIAL, "base version until commit");
         assert_eq!(Counter::decode(&snap.data).value(), 15);
         assert_eq!(r.uid(), Uid::from_raw(1));
@@ -319,7 +387,7 @@ mod tests {
         sim.crash(n);
         sim.recover(n);
         assert!(!r.is_loaded(&sim), "volatile state lost");
-        assert!(r.snapshot_state(&sim).is_none());
+        assert!(r.snapshot_state(&sim, &enc()).is_none());
         assert!(r.base_version(&sim).is_none());
     }
 
@@ -327,14 +395,15 @@ mod tests {
     fn duplicate_op_ids_execute_once() {
         let (sim, types) = world();
         let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        let enc = enc();
         r.load(&sim, &counter_state(0), &types);
         let op = CounterOp::Add(1).encode();
-        let first = r.invoke(&sim, 42, &op).unwrap();
+        let first = r.invoke(&sim, &enc, 42, &op).unwrap();
         assert!(first.mutated);
-        let dup = r.invoke(&sim, 42, &op).unwrap();
+        let dup = r.invoke(&sim, &enc, 42, &op).unwrap();
         assert!(!dup.mutated, "duplicate must not report a new mutation");
         assert_eq!(dup.reply, first.reply, "cached reply returned");
-        let check = r.invoke(&sim, 43, &CounterOp::Get.encode()).unwrap();
+        let check = r.invoke(&sim, &enc, 43, &CounterOp::Get.encode()).unwrap();
         assert_eq!(CounterOp::decode_reply(&check.reply), Some(1));
     }
 
@@ -345,7 +414,10 @@ mod tests {
         r.load(&sim, &counter_state(0), &types);
         r.mark_committed(&sim, Version::new(3));
         assert_eq!(r.base_version(&sim), Some(Version::new(3)));
-        assert_eq!(r.snapshot_state(&sim).unwrap().version, Version::new(3));
+        assert_eq!(
+            r.snapshot_state(&sim, &enc()).unwrap().version,
+            Version::new(3)
+        );
     }
 
     #[test]
@@ -354,10 +426,11 @@ mod tests {
         let mut cohort = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(1));
         cohort.load(&sim, &counter_state(0), &types);
         // Coordinator applied op 7 producing value 9; cohort installs.
+        let enc = enc();
         let chk = ObjectState {
             type_tag: Counter::TYPE_TAG,
             version: Version::INITIAL,
-            data: Counter::new(9).snapshot().into(),
+            data: Counter::new(9).snapshot(&enc),
         };
         assert!(cohort.install_checkpoint(
             &sim,
@@ -366,10 +439,14 @@ mod tests {
             &types
         ));
         // A retried op 7 at the (now promoted) cohort is deduped.
-        let res = cohort.invoke(&sim, 7, &CounterOp::Add(9).encode()).unwrap();
+        let res = cohort
+            .invoke(&sim, &enc, 7, &CounterOp::Add(9).encode())
+            .unwrap();
         assert!(!res.mutated);
         assert_eq!(CounterOp::decode_reply(&res.reply), Some(9));
-        let get = cohort.invoke(&sim, 8, &CounterOp::Get.encode()).unwrap();
+        let get = cohort
+            .invoke(&sim, &enc, 8, &CounterOp::Get.encode())
+            .unwrap();
         assert_eq!(CounterOp::decode_reply(&get.reply), Some(9));
     }
 
@@ -385,14 +462,18 @@ mod tests {
     fn restore_data_undoes_and_forgets_ops() {
         let (sim, types) = world();
         let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        let enc = enc();
         r.load(&sim, &counter_state(10), &types);
-        let before = r.snapshot_state(&sim).unwrap();
-        r.invoke(&sim, 5, &CounterOp::Add(100).encode()).unwrap();
+        let before = r.snapshot_state(&sim, &enc).unwrap();
+        r.invoke(&sim, &enc, 5, &CounterOp::Add(100).encode())
+            .unwrap();
         assert!(r.restore_data(&sim, before.type_tag, &before.data, &[5], &types));
-        let v = r.invoke(&sim, 6, &CounterOp::Get.encode()).unwrap();
+        let v = r.invoke(&sim, &enc, 6, &CounterOp::Get.encode()).unwrap();
         assert_eq!(CounterOp::decode_reply(&v.reply), Some(10));
         // Op 5 can run again after the undo.
-        let again = r.invoke(&sim, 5, &CounterOp::Add(1).encode()).unwrap();
+        let again = r
+            .invoke(&sim, &enc, 5, &CounterOp::Add(1).encode())
+            .unwrap();
         assert!(again.mutated);
     }
 
@@ -432,7 +513,7 @@ mod tests {
         assert_eq!(r.incarnation(), 1, "a load starts a new lineage");
         // Within-lineage transitions don't bump: checkpoint, undo, commit.
         r.install_checkpoint(&sim, &counter_state(9), None, &types);
-        let snap = r.snapshot_state(&sim).unwrap();
+        let snap = r.snapshot_state(&sim, &enc()).unwrap();
         r.restore_data(&sim, snap.type_tag, &snap.data, &[], &types);
         r.mark_committed(&sim, Version::new(2));
         assert_eq!(r.incarnation(), 1);

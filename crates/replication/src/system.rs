@@ -5,6 +5,7 @@ use crate::invoke::ObjectGroup;
 use crate::object::{ReplicaObject, TypeRegistry};
 use crate::policy::ReplicationPolicy;
 use crate::replica::ReplicaRegistry;
+use crate::typed::{Handle, ObjectType, TypedUid};
 use groupview_actions::{ActionId, StoreWriteParticipant, TxSystem};
 use groupview_core::{
     Binder, BindingScheme, CleanupDaemon, DbError, Directory, ExcludePolicy, NamingService,
@@ -308,7 +309,7 @@ impl System {
         assert!(!st.is_empty(), "an object needs at least one store node");
         let inner = &self.inner;
         let uid = inner.uid_gen.borrow_mut().next_uid();
-        let initial = ObjectState::initial(object.type_tag(), object.snapshot());
+        let initial = ObjectState::initial(object.type_tag(), object.snapshot(&inner.wire));
         let action = inner.tx.begin_top(inner.naming.node());
         let result = (|| {
             inner.directory.local().bind_name(action, name, uid)?;
@@ -378,7 +379,7 @@ impl System {
         assert!(!st.is_empty(), "an object needs at least one store node");
         let inner = &self.inner;
         let uid = inner.uid_gen.borrow_mut().next_uid();
-        let initial = ObjectState::initial(object.type_tag(), object.snapshot());
+        let initial = ObjectState::initial(object.type_tag(), object.snapshot(&inner.wire));
         let action = inner.tx.begin_top(inner.naming.node());
         if let Err(e) = inner
             .naming
@@ -407,6 +408,49 @@ impl System {
             cache.local().seed(uid, sv.to_vec());
         }
         Ok(uid)
+    }
+
+    /// Creates a persistent object of a typed class, returning a
+    /// [`TypedUid`] that opens class-correct [`Handle`]s without a
+    /// turbofish. The typed counterpart of [`System::create_object`].
+    ///
+    /// # Errors
+    ///
+    /// See [`System::create_object`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sv` or `st` is empty.
+    pub fn create_typed<O: ObjectType>(
+        &self,
+        initial: O,
+        sv: &[NodeId],
+        st: &[NodeId],
+    ) -> Result<TypedUid<O>, DbError> {
+        self.create_object(Box::new(initial), sv, st)
+            .map(TypedUid::assume)
+    }
+
+    /// Creates a typed persistent object *and binds a name to it* in one
+    /// atomic action. The typed counterpart of
+    /// [`System::create_named_object`].
+    ///
+    /// # Errors
+    ///
+    /// See [`System::create_named_object`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sv` or `st` is empty.
+    pub fn create_typed_named<O: ObjectType>(
+        &self,
+        name: &str,
+        initial: O,
+        sv: &[NodeId],
+        st: &[NodeId],
+    ) -> Result<TypedUid<O>, DbError> {
+        self.create_named_object(name, Box::new(initial), sv, st)
+            .map(TypedUid::assume)
     }
 
     /// Hands out a client handle running at `node`, with a fresh client id.
@@ -547,6 +591,45 @@ impl Client {
     /// Begins a top-level atomic action.
     pub fn begin(&self) -> ActionId {
         self.sys.inner.tx.begin_top(self.node)
+    }
+
+    /// The system-wide pooled wire encoder (typed handles encode operations
+    /// through it).
+    pub(crate) fn wire(&self) -> &WireEncoder {
+        &self.sys.inner.wire
+    }
+
+    /// Whether the action with this raw id is still active (typed handles
+    /// use it to prune activations of finished actions).
+    pub(crate) fn action_is_live(&self, raw: u64) -> bool {
+        self.sys.inner.tx.is_active(ActionId::from_raw(raw))
+    }
+
+    /// Opens a typed [`Handle`] for `uid`, asserting it belongs to class
+    /// `O` (see [`TypedUid::assume`] for the trust model; uids from
+    /// [`System::create_typed`] carry their class and can use
+    /// [`TypedUid::open`] instead).
+    pub fn open<O: ObjectType>(&self, uid: Uid) -> Handle<O> {
+        Handle::new(self.clone(), uid)
+    }
+
+    /// Resolves `name` through the directory, activates the object for
+    /// `action`, and returns a typed [`Handle`] with the activation already
+    /// adopted — the typed counterpart of [`Client::activate_by_name`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::activate_by_name`].
+    pub fn open_by_name<O: ObjectType>(
+        &self,
+        action: ActionId,
+        name: &str,
+        replicas: usize,
+    ) -> Result<Handle<O>, ActivateError> {
+        let group = self.activate_by_name(action, name, replicas)?;
+        let handle = self.open::<O>(group.uid);
+        handle.adopt(action, group);
+        Ok(handle)
     }
 
     /// Resolves a name through the directory (a nested action of `action`,

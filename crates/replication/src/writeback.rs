@@ -82,7 +82,7 @@ impl System {
             if handle.borrow().incarnation() != pinned {
                 continue;
             }
-            let snapshot = handle.borrow_mut().snapshot_state(&inner.sim);
+            let snapshot = handle.borrow_mut().snapshot_state(&inner.sim, &inner.wire);
             if let Some(state) = snapshot {
                 final_state = Some(state);
                 break;

@@ -3,7 +3,12 @@
 //! direct model.
 
 use groupview_replication::{Account, AccountOp, Counter, CounterOp, KvMap, KvOp, ReplicaObject};
+use groupview_sim::WireEncoder;
 use proptest::prelude::*;
+
+fn enc() -> WireEncoder {
+    WireEncoder::new()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
@@ -20,13 +25,13 @@ proptest! {
         let mut object = Counter::new(start);
         let mut model = start;
         for d in &deltas {
-            let result = object.invoke(&CounterOp::Add(*d).encode());
+            let result = object.invoke(&CounterOp::Add(*d).encode(), &enc());
             model += d;
             prop_assert_eq!(CounterOp::decode_reply(&result.reply), Some(model));
             prop_assert!(result.mutated);
         }
         // Snapshot/decode preserves the final state exactly.
-        let restored = Counter::decode(&object.snapshot());
+        let restored = Counter::decode(&object.snapshot(&enc()));
         prop_assert_eq!(restored.value(), model);
     }
 
@@ -54,26 +59,26 @@ proptest! {
         for (key, value, kind) in &ops {
             match kind {
                 0 => {
-                    let result = object.invoke(&KvOp::Put(key.clone(), value.clone()).encode());
+                    let result = object.invoke(&KvOp::Put(key.clone(), value.clone()).encode(), &enc());
                     let prev = model.insert(key.clone(), value.clone()).unwrap_or_default();
                     prop_assert_eq!(result.reply, prev.into_bytes());
                     prop_assert!(result.mutated);
                 }
                 1 => {
-                    let result = object.invoke(&KvOp::Get(key.clone()).encode());
+                    let result = object.invoke(&KvOp::Get(key.clone()).encode(), &enc());
                     let expect = model.get(key).cloned().unwrap_or_default();
                     prop_assert_eq!(result.reply, expect.into_bytes());
                     prop_assert!(!result.mutated);
                 }
                 _ => {
-                    let result = object.invoke(&KvOp::Delete(key.clone()).encode());
+                    let result = object.invoke(&KvOp::Delete(key.clone()).encode(), &enc());
                     let prev = model.remove(key).unwrap_or_default();
                     prop_assert_eq!(result.reply, prev.into_bytes());
                 }
             }
         }
         // Snapshot round-trip equals the model.
-        let restored = KvMap::decode(&object.snapshot());
+        let restored = KvMap::decode(&object.snapshot(&enc()));
         prop_assert_eq!(restored.len(), model.len());
         for (k, v) in &model {
             prop_assert_eq!(restored.get(k), Some(v.as_str()));
@@ -100,11 +105,11 @@ proptest! {
         let mut model = start;
         for (kind, amount) in &ops {
             if *kind == 0 {
-                let result = object.invoke(&AccountOp::Deposit(*amount).encode());
+                let result = object.invoke(&AccountOp::Deposit(*amount).encode(), &enc());
                 model += amount;
                 prop_assert_eq!(AccountOp::decode_reply(&result.reply), Some(model));
             } else {
-                let result = object.invoke(&AccountOp::Withdraw(*amount).encode());
+                let result = object.invoke(&AccountOp::Withdraw(*amount).encode(), &enc());
                 if *amount > model {
                     prop_assert_eq!(
                         AccountOp::decode_reply(&result.reply),
@@ -118,7 +123,7 @@ proptest! {
             }
             prop_assert_eq!(object.balance(), model);
         }
-        prop_assert_eq!(Account::decode(&object.snapshot()).balance(), model);
+        prop_assert_eq!(Account::decode(&object.snapshot(&enc())).balance(), model);
     }
 
     /// Garbage bytes never mutate any object and never panic.
@@ -127,16 +132,16 @@ proptest! {
         // Skip inputs that happen to decode as valid mutating ops.
         let mut counter = Counter::new(5);
         if CounterOp::decode(&bytes).is_none() {
-            prop_assert!(!counter.invoke(&bytes).mutated);
+            prop_assert!(!counter.invoke(&bytes, &enc()).mutated);
             prop_assert_eq!(counter.value(), 5);
         }
         let mut kv = KvMap::new();
         if KvOp::decode(&bytes).is_none() {
-            prop_assert!(!kv.invoke(&bytes).mutated);
+            prop_assert!(!kv.invoke(&bytes, &enc()).mutated);
         }
         let mut account = Account::new(5);
         if AccountOp::decode(&bytes).is_none() {
-            prop_assert!(!account.invoke(&bytes).mutated);
+            prop_assert!(!account.invoke(&bytes, &enc()).mutated);
         }
     }
 }

@@ -55,7 +55,7 @@ pub mod soak;
 pub use crate::history::{Event, EventKind, History};
 pub use crate::nemesis::{
     client_churn, flapping_partition, lossy_window, recovery_storm, rolling_crashes,
-    send_window_crashes,
+    send_window_crashes, store_commit_crashes,
 };
 pub use crate::oracle::{
     check_counter_states, check_final_states, check_quiescent_invariants, ModelKind, ObjectModel,

@@ -169,6 +169,44 @@ pub fn send_window_crashes(
     plan
 }
 
+/// The §4 two-phase-commit window, seeded: arms a
+/// [`PlanAction::CrashStoreInCommit`] trap on the given store nodes in
+/// rotation — node `k` is armed roughly `start + k·period` into the run and
+/// recovered (or disarmed, if no prepare ever reached it) `downtime` later.
+/// Because the trap fires on the store's own prepare acknowledgement, the
+/// crash lands precisely *between* the prepare and commit phases of
+/// whatever client action is writing back at that moment, leaving the store
+/// with an in-doubt transaction that only the §4 recovery protocol (via the
+/// coordinator's decision record) can resolve.
+pub fn store_commit_crashes(
+    seed: u64,
+    nodes: &[NodeId],
+    start: SimDuration,
+    period: SimDuration,
+    downtime: SimDuration,
+    rounds: usize,
+) -> FaultPlan {
+    assert!(!nodes.is_empty(), "store_commit_crashes needs nodes");
+    assert!(
+        downtime < period,
+        "downtime must fit inside the rotation period"
+    );
+    let mut rng = rng_for(seed, 7);
+    let mut plan = FaultPlan::new();
+    let slack = period.as_micros() - downtime.as_micros();
+    let mut t = start.as_micros();
+    for round in 0..rounds {
+        let node = nodes[round % nodes.len()];
+        let arm_at = t + jitter(&mut rng, slack / 2);
+        let recover_at = arm_at + downtime.as_micros();
+        plan = plan
+            .at_micros(arm_at, PlanAction::CrashStoreInCommit(node))
+            .at_micros(recover_at, PlanAction::RecoverNode(node));
+        t += period.as_micros();
+    }
+    plan
+}
+
 /// Crashes `kills` distinct clients at random times within the window and
 /// schedules periodic cleanup sweeps (plus one final sweep after the last
 /// kill) so leaked use-list entries are reclaimed.
@@ -385,6 +423,30 @@ mod tests {
                 assert!((1..=4).contains(&k), "budget {k} out of range");
             }
         }
+    }
+
+    #[test]
+    fn store_commit_crashes_arm_and_recover_in_rotation() {
+        let mk = |seed| {
+            store_commit_crashes(
+                seed,
+                &trio(),
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(8),
+                4,
+            )
+        };
+        let plan = mk(3);
+        assert_eq!(plan.len(), 8, "an arm and a recover per round");
+        plan.validate().expect("well-formed");
+        assert!(plan.is_time_sorted());
+        assert_eq!(plan, mk(3), "same seed, same plan");
+        assert_ne!(plan, mk(4), "different seed, different schedule");
+        assert!(plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, PlanAction::CrashStoreInCommit(_))));
     }
 
     #[test]

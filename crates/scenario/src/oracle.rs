@@ -22,12 +22,34 @@
 //!    `tests/invariants.rs` used to hard-code.
 
 use crate::history::{EventKind, History};
-use groupview_replication::{
-    Account, AccountOp, Counter, CounterOp, KvMap, KvOp, ReplicaObject, System,
-};
+use groupview_replication::{Account, Counter, KvMap, ObjectType, ReplicaObject, System};
+use groupview_sim::{Bytes, WireEncoder};
 use groupview_store::Uid;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Dispatches once from a runtime [`ModelKind`] to its compile-time class,
+/// so every per-class behaviour below is written exactly once, generically
+/// over [`ObjectType`] — no parallel match arms per operation.
+macro_rules! with_class {
+    ($kind:expr, $C:ident => $body:expr) => {
+        match $kind {
+            ModelKind::Counter { .. } => {
+                type $C = Counter;
+                $body
+            }
+            ModelKind::KvMap => {
+                type $C = KvMap;
+                $body
+            }
+            ModelKind::Account { .. } => {
+                type $C = Account;
+                $body
+            }
+        }
+    };
+}
+pub(crate) use with_class;
 
 /// Which object class an oracle model replays, plus its initial state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,20 +86,22 @@ impl ModelKind {
     /// Whether `op` decodes as an operation of this class (undecodable ops
     /// in a history are recorder bugs and flagged as violations).
     fn decodes(&self, op: &[u8]) -> bool {
-        match self {
-            ModelKind::Counter { .. } => CounterOp::decode(op).is_some(),
-            ModelKind::KvMap => KvOp::decode(op).is_some(),
-            ModelKind::Account { .. } => AccountOp::decode(op).is_some(),
-        }
+        with_class!(self, C => C::decode_op(op).is_some())
     }
 
     /// Human-readable decode of `op` for violation messages.
     fn describe_op(&self, op: &[u8]) -> String {
-        match self {
-            ModelKind::Counter { .. } => format!("{:?}", CounterOp::decode(op)),
-            ModelKind::KvMap => format!("{:?}", KvOp::decode(op)),
-            ModelKind::Account { .. } => format!("{:?}", AccountOp::decode(op)),
-        }
+        with_class!(self, C => C::describe_op(op))
+    }
+
+    /// Human-readable decode of a reply *in the context of its op* for
+    /// violation messages (a `Len` reply is a count, a `Get` reply a
+    /// value — only the class codec knows).
+    fn describe_reply(&self, op: &[u8], reply: &[u8]) -> String {
+        with_class!(self, C => match C::decode_op(op) {
+            Some(decoded) => format!("{:?}", C::decode_reply(&decoded, reply)),
+            None => format!("{reply:?}"),
+        })
     }
 }
 
@@ -111,7 +135,7 @@ pub struct OracleReport {
     pub replayed_ops: u64,
     /// The model's final snapshot per object — what every surviving store
     /// must hold after quiesce (I2).
-    pub final_states: Vec<(Uid, Vec<u8>)>,
+    pub final_states: Vec<(Uid, Bytes)>,
     /// Everything that did not check out (empty means the run verified).
     pub violations: Vec<String>,
 }
@@ -182,6 +206,10 @@ impl Oracle {
     /// sequential models and checks every recorded reply.
     pub fn replay(&self, history: &History) -> OracleReport {
         let mut report = OracleReport::default();
+        // The models write replies through their own pooled encoder; each
+        // expected reply is compared and dropped, so replay allocates only
+        // on its cold start.
+        let enc = WireEncoder::new();
         let mut model: HashMap<Uid, (ModelKind, Box<dyn ReplicaObject>)> = self
             .objects
             .iter()
@@ -220,15 +248,15 @@ impl Oracle {
                             continue;
                         };
                         report.replayed_ops += 1;
-                        let expected = object.invoke(&op).reply;
+                        let expected = object.invoke(&op, &enc).reply;
                         if observed.as_slice() != expected.as_slice() {
                             report.violations.push(format!(
-                                "action {} on {uid} ({kind}): {} replied {:?}, \
-                                 sequential replay expects {:?}",
+                                "action {} on {uid} ({kind}): {} replied {}, \
+                                 sequential replay expects {}",
                                 ev.action,
                                 kind.describe_op(&op),
-                                observed.as_slice(),
-                                expected.as_slice(),
+                                kind.describe_reply(&op, &observed),
+                                kind.describe_reply(&op, &expected),
                             ));
                         }
                     }
@@ -243,7 +271,7 @@ impl Oracle {
         report.final_states = self
             .objects
             .iter()
-            .map(|o| (o.uid, model[&o.uid].1.snapshot()))
+            .map(|o| (o.uid, model[&o.uid].1.snapshot(&enc)))
             .collect();
         report
     }
@@ -252,7 +280,7 @@ impl Oracle {
 /// Checks that every store listed in each object's `St` holds state bytes
 /// equal to the model's `expected` snapshot (invariant I2 after quiesce:
 /// committed effects survive).
-pub fn check_final_states(sys: &System, expected: &[(Uid, Vec<u8>)]) -> Vec<String> {
+pub fn check_final_states(sys: &System, expected: &[(Uid, Bytes)]) -> Vec<String> {
     let mut violations = Vec::new();
     for (uid, want) in expected {
         let Some(entry) = sys.naming().state_db.entry(*uid) else {
@@ -283,9 +311,10 @@ pub fn check_final_states(sys: &System, expected: &[(Uid, Vec<u8>)]) -> Vec<Stri
 /// Counter-specific convenience over [`check_final_states`]: checks that
 /// every store holds a counter state equal to `expected`.
 pub fn check_counter_states(sys: &System, expected: &[(Uid, i64)]) -> Vec<String> {
-    let snapshots: Vec<(Uid, Vec<u8>)> = expected
+    let enc = WireEncoder::new();
+    let snapshots: Vec<(Uid, Bytes)> = expected
         .iter()
-        .map(|&(uid, v)| (uid, Counter::new(v).snapshot()))
+        .map(|&(uid, v)| (uid, Counter::new(v).snapshot(&enc)))
         .collect();
     check_final_states(sys, &snapshots)
 }
@@ -342,6 +371,7 @@ pub fn check_quiescent_invariants(sys: &System, objects: &[ObjectModel]) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use groupview_replication::{AccountOp, CounterOp, KvOp, KvReply};
     use groupview_sim::{Bytes, SimTime};
 
     fn uid() -> Uid {
@@ -361,11 +391,11 @@ mod tests {
     }
 
     fn op(o: CounterOp) -> Bytes {
-        Bytes::from(o.encode())
+        Bytes::from(Counter::op_vec(&o))
     }
 
     fn reply(v: i64) -> Bytes {
-        Bytes::from(v.to_le_bytes().to_vec())
+        Bytes::from(Counter::reply_vec(&v))
     }
 
     #[test]
@@ -383,10 +413,9 @@ mod tests {
         assert!(report.is_ok(), "{report}");
         assert_eq!(report.committed_actions, 2);
         assert_eq!(report.replayed_ops, 2);
-        assert_eq!(
-            report.final_states,
-            vec![(uid(), 2i64.to_le_bytes().to_vec())]
-        );
+        assert_eq!(report.final_states.len(), 1);
+        assert_eq!(report.final_states[0].0, uid());
+        assert_eq!(report.final_states[0].1, Counter::reply_vec(&2));
         assert!(report.to_string().contains("ok"));
     }
 
@@ -425,10 +454,7 @@ mod tests {
         h.crashed(t, 0, 1, uid());
         let report = oracle().replay(&h);
         assert!(report.is_ok(), "{report}");
-        assert_eq!(
-            report.final_states,
-            vec![(uid(), 0i64.to_le_bytes().to_vec())]
-        );
+        assert_eq!(report.final_states[0].1, Counter::reply_vec(&0));
     }
 
     #[test]
@@ -466,7 +492,8 @@ mod tests {
 
     #[test]
     fn kv_replay_checks_previous_value_replies() {
-        let kv = |o: KvOp| Bytes::from(o.encode());
+        let kv = |o: KvOp| Bytes::from(KvMap::op_vec(&o));
+        let kvr = |r: &str| Bytes::from(KvMap::reply_vec(&KvReply::Value(r.into())));
         let mut h = History::new();
         let t = SimTime::ZERO;
         h.invoked(
@@ -475,7 +502,7 @@ mod tests {
             1,
             uid(),
             kv(KvOp::Put("k".into(), "v1".into())),
-            Bytes::from_static(b""),
+            kvr(""),
             true,
         );
         h.committed(t, 0, 1, uid());
@@ -486,26 +513,19 @@ mod tests {
             2,
             uid(),
             kv(KvOp::Put("k".into(), "v2".into())),
-            Bytes::from_static(b"v1"),
+            kvr("v1"),
             true,
         );
-        h.invoked(
-            t,
-            1,
-            2,
-            uid(),
-            kv(KvOp::Get("k".into())),
-            Bytes::from_static(b"v2"),
-            false,
-        );
+        h.invoked(t, 1, 2, uid(), kv(KvOp::Get("k".into())), kvr("v2"), false);
         h.committed(t, 1, 2, uid());
         let report = oracle_for(ModelKind::KvMap).replay(&h);
         assert!(report.is_ok(), "{report}");
         assert_eq!(report.replayed_ops, 3);
         // The final snapshot is the real KvMap encoding.
+        let enc = WireEncoder::new();
         let mut model = KvMap::new();
-        model.invoke(&KvOp::Put("k".into(), "v2".into()).encode());
-        assert_eq!(report.final_states, vec![(uid(), model.snapshot())]);
+        model.invoke(&KvMap::op_vec(&KvOp::Put("k".into(), "v2".into())), &enc);
+        assert_eq!(report.final_states[0].1, model.snapshot(&enc));
 
         // A lost first Put shows up in the second Put's reply.
         let mut h = History::new();
@@ -515,7 +535,7 @@ mod tests {
             1,
             uid(),
             kv(KvOp::Put("k".into(), "v1".into())),
-            Bytes::from_static(b""),
+            kvr(""),
             true,
         );
         h.committed(t, 0, 1, uid());
@@ -525,7 +545,7 @@ mod tests {
             2,
             uid(),
             kv(KvOp::Put("k".into(), "v2".into())),
-            Bytes::from_static(b""),
+            kvr(""),
             true,
         );
         h.committed(t, 1, 2, uid());
@@ -536,8 +556,8 @@ mod tests {
 
     #[test]
     fn account_replay_checks_refused_withdrawals() {
-        let acct = |o: AccountOp| Bytes::from(o.encode());
-        let r = |v: u64| Bytes::from(v.to_le_bytes().to_vec());
+        let acct = |o: AccountOp| Bytes::from(Account::op_vec(&o));
+        let r = |v: u64| Bytes::from(Account::reply_vec(&v));
         let mut h = History::new();
         let t = SimTime::ZERO;
         h.invoked(t, 0, 1, uid(), acct(AccountOp::Deposit(50)), r(60), true);
@@ -556,10 +576,7 @@ mod tests {
         let report = oracle.replay(&h);
         assert!(report.is_ok(), "{report}");
         assert_eq!(report.replayed_ops, 3);
-        assert_eq!(
-            report.final_states,
-            vec![(uid(), 60u64.to_le_bytes().to_vec())]
-        );
+        assert_eq!(report.final_states[0].1, Account::reply_vec(&60));
 
         // A refused withdrawal that "succeeded" in the history is flagged.
         let mut h = History::new();
@@ -572,14 +589,42 @@ mod tests {
 
     #[test]
     fn model_kinds_build_their_classes() {
+        let enc = WireEncoder::new();
         assert_eq!(ModelKind::COUNTER.to_string(), "counter");
         assert_eq!(ModelKind::KvMap.to_string(), "kv-map");
         assert_eq!(ModelKind::Account { initial: 5 }.to_string(), "account");
         let mut c = ModelKind::Counter { initial: 3 }.fresh();
-        let reply = c.invoke(&CounterOp::Get.encode()).reply;
-        assert_eq!(CounterOp::decode_reply(&reply), Some(3));
+        let reply = c.invoke(&Counter::op_vec(&CounterOp::Get), &enc).reply;
+        assert_eq!(Counter::decode_reply(&CounterOp::Get, &reply), Some(3));
         let a = ModelKind::Account { initial: 9 }.fresh();
-        assert_eq!(a.snapshot(), 9u64.to_le_bytes().to_vec());
-        assert!(ModelKind::KvMap.fresh().snapshot().starts_with(&[0]));
+        assert_eq!(a.snapshot(&enc), Account::reply_vec(&9));
+        assert!(ModelKind::KvMap.fresh().snapshot(&enc).starts_with(&[0]));
+    }
+
+    #[test]
+    fn per_class_dispatch_routes_through_the_trait() {
+        for (kind, good, bad) in [
+            (
+                ModelKind::COUNTER,
+                Counter::op_vec(&CounterOp::Get),
+                vec![9u8],
+            ),
+            (ModelKind::KvMap, KvMap::op_vec(&KvOp::Len), vec![77u8]),
+            (
+                ModelKind::Account { initial: 0 },
+                Account::op_vec(&AccountOp::Balance),
+                vec![9u8],
+            ),
+        ] {
+            assert!(kind.decodes(&good), "{kind}");
+            assert!(!kind.decodes(&bad), "{kind}");
+            assert!(!kind.describe_op(&good).contains("None"), "{kind}");
+        }
+        // Reply description decodes in op context: the same 8 bytes read as
+        // a count for Len and as (non-utf8-checked) text for Get.
+        let len_reply = KvMap::reply_vec(&KvReply::Len(3));
+        assert!(ModelKind::KvMap
+            .describe_reply(&KvMap::op_vec(&KvOp::Len), &len_reply)
+            .contains("Len(3)"));
     }
 }

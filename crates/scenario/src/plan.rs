@@ -57,6 +57,16 @@ pub enum PlanAction {
     /// Set the network's per-message loss probability (ramped up and back
     /// down by the `lossy_window` nemesis).
     SetDropProbability(f64),
+    /// Arm the §4 two-phase-commit window on a **store** node: its next
+    /// successful prepare crashes it immediately after the prepare
+    /// acknowledgement is sent — between prepare and commit — so the
+    /// coordinator's decision stands while the store is left with an
+    /// in-doubt transaction that only the recovery protocol can resolve.
+    /// A later [`RecoverNode`] recovers the node if the trap fired, and
+    /// disarms it if no prepare ever reached the store.
+    ///
+    /// [`RecoverNode`]: PlanAction::RecoverNode
+    CrashStoreInCommit(NodeId),
 }
 
 impl fmt::Display for PlanAction {
@@ -76,6 +86,9 @@ impl fmt::Display for PlanAction {
             }
             PlanAction::HealAll => write!(f, "heal all"),
             PlanAction::SetDropProbability(p) => write!(f, "set drop probability {p}"),
+            PlanAction::CrashStoreInCommit(n) => {
+                write!(f, "crash store {n} between prepare and commit")
+            }
         }
     }
 }
@@ -300,6 +313,15 @@ impl FaultPlan {
                     }
                     armed.insert(*n);
                 }
+                PlanAction::CrashStoreInCommit(n) => {
+                    // Same arming discipline as CrashAfterSends: whether and
+                    // when the trap fires depends on the run, so the node is
+                    // "armed" until a recover balances it.
+                    if down.contains(n) {
+                        return Err(PlanError::UnbalancedNodeFault { index });
+                    }
+                    armed.insert(*n);
+                }
                 PlanAction::RecoverNode(n) => {
                     if !down.remove(n) && !armed.remove(n) {
                         return Err(PlanError::UnbalancedNodeFault { index });
@@ -511,6 +533,22 @@ mod tests {
     }
 
     #[test]
+    fn crash_store_in_commit_validates_like_an_armed_crash() {
+        let plan = FaultPlan::new()
+            .at_micros(100, PlanAction::CrashStoreInCommit(n(1)))
+            .at_micros(500, PlanAction::RecoverNode(n(1)));
+        assert!(plan.validate().is_ok());
+        // Arming a statically-down store is a plan bug.
+        let plan = FaultPlan::new()
+            .at_micros(100, PlanAction::CrashNode(n(1)))
+            .at_micros(200, PlanAction::CrashStoreInCommit(n(1)));
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::UnbalancedNodeFault { index: 1 })
+        );
+    }
+
+    #[test]
     fn validate_rejects_zero_send_budget() {
         let plan = FaultPlan::new().at_micros(100, PlanAction::CrashAfterSends(n(1), 0));
         assert_eq!(plan.validate(), Err(PlanError::BadSendBudget { index: 0 }));
@@ -543,6 +581,10 @@ mod tests {
             ),
             (PlanAction::HealAll, "heal"),
             (PlanAction::SetDropProbability(0.5), "drop"),
+            (
+                PlanAction::CrashStoreInCommit(n(2)),
+                "between prepare and commit",
+            ),
         ] {
             assert!(action.to_string().contains(needle), "{action}");
         }

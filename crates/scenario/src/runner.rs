@@ -15,12 +15,14 @@
 
 use crate::history::History;
 use crate::oracle::{
-    check_final_states, check_quiescent_invariants, ModelKind, ObjectModel, Oracle, OracleReport,
+    check_final_states, check_quiescent_invariants, with_class, ModelKind, ObjectModel, Oracle,
+    OracleReport,
 };
 use crate::plan::{FaultPlan, PlanAction};
 use groupview_core::BindingScheme;
 use groupview_replication::{
-    AccountOp, Client, CounterOp, KvOp, ObjectGroup, ReplicationPolicy, System,
+    Account, AccountOp, Client, Counter, CounterOp, KvMap, KvOp, ObjectGroup, ObjectType,
+    ReplicationPolicy, System,
 };
 use groupview_sim::{Bytes, ClientId, NodeId, ScheduledEvent, Sim, SimDuration};
 use groupview_store::Uid;
@@ -66,31 +68,95 @@ impl Machine {
     }
 }
 
-/// Per-class operation generator.
+/// Per-class workload operation generation, layered on [`ObjectType`]: the
+/// class owns its op mix, and the runner reaches it through the same trait
+/// the typed client surface and the oracle use — no parallel match arms.
 ///
-/// Counter operations are pre-encoded once and shared by every invocation
-/// and history record (cloning [`Bytes`] is a refcount bump, so the
-/// counter path — the parity-pinned one — stays allocation-free and
-/// consumes **no extra RNG draws**). KvMap and Account operations are
-/// drawn from the seeded simulator RNG so the schedule stays deterministic.
-struct OpGen {
-    counter_write: Bytes,
-    counter_read: Bytes,
-    /// Monotone sequence for generated KvMap values, so every `Put` writes
-    /// a distinct value and the oracle's previous-value checks bite.
-    write_seq: u64,
-    /// Scratch kind-per-object lookup, parallel to `spec.objects`.
-    kinds: Vec<ModelKind>,
+/// Determinism contract: generators must draw from the seeded simulator RNG
+/// in a fixed order (or not at all), and the counter generator draws
+/// nothing, so the parity-pinned counter workloads consume **no extra RNG
+/// draws**.
+trait WorkloadOps: ObjectType {
+    /// Draws a mutating operation. `seq` is a per-run monotone counter the
+    /// class may bump to make successive writes distinct.
+    fn gen_write(sim: &Sim, seq: &mut u64) -> Self::Op;
+
+    /// Draws a read-only operation.
+    fn gen_read(sim: &Sim) -> Self::Op;
 }
 
 /// KvMap workloads contend on this many distinct keys.
 const KV_KEYS: u64 = 3;
 
+impl WorkloadOps for Counter {
+    fn gen_write(_sim: &Sim, _seq: &mut u64) -> CounterOp {
+        CounterOp::Add(1)
+    }
+
+    fn gen_read(_sim: &Sim) -> CounterOp {
+        CounterOp::Get
+    }
+}
+
+impl WorkloadOps for KvMap {
+    fn gen_write(sim: &Sim, seq: &mut u64) -> KvOp {
+        let key = format!("k{}", sim.random_below(KV_KEYS));
+        *seq += 1;
+        if sim.chance(0.2) {
+            KvOp::Delete(key)
+        } else {
+            // A distinct value per write, so the oracle's previous-value
+            // checks bite.
+            KvOp::Put(key, format!("v{seq}"))
+        }
+    }
+
+    fn gen_read(sim: &Sim) -> KvOp {
+        if sim.chance(0.25) {
+            KvOp::Len
+        } else {
+            KvOp::Get(format!("k{}", sim.random_below(KV_KEYS)))
+        }
+    }
+}
+
+impl WorkloadOps for Account {
+    fn gen_write(sim: &Sim, _seq: &mut u64) -> AccountOp {
+        let amount = 1 + sim.random_below(5);
+        if sim.chance(0.5) {
+            AccountOp::Deposit(amount)
+        } else {
+            // Withdrawals overdraw sometimes: the REFUSED reply is part of
+            // the per-operation-type contract under test.
+            AccountOp::Withdraw(amount)
+        }
+    }
+
+    fn gen_read(_sim: &Sim) -> AccountOp {
+        AccountOp::Balance
+    }
+}
+
+/// The runner's operation source: dispatches each object's [`ModelKind`] to
+/// its class generator and encodes through the trait codec.
+///
+/// Counter operations are pre-encoded once and shared by every invocation
+/// and history record (cloning [`Bytes`] is a refcount bump, so the counter
+/// path — the parity-pinned one — stays allocation-free).
+struct OpGen {
+    counter_write: Bytes,
+    counter_read: Bytes,
+    /// Monotone sequence handed to [`WorkloadOps::gen_write`].
+    write_seq: u64,
+    /// Scratch kind-per-object lookup, parallel to `spec.objects`.
+    kinds: Vec<ModelKind>,
+}
+
 impl OpGen {
     fn new(kinds: Vec<ModelKind>) -> Self {
         OpGen {
-            counter_write: Bytes::from(CounterOp::Add(1).encode()),
-            counter_read: Bytes::from(CounterOp::Get.encode()),
+            counter_write: Bytes::from(Counter::op_vec(&CounterOp::Add(1))),
+            counter_read: Bytes::from(Counter::op_vec(&CounterOp::Get)),
             write_seq: 0,
             kinds,
         }
@@ -101,42 +167,20 @@ impl OpGen {
     }
 
     fn write_op(&mut self, sim: &Sim, kind: ModelKind) -> Bytes {
-        match kind {
-            ModelKind::Counter { .. } => self.counter_write.clone(),
-            ModelKind::KvMap => {
-                let key = format!("k{}", sim.random_below(KV_KEYS));
-                self.write_seq += 1;
-                if sim.chance(0.2) {
-                    Bytes::from(KvOp::Delete(key).encode())
-                } else {
-                    Bytes::from(KvOp::Put(key, format!("v{}", self.write_seq)).encode())
-                }
-            }
-            ModelKind::Account { .. } => {
-                let amount = 1 + sim.random_below(5);
-                if sim.chance(0.5) {
-                    Bytes::from(AccountOp::Deposit(amount).encode())
-                } else {
-                    // Withdrawals overdraw sometimes: the REFUSED reply is
-                    // part of the per-operation-type contract under test.
-                    Bytes::from(AccountOp::Withdraw(amount).encode())
-                }
-            }
+        if matches!(kind, ModelKind::Counter { .. }) {
+            // The cached frame is the same bytes `C::gen_write` + `op_vec`
+            // would produce; sharing it keeps the hot path allocation-free.
+            return self.counter_write.clone();
         }
+        let seq = &mut self.write_seq;
+        with_class!(kind, C => Bytes::from(C::op_vec(&C::gen_write(sim, seq))))
     }
 
     fn read_op(&mut self, sim: &Sim, kind: ModelKind) -> Bytes {
-        match kind {
-            ModelKind::Counter { .. } => self.counter_read.clone(),
-            ModelKind::KvMap => {
-                if sim.chance(0.25) {
-                    Bytes::from(KvOp::Len.encode())
-                } else {
-                    Bytes::from(KvOp::Get(format!("k{}", sim.random_below(KV_KEYS))).encode())
-                }
-            }
-            ModelKind::Account { .. } => Bytes::from(AccountOp::Balance.encode()),
+        if matches!(kind, ModelKind::Counter { .. }) {
+            return self.counter_read.clone();
         }
+        with_class!(kind, C => Bytes::from(C::op_vec(&C::gen_read(sim))))
     }
 }
 
@@ -327,6 +371,9 @@ fn apply_plan_action(
             sys.sim().crash_after_sends(*node, *budget);
         }
         PlanAction::RecoverNode(node) => {
+            // A recover also disarms an unfired store-commit trap, mirroring
+            // how `Sim::recover` disarms an unfired send budget.
+            sys.stores().disarm_crash_after_prepare(*node);
             recovering.push(*node);
             sys.recovery().recover_node(*node);
         }
@@ -360,6 +407,7 @@ fn apply_plan_action(
         }
         PlanAction::HealAll => sys.sim().heal_all(),
         PlanAction::SetDropProbability(p) => sys.sim().set_drop_probability(*p),
+        PlanAction::CrashStoreInCommit(node) => sys.stores().arm_crash_after_prepare(*node),
     }
 }
 
@@ -744,11 +792,13 @@ fn quiesce(sys: &System) {
     sim.set_drop_probability(0.0);
     sim.heal_all();
     for node in sim.nodes() {
+        // Disarm scripted fault points that never fired (a pending
+        // `CrashAfterSends` budget or store-commit trap must not crash a
+        // node mid-quiesce).
+        sys.stores().disarm_crash_after_prepare(node);
         if !sim.is_up(node) {
             sys.recovery().recover_node(node);
         } else {
-            // Disarm scripted fault points that never fired (a pending
-            // `CrashAfterSends` budget must not crash a node mid-quiesce).
             sim.recover(node);
         }
     }

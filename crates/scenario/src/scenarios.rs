@@ -257,6 +257,46 @@ pub fn canned_scenarios() -> Vec<Scenario> {
         scenarios.push(sc);
     }
 
+    // 15–17. The §4 two-phase-commit window, one scenario per policy:
+    // store nodes are armed to crash right after acknowledging a prepare,
+    // so the crash lands *between* the two commit phases. The committing
+    // action's decision stands (the coordinator heard the ack), the store
+    // is left in-doubt, and the oracle then demands that recovery resolved
+    // every in-doubt transaction (I1/I2: all stores byte-identical and
+    // holding the replayed model's state, St back to full strength). Under
+    // active replication the co-hosted replica crash must also be fully
+    // masked — the abort taxonomy may show contention, never failures.
+    for (name, policy) in [
+        ("active/store_crash_in_commit", ReplicationPolicy::Active),
+        (
+            "cohort/store_crash_in_commit",
+            ReplicationPolicy::CoordinatorCohort,
+        ),
+        (
+            "single_copy/store_crash_in_commit",
+            ReplicationPolicy::SingleCopyPassive,
+        ),
+    ] {
+        let mut sc = base(name, policy);
+        sc.plan = Box::new(|seed| {
+            nemesis::store_commit_crashes(
+                seed,
+                &[n(1), n(2), n(3)],
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(24),
+                SimDuration::from_millis(18),
+                2,
+            )
+        });
+        if policy == ReplicationPolicy::Active {
+            sc.checks.expect_crash_masked = true;
+        } else {
+            // A mid-commit store crash can blanket a short run's window.
+            sc.checks.expect_commits = false;
+        }
+        scenarios.push(sc);
+    }
+
     scenarios
 }
 
@@ -275,6 +315,13 @@ mod tests {
             assert!(
                 scenarios.iter().any(|s| s.policy == policy),
                 "no scenario covers {policy:?}"
+            );
+            // Every policy gets a mid-2PC store-crash scenario.
+            assert!(
+                scenarios
+                    .iter()
+                    .any(|s| s.policy == policy && s.name.ends_with("store_crash_in_commit")),
+                "no store-crash scenario for {policy:?}"
             );
             // Every policy gets a Figure-1 send-window scenario driving a
             // KvMap and an Account alongside a counter.

@@ -6,7 +6,7 @@ use crate::state::ObjectState;
 use crate::uid::Uid;
 use groupview_sim::{NodeId, Sim};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -26,6 +26,13 @@ use std::rc::Rc;
 pub struct Stores {
     sim: Sim,
     inner: Rc<RefCell<HashMap<NodeId, StableStore>>>,
+    /// Nodes armed to crash in the two-phase-commit window: the next
+    /// successful prepare staged at such a node arms a one-send crash
+    /// budget, so the node dies right after acknowledging the prepare —
+    /// i.e. **between prepare and commit**, leaving the transaction
+    /// in-doubt for recovery to resolve (the §4 window the scenario
+    /// engine's store nemesis targets).
+    armed_prepare_crashes: Rc<RefCell<HashSet<NodeId>>>,
 }
 
 impl fmt::Debug for Stores {
@@ -43,7 +50,21 @@ impl Stores {
         Stores {
             sim: sim.clone(),
             inner: Rc::new(RefCell::new(HashMap::new())),
+            armed_prepare_crashes: Rc::new(RefCell::new(HashSet::new())),
         }
+    }
+
+    /// Arms the mid-commit fault point on `node`: its next successful
+    /// prepare crashes it immediately after the prepare acknowledgement is
+    /// sent, landing the crash between the two commit phases. One-shot;
+    /// [`Stores::disarm_crash_after_prepare`] cancels an unfired trap.
+    pub fn arm_crash_after_prepare(&self, node: NodeId) {
+        self.armed_prepare_crashes.borrow_mut().insert(node);
+    }
+
+    /// Cancels an armed (and not yet fired) mid-commit fault point.
+    pub fn disarm_crash_after_prepare(&self, node: NodeId) {
+        self.armed_prepare_crashes.borrow_mut().remove(&node);
     }
 
     /// Equips `node` with an (empty) object store. Idempotent.
@@ -168,6 +189,12 @@ impl Stores {
     ) -> Result<(), StoreError> {
         self.with(node, |s| s.prepare(tx, writes))?;
         self.sim.charge_stable_write();
+        if self.armed_prepare_crashes.borrow_mut().remove(&node) {
+            // The prepare is durably staged; the node now dies right after
+            // its next send — the prepare ack — so the coordinator's commit
+            // finds it down and the transaction is left in-doubt.
+            self.sim.crash_after_sends(node, 1);
+        }
         Ok(())
     }
 
@@ -318,6 +345,41 @@ mod tests {
         assert_eq!(indoubt, vec![tx], "prepared tx must survive the crash");
         stores.commit_local(n, tx).unwrap();
         assert_eq!(stores.read_local(n, uid).unwrap().data, b"pending");
+    }
+
+    #[test]
+    fn armed_prepare_crash_fires_between_phases() {
+        let (sim, stores) = world();
+        let n1 = NodeId::new(1);
+        let uid = Uid::from_raw(9);
+        stores.write_local(n1, uid, st(b"old")).unwrap();
+        stores.arm_crash_after_prepare(n1);
+        let tx = TxToken::new(21);
+        // Remote prepare: the ack send fires the armed crash.
+        let this = stores.clone();
+        let ok = sim
+            .rpc_flat(NodeId::new(0), n1, 32, 16, move || {
+                this.prepare_local(n1, tx, vec![(uid, st(b"new"))])
+            })
+            .is_ok();
+        assert!(ok, "the coordinator hears the prepare ack");
+        assert!(
+            !sim.is_up(n1),
+            "…and the node dies right after sending it — the commit that \
+             follows will find it down"
+        );
+        sim.recover(n1);
+        assert_eq!(
+            stores.with(n1, |s| s.indoubt()).unwrap(),
+            vec![tx],
+            "the staged write survived as in-doubt"
+        );
+        // Disarm is a no-op once fired; arming and disarming leaves no trap.
+        stores.arm_crash_after_prepare(n1);
+        stores.disarm_crash_after_prepare(n1);
+        stores.commit_local(n1, tx).unwrap();
+        assert!(sim.is_up(n1), "no further crash");
+        assert_eq!(stores.read_local(n1, uid).unwrap().data, b"new");
     }
 
     #[test]

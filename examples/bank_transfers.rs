@@ -10,7 +10,7 @@
 //! cargo run --example bank_transfers
 //! ```
 
-use groupview::{Account, AccountOp, NodeId, ReplicationPolicy, System, Uid};
+use groupview::{Account, AccountOp, Handle, NodeId, ReplicationPolicy, System, TypedUid};
 
 const ACCOUNTS: usize = 4;
 const INITIAL_BALANCE: u64 = 1_000;
@@ -26,21 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let teller_node = nodes[6];
 
     // Open the accounts, replicated across three nodes each (staggered).
-    let mut accounts: Vec<Uid> = Vec::new();
+    let mut accounts: Vec<TypedUid<Account>> = Vec::new();
     for i in 0..ACCOUNTS {
         let replicas: Vec<NodeId> = (0..3)
             .map(|j| bank_nodes[(i + j) % bank_nodes.len()])
             .collect();
-        let uid = sys.create_object(
-            Box::new(Account::new(INITIAL_BALANCE)),
-            &replicas,
-            &replicas,
-        )?;
+        let uid = sys.create_typed(Account::new(INITIAL_BALANCE), &replicas, &replicas)?;
         accounts.push(uid);
         println!("account {i}: {uid} on {replicas:?}");
     }
 
     let teller = sys.client(teller_node);
+    let tills: Vec<Handle<Account>> = accounts.iter().map(|uid| uid.open(&teller)).collect();
     let mut committed = 0u32;
     let mut aborted = 0u32;
 
@@ -63,20 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             _ => {}
         }
 
-        let from = accounts[round % ACCOUNTS];
-        let to = accounts[(round + 1) % ACCOUNTS];
+        let from = &tills[round % ACCOUNTS];
+        let to = &tills[(round + 1) % ACCOUNTS];
         let amount = 10 + (round as u64 % 90);
 
         // One transfer = one atomic action touching two replicated objects.
         let action = teller.begin();
         let outcome = (|| -> Result<bool, Box<dyn std::error::Error>> {
-            let src = teller.activate(action, from, 2)?;
-            let dst = teller.activate(action, to, 2)?;
-            let withdrawal = teller.invoke(action, &src, &AccountOp::Withdraw(amount).encode())?;
-            if AccountOp::decode_reply(&withdrawal) == Some(AccountOp::REFUSED) {
+            from.activate(action, 2)?;
+            to.activate(action, 2)?;
+            if from.invoke(action, AccountOp::Withdraw(amount))? == AccountOp::REFUSED {
                 return Ok(false); // insufficient funds: roll back
             }
-            teller.invoke(action, &dst, &AccountOp::Deposit(amount).encode())?;
+            to.invoke(action, AccountOp::Deposit(amount))?;
             Ok(true)
         })();
         match outcome {
@@ -97,10 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let auditor = sys.client(nodes[7]);
     let action = auditor.begin();
     let mut total = 0u64;
-    for (i, &uid) in accounts.iter().enumerate() {
-        let group = auditor.activate_read_only(action, uid, 1)?;
-        let reply = auditor.invoke_read(action, &group, &AccountOp::Balance.encode())?;
-        let balance = AccountOp::decode_reply(&reply).unwrap();
+    for (i, uid) in accounts.iter().enumerate() {
+        let account = uid.open(&auditor);
+        account.activate_read_only(action, 1)?;
+        let balance = account.invoke(action, AccountOp::Balance)?;
         println!("account {i}: balance {balance}");
         total += balance;
     }

@@ -27,23 +27,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     let trio = [n(1), n(2), n(3)];
 
-    let uid = sys.create_object(Box::new(Counter::new(100)), &trio, &trio)?;
-    println!("object {uid}: St = {:?}", st_of(&sys, uid));
+    let uid = sys.create_typed(Counter::new(100), &trio, &trio)?;
+    println!("object {uid}: St = {:?}", st_of(&sys, uid.uid()));
 
     // 1. A commit happens while n3 is down: the write-back cannot reach its
     //    store, so commit processing EXCLUDES it from St.
     sys.sim().crash(n(3));
     println!("\nn3 crashes.");
     let client = sys.client(n(4));
+    let counter = uid.open(&client);
     let action = client.begin();
-    let group = client.activate(action, uid, 2)?;
-    client.invoke(action, &group, &CounterOp::Add(23).encode())?;
+    counter.activate(action, 2)?;
+    counter.invoke(action, CounterOp::Add(23))?;
     client.commit(action)?;
     println!(
         "committed Add(23) while n3 was down -> St = {:?}",
-        st_of(&sys, uid)
+        st_of(&sys, uid.uid())
     );
-    assert_eq!(st_of(&sys, uid), vec![n(1), n(2)]);
+    assert_eq!(st_of(&sys, uid.uid()), vec![n(1), n(2)]);
 
     // 2. n3's stable store survived the crash — but it holds version 0.
     //    Because it is no longer in St, no client can be misdirected to it.
@@ -56,20 +57,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nn3 recovers: refreshed {:?}, re-included {:?}, server Insert ok for {:?}",
         report.refreshed, report.included, report.inserted
     );
-    println!("St = {:?}", st_of(&sys, uid));
-    assert_eq!(st_of(&sys, uid), vec![n(1), n(2), n(3)]);
+    println!("St = {:?}", st_of(&sys, uid.uid()));
+    assert_eq!(st_of(&sys, uid.uid()), vec![n(1), n(2), n(3)]);
 
     // 4. Proof: take the OTHER two stores down; a reader served only by n3
     //    still sees the latest committed state.
     sys.sim().crash(n(1));
     sys.sim().crash(n(2));
-    sys.try_passivate(uid); // force the next client to reload from a store
+    sys.try_passivate(uid.uid()); // force the next client to reload from a store
     println!("\nn1 and n2 crash; only n3 is left.");
     let reader = sys.client(n(5));
+    let counter = uid.open(&reader);
     let action = reader.begin();
-    let group = reader.activate_read_only(action, uid, 1)?;
-    let reply = reader.invoke_read(action, &group, &CounterOp::Get.encode())?;
-    let value = CounterOp::decode_reply(&reply).unwrap();
+    let group = counter.activate_read_only(action, 1)?;
+    let value = counter.invoke(action, CounterOp::Get)?;
     println!("reader bound to {:?}, Get -> {value}", group.servers);
     assert_eq!(value, 123, "n3 must serve the refreshed state");
     reader.commit(action)?;

@@ -26,40 +26,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Create named objects; name + databases + initial states commit as one
     // atomic action each.
     for name in ["shelves/tools", "shelves/paint"] {
-        sys.create_named_object(name, Box::new(KvMap::new()), &shelf_nodes, &shelf_nodes)?;
+        sys.create_typed_named(name, KvMap::new(), &shelf_nodes, &shelf_nodes)?;
         println!("created {name}");
     }
-    sys.create_named_object(
-        "till",
-        Box::new(Account::new(0)),
-        &shelf_nodes,
-        &shelf_nodes,
-    )?;
+    sys.create_typed_named("till", Account::new(0), &shelf_nodes, &shelf_nodes)?;
     println!("created till");
 
     // A name collision aborts atomically — nothing is half-created.
     let err = sys
-        .create_named_object(
-            "till",
-            Box::new(Account::new(9)),
-            &shelf_nodes,
-            &shelf_nodes,
-        )
+        .create_typed_named("till", Account::new(9), &shelf_nodes, &shelf_nodes)
         .unwrap_err();
     println!("duplicate 'till' refused: {err}");
 
     // Stock the shelves and take payment in one atomic action, all via
-    // names (each lookup is a nested action of the sale).
+    // names (each lookup is a nested action of the sale). `open_by_name`
+    // resolves, activates, and hands back a typed handle in one step.
     let clerk = sys.client(n(5));
     let sale = clerk.begin();
-    let tools = clerk.activate_by_name(sale, "shelves/tools", 2)?;
-    let till = clerk.activate_by_name(sale, "till", 2)?;
-    clerk.invoke(
-        sale,
-        &tools,
-        &KvOp::Put("hammer".into(), "3 in stock".into()).encode(),
-    )?;
-    clerk.invoke(sale, &till, &AccountOp::Deposit(25).encode())?;
+    let tools = clerk.open_by_name::<KvMap>(sale, "shelves/tools", 2)?;
+    let till = clerk.open_by_name::<Account>(sale, "till", 2)?;
+    tools.invoke(sale, KvOp::Put("hammer".into(), "3 in stock".into()))?;
+    till.invoke(sale, AccountOp::Deposit(25))?;
     clerk.commit(sale)?;
     println!("sale committed: stocked hammers, took 25 into the till");
 
@@ -68,15 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("n1 crashed");
 
     let audit = clerk.begin();
-    let tools = clerk.activate_by_name(audit, "shelves/tools", 1)?;
-    let till = clerk.activate_by_name(audit, "till", 1)?;
-    let stock = clerk.invoke_read(audit, &tools, &KvOp::Get("hammer".into()).encode())?;
-    let balance = clerk.invoke_read(audit, &till, &AccountOp::Balance.encode())?;
+    let tools = clerk.open_by_name::<KvMap>(audit, "shelves/tools", 1)?;
+    let till = clerk.open_by_name::<Account>(audit, "till", 1)?;
+    let stock = tools.invoke(audit, KvOp::Get("hammer".into()))?;
+    let balance = till.invoke(audit, AccountOp::Balance)?;
     clerk.commit(audit)?;
     println!(
-        "after the crash: hammer -> {:?}, till -> {}",
-        String::from_utf8_lossy(&stock),
-        AccountOp::decode_reply(&balance).unwrap()
+        "after the crash: hammer -> {:?}, till -> {balance}",
+        stock.value().unwrap_or("")
     );
 
     // Renames are transactional too: abort undoes them.

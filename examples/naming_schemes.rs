@@ -36,8 +36,9 @@ fn main() {
         let stores = [n(5), n(6)];
         let uids: Vec<_> = (0..6)
             .map(|_| {
-                sys.create_object(Box::new(Counter::new(0)), &servers, &stores)
+                sys.create_typed(Counter::new(0), &servers, &stores)
                     .expect("create")
+                    .uid()
             })
             .collect();
 

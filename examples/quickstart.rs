@@ -19,17 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nodes = sys.sim().nodes();
     let (servers, client_node) = (&nodes[1..4], nodes[4]);
 
-    // Create a persistent counter: Sv = St = {n1, n2, n3}.
-    let uid = sys.create_object(Box::new(Counter::new(0)), servers, servers)?;
+    // Create a persistent counter: Sv = St = {n1, n2, n3}. The typed uid
+    // remembers the class, so the handle below needs no turbofish.
+    let uid = sys.create_typed(Counter::new(0), servers, servers)?;
     println!("created {uid}: Sv = St = {{n1, n2, n3}}");
 
-    // First atomic action: activate two replicas and add 10.
+    // First atomic action: activate two replicas and add 10. Typed handles
+    // encode operations and decode replies for us.
     let client = sys.client(client_node);
+    let counter = uid.open(&client);
     let action = client.begin();
-    let group = client.activate(action, uid, 2)?;
+    let group = counter.activate(action, 2)?;
     println!("bound to servers {:?} (|Sv'| = 2)", group.servers);
-    let reply = client.invoke(action, &group, &CounterOp::Add(10).encode())?;
-    println!("Add(10) -> {}", CounterOp::decode_reply(&reply).unwrap());
+    let value = counter.invoke(action, CounterOp::Add(10))?;
+    println!("Add(10) -> {value}");
     client.commit(action)?;
     println!("committed; every store in St now holds version 1");
 
@@ -41,13 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let action = client.begin();
-    let group = client.activate(action, uid, 2)?;
-    let reply = client.invoke_read(action, &group, &CounterOp::Get.encode())?;
-    println!(
-        "after the crash: bound {:?}, Get -> {}",
-        group.servers,
-        CounterOp::decode_reply(&reply).unwrap()
-    );
+    let group = counter.activate(action, 2)?;
+    // `Get` is read-only, so the handle takes a read lock automatically.
+    let value = counter.invoke(action, CounterOp::Get)?;
+    println!("after the crash: bound {:?}, Get -> {value}", group.servers);
     client.commit(action)?;
 
     // The simulated run is deterministic: same seed, same story.

@@ -29,26 +29,32 @@
 //!     .build();
 //! let nodes = sys.sim().nodes();
 //!
-//! // A counter stored on three nodes, servable by the same three.
-//! let uid = sys
-//!     .create_object(Box::new(Counter::new(0)), &nodes[1..4], &nodes[1..4])?;
+//! // A counter stored on three nodes, servable by the same three. The
+//! // typed uid remembers the class.
+//! let uid = sys.create_typed(Counter::new(0), &nodes[1..4], &nodes[1..4])?;
 //!
-//! // A client runs an atomic action against two active replicas.
+//! // A client runs an atomic action against two active replicas through a
+//! // typed handle: operations in, decoded replies out — no byte codecs.
 //! let client = sys.client(nodes[4]);
+//! let counter = uid.open(&client);
 //! let action = client.begin();
-//! let group = client.activate(action, uid, 2)?;
-//! client.invoke(action, &group, &CounterOp::Add(10).encode())?;
+//! counter.activate(action, 2)?;
+//! assert_eq!(counter.invoke(action, CounterOp::Add(10))?, 10);
 //! client.commit(action)?;
 //!
 //! // A crash of one replica is masked; the state is safe on every store.
+//! // `Get` is read-only, so the handle takes a read lock automatically.
 //! sys.sim().crash(nodes[1]);
 //! let action = client.begin();
-//! let group = client.activate(action, uid, 2)?;
-//! let reply = client.invoke_read(action, &group, &CounterOp::Get.encode())?;
-//! assert_eq!(CounterOp::decode_reply(&reply), Some(10));
+//! counter.activate(action, 2)?;
+//! assert_eq!(counter.invoke(action, CounterOp::Get)?, 10);
 //! client.commit(action)?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The raw byte-level surface ([`Client::invoke`] with encoded ops) remains
+//! available as an escape hatch; see `docs/OBJECTS.md` for the
+//! [`ObjectType`]/[`ReplicaObject`] split and the encoder-ownership rules.
 //!
 //! ## Crate map
 //!
@@ -80,8 +86,9 @@ pub use groupview_core::{
     RecoveryManager,
 };
 pub use groupview_replication::{
-    Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, InvokeError, KvMap,
-    KvOp, ObjectGroup, ReplicaObject, ReplicationPolicy, System, SystemBuilder,
+    Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, Handle,
+    InvokeError, KvMap, KvOp, KvReply, ObjectGroup, ObjectType, ReplicaObject, ReplicationPolicy,
+    System, SystemBuilder, TypedUid,
 };
 pub use groupview_scenario::{
     canned_scenarios, run_matrix, run_plan, run_plan_typed, run_scenario, run_soak, FaultPlan,

@@ -80,15 +80,16 @@ fn growing_sv_makes_the_new_server_bindable() {
     // the new server loads its state from the surviving store n2.
     sys.sim().crash(n(1));
     let client = sys.client(n(5));
+    let counter = client.open::<Counter>(uid);
     let action = client.begin();
-    let group = client
-        .activate(action, uid, 2)
-        .expect("bind the new server");
+    let group = counter.activate(action, 2).expect("bind the new server");
     assert_eq!(group.servers, vec![n(2), n(3)]);
-    let reply = client
-        .invoke_read(action, &group, &CounterOp::Get.encode())
-        .expect("read via the grown set");
-    assert_eq!(CounterOp::decode_reply(&reply), Some(0));
+    assert_eq!(
+        counter
+            .invoke(action, CounterOp::Get)
+            .expect("read via the grown set"),
+        0
+    );
     client.commit(action).expect("commit");
 }
 
@@ -97,11 +98,10 @@ fn growing_st_adds_a_durable_copy() {
     let (sys, uid) = build(BindingScheme::Standard);
     // Commit a value first.
     let client = sys.client(n(5));
+    let counter = client.open::<Counter>(uid);
     let action = client.begin();
-    let group = client.activate(action, uid, 2).expect("activate");
-    client
-        .invoke(action, &group, &CounterOp::Add(42).encode())
-        .expect("invoke");
+    counter.activate(action, 2).expect("activate");
+    counter.invoke(action, CounterOp::Add(42)).expect("invoke");
     client.commit(action).expect("commit");
     assert!(sys.try_passivate(uid));
 
@@ -116,12 +116,9 @@ fn growing_st_adds_a_durable_copy() {
     sys.sim().crash(n(1));
     sys.sim().crash(n(2));
     let action = client.begin();
-    let group = client.activate(action, uid, 1).expect("activate from n4");
+    let group = counter.activate(action, 1).expect("activate from n4");
     assert_eq!(group.servers, vec![n(3)]);
-    let reply = client
-        .invoke_read(action, &group, &CounterOp::Get.encode())
-        .expect("read");
-    assert_eq!(CounterOp::decode_reply(&reply), Some(42));
+    assert_eq!(counter.invoke(action, CounterOp::Get).expect("read"), 42);
     client.commit(action).expect("commit");
 }
 

@@ -85,12 +85,11 @@ impl World {
             Step::Write(o) => {
                 let uid = self.objects[o];
                 let client = self.sys.client(self.client_node);
+                let counter = client.open::<Counter>(uid);
                 let action = client.begin();
                 let committed = (|| {
-                    let group = client.activate(action, uid, 2).ok()?;
-                    client
-                        .invoke(action, &group, &CounterOp::Add(1).encode())
-                        .ok()?;
+                    counter.activate(action, 2).ok()?;
+                    counter.invoke(action, CounterOp::Add(1)).ok()?;
                     client.commit(action).ok()
                 })();
                 match committed {
@@ -101,14 +100,13 @@ impl World {
             Step::Read(o) => {
                 let uid = self.objects[o];
                 let client = self.sys.client(self.client_node);
+                let counter = client.open::<Counter>(uid);
                 let action = client.begin();
                 let observed = (|| {
-                    let group = client.activate_read_only(action, uid, 1).ok()?;
-                    let reply = client
-                        .invoke_read(action, &group, &CounterOp::Get.encode())
-                        .ok()?;
+                    counter.activate_read_only(action, 1).ok()?;
+                    let value = counter.invoke(action, CounterOp::Get).ok()?;
                     client.commit(action).ok()?;
-                    CounterOp::decode_reply(&reply)
+                    Some(value)
                 })();
                 if let Some(value) = observed {
                     // I3: a successful read can never be stale.
@@ -223,19 +221,16 @@ impl World {
         // Final read-back through the public API (I3 again).
         for (o, &uid) in self.objects.iter().enumerate() {
             let client = self.sys.client(n(5));
+            let counter = client.open::<Counter>(uid);
             let action = client.begin();
-            let group = client
-                .activate_read_only(action, uid, 1)
+            counter
+                .activate_read_only(action, 1)
                 .expect("activate after full recovery");
-            let reply = client
-                .invoke_read(action, &group, &CounterOp::Get.encode())
+            let value = counter
+                .invoke(action, CounterOp::Get)
                 .expect("read after full recovery");
             client.commit(action).expect("commit");
-            assert_eq!(
-                CounterOp::decode_reply(&reply),
-                Some(self.model[o]),
-                "object {o}"
-            );
+            assert_eq!(value, self.model[o], "object {o}");
         }
     }
 }

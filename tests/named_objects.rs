@@ -1,7 +1,9 @@
 //! The name directory end to end: names → UIDs → bound replicas (§2.2's
 //! full lookup chain), including atomicity of creation-with-naming.
 
-use groupview::{Account, AccountOp, DbError, KvMap, KvOp, NodeId, ReplicationPolicy, System};
+use groupview::{
+    Account, AccountOp, DbError, KvMap, KvOp, KvReply, NodeId, ReplicationPolicy, System,
+};
 
 fn n(i: u32) -> NodeId {
     NodeId::new(i)
@@ -18,9 +20,9 @@ fn build() -> System {
 fn create_named_lookup_invoke_roundtrip() {
     let sys = build();
     let uid = sys
-        .create_named_object(
+        .create_typed_named(
             "accounts/alice",
-            Box::new(Account::new(500)),
+            Account::new(500),
             &[n(1), n(2)],
             &[n(1), n(2)],
         )
@@ -28,14 +30,14 @@ fn create_named_lookup_invoke_roundtrip() {
 
     let client = sys.client(n(4));
     let action = client.begin();
-    let group = client
-        .activate_by_name(action, "accounts/alice", 2)
+    let account = client
+        .open_by_name::<Account>(action, "accounts/alice", 2)
         .expect("activate by name");
-    assert_eq!(group.uid, uid);
-    let reply = client
-        .invoke(action, &group, &AccountOp::Withdraw(100).encode())
+    assert_eq!(account.uid(), uid.uid());
+    let balance = account
+        .invoke(action, AccountOp::Withdraw(100))
         .expect("withdraw");
-    assert_eq!(AccountOp::decode_reply(&reply), Some(400));
+    assert_eq!(balance, 400);
     client.commit(action).expect("commit");
 }
 
@@ -57,11 +59,11 @@ fn unknown_names_fail_cleanly() {
 #[test]
 fn name_collisions_abort_creation_atomically() {
     let sys = build();
-    sys.create_named_object("kv/config", Box::new(KvMap::new()), &[n(1)], &[n(1)])
+    sys.create_typed_named("kv/config", KvMap::new(), &[n(1)], &[n(1)])
         .expect("first");
     let objects_before = sys.naming().server_db.uids().len();
     let err = sys
-        .create_named_object("kv/config", Box::new(KvMap::new()), &[n(2)], &[n(2)])
+        .create_typed_named("kv/config", KvMap::new(), &[n(2)], &[n(2)])
         .expect_err("name taken");
     assert!(matches!(err, DbError::AlreadyExists(_)));
     // The failed creation left nothing behind: no object entries, no name.
@@ -75,25 +77,16 @@ fn name_collisions_abort_creation_atomically() {
 #[test]
 fn names_survive_naming_node_crash_and_recovery() {
     let sys = build();
-    sys.create_named_object(
-        "kv/session",
-        Box::new(KvMap::new()),
-        &[n(1), n(2)],
-        &[n(1), n(2)],
-    )
-    .expect("create");
+    sys.create_typed_named("kv/session", KvMap::new(), &[n(1), n(2)], &[n(1), n(2)])
+        .expect("create");
     // Write through the name.
     let client = sys.client(n(4));
     let action = client.begin();
-    let group = client
-        .activate_by_name(action, "kv/session", 2)
+    let session = client
+        .open_by_name::<KvMap>(action, "kv/session", 2)
         .expect("activate");
-    client
-        .invoke(
-            action,
-            &group,
-            &KvOp::Put("user".into(), "mcl".into()).encode(),
-        )
+    session
+        .invoke(action, KvOp::Put("user".into(), "mcl".into()))
         .expect("put");
     client.commit(action).expect("commit");
 
@@ -107,13 +100,13 @@ fn names_survive_naming_node_crash_and_recovery() {
     // persistent object, which our simulation keeps with the service).
     sys.recovery().recover_node(n(0));
     let action = client.begin();
-    let group = client
-        .activate_by_name(action, "kv/session", 2)
+    let session = client
+        .open_by_name::<KvMap>(action, "kv/session", 2)
         .expect("activate after recovery");
-    let reply = client
-        .invoke_read(action, &group, &KvOp::Get("user".into()).encode())
+    let value = session
+        .invoke(action, KvOp::Get("user".into()))
         .expect("get");
-    assert_eq!(reply, b"mcl");
+    assert_eq!(value, KvReply::Value("mcl".into()));
     client.commit(action).expect("commit");
 }
 
@@ -121,8 +114,9 @@ fn names_survive_naming_node_crash_and_recovery() {
 fn directory_updates_are_transactional_with_the_client_action() {
     let sys = build();
     let uid = sys
-        .create_named_object("tmp/a", Box::new(KvMap::new()), &[n(1)], &[n(1)])
-        .expect("create");
+        .create_typed_named("tmp/a", KvMap::new(), &[n(1)], &[n(1)])
+        .expect("create")
+        .uid();
     // Rename within an action, then abort: the rename is undone.
     let tx = sys.tx();
     let action = tx.begin_top(n(0));

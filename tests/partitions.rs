@@ -37,11 +37,10 @@ fn client_partitioned_from_naming_service_cannot_bind() {
     client.abort(action);
     // Healing restores service.
     sys.sim().heal(n(4), n(0));
+    let counter = client.open::<Counter>(uid);
     let action = client.begin();
-    let group = client.activate(action, uid, 2).expect("bind after heal");
-    client
-        .invoke(action, &group, &CounterOp::Add(1).encode())
-        .expect("invoke");
+    counter.activate(action, 2).expect("bind after heal");
+    counter.invoke(action, CounterOp::Add(1)).expect("invoke");
     client.commit(action).expect("commit");
 }
 
@@ -49,20 +48,17 @@ fn client_partitioned_from_naming_service_cannot_bind() {
 fn client_partitioned_from_a_server_binds_elsewhere() {
     let (sys, uid) = build(202);
     let client = sys.client(n(4));
+    let counter = client.open::<Counter>(uid);
     // The client cannot reach n1, but n2/n3 still serve it.
     sys.sim().partition(n(4), n(1));
     let action = client.begin();
-    let group = client
-        .activate(action, uid, 2)
-        .expect("bind around partition");
+    let group = counter.activate(action, 2).expect("bind around partition");
     assert!(
         !group.servers.contains(&n(1)),
         "partitioned server probed dead"
     );
     assert_eq!(group.servers.len(), 2);
-    client
-        .invoke(action, &group, &CounterOp::Add(5).encode())
-        .expect("invoke");
+    counter.invoke(action, CounterOp::Add(5)).expect("invoke");
     client.commit(action).expect("commit");
 }
 
@@ -70,11 +66,10 @@ fn client_partitioned_from_a_server_binds_elsewhere() {
 fn store_partitioned_at_commit_gets_excluded_then_reincluded() {
     let (sys, uid) = build(203);
     let client = sys.client(n(4));
+    let counter = client.open::<Counter>(uid);
     let action = client.begin();
-    let group = client.activate(action, uid, 2).expect("activate");
-    client
-        .invoke(action, &group, &CounterOp::Add(9).encode())
-        .expect("invoke");
+    counter.activate(action, 2).expect("activate");
+    counter.invoke(action, CounterOp::Add(9)).expect("invoke");
     // The commit coordinator (the client's node) loses contact with n3.
     sys.sim().partition(n(4), n(3));
     client.commit(action).expect("commit without n3");
@@ -112,19 +107,19 @@ fn partition_between_groups_blocks_cross_traffic_only() {
     cut_off.abort(action);
 
     let fine = sys.client(n(5));
+    let fine_counter = fine.open::<Counter>(uid);
     let action = fine.begin();
-    let group = fine.activate(action, uid, 2).expect("unaffected side");
-    fine.invoke(action, &group, &CounterOp::Add(2).encode())
+    fine_counter.activate(action, 2).expect("unaffected side");
+    fine_counter
+        .invoke(action, CounterOp::Add(2))
         .expect("invoke");
     fine.commit(action).expect("commit");
 
     sys.sim().heal_all();
+    let counter = cut_off.open::<Counter>(uid);
     let action = cut_off.begin();
-    let group = cut_off.activate(action, uid, 2).expect("after heal");
-    let reply = cut_off
-        .invoke_read(action, &group, &CounterOp::Get.encode())
-        .expect("read");
-    assert_eq!(CounterOp::decode_reply(&reply), Some(2));
+    counter.activate(action, 2).expect("after heal");
+    assert_eq!(counter.invoke(action, CounterOp::Get).expect("read"), 2);
     cut_off.commit(action).expect("commit");
 }
 
@@ -137,12 +132,11 @@ fn no_stale_reads_across_partition_heal_cycles() {
         let victim = n(1 + (round % 3));
         sys.sim().partition(n(4), victim);
         let client = sys.client(n(4));
+        let counter = client.open::<Counter>(uid);
         let action = client.begin();
         let committed = (|| {
-            let group = client.activate(action, uid, 2).ok()?;
-            client
-                .invoke(action, &group, &CounterOp::Add(1).encode())
-                .ok()?;
+            counter.activate(action, 2).ok()?;
+            counter.invoke(action, CounterOp::Add(1)).ok()?;
             client.commit(action).ok()
         })();
         match committed {
@@ -184,24 +178,24 @@ fn cohort_partitioned_from_coordinator_is_expelled_not_stale() {
         )
         .expect("create");
     let client = sys.client(n(4));
+    let counter = client.open::<Counter>(uid);
     // Action 1 activates all three; coordinator is n1.
     let action = client.begin();
-    let group = client.activate(action, uid, 3).expect("activate");
+    let group = counter.activate(action, 3).expect("activate");
     assert_eq!(group.servers, vec![n(1), n(2), n(3)]);
     // n3 gets partitioned from the coordinator: it misses the checkpoint.
     sys.sim().partition(n(1), n(3));
-    client
-        .invoke(action, &group, &CounterOp::Add(5).encode())
-        .expect("invoke");
+    counter.invoke(action, CounterOp::Add(5)).expect("invoke");
     client.commit(action).expect("commit");
     // n3 was expelled from the activation (unloaded); a new action joins
     // only the fresh members and never sees stale state through n3.
     sys.sim().heal_all();
     let action = client.begin();
-    let group = client.activate(action, uid, 3).expect("activate again");
-    let reply = client
-        .invoke_read(action, &group, &CounterOp::Get.encode())
-        .expect("read");
-    assert_eq!(CounterOp::decode_reply(&reply), Some(5), "no stale cohort");
+    counter.activate(action, 3).expect("activate again");
+    assert_eq!(
+        counter.invoke(action, CounterOp::Get).expect("read"),
+        5,
+        "no stale cohort"
+    );
     client.commit(action).expect("commit");
 }

@@ -36,6 +36,7 @@ struct RoundError(bool);
 /// attributed to the injected crash by the error taxonomy.
 fn run_workload(sys: &System, uid: Uid) -> i64 {
     let client = sys.client(n(5));
+    let counter = client.open::<Counter>(uid);
     let mut expected = 0i64;
     for round in 0..12 {
         if round == 4 {
@@ -46,11 +47,11 @@ fn run_workload(sys: &System, uid: Uid) -> i64 {
         }
         let action = client.begin();
         let worked = (|| -> Result<(), RoundError> {
-            let group = client
-                .activate(action, uid, 2)
+            counter
+                .activate(action, 2)
                 .map_err(|e| RoundError(e.is_failure_caused()))?;
-            client
-                .invoke(action, &group, &CounterOp::Add(round).encode())
+            counter
+                .invoke(action, CounterOp::Add(round))
                 .map_err(|e| RoundError(e.is_failure_caused()))?;
             client
                 .commit(action)
@@ -70,15 +71,13 @@ fn run_workload(sys: &System, uid: Uid) -> i64 {
     }
     // Read back through a fresh client on another node.
     let reader = sys.client(n(6));
+    let counter = reader.open::<Counter>(uid);
     let action = reader.begin();
-    let group = reader
-        .activate_read_only(action, uid, 1)
+    counter
+        .activate_read_only(action, 1)
         .expect("read activate");
-    let reply = reader
-        .invoke_read(action, &group, &CounterOp::Get.encode())
-        .expect("read");
+    let value = counter.invoke(action, CounterOp::Get).expect("read");
     reader.commit(action).expect("read commit");
-    let value = CounterOp::decode_reply(&reply).expect("decode");
     assert_eq!(value, expected, "committed value must match the model");
     value
 }

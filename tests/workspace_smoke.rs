@@ -17,21 +17,22 @@ fn quickstart_runs_end_to_end() -> Result<(), Box<dyn std::error::Error>> {
     let nodes = sys.sim().nodes();
 
     // A counter stored on three nodes, servable by the same three.
-    let uid = sys.create_object(Box::new(Counter::new(0)), &nodes[1..4], &nodes[1..4])?;
+    let uid = sys.create_typed(Counter::new(0), &nodes[1..4], &nodes[1..4])?;
 
-    // A client runs an atomic action against two active replicas.
+    // A client runs an atomic action against two active replicas, through
+    // the typed handle surface.
     let client = sys.client(nodes[4]);
+    let counter = uid.open(&client);
     let action = client.begin();
-    let group = client.activate(action, uid, 2)?;
-    client.invoke(action, &group, &CounterOp::Add(10).encode())?;
+    counter.activate(action, 2)?;
+    assert_eq!(counter.invoke(action, CounterOp::Add(10))?, 10);
     client.commit(action)?;
 
     // A crash of one replica is masked; the state is safe on every store.
     sys.sim().crash(nodes[1]);
     let action = client.begin();
-    let group = client.activate(action, uid, 2)?;
-    let reply = client.invoke_read(action, &group, &CounterOp::Get.encode())?;
-    assert_eq!(CounterOp::decode_reply(&reply), Some(10));
+    counter.activate(action, 2)?;
+    assert_eq!(counter.invoke(action, CounterOp::Get)?, 10);
     client.commit(action)?;
     Ok(())
 }

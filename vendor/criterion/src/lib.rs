@@ -1,17 +1,40 @@
 //! Offline stand-in for `criterion`.
 //!
 //! The build environment has no registry access, so this crate supplies the
-//! API surface the workspace's five bench targets use — [`Criterion`],
+//! API surface the workspace's bench targets use — [`Criterion`],
 //! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. `cargo bench --no-run`
-//! compiles exactly as with the real crate; `cargo bench` runs each closure
-//! for a short calibrated burst and prints a mean wall-clock time per
-//! iteration (no warm-up discipline, no outlier analysis, no HTML reports).
-//! Swap in the real `criterion` via `[workspace.dependencies]` once
-//! registry access exists.
+//! compiles exactly as with the real crate.
+//!
+//! `cargo bench` runs each closure with a measurement discipline modelled on
+//! the real criterion (coarser, but no longer a single wall-clock mean):
+//!
+//! 1. **fixed warm-up** — `WARMUP_ITERS` calls (or until `WARMUP_MS`
+//!    elapses) that are never measured, so cold caches, lazy pools, and
+//!    first-touch allocations don't pollute the samples;
+//! 2. **sampling** — up to [`SAMPLES`] timed bursts of equal iteration
+//!    count, sized from the warm-up so the whole benchmark stays fast;
+//! 3. **median-of-samples reporting** — the median per-iteration time is
+//!    reported (robust to scheduler noise and one-off outliers), together
+//!    with the min..max sample spread so jitter is visible in the log.
+//!
+//! No outlier rejection beyond the median, no regression deltas, no HTML
+//! reports. Swap in the real `criterion` via `[workspace.dependencies]`
+//! once registry access exists.
 
 use std::fmt::Display;
 use std::time::Instant;
+
+/// Un-timed warm-up iterations before sampling starts.
+const WARMUP_ITERS: u64 = 32;
+/// Warm-up time cap, for slow benchmark bodies.
+const WARMUP_MS: u128 = 20;
+/// Timed sample bursts per benchmark.
+const SAMPLES: usize = 15;
+/// Iterations per sample burst (derived; at least this many).
+const MIN_ITERS_PER_SAMPLE: u64 = 1;
+/// Total measurement budget per benchmark.
+const MEASURE_MS: u128 = 60;
 
 /// Benchmark identifier (mirror of `criterion::BenchmarkId`).
 pub struct BenchmarkId(String);
@@ -34,45 +57,88 @@ impl Display for BenchmarkId {
 
 /// Timing harness handed to each benchmark closure.
 pub struct Bencher {
+    /// Per-iteration nanoseconds of each timed sample.
+    samples: Vec<f64>,
     iters_run: u64,
-    nanos: u128,
 }
 
 impl Bencher {
-    /// Runs `routine` repeatedly and records the mean time per call.
+    /// Runs `routine` through warm-up then timed sample bursts, recording a
+    /// per-iteration time per burst.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // One calibration call, then a short measured burst.
-        std::hint::black_box(routine());
-        let start = Instant::now();
-        let mut iters = 0u64;
-        loop {
+        // Fixed warm-up: never measured.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < WARMUP_ITERS && warm_start.elapsed().as_millis() < WARMUP_MS {
             std::hint::black_box(routine());
-            iters += 1;
-            // Keep each benchmark fast: a burst of at most ~50ms or 10k iters.
-            if iters >= 10_000 || (iters.is_multiple_of(16) && start.elapsed().as_millis() >= 50) {
-                break;
+            warm_iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed();
+
+        // Size each sample burst so SAMPLES bursts fit the budget.
+        let per_iter_ns = (warm_elapsed.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let budget_ns = (MEASURE_MS * 1_000_000) as f64;
+        let iters_per_sample = ((budget_ns / SAMPLES as f64 / per_iter_ns) as u64)
+            .clamp(MIN_ITERS_PER_SAMPLE, 100_000);
+
+        let run_start = Instant::now();
+        for _ in 0..SAMPLES {
+            let sample_start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let nanos = sample_start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / iters_per_sample as f64);
+            self.iters_run += iters_per_sample;
+            if run_start.elapsed().as_millis() >= MEASURE_MS {
+                break; // budget spent; report the samples we have
             }
         }
-        self.iters_run = iters;
-        self.nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// Median of a sample set (mean of the middle pair for even counts).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
     }
 }
 
 fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
+        samples: Vec::with_capacity(SAMPLES),
         iters_run: 0,
-        nanos: 0,
     };
     f(&mut bencher);
-    if bencher.iters_run > 0 {
-        let per_iter = bencher.nanos / bencher.iters_run as u128;
-        println!(
-            "{name:<48} {per_iter:>12} ns/iter ({} iters)",
-            bencher.iters_run
-        );
-    } else {
+    if bencher.samples.is_empty() {
         println!("{name:<48} (no measurement)");
+        return;
     }
+    let lo = bencher
+        .samples
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = bencher
+        .samples
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let med = median(&mut bencher.samples);
+    println!(
+        "{name:<48} {med:>12.0} ns/iter (median of {} samples, {:.0}..{:.0} ns, {} iters)",
+        bencher.samples.len(),
+        lo,
+        hi,
+        bencher.iters_run
+    );
 }
 
 /// Top-level benchmark driver (mirror of `criterion::Criterion`).
@@ -146,4 +212,34 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sets() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn bencher_collects_multiple_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_run: 0,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert!(b.samples.len() > 1, "median needs multiple samples");
+        assert!(calls > WARMUP_ITERS, "warm-up plus measured bursts ran");
+        assert_eq!(
+            calls,
+            WARMUP_ITERS + b.iters_run,
+            "every non-warm-up call is accounted to a sample"
+        );
+    }
 }
