@@ -8,14 +8,50 @@
 //! cargo run -p groupview-bench --bin experiments --release soak 5 100
 //! #                                        rounds ───┘     │
 //! #                                        base seed ──────┘
+//! cargo run -p groupview-bench --bin experiments --release trajectory
+//! cargo run -p groupview-bench --bin experiments --release trajectory --smoke
 //! ```
 
-use groupview_bench::all_experiments;
+use groupview_bench::{all_experiments, trajectory, TrajectoryConfig};
 use groupview_scenario::{run_soak, SoakConfig};
 use std::time::Instant;
 
+// The trajectory recorder measures allocs/op through this counting
+// allocator; installing it in the binary (not the library) keeps the
+// bench targets free to install their own (`benches/objects.rs`).
+#[global_allocator]
+static GLOBAL: trajectory::CountingAlloc = trajectory::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trajectory") {
+        let cfg = if args.iter().any(|a| a == "--smoke") {
+            TrajectoryConfig::smoke()
+        } else {
+            TrajectoryConfig::full()
+        };
+        println!(
+            "# trajectory — batched-invocation throughput, {} mode ({} objects, \
+             {}-server group, {} ops/series)\n",
+            cfg.mode, cfg.objects, cfg.servers, cfg.ops_per_series
+        );
+        let started = Instant::now();
+        let report = trajectory::run(&cfg);
+        let path = trajectory::artifact_path();
+        std::fs::write(&path, report.to_json()).expect("write BENCH_trajectory.json");
+        println!(
+            "\nwrote {} ({} series) in {:.2?}",
+            path.display(),
+            report.series.len(),
+            started.elapsed()
+        );
+        if let Err(msg) = report.check() {
+            eprintln!("trajectory gate failed: {msg}");
+            std::process::exit(1);
+        }
+        println!("trajectory gates passed: batch=16 ≥2× batch=1 ops/sec, fewer allocs/op");
+        return;
+    }
     if args.first().map(String::as_str) == Some("soak") {
         let rounds = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
         let base_seed = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(1);

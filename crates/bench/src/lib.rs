@@ -13,5 +13,7 @@
 //! the tables bit-for-bit.
 
 pub mod experiments;
+pub mod trajectory;
 
 pub use crate::experiments::{all_experiments, run_experiment, Experiment};
+pub use crate::trajectory::{TrajectoryConfig, TrajectoryReport};

@@ -1,0 +1,354 @@
+//! Production-scale throughput trajectory for the batched invocation
+//! path: the `BENCH_trajectory.json` recorder.
+//!
+//! Drives the active-policy counter workload through the typed `Handle`
+//! surface at batch sizes {1, 4, 16, 64} over a large object population
+//! and a large server group, recording for every series:
+//!
+//! * **ops/sec** — wall-clock throughput of the whole drive loop
+//!   (activation, invocations, commit write-backs);
+//! * **p50/p95/p99 per-op latency** — nearest-rank percentiles from the
+//!   workspace [`Histogram`] over per-op nanoseconds (a batched invoke's
+//!   elapsed time divided across its ops);
+//! * **allocs/op** — heap allocations per operation from the counting
+//!   global allocator the `experiments` binary installs;
+//! * a [`criterion::Summary`] of the same latency samples, so the bench
+//!   suite's JSON lines and this artifact share one schema.
+//!
+//! Batch size 1 uses the plain per-op `Handle::invoke` path (what
+//! unbatched workloads pay); larger sizes use `Handle::invoke_batch`. The
+//! smoke configuration (`experiments trajectory --smoke`) shrinks every
+//! dimension for CI, which asserts the batching win there: batch=16 must
+//! reach ≥2× the ops/sec of batch=1 and strictly fewer allocs/op.
+
+use criterion::Summary;
+use groupview_replication::{Counter, CounterOp, ReplicationPolicy, System, TypedUid};
+use groupview_sim::NodeId;
+use groupview_workload::Histogram;
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counting allocator shell. The `experiments` binary installs it as the
+/// `#[global_allocator]`; declaring it here (without the attribute) keeps
+/// the library usable from targets that install their own allocator
+/// (`benches/objects.rs`).
+pub struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total heap allocations seen by [`CountingAlloc`] (0 unless installed).
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// The batch sizes every trajectory sweeps.
+pub const BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
+
+/// Dimensions of one trajectory run.
+#[derive(Debug, Clone)]
+pub struct TrajectoryConfig {
+    /// `"full"` or `"smoke"` — recorded in the artifact.
+    pub mode: &'static str,
+    /// Objects registered in the directory DBs (each is a replicated
+    /// counter with `Sv = St =` the full server set).
+    pub objects: usize,
+    /// Server/store nodes (the "large group": every object binds all of
+    /// them).
+    pub servers: usize,
+    /// Operations driven per batch-size series.
+    pub ops_per_series: u64,
+    /// Operations per client action (one activation + one commit each).
+    pub ops_per_action: usize,
+    /// World seed.
+    pub seed: u64,
+}
+
+impl TrajectoryConfig {
+    /// The production-scale configuration: ≥10⁵ ops per series over 10⁴
+    /// objects bound to an 8-server group.
+    pub fn full() -> Self {
+        TrajectoryConfig {
+            mode: "full",
+            objects: 10_000,
+            servers: 8,
+            ops_per_series: 100_000,
+            ops_per_action: 64,
+            seed: 99,
+        }
+    }
+
+    /// The CI configuration: same shape, small sizes.
+    pub fn smoke() -> Self {
+        TrajectoryConfig {
+            mode: "smoke",
+            objects: 300,
+            servers: 4,
+            ops_per_series: 4_096,
+            ops_per_action: 64,
+            seed: 99,
+        }
+    }
+}
+
+/// One batch size's measurements.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Ops per batched invocation (1 = the plain invoke path).
+    pub batch: usize,
+    /// Operations driven.
+    pub ops: u64,
+    /// Client actions driven (each: activate, invoke, commit).
+    pub actions: u64,
+    /// Wall-clock throughput over the whole drive loop.
+    pub ops_per_sec: f64,
+    /// Nearest-rank per-op latency percentiles, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Heap allocations per op (0.0 when [`CountingAlloc`] is not the
+    /// installed global allocator).
+    pub allocs_per_op: f64,
+    /// Shared-schema summary of the same per-op latency samples.
+    pub latency_ns: Summary,
+}
+
+/// A full trajectory: one [`Series`] per batch size.
+#[derive(Debug, Clone)]
+pub struct TrajectoryReport {
+    /// The configuration that produced it.
+    pub config: TrajectoryConfig,
+    /// Measurements, in [`BATCH_SIZES`] order.
+    pub series: Vec<Series>,
+}
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(u32::try_from(i).expect("node index fits u32"))
+}
+
+/// Runs one batch-size series in a fresh world.
+fn run_series(cfg: &TrajectoryConfig, batch: usize) -> Series {
+    let sys = System::builder(cfg.seed)
+        .nodes(cfg.servers + 2)
+        .policy(ReplicationPolicy::Active)
+        .build();
+    let servers: Vec<NodeId> = (1..=cfg.servers).map(n).collect();
+    let uids: Vec<TypedUid<Counter>> = (0..cfg.objects)
+        .map(|_| {
+            sys.create_typed(Counter::new(0), &servers, &servers)
+                .expect("create object")
+        })
+        .collect();
+    let client = sys.client(n(cfg.servers + 1));
+
+    let mut latency = Histogram::new();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut done = 0u64;
+    let mut actions = 0u64;
+    let alloc_before = alloc_count();
+    let started = Instant::now();
+    while done < cfg.ops_per_series {
+        let uid = uids[(actions as usize) % uids.len()];
+        actions += 1;
+        let handle = uid.open(&client);
+        let action = client.begin();
+        handle.activate(action, cfg.servers).expect("activate");
+        let in_action = (cfg.ops_per_action as u64).min(cfg.ops_per_series - done) as usize;
+        let mut left = in_action;
+        while left > 0 {
+            let k = batch.min(left);
+            let t = Instant::now();
+            if batch == 1 {
+                black_box(handle.invoke(action, CounterOp::Add(1)).expect("invoke"));
+            } else {
+                let ops = vec![CounterOp::Add(1); k];
+                black_box(handle.invoke_batch(action, &ops).expect("invoke batch"));
+            }
+            let per_op_ns = t.elapsed().as_nanos() as f64 / k as f64;
+            latency.add(per_op_ns as u64);
+            samples.push(per_op_ns);
+            left -= k;
+        }
+        client.commit(action).expect("commit");
+        done += in_action as u64;
+    }
+    let elapsed = started.elapsed();
+    let alloc_delta = alloc_count() - alloc_before;
+
+    Series {
+        batch,
+        ops: done,
+        actions,
+        ops_per_sec: done as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        p50_ns: latency.p50(),
+        p95_ns: latency.p95(),
+        p99_ns: latency.percentile(99.0),
+        allocs_per_op: alloc_delta as f64 / done as f64,
+        latency_ns: Summary::from_samples(format!("trajectory/batch={batch}/latency_ns"), &samples),
+    }
+}
+
+/// Runs the whole trajectory (one series per batch size).
+pub fn run(cfg: &TrajectoryConfig) -> TrajectoryReport {
+    let mut series = Vec::with_capacity(BATCH_SIZES.len());
+    for batch in BATCH_SIZES {
+        let s = run_series(cfg, batch);
+        println!(
+            "trajectory/batch={:<3} {:>10.0} ops/sec  p50={}ns p95={}ns p99={}ns  {:.2} allocs/op  ({} ops, {} actions)",
+            s.batch, s.ops_per_sec, s.p50_ns, s.p95_ns, s.p99_ns, s.allocs_per_op, s.ops, s.actions
+        );
+        series.push(s);
+    }
+    TrajectoryReport {
+        config: cfg.clone(),
+        series,
+    }
+}
+
+impl TrajectoryReport {
+    /// The batching acceptance gates, checked by the CI smoke run:
+    /// batch=16 must deliver ≥2× the ops/sec of batch=1, and (when
+    /// allocation data is present) strictly fewer allocs/op.
+    pub fn check(&self) -> Result<(), String> {
+        let find = |b: usize| {
+            self.series
+                .iter()
+                .find(|s| s.batch == b)
+                .ok_or_else(|| format!("no batch={b} series"))
+        };
+        let b1 = find(1)?;
+        let b16 = find(16)?;
+        if b16.ops_per_sec < 2.0 * b1.ops_per_sec {
+            return Err(format!(
+                "batch=16 must reach ≥2× batch=1 throughput: {:.0} vs {:.0} ops/sec",
+                b16.ops_per_sec, b1.ops_per_sec
+            ));
+        }
+        if b1.allocs_per_op > 0.0 && b16.allocs_per_op >= b1.allocs_per_op {
+            return Err(format!(
+                "batch=16 must allocate strictly less per op than batch=1: {:.2} vs {:.2}",
+                b16.allocs_per_op, b1.allocs_per_op
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders the artifact: hand-rolled JSON (the offline workspace has
+    /// no serde), with every latency summary in the shared
+    /// [`criterion::Summary`] schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"trajectory\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.config.mode));
+        out.push_str("  \"policy\": \"active\",\n");
+        out.push_str("  \"workload\": \"counter Add(1), typed handle surface\",\n");
+        out.push_str(&format!("  \"objects\": {},\n", self.config.objects));
+        out.push_str(&format!("  \"servers\": {},\n", self.config.servers));
+        out.push_str(&format!(
+            "  \"ops_per_series\": {},\n",
+            self.config.ops_per_series
+        ));
+        out.push_str(&format!(
+            "  \"ops_per_action\": {},\n",
+            self.config.ops_per_action
+        ));
+        out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"batch\": {},\n", s.batch));
+            out.push_str(&format!("      \"ops\": {},\n", s.ops));
+            out.push_str(&format!("      \"actions\": {},\n", s.actions));
+            out.push_str(&format!("      \"ops_per_sec\": {:.1},\n", s.ops_per_sec));
+            out.push_str(&format!("      \"p50_ns\": {},\n", s.p50_ns));
+            out.push_str(&format!("      \"p95_ns\": {},\n", s.p95_ns));
+            out.push_str(&format!("      \"p99_ns\": {},\n", s.p99_ns));
+            out.push_str(&format!(
+                "      \"allocs_per_op\": {:.3},\n",
+                s.allocs_per_op
+            ));
+            out.push_str(&format!(
+                "      \"latency_ns\": {}\n",
+                s.latency_ns.to_json()
+            ));
+            out.push_str(if i + 1 == self.series.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Where the artifact lives: the repository root.
+pub fn artifact_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trajectory.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny end-to-end trajectory: every batch size runs, replies all
+    /// decode, and the JSON artifact carries every required field. (No
+    /// alloc assertions here — the test harness does not install
+    /// [`CountingAlloc`], so alloc counts read zero.)
+    #[test]
+    fn tiny_trajectory_runs_and_renders() {
+        let cfg = TrajectoryConfig {
+            mode: "test",
+            objects: 4,
+            servers: 3,
+            ops_per_series: 96,
+            ops_per_action: 32,
+            seed: 7,
+        };
+        let report = run(&cfg);
+        assert_eq!(report.series.len(), BATCH_SIZES.len());
+        for s in &report.series {
+            assert_eq!(s.ops, 96);
+            assert!(s.ops_per_sec > 0.0);
+            assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        }
+        let json = report.to_json();
+        for field in [
+            "\"experiment\": \"trajectory\"",
+            "\"batch\": 1",
+            "\"batch\": 4",
+            "\"batch\": 16",
+            "\"batch\": 64",
+            "\"ops_per_sec\"",
+            "\"p50_ns\"",
+            "\"p95_ns\"",
+            "\"p99_ns\"",
+            "\"allocs_per_op\"",
+            "\"latency_ns\"",
+            "\"median\"",
+        ] {
+            assert!(json.contains(field), "artifact missing {field}: {json}");
+        }
+    }
+}

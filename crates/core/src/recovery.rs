@@ -160,15 +160,7 @@ impl RecoveryManager {
         if !self.sim.is_up(node) {
             return report;
         }
-        for uid in self.naming.server_db.uids() {
-            let listed = self
-                .naming
-                .server_db
-                .entry(uid)
-                .is_some_and(|e| e.servers.contains(&node));
-            if !listed {
-                continue;
-            }
+        for uid in self.naming.server_db.uids_hosting(node) {
             let action = self.tx.begin_top(node);
             match self.naming.insert_from(node, action, uid, node) {
                 Ok(_) => match self.tx.commit(action) {

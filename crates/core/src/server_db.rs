@@ -7,7 +7,7 @@ use groupview_sim::{ClientId, NodeId};
 use groupview_store::Uid;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -94,9 +94,45 @@ pub struct ServerDbOps {
     pub decrement: u64,
 }
 
+/// Reverse index: per client, the objects with at least one use-list
+/// entry for it, with the number of hosts carrying that entry. Maintained
+/// alongside `entries` by every mutation path (including undo closures),
+/// it turns the cleanup daemon's two scans — "which clients appear in any
+/// use list" and "which entries mention this client" — from full-database
+/// walks into O(log n) lookups.
+type UseIndex = BTreeMap<ClientId, BTreeMap<Uid, u32>>;
+
 struct Inner {
-    entries: HashMap<Uid, ServerEntry>,
+    /// Keyed by UID in a `BTreeMap`: point lookups stay O(log n) at 10⁵+
+    /// entries and [`ObjectServerDb::uids`] iterates in sorted order
+    /// without a clone-and-sort.
+    entries: BTreeMap<Uid, ServerEntry>,
+    use_index: UseIndex,
     ops: ServerDbOps,
+}
+
+/// Records that one host's use list for `uid` gained a `client` entry.
+fn index_add(index: &mut UseIndex, client: ClientId, uid: Uid) {
+    *index.entry(client).or_default().entry(uid).or_insert(0) += 1;
+}
+
+/// Records that one host's use list for `uid` dropped its `client` entry.
+fn index_sub(index: &mut UseIndex, client: ClientId, uid: Uid) {
+    let Some(per_uid) = index.get_mut(&client) else {
+        debug_assert!(false, "use index out of sync: no client entry");
+        return;
+    };
+    let Some(hosts) = per_uid.get_mut(&uid) else {
+        debug_assert!(false, "use index out of sync: no uid entry");
+        return;
+    };
+    *hosts -= 1;
+    if *hosts == 0 {
+        per_uid.remove(&uid);
+        if per_uid.is_empty() {
+            index.remove(&client);
+        }
+    }
 }
 
 /// The Object Server database (`UID → SvA` mappings).
@@ -129,7 +165,8 @@ impl ObjectServerDb {
         ObjectServerDb {
             tx: tx.clone(),
             inner: Rc::new(RefCell::new(Inner {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
+                use_index: UseIndex::new(),
                 ops: ServerDbOps::default(),
             })),
         }
@@ -157,7 +194,20 @@ impl ObjectServerDb {
         }
         let handle = self.inner.clone();
         self.tx.push_undo(action, move || {
-            handle.borrow_mut().entries.remove(&uid);
+            let mut inner = handle.borrow_mut();
+            let Inner {
+                entries, use_index, ..
+            } = &mut *inner;
+            if let Some(e) = entries.remove(&uid) {
+                // Defensive: undos run in reverse order, so the entry's
+                // use lists are empty again by now — but if not, keep the
+                // index consistent with what is being dropped.
+                for ul in e.use_lists.values() {
+                    for &client in ul.keys() {
+                        index_sub(use_index, client, uid);
+                    }
+                }
+            }
         })?;
         Ok(())
     }
@@ -245,11 +295,22 @@ impl ObjectServerDb {
             .lock(action, server_entry_key(uid), LockMode::Write)?;
         let removed = {
             let mut inner = self.inner.borrow_mut();
-            inner.ops.remove += 1;
-            let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            let Inner {
+                entries,
+                use_index,
+                ops,
+            } = &mut *inner;
+            ops.remove += 1;
+            let entry = entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
             if let Some(pos) = entry.servers.iter().position(|&s| s == host) {
                 entry.servers.remove(pos);
-                Some((pos, entry.use_lists.remove(&host)))
+                let use_list = entry.use_lists.remove(&host);
+                if let Some(ul) = &use_list {
+                    for &client in ul.keys() {
+                        index_sub(use_index, client, uid);
+                    }
+                }
+                Some((pos, use_list))
             } else {
                 None
             }
@@ -257,10 +318,17 @@ impl ObjectServerDb {
         if let Some((pos, use_list)) = removed {
             let handle = self.inner.clone();
             self.tx.push_undo(action, move || {
-                if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+                let mut inner = handle.borrow_mut();
+                let Inner {
+                    entries, use_index, ..
+                } = &mut *inner;
+                if let Some(e) = entries.get_mut(&uid) {
                     let pos = pos.min(e.servers.len());
                     e.servers.insert(pos, host);
                     if let Some(ul) = use_list {
+                        for &client in ul.keys() {
+                            index_add(use_index, client, uid);
+                        }
                         e.use_lists.insert(host, ul);
                     }
                 }
@@ -288,23 +356,38 @@ impl ObjectServerDb {
             .lock(action, server_entry_key(uid), LockMode::Write)?;
         {
             let mut inner = self.inner.borrow_mut();
-            inner.ops.increment += 1;
-            let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            let Inner {
+                entries,
+                use_index,
+                ops,
+            } = &mut *inner;
+            ops.increment += 1;
+            let entry = entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
             for &host in hosts {
-                *entry
+                let counter = entry
                     .use_lists
                     .entry(host)
                     .or_default()
                     .entry(client)
-                    .or_insert(0) += 1;
+                    .or_insert(0);
+                if *counter == 0 {
+                    index_add(use_index, client, uid);
+                }
+                *counter += 1;
             }
         }
         let handle = self.inner.clone();
         let hosts: Vec<NodeId> = hosts.to_vec();
         self.tx.push_undo(action, move || {
-            if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+            let mut inner = handle.borrow_mut();
+            let Inner {
+                entries, use_index, ..
+            } = &mut *inner;
+            if let Some(e) = entries.get_mut(&uid) {
                 for &host in &hosts {
-                    decrement_counter(e, host, client);
+                    if decrement_counter(e, host, client).removed {
+                        index_sub(use_index, client, uid);
+                    }
                 }
             }
         })?;
@@ -328,23 +411,43 @@ impl ObjectServerDb {
             .lock(action, server_entry_key(uid), LockMode::Write)?;
         let touched: Vec<NodeId> = {
             let mut inner = self.inner.borrow_mut();
-            inner.ops.decrement += 1;
-            let entry = inner.entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            let Inner {
+                entries,
+                use_index,
+                ops,
+            } = &mut *inner;
+            ops.decrement += 1;
+            let entry = entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
             hosts
                 .iter()
                 .copied()
-                .filter(|&host| decrement_counter(entry, host, client))
+                .filter(|&host| {
+                    let effect = decrement_counter(entry, host, client);
+                    if effect.removed {
+                        index_sub(use_index, client, uid);
+                    }
+                    effect.changed
+                })
                 .collect()
         };
         let handle = self.inner.clone();
         self.tx.push_undo(action, move || {
-            if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
+            let mut inner = handle.borrow_mut();
+            let Inner {
+                entries, use_index, ..
+            } = &mut *inner;
+            if let Some(e) = entries.get_mut(&uid) {
                 for &host in &touched {
-                    *e.use_lists
+                    let counter = e
+                        .use_lists
                         .entry(host)
                         .or_default()
                         .entry(client)
-                        .or_insert(0) += 1;
+                        .or_insert(0);
+                    if *counter == 0 {
+                        index_add(use_index, client, uid);
+                    }
+                    *counter += 1;
                 }
             }
         })?;
@@ -363,16 +466,16 @@ impl ObjectServerDb {
         action: ActionId,
         client: ClientId,
     ) -> Result<Vec<(Uid, NodeId)>, DbError> {
-        // Find affected entries first (no locks needed for the scan: the
+        // Find affected entries from the reverse index — one O(log n)
+        // lookup instead of a full-database scan (no locks needed: the
         // sweep re-checks under the entry lock before mutating).
         let affected: Vec<Uid> = {
             let inner = self.inner.borrow();
             inner
-                .entries
-                .iter()
-                .filter(|(_, e)| e.use_lists.values().any(|ul| ul.contains_key(&client)))
-                .map(|(&uid, _)| uid)
-                .collect()
+                .use_index
+                .get(&client)
+                .map(|per_uid| per_uid.keys().copied().collect())
+                .unwrap_or_default()
         };
         let mut cleaned = Vec::new();
         for uid in affected {
@@ -380,13 +483,17 @@ impl ObjectServerDb {
                 .lock(action, server_entry_key(uid), LockMode::Write)?;
             let removed: Vec<(NodeId, u32)> = {
                 let mut inner = self.inner.borrow_mut();
-                let Some(entry) = inner.entries.get_mut(&uid) else {
+                let Inner {
+                    entries, use_index, ..
+                } = &mut *inner;
+                let Some(entry) = entries.get_mut(&uid) else {
                     continue;
                 };
                 let mut removed = Vec::new();
                 for (&host, ul) in entry.use_lists.iter_mut() {
                     if let Some(count) = ul.remove(&client) {
                         removed.push((host, count));
+                        index_sub(use_index, client, uid);
                     }
                 }
                 removed
@@ -395,8 +502,19 @@ impl ObjectServerDb {
                 cleaned.push((uid, host));
                 let handle = self.inner.clone();
                 self.tx.push_undo(action, move || {
-                    if let Some(e) = handle.borrow_mut().entries.get_mut(&uid) {
-                        e.use_lists.entry(host).or_default().insert(client, count);
+                    let mut inner = handle.borrow_mut();
+                    let Inner {
+                        entries, use_index, ..
+                    } = &mut *inner;
+                    if let Some(e) = entries.get_mut(&uid) {
+                        if e.use_lists
+                            .entry(host)
+                            .or_default()
+                            .insert(client, count)
+                            .is_none()
+                        {
+                            index_add(use_index, client, uid);
+                        }
                     }
                 })?;
             }
@@ -411,26 +529,40 @@ impl ObjectServerDb {
         self.inner.borrow().entries.get(&uid).cloned()
     }
 
-    /// All object UIDs with entries, sorted.
+    /// All object UIDs with entries, sorted (the map iterates in key
+    /// order, so this is a plain collect — no sort pass).
     pub fn uids(&self) -> Vec<Uid> {
-        let mut v: Vec<Uid> = self.inner.borrow().entries.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.inner.borrow().entries.keys().copied().collect()
+    }
+
+    /// Number of entries (cheaper than `uids().len()`).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().entries.len()
+    }
+
+    /// Whether the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().entries.is_empty()
+    }
+
+    /// UIDs whose server set contains `host`, sorted. Recovery uses this
+    /// to find the objects a restarted node should re-register for,
+    /// without cloning whole entries.
+    pub fn uids_hosting(&self, host: NodeId) -> Vec<Uid> {
+        self.inner
+            .borrow()
+            .entries
+            .iter()
+            .filter(|(_, e)| e.servers.contains(&host))
+            .map(|(&uid, _)| uid)
+            .collect()
     }
 
     /// Every client appearing in some use list (sorted, deduplicated).
-    /// The cleanup daemon checks these against liveness.
+    /// The cleanup daemon checks these against liveness. Served straight
+    /// from the reverse index: its keys are exactly this set.
     pub fn clients_in_use(&self) -> Vec<ClientId> {
-        let inner = self.inner.borrow();
-        let mut v: Vec<ClientId> = inner
-            .entries
-            .values()
-            .flat_map(|e| e.use_lists.values())
-            .flat_map(|ul| ul.keys().copied())
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+        self.inner.borrow().use_index.keys().copied().collect()
     }
 
     /// Operation counters.
@@ -439,22 +571,40 @@ impl ObjectServerDb {
     }
 }
 
-/// Removes one use of `host` by `client`; returns whether a counter changed.
-fn decrement_counter(entry: &mut ServerEntry, host: NodeId, client: ClientId) -> bool {
+/// What [`decrement_counter`] did to the `(host, client)` counter.
+#[derive(Clone, Copy)]
+struct DecrementEffect {
+    /// A counter existed and was decremented.
+    changed: bool,
+    /// The decrement dropped the client's entry from the host's use list
+    /// (counter reached zero) — the caller must update the use index.
+    removed: bool,
+}
+
+/// Removes one use of `host` by `client`, pruning empty entries.
+fn decrement_counter(entry: &mut ServerEntry, host: NodeId, client: ClientId) -> DecrementEffect {
+    const NONE: DecrementEffect = DecrementEffect {
+        changed: false,
+        removed: false,
+    };
     let Some(ul) = entry.use_lists.get_mut(&host) else {
-        return false;
+        return NONE;
     };
     let Some(c) = ul.get_mut(&client) else {
-        return false;
+        return NONE;
     };
     *c = c.saturating_sub(1);
-    if *c == 0 {
+    let removed = *c == 0;
+    if removed {
         ul.remove(&client);
         if ul.is_empty() {
             entry.use_lists.remove(&host);
         }
     }
-    true
+    DecrementEffect {
+        changed: true,
+        removed,
+    }
 }
 
 #[cfg(test)]
@@ -695,5 +845,87 @@ mod tests {
     fn entry_display() {
         let e = ServerEntry::new(vec![n(1), n(2)]);
         assert_eq!(e.to_string(), "Sv={n1,n2} uses=0");
+    }
+
+    #[test]
+    fn use_index_survives_aborts() {
+        let (_, tx, db) = world();
+        setup_entry(&tx, &db);
+        // Aborted increment leaves the index empty.
+        let a = tx.begin_top(n(0));
+        db.increment(a, c(1), uid(), &[n(1), n(2)]).unwrap();
+        assert_eq!(db.clients_in_use(), vec![c(1)]);
+        tx.abort(a);
+        assert!(db.clients_in_use().is_empty());
+        // Committed increment, aborted decrement: the client stays indexed.
+        let b = tx.begin_top(n(0));
+        db.increment(b, c(1), uid(), &[n(1)]).unwrap();
+        tx.commit(b).unwrap();
+        let d = tx.begin_top(n(0));
+        db.decrement(d, c(1), uid(), &[n(1)]).unwrap();
+        assert!(db.clients_in_use().is_empty());
+        tx.abort(d);
+        assert_eq!(db.clients_in_use(), vec![c(1)]);
+        // Aborted remove restores the host's use list into the index.
+        let e = tx.begin_top(n(0));
+        db.remove(e, uid(), n(1)).unwrap();
+        assert!(db.clients_in_use().is_empty());
+        tx.abort(e);
+        assert_eq!(db.clients_in_use(), vec![c(1)]);
+        // Aborted purge restores; committed purge clears.
+        let f = tx.begin_top(n(0));
+        db.purge_client(f, c(1)).unwrap();
+        tx.abort(f);
+        assert_eq!(db.clients_in_use(), vec![c(1)]);
+        let g = tx.begin_top(n(0));
+        assert_eq!(db.purge_client(g, c(1)).unwrap(), vec![(uid(), n(1))]);
+        tx.commit(g).unwrap();
+        assert!(db.clients_in_use().is_empty());
+    }
+
+    #[test]
+    fn indexed_lookups_scale_to_fifty_thousand_entries() {
+        let (_, tx, db) = world();
+        const N: u64 = 50_000;
+        // Registration: every object gets an entry, alternating hosts;
+        // every 10th is put in use by one client.
+        let a = tx.begin_top(n(0));
+        for i in 0..N {
+            let u = Uid::from_raw(i + 1);
+            let host = if i % 2 == 0 { n(1) } else { n(2) };
+            db.create_entry(a, u, vec![host]).unwrap();
+            if i % 10 == 0 {
+                db.increment(a, c(7), u, &[host]).unwrap();
+            }
+        }
+        tx.commit(a).unwrap();
+        assert_eq!(db.len(), N as usize);
+        let uids = db.uids();
+        assert_eq!(uids.len(), N as usize);
+        assert!(
+            uids.windows(2).all(|w| w[0] < w[1]),
+            "sorted without a sort pass"
+        );
+        assert_eq!(db.uids_hosting(n(1)).len(), 25_000);
+        assert_eq!(db.clients_in_use(), vec![c(7)]);
+
+        // Registration of a recovered node on a quiescent entry.
+        let b = tx.begin_top(n(0));
+        assert!(db.insert(b, Uid::from_raw(2), n(3)).unwrap());
+        tx.commit(b).unwrap();
+        assert_eq!(db.uids_hosting(n(3)), vec![Uid::from_raw(2)]);
+
+        // Expel: removing a host drops its use list from the index too.
+        let d = tx.begin_top(n(0));
+        assert!(db.remove(d, Uid::from_raw(1), n(1)).unwrap());
+        tx.commit(d).unwrap();
+        assert_eq!(db.uids_hosting(n(1)).len(), 24_999);
+
+        // The reverse index hands the purge its affected set directly.
+        let p = tx.begin_top(n(0));
+        let cleaned = db.purge_client(p, c(7)).unwrap();
+        assert_eq!(cleaned.len(), 4_999);
+        tx.commit(p).unwrap();
+        assert!(db.clients_in_use().is_empty());
     }
 }

@@ -7,7 +7,7 @@ use groupview_sim::NodeId;
 use groupview_store::Uid;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -90,7 +90,9 @@ pub struct StateDbOps {
 }
 
 struct Inner {
-    entries: HashMap<Uid, StateEntry>,
+    /// Keyed by UID in a `BTreeMap`: O(log n) point lookups at scale and
+    /// [`ObjectStateDb::uids`] iterates in sorted order for free.
+    entries: BTreeMap<Uid, StateEntry>,
     ops: StateDbOps,
 }
 
@@ -122,7 +124,7 @@ impl ObjectStateDb {
         ObjectStateDb {
             tx: tx.clone(),
             inner: Rc::new(RefCell::new(Inner {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
                 ops: StateDbOps::default(),
             })),
         }
@@ -269,11 +271,9 @@ impl ObjectStateDb {
         self.inner.borrow().entries.get(&uid).cloned()
     }
 
-    /// All object UIDs with entries, sorted.
+    /// All object UIDs with entries, sorted (map key order — no sort pass).
     pub fn uids(&self) -> Vec<Uid> {
-        let mut v: Vec<Uid> = self.inner.borrow().entries.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.inner.borrow().entries.keys().copied().collect()
     }
 
     /// Operation counters.

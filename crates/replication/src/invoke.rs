@@ -10,7 +10,9 @@ use crate::error::InvokeError;
 use crate::policy::ReplicationPolicy;
 use crate::replica::ReplicaHandle;
 use crate::system::System;
-use crate::wire::{GroupMsgCodec, MemberReply, MemberReplyCodec};
+use crate::wire::{
+    read_frames, BatchMsgCodec, GroupMsgCodec, MemberReply, MemberReplyCodec, BATCH_FLAG,
+};
 use groupview_actions::{ActionId, LockKey, LockMode};
 use groupview_core::{BindRequest, Binding};
 use groupview_group::{GroupId, GroupMember};
@@ -169,6 +171,55 @@ impl System {
             self.mark_dirty(action, group.uid);
         }
         Ok(reply)
+    }
+
+    /// Invokes a batch of operations on the activated object behind
+    /// `group` as **one** replicated unit: one lock acquisition, one
+    /// (flagged) operation id, one undo snapshot, one pooled wire frame,
+    /// one policy round, and one dirty-marking — `do_invoke`'s per-op
+    /// overhead is paid once per batch. The returned replies are
+    /// index-aligned with `ops`. An empty batch is a no-op that touches
+    /// neither locks nor the wire.
+    pub(crate) fn do_invoke_batch(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        ops: &[&[u8]],
+        write_intent: bool,
+    ) -> Result<Vec<Bytes>, InvokeError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let inner = &self.inner;
+        let mode = if write_intent {
+            LockMode::Write
+        } else {
+            LockMode::Read
+        };
+        inner.tx.lock(action, object_key(group.uid), mode)?;
+        let batch_id = self.next_op_id() | BATCH_FLAG;
+        if write_intent {
+            // One snapshot undoes the whole batch: abort restores the
+            // pre-batch state and forgets the single batch-granularity
+            // dedup entry.
+            self.push_object_undo(action, group, batch_id)?;
+        }
+        // The only encode of this batch: one pooled frame shared by every
+        // replica the policy touches.
+        let msg = BatchMsgCodec::encode_parts(&inner.wire, batch_id, ops);
+        let (reply, mutated) = match group.policy {
+            ReplicationPolicy::Active => self.invoke_active(group, &msg)?,
+            ReplicationPolicy::CoordinatorCohort => self.invoke_cohort(group, &msg)?,
+            ReplicationPolicy::SingleCopyPassive => self.invoke_single(group, &msg)?,
+        };
+        if mutated {
+            self.mark_dirty(action, group.uid);
+        }
+        let replies = read_frames(&reply).ok_or(InvokeError::MalformedReply(group.uid))?;
+        if replies.len() != ops.len() {
+            return Err(InvokeError::MalformedReply(group.uid));
+        }
+        Ok(replies)
     }
 
     /// Registers an undo that restores every live same-lineage replica of

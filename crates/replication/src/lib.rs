@@ -64,4 +64,7 @@ pub use crate::policy::ReplicationPolicy;
 pub use crate::replica::{ReplicaRegistry, ServerReplica};
 pub use crate::system::{Client, System, SystemBuilder};
 pub use crate::typed::{Handle, KvReply, ObjectType, TypedUid};
-pub use crate::wire::{GroupMsg, GroupMsgCodec, MemberReply, MemberReplyCodec};
+pub use crate::wire::{
+    BatchMsg, BatchMsgCodec, BatchReply, BatchReplyCodec, GroupMsg, GroupMsgCodec, MemberReply,
+    MemberReplyCodec, BATCH_FLAG,
+};

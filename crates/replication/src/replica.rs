@@ -1,6 +1,7 @@
 //! Server replicas: activated copies of persistent objects.
 
 use crate::object::{InvokeResult, ReplicaObject, TypeRegistry};
+use crate::wire;
 use groupview_sim::{Bytes, NodeId, Sim, WireEncoder};
 use groupview_store::{ObjectState, TypeTag, Uid, Version, Volatile};
 use std::cell::RefCell;
@@ -160,6 +161,12 @@ impl ServerReplica {
     /// Executes an operation with at-most-once semantics per `op_id`,
     /// writing the reply through the pooled `enc`. Returns `None` when no
     /// state is loaded.
+    ///
+    /// An id carrying [`wire::BATCH_FLAG`] marks `op` as a batch body
+    /// (`[count][len, op]*`): the whole batch applies as one at-most-once
+    /// unit — one dedup entry, one aggregate [`wire::BatchReply`]-framed
+    /// reply — so a client retry after coordinator failover can never
+    /// re-execute a prefix of an already-applied batch.
     pub fn invoke(
         &mut self,
         sim: &Sim,
@@ -173,11 +180,36 @@ impl ServerReplica {
             // (and without reporting a fresh mutation).
             return Some(InvokeResult::read(reply.clone()));
         }
-        let result = loaded.obj.invoke(op, enc);
+        let result = if op_id & wire::BATCH_FLAG != 0 {
+            Self::apply_batch(loaded, enc, op)?
+        } else {
+            loaded.obj.invoke(op, enc)
+        };
         loaded
             .applied
             .insert(op_id, result.reply.clone(), result.mutated);
         Some(result)
+    }
+
+    /// Applies a batch body: validates the whole frame first (a malformed
+    /// batch rejects without mutating anything, like a malformed single
+    /// frame), then applies each op in order and aggregates the replies
+    /// into one pooled [`wire::BatchReply`] frame. `mutated` is the OR
+    /// across the batch, so an all-reads batch still takes the paper's
+    /// read optimisation at commit.
+    fn apply_batch(loaded: &mut Loaded, enc: &WireEncoder, body: &[u8]) -> Option<InvokeResult> {
+        let ranges = wire::split_frames(body)?;
+        let mut replies = Vec::with_capacity(ranges.len());
+        let mut mutated = false;
+        for range in ranges {
+            let res = loaded.obj.invoke(&body[range], enc);
+            mutated |= res.mutated;
+            replies.push(res.reply);
+        }
+        let reply = enc.encode_with(|buf| {
+            wire::write_frames(replies.iter().map(|b| b.as_slice()), buf);
+        });
+        Some(InvokeResult { reply, mutated })
     }
 
     /// A snapshot of the current (possibly uncommitted) state, tagged with
@@ -405,6 +437,54 @@ mod tests {
         assert_eq!(dup.reply, first.reply, "cached reply returned");
         let check = r.invoke(&sim, &enc, 43, &CounterOp::Get.encode()).unwrap();
         assert_eq!(CounterOp::decode_reply(&check.reply), Some(1));
+    }
+
+    #[test]
+    fn batch_applies_in_order_and_dedups_whole_batch() {
+        let (sim, types) = world();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        let enc = enc();
+        r.load(&sim, &counter_state(0), &types);
+        let ops = [
+            CounterOp::Add(1).encode(),
+            CounterOp::Get.encode(),
+            CounterOp::Add(10).encode(),
+        ];
+        let op_refs: Vec<&[u8]> = ops.iter().map(|o| o.as_slice()).collect();
+        let frame = wire::BatchMsgCodec::encode_parts(&enc, 5 | wire::BATCH_FLAG, &op_refs);
+        let body = &frame.as_slice()[crate::wire::GROUP_MSG_HEADER_BYTES..];
+
+        let first = r.invoke(&sim, &enc, 5 | wire::BATCH_FLAG, body).unwrap();
+        assert!(first.mutated, "batch contains writes");
+        let replies = wire::read_frames(&first.reply).expect("framed reply");
+        assert_eq!(replies.len(), 3, "one reply per op, in op order");
+        assert_eq!(CounterOp::decode_reply(&replies[0]), Some(1));
+        assert_eq!(CounterOp::decode_reply(&replies[1]), Some(1));
+        assert_eq!(CounterOp::decode_reply(&replies[2]), Some(11));
+
+        // Redelivery of the same batch id executes nothing.
+        let dup = r.invoke(&sim, &enc, 5 | wire::BATCH_FLAG, body).unwrap();
+        assert!(!dup.mutated, "duplicate batch must not re-execute");
+        assert_eq!(dup.reply, first.reply, "cached aggregate reply");
+        let check = r.invoke(&sim, &enc, 6, &CounterOp::Get.encode()).unwrap();
+        assert_eq!(CounterOp::decode_reply(&check.reply), Some(11));
+    }
+
+    #[test]
+    fn malformed_batch_rejects_without_mutating() {
+        let (sim, types) = world();
+        let mut r = ServerReplica::new(&sim, Uid::from_raw(1), NodeId::new(0));
+        let enc = enc();
+        r.load(&sim, &counter_state(7), &types);
+        // Count promises two ops but the body holds none.
+        let body = 2u32.to_le_bytes();
+        assert!(r.invoke(&sim, &enc, 9 | wire::BATCH_FLAG, &body).is_none());
+        let check = r.invoke(&sim, &enc, 10, &CounterOp::Get.encode()).unwrap();
+        assert_eq!(
+            CounterOp::decode_reply(&check.reply),
+            Some(7),
+            "state untouched"
+        );
     }
 
     #[test]

@@ -745,6 +745,41 @@ impl Client {
         self.sys.do_invoke(action, group, op, false)
     }
 
+    /// Invokes a batch of state-changing operations as one replicated
+    /// unit (object write lock, one wire frame, one undo snapshot, one
+    /// write-back at commit). Replies are index-aligned with `ops`; an
+    /// empty batch returns an empty vector without touching the object.
+    ///
+    /// This is the raw escape hatch under [`crate::Handle::invoke_batch`],
+    /// which additionally picks the lock intent from the ops themselves.
+    ///
+    /// # Errors
+    ///
+    /// See [`InvokeError`]; on error the action should be aborted.
+    pub fn invoke_batch(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        ops: &[&[u8]],
+    ) -> Result<Vec<Bytes>, InvokeError> {
+        self.sys.do_invoke_batch(action, group, ops, true)
+    }
+
+    /// Invokes a batch of read-only operations as one replicated unit
+    /// (object read lock; concurrent readers allowed).
+    ///
+    /// # Errors
+    ///
+    /// See [`InvokeError`].
+    pub fn invoke_batch_read(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        ops: &[&[u8]],
+    ) -> Result<Vec<Bytes>, InvokeError> {
+        self.sys.do_invoke_batch(action, group, ops, false)
+    }
+
     /// Commits the action: copies every modified object's new state to all
     /// functioning stores in its `St` (excluding the rest), runs two-phase
     /// commit, and completes bindings per the scheme.

@@ -448,6 +448,55 @@ impl<O: ObjectType> Handle<O> {
         O::decode_reply(&op, &reply).ok_or(InvokeError::MalformedReply(self.uid))
     }
 
+    /// Invokes a batch of typed operations as **one** replicated unit on
+    /// behalf of `action`: one object lock, one wire frame, one undo
+    /// snapshot, and one commit-time write-back for the whole batch.
+    /// Replies come back index-aligned with `ops`.
+    ///
+    /// The lock intent is the **strongest** across the batch: a batch is
+    /// read-only (concurrent readers allowed, commit-time state copy
+    /// skipped) only when *every* op in it is read-only — one write op
+    /// upgrades the whole batch to a write lock. An empty batch returns
+    /// `Ok(vec![])` without touching the object.
+    ///
+    /// # Errors
+    ///
+    /// See [`Handle::invoke`]; an error leaves none of the batch's effects
+    /// visible once the action aborts (the batch undoes as one unit).
+    pub fn invoke_batch(
+        &self,
+        action: ActionId,
+        ops: &[O::Op],
+    ) -> Result<Vec<O::Reply>, InvokeError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let group = self
+            .groups
+            .borrow()
+            .get(&action.raw())
+            .cloned()
+            .ok_or(InvokeError::NotActivated(self.uid))?;
+        let write = !ops.iter().all(O::op_is_read_only);
+        // One pooled frame per op; all released when the batch finishes.
+        let frames: Vec<_> = ops
+            .iter()
+            .map(|op| self.client.wire().encode_with(|buf| O::encode_op(op, buf)))
+            .collect();
+        let frame_refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let replies = if write {
+            self.client.invoke_batch(action, &group, &frame_refs)?
+        } else {
+            self.client.invoke_batch_read(action, &group, &frame_refs)?
+        };
+        ops.iter()
+            .zip(&replies)
+            .map(|(op, reply)| {
+                O::decode_reply(op, reply).ok_or(InvokeError::MalformedReply(self.uid))
+            })
+            .collect()
+    }
+
     /// Drops the remembered group for an action immediately (optional:
     /// finished actions' entries are pruned automatically at the next
     /// activation; this frees the group's refcount right away).

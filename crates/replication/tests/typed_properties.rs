@@ -89,6 +89,60 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// `invoke_batch` replies are index-aligned with the submitted ops —
+    /// under every replication policy, for mixed read/write batches, for
+    /// all-read batches (which take the read-lock path), and for the empty
+    /// batch.
+    #[test]
+    fn batch_replies_align_with_op_order_under_every_policy(
+        deltas in prop::collection::vec(-1_000i64..1_000, 1..10),
+    ) {
+        for policy in [
+            ReplicationPolicy::Active,
+            ReplicationPolicy::CoordinatorCohort,
+            ReplicationPolicy::SingleCopyPassive,
+        ] {
+            let sys = System::builder(31).nodes(6).policy(policy).build();
+            let trio = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+            let uid = sys
+                .create_typed(Counter::new(0), &trio, &trio)
+                .expect("create");
+            let client = sys.client(NodeId::new(4));
+            let counter = uid.open(&client);
+            let action = client.begin();
+            counter.activate(action, 2).expect("activate");
+            // Interleave Adds and Gets: each reply must reflect exactly the
+            // ops before it in the batch, in order.
+            let mut ops = Vec::new();
+            let mut expected = Vec::new();
+            let mut total = 0i64;
+            for &d in &deltas {
+                total += d;
+                ops.push(CounterOp::Add(d));
+                expected.push(total);
+                ops.push(CounterOp::Get);
+                expected.push(total);
+            }
+            let replies = counter.invoke_batch(action, &ops).expect("batch");
+            prop_assert_eq!(&replies, &expected);
+            // An all-read batch takes the read-lock path and still aligns.
+            let replies = counter
+                .invoke_batch(action, &[CounterOp::Get; 3])
+                .expect("read batch");
+            prop_assert_eq!(replies, vec![total; 3]);
+            // The empty batch is a no-op with an empty reply vector.
+            prop_assert_eq!(
+                counter.invoke_batch(action, &[]).expect("empty batch"),
+                Vec::<i64>::new()
+            );
+            client.commit(action).expect("commit");
+        }
+    }
+}
+
 /// Empty, boundary, and oversized (>64KiB) values survive the KvMap op and
 /// reply codecs — the explicit sizes the satellite task calls out, pinned
 /// deterministically on top of the property sweep.

@@ -3,7 +3,10 @@
 //! primitives (`clone`, `slice`, zero-copy decode) never allocate or copy —
 //! asserted through the sim's wire allocation counter.
 
-use groupview_replication::{GroupMsg, GroupMsgCodec, InvokeResult, MemberReply, MemberReplyCodec};
+use groupview_replication::{
+    BatchMsg, BatchMsgCodec, BatchReply, BatchReplyCodec, GroupMsg, GroupMsgCodec, InvokeResult,
+    MemberReply, MemberReplyCodec, BATCH_FLAG,
+};
 use groupview_sim::wire::{self, Bytes, Codec, WireEncoder};
 use groupview_store::{ObjectState, SnapshotCodec, TypeTag, Version};
 use proptest::prelude::*;
@@ -109,6 +112,59 @@ proptest! {
     }
 
     #[test]
+    fn batch_msg_roundtrips_op_lists(
+        raw_id in any::<u64>(),
+        ops in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 0..12),
+    ) {
+        let enc = WireEncoder::new();
+        let batch_id = raw_id | BATCH_FLAG;
+        let op_slices: Vec<&[u8]> = ops.iter().map(Vec::as_slice).collect();
+        let frame = BatchMsgCodec::encode_parts(&enc, batch_id, &op_slices);
+        let decoded = BatchMsgCodec::decode(&frame).expect("well-formed batch");
+        prop_assert_eq!(decoded.batch_id, batch_id);
+        prop_assert_eq!(decoded.ops.len(), ops.len());
+        for (got, want) in decoded.ops.iter().zip(&ops) {
+            prop_assert_eq!(got, want);
+        }
+        // The struct-level codec produces the identical frame.
+        let msg = BatchMsg {
+            batch_id,
+            ops: ops.iter().map(|o| Bytes::from(o.clone())).collect(),
+        };
+        prop_assert_eq!(BatchMsgCodec::encode(&enc, &msg), frame);
+    }
+
+    #[test]
+    fn batch_frames_reject_truncation_and_padding(
+        raw_id in any::<u64>(),
+        ops in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 1..6),
+        cut in 0usize..10_000,
+    ) {
+        let enc = WireEncoder::new();
+        let op_slices: Vec<&[u8]> = ops.iter().map(Vec::as_slice).collect();
+        let frame = BatchMsgCodec::encode_parts(&enc, raw_id | BATCH_FLAG, &op_slices);
+        // Any strict prefix is malformed (never a panic, never a value).
+        let cut = cut % frame.len();
+        prop_assert!(BatchMsgCodec::decode(&frame.slice(..cut)).is_none());
+        // So is a frame with trailing garbage.
+        let mut padded = frame.as_slice().to_vec();
+        padded.push(0);
+        prop_assert!(BatchMsgCodec::decode(&Bytes::from(padded)).is_none());
+    }
+
+    #[test]
+    fn batch_reply_roundtrips_reply_lists(
+        replies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..128), 0..12),
+    ) {
+        let enc = WireEncoder::new();
+        let reply = BatchReply {
+            replies: replies.iter().map(|r| Bytes::from(r.clone())).collect(),
+        };
+        let frame = BatchReplyCodec::encode(&enc, &reply);
+        prop_assert_eq!(BatchReplyCodec::decode(&frame).expect("well-formed"), reply);
+    }
+
+    #[test]
     fn truncated_frames_never_panic(
         payload in prop::collection::vec(any::<u8>(), 0..64),
         cut in 0usize..64,
@@ -120,6 +176,26 @@ proptest! {
         let _ = GroupMsgCodec::decode(&truncated);
         let _ = MemberReplyCodec::decode(&truncated);
         let _ = SnapshotCodec::decode(&truncated);
+        let _ = BatchMsgCodec::decode(&truncated);
+        let _ = BatchReplyCodec::decode(&truncated);
+    }
+}
+
+#[test]
+fn oversize_batch_roundtrips_zero_copy() {
+    // A batch whose aggregate payload tops 64 KiB: one pooled frame, and
+    // every decoded op aliases that frame's storage.
+    let enc = WireEncoder::new();
+    let ops: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 2048]).collect();
+    assert!(ops.iter().map(Vec::len).sum::<usize>() > 65_536);
+    let op_slices: Vec<&[u8]> = ops.iter().map(Vec::as_slice).collect();
+    let frame = BatchMsgCodec::encode_parts(&enc, 7 | BATCH_FLAG, &op_slices);
+    let before = wire::stats();
+    let decoded = BatchMsgCodec::decode(&frame).expect("well-formed");
+    assert_eq!(wire::stats(), before, "batch decode copies nothing");
+    assert_eq!(decoded.ops.len(), 40);
+    for (got, want) in decoded.ops.iter().zip(&ops) {
+        assert_eq!(got, want);
     }
 }
 

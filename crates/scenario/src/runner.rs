@@ -479,32 +479,62 @@ fn step_machine(
         } => {
             if ops_left > 0 {
                 let kind = ops.kind_of(object_index);
-                let op = if read_only {
-                    ops.read_op(sim, kind)
+                // Batched stepping: `ops_per_batch > 1` sends up to that
+                // many ops as one replicated unit per step; `1` (the
+                // default) keeps the plain per-op invoke path, so existing
+                // scenarios are bit-for-bit unchanged. Op generation draws
+                // the same RNG sequence either way.
+                let batched = spec.ops_per_batch > 1;
+                let k = if batched {
+                    spec.ops_per_batch.min(ops_left)
                 } else {
-                    ops.write_op(sim, kind)
+                    1
                 };
-                let result = if read_only {
-                    m.client.invoke_read(action, &group, &op)
+                let batch: Vec<Bytes> = (0..k)
+                    .map(|_| {
+                        if read_only {
+                            ops.read_op(sim, kind)
+                        } else {
+                            ops.write_op(sim, kind)
+                        }
+                    })
+                    .collect();
+                let result = if batched {
+                    let refs: Vec<&[u8]> = batch.iter().map(|b| b.as_slice()).collect();
+                    if read_only {
+                        m.client.invoke_batch_read(action, &group, &refs)
+                    } else {
+                        m.client.invoke_batch(action, &group, &refs)
+                    }
+                } else if read_only {
+                    m.client
+                        .invoke_read(action, &group, &batch[0])
+                        .map(|r| vec![r])
                 } else {
-                    m.client.invoke(action, &group, &op)
+                    m.client.invoke(action, &group, &batch[0]).map(|r| vec![r])
                 };
                 match result {
-                    Ok(reply) => {
-                        history.invoked(
-                            sim.now(),
-                            m.idx,
-                            action.raw(),
-                            group.uid,
-                            op,
-                            reply,
-                            !read_only,
-                        );
+                    Ok(replies) => {
+                        // A batch commits as N ordered ops: the oracle
+                        // replays each (op, reply) pair individually, so
+                        // I1–I5 and the per-class models verify batched
+                        // histories unchanged.
+                        for (op, reply) in batch.into_iter().zip(replies) {
+                            history.invoked(
+                                sim.now(),
+                                m.idx,
+                                action.raw(),
+                                group.uid,
+                                op,
+                                reply,
+                                !read_only,
+                            );
+                        }
                         m.phase = Phase::Running {
                             action,
                             group,
                             object_index,
-                            ops_left: ops_left - 1,
+                            ops_left: ops_left - k,
                             read_only,
                         };
                     }

@@ -1,13 +1,14 @@
 //! Canned scenarios: the matrix CI runs across seeds.
 //!
-//! Fourteen scenarios over one topology (7 nodes: node 0 names, nodes 1–3
+//! Nineteen scenarios over one topology (7 nodes: node 0 names, nodes 1–3
 //! serve and store, nodes 4–6 host clients) covering all three replication
 //! policies, all fault families (crashes, rolling crashes, send-window
 //! crashes in the paper's Figure 1 window, partitions, flapping
 //! partitions, message loss, client churn, recovery storms), three binding
-//! schemes, and all three object classes (counters everywhere; the
-//! send-window scenarios also drive a KvMap and an Account so the oracle
-//! checks every operation type under mid-exchange crashes). Every scenario
+//! schemes, batched and per-op invocation, and all three object classes
+//! (counters everywhere; the send-window scenarios also drive a KvMap and
+//! an Account so the oracle checks every operation type under
+//! mid-exchange crashes). Every scenario
 //! demands the oracle's sequential-replay equivalence and the paper's
 //! post-recovery invariants; scenarios where active replication should
 //! fully mask the injected faults additionally demand a zero
@@ -297,6 +298,44 @@ pub fn canned_scenarios() -> Vec<Scenario> {
         scenarios.push(sc);
     }
 
+    // 18. Batched invocations under rolling crashes: ops travel as
+    // multi-op wire frames (one lock, one undo snapshot, one write-back
+    // per batch), the history records them as ordered per-op events, and
+    // the oracle must replay the batched commits exactly like unbatched
+    // ones.
+    let mut sc = base("active/batched_rolling", ReplicationPolicy::Active);
+    sc.workload = base_workload().ops_per_action(8).ops_per_batch(4);
+    sc.plan = Box::new(|seed| {
+        nemesis::rolling_crashes(
+            seed,
+            &[n(1), n(2), n(3)],
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(12),
+            3,
+        )
+    });
+    scenarios.push(sc);
+
+    // 19. Batched invocations through coordinator-cohort with a
+    // coordinator crash: a batch retried after failover must dedup as one
+    // at-most-once unit — no partial re-execution of an already-applied
+    // batch. Mixed read fraction also drives the read-only batch path.
+    let mut sc = base(
+        "cohort/batched_coordinator_crash",
+        ReplicationPolicy::CoordinatorCohort,
+    );
+    sc.workload = base_workload()
+        .ops_per_action(8)
+        .ops_per_batch(4)
+        .read_fraction(0.25);
+    sc.plan = Box::new(|_| {
+        FaultPlan::new()
+            .at(SimDuration::from_millis(4), PlanAction::CrashNode(n(1)))
+            .at(SimDuration::from_millis(40), PlanAction::RecoverNode(n(1)))
+    });
+    scenarios.push(sc);
+
     scenarios
 }
 
@@ -335,6 +374,14 @@ mod tests {
                 .iter()
                 .any(|k| matches!(k, ModelKind::Account { .. })));
         }
+        // At least one scenario drives batched invocations under a
+        // nemesis, so the oracle verifies batched histories.
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.workload.ops_per_batch > 1 && !(s.plan)(1).is_empty()),
+            "no batched-workload scenario with a nemesis"
+        );
         // Names are unique (reports would be ambiguous otherwise).
         let mut names: Vec<_> = scenarios.iter().map(|s| s.name).collect();
         names.sort_unstable();

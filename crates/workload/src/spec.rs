@@ -19,6 +19,11 @@ pub struct WorkloadSpec {
     pub actions_per_client: usize,
     /// Operations invoked inside each action.
     pub ops_per_action: usize,
+    /// Operations grouped into one batched invocation (`invoke_batch`).
+    /// `1` (the default) uses the plain per-op invoke path; larger values
+    /// send up to this many ops per wire frame. The last batch of an
+    /// action may be short when `ops_per_action` is not a multiple.
+    pub ops_per_batch: usize,
     /// Fraction of actions that are read-only (uses the read-optimised
     /// binding and skips commit-time state copies).
     pub read_fraction: f64,
@@ -39,6 +44,7 @@ impl WorkloadSpec {
             objects,
             actions_per_client: 10,
             ops_per_action: 3,
+            ops_per_batch: 1,
             read_fraction: 0.0,
             replicas: 2,
             passivate_between_actions: false,
@@ -60,6 +66,17 @@ impl WorkloadSpec {
     /// Sets operations per action.
     pub fn ops_per_action(mut self, n: usize) -> Self {
         self.ops_per_action = n;
+        self
+    }
+
+    /// Sets operations per batched invocation (`1` disables batching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn ops_per_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "ops per batch must be at least 1");
+        self.ops_per_batch = n;
         self
     }
 
@@ -161,12 +178,20 @@ mod tests {
             .clients(8)
             .actions_per_client(5)
             .ops_per_action(2)
+            .ops_per_batch(4)
             .read_fraction(0.5)
             .replicas(3);
         assert_eq!(spec.clients, 8);
         assert_eq!(spec.total_actions(), 40);
         assert_eq!(spec.replicas, 3);
         assert_eq!(spec.read_fraction, 0.5);
+        assert_eq!(spec.ops_per_batch, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ops per batch")]
+    fn ops_per_batch_validated() {
+        let _ = WorkloadSpec::new(vec![], vec![]).ops_per_batch(0);
     }
 
     #[test]

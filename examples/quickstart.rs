@@ -50,6 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("after the crash: bound {:?}, Get -> {value}", group.servers);
     client.commit(action)?;
 
+    // Batched invocation: three ops in one wire frame and one replica
+    // round; replies are index-aligned with the ops. The one write op
+    // makes the whole batch take the write lock.
+    let action = client.begin();
+    counter.activate(action, 2)?;
+    let replies =
+        counter.invoke_batch(action, &[CounterOp::Get, CounterOp::Add(5), CounterOp::Get])?;
+    println!("batch [Get, Add(5), Get] -> {replies:?}");
+    client.commit(action)?;
+
     // The simulated run is deterministic: same seed, same story.
     println!(
         "virtual time {} / {} messages delivered",

@@ -97,6 +97,76 @@ impl Bencher {
     }
 }
 
+/// Machine-readable summary statistics of one measured series.
+///
+/// This is the shared report schema for the whole workspace: `run_one`
+/// emits one [`Summary::to_json`] line per benchmark (under
+/// `CRITERION_JSON=1`), and `groupview-bench`'s trajectory recorder embeds
+/// the same objects in `BENCH_trajectory.json` — so bench logs and
+/// experiment artifacts are comparable field-for-field. Units are
+/// whatever the producer measured (nanoseconds per iteration here;
+/// recorders say in `name` what they sampled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// What was measured (benchmark id, or `<series>/<metric>`).
+    pub name: String,
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Median (mean of the middle pair for even counts).
+    pub median: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample set (returns zeros when empty).
+    pub fn from_samples(name: impl Into<String>, samples: &[f64]) -> Summary {
+        let name = name.into();
+        if samples.is_empty() {
+            return Summary {
+                name,
+                mean: 0.0,
+                median: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        let median = median(&mut sorted);
+        Summary {
+            name,
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            median,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Renders the summary as one JSON object (hand-rolled: the offline
+    /// workspace has no serde). Numbers are emitted with enough precision
+    /// to round-trip; the name is escaped for quotes and backslashes.
+    pub fn to_json(&self) -> String {
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let name = self.name.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "{{\"name\":\"{}\",\"mean\":{},\"median\":{},\"min\":{},\"max\":{}}}",
+            name,
+            num(self.mean),
+            num(self.median),
+            num(self.min),
+            num(self.max)
+        )
+    }
+}
+
 /// Median of a sample set (mean of the middle pair for even counts).
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
@@ -139,6 +209,14 @@ fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
         hi,
         bencher.iters_run
     );
+    // Machine-readable mirror of the line above, one JSON object per
+    // benchmark, opt-in so human-facing logs stay uncluttered.
+    if std::env::var_os("CRITERION_JSON").is_some() {
+        println!(
+            "CRITERION_JSON {}",
+            Summary::from_samples(name, &bencher.samples).to_json()
+        );
+    }
 }
 
 /// Top-level benchmark driver (mirror of `criterion::Criterion`).
@@ -224,6 +302,23 @@ mod tests {
         assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&mut []), 0.0);
         assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn summary_statistics_and_json() {
+        let s = Summary::from_samples("grp/bench", &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(
+            s.to_json(),
+            "{\"name\":\"grp/bench\",\"mean\":2.500,\"median\":2.500,\"min\":1.000,\"max\":4.000}"
+        );
+        let empty = Summary::from_samples("e", &[]);
+        assert_eq!(empty.mean, 0.0);
+        let quoted = Summary::from_samples("a\"b\\c", &[1.0]);
+        assert!(quoted.to_json().contains("a\\\"b\\\\c"));
     }
 
     #[test]
