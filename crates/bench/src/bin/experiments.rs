@@ -10,6 +10,7 @@
 //! #                                        base seed ──────┘
 //! cargo run -p groupview-bench --bin experiments --release trajectory
 //! cargo run -p groupview-bench --bin experiments --release trajectory --smoke
+//! cargo run -p groupview-bench --bin experiments --release trajectory --shards 1,2,4
 //! ```
 
 use groupview_bench::{all_experiments, trajectory, TrajectoryConfig};
@@ -25,31 +26,74 @@ static GLOBAL: trajectory::CountingAlloc = trajectory::CountingAlloc;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trajectory") {
-        let cfg = if args.iter().any(|a| a == "--smoke") {
+        let mut cfg = if args.iter().any(|a| a == "--smoke") {
             TrajectoryConfig::smoke()
         } else {
             TrajectoryConfig::full()
         };
+        // `--shards 1,2,4,8` overrides the mode's default shard axis
+        // (`--shards 0` or an empty list skips it entirely).
+        if let Some(pos) = args.iter().position(|a| a == "--shards") {
+            let spec = args
+                .get(pos + 1)
+                .unwrap_or_else(|| panic!("--shards needs a comma-separated list, e.g. 1,2,4"));
+            cfg.shard_counts = spec
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad shard count {s:?} in --shards {spec}"))
+                })
+                .filter(|&s| s > 0)
+                .collect();
+        }
         println!(
-            "# trajectory — batched-invocation throughput, {} mode ({} objects, \
-             {}-server group, {} ops/series)\n",
-            cfg.mode, cfg.objects, cfg.servers, cfg.ops_per_series
+            "# trajectory — batched-invocation throughput + sharded scale-out, {} mode\n\
+             #   batch axis: {} objects, {}-server group, {} ops/series\n\
+             #   shard axis: {} objects across shards {:?}, {} cores available\n",
+            cfg.mode,
+            cfg.objects,
+            cfg.servers,
+            cfg.ops_per_series,
+            cfg.sharded_objects,
+            cfg.shard_counts,
+            trajectory::available_cores()
         );
         let started = Instant::now();
         let report = trajectory::run(&cfg);
         let path = trajectory::artifact_path();
-        std::fs::write(&path, report.to_json()).expect("write BENCH_trajectory.json");
+        let previous = std::fs::read_to_string(&path).ok();
+        let json = report.to_json_with_history(
+            previous.as_deref(),
+            trajectory::current_pr(),
+            &trajectory::today_utc(),
+        );
+        std::fs::write(&path, json).expect("write BENCH_trajectory.json");
         println!(
-            "\nwrote {} ({} series) in {:.2?}",
+            "\nwrote {} ({} batch series, {} shard series) in {:.2?}",
             path.display(),
             report.series.len(),
+            report.shard_series.len(),
             started.elapsed()
         );
+        let mut failed = false;
         if let Err(msg) = report.check() {
             eprintln!("trajectory gate failed: {msg}");
+            failed = true;
+        }
+        if let Err(msg) = report.check_scaling() {
+            eprintln!("trajectory scaling gate failed: {msg}");
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!("trajectory gates passed: batch=16 ≥2× batch=1 ops/sec, fewer allocs/op");
+        println!(
+            "trajectory gates passed: batch=16 ≥2× batch=1 ops/sec with fewer allocs/op, \
+             batch=64 ≥ batch=16, sharded scaling floors met on {} core(s)",
+            report.cores
+        );
         return;
     }
     if args.first().map(String::as_str) == Some("soak") {

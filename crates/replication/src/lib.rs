@@ -50,6 +50,7 @@ pub mod invoke;
 pub mod object;
 pub mod policy;
 pub mod replica;
+pub mod shard;
 pub mod system;
 pub mod typed;
 pub mod wire;
@@ -62,9 +63,43 @@ pub use crate::object::{
 };
 pub use crate::policy::ReplicationPolicy;
 pub use crate::replica::{ReplicaRegistry, ServerReplica};
+pub use crate::shard::{
+    HashRouter, RangeRouter, ShardError, ShardRouter, ShardWorld, ShardedClient, ShardedSystem,
+};
 pub use crate::system::{Client, System, SystemBuilder};
 pub use crate::typed::{Handle, KvReply, ObjectType, TypedUid};
 pub use crate::wire::{
     BatchMsg, BatchMsgCodec, BatchReply, BatchReplyCodec, GroupMsg, GroupMsgCodec, MemberReply,
     MemberReplyCodec, BATCH_FLAG,
 };
+
+/// Compile-time proof that replication values crossing a shard-thread
+/// boundary are `Send`. [`System`]/[`Client`]/[`Handle`] are shard-local
+/// by design (`Rc<RefCell<…>>` worlds, no locks on the hot path); what
+/// crosses threads is the message layer — frames, batch envelopes,
+/// replies, and errors. The sharded façade itself lives in
+/// [`shard`](crate::shard). See `docs/SHARDING.md`.
+#[cfg(test)]
+mod send_boundary {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn boundary_types_are_send() {
+        assert_send::<InvokeError>();
+        assert_send::<ActivateError>();
+        assert_send::<CommitError>();
+        assert_send::<GroupMsg>();
+        assert_send::<MemberReply>();
+        assert_send::<BatchMsg>();
+        assert_send::<BatchReply>();
+        assert_send::<InvokeResult>();
+        assert_send::<CounterOp>();
+        assert_send::<KvOp>();
+        assert_send::<AccountOp>();
+        assert_send::<KvReply>();
+        assert_send::<TypedUid<Counter>>();
+        assert_send::<ReplicationPolicy>();
+    }
+}

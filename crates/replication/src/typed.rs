@@ -240,9 +240,13 @@ impl ObjectType for Account {
 /// A [`Uid`] carrying its object class at the type level, as returned by
 /// `System::create_typed`. Opening it yields a [`Handle`] of the right
 /// class without a turbofish.
+///
+/// The marker is `fn() -> O` rather than `O`: a `TypedUid` names a class,
+/// it does not own an instance, so it stays `Send + Sync + Copy` for
+/// every class — routed sharded calls ship it across shard threads.
 pub struct TypedUid<O: ObjectType> {
     uid: Uid,
-    _class: PhantomData<O>,
+    _class: PhantomData<fn() -> O>,
 }
 
 impl<O: ObjectType> TypedUid<O> {

@@ -1,0 +1,85 @@
+//! Property tests for the `ShardRouter` partition contract: for any shard
+//! count, routing is **total** (every uid lands in `0..shards`), induces
+//! **no overlap** (a pure function gives each uid exactly one home, so two
+//! independently built routers must agree — re-keying the shard map
+//! changes nothing), and every shard is actually **covered** by the uid
+//! sequences worlds allocate. Range routers additionally keep whole
+//! creation blocks together.
+
+use groupview_replication::{HashRouter, RangeRouter, ShardRouter};
+use groupview_store::Uid;
+use proptest::prelude::*;
+
+fn uid_strategy() -> impl Strategy<Value = Uid> {
+    // Creator node in the high bits (as UidGen packs it), sequence below.
+    (0u64..64, any::<u64>())
+        .prop_map(|(node, seq)| Uid::from_raw((node << 40) | (seq & ((1 << 40) - 1))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hash_routing_is_total(uid in uid_strategy(), shards in 1usize..=16) {
+        let r = HashRouter::new(shards);
+        prop_assert!(r.route(uid) < shards);
+    }
+
+    #[test]
+    fn range_routing_is_total(uid in uid_strategy(), shards in 1usize..=16, block in 1u64..1024) {
+        let r = RangeRouter::new(shards, block);
+        prop_assert!(r.route(uid) < shards);
+    }
+
+    #[test]
+    fn routing_is_stable_under_rekeying(uid in uid_strategy(), shards in 1usize..=16) {
+        // A rebuilt router (fresh shard map, same shard count) must route
+        // identically: the route is a pure function of the uid, so no uid
+        // can ever belong to two shards at once (no overlap) or move
+        // between them across runs.
+        let first = HashRouter::new(shards);
+        let second = HashRouter::new(shards);
+        prop_assert_eq!(first.route(uid), second.route(uid));
+        let first = RangeRouter::new(shards, 8);
+        let second = RangeRouter::new(shards, 8);
+        prop_assert_eq!(first.route(uid), second.route(uid));
+    }
+
+    #[test]
+    fn every_shard_is_covered_by_a_world_uid_sequence(
+        node in 0u64..64,
+        shards in 1usize..=8,
+    ) {
+        // Worlds allocate uids sequentially per creator; both routers must
+        // give every shard a non-empty slice of that sequence, or a shard
+        // world would sit empty forever (and `skip_foreign_uids` would
+        // starve).
+        let hash = HashRouter::new(shards);
+        let range = RangeRouter::new(shards, 16);
+        let mut hash_hit = vec![false; shards];
+        let mut range_hit = vec![false; shards];
+        for seq in 0..(shards as u64 * 64) {
+            let uid = Uid::from_raw((node << 40) | seq);
+            hash_hit[hash.route(uid)] = true;
+            range_hit[range.route(uid)] = true;
+        }
+        prop_assert!(hash_hit.iter().all(|&hit| hit), "hash starves a shard");
+        prop_assert!(range_hit.iter().all(|&hit| hit), "range starves a shard");
+    }
+
+    #[test]
+    fn range_blocks_stay_together(
+        node in 0u64..64,
+        shards in 1usize..=16,
+        block in 1u64..256,
+        index in 0u64..512,
+    ) {
+        let r = RangeRouter::new(shards, block);
+        let base = index * block;
+        let home = r.route(Uid::from_raw((node << 40) | base));
+        for off in 0..block {
+            let uid = Uid::from_raw((node << 40) | (base + off));
+            prop_assert_eq!(r.route(uid), home, "block split across shards");
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod oracle;
 pub mod plan;
 pub mod runner;
 pub mod scenarios;
+pub mod sharded;
 pub mod soak;
 
 pub use crate::history::{Event, EventKind, History};
@@ -63,8 +64,9 @@ pub use crate::oracle::{
 };
 pub use crate::plan::{FaultPlan, PlanAction, PlanError, PlanEvent, Trigger};
 pub use crate::runner::{
-    run_matrix, run_plan, run_plan_typed, run_scenario, Checks, PlanGenerator, RunOutcome,
-    Scenario, ScenarioReport,
+    run_matrix, run_plan, run_plan_typed, run_scenario, run_scenario_in, Checks, PlanGenerator,
+    RunOutcome, Scenario, ScenarioReport,
 };
 pub use crate::scenarios::canned_scenarios;
+pub use crate::sharded::{run_scenario_sharded, ShardedScenarioReport};
 pub use crate::soak::{run_soak, SoakConfig, SoakReport};

@@ -598,7 +598,11 @@ fn finish_action(sys: &System, m: &Machine, metrics: &mut RunMetrics, committed:
 // ---------------------------------------------------------------------------
 
 /// Produces the concrete [`FaultPlan`] for a given seed (nemesis closure).
-pub type PlanGenerator = Box<dyn Fn(u64) -> FaultPlan>;
+///
+/// `Send + Sync` because a sharded run ships the whole [`Scenario`] to
+/// every shard thread (see [`crate::sharded`]); nemesis closures are pure
+/// seed → plan functions, so the bound costs nothing.
+pub type PlanGenerator = Box<dyn Fn(u64) -> FaultPlan + Send + Sync>;
 
 /// Which verdicts a scenario demands.
 #[derive(Debug, Clone, Copy)]
@@ -715,14 +719,35 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
         .policy(scenario.policy)
         .scheme(scenario.scheme)
         .build();
-    let uids: Vec<Uid> = scenario
+    let objects: Vec<(Uid, ModelKind)> = scenario
         .objects
         .iter()
         .map(|kind| {
-            sys.create_object(kind.fresh(), &scenario.server_nodes, &scenario.server_nodes)
-                .expect("object creation on a healthy world")
+            let uid = sys
+                .create_object(kind.fresh(), &scenario.server_nodes, &scenario.server_nodes)
+                .expect("object creation on a healthy world");
+            (uid, *kind)
         })
         .collect();
+    run_scenario_in(scenario, seed, &sys, &objects)
+}
+
+/// Runs a scenario's plan/quiesce/verify cycle inside an **existing**
+/// world whose objects are already created — the world-agnostic half of
+/// [`run_scenario`], shared with the sharded runner
+/// ([`crate::sharded::run_scenario_sharded`]), where each shard world
+/// holds only the objects its router slice owns.
+///
+/// `objects` pairs each created uid with its [`ModelKind`]; the
+/// scenario's workload spec is re-targeted at exactly these objects.
+pub fn run_scenario_in(
+    scenario: &Scenario,
+    seed: u64,
+    sys: &System,
+    objects: &[(Uid, ModelKind)],
+) -> ScenarioReport {
+    let uids: Vec<Uid> = objects.iter().map(|&(uid, _)| uid).collect();
+    let kinds: Vec<ModelKind> = objects.iter().map(|&(_, kind)| kind).collect();
     let mut spec = scenario.workload.clone();
     spec.objects = uids.clone();
 
@@ -742,12 +767,12 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
             failures: vec![format!("malformed plan: {e}")],
         };
     }
-    let outcome = run_plan_typed(&sys, &spec, &plan, &scenario.objects);
-    quiesce(&sys);
+    let outcome = run_plan_typed(sys, &spec, &plan, &kinds);
+    quiesce(sys);
 
     let oracle = Oracle::new(
         uids.iter()
-            .zip(&scenario.objects)
+            .zip(&kinds)
             .map(|(&uid, &kind)| ObjectModel {
                 uid,
                 kind,
@@ -758,9 +783,7 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
     let mut oracle_report = if scenario.checks.replay {
         let mut report = oracle.replay(&outcome.history);
         let expected = report.final_states.clone();
-        report
-            .violations
-            .extend(check_final_states(&sys, &expected));
+        report.violations.extend(check_final_states(sys, &expected));
         report
     } else {
         OracleReport::default()
@@ -768,7 +791,7 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
     if scenario.checks.invariants {
         oracle_report
             .violations
-            .extend(check_quiescent_invariants(&sys, oracle.objects()));
+            .extend(check_quiescent_invariants(sys, oracle.objects()));
     }
     if !oracle_report.is_ok() {
         failures.push(format!("oracle: {oracle_report}"));

@@ -1,0 +1,78 @@
+//! Shard-count-1 parity: the sharded runner with one shard must reproduce
+//! the single-world runner **bit for bit** — identical workload metrics
+//! (the full abort taxonomy, network counters, latency histograms via the
+//! metrics display) and identical oracle verdicts — on canned scenarios
+//! across multiple seeds.
+//!
+//! This is the cornerstone of the sharding design: a shard world is not
+//! an approximation of a solo world, it *is* one (same builder, same
+//! deterministic uid sequence with zero skips, same engine via
+//! `run_scenario_in`). See `docs/SHARDING.md`.
+
+use groupview_scenario::{
+    canned_scenarios, run_scenario, run_scenario_sharded, Scenario, ScenarioReport,
+};
+use std::sync::Arc;
+
+const SEEDS: [u64; 3] = [7, 41, 1993];
+
+fn canned(name: &str) -> Arc<Scenario> {
+    Arc::new(
+        canned_scenarios()
+            .into_iter()
+            .find(|sc| sc.name == name)
+            .unwrap_or_else(|| panic!("no canned scenario named {name}")),
+    )
+}
+
+/// Every observable of a report, rendered for exact comparison. The
+/// metrics display covers the commit/abort taxonomy, binding counters,
+/// latency/message histograms, tx stats, and network counters; the oracle
+/// display covers replayed ops, violations, and final states.
+fn fingerprint(report: &ScenarioReport) -> String {
+    format!(
+        "name={} seed={} metrics=[{}] crashes={} masked={} oracle=[{}] failures={:?}",
+        report.name,
+        report.seed,
+        report.metrics,
+        report.crashes,
+        report.masked,
+        report.oracle,
+        report.failures,
+    )
+}
+
+fn assert_parity(name: &str) {
+    let scenario = canned(name);
+    for seed in SEEDS {
+        let solo = run_scenario(&scenario, seed);
+        let sharded = run_scenario_sharded(Arc::clone(&scenario), seed, 1);
+        assert_eq!(sharded.shards, 1);
+        assert_eq!(
+            sharded.per_shard.len(),
+            1,
+            "one shard holds every object: {sharded}"
+        );
+        assert_eq!(
+            fingerprint(&solo),
+            fingerprint(&sharded.per_shard[0]),
+            "shard=1 diverged from the single world on {name} seed {seed}"
+        );
+        assert_eq!(solo.passed(), sharded.passed());
+    }
+}
+
+#[test]
+fn fault_free_scenario_is_bit_for_bit_at_one_shard() {
+    assert_parity("active/fault_free");
+}
+
+#[test]
+fn masked_server_crash_is_bit_for_bit_at_one_shard() {
+    assert_parity("active/masked_server_crash");
+}
+
+#[test]
+fn rolling_crashes_are_bit_for_bit_at_one_shard() {
+    assert_parity("active/rolling_crashes");
+}

@@ -22,15 +22,25 @@
 //!   return zero-copy slices of the incoming frame.
 //!
 //! Buffer-ownership rules are documented in `docs/WIRE.md`. Allocation
-//! behaviour is observable through [`stats`] (a per-thread counter, which is
-//! exact because the simulator is single-threaded): benches report
-//! per-operation buffer allocations, and property tests assert that
-//! `clone`/`slice` never allocate or copy.
+//! behaviour is observable through [`stats`] (a per-thread counter: each
+//! shard world runs on exactly one OS thread, so a shard's counters are
+//! exact for its own traffic): benches report per-operation buffer
+//! allocations, and property tests assert that `clone`/`slice` never
+//! allocate or copy.
+//!
+//! `Bytes` and `WireEncoder` are `Send + Sync` (atomic refcounts,
+//! spin-locked pool): they are the payload types that cross shard
+//! boundaries in the sharded runtime (`docs/SHARDING.md`). A frame encoded
+//! on one shard thread and dropped on another still returns its storage to
+//! the originating pool. Per-shard world state stays single-threaded — the
+//! only synchronisation on the hot path is the uncontended pool spinlock
+//! and the refcount.
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, UnsafeCell};
 use std::fmt;
-use std::ops::{Bound, Deref, RangeBounds};
-use std::rc::{Rc, Weak};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
 
 /// Fixed per-message framing overhead charged by transport layers, in
 /// bytes (addressing, sequence numbers, checksums). Cost accounting only —
@@ -38,8 +48,13 @@ use std::rc::{Rc, Weak};
 pub const FRAME_OVERHEAD_BYTES: usize = 16;
 
 /// Retired scratch buffers kept per [`WireEncoder`]; excess storage is
-/// dropped rather than hoarded.
-const MAX_POOLED_BUFFERS: usize = 32;
+/// dropped rather than hoarded. Sized for the largest transient working
+/// set a batched invocation pins at once: at batch size 64 a client holds
+/// 64 op frames plus the batch frame while the coordinator holds 64 reply
+/// frames plus the aggregate reply (~130 live buffers). A cap below that
+/// made every batch=64 round-trip fall off the pool and re-allocate, which
+/// is exactly the throughput knee the trajectory bench measured at 32.
+const MAX_POOLED_BUFFERS: usize = 192;
 
 // ---------------------------------------------------------------------------
 // Allocation accounting
@@ -112,21 +127,89 @@ fn bump(f: impl FnOnce(&mut WireStats)) {
 enum Backing {
     /// Borrowed `'static` data (literals, empty buffers): free to create.
     Static(&'static [u8]),
-    /// Shared ownership of a heap buffer, possibly pool-managed.
-    Shared(Rc<PooledBuf>),
+    /// Shared ownership of a heap buffer, possibly pool-managed. The
+    /// refcount is atomic so frames can cross shard threads.
+    Shared(Arc<PooledBuf>),
+}
+
+/// The shared scratch-buffer free list behind a [`WireEncoder`]. The lock
+/// is only ever contended when a frame encoded on one shard thread is
+/// dropped on another; shard-local traffic (the hot path — every encode
+/// and every frame drop) takes it uncontended, which is why it is a
+/// spinlock rather than a `std::sync::Mutex`: the critical section is a
+/// `Vec` push/pop (single-digit nanoseconds), so an uncontended CAS beats
+/// a futex round trip, and the hot path pays for the lock hundreds of
+/// times per batched invocation.
+type Pool = SpinLock<Vec<Vec<u8>>>;
+
+fn lock_pool(pool: &Pool) -> SpinGuard<'_, Vec<Vec<u8>>> {
+    pool.lock()
+}
+
+/// A minimal test-and-set spinlock. No poisoning: the free list holds only
+/// empty retired buffers, so a panic mid-push cannot leave it inconsistent,
+/// and buffer reclamation must keep working while a shard thread unwinds.
+#[derive(Default)]
+struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// Safety: the lock hands out exactly one guard at a time (the CAS below),
+// so `&SpinLock<T>` grants the same access a `Mutex<T>` would.
+unsafe impl<T: Send> Send for SpinLock<T> {}
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    fn lock(&self) -> SpinGuard<'_, T> {
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        SpinGuard { lock: self }
+    }
+}
+
+struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard holds the lock.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
 }
 
 /// A heap buffer that returns its storage to the owning pool (if any) when
-/// the last [`Bytes`] referencing it is dropped.
+/// the last [`Bytes`] referencing it is dropped — regardless of which
+/// thread drops it.
 struct PooledBuf {
     data: Vec<u8>,
-    pool: Weak<RefCell<Vec<Vec<u8>>>>,
+    pool: Weak<Pool>,
 }
 
 impl Drop for PooledBuf {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.upgrade() {
-            let mut pool = pool.borrow_mut();
+            let mut pool = lock_pool(&pool);
             if pool.len() < MAX_POOLED_BUFFERS {
                 let mut data = std::mem::take(&mut self.data);
                 data.clear();
@@ -188,7 +271,7 @@ impl Bytes {
     fn from_unpooled(data: Vec<u8>) -> Bytes {
         let end = data.len();
         Bytes {
-            backing: Backing::Shared(Rc::new(PooledBuf {
+            backing: Backing::Shared(Arc::new(PooledBuf {
                 data,
                 pool: Weak::new(),
             })),
@@ -201,7 +284,7 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         let all: &[u8] = match &self.backing {
             Backing::Static(s) => s,
-            Backing::Shared(rc) => &rc.data,
+            Backing::Shared(arc) => &arc.data,
         };
         &all[self.start..self.end]
     }
@@ -351,16 +434,18 @@ impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
 /// out, and releases each frame therefore reuses the same few buffers
 /// forever.
 ///
-/// The handle is cheap to clone; clones share one pool.
+/// The handle is cheap to clone; clones share one pool. The encoder is
+/// `Send + Sync`: pool access is spin-locked, so frames released on
+/// another shard thread reclaim into the same pool.
 #[derive(Clone, Default)]
 pub struct WireEncoder {
-    pool: Rc<RefCell<Vec<Vec<u8>>>>,
+    pool: Arc<Pool>,
 }
 
 impl fmt::Debug for WireEncoder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("WireEncoder")
-            .field("pooled", &self.pool.borrow().len())
+            .field("pooled", &self.pooled())
             .finish()
     }
 }
@@ -373,7 +458,7 @@ impl WireEncoder {
 
     /// Retired buffers currently available for reuse.
     pub fn pooled(&self) -> usize {
-        self.pool.borrow().len()
+        lock_pool(&self.pool).len()
     }
 
     /// Builds one frame: `fill` writes the encoding into a scratch buffer,
@@ -381,7 +466,8 @@ impl WireEncoder {
     /// storage returns to the pool once every clone of the returned
     /// `Bytes` is gone.
     pub fn encode_with(&self, fill: impl FnOnce(&mut Vec<u8>)) -> Bytes {
-        let mut data = match self.pool.borrow_mut().pop() {
+        let popped = lock_pool(&self.pool).pop();
+        let mut data = match popped {
             Some(buf) => {
                 bump(|s| s.pool_reuses += 1);
                 buf
@@ -396,9 +482,9 @@ impl WireEncoder {
         bump(|s| s.bytes_copied += data.len() as u64);
         let end = data.len();
         Bytes {
-            backing: Backing::Shared(Rc::new(PooledBuf {
+            backing: Backing::Shared(Arc::new(PooledBuf {
                 data,
-                pool: Rc::downgrade(&self.pool),
+                pool: Arc::downgrade(&self.pool),
             })),
             start: 0,
             end,
@@ -550,11 +636,61 @@ mod tests {
     #[test]
     fn pool_keeps_at_most_the_cap() {
         let enc = WireEncoder::new();
-        let frames: Vec<Bytes> = (0..40)
+        let frames: Vec<Bytes> = (0..MAX_POOLED_BUFFERS + 8)
             .map(|_| enc.encode_with(|buf| buf.push(1)))
             .collect();
         drop(frames);
         assert_eq!(enc.pooled(), MAX_POOLED_BUFFERS);
+    }
+
+    #[test]
+    fn pool_covers_a_batch64_round_trip_working_set() {
+        // A batch of 64 ops pins ~2×64+2 live frames at once (op frames on
+        // the client, reply frames on the coordinator). The cap must cover
+        // that, or every batch=64 round-trip falls off the pool and
+        // re-allocates — the measured trajectory knee this constant fixes.
+        const { assert!(MAX_POOLED_BUFFERS >= 2 * 64 + 2) }
+    }
+
+    #[test]
+    fn bytes_and_encoder_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Bytes>();
+        assert_send_sync::<WireEncoder>();
+        assert_send_sync::<WireStats>();
+    }
+
+    #[test]
+    fn frames_reclaim_across_threads() {
+        // Encode on this thread, drop the last clone on another: the
+        // storage must return to the originating pool (this is the path a
+        // cross-shard reply takes in the sharded runtime).
+        let enc = WireEncoder::new();
+        let frame = enc.encode_with(|buf| buf.extend_from_slice(b"cross-shard"));
+        assert_eq!(enc.pooled(), 0);
+        std::thread::spawn(move || {
+            assert_eq!(frame, b"cross-shard");
+            drop(frame);
+        })
+        .join()
+        .expect("receiver thread");
+        assert_eq!(enc.pooled(), 1, "remote drop returned the buffer");
+
+        // And the reverse: a worker thread reuses the reclaimed buffer
+        // (pool 1 → 0) and the frame dropped here returns it again.
+        let enc2 = enc.clone();
+        let before = stats();
+        let frame = std::thread::spawn(move || enc2.encode_with(|buf| buf.push(7)))
+            .join()
+            .expect("encoder thread");
+        assert_eq!(frame, [7u8]);
+        assert_eq!(
+            stats().since(before).buffer_allocs,
+            0,
+            "this thread allocated nothing (the worker reused the pool)"
+        );
+        drop(frame);
+        assert_eq!(enc.pooled(), 1);
     }
 
     #[test]

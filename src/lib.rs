@@ -86,14 +86,15 @@ pub use groupview_core::{
     RecoveryManager,
 };
 pub use groupview_replication::{
-    Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, Handle,
-    InvokeError, KvMap, KvOp, KvReply, ObjectGroup, ObjectType, ReplicaObject, ReplicationPolicy,
-    System, SystemBuilder, TypedUid,
+    Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, Handle, HashRouter,
+    InvokeError, KvMap, KvOp, KvReply, ObjectGroup, ObjectType, RangeRouter, ReplicaObject,
+    ReplicationPolicy, ShardError, ShardRouter, ShardedClient, ShardedSystem, System,
+    SystemBuilder, TypedUid,
 };
 pub use groupview_scenario::{
-    canned_scenarios, run_matrix, run_plan, run_plan_typed, run_scenario, run_soak, FaultPlan,
-    History, ModelKind, Oracle, OracleReport, PlanAction, Scenario, ScenarioReport, SoakConfig,
-    SoakReport,
+    canned_scenarios, run_matrix, run_plan, run_plan_typed, run_scenario, run_scenario_sharded,
+    run_soak, FaultPlan, History, ModelKind, Oracle, OracleReport, PlanAction, Scenario,
+    ScenarioReport, ShardedScenarioReport, SoakConfig, SoakReport,
 };
 pub use groupview_sim::{Bytes, ClientId, Codec, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
 pub use groupview_store::{ObjectState, SnapshotCodec, Stores, TypeTag, Uid, Version};
