@@ -4,6 +4,7 @@ use crate::action::{ActionId, ActionKind, ActionStatus};
 use crate::error::TxError;
 use crate::lock::{Ancestry, LockKey, LockManager, LockMode};
 use crate::participant::Participant;
+use groupview_obs::{Counter as ObsCounter, Phase, Registry};
 use groupview_sim::{NodeId, Sim};
 use groupview_store::{Stores, TxToken};
 use std::cell::RefCell;
@@ -62,6 +63,9 @@ struct TxInner {
     /// Store recovery consults this to resolve in-doubt transactions.
     decisions: HashMap<TxToken, bool>,
     stats: TxStats,
+    /// Observability registry (disabled by default: every recording call is
+    /// an inlined no-op, so unobserved runs pay nothing).
+    obs: Registry,
 }
 
 struct AncestryView<'a> {
@@ -111,6 +115,7 @@ impl TxSystem {
                 locks: LockManager::new(),
                 decisions: HashMap::new(),
                 stats: TxStats::default(),
+                obs: Registry::new(),
             })),
             stores: stores.clone(),
         }
@@ -119,6 +124,17 @@ impl TxSystem {
     /// The store registry this service commits against.
     pub fn stores(&self) -> &Stores {
         &self.stores
+    }
+
+    /// Share an observability registry: lock/prepare/commit/undo spans and
+    /// counters are recorded into it (when it is enabled).
+    pub fn set_observer(&self, obs: &Registry) {
+        self.inner.borrow_mut().obs = obs.clone();
+    }
+
+    /// The observability registry currently in use (disabled by default).
+    pub fn observer(&self) -> Registry {
+        self.inner.borrow().obs.clone()
     }
 
     // ----- lifecycle ---------------------------------------------------
@@ -221,17 +237,30 @@ impl TxSystem {
             locks,
             lock_parents,
             stats,
+            sim,
+            obs,
             ..
         } = &mut *inner;
         let view = AncestryView { map: lock_parents };
-        locks.acquire(&view, action, key, mode).map_err(|held| {
-            stats.lock_refusals += 1;
-            TxError::LockRefused {
-                key,
-                requested: mode,
-                held,
+        let now = sim.now().as_micros();
+        match locks.acquire(&view, action, key, mode) {
+            Ok(()) => {
+                // Lock acquisition is instantaneous in this model; the span
+                // still counts toward the phase breakdown.
+                obs.add(ObsCounter::LocksAcquired, 1);
+                obs.span(action.raw(), Phase::LockAcquire, now, now);
+                Ok(())
             }
-        })
+            Err(held) => {
+                stats.lock_refusals += 1;
+                obs.add(ObsCounter::LocksRefused, 1);
+                Err(TxError::LockRefused {
+                    key,
+                    requested: mode,
+                    held,
+                })
+            }
+        }
     }
 
     /// Registers compensation to run if `action` (or an ancestor it merges
@@ -354,12 +383,12 @@ impl TxSystem {
     }
 
     fn commit_top(&self, action: ActionId) -> Result<(), TxError> {
-        let (sim, node, mut participants) = {
+        let (sim, obs, node, mut participants) = {
             let mut inner = self.inner.borrow_mut();
             let rec = inner.actions.get_mut(&action).expect("checked active");
             let node = rec.client_node;
             let participants = std::mem::take(&mut rec.participants);
-            (inner.sim.clone(), node, participants)
+            (inner.sim.clone(), inner.obs.clone(), node, participants)
         };
 
         if !sim.is_up(node) {
@@ -375,41 +404,66 @@ impl TxSystem {
             return Err(TxError::CoordinatorDown(node));
         }
 
-        // Phase 1: prepare everyone.
-        let mut failed: Option<NodeId> = None;
-        for p in participants.iter_mut() {
-            if !p.prepare() {
-                failed = Some(p.node());
-                break;
-            }
-        }
-        if let Some(bad_node) = failed {
+        // Both commit phases run with trace attribution to this action, so
+        // message loss during 2PC is causally tagged.
+        sim.with_active_action(action.raw(), || -> Result<(), TxError> {
+            // Phase 1: prepare everyone.
+            let prepare_start = sim.now().as_micros();
+            let mut failed: Option<NodeId> = None;
             for p in participants.iter_mut() {
-                p.abort();
+                if !p.prepare() {
+                    failed = Some(p.node());
+                    break;
+                }
+                obs.add(ObsCounter::Prepares, 1);
+            }
+            if !participants.is_empty() {
+                obs.span(
+                    action.raw(),
+                    Phase::Prepare,
+                    prepare_start,
+                    sim.now().as_micros(),
+                );
+            }
+            if let Some(bad_node) = failed {
+                for p in participants.iter_mut() {
+                    p.abort();
+                }
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.prepare_failures += 1;
+                    inner.decisions.insert(TxToken::new(action.raw()), false);
+                }
+                self.abort(action);
+                return Err(TxError::PrepareFailed { node: bad_node });
+            }
+
+            // Decision point: force the commit record at the coordinator.
+            let commit_start = sim.now().as_micros();
+            if !participants.is_empty() {
+                sim.charge_stable_write();
             }
             {
                 let mut inner = self.inner.borrow_mut();
-                inner.stats.prepare_failures += 1;
-                inner.decisions.insert(TxToken::new(action.raw()), false);
+                inner.decisions.insert(TxToken::new(action.raw()), true);
             }
-            self.abort(action);
-            return Err(TxError::PrepareFailed { node: bad_node });
-        }
 
-        // Decision point: force the commit record at the coordinator.
-        if !participants.is_empty() {
-            sim.charge_stable_write();
-        }
-        {
-            let mut inner = self.inner.borrow_mut();
-            inner.decisions.insert(TxToken::new(action.raw()), true);
-        }
-
-        // Phase 2: best-effort commit; unreachable participants stay
-        // in-doubt and are resolved by store recovery via `decision`.
-        for p in participants.iter_mut() {
-            let _ = p.commit();
-        }
+            // Phase 2: best-effort commit; unreachable participants stay
+            // in-doubt and are resolved by store recovery via `decision`.
+            for p in participants.iter_mut() {
+                let _ = p.commit();
+            }
+            if !participants.is_empty() {
+                obs.span(
+                    action.raw(),
+                    Phase::Commit,
+                    commit_start,
+                    sim.now().as_micros(),
+                );
+            }
+            obs.add(ObsCounter::Commits, 1);
+            Ok(())
+        })?;
 
         let mut inner = self.inner.borrow_mut();
         let rec = inner.actions.get_mut(&action).expect("exists");
@@ -428,17 +482,31 @@ impl TxSystem {
     pub fn abort(&self, action: ActionId) {
         let mut undos: Vec<Undo> = Vec::new();
         let mut participants: Vec<Box<dyn Participant>> = Vec::new();
-        {
+        let (sim, obs, was_active) = {
             let mut inner = self.inner.borrow_mut();
+            let was_active = inner.is_active(action);
             inner.collect_abort(action, &mut undos, &mut participants);
-        }
+            (inner.sim.clone(), inner.obs.clone(), was_active)
+        };
+        let undo_start = sim.now().as_micros();
+        let undo_count = undos.len() as u64;
         // Run compensation outside the borrow: undo closures touch
-        // database/replica state through their own handles.
-        for u in undos {
-            u();
-        }
-        for mut p in participants {
-            p.abort();
+        // database/replica state through their own handles. Attribute any
+        // messages they cause (participant abort RPCs) to this action.
+        sim.with_active_action(action.raw(), || {
+            for u in undos {
+                u();
+            }
+            for mut p in participants {
+                p.abort();
+            }
+        });
+        if was_active {
+            obs.add(ObsCounter::Aborts, 1);
+            obs.add(ObsCounter::UndoOps, undo_count);
+            if undo_count > 0 {
+                obs.span(action.raw(), Phase::Undo, undo_start, sim.now().as_micros());
+            }
         }
     }
 
@@ -853,6 +921,48 @@ mod tests {
         tx.commit(a).unwrap();
         tx.lock(b, key(4), LockMode::Read).unwrap();
         tx.commit(b).unwrap();
+    }
+
+    #[test]
+    fn observer_records_lock_commit_and_abort_telemetry() {
+        let (sim, stores, tx) = world();
+        let obs = Registry::new();
+        obs.set_enabled(true);
+        tx.set_observer(&obs);
+        let uid = Uid::from_raw(21);
+        let a = tx.begin_top(NodeId::new(0));
+        tx.lock(a, key(9), LockMode::Write).unwrap();
+        tx.add_participant(
+            a,
+            Box::new(StoreWriteParticipant::new(
+                &sim,
+                &stores,
+                NodeId::new(0),
+                NodeId::new(1),
+                TxSystem::token(a),
+                vec![(uid, state(b"x"))],
+            )),
+        )
+        .unwrap();
+        tx.commit(a).unwrap();
+        assert_eq!(obs.get(ObsCounter::LocksAcquired), 1);
+        assert_eq!(obs.get(ObsCounter::Prepares), 1);
+        assert_eq!(obs.get(ObsCounter::Commits), 1);
+        let snap = obs.snapshot();
+        assert_eq!(snap.phase(Phase::LockAcquire).count(), 1);
+        assert_eq!(snap.phase(Phase::Prepare).count(), 1);
+        assert!(
+            snap.phase(Phase::Prepare).total_us() > 0,
+            "prepare RPCs advance virtual time"
+        );
+        assert_eq!(snap.phase(Phase::Commit).count(), 1);
+
+        let b = tx.begin_top(NodeId::new(0));
+        tx.push_undo(b, || {}).unwrap();
+        tx.abort(b);
+        assert_eq!(obs.get(ObsCounter::Aborts), 1);
+        assert_eq!(obs.get(ObsCounter::UndoOps), 1);
+        assert_eq!(tx.observer().get(ObsCounter::Commits), 1);
     }
 
     #[test]

@@ -66,27 +66,80 @@ fn activated(policy: ReplicationPolicy) -> (System, Handle<Counter>, groupview_a
     (sys, handle, action)
 }
 
-/// Measures steady-state heap allocations per typed write invocation and
-/// asserts the policy's budget.
+/// One measured window: total heap allocations across `ops` invokes.
+fn measure_window(handle: &Handle<Counter>, action: groupview_actions::ActionId, ops: u64) -> u64 {
+    let before = allocs();
+    for _ in 0..ops {
+        black_box(handle.invoke(action, CounterOp::Add(1)).expect("invoke"));
+    }
+    allocs() - before
+}
+
+/// Measures steady-state heap allocations per typed write invocation in
+/// three windows — observability disabled (A), enabled (B), enabled
+/// through warmup then disabled for the window (C) — asserting the
+/// policy's budget on A and **exact** equality of C and A: the disabled
+/// observer must add zero allocations per op, not just stay under budget.
+///
+/// Each window runs in its own fresh world over the *same op range*:
+/// allocation counts are deterministic but op-offset-dependent (the
+/// action's undo stack doubles at power-of-2 op counts), so windows at
+/// different offsets in one world would differ for reasons that have
+/// nothing to do with observability.
 fn report_policy(policy: ReplicationPolicy, budget: f64) {
     const OPS: u64 = 1_000;
-    let (_sys, handle, action) = activated(policy);
+    const WARM: u64 = 64;
     // Warm up: fill the encoder pool, the dedup ring, and the undo stack's
     // growth so the measured window is steady state.
-    for _ in 0..64 {
-        black_box(handle.invoke(action, CounterOp::Add(1)).expect("invoke"));
-    }
-    let before = allocs();
-    for _ in 0..OPS {
-        black_box(handle.invoke(action, CounterOp::Add(1)).expect("invoke"));
-    }
-    let per_op = (allocs() - before) as f64 / OPS as f64;
-    println!("objects/invoke_heap_allocs/{policy:<31} {per_op:>8.3} allocs/op (budget {budget})");
+    let warm = |handle: &Handle<Counter>, action| {
+        for _ in 0..WARM {
+            black_box(handle.invoke(action, CounterOp::Add(1)).expect("invoke"));
+        }
+    };
+
+    // Window A: observability off for the world's whole life.
+    let (_sys, handle, action) = activated(policy);
+    warm(&handle, action);
+    let window_a = measure_window(&handle, action, OPS);
+    let per_op = window_a as f64 / OPS as f64;
+
+    // Window B: observability ON — reported for context, not gated (span
+    // recording legitimately grows the span vec).
+    let (sys, handle, action) = activated(policy);
+    sys.obs().set_enabled(true);
+    warm(&handle, action);
+    let window_b = measure_window(&handle, action, OPS);
+    let spans_recorded = sys.obs().span_count();
+
+    // Window C: enabled through warmup (so the registry has live state),
+    // then disabled for the measured window — bit-identical to A or the
+    // "zero-cost when off" contract is broken.
+    let (sys, handle, action) = activated(policy);
+    sys.obs().set_enabled(true);
+    warm(&handle, action);
+    sys.obs().set_enabled(false);
+    let window_c = measure_window(&handle, action, OPS);
+
+    println!(
+        "objects/invoke_heap_allocs/{policy:<31} {per_op:>8.3} allocs/op (budget {budget}) \
+         | observed {:.3} | re-disabled {:.3}",
+        window_b as f64 / OPS as f64,
+        window_c as f64 / OPS as f64,
+    );
     if std::env::var_os("OBJECTS_BENCH_NO_ASSERT").is_none() {
         assert!(
             per_op <= budget,
             "{policy}: object-boundary allocations regressed: \
              {per_op:.3} allocs/op exceeds the budget of {budget}"
+        );
+        assert!(
+            spans_recorded > 0,
+            "{policy}: the observed window recorded no spans — window B measured nothing"
+        );
+        assert_eq!(
+            window_c, window_a,
+            "{policy}: disabled observability must add zero allocations \
+             (window A={window_a}, window C={window_c} over {OPS} ops)"
         );
     }
 }

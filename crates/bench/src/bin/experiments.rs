@@ -11,9 +11,11 @@
 //! cargo run -p groupview-bench --bin experiments --release trajectory
 //! cargo run -p groupview-bench --bin experiments --release trajectory --smoke
 //! cargo run -p groupview-bench --bin experiments --release trajectory --shards 1,2,4
+//! cargo run -p groupview-bench --bin experiments --release trajectory --smoke --trace
+//! cargo run -p groupview-bench --bin experiments --release trend
 //! ```
 
-use groupview_bench::{all_experiments, trajectory, TrajectoryConfig};
+use groupview_bench::{all_experiments, tracefile, trajectory, trend, TrajectoryConfig};
 use groupview_scenario::{run_soak, SoakConfig};
 use std::time::Instant;
 
@@ -93,6 +95,53 @@ fn main() {
             "trajectory gates passed: batch=16 ≥2× batch=1 ops/sec with fewer allocs/op, \
              batch=64 ≥ batch=16, sharded scaling floors met on {} core(s)",
             report.cores
+        );
+        // `--trace`: capture a traced canned scenario alongside the
+        // trajectory, validate the Chrome trace in-binary, and write both
+        // artifacts next to the JSON.
+        if args.iter().any(|a| a == "--trace") {
+            let artifacts = tracefile::capture().unwrap_or_else(|e| {
+                eprintln!("trace capture failed: {e}");
+                std::process::exit(1);
+            });
+            std::fs::write(tracefile::chrome_path(), &artifacts.chrome_json)
+                .expect("write BENCH_trace.json");
+            std::fs::write(tracefile::jsonl_path(), &artifacts.jsonl)
+                .expect("write BENCH_trace.jsonl");
+            println!(
+                "wrote {} + {} — validated: {} events ({} spans, {} instants) on {} tracks \
+                 from {} seed {}",
+                tracefile::chrome_path().display(),
+                tracefile::jsonl_path().display(),
+                artifacts.summary.events,
+                artifacts.summary.spans,
+                artifacts.summary.instants,
+                artifacts.summary.tracks,
+                tracefile::TRACE_SCENARIO,
+                tracefile::TRACE_SEED,
+            );
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("trend") {
+        let artifact = trajectory::artifact_path();
+        let json = std::fs::read_to_string(&artifact).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot read {} ({e}) — run `experiments trajectory` first",
+                artifact.display()
+            );
+            std::process::exit(1);
+        });
+        let svg = trend::render_trend_svg(&json).unwrap_or_else(|e| {
+            eprintln!("trend render failed: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(trend::trend_path(), &svg).expect("write BENCH_trend.svg");
+        println!(
+            "wrote {} ({} bytes) from {} history entries",
+            trend::trend_path().display(),
+            svg.len(),
+            trend::parse_history(&json).map(|h| h.len()).unwrap_or(0),
         );
         return;
     }

@@ -13,7 +13,10 @@
 //! the tables bit-for-bit.
 
 pub mod experiments;
+pub mod tracefile;
 pub mod trajectory;
+pub mod trend;
 
 pub use crate::experiments::{all_experiments, run_experiment, Experiment};
 pub use crate::trajectory::{TrajectoryConfig, TrajectoryReport};
+pub use crate::trend::{parse_history, render_trend_svg, TrendPoint, TrendSample};

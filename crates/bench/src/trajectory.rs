@@ -40,6 +40,7 @@ use groupview_replication::{
     Client, Counter, CounterOp, HashRouter, ReplicationPolicy, ShardRouter, ShardedSystem, System,
     TypedUid,
 };
+use groupview_sim::wire::{self, WireStats};
 use groupview_sim::NodeId;
 use groupview_workload::Histogram;
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
@@ -223,6 +224,13 @@ pub struct ShardSeries {
     pub p99_ns: u64,
     /// Heap allocations per op across all shards.
     pub allocs_per_op: f64,
+    /// Wire-buffer stats for the best measured pass, **summed across every
+    /// shard thread**. Wire counters are thread-local, so each shard reads
+    /// its own delta inside `exec_all` (on its own OS thread) and the sum
+    /// here is the true whole-system aggregate — a `shards=4` series
+    /// reports four worlds' allocations, not just the launcher thread's
+    /// (which would read zero).
+    pub wire: WireStats,
     /// Shared-schema summary of the merged per-op latency samples.
     pub latency_ns: Summary,
 }
@@ -422,22 +430,26 @@ fn run_shard_series(cfg: &TrajectoryConfig, shards: usize) -> ShardSeries {
     // entirely shard-local — no channel crossing per op, no shared
     // mutable state, just N worlds on N threads. Best of
     // [`MEASURE_PASSES`] by fan-out wall-clock.
-    let mut best: Option<(Vec<DrivePass>, f64)> = None;
+    let mut best: Option<(Vec<(DrivePass, WireStats)>, f64)> = None;
     let mut alloc_delta = 0;
     for _ in 0..MEASURE_PASSES {
         let pass_uids = Arc::clone(&uids_by_shard);
         let alloc_before = alloc_count();
         let started = Instant::now();
-        let results: Vec<DrivePass> = sys.exec_all(move |world| {
+        // Wire counters are thread-local: each shard diffs its own inside
+        // the closure, the only place its thread's counters are readable.
+        let results: Vec<(DrivePass, WireStats)> = sys.exec_all(move |world| {
             let uids = &pass_uids[world.index()];
-            drive(
+            let wire_before = wire::stats();
+            let pass = drive(
                 world.client(),
                 uids,
                 replicas,
                 ops_per_shard,
                 ops_per_action,
                 SHARD_BATCH,
-            )
+            );
+            (pass, wire::stats().since(wire_before))
         });
         let wall = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
         alloc_delta = alloc_count() - alloc_before;
@@ -446,6 +458,14 @@ fn run_shard_series(cfg: &TrajectoryConfig, shards: usize) -> ShardSeries {
         }
     }
     let (results, wall) = best.expect("at least one measured pass");
+    let wire_total = results
+        .iter()
+        .fold(WireStats::default(), |acc, (_, w)| WireStats {
+            buffer_allocs: acc.buffer_allocs + w.buffer_allocs,
+            pool_reuses: acc.pool_reuses + w.pool_reuses,
+            bytes_copied: acc.bytes_copied + w.bytes_copied,
+        });
+    let results: Vec<DrivePass> = results.into_iter().map(|(pass, _)| pass).collect();
 
     let total_ops: u64 = results.iter().map(|(done, ..)| done).sum();
     let per_shard_ops_per_sec: Vec<f64> = results
@@ -470,6 +490,7 @@ fn run_shard_series(cfg: &TrajectoryConfig, shards: usize) -> ShardSeries {
         p95_ns: merged.p95(),
         p99_ns: merged.percentile(99.0),
         allocs_per_op: alloc_delta as f64 / total_ops as f64,
+        wire: wire_total,
         latency_ns: Summary::from_samples(
             format!("trajectory/shards={shards}/latency_ns"),
             &samples,
@@ -496,7 +517,7 @@ pub fn run(cfg: &TrajectoryConfig) -> TrajectoryReport {
             s.speedup_vs_1shard = s.aggregate_ops_per_sec / base.aggregate_ops_per_sec;
         }
         println!(
-            "trajectory/shards={:<2} {:>10.0} ops/sec aggregate ({:.2}x vs 1 shard)  p50={}ns p95={}ns p99={}ns  {:.2} allocs/op  ({} ops over {} objects)",
+            "trajectory/shards={:<2} {:>10.0} ops/sec aggregate ({:.2}x vs 1 shard)  p50={}ns p95={}ns p99={}ns  {:.2} allocs/op  wire[{}]  ({} ops over {} objects)",
             s.shards,
             s.aggregate_ops_per_sec,
             s.speedup_vs_1shard,
@@ -504,6 +525,7 @@ pub fn run(cfg: &TrajectoryConfig) -> TrajectoryReport {
             s.p95_ns,
             s.p99_ns,
             s.allocs_per_op,
+            s.wire,
             s.ops,
             s.objects
         );
@@ -665,6 +687,11 @@ impl TrajectoryReport {
                 s.allocs_per_op
             ));
             out.push_str(&format!(
+                "{indent}    \"wire\": {{\"buffer_allocs\": {}, \"pool_reuses\": {}, \
+                 \"bytes_copied\": {}}},\n",
+                s.wire.buffer_allocs, s.wire.pool_reuses, s.wire.bytes_copied
+            ));
+            out.push_str(&format!(
                 "{indent}    \"latency_ns\": {}\n",
                 s.latency_ns.to_json()
             ));
@@ -775,7 +802,12 @@ impl TrajectoryReport {
 
 /// Pulls the entries of the top-level `"history": [...]` array out of a
 /// prior artifact, one rendered object per element (no serde in the
-/// offline workspace: a bracket-depth scan, tolerant of absence).
+/// offline workspace: a bracket-depth scan, tolerant of absence). The
+/// trend renderer reads the same array.
+pub(crate) fn history_entries(json: &str) -> Option<Vec<String>> {
+    extract_history_entries(json)
+}
+
 fn extract_history_entries(json: &str) -> Option<Vec<String>> {
     let start = json.find("\"history\"")?;
     let open = start + json[start..].find('[')?;
@@ -901,6 +933,10 @@ mod tests {
             assert_eq!(s.objects, 8);
             assert!(s.aggregate_ops_per_sec > 0.0);
             assert_eq!(s.per_shard_ops_per_sec.len(), s.shards);
+            // Wire counters are thread-local; a non-zero sum at shards=2
+            // proves the aggregation crossed every shard thread.
+            assert!(s.wire.bytes_copied > 0, "aggregated wire bytes");
+            assert!(s.wire.buffer_allocs + s.wire.pool_reuses > 0);
         }
         assert!((report.shard_series[0].speedup_vs_1shard - 1.0).abs() < 1e-9);
         let json = report.to_json();
@@ -923,6 +959,8 @@ mod tests {
             "\"aggregate_ops_per_sec\"",
             "\"per_shard_ops_per_sec\"",
             "\"speedup_vs_1shard\"",
+            "\"wire\"",
+            "\"pool_reuses\"",
             "\"cores\"",
             "\"history\"",
         ] {

@@ -1,0 +1,628 @@
+//! The perf-trajectory trend chart: renders `BENCH_trend.svg` from the
+//! history array `BENCH_trajectory.json` accumulates across PRs.
+//!
+//! Two stacked panels over the same PR axis — **never** a dual-axis chart:
+//!
+//! * throughput (ops/sec) for batch sizes 1, 16, and 64;
+//! * heap allocations per op for the same three series.
+//!
+//! Design rules baked in: one axis per panel; three categorical series in
+//! fixed slot order (blue, orange, aqua — a CVD-validated ordering); 2px
+//! lines with ≥8px markers ringed in the surface color; hairline
+//! gridlines; a legend plus direct end-labels (the aqua slot is sub-3:1 on
+//! the light surface, so visible labels are mandatory, not decorative);
+//! all text in ink tokens, never the series color. History entries mix
+//! `smoke` and `full` runs whose absolute numbers are not comparable, so
+//! one mode is charted (the one with the most history points, ties to
+//! `full`) and named in the subtitle.
+
+use std::fmt::Write as _;
+
+/// Chart surface (light mode; the artifact is a committed file).
+const SURFACE: &str = "#fcfcfb";
+/// Primary ink: titles.
+const INK: &str = "#0b0b0b";
+/// Secondary ink: subtitles, legend, direct labels.
+const INK_2: &str = "#52514e";
+/// Muted ink: axis tick labels.
+const MUTED: &str = "#898781";
+/// Hairline gridline gray.
+const GRID: &str = "#e1e0d9";
+/// Baseline / axis gray.
+const BASELINE: &str = "#c3c2b7";
+/// Categorical slots 1–3 (validated adjacent + all-pairs, light surface).
+const SERIES_COLORS: [&str; 3] = ["#2a78d6", "#eb6834", "#1baf7a"];
+/// The batch sizes charted, in slot order.
+const TREND_BATCHES: [usize; 3] = [1, 16, 64];
+
+/// One PR's trajectory point for one batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSample {
+    /// Batched ops per invocation.
+    pub batch: usize,
+    /// Wall-clock throughput.
+    pub ops_per_sec: f64,
+    /// Heap allocations per op.
+    pub allocs_per_op: f64,
+}
+
+/// One history entry: a PR × mode trajectory snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// PR number the entry was recorded under.
+    pub pr: u64,
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// `YYYY-MM-DD` the run happened.
+    pub date: String,
+    /// Per-batch measurements present in the entry.
+    pub samples: Vec<TrendSample>,
+}
+
+impl TrendPoint {
+    fn sample(&self, batch: usize) -> Option<&TrendSample> {
+        self.samples.iter().find(|s| s.batch == batch)
+    }
+}
+
+/// Parses the history entries out of a `BENCH_trajectory.json` artifact.
+///
+/// The workspace is offline (no serde), so this is the same bracket-depth
+/// scanning the artifact writer uses: tolerant of field order, intolerant
+/// of malformed numbers.
+pub fn parse_history(json: &str) -> Result<Vec<TrendPoint>, String> {
+    let entries = crate::trajectory::history_entries(json)
+        .ok_or("no \"history\" array in the artifact — run `experiments trajectory` first")?;
+    let mut points = Vec::with_capacity(entries.len());
+    for entry in &entries {
+        let pr = num_field(entry, "pr").ok_or_else(|| format!("entry without pr: {entry}"))?;
+        let mode = str_field(entry, "mode").unwrap_or_else(|| "unknown".into());
+        let date = str_field(entry, "date").unwrap_or_default();
+        let mut samples = Vec::new();
+        if let Some(series) = array_field(entry, "series") {
+            for obj in split_objects(&series) {
+                let (Some(batch), Some(ops)) =
+                    (num_field(&obj, "batch"), num_field(&obj, "ops_per_sec"))
+                else {
+                    continue;
+                };
+                samples.push(TrendSample {
+                    batch: batch as usize,
+                    ops_per_sec: ops,
+                    allocs_per_op: num_field(&obj, "allocs_per_op").unwrap_or(0.0),
+                });
+            }
+        }
+        points.push(TrendPoint {
+            pr: pr as u64,
+            mode,
+            date,
+            samples,
+        });
+    }
+    Ok(points)
+}
+
+/// Picks the mode to chart: the one with the most history points, ties
+/// broken toward `full` (absolute smoke and full numbers are not
+/// comparable, so they never share an axis).
+pub fn chart_mode(points: &[TrendPoint]) -> Option<String> {
+    let mut modes: Vec<&str> = points.iter().map(|p| p.mode.as_str()).collect();
+    modes.sort_unstable();
+    modes.dedup();
+    modes
+        .into_iter()
+        .max_by_key(|m| {
+            let count = points.iter().filter(|p| p.mode == *m).count();
+            (count, *m == "full")
+        })
+        .map(str::to_string)
+}
+
+/// Renders `BENCH_trend.svg` from the artifact text.
+pub fn render_trend_svg(artifact_json: &str) -> Result<String, String> {
+    let all = parse_history(artifact_json)?;
+    let mode = chart_mode(&all).ok_or("history array is empty — nothing to chart")?;
+    let mut points: Vec<TrendPoint> = all.into_iter().filter(|p| p.mode == mode).collect();
+    points.sort_by_key(|p| p.pr);
+    points.dedup_by_key(|p| p.pr);
+    if points.is_empty() {
+        return Err("history array is empty — nothing to chart".into());
+    }
+    Ok(render_panels(&points, &mode))
+}
+
+// ---- layout ------------------------------------------------------------
+
+const WIDTH: f64 = 960.0;
+const PANEL_H: f64 = 252.0;
+const MARGIN_L: f64 = 84.0;
+const MARGIN_R: f64 = 132.0;
+const HEADER_H: f64 = 78.0;
+const PANEL_GAP: f64 = 64.0;
+const FOOTER_H: f64 = 34.0;
+const FONT: &str = "system-ui, -apple-system, 'Segoe UI', sans-serif";
+
+struct Panel<'a> {
+    title: &'a str,
+    top: f64,
+    value: fn(&TrendSample) -> f64,
+    format: fn(f64) -> String,
+}
+
+fn render_panels(points: &[TrendPoint], mode: &str) -> String {
+    let height = HEADER_H + 2.0 * PANEL_H + PANEL_GAP + FOOTER_H;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height}\" \
+         viewBox=\"0 0 {WIDTH} {height}\" font-family=\"{FONT}\" role=\"img\" \
+         aria-label=\"Performance trajectory across PRs\">"
+    );
+    let _ = writeln!(
+        svg,
+        "<rect width=\"{WIDTH}\" height=\"{height}\" fill=\"{SURFACE}\"/>"
+    );
+
+    // Header: title, subtitle, legend.
+    let _ = writeln!(
+        svg,
+        "<text x=\"{MARGIN_L}\" y=\"30\" fill=\"{INK}\" font-size=\"17\" \
+         font-weight=\"600\">Performance trajectory</text>"
+    );
+    let last = points.last().expect("non-empty");
+    let first = points.first().expect("non-empty");
+    let _ = writeln!(
+        svg,
+        "<text x=\"{MARGIN_L}\" y=\"50\" fill=\"{INK_2}\" font-size=\"12\">batched \
+         invocation throughput and allocations per op, {mode} mode, PR {} \u{2192} PR {}{}\
+         </text>",
+        first.pr,
+        last.pr,
+        if last.date.is_empty() {
+            String::new()
+        } else {
+            format!(" (latest {})", last.date)
+        }
+    );
+    let mut lx = MARGIN_L;
+    for (i, batch) in TREND_BATCHES.iter().enumerate() {
+        let color = SERIES_COLORS[i];
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{lx}\" y1=\"64\" x2=\"{}\" y2=\"64\" stroke=\"{color}\" \
+             stroke-width=\"2\" stroke-linecap=\"round\"/>",
+            lx + 18.0
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"68\" fill=\"{INK_2}\" font-size=\"12\">batch={batch}</text>",
+            lx + 24.0
+        );
+        lx += 24.0 + 9.0 * (7 + batch.to_string().len()) as f64 + 24.0;
+    }
+
+    let panels = [
+        Panel {
+            title: "Throughput (ops/sec)",
+            top: HEADER_H,
+            value: |s| s.ops_per_sec,
+            format: compact,
+        },
+        Panel {
+            title: "Heap allocations per op",
+            top: HEADER_H + PANEL_H + PANEL_GAP,
+            value: |s| s.allocs_per_op,
+            format: |v| format!("{v:.1}"),
+        },
+    ];
+    for panel in &panels {
+        render_panel(&mut svg, points, panel);
+    }
+
+    let _ = writeln!(
+        svg,
+        "<text x=\"{MARGIN_L}\" y=\"{}\" fill=\"{MUTED}\" font-size=\"11\">source: \
+         BENCH_trajectory.json history \u{00b7} rendered by `experiments trend`</text>",
+        height - 12.0
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn render_panel(svg: &mut String, points: &[TrendPoint], panel: &Panel) {
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = PANEL_H - 58.0;
+    let top = panel.top + 34.0;
+    let bottom = top + plot_h;
+
+    let max = points
+        .iter()
+        .flat_map(|p| &p.samples)
+        .filter(|s| TREND_BATCHES.contains(&s.batch))
+        .map(panel.value)
+        .fold(0.0f64, f64::max);
+    let max = nice_ceil(max.max(1e-9));
+    let x = |i: usize| {
+        if points.len() == 1 {
+            MARGIN_L + plot_w / 2.0
+        } else {
+            MARGIN_L + plot_w * i as f64 / (points.len() - 1) as f64
+        }
+    };
+    let y = |v: f64| bottom - (v / max) * plot_h;
+
+    let _ = writeln!(
+        svg,
+        "<text x=\"{MARGIN_L}\" y=\"{}\" fill=\"{INK}\" font-size=\"13\" \
+         font-weight=\"600\">{}</text>",
+        panel.top + 16.0,
+        panel.title
+    );
+
+    // Hairline grid + tick labels on clean fractions of the nice max.
+    for tick in 0..=4u32 {
+        let v = max * f64::from(tick) / 4.0;
+        let ty = y(v);
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{MARGIN_L}\" y1=\"{ty:.1}\" x2=\"{:.1}\" y2=\"{ty:.1}\" \
+             stroke=\"{}\" stroke-width=\"1\"/>",
+            MARGIN_L + plot_w,
+            if tick == 0 { BASELINE } else { GRID }
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{MUTED}\" font-size=\"11\" \
+             text-anchor=\"end\" style=\"font-variant-numeric: tabular-nums\">{}</text>",
+            MARGIN_L - 10.0,
+            ty + 4.0,
+            (panel.format)(v)
+        );
+    }
+
+    // X tick labels: PR numbers (thin out when dense).
+    let step = (points.len() / 12).max(1);
+    for (i, p) in points.iter().enumerate() {
+        if i % step != 0 && i + 1 != points.len() {
+            continue;
+        }
+        let _ = writeln!(
+            svg,
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{MUTED}\" font-size=\"11\" \
+             text-anchor=\"middle\" style=\"font-variant-numeric: tabular-nums\">PR {}</text>",
+            x(i),
+            bottom + 18.0,
+            p.pr
+        );
+    }
+
+    // Series: 2px line, ≥8px markers ringed in the surface color, direct
+    // end-label in ink (identity from the adjacent colored mark).
+    let mut end_labels: Vec<EndLabel> = Vec::new();
+    for (slot, &batch) in TREND_BATCHES.iter().enumerate() {
+        let color = SERIES_COLORS[slot];
+        let line: Vec<(usize, &TrendSample)> = points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.sample(batch).map(|s| (i, s)))
+            .collect();
+        if line.is_empty() {
+            continue;
+        }
+        if line.len() > 1 {
+            let path: Vec<String> = line
+                .iter()
+                .map(|(i, s)| format!("{:.1},{:.1}", x(*i), y((panel.value)(s))))
+                .collect();
+            let _ = writeln!(
+                svg,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" \
+                 stroke-linejoin=\"round\" stroke-linecap=\"round\"/>",
+                path.join(" ")
+            );
+        }
+        for (i, s) in &line {
+            let _ = writeln!(
+                svg,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"{color}\" \
+                 stroke=\"{SURFACE}\" stroke-width=\"2\"><title>PR {} \u{00b7} batch={batch} \
+                 \u{00b7} {}</title></circle>",
+                x(*i),
+                y((panel.value)(s)),
+                points[*i].pr,
+                (panel.format)((panel.value)(s)),
+            );
+        }
+        let (last_i, last_s) = line.last().expect("non-empty line");
+        end_labels.push(EndLabel {
+            x: x(*last_i) + 10.0,
+            y: y((panel.value)(last_s)) + 4.0,
+            text: format!(
+                "batch={batch} \u{00b7} {}",
+                (panel.format)((panel.value)(last_s))
+            ),
+        });
+    }
+
+    // Direct end-labels, nudged apart so series that finish at nearby
+    // values stay readable (then emitted in ink, identity from the line
+    // the label sits beside).
+    resolve_label_collisions(&mut end_labels, top + 10.0, bottom + 4.0);
+    for label in &end_labels {
+        let _ = writeln!(
+            svg,
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{INK_2}\" font-size=\"12\">{}</text>",
+            label.x, label.y, label.text
+        );
+    }
+}
+
+/// A direct end-label pending collision resolution.
+struct EndLabel {
+    x: f64,
+    y: f64,
+    text: String,
+}
+
+/// Minimum vertical separation between stacked end-labels (12px text).
+const LABEL_GAP: f64 = 14.0;
+
+/// Pushes vertically overlapping labels apart to [`LABEL_GAP`] spacing,
+/// keeping every label inside `[top, bottom]`. One downward sweep opens
+/// gaps below; the clamp + upward sweep recovers room at the bottom edge.
+fn resolve_label_collisions(labels: &mut [EndLabel], top: f64, bottom: f64) {
+    labels.sort_by(|a, b| a.y.total_cmp(&b.y));
+    for i in 1..labels.len() {
+        let min_y = labels[i - 1].y + LABEL_GAP;
+        if labels[i].y < min_y {
+            labels[i].y = min_y;
+        }
+    }
+    for i in (0..labels.len()).rev() {
+        let max_y = if i + 1 == labels.len() {
+            bottom
+        } else {
+            labels[i + 1].y - LABEL_GAP
+        };
+        labels[i].y = labels[i].y.min(max_y).max(top);
+    }
+}
+
+/// Rounds up to the nearest 1/2/2.5/5 × 10^k — clean axis maxima.
+fn nice_ceil(v: f64) -> f64 {
+    let exp = v.log10().floor();
+    let base = 10f64.powf(exp);
+    let frac = v / base;
+    let nice = if frac <= 1.0 {
+        1.0
+    } else if frac <= 2.0 {
+        2.0
+    } else if frac <= 2.5 {
+        2.5
+    } else if frac <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * base
+}
+
+/// Compact value formatting for axis ticks and labels (12.9K, 4.2M).
+fn compact(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else if v >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+// ---- tiny JSON field scanners (offline workspace — no serde) -----------
+
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The text inside `"key": [...]` (bracket-depth matched).
+fn array_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let open = at + obj[at..].find('[')?;
+    let mut depth = 0i32;
+    for (i, c) in obj[open..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(obj[open + 1..open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits depth-0 `{...}` objects out of array-interior text.
+fn split_objects(inner: &str) -> Vec<String> {
+    let mut objects = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                current.push(c);
+                if depth == 0 {
+                    objects.push(std::mem::take(&mut current));
+                }
+            }
+            _ if depth > 0 => current.push(c),
+            _ => {}
+        }
+    }
+    objects
+}
+
+/// Where the rendered chart lives: the repository root, next to the JSON
+/// artifact it is derived from.
+pub fn trend_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trend.svg")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pr: u64, mode: &str, scale: f64) -> String {
+        let series = TREND_BATCHES
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"batch\": {b}, \"ops_per_sec\": {:.1}, \"p99_ns\": 900, \
+                     \"allocs_per_op\": {:.3}}}",
+                    scale * *b as f64,
+                    40.0 / *b as f64
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"pr\": {pr}, \"mode\": \"{mode}\", \"date\": \"2026-08-0{pr}\", \
+             \"cores\": 8, \"series\": [{series}], \"shard_series\": []}}"
+        )
+    }
+
+    fn artifact(entries: &[String]) -> String {
+        format!("{{\"history\": [\n    {}\n  ]}}\n", entries.join(",\n    "))
+    }
+
+    #[test]
+    fn colliding_end_labels_are_pushed_apart_within_the_panel() {
+        let mk = |y: f64| EndLabel {
+            x: 0.0,
+            y,
+            text: String::new(),
+        };
+        // Two labels 6px apart near the bottom edge: the lower one can't
+        // move down, so the upper one must give way.
+        let mut labels = vec![mk(196.0), mk(190.0)];
+        resolve_label_collisions(&mut labels, 10.0, 200.0);
+        assert!(labels[1].y - labels[0].y >= LABEL_GAP);
+        assert!(labels.iter().all(|l| (10.0..=200.0).contains(&l.y)));
+        // Far-apart labels stay put.
+        let mut labels = vec![mk(30.0), mk(120.0)];
+        resolve_label_collisions(&mut labels, 10.0, 200.0);
+        assert_eq!((labels[0].y, labels[1].y), (30.0, 120.0));
+    }
+
+    #[test]
+    fn parses_history_points_with_all_samples() {
+        let json = artifact(&[entry(6, "smoke", 1000.0), entry(7, "smoke", 1100.0)]);
+        let points = parse_history(&json).expect("parse");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].pr, 6);
+        assert_eq!(points[0].samples.len(), TREND_BATCHES.len());
+        let b16 = points[1].sample(16).expect("batch=16 sample");
+        assert!((b16.ops_per_sec - 17_600.0).abs() < 0.5);
+        assert!((b16.allocs_per_op - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chart_mode_prefers_majority_then_full() {
+        let smoke_heavy = parse_history(&artifact(&[
+            entry(5, "smoke", 1.0),
+            entry(6, "smoke", 1.0),
+            entry(7, "full", 1.0),
+        ]))
+        .unwrap();
+        assert_eq!(chart_mode(&smoke_heavy).as_deref(), Some("smoke"));
+        let tied =
+            parse_history(&artifact(&[entry(6, "smoke", 1.0), entry(7, "full", 1.0)])).unwrap();
+        assert_eq!(chart_mode(&tied).as_deref(), Some("full"));
+    }
+
+    #[test]
+    fn renders_two_panels_with_lines_markers_and_labels() {
+        let json = artifact(&[
+            entry(5, "smoke", 900.0),
+            entry(6, "smoke", 1000.0),
+            entry(7, "smoke", 1150.0),
+        ]);
+        let svg = render_trend_svg(&json).expect("render");
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 6, "3 series × 2 panels");
+        assert_eq!(
+            svg.matches("<circle").count(),
+            18,
+            "3 points × 3 series × 2 panels"
+        );
+        assert!(svg.contains("Throughput (ops/sec)"));
+        assert!(svg.contains("Heap allocations per op"));
+        for color in SERIES_COLORS {
+            assert!(svg.contains(color), "series color {color} present");
+        }
+        // Legend + direct end-labels (the relief for the sub-3:1 aqua slot).
+        assert!(svg.matches("batch=64").count() >= 3);
+        assert!(svg.contains("PR 5") && svg.contains("PR 7"));
+        // Dual-axis ban: every axis tick belongs to exactly one panel.
+        assert!(svg.contains("smoke mode"));
+    }
+
+    #[test]
+    fn single_point_history_renders_markers_without_lines() {
+        let svg = render_trend_svg(&artifact(&[entry(7, "smoke", 1000.0)])).expect("render");
+        assert_eq!(svg.matches("<polyline").count(), 0);
+        assert_eq!(svg.matches("<circle").count(), 6, "3 series × 2 panels");
+    }
+
+    #[test]
+    fn mixed_modes_never_share_an_axis() {
+        let json = artifact(&[
+            entry(5, "full", 50_000.0),
+            entry(6, "smoke", 1000.0),
+            entry(7, "smoke", 1100.0),
+        ]);
+        let svg = render_trend_svg(&json).expect("render");
+        assert!(svg.contains("smoke mode"), "majority mode charted");
+        assert!(!svg.contains("PR 5"), "full-mode point excluded");
+    }
+
+    #[test]
+    fn empty_history_is_a_clean_error() {
+        assert!(render_trend_svg("{\"history\": []}").is_err());
+        assert!(render_trend_svg("{}").is_err());
+    }
+
+    #[test]
+    fn nice_ceil_lands_on_clean_values() {
+        assert_eq!(nice_ceil(17.0), 20.0);
+        assert_eq!(nice_ceil(3.0), 5.0);
+        assert_eq!(nice_ceil(99.0), 100.0);
+        assert_eq!(nice_ceil(210.0), 250.0);
+        assert_eq!(nice_ceil(1.0), 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # groupview-obs — causal spans, metrics registry, exporters
+//!
+//! Unified observability for the groupview workspace:
+//!
+//! * **Causal spans** ([`SpanRec`], [`Phase`]): each atomic action's
+//!   lifecycle is broken into phases (bind → probe → lock → invoke /
+//!   multicast → prepare → commit, or undo). Protocol layers record
+//!   completed spans in virtual time at their existing choke points.
+//! * **Metrics registry** ([`Registry`], [`Counter`]): per-world counters
+//!   and span storage with a `Cell`-based lock-free hot path. Disabled by
+//!   default; when disabled every recording call is an inlined early
+//!   return that performs **zero allocations** (asserted by the objects
+//!   bench), so observability costs nothing unless switched on.
+//! * **Snapshots** ([`MetricsSnapshot`], [`PhaseStats`]): `Send`,
+//!   mergeable aggregates. Sharded runs snapshot on each shard thread and
+//!   merge on the launcher so a multi-world run reports one true total —
+//!   including per-thread wire-pool stats that a single-thread read would
+//!   miss.
+//! * **Exporters** ([`ChromeTrace`], [`span_jsonl`],
+//!   [`validate_chrome_trace`]): Chrome trace-event JSON that loads
+//!   directly in Perfetto (one track per node, one per phase), JSONL span
+//!   dumps, and a plain-text per-phase latency breakdown for scenario
+//!   reports. The validator lets CI assert trace well-formedness (and
+//!   monotone timestamps per track) in-binary, with no external tools.
+//!
+//! Determinism contract: recording reads the *virtual* clock only, draws
+//! no randomness, and schedules nothing — an observed run is bit-for-bit
+//! identical (virtual times, metrics, RNG draw count) to an unobserved run
+//! of the same seed. A parity test pins this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod phase;
+mod registry;
+mod snapshot;
+
+pub use export::{
+    escape_json, span_jsonl, validate_chrome_trace, ChromeTrace, TraceSummary, PHASE_TID_BASE,
+};
+pub use phase::Phase;
+pub use registry::{Counter, Registry, SpanRec};
+pub use snapshot::{MetricsSnapshot, PhaseStats};

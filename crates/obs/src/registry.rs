@@ -1,0 +1,312 @@
+//! The per-shard metrics registry: counters plus causal span storage.
+//!
+//! One [`Registry`] lives in each simulated world (each shard thread owns
+//! its own — the hot path is `Cell` bumps, never a lock). The registry is
+//! **disabled by default**: every recording call starts with an inlined
+//! `enabled` check and returns immediately without allocating, so wiring
+//! the registry through the protocol layers costs nothing on unobserved
+//! runs (the objects bench asserts zero added allocs/op).
+
+use crate::phase::Phase;
+use crate::snapshot::{MetricsSnapshot, PhaseStats};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A named monotonically increasing counter maintained by the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Operation invocations started (single ops and batch frames).
+    Invokes,
+    /// Individual operations carried inside batch frames.
+    BatchOps,
+    /// Ordered multicasts issued to replica groups.
+    Multicasts,
+    /// Point-to-point RPCs issued (coordinator/single-copy legs).
+    Rpcs,
+    /// Locks granted.
+    LocksAcquired,
+    /// Lock requests refused (conflict).
+    LocksRefused,
+    /// Participants prepared in commit phase 1.
+    Prepares,
+    /// Top-level actions committed.
+    Commits,
+    /// Top-level actions aborted.
+    Aborts,
+    /// Undo operations executed while aborting.
+    UndoOps,
+}
+
+impl Counter {
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; 10] = [
+        Counter::Invokes,
+        Counter::BatchOps,
+        Counter::Multicasts,
+        Counter::Rpcs,
+        Counter::LocksAcquired,
+        Counter::LocksRefused,
+        Counter::Prepares,
+        Counter::Commits,
+        Counter::Aborts,
+        Counter::UndoOps,
+    ];
+
+    /// Number of counters (array dimensions in the registry).
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// Stable snake_case name used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Invokes => "invokes",
+            Counter::BatchOps => "batch_ops",
+            Counter::Multicasts => "multicasts",
+            Counter::Rpcs => "rpcs",
+            Counter::LocksAcquired => "locks_acquired",
+            Counter::LocksRefused => "locks_refused",
+            Counter::Prepares => "prepares",
+            Counter::Commits => "commits",
+            Counter::Aborts => "aborts",
+            Counter::UndoOps => "undo_ops",
+        }
+    }
+
+    /// Position in [`Counter::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A completed causal span: one phase of one atomic action, in virtual
+/// (simulated) microseconds. Spans are recorded whole — callers read the
+/// sim clock before and after the phase and hand both stamps in — so the
+/// registry never needs open-span bookkeeping on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Raw id of the atomic action this phase belongs to.
+    pub action: u64,
+    /// Which lifecycle phase the span covers.
+    pub phase: Phase,
+    /// Virtual start time, microseconds.
+    pub start_us: u64,
+    /// Virtual end time, microseconds (`>= start_us`).
+    pub end_us: u64,
+}
+
+impl SpanRec {
+    /// Span duration in virtual microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+#[derive(Default)]
+struct RegistryCore {
+    enabled: Cell<bool>,
+    counters: [Cell<u64>; Counter::COUNT],
+    spans: RefCell<Vec<SpanRec>>,
+    /// Wire-pool stats absorbed from `groupview_sim::wire::stats()` deltas.
+    wire_buffer_allocs: Cell<u64>,
+    wire_pool_reuses: Cell<u64>,
+    wire_bytes_copied: Cell<u64>,
+    /// Events evicted from the sim's bounded trace ring.
+    trace_dropped: Cell<u64>,
+}
+
+/// Cheap-to-clone handle to one world's metrics registry.
+///
+/// `!Send` by design (like the sim itself): each shard thread owns its own
+/// registry and cross-shard aggregation happens by shipping
+/// [`MetricsSnapshot`]s (which are `Send`) back to the launching thread and
+/// merging them.
+#[derive(Clone, Default)]
+pub struct Registry {
+    core: Rc<RegistryCore>,
+}
+
+impl Registry {
+    /// A fresh registry, **disabled** (recording calls are no-ops).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn recording on or off. Off is the default; the disabled path
+    /// performs no allocation and no interior mutation beyond this flag.
+    pub fn set_enabled(&self, on: bool) {
+        self.core.enabled.set(on);
+    }
+
+    /// Whether recording is currently on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.core.enabled.get()
+    }
+
+    /// Bump `counter` by `n`. No-op while disabled.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if self.core.enabled.get() {
+            let c = &self.core.counters[counter.index()];
+            c.set(c.get() + n);
+        }
+    }
+
+    /// Current value of `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.core.counters[counter.index()].get()
+    }
+
+    /// Record a completed span for `(action, phase)` covering
+    /// `start_us..end_us` virtual microseconds. No-op while disabled.
+    #[inline]
+    pub fn span(&self, action: u64, phase: Phase, start_us: u64, end_us: u64) {
+        if self.core.enabled.get() {
+            self.core.spans.borrow_mut().push(SpanRec {
+                action,
+                phase,
+                start_us,
+                end_us,
+            });
+        }
+    }
+
+    /// Absorb a delta of wire-pool statistics (buffer allocations, pool
+    /// reuses, bytes copied). Unlike the hot-path recorders this is *not*
+    /// gated on `enabled`: it is called once per run/quiesce from snapshot
+    /// plumbing, and sharded aggregation needs the numbers even when span
+    /// recording is off.
+    pub fn record_wire(&self, buffer_allocs: u64, pool_reuses: u64, bytes_copied: u64) {
+        let c = &self.core;
+        c.wire_buffer_allocs
+            .set(c.wire_buffer_allocs.get() + buffer_allocs);
+        c.wire_pool_reuses
+            .set(c.wire_pool_reuses.get() + pool_reuses);
+        c.wire_bytes_copied
+            .set(c.wire_bytes_copied.get() + bytes_copied);
+    }
+
+    /// Absorb a count of trace events dropped by the sim's bounded ring.
+    pub fn record_trace_dropped(&self, n: u64) {
+        let c = &self.core.trace_dropped;
+        c.set(c.get() + n);
+    }
+
+    /// Drain and return every recorded span (oldest first). Counters and
+    /// wire stats are untouched, but per-phase latency distributions in
+    /// [`Registry::snapshot`] are built from the live span list — snapshot
+    /// **before** draining when both are needed.
+    pub fn take_spans(&self) -> Vec<SpanRec> {
+        std::mem::take(&mut *self.core.spans.borrow_mut())
+    }
+
+    /// Number of spans currently buffered.
+    pub fn span_count(&self) -> usize {
+        self.core.spans.borrow().len()
+    }
+
+    /// Build a [`MetricsSnapshot`] of everything recorded so far: counter
+    /// values, wire stats, and per-phase latency distributions derived from
+    /// the buffered spans. The snapshot is `Send` and mergeable, so sharded
+    /// runs snapshot on each shard thread and merge on the launcher.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = [0u64; Counter::COUNT];
+        for (slot, cell) in counters.iter_mut().zip(self.core.counters.iter()) {
+            *slot = cell.get();
+        }
+        let mut phases: [PhaseStats; Phase::COUNT] = Default::default();
+        for span in self.core.spans.borrow().iter() {
+            phases[span.phase.index()].record(span.duration_us());
+        }
+        for stats in phases.iter_mut() {
+            stats.seal();
+        }
+        MetricsSnapshot {
+            worlds: 1,
+            counters,
+            phases,
+            wire_buffer_allocs: self.core.wire_buffer_allocs.get(),
+            wire_pool_reuses: self.core.wire_pool_reuses.get(),
+            wire_bytes_copied: self.core.wire_bytes_copied.get(),
+            trace_dropped: self.core.trace_dropped.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        assert!(!reg.is_enabled());
+        reg.add(Counter::Invokes, 5);
+        reg.span(1, Phase::Invoke, 0, 10);
+        assert_eq!(reg.get(Counter::Invokes), 0);
+        assert_eq!(reg.span_count(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::Invokes), 0);
+        assert_eq!(snap.phase(Phase::Invoke).count(), 0);
+    }
+
+    #[test]
+    fn enabled_registry_accumulates_counters_and_spans() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.add(Counter::Invokes, 2);
+        reg.add(Counter::Invokes, 1);
+        reg.add(Counter::Commits, 1);
+        reg.span(7, Phase::Invoke, 100, 250);
+        reg.span(7, Phase::Commit, 250, 300);
+        reg.span(8, Phase::Invoke, 300, 320);
+        assert_eq!(reg.get(Counter::Invokes), 3);
+        assert_eq!(reg.get(Counter::Commits), 1);
+        assert_eq!(reg.span_count(), 3);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::Invokes), 3);
+        assert_eq!(snap.phase(Phase::Invoke).count(), 2);
+        assert_eq!(snap.phase(Phase::Invoke).total_us(), 150 + 20);
+        assert_eq!(snap.phase(Phase::Commit).count(), 1);
+
+        let spans = reg.take_spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].phase, Phase::Invoke);
+        assert_eq!(spans[0].duration_us(), 150);
+        assert_eq!(reg.span_count(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = Registry::new();
+        let alias = reg.clone();
+        alias.set_enabled(true);
+        reg.add(Counter::Aborts, 4);
+        assert_eq!(alias.get(Counter::Aborts), 4);
+    }
+
+    #[test]
+    fn wire_and_trace_dropped_accumulate_even_when_disabled() {
+        let reg = Registry::new();
+        reg.record_wire(10, 90, 4096);
+        reg.record_wire(1, 9, 100);
+        reg.record_trace_dropped(3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.wire_buffer_allocs, 11);
+        assert_eq!(snap.wire_pool_reuses, 99);
+        assert_eq!(snap.wire_bytes_copied, 4196);
+        assert_eq!(snap.trace_dropped, 3);
+    }
+
+    #[test]
+    fn counter_names_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

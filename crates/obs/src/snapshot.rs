@@ -1,0 +1,312 @@
+//! Mergeable, `Send` snapshots of a registry — the unit of cross-shard
+//! aggregation.
+
+use crate::phase::Phase;
+use crate::registry::Counter;
+use std::fmt;
+
+/// Latency distribution for one phase, in virtual microseconds.
+///
+/// Samples are kept sorted; percentiles use the nearest-rank method (the
+/// same convention as the workload crate's histogram), so merged
+/// distributions report exact multiset percentiles rather than
+/// approximations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    samples: Vec<u64>,
+    sealed: bool,
+}
+
+impl PhaseStats {
+    /// Add one span duration. Callers must [`PhaseStats::seal`] before
+    /// reading percentiles.
+    pub fn record(&mut self, duration_us: u64) {
+        self.samples.push(duration_us);
+        self.sealed = false;
+    }
+
+    /// Sort samples so percentile reads are exact. Idempotent.
+    pub fn seal(&mut self) {
+        if !self.sealed {
+            self.samples.sort_unstable();
+            self.sealed = true;
+        }
+    }
+
+    /// Number of spans recorded.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Sum of all span durations.
+    pub fn total_us(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100); 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        debug_assert!(self.sealed, "percentile read on unsealed PhaseStats");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Median span duration.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile span duration.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// Longest span duration; 0 when empty.
+    pub fn max_us(&self) -> u64 {
+        self.samples.last().copied().unwrap_or(0)
+    }
+
+    /// Fold another distribution into this one (exact multiset union).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.seal_force();
+    }
+
+    fn seal_force(&mut self) {
+        self.sealed = false;
+        self.seal();
+    }
+}
+
+/// A `Send + Clone` snapshot of one (or several merged) registries.
+///
+/// Built on a shard thread by [`crate::Registry::snapshot`], shipped back
+/// to the launcher, and merged across worlds at quiesce so a sharded run
+/// reports one aggregate view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// How many world snapshots were merged into this one.
+    pub worlds: u64,
+    /// Counter values, indexed by [`Counter::index`].
+    pub counters: [u64; Counter::COUNT],
+    /// Per-phase latency distributions, indexed by [`Phase::index`].
+    pub phases: [PhaseStats; Phase::COUNT],
+    /// Wire buffers allocated fresh (pool misses), from the sim wire layer.
+    pub wire_buffer_allocs: u64,
+    /// Wire buffers served from the pool (pool hits).
+    pub wire_pool_reuses: u64,
+    /// Payload bytes copied onto the wire.
+    pub wire_bytes_copied: u64,
+    /// Trace events evicted from the sim's bounded trace ring.
+    pub trace_dropped: u64,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self {
+            worlds: 0,
+            counters: [0; Counter::COUNT],
+            phases: Default::default(),
+            wire_buffer_allocs: 0,
+            wire_pool_reuses: 0,
+            wire_bytes_copied: 0,
+            trace_dropped: 0,
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// Latency distribution of one phase.
+    pub fn phase(&self, p: Phase) -> &PhaseStats {
+        &self.phases[p.index()]
+    }
+
+    /// Fold another snapshot into this one: counters and wire stats add,
+    /// phase distributions take the multiset union.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.worlds += other.worlds;
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.phases.iter_mut().zip(other.phases.iter()) {
+            mine.merge(theirs);
+        }
+        self.wire_buffer_allocs += other.wire_buffer_allocs;
+        self.wire_pool_reuses += other.wire_pool_reuses;
+        self.wire_bytes_copied += other.wire_bytes_copied;
+        self.trace_dropped += other.trace_dropped;
+    }
+
+    /// Total spans across all phases.
+    pub fn span_count(&self) -> u64 {
+        self.phases.iter().map(PhaseStats::count).sum()
+    }
+
+    /// Wire pool hit rate in 0..=1 (1.0 when no buffer was ever needed).
+    pub fn wire_pool_hit_rate(&self) -> f64 {
+        let total = self.wire_buffer_allocs + self.wire_pool_reuses;
+        if total == 0 {
+            1.0
+        } else {
+            self.wire_pool_reuses as f64 / total as f64
+        }
+    }
+
+    /// Multi-line per-phase latency breakdown — the plain-text "flame"
+    /// view appended to scenario reports. One line per non-empty phase
+    /// with count, share of total span time, p50/p95/max.
+    pub fn phase_breakdown(&self) -> String {
+        let grand_total: u64 = self.phases.iter().map(PhaseStats::total_us).sum();
+        let mut out = String::new();
+        for p in Phase::ALL {
+            let stats = self.phase(p);
+            if stats.count() == 0 {
+                continue;
+            }
+            let share = if grand_total == 0 {
+                0.0
+            } else {
+                100.0 * stats.total_us() as f64 / grand_total as f64
+            };
+            out.push_str(&format!(
+                "  {:<12} n={:<6} {:>5.1}% of span time | p50={:>6}us p95={:>6}us max={:>6}us\n",
+                p.name(),
+                stats.count(),
+                share,
+                stats.p50(),
+                stats.p95(),
+                stats.max_us(),
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics snapshot ({} world(s)):", self.worlds)?;
+        for c in Counter::ALL {
+            let v = self.counter(c);
+            if v != 0 {
+                writeln!(f, "  {:<14} {v}", c.name())?;
+            }
+        }
+        writeln!(
+            f,
+            "  wire: {} allocs, {} reuses ({:.1}% pool hits), {} bytes copied; trace dropped {}",
+            self.wire_buffer_allocs,
+            self.wire_pool_reuses,
+            100.0 * self.wire_pool_hit_rate(),
+            self.wire_bytes_copied,
+            self.trace_dropped,
+        )?;
+        write!(f, "{}", self.phase_breakdown())
+    }
+}
+
+// The snapshot must cross shard-thread boundaries.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<MetricsSnapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(samples: &[u64]) -> PhaseStats {
+        let mut s = PhaseStats::default();
+        for &v in samples {
+            s.record(v);
+        }
+        s.seal();
+        s
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let s = stats(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.p50(), 50);
+        assert_eq!(s.p95(), 100);
+        assert_eq!(s.percentile(10.0), 10);
+        assert_eq!(s.max_us(), 100);
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.total_us(), 550);
+        let empty = stats(&[]);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.max_us(), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_multiset_union() {
+        let mut a = stats(&[5, 100]);
+        let b = stats(&[1, 50, 200]);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.percentile(20.0), 1);
+        assert_eq!(a.max_us(), 200);
+        // Same result as recording everything into one distribution.
+        assert_eq!(a, stats(&[1, 5, 50, 100, 200]));
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_unions_phases() {
+        let mut a = MetricsSnapshot {
+            worlds: 1,
+            ..Default::default()
+        };
+        a.counters[Counter::Invokes.index()] = 3;
+        a.phases[Phase::Invoke.index()] = stats(&[10, 30]);
+        a.wire_buffer_allocs = 2;
+        a.wire_pool_reuses = 8;
+
+        let mut b = MetricsSnapshot {
+            worlds: 1,
+            ..Default::default()
+        };
+        b.counters[Counter::Invokes.index()] = 4;
+        b.phases[Phase::Invoke.index()] = stats(&[20]);
+        b.wire_bytes_copied = 512;
+        b.trace_dropped = 7;
+
+        a.merge(&b);
+        assert_eq!(a.worlds, 2);
+        assert_eq!(a.counter(Counter::Invokes), 7);
+        assert_eq!(a.phase(Phase::Invoke).count(), 3);
+        assert_eq!(a.phase(Phase::Invoke).p50(), 20);
+        assert_eq!(a.wire_buffer_allocs, 2);
+        assert_eq!(a.wire_pool_reuses, 8);
+        assert_eq!(a.wire_bytes_copied, 512);
+        assert_eq!(a.trace_dropped, 7);
+        assert!((a.wire_pool_hit_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(a.span_count(), 3);
+    }
+
+    #[test]
+    fn breakdown_lists_only_non_empty_phases() {
+        let mut snap = MetricsSnapshot::default();
+        snap.phases[Phase::Bind.index()] = stats(&[100]);
+        snap.phases[Phase::Commit.index()] = stats(&[300]);
+        let text = snap.phase_breakdown();
+        assert!(text.contains("bind"));
+        assert!(text.contains("commit"));
+        assert!(!text.contains("multicast"));
+        assert!(text.contains("75.0%"));
+        assert!(text.contains("25.0%"));
+
+        let empty = MetricsSnapshot::default();
+        assert!(empty.phase_breakdown().contains("no spans recorded"));
+        assert!(!empty.to_string().is_empty());
+    }
+}

@@ -27,6 +27,7 @@ use crate::system::System;
 use groupview_actions::ActionId;
 use groupview_core::BindRequest;
 use groupview_group::DeliveryMode;
+use groupview_obs::Phase;
 use groupview_sim::{ClientId, NodeId};
 use groupview_store::Uid;
 use std::cell::RefCell;
@@ -48,8 +49,23 @@ impl System {
             .collect()
     }
 
-    /// Activates `uid` for a client action; see the module docs.
+    /// Activates `uid` for a client action; see the module docs. Trace
+    /// events caused by activation messages are attributed to `action`.
     pub(crate) fn do_activate(
+        &self,
+        action: ActionId,
+        client: ClientId,
+        client_node: NodeId,
+        uid: Uid,
+        replicas: usize,
+        read_only: bool,
+    ) -> Result<ObjectGroup, ActivateError> {
+        self.inner.sim.with_active_action(action.raw(), || {
+            self.do_activate_inner(action, client, client_node, uid, replicas, read_only)
+        })
+    }
+
+    fn do_activate_inner(
         &self,
         action: ActionId,
         client: ClientId,
@@ -74,7 +90,14 @@ impl System {
         if !fresh {
             req = req.with_required(joined.clone());
         }
+        let bind_start = inner.sim.now().as_micros();
         let binding = inner.binder.bind(action, &req)?;
+        inner.obs.span(
+            action.raw(),
+            Phase::Bind,
+            bind_start,
+            inner.sim.now().as_micros(),
+        );
 
         // Any member of the previous activation that this binding could NOT
         // reach (crashed or partitioned) will miss the coming operations:
@@ -92,10 +115,17 @@ impl System {
         // GetView as a nested action of the client action: the read lock on
         // the St entry is inherited and held to the client's end.
         let viewer = binding.servers.first().copied().unwrap_or(client_node);
+        let probe_start = inner.sim.now().as_micros();
         let nested = inner.tx.begin_nested(action);
         let st_entry = match inner.naming.get_view_from(viewer, nested, uid) {
             Ok(e) => {
                 inner.tx.commit(nested)?;
+                inner.obs.span(
+                    action.raw(),
+                    Phase::Probe,
+                    probe_start,
+                    inner.sim.now().as_micros(),
+                );
                 e
             }
             Err(e) => {

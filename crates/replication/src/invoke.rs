@@ -16,6 +16,7 @@ use crate::wire::{
 use groupview_actions::{ActionId, LockKey, LockMode};
 use groupview_core::{BindRequest, Binding};
 use groupview_group::{GroupId, GroupMember};
+use groupview_obs::{Counter as ObsCounter, Phase};
 use groupview_sim::wire::Codec;
 use groupview_sim::{Bytes, NodeId, Sim, WireEncoder};
 use groupview_store::{SnapshotCodec, Uid};
@@ -138,7 +139,8 @@ impl GroupMember for ReplicaMember {
 impl System {
     /// Invokes `op` on the activated object behind `group`, on behalf of
     /// `action`, declaring write (`true`) or read-only (`false`) intent for
-    /// object-level concurrency control.
+    /// object-level concurrency control. Trace events caused by invocation
+    /// messages are attributed to `action`.
     pub(crate) fn do_invoke(
         &self,
         action: ActionId,
@@ -146,7 +148,21 @@ impl System {
         op: &[u8],
         write_intent: bool,
     ) -> Result<Bytes, InvokeError> {
+        self.inner.sim.with_active_action(action.raw(), || {
+            self.do_invoke_inner(action, group, op, write_intent)
+        })
+    }
+
+    fn do_invoke_inner(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        op: &[u8],
+        write_intent: bool,
+    ) -> Result<Bytes, InvokeError> {
         let inner = &self.inner;
+        let invoke_start = inner.sim.now().as_micros();
+        inner.obs.add(ObsCounter::Invokes, 1);
         let mode = if write_intent {
             LockMode::Write
         } else {
@@ -162,15 +178,50 @@ impl System {
         // coordinator-cohort policy). Its buffer returns to the pool when
         // the last reference drops at the end of this call.
         let msg = GroupMsgCodec::encode_parts(&inner.wire, op_id, op);
-        let (reply, mutated) = match group.policy {
-            ReplicationPolicy::Active => self.invoke_active(group, &msg)?,
-            ReplicationPolicy::CoordinatorCohort => self.invoke_cohort(group, &msg)?,
-            ReplicationPolicy::SingleCopyPassive => self.invoke_single(group, &msg)?,
-        };
+        let (reply, mutated) = self.dispatch_policy(action, group, &msg)?;
         if mutated {
             self.mark_dirty(action, group.uid);
         }
+        inner.obs.span(
+            action.raw(),
+            Phase::Invoke,
+            invoke_start,
+            inner.sim.now().as_micros(),
+        );
         Ok(reply)
+    }
+
+    /// The replicated leg of an invocation: route the encoded frame through
+    /// the group's policy, recording the multicast/RPC span and counter.
+    fn dispatch_policy(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        msg: &Bytes,
+    ) -> Result<(Bytes, bool), InvokeError> {
+        let inner = &self.inner;
+        let mcast_start = inner.sim.now().as_micros();
+        let result = match group.policy {
+            ReplicationPolicy::Active => {
+                inner.obs.add(ObsCounter::Multicasts, 1);
+                self.invoke_active(group, msg)?
+            }
+            ReplicationPolicy::CoordinatorCohort => {
+                inner.obs.add(ObsCounter::Rpcs, 1);
+                self.invoke_cohort(group, msg)?
+            }
+            ReplicationPolicy::SingleCopyPassive => {
+                inner.obs.add(ObsCounter::Rpcs, 1);
+                self.invoke_single(group, msg)?
+            }
+        };
+        inner.obs.span(
+            action.raw(),
+            Phase::Multicast,
+            mcast_start,
+            inner.sim.now().as_micros(),
+        );
+        Ok(result)
     }
 
     /// Invokes a batch of operations on the activated object behind
@@ -190,7 +241,22 @@ impl System {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
+        self.inner.sim.with_active_action(action.raw(), || {
+            self.do_invoke_batch_inner(action, group, ops, write_intent)
+        })
+    }
+
+    fn do_invoke_batch_inner(
+        &self,
+        action: ActionId,
+        group: &ObjectGroup,
+        ops: &[&[u8]],
+        write_intent: bool,
+    ) -> Result<Vec<Bytes>, InvokeError> {
         let inner = &self.inner;
+        let invoke_start = inner.sim.now().as_micros();
+        inner.obs.add(ObsCounter::Invokes, 1);
+        inner.obs.add(ObsCounter::BatchOps, ops.len() as u64);
         let mode = if write_intent {
             LockMode::Write
         } else {
@@ -207,11 +273,7 @@ impl System {
         // The only encode of this batch: one pooled frame shared by every
         // replica the policy touches.
         let msg = BatchMsgCodec::encode_parts(&inner.wire, batch_id, ops);
-        let (reply, mutated) = match group.policy {
-            ReplicationPolicy::Active => self.invoke_active(group, &msg)?,
-            ReplicationPolicy::CoordinatorCohort => self.invoke_cohort(group, &msg)?,
-            ReplicationPolicy::SingleCopyPassive => self.invoke_single(group, &msg)?,
-        };
+        let (reply, mutated) = self.dispatch_policy(action, group, &msg)?;
         if mutated {
             self.mark_dirty(action, group.uid);
         }
@@ -219,6 +281,12 @@ impl System {
         if replies.len() != ops.len() {
             return Err(InvokeError::MalformedReply(group.uid));
         }
+        inner.obs.span(
+            action.raw(),
+            Phase::Invoke,
+            invoke_start,
+            inner.sim.now().as_micros(),
+        );
         Ok(replies)
     }
 

@@ -12,6 +12,8 @@ use groupview_core::{
     RecoveryManager, RemoteDirectory, RemoteServerCache, ServerCache,
 };
 use groupview_group::{GroupComms, GroupId};
+use groupview_obs::{MetricsSnapshot, Registry as ObsRegistry};
+use groupview_sim::wire::{self, WireStats};
 use groupview_sim::{Bytes, ClientId, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
 use groupview_store::{ObjectState, Stores, Uid, UidGen, Version};
 use std::cell::{Cell, RefCell};
@@ -39,6 +41,15 @@ pub(crate) struct SystemInner {
     /// Shared scratch-buffer pool for every wire encode in the system
     /// (operation frames, member replies, checkpoint snapshots).
     pub(crate) wire: WireEncoder,
+    /// Observability registry shared with the action service; disabled by
+    /// default (see [`SystemBuilder::observe`]).
+    pub(crate) obs: ObsRegistry,
+    /// This thread's wire counters as of the last absorption into `obs`
+    /// (the counters are thread-local and monotonic; the mark turns them
+    /// into per-system deltas).
+    wire_mark: Cell<WireStats>,
+    /// Sim trace-ring drop count as of the last absorption into `obs`.
+    dropped_mark: Cell<u64>,
     uid_gen: RefCell<UidGen>,
     next_op: Cell<u64>,
     next_client: Cell<u32>,
@@ -77,6 +88,7 @@ pub struct SystemBuilder {
     naming_node: u32,
     trace: bool,
     exclude_enabled: bool,
+    observe: bool,
 }
 
 impl SystemBuilder {
@@ -134,6 +146,17 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables the observability registry: causal action spans and protocol
+    /// counters are recorded (see [`System::obs`] and
+    /// [`System::metrics_snapshot`]). Off by default — recording calls are
+    /// inlined no-ops that never allocate, and an observed run is
+    /// bit-for-bit identical to an unobserved one (recording only reads the
+    /// virtual clock).
+    pub fn observe(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
     /// Builds the system.
     ///
     /// # Panics
@@ -155,6 +178,11 @@ impl SystemBuilder {
         let sim = Sim::new(cfg);
         let stores = Stores::new(&sim);
         let tx = TxSystem::new(&sim, &stores);
+        let obs = ObsRegistry::new();
+        if self.observe {
+            obs.set_enabled(true);
+        }
+        tx.set_observer(&obs);
         let comms = GroupComms::new(&sim);
         let naming_node = NodeId::new(self.naming_node);
         let naming = NamingService::new(&sim, &tx, naming_node);
@@ -188,6 +216,9 @@ impl SystemBuilder {
                 exclude_enabled: self.exclude_enabled,
                 active_groups: RefCell::new(HashMap::new()),
                 wire: WireEncoder::new(),
+                obs,
+                wire_mark: Cell::new(wire::stats()),
+                dropped_mark: Cell::new(0),
                 uid_gen: RefCell::new(UidGen::new(naming_node)),
                 next_op: Cell::new(1),
                 next_client: Cell::new(0),
@@ -220,6 +251,7 @@ impl System {
             naming_node: 0,
             trace: false,
             exclude_enabled: true,
+            observe: false,
         }
     }
 
@@ -238,6 +270,37 @@ impl System {
     /// The atomic action service.
     pub fn tx(&self) -> &TxSystem {
         &self.inner.tx
+    }
+
+    /// The observability registry (disabled unless the system was built
+    /// with [`SystemBuilder::observe`]).
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.inner.obs
+    }
+
+    /// Builds a [`MetricsSnapshot`] of everything observed so far, after
+    /// absorbing this thread's wire-pool counters and the sim's trace-ring
+    /// drop count into the registry.
+    ///
+    /// Must be called on the thread that ran the system (always true for
+    /// this `!Send` type): wire counters are thread-local, which is exactly
+    /// why sharded runs call this on each shard thread and merge the
+    /// snapshots — a single-thread read would under-report every foreign
+    /// shard's wire traffic.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let inner = &self.inner;
+        let cur = wire::stats();
+        let delta = cur.since(inner.wire_mark.get());
+        inner.wire_mark.set(cur);
+        inner
+            .obs
+            .record_wire(delta.buffer_allocs, delta.pool_reuses, delta.bytes_copied);
+        let dropped = inner.sim.trace_dropped();
+        inner
+            .obs
+            .record_trace_dropped(dropped - inner.dropped_mark.get());
+        inner.dropped_mark.set(dropped);
+        inner.obs.snapshot()
     }
 
     /// The naming-and-binding service.
@@ -820,48 +883,52 @@ impl Client {
             .remove(&action.raw())
             .unwrap_or_default();
 
-        // Figure 8: Decrement runs as a nested top-level action *inside*
-        // the client action. A contended decrement is left to the cleanup
-        // daemon rather than failing the commit.
-        if sys.scheme() == BindingScheme::NestedTopLevel {
-            for g in &groups {
-                let _ = sys.inner.binder.complete(Some(action), &g.req, &g.binding);
+        // Binding completion and commit-time write-back all send messages
+        // on behalf of this action; attribute their trace events to it.
+        sys.sim().with_active_action(action.raw(), || {
+            // Figure 8: Decrement runs as a nested top-level action *inside*
+            // the client action. A contended decrement is left to the cleanup
+            // daemon rather than failing the commit.
+            if sys.scheme() == BindingScheme::NestedTopLevel {
+                for g in &groups {
+                    let _ = sys.inner.binder.complete(Some(action), &g.req, &g.binding);
+                }
             }
-        }
 
-        // Commit-time state copy (with Exclude) for modified objects.
-        let mut committed_versions: Vec<(usize, Version)> = Vec::new();
-        for (i, g) in groups.iter().enumerate() {
-            if sys.is_dirty(action, g.uid) {
-                match sys.do_writeback(action, g) {
-                    Ok(version) => committed_versions.push((i, version)),
-                    Err(e) => {
-                        sys.inner.tx.abort(action);
-                        self.finish_bindings(&groups);
-                        sys.clear_dirty(action);
-                        return Err(e);
+            // Commit-time state copy (with Exclude) for modified objects.
+            let mut committed_versions: Vec<(usize, Version)> = Vec::new();
+            for (i, g) in groups.iter().enumerate() {
+                if sys.is_dirty(action, g.uid) {
+                    match sys.do_writeback(action, g) {
+                        Ok(version) => committed_versions.push((i, version)),
+                        Err(e) => {
+                            sys.inner.tx.abort(action);
+                            self.finish_bindings(&groups);
+                            sys.clear_dirty(action);
+                            return Err(e);
+                        }
                     }
                 }
             }
-        }
 
-        match sys.inner.tx.commit(action) {
-            Ok(()) => {
-                for (i, version) in committed_versions {
-                    sys.bump_replica_versions(&groups[i], version);
+            match sys.inner.tx.commit(action) {
+                Ok(()) => {
+                    for (i, version) in committed_versions {
+                        sys.bump_replica_versions(&groups[i], version);
+                    }
+                    if sys.scheme() == BindingScheme::IndependentTopLevel {
+                        self.finish_bindings(&groups);
+                    }
+                    sys.clear_dirty(action);
+                    Ok(())
                 }
-                if sys.scheme() == BindingScheme::IndependentTopLevel {
+                Err(e) => {
                     self.finish_bindings(&groups);
+                    sys.clear_dirty(action);
+                    Err(CommitError::Tx(e))
                 }
-                sys.clear_dirty(action);
-                Ok(())
             }
-            Err(e) => {
-                self.finish_bindings(&groups);
-                sys.clear_dirty(action);
-                Err(CommitError::Tx(e))
-            }
-        }
+        })
     }
 
     /// Aborts the action, undoing all its effects, and completes any

@@ -530,3 +530,59 @@ fn reborn_replica_fails_the_in_flight_action() {
         assert_eq!(counter_value(&sys, uid, n(5)), 0, "policy {policy}");
     }
 }
+
+#[test]
+fn observed_system_reports_spans_counters_and_wire_stats() {
+    use groupview_obs::{Counter as ObsCounter, Phase};
+    let sys = System::builder(77)
+        .nodes(6)
+        .policy(ReplicationPolicy::Active)
+        .observe()
+        .build();
+    assert!(sys.obs().is_enabled());
+    let uid = create_counter(&sys, 0);
+    let client = sys.client(n(4));
+    for i in 0..3 {
+        let a = client.begin();
+        let g = client.activate(a, uid, 2).expect("activate");
+        client
+            .invoke(a, &g, &CounterOp::Add(i).encode())
+            .expect("invoke");
+        client.commit(a).expect("commit");
+    }
+    let snap = sys.metrics_snapshot();
+    assert_eq!(snap.worlds, 1);
+    assert_eq!(snap.counter(ObsCounter::Invokes), 3);
+    assert_eq!(snap.counter(ObsCounter::Multicasts), 3);
+    assert!(snap.counter(ObsCounter::Commits) >= 3);
+    assert_eq!(snap.phase(Phase::Invoke).count(), 3);
+    assert_eq!(snap.phase(Phase::Bind).count(), 3);
+    assert_eq!(snap.phase(Phase::Probe).count(), 3);
+    assert_eq!(snap.phase(Phase::Multicast).count(), 3);
+    assert!(
+        snap.phase(Phase::Invoke).total_us() >= snap.phase(Phase::Multicast).total_us(),
+        "the multicast leg nests inside the invoke span"
+    );
+    // Object creation + 3 ops moved real bytes through the wire pool.
+    assert!(snap.wire_bytes_copied > 0);
+    assert!(snap.wire_buffer_allocs + snap.wire_pool_reuses > 0);
+    // Spans drain for export; a second snapshot keeps counters.
+    let spans = sys.obs().take_spans();
+    assert!(spans.len() as u64 >= snap.span_count());
+    assert_eq!(sys.metrics_snapshot().counter(ObsCounter::Invokes), 3);
+}
+
+#[test]
+fn unobserved_system_records_nothing() {
+    use groupview_obs::Counter as ObsCounter;
+    let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
+    assert!(!sys.obs().is_enabled());
+    let uid = create_counter(&sys, 5);
+    assert_eq!(counter_value(&sys, uid, n(4)), 5);
+    let snap = sys.metrics_snapshot();
+    assert_eq!(snap.counter(ObsCounter::Invokes), 0);
+    assert_eq!(snap.span_count(), 0);
+    // Wire stats are still absorbed: sharded aggregation needs them even
+    // with span recording off.
+    assert!(snap.wire_bytes_copied > 0);
+}

@@ -1,0 +1,220 @@
+//! Trace exporters: turn a traced scenario run (sim [`TraceEvent`]s +
+//! causal [`SpanRec`]s) into a Chrome trace-event JSON file (loads directly
+//! in Perfetto or `chrome://tracing`) and a JSONL dump.
+//!
+//! Layout: one Perfetto "process" per shard; inside it one track per
+//! simulated node carrying instant events (deliveries, losses, crashes,
+//! partitions), one track per action phase carrying the causal spans, and
+//! a `notes` track for free-form annotations. Message events carry the
+//! raw id of the atomic action that caused them, so a lost message can be
+//! attributed to the action it aborted.
+
+use crate::runner::ScenarioReport;
+use groupview_obs::{escape_json, span_jsonl, ChromeTrace, SpanRec, TraceSummary};
+use groupview_sim::TraceEvent;
+
+/// Track id for free-form [`TraceEvent::Note`] annotations (node tracks
+/// use the node id; phase tracks start at
+/// [`groupview_obs::PHASE_TID_BASE`]).
+pub const NOTES_TID: u32 = 99;
+
+/// One traced world's worth of observability output: the scenario verdict
+/// plus the drained spans and simulation events that produced it.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Shard index (0 for a solo run); becomes the Perfetto process id.
+    pub shard: u32,
+    /// Node count of the world (names the node tracks).
+    pub nodes: usize,
+    /// The scenario verdict (carries the metrics snapshot).
+    pub report: ScenarioReport,
+    /// Causal action spans, drained from the registry.
+    pub spans: Vec<SpanRec>,
+    /// Simulation trace events, drained from the sim's ring.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A set of traced runs (one per shard) renderable as one trace file.
+#[derive(Debug, Default)]
+pub struct TraceBundle {
+    /// The per-shard runs.
+    pub runs: Vec<TracedRun>,
+}
+
+impl TraceBundle {
+    /// Bundle a single solo run.
+    pub fn solo(run: TracedRun) -> Self {
+        TraceBundle { runs: vec![run] }
+    }
+
+    /// Render the Chrome trace-event JSON file.
+    pub fn chrome_json(&self) -> String {
+        let mut trace = ChromeTrace::new();
+        for run in &self.runs {
+            let pid = run.shard;
+            trace.process_name(pid, &format!("shard {pid}"));
+            for node in 0..run.nodes as u32 {
+                trace.thread_name(pid, node, &format!("node-{node}"));
+            }
+            trace.thread_name(pid, NOTES_TID, "notes");
+            trace.phase_tracks(pid);
+            // Ring order is virtual-time order, so each node track stays
+            // monotone.
+            for ev in &run.events {
+                emit_event(&mut trace, pid, ev);
+            }
+            // Spans are recorded at completion; re-sort by phase track and
+            // start time so every track's `ts` is monotone.
+            let mut spans = run.spans.clone();
+            spans.sort_by_key(|s| (s.phase.index(), s.start_us, s.end_us));
+            for span in &spans {
+                trace.phase_span(pid, span);
+            }
+        }
+        trace.render()
+    }
+
+    /// Validate the rendered Chrome trace in-binary (well-formed JSON
+    /// shape, monotone timestamps per track).
+    pub fn validate(&self) -> Result<TraceSummary, String> {
+        groupview_obs::validate_chrome_trace(&self.chrome_json())
+    }
+
+    /// Render the JSONL dump: one line per span, then one per sim event.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for run in &self.runs {
+            for span in &run.spans {
+                out.push_str(&span_jsonl(run.shard, span));
+                out.push('\n');
+            }
+            for ev in &run.events {
+                out.push_str(&event_jsonl(run.shard, ev));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Total spans across all runs.
+    pub fn span_count(&self) -> usize {
+        self.runs.iter().map(|r| r.spans.len()).sum()
+    }
+
+    /// Total sim events across all runs.
+    pub fn event_count(&self) -> usize {
+        self.runs.iter().map(|r| r.events.len()).sum()
+    }
+}
+
+/// Short stable kind name for a sim event.
+fn event_kind(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::Deliver { .. } => "deliver",
+        TraceEvent::Lost { .. } => "lost",
+        TraceEvent::Crash { .. } => "crash",
+        TraceEvent::Recover { .. } => "recover",
+        TraceEvent::Partition { .. } => "partition",
+        TraceEvent::Heal { .. } => "heal",
+        TraceEvent::Note { .. } => "note",
+    }
+}
+
+/// The track an event renders on: the node it concerns, or the notes track.
+fn event_tid(ev: &TraceEvent) -> u32 {
+    match ev {
+        // Message events render on the *receiver's* track: that is where
+        // the delivery (or the hole a loss leaves) is observable.
+        TraceEvent::Deliver { to, .. } | TraceEvent::Lost { to, .. } => to.raw(),
+        TraceEvent::Crash { node, .. } | TraceEvent::Recover { node, .. } => node.raw(),
+        TraceEvent::Partition { a, .. } | TraceEvent::Heal { a, .. } => a.raw(),
+        TraceEvent::Note { .. } => NOTES_TID,
+    }
+}
+
+fn emit_event(trace: &mut ChromeTrace, pid: u32, ev: &TraceEvent) {
+    let detail = ev.to_string();
+    trace.instant(
+        pid,
+        event_tid(ev),
+        event_kind(ev),
+        ev.at().as_micros(),
+        Some(&detail),
+        ev.action(),
+    );
+}
+
+fn event_jsonl(shard: u32, ev: &TraceEvent) -> String {
+    let mut line = format!(
+        "{{\"type\":\"event\",\"shard\":{},\"at_us\":{},\"kind\":\"{}\",\"text\":\"{}\"",
+        shard,
+        ev.at().as_micros(),
+        event_kind(ev),
+        escape_json(&ev.to_string()),
+    );
+    if let Some(a) = ev.action() {
+        line.push_str(&format!(",\"action\":{a}"));
+    }
+    line.push('}');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::canned_scenarios;
+
+    fn traced(name: &str, seed: u64) -> TracedRun {
+        let scenario = canned_scenarios()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("canned scenario exists");
+        crate::runner::run_scenario_traced(&scenario, seed)
+    }
+
+    #[test]
+    fn traced_canned_scenario_exports_a_valid_chrome_trace() {
+        let run = traced("active/masked_server_crash", 7);
+        assert!(run.report.passed(), "{}", run.report);
+        assert!(!run.spans.is_empty(), "spans recorded");
+        assert!(!run.events.is_empty(), "sim events recorded");
+        assert!(
+            run.report.obs.is_some(),
+            "traced run carries a metrics snapshot"
+        );
+        let bundle = TraceBundle::solo(run);
+        let summary = bundle.validate().expect("trace must validate");
+        assert_eq!(summary.spans, bundle.span_count());
+        assert_eq!(summary.instants, bundle.event_count());
+        assert!(summary.tracks > 1);
+
+        let jsonl = bundle.jsonl();
+        assert_eq!(
+            jsonl.lines().count(),
+            bundle.span_count() + bundle.event_count()
+        );
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn lost_messages_are_attributed_to_their_action() {
+        // A store crash mid-commit loses in-flight protocol messages; each
+        // loss should carry the action whose exchange it interrupted.
+        let run = traced("active/store_crash_in_commit", 1);
+        let attributed = run
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Lost { .. }) && e.action().is_some());
+        let any_lost = run
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Lost { .. }));
+        assert!(any_lost, "lossy scenario loses messages");
+        assert!(
+            attributed,
+            "losses during action phases carry the action id"
+        );
+    }
+}

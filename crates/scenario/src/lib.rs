@@ -44,6 +44,7 @@
 //! assert!(reports[0].passed(), "{}", reports[0]);
 //! ```
 
+pub mod export;
 pub mod history;
 pub mod nemesis;
 pub mod oracle;
@@ -53,6 +54,7 @@ pub mod scenarios;
 pub mod sharded;
 pub mod soak;
 
+pub use crate::export::{TraceBundle, TracedRun, NOTES_TID};
 pub use crate::history::{Event, EventKind, History};
 pub use crate::nemesis::{
     client_churn, flapping_partition, lossy_window, recovery_storm, rolling_crashes,
@@ -64,9 +66,11 @@ pub use crate::oracle::{
 };
 pub use crate::plan::{FaultPlan, PlanAction, PlanError, PlanEvent, Trigger};
 pub use crate::runner::{
-    run_matrix, run_plan, run_plan_typed, run_scenario, run_scenario_in, Checks, PlanGenerator,
-    RunOutcome, Scenario, ScenarioReport,
+    run_matrix, run_plan, run_plan_typed, run_scenario, run_scenario_in, run_scenario_observed,
+    run_scenario_traced, Checks, PlanGenerator, RunOutcome, Scenario, ScenarioReport,
 };
 pub use crate::scenarios::canned_scenarios;
-pub use crate::sharded::{run_scenario_sharded, ShardedScenarioReport};
+pub use crate::sharded::{
+    run_scenario_sharded, run_scenario_sharded_observed, ShardedScenarioReport,
+};
 pub use crate::soak::{run_soak, SoakConfig, SoakReport};

@@ -20,6 +20,7 @@ use crate::oracle::{
 };
 use crate::plan::{FaultPlan, PlanAction};
 use groupview_core::BindingScheme;
+use groupview_obs::MetricsSnapshot;
 use groupview_replication::{
     Account, AccountOp, Client, Counter, CounterOp, KvMap, KvOp, ObjectGroup, ObjectType,
     ReplicationPolicy, System,
@@ -682,6 +683,12 @@ pub struct ScenarioReport {
     pub oracle: OracleReport,
     /// Failed expectations (empty means the scenario passed).
     pub failures: Vec<String>,
+    /// Observability snapshot (per-phase latencies, protocol counters,
+    /// wire stats). `None` unless the run was observed
+    /// ([`run_scenario_observed`] or a world built with
+    /// `SystemBuilder::observe`) — so default runs render exactly as
+    /// before.
+    pub obs: Option<MetricsSnapshot>,
 }
 
 impl ScenarioReport {
@@ -707,18 +714,73 @@ impl fmt::Display for ScenarioReport {
             } else {
                 format!("FAIL: {}", self.failures.join("; "))
             }
-        )
+        )?;
+        if let Some(snap) = &self.obs {
+            write!(f, "\n{}", snap.phase_breakdown().trim_end_matches('\n'))?;
+        }
+        Ok(())
     }
 }
 
 /// Runs one scenario under one seed: build the world, create the objects,
 /// drive the plan, quiesce, and collect verdicts.
 pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
-    let sys = System::builder(seed)
+    run_scenario_built(scenario, seed, false, false)
+}
+
+/// [`run_scenario`] with the observability registry enabled: the returned
+/// report carries a [`MetricsSnapshot`] (and its `Display` appends the
+/// per-phase latency breakdown). The run itself is bit-for-bit identical
+/// to the unobserved one — `tests/obs_parity.rs` pins this.
+pub fn run_scenario_observed(scenario: &Scenario, seed: u64) -> ScenarioReport {
+    run_scenario_built(scenario, seed, true, false)
+}
+
+/// [`run_scenario_observed`] with sim event tracing on as well; returns the
+/// drained trace events and causal spans alongside the report, ready for
+/// [`crate::export::TraceBundle`].
+pub fn run_scenario_traced(scenario: &Scenario, seed: u64) -> crate::export::TracedRun {
+    let sys = build_scenario_system(scenario, seed, true, true);
+    let objects = create_scenario_objects(scenario, &sys);
+    let report = run_scenario_in(scenario, seed, &sys, &objects);
+    let spans = sys.obs().take_spans();
+    let events = sys.sim().take_trace().unwrap_or_default();
+    crate::export::TracedRun {
+        shard: 0,
+        nodes: scenario.nodes,
+        report,
+        spans,
+        events,
+    }
+}
+
+fn run_scenario_built(
+    scenario: &Scenario,
+    seed: u64,
+    observe: bool,
+    trace: bool,
+) -> ScenarioReport {
+    let sys = build_scenario_system(scenario, seed, observe, trace);
+    let objects = create_scenario_objects(scenario, &sys);
+    run_scenario_in(scenario, seed, &sys, &objects)
+}
+
+/// Builds the world a scenario runs in (shared with the traced runner).
+fn build_scenario_system(scenario: &Scenario, seed: u64, observe: bool, trace: bool) -> System {
+    let mut builder = System::builder(seed)
         .nodes(scenario.nodes)
         .policy(scenario.policy)
-        .scheme(scenario.scheme)
-        .build();
+        .scheme(scenario.scheme);
+    if observe {
+        builder = builder.observe();
+    }
+    if trace {
+        builder = builder.trace();
+    }
+    builder.build()
+}
+
+fn create_scenario_objects(scenario: &Scenario, sys: &System) -> Vec<(Uid, ModelKind)> {
     let objects: Vec<(Uid, ModelKind)> = scenario
         .objects
         .iter()
@@ -729,7 +791,7 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioReport {
             (uid, *kind)
         })
         .collect();
-    run_scenario_in(scenario, seed, &sys, &objects)
+    objects
 }
 
 /// Runs a scenario's plan/quiesce/verify cycle inside an **existing**
@@ -765,10 +827,14 @@ pub fn run_scenario_in(
             masked: false,
             oracle: OracleReport::default(),
             failures: vec![format!("malformed plan: {e}")],
+            obs: None,
         };
     }
     let outcome = run_plan_typed(sys, &spec, &plan, &kinds);
     quiesce(sys);
+    // Snapshot at quiesce: the merge point where shard threads read their
+    // thread-local wire counters before results cross threads.
+    let obs = sys.obs().is_enabled().then(|| sys.metrics_snapshot());
 
     let oracle = Oracle::new(
         uids.iter()
@@ -819,6 +885,7 @@ pub fn run_scenario_in(
         masked,
         oracle: oracle_report,
         failures,
+        obs,
     }
 }
 

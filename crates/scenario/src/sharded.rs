@@ -18,6 +18,7 @@
 
 use crate::oracle::ModelKind;
 use crate::runner::{run_scenario_in, Scenario, ScenarioReport};
+use groupview_obs::MetricsSnapshot;
 use groupview_replication::{HashRouter, ShardRouter, ShardedSystem, System};
 use groupview_store::Uid;
 use std::fmt;
@@ -52,6 +53,24 @@ impl ShardedScenarioReport {
     /// Aborted actions across all shards.
     pub fn total_aborts(&self) -> u64 {
         self.per_shard.iter().map(|r| r.metrics.aborts).sum()
+    }
+
+    /// The merged metrics snapshot across every shard world, or `None` for
+    /// an unobserved run.
+    ///
+    /// Each shard's snapshot is taken **on its own OS thread** at quiesce
+    /// (inside [`run_scenario_in`]), which is the only place the shard's
+    /// thread-local wire counters are visible — so the merge here reports
+    /// true whole-system wire totals (buffer allocs, pool reuses, bytes
+    /// copied), not just shard 0's.
+    pub fn merged_obs(&self) -> Option<MetricsSnapshot> {
+        self.per_shard
+            .iter()
+            .filter_map(|r| r.obs.clone())
+            .reduce(|mut a, b| {
+                a.merge(&b);
+                a
+            })
     }
 }
 
@@ -89,12 +108,36 @@ pub fn run_scenario_sharded(
     seed: u64,
     shards: usize,
 ) -> ShardedScenarioReport {
+    run_scenario_sharded_built(scenario, seed, shards, false)
+}
+
+/// [`run_scenario_sharded`] with per-shard observability enabled: every
+/// shard world records counters and causal spans, and each shard's wire
+/// stats are snapshotted on its own thread so
+/// [`ShardedScenarioReport::merged_obs`] reports true aggregates.
+pub fn run_scenario_sharded_observed(
+    scenario: Arc<Scenario>,
+    seed: u64,
+    shards: usize,
+) -> ShardedScenarioReport {
+    run_scenario_sharded_built(scenario, seed, shards, true)
+}
+
+fn run_scenario_sharded_built(
+    scenario: Arc<Scenario>,
+    seed: u64,
+    shards: usize,
+    observe: bool,
+) -> ShardedScenarioReport {
     let name = scenario.name;
     let router: Arc<dyn ShardRouter> = Arc::new(HashRouter::new(shards));
-    let builder = System::builder(seed)
+    let mut builder = System::builder(seed)
         .nodes(scenario.nodes)
         .policy(scenario.policy)
         .scheme(scenario.scheme);
+    if observe {
+        builder = builder.observe();
+    }
     let sys = ShardedSystem::launch(builder, Arc::clone(&router));
     let per_shard = sys
         .exec_all(move |world| {
@@ -175,6 +218,28 @@ mod tests {
         assert_eq!(report.per_shard.len(), 3);
         assert!(report.passed(), "{report}");
         assert!(report.total_commits() > 0);
+    }
+
+    #[test]
+    fn observed_sharded_run_merges_true_wire_aggregates() {
+        let observed = run_scenario_sharded_observed(Arc::new(scenario(6)), 11, 3);
+        assert!(observed.passed(), "{observed}");
+        let merged = observed.merged_obs().expect("observed run carries obs");
+        assert_eq!(merged.worlds, 3, "one snapshot per shard world merged");
+        // Every shard world moved protocol bytes; the merge must therefore
+        // strictly exceed any single shard's thread-local view.
+        assert!(merged.wire_bytes_copied > 0);
+        for r in &observed.per_shard {
+            let solo = r.obs.as_ref().expect("per-shard snapshot");
+            assert!(solo.wire_bytes_copied > 0, "shard saw its own wire stats");
+            assert!(merged.wire_bytes_copied > solo.wire_bytes_copied);
+        }
+        assert!(merged.span_count() > 0, "spans recorded across shards");
+
+        // The unobserved runner stays obs-free (parity path untouched).
+        let plain = run_scenario_sharded(Arc::new(scenario(6)), 11, 3);
+        assert!(plain.merged_obs().is_none());
+        assert_eq!(plain.total_commits(), observed.total_commits());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::nemesis;
 use crate::oracle::ModelKind;
-use crate::runner::{run_scenario, Checks, Scenario, ScenarioReport};
+use crate::runner::{run_scenario_observed, Checks, Scenario, ScenarioReport};
 use groupview_core::BindingScheme;
 use groupview_replication::ReplicationPolicy;
 use groupview_sim::{NodeId, SimDuration};
@@ -174,7 +174,9 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             ("soak/single_copy", ReplicationPolicy::SingleCopyPassive),
         ] {
             let scenario = soak_scenario(name, policy, round);
-            reports.push(run_scenario(&scenario, seed));
+            // Soak cells run observed: the per-phase latency breakdown in
+            // each report's Display is the harness's headline output.
+            reports.push(run_scenario_observed(&scenario, seed));
         }
     }
     SoakReport { reports }
@@ -201,6 +203,12 @@ mod tests {
             "a soak must actually inject faults"
         );
         assert!(report.to_string().contains("soak:"));
+        // Soak cells run observed: every report carries a snapshot and its
+        // Display appends the per-phase latency breakdown.
+        assert!(report.reports.iter().all(|r| r.obs.is_some()));
+        let cell = report.reports[0].to_string();
+        assert!(cell.contains("invoke"), "{cell}");
+        assert!(cell.contains("p95="), "{cell}");
     }
 
     #[test]

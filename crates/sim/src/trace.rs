@@ -22,6 +22,10 @@ pub enum TraceEvent {
         to: NodeId,
         /// Payload size in bytes.
         bytes: usize,
+        /// Raw id of the atomic action whose protocol step sent this
+        /// message (see [`crate::Sim::set_active_action`]), if one was
+        /// active.
+        action: Option<u64>,
     },
     /// A message was lost (drop, partition, or dead destination).
     Lost {
@@ -33,6 +37,9 @@ pub enum TraceEvent {
         to: NodeId,
         /// Human-readable cause.
         cause: &'static str,
+        /// Raw id of the atomic action whose message was lost — the action
+        /// a crash or drop aborted, if one was active at send time.
+        action: Option<u64>,
     },
     /// A node crashed.
     Crash {
@@ -78,6 +85,16 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// The raw id of the atomic action that caused this event, when known.
+    /// Only message events ([`TraceEvent::Deliver`]/[`TraceEvent::Lost`])
+    /// carry causal attribution.
+    pub fn action(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Deliver { action, .. } | TraceEvent::Lost { action, .. } => *action,
+            _ => None,
+        }
+    }
+
     /// The virtual time at which this event occurred.
     pub fn at(&self) -> SimTime {
         match self {
@@ -100,16 +117,26 @@ impl fmt::Display for TraceEvent {
                 from,
                 to,
                 bytes,
+                action,
             } => {
-                write!(f, "[{at}] {from} -> {to} ({bytes}B)")
+                write!(f, "[{at}] {from} -> {to} ({bytes}B)")?;
+                if let Some(a) = action {
+                    write!(f, " action={a}")?;
+                }
+                Ok(())
             }
             TraceEvent::Lost {
                 at,
                 from,
                 to,
                 cause,
+                action,
             } => {
-                write!(f, "[{at}] {from} -x-> {to} ({cause})")
+                write!(f, "[{at}] {from} -x-> {to} ({cause})")?;
+                if let Some(a) = action {
+                    write!(f, " action={a}")?;
+                }
+                Ok(())
             }
             TraceEvent::Crash { at, node } => write!(f, "[{at}] CRASH {node}"),
             TraceEvent::Recover { at, node } => write!(f, "[{at}] RECOVER {node}"),
@@ -133,12 +160,14 @@ mod tests {
                 from: NodeId::new(0),
                 to: NodeId::new(1),
                 bytes: 8,
+                action: Some(3),
             },
             TraceEvent::Lost {
                 at: t,
                 from: NodeId::new(0),
                 to: NodeId::new(1),
                 cause: "drop",
+                action: None,
             },
             TraceEvent::Crash {
                 at: t,
@@ -167,5 +196,24 @@ mod tests {
             assert_eq!(e.at(), t);
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn action_attribution_only_on_message_events() {
+        let t = SimTime::from_micros(1);
+        let deliver = TraceEvent::Deliver {
+            at: t,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            bytes: 4,
+            action: Some(9),
+        };
+        assert_eq!(deliver.action(), Some(9));
+        assert!(deliver.to_string().contains("action=9"));
+        let crash = TraceEvent::Crash {
+            at: t,
+            node: NodeId::new(0),
+        };
+        assert_eq!(crash.action(), None);
     }
 }

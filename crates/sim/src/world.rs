@@ -43,15 +43,57 @@ struct SimCore {
     cfg: SimConfig,
     clock: SimTime,
     rng: StdRng,
+    /// Values drawn from `rng` since the world was created. Observability
+    /// parity tests compare this across runs: tracing and span recording
+    /// must never consume a draw.
+    rng_draws: u64,
     nodes: Vec<NodeState>,
     /// Symmetric blocked pairs, stored with the smaller id first.
     blocked: HashSet<(NodeId, NodeId)>,
     counters: NetCounters,
     accounts: HashMap<u64, Cost>,
     active_account: Option<u64>,
+    /// Raw id of the atomic action currently driving protocol work, stamped
+    /// onto message trace events for causal attribution.
+    active_action: Option<u64>,
     schedule: BinaryHeap<Reverse<(SimTime, u64, ScheduledEvent)>>,
     schedule_seq: u64,
-    trace: Option<Vec<TraceEvent>>,
+    trace: Option<TraceRing>,
+}
+
+/// The bounded trace buffer: a ring that discards the oldest event once
+/// full, counting what it drops, so long traced runs stay within a fixed
+/// memory budget.
+#[derive(Debug)]
+struct TraceRing {
+    buf: std::collections::VecDeque<TraceEvent>,
+    /// Maximum retained events; `0` means unbounded.
+    cap: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    fn new(cap: usize) -> TraceRing {
+        TraceRing {
+            buf: std::collections::VecDeque::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.cap > 0 && self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Drains the retained events in arrival order; the dropped count
+    /// survives the drain.
+    fn take(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
 }
 
 /// Handle to a simulation world.
@@ -90,15 +132,21 @@ impl Sim {
         Sim {
             inner: Rc::new(RefCell::new(SimCore {
                 rng: StdRng::seed_from_u64(cfg.seed),
+                rng_draws: 0,
                 clock: SimTime::ZERO,
                 nodes,
                 blocked: HashSet::new(),
                 counters: NetCounters::default(),
                 accounts: HashMap::new(),
                 active_account: None,
+                active_action: None,
                 schedule: BinaryHeap::new(),
                 schedule_seq: 0,
-                trace: if cfg.trace { Some(Vec::new()) } else { None },
+                trace: if cfg.trace {
+                    Some(TraceRing::new(cfg.trace_capacity))
+                } else {
+                    None
+                },
                 cfg,
             })),
         }
@@ -260,7 +308,9 @@ impl Sim {
 
     /// Uniform `f64` in `[0, 1)` from the seeded generator.
     pub fn random_f64(&self) -> f64 {
-        self.inner.borrow_mut().rng.random()
+        let mut core = self.inner.borrow_mut();
+        core.rng_draws += 1;
+        core.rng.random()
     }
 
     /// Uniform integer in `[0, n)`.
@@ -270,7 +320,17 @@ impl Sim {
     /// Panics if `n == 0`.
     pub fn random_below(&self, n: u64) -> u64 {
         assert!(n > 0, "random_below(0)");
-        self.inner.borrow_mut().rng.random_range(0..n)
+        let mut core = self.inner.borrow_mut();
+        core.rng_draws += 1;
+        core.rng.random_range(0..n)
+    }
+
+    /// Number of values drawn from the seeded generator since the world was
+    /// created. Two runs that agree on this (and the seed) consumed an
+    /// identical random stream — the parity tests' proof that observability
+    /// never perturbs the simulation.
+    pub fn rng_draws(&self) -> u64 {
+        self.inner.borrow().rng_draws
     }
 
     /// Bernoulli trial with probability `p`.
@@ -288,6 +348,7 @@ impl Sim {
     pub fn shuffle<T>(&self, items: &mut [T]) {
         let mut core = self.inner.borrow_mut();
         for i in (1..items.len()).rev() {
+            core.rng_draws += 1;
             let j = core.rng.random_range(0..=i);
             items.swap(i, j);
         }
@@ -307,6 +368,31 @@ impl Sim {
     /// The currently active account, if any.
     pub fn active_account(&self) -> Option<u64> {
         self.inner.borrow().active_account
+    }
+
+    /// Sets the atomic action subsequent message trace events are
+    /// attributed to (the causal `action=` tag on `Deliver`/`Lost`).
+    ///
+    /// The replication layer sets this around each protocol phase it runs
+    /// on behalf of an action; attribution costs nothing when tracing is
+    /// off.
+    pub fn set_active_action(&self, action: Option<u64>) {
+        self.inner.borrow_mut().active_action = action;
+    }
+
+    /// The action currently attributed, if any.
+    pub fn active_action(&self) -> Option<u64> {
+        self.inner.borrow().active_action
+    }
+
+    /// Runs `f` with `action` as the attributed action, restoring the
+    /// previous attribution afterwards (so nested protocol phases compose).
+    pub fn with_active_action<T>(&self, action: u64, f: impl FnOnce() -> T) -> T {
+        let prev = self.active_action();
+        self.set_active_action(Some(action));
+        let out = f();
+        self.set_active_action(prev);
+        out
     }
 
     /// Resets an account to zero cost.
@@ -369,11 +455,13 @@ impl Sim {
         let at = core.clock;
         if !core.nodes[from.index()].up {
             core.counters.to_down_node += 1;
+            let action = core.active_action;
             core.trace(TraceEvent::Lost {
                 at,
                 from,
                 to,
                 cause: "sender down",
+                action,
             });
             return Err(NetError::NodeDown(from));
         }
@@ -475,9 +563,17 @@ impl Sim {
     }
 
     /// Takes the recorded trace, leaving an empty one. Returns `None` when
-    /// tracing was not enabled.
+    /// tracing was not enabled. When the ring overflowed, the returned
+    /// events are the **most recent** `trace_capacity`; see
+    /// [`Sim::trace_dropped`] for how many older events were discarded.
     pub fn take_trace(&self) -> Option<Vec<TraceEvent>> {
-        self.inner.borrow_mut().trace.as_mut().map(std::mem::take)
+        self.inner.borrow_mut().trace.as_mut().map(TraceRing::take)
+    }
+
+    /// Number of trace events discarded because the ring was full (0 when
+    /// tracing is off or the ring never overflowed).
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.borrow().trace.as_ref().map_or(0, |t| t.dropped)
     }
 }
 
@@ -492,6 +588,7 @@ impl SimCore {
         bytes: usize,
     ) -> Result<SimDuration, NetError> {
         let at = self.clock;
+        let action = self.active_action;
         if self.blocked.contains(&norm_pair(from, to)) {
             self.counters.partitioned += 1;
             self.trace(TraceEvent::Lost {
@@ -499,6 +596,7 @@ impl SimCore {
                 from,
                 to,
                 cause: "partitioned",
+                action,
             });
             return Err(NetError::Partitioned { from, to });
         }
@@ -509,24 +607,30 @@ impl SimCore {
                 from,
                 to,
                 cause: "receiver down",
+                action,
             });
             return Err(NetError::NodeDown(to));
         }
         let p = self.cfg.net.drop_probability;
-        if p > 0.0 && self.rng.random::<f64>() < p {
-            self.counters.dropped += 1;
-            self.trace(TraceEvent::Lost {
-                at,
-                from,
-                to,
-                cause: "dropped",
-            });
-            return Err(NetError::Dropped);
+        if p > 0.0 {
+            self.rng_draws += 1;
+            if self.rng.random::<f64>() < p {
+                self.counters.dropped += 1;
+                self.trace(TraceEvent::Lost {
+                    at,
+                    from,
+                    to,
+                    cause: "dropped",
+                    action,
+                });
+                return Err(NetError::Dropped);
+            }
         }
         let jitter = self.cfg.net.jitter.as_micros();
         let extra = if jitter == 0 {
             0
         } else {
+            self.rng_draws += 1;
             self.rng.random_range(0..=jitter)
         };
         let latency = self.cfg.net.base_latency + SimDuration::from_micros(extra);
@@ -540,6 +644,7 @@ impl SimCore {
             from,
             to,
             bytes,
+            action,
         });
         Ok(latency)
     }
@@ -592,8 +697,8 @@ impl SimCore {
     }
 
     fn trace(&mut self, ev: TraceEvent) {
-        if let Some(t) = self.trace.as_mut() {
-            t.push(ev);
+        if let Some(ring) = self.trace.as_mut() {
+            ring.push(ev);
         }
     }
 }
@@ -923,6 +1028,66 @@ mod tests {
     fn trace_disabled_returns_none() {
         let sim = sim3();
         assert!(sim.take_trace().is_none());
+        assert_eq!(sim.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn trace_ring_caps_retained_events_and_counts_drops() {
+        let sim = Sim::new(SimConfig::new(1).with_nodes(2).with_trace_capacity(3));
+        for i in 0..7 {
+            sim.note(format!("n{i}"));
+        }
+        assert_eq!(sim.trace_dropped(), 4);
+        let trace = sim.take_trace().expect("tracing enabled");
+        assert_eq!(trace.len(), 3, "ring keeps only the newest capacity");
+        // The survivors are the most recent events, in arrival order.
+        let texts: Vec<String> = trace
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Note { text, .. } => text.clone(),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(texts, vec!["n4", "n5", "n6"]);
+        // The dropped count survives the drain; the drained ring refills.
+        assert_eq!(sim.trace_dropped(), 4);
+        sim.note("later");
+        assert_eq!(sim.take_trace().expect("still enabled").len(), 1);
+    }
+
+    #[test]
+    fn message_trace_events_carry_the_active_action() {
+        let sim = Sim::new(SimConfig::new(1).with_nodes(3).with_trace());
+        sim.set_active_action(Some(42));
+        sim.deliver(NodeId::new(0), NodeId::new(1), 5).unwrap();
+        sim.crash(NodeId::new(2));
+        let _ = sim.deliver(NodeId::new(0), NodeId::new(2), 5);
+        sim.set_active_action(None);
+        sim.deliver(NodeId::new(0), NodeId::new(1), 5).unwrap();
+        assert_eq!(sim.active_action(), None);
+        let trace = sim.take_trace().expect("tracing enabled");
+        let actions: Vec<Option<u64>> = trace.iter().map(TraceEvent::action).collect();
+        // Deliver(42), Crash(None), Lost(42), Deliver(None).
+        assert_eq!(actions, vec![Some(42), None, Some(42), None]);
+    }
+
+    /// The draw counter advances with every consumed random value — and
+    /// only then (a lossless, jitter-free delivery draws once, for the
+    /// jitter-less path nothing; tracing draws nothing).
+    #[test]
+    fn rng_draws_count_consumed_values() {
+        let sim = sim3();
+        assert_eq!(sim.rng_draws(), 0);
+        let _ = sim.random_f64();
+        let _ = sim.random_below(10);
+        assert_eq!(sim.rng_draws(), 2);
+        let mut v: Vec<u32> = (0..5).collect();
+        sim.shuffle(&mut v);
+        assert_eq!(sim.rng_draws(), 6, "Fisher–Yates draws n-1 times");
+        // Default net has jitter: one draw per successful delivery, none
+        // for the drop roll while drop_probability is 0.
+        sim.deliver(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        assert_eq!(sim.rng_draws(), 7);
     }
 
     #[test]

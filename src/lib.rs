@@ -65,6 +65,7 @@
 //! | [`actions`] | `groupview-actions` | lock manager (incl. exclude-write mode), nested + nested-top-level atomic actions, two-phase commit |
 //! | [`group`] | `groupview-group` | membership views, reliable totally-ordered multicast, election |
 //! | [`core`] | `groupview-core` | **the paper's contribution**: Object Server / Object State databases, use lists, binding schemes, recovery, cleanup |
+//! | [`obs`] | `groupview-obs` | observability: causal action spans, per-shard metrics registry, Perfetto/JSONL exporters |
 //! | [`replication`] | `groupview-replication` | replication policies, activation, commit-time write-back, the [`System`] façade |
 //! | [`workload`] | `groupview-workload` | workload specs, legacy fault scripts, run metrics, tables |
 //! | [`scenario`] | `groupview-scenario` | chaos + execution engine: the workload runner, time-keyed fault plans, seeded nemeses, history recorder, consistency oracle, scenario matrix, soak mode |
@@ -74,6 +75,7 @@
 pub use groupview_actions as actions;
 pub use groupview_core as core;
 pub use groupview_group as group;
+pub use groupview_obs as obs;
 pub use groupview_replication as replication;
 pub use groupview_scenario as scenario;
 pub use groupview_sim as sim;
@@ -85,6 +87,10 @@ pub use groupview_core::{
     BindError, Binder, BindingScheme, CleanupDaemon, DbError, ExcludePolicy, NamingService,
     RecoveryManager,
 };
+pub use groupview_obs::{
+    validate_chrome_trace, ChromeTrace, MetricsSnapshot, Phase, PhaseStats, Registry, SpanRec,
+    TraceSummary,
+};
 pub use groupview_replication::{
     Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, Handle, HashRouter,
     InvokeError, KvMap, KvOp, KvReply, ObjectGroup, ObjectType, RangeRouter, ReplicaObject,
@@ -92,9 +98,10 @@ pub use groupview_replication::{
     SystemBuilder, TypedUid,
 };
 pub use groupview_scenario::{
-    canned_scenarios, run_matrix, run_plan, run_plan_typed, run_scenario, run_scenario_sharded,
-    run_soak, FaultPlan, History, ModelKind, Oracle, OracleReport, PlanAction, Scenario,
-    ScenarioReport, ShardedScenarioReport, SoakConfig, SoakReport,
+    canned_scenarios, run_matrix, run_plan, run_plan_typed, run_scenario, run_scenario_observed,
+    run_scenario_sharded, run_scenario_sharded_observed, run_scenario_traced, run_soak, FaultPlan,
+    History, ModelKind, Oracle, OracleReport, PlanAction, Scenario, ScenarioReport,
+    ShardedScenarioReport, SoakConfig, SoakReport, TraceBundle, TracedRun,
 };
 pub use groupview_sim::{Bytes, ClientId, Codec, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
 pub use groupview_store::{ObjectState, SnapshotCodec, Stores, TypeTag, Uid, Version};
