@@ -57,12 +57,14 @@
 //! ```
 
 pub mod action;
+pub mod arena;
 pub mod error;
 pub mod lock;
 pub mod manager;
 pub mod participant;
 
 pub use crate::action::{ActionId, ActionKind, ActionStatus};
+pub use crate::arena::{UndoApplier, UndoArena};
 pub use crate::error::TxError;
 pub use crate::lock::{LockKey, LockManager, LockMode};
 pub use crate::manager::{TxStats, TxSystem};

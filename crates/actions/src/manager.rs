@@ -1,6 +1,7 @@
 //! The action manager: begin/commit/abort and two-phase commit.
 
 use crate::action::{ActionId, ActionKind, ActionStatus};
+use crate::arena::{UndoApplier, UndoArena};
 use crate::error::TxError;
 use crate::lock::{Ancestry, LockKey, LockManager, LockMode};
 use crate::participant::Participant;
@@ -14,24 +15,38 @@ use std::rc::Rc;
 
 type Undo = Box<dyn FnOnce()>;
 
-struct ActionRecord {
+/// One transaction's explicit record (the hig-proto shape): its lifecycle
+/// state, the `LockKey → LockMode` map of everything it holds, and the
+/// undo-log arena that replaced the per-op boxed undo closures.
+struct Tx {
     kind: ActionKind,
     status: ActionStatus,
     /// Structural parent (for nested *and* nested-top-level actions).
     parent: Option<ActionId>,
     /// The node coordinating this action's commit.
     client_node: NodeId,
+    /// The transaction's own view of its locks, maintained alongside the
+    /// lock table: grants and upgrades land here, nested commit merges the
+    /// child's map into the parent's (strongest mode wins).
+    lock_map: HashMap<LockKey, LockMode>,
+    /// Object-state undo log: one first-write snapshot per touched object
+    /// plus the applied op ids (see [`UndoArena`]).
+    arena: UndoArena,
+    /// Generic compensation closures (binding decrements and the like);
+    /// these still run LIFO, before the arena replays.
     undos: Vec<Undo>,
     participants: Vec<Box<dyn Participant>>,
     children: Vec<ActionId>,
 }
 
-impl fmt::Debug for ActionRecord {
+impl fmt::Debug for Tx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ActionRecord")
+        f.debug_struct("Tx")
             .field("kind", &self.kind)
             .field("status", &self.status)
             .field("parent", &self.parent)
+            .field("locks", &self.lock_map.len())
+            .field("undo_objects", &self.arena.object_count())
             .field("undos", &self.undos.len())
             .field("participants", &self.participants.len())
             .finish()
@@ -51,12 +66,17 @@ pub struct TxStats {
     pub lock_refusals: u64,
     /// Top-level commits that failed in phase 1.
     pub prepare_failures: u64,
+    /// Committed *transactions* that wrote two or more distinct objects
+    /// (the multi-object slice of `committed`).
+    pub multi_committed: u64,
+    /// Aborted transactions that had written two or more distinct objects.
+    pub multi_aborted: u64,
 }
 
 struct TxInner {
     sim: Sim,
     next_id: u64,
-    actions: HashMap<ActionId, ActionRecord>,
+    actions: HashMap<ActionId, Tx>,
     lock_parents: HashMap<ActionId, Option<ActionId>>,
     locks: LockManager,
     /// The coordinator's durable decision record: `token → committed?`.
@@ -66,6 +86,9 @@ struct TxInner {
     /// Observability registry (disabled by default: every recording call is
     /// an inlined no-op, so unobserved runs pay nothing).
     obs: Registry,
+    /// Replays undo-arena entries on abort (installed by the replication
+    /// layer, which owns the replica registry).
+    applier: Option<Rc<dyn UndoApplier>>,
 }
 
 struct AncestryView<'a> {
@@ -116,6 +139,7 @@ impl TxSystem {
                 decisions: HashMap::new(),
                 stats: TxStats::default(),
                 obs: Registry::new(),
+                applier: None,
             })),
             stores: stores.clone(),
         }
@@ -135,6 +159,12 @@ impl TxSystem {
     /// The observability registry currently in use (disabled by default).
     pub fn observer(&self) -> Registry {
         self.inner.borrow().obs.clone()
+    }
+
+    /// Installs the undo-arena applier: the replication layer's hook that
+    /// restores object snapshots when a transaction aborts.
+    pub fn set_undo_applier(&self, applier: Rc<dyn UndoApplier>) {
+        self.inner.borrow_mut().applier = Some(applier);
     }
 
     // ----- lifecycle ---------------------------------------------------
@@ -206,11 +236,13 @@ impl TxSystem {
         }
         inner.actions.insert(
             id,
-            ActionRecord {
+            Tx {
                 kind,
                 status: ActionStatus::Active,
                 parent,
                 client_node: node,
+                lock_map: HashMap::new(),
+                arena: UndoArena::new(),
                 undos: Vec::new(),
                 participants: Vec::new(),
                 children: Vec::new(),
@@ -236,6 +268,7 @@ impl TxSystem {
         let TxInner {
             locks,
             lock_parents,
+            actions,
             stats,
             sim,
             obs,
@@ -245,6 +278,14 @@ impl TxSystem {
         let now = sim.now().as_micros();
         match locks.acquire(&view, action, key, mode) {
             Ok(()) => {
+                // Mirror the grant (or upgrade) into the transaction's own
+                // lock map; the table stays the source of truth for
+                // conflicts, the map for per-tx introspection.
+                let rec = actions.get_mut(&action).expect("checked active");
+                rec.lock_map
+                    .entry(key)
+                    .and_modify(|m| *m = (*m).max(mode))
+                    .or_insert(mode);
                 // Lock acquisition is instantaneous in this model; the span
                 // still counts toward the phase breakdown.
                 obs.add(ObsCounter::LocksAcquired, 1);
@@ -284,6 +325,66 @@ impl TxSystem {
             .expect("checked active")
             .undos
             .push(Box::new(undo));
+        Ok(())
+    }
+
+    /// Whether `action`'s undo arena already holds a first-write snapshot
+    /// entry for object `key` (the invoke path snapshots each object once
+    /// per transaction).
+    pub fn undo_logged(&self, action: ActionId, key: u64) -> bool {
+        self.inner
+            .borrow()
+            .actions
+            .get(&action)
+            .is_some_and(|r| r.arena.has_entry(key))
+    }
+
+    /// Appends a first-write snapshot entry for object `key` to `action`'s
+    /// undo arena: the pinned `(node, incarnation)` replica set and the
+    /// pre-write snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NotActive`] if the action is not active.
+    pub fn log_undo_snapshot(
+        &self,
+        action: ActionId,
+        key: u64,
+        tag: u32,
+        servers: impl IntoIterator<Item = (u32, u64)>,
+        snapshot: &[u8],
+    ) -> Result<(), TxError> {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.is_active(action) {
+            return Err(TxError::NotActive(action));
+        }
+        inner
+            .actions
+            .get_mut(&action)
+            .expect("checked active")
+            .arena
+            .push_entry(key, tag, servers, snapshot);
+        Ok(())
+    }
+
+    /// Records an applied (possibly batch) operation id against object
+    /// `key` in `action`'s undo arena — the steady-state write-path cost of
+    /// undo logging (no snapshot, no boxing).
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NotActive`] if the action is not active.
+    pub fn log_undo_op(&self, action: ActionId, key: u64, op_id: u64) -> Result<(), TxError> {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.is_active(action) {
+            return Err(TxError::NotActive(action));
+        }
+        inner
+            .actions
+            .get_mut(&action)
+            .expect("checked active")
+            .arena
+            .push_op(key, op_id);
         Ok(())
     }
 
@@ -370,6 +471,8 @@ impl TxSystem {
         let rec = inner.actions.get_mut(&action).expect("exists");
         let undos = std::mem::take(&mut rec.undos);
         let participants = std::mem::take(&mut rec.participants);
+        let arena = std::mem::take(&mut rec.arena);
+        let lock_map = std::mem::take(&mut rec.lock_map);
         rec.status = ActionStatus::Committed;
         inner.locks.transfer(action, parent);
         let prec = inner
@@ -378,6 +481,13 @@ impl TxSystem {
             .expect("parent record exists");
         prec.undos.extend(undos);
         prec.participants.extend(participants);
+        prec.arena.absorb(arena);
+        for (key, mode) in lock_map {
+            prec.lock_map
+                .entry(key)
+                .and_modify(|m| *m = (*m).max(mode))
+                .or_insert(mode);
+        }
         inner.stats.committed += 1;
         Ok(())
     }
@@ -469,8 +579,13 @@ impl TxSystem {
         let rec = inner.actions.get_mut(&action).expect("exists");
         rec.status = ActionStatus::Committed;
         rec.undos.clear();
+        let multi = rec.arena.object_count() >= 2;
+        rec.arena.clear();
         inner.locks.release_all(action);
         inner.stats.committed += 1;
+        if multi {
+            inner.stats.multi_committed += 1;
+        }
         Ok(())
     }
 
@@ -482,20 +597,36 @@ impl TxSystem {
     pub fn abort(&self, action: ActionId) {
         let mut undos: Vec<Undo> = Vec::new();
         let mut participants: Vec<Box<dyn Participant>> = Vec::new();
-        let (sim, obs, was_active) = {
+        let mut arenas: Vec<UndoArena> = Vec::new();
+        let (sim, obs, applier, was_active) = {
             let mut inner = self.inner.borrow_mut();
             let was_active = inner.is_active(action);
-            inner.collect_abort(action, &mut undos, &mut participants);
-            (inner.sim.clone(), inner.obs.clone(), was_active)
+            inner.collect_abort(action, &mut undos, &mut participants, &mut arenas);
+            (
+                inner.sim.clone(),
+                inner.obs.clone(),
+                inner.applier.clone(),
+                was_active,
+            )
         };
         let undo_start = sim.now().as_micros();
-        let undo_count = undos.len() as u64;
-        // Run compensation outside the borrow: undo closures touch
-        // database/replica state through their own handles. Attribute any
-        // messages they cause (participant abort RPCs) to this action.
+        let undo_count =
+            undos.len() as u64 + arenas.iter().map(|a| a.op_count() as u64).sum::<u64>();
+        // Run compensation outside the borrow: undo closures and arena
+        // replay touch database/replica state through their own handles.
+        // Attribute any messages they cause (participant abort RPCs) to
+        // this action. Closures run first (LIFO), then each arena replays
+        // newest-entry-first — snapshot restoration is idempotent, so only
+        // the relative order of same-object entries matters.
         sim.with_active_action(action.raw(), || {
             for u in undos {
                 u();
+            }
+            if let Some(applier) = applier {
+                let mut scratch = Vec::new();
+                for arena in &arenas {
+                    arena.replay(applier.as_ref(), &mut scratch);
+                }
             }
             for mut p in participants {
                 p.abort();
@@ -572,6 +703,31 @@ impl TxSystem {
         self.inner.borrow().locks.holders(key)
     }
 
+    /// The transaction's own `LockKey → LockMode` map, sorted by key (the
+    /// hig-proto-shaped per-tx view; the lock table remains the conflict
+    /// authority).
+    pub fn lock_map_of(&self, action: ActionId) -> Vec<(LockKey, LockMode)> {
+        let inner = self.inner.borrow();
+        let mut v: Vec<(LockKey, LockMode)> = inner
+            .actions
+            .get(&action)
+            .map(|r| r.lock_map.iter().map(|(&k, &m)| (k, m)).collect())
+            .unwrap_or_default();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Number of distinct objects with a first-write snapshot in `action`'s
+    /// undo arena (= objects this transaction has written).
+    pub fn undo_objects(&self, action: ActionId) -> usize {
+        self.inner
+            .borrow()
+            .actions
+            .get(&action)
+            .map(|r| r.arena.object_count())
+            .unwrap_or(0)
+    }
+
     /// Aggregate statistics (lock refusals come from the lock manager).
     pub fn stats(&self) -> TxStats {
         let inner = self.inner.borrow();
@@ -596,6 +752,7 @@ impl TxInner {
         action: ActionId,
         undos: &mut Vec<Undo>,
         participants: &mut Vec<Box<dyn Participant>>,
+        arenas: &mut Vec<UndoArena>,
     ) {
         if !self.is_active(action) {
             return;
@@ -613,7 +770,7 @@ impl TxInner {
                 .get(&child)
                 .is_some_and(|r| r.kind == ActionKind::Nested);
             if is_nested {
-                self.collect_abort(child, undos, participants);
+                self.collect_abort(child, undos, participants, arenas);
             }
         }
         let rec = self.actions.get_mut(&action).expect("checked active");
@@ -622,6 +779,14 @@ impl TxInner {
         own.reverse(); // LIFO
         undos.extend(own);
         participants.extend(std::mem::take(&mut rec.participants));
+        let arena = std::mem::take(&mut rec.arena);
+        if arena.object_count() >= 2 {
+            self.stats.multi_aborted += 1;
+        }
+        if !arena.is_empty() {
+            arenas.push(arena);
+        }
+        rec.lock_map.clear();
         self.locks.release_all(action);
         self.stats.aborted += 1;
     }
@@ -974,5 +1139,127 @@ mod tests {
         tx.abort(a);
         let s = tx.stats();
         assert_eq!(s.aborted, 3, "root + two nested children");
+    }
+
+    #[test]
+    fn lock_map_mirrors_grants_upgrades_and_nested_merges() {
+        let (_, _, tx) = world();
+        let a = tx.begin_top(NodeId::new(0));
+        tx.lock(a, key(1), LockMode::Read).unwrap();
+        tx.lock(a, key(1), LockMode::Write).unwrap(); // upgrade
+        tx.lock(a, key(2), LockMode::Read).unwrap();
+        assert_eq!(
+            tx.lock_map_of(a),
+            vec![(key(1), LockMode::Write), (key(2), LockMode::Read)]
+        );
+        // A nested child's map merges into the parent on commit, strongest
+        // mode winning.
+        let n = tx.begin_nested(a);
+        tx.lock(n, key(2), LockMode::Write).unwrap();
+        tx.lock(n, key(3), LockMode::Read).unwrap();
+        tx.commit(n).unwrap();
+        assert_eq!(
+            tx.lock_map_of(a),
+            vec![
+                (key(1), LockMode::Write),
+                (key(2), LockMode::Write),
+                (key(3), LockMode::Read),
+            ]
+        );
+        // The map agrees with the lock table for every entry.
+        for (k, m) in tx.lock_map_of(a) {
+            assert_eq!(tx.lock_mode_of(a, k), Some(m));
+        }
+        tx.commit(a).unwrap();
+        assert!(tx.locks_empty());
+    }
+
+    type UndoRecord = (u64, u32, Vec<(u32, u64)>, Vec<u64>, Vec<u8>);
+
+    struct RecordingApplier {
+        log: StdRefCell<Vec<UndoRecord>>,
+    }
+
+    impl crate::arena::UndoApplier for RecordingApplier {
+        fn undo(&self, key: u64, tag: u32, servers: &[(u32, u64)], ops: &[u64], snap: &[u8]) {
+            self.log
+                .borrow_mut()
+                .push((key, tag, servers.to_vec(), ops.to_vec(), snap.to_vec()));
+        }
+    }
+
+    #[test]
+    fn abort_replays_arena_entries_in_reverse_through_the_applier() {
+        let (_, _, tx) = world();
+        let applier = StdRc::new(RecordingApplier {
+            log: StdRefCell::new(Vec::new()),
+        });
+        tx.set_undo_applier(applier.clone());
+        let a = tx.begin_top(NodeId::new(0));
+        tx.log_undo_snapshot(a, 10, 3, [(1, 1), (2, 1)], b"ten")
+            .unwrap();
+        tx.log_undo_op(a, 10, 100).unwrap();
+        tx.log_undo_snapshot(a, 20, 3, [(1, 1)], b"twenty").unwrap();
+        tx.log_undo_op(a, 20, 101).unwrap();
+        tx.log_undo_op(a, 10, 102).unwrap();
+        assert!(tx.undo_logged(a, 10) && tx.undo_logged(a, 20));
+        assert!(!tx.undo_logged(a, 30));
+        assert_eq!(tx.undo_objects(a), 2);
+        tx.abort(a);
+        let log = applier.log.borrow();
+        assert_eq!(log.len(), 2, "one restore per touched object");
+        assert_eq!(log[0].0, 20, "newest entry first");
+        assert_eq!(log[0].4, b"twenty");
+        assert_eq!(log[1].0, 10);
+        assert_eq!(log[1].2, vec![(1, 1), (2, 1)]);
+        assert_eq!(log[1].3, vec![100, 102], "all of object 10's op ids");
+        let s = tx.stats();
+        assert_eq!(s.multi_aborted, 1, "two objects written => multi abort");
+    }
+
+    #[test]
+    fn commit_discards_the_arena_and_counts_multi_object_transactions() {
+        let (_, _, tx) = world();
+        let applier = StdRc::new(RecordingApplier {
+            log: StdRefCell::new(Vec::new()),
+        });
+        tx.set_undo_applier(applier.clone());
+        // Single-object transaction: committed but not multi.
+        let a = tx.begin_top(NodeId::new(0));
+        tx.log_undo_snapshot(a, 1, 1, [(1, 1)], b"one").unwrap();
+        tx.commit(a).unwrap();
+        // Two-object transaction: counted in the multi breakdown.
+        let b = tx.begin_top(NodeId::new(0));
+        tx.log_undo_snapshot(b, 1, 1, [(1, 1)], b"one").unwrap();
+        tx.log_undo_snapshot(b, 2, 1, [(1, 1)], b"two").unwrap();
+        tx.commit(b).unwrap();
+        assert!(applier.log.borrow().is_empty(), "commits never replay");
+        let s = tx.stats();
+        assert_eq!((s.committed, s.multi_committed, s.multi_aborted), (2, 1, 0));
+    }
+
+    #[test]
+    fn nested_commit_absorbs_the_child_arena_into_the_parent() {
+        let (_, _, tx) = world();
+        let applier = StdRc::new(RecordingApplier {
+            log: StdRefCell::new(Vec::new()),
+        });
+        tx.set_undo_applier(applier.clone());
+        let a = tx.begin_top(NodeId::new(0));
+        tx.log_undo_snapshot(a, 1, 1, [(1, 1)], b"parent-1")
+            .unwrap();
+        let n = tx.begin_nested(a);
+        tx.log_undo_snapshot(n, 1, 1, [(1, 1)], b"child-1").unwrap();
+        tx.log_undo_snapshot(n, 2, 1, [(2, 1)], b"child-2").unwrap();
+        tx.commit(n).unwrap();
+        assert_eq!(tx.undo_objects(a), 3, "child entries absorbed");
+        tx.abort(a);
+        let log = applier.log.borrow();
+        // Reverse order: child entries first, parent's older snapshot of
+        // object 1 last (it wins).
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].0, 2);
+        assert_eq!(log[1].4, b"child-1");
+        assert_eq!(log[2].4, b"parent-1");
     }
 }

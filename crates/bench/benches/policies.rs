@@ -21,7 +21,7 @@ fn activated(policy: ReplicationPolicy, replicas: usize) -> (System, Handle<Coun
         .expect("create");
     let client = sys.client(n(7));
     let handle = uid.open(&client);
-    let action = client.begin();
+    let action = client.begin_action();
     handle.activate(action, replicas).expect("activate");
     (sys, handle, action)
 }

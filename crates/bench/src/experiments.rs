@@ -719,7 +719,7 @@ fn e9_trial(seed: u64, readers: usize, policy: ExcludePolicy) -> bool {
     let mut open = Vec::new();
     for r in 0..readers {
         let reader = sys.client(n(3 + r as u32));
-        let action = reader.begin();
+        let action = reader.begin_action();
         let _group = reader
             .activate_read_only(action, uid, 1)
             .expect("reader activates");
@@ -728,7 +728,7 @@ fn e9_trial(seed: u64, readers: usize, policy: ExcludePolicy) -> bool {
     // The writer mutates; one store crashes; commit needs Exclude.
     let writer = sys.client(n(12));
     let counter = writer.open::<Counter>(uid);
-    let action = writer.begin();
+    let action = writer.begin_action();
     counter.activate(action, 1).expect("writer activates");
     counter
         .invoke(action, CounterOp::Add(1))
@@ -806,7 +806,7 @@ fn e10_trial(seed: u64, ablate: bool) -> E10Outcome {
     sys.sim().crash(n(2));
     let writer = sys.client(n(3));
     let counter = writer.open::<Counter>(uid);
-    let action = writer.begin();
+    let action = writer.begin_action();
     counter.activate(action, 1).expect("activate");
     counter.invoke(action, CounterOp::Add(7)).expect("write");
     if writer.commit(action).is_err() {
@@ -820,7 +820,7 @@ fn e10_trial(seed: u64, ablate: bool) -> E10Outcome {
     // A new client binds and reads.
     let reader = sys.client(n(4));
     let observer = reader.open::<Counter>(uid);
-    let action = reader.begin();
+    let action = reader.begin_action();
     match observer.activate_read_only(action, 1) {
         Ok(_) => match observer.invoke(action, CounterOp::Get) {
             Ok(value) => {
@@ -881,7 +881,7 @@ fn e11_trial(seed: u64, load: usize) -> (u64, f64) {
     sys.sim().crash(n(3));
     let writer = sys.client(n(10));
     let counter = writer.open::<Counter>(uid);
-    let action = writer.begin();
+    let action = writer.begin_action();
     counter.activate(action, 2).expect("activate");
     counter.invoke(action, CounterOp::Add(1)).expect("write");
     writer.commit(action).expect("commit excludes n3");
@@ -904,7 +904,7 @@ fn e11_trial(seed: u64, load: usize) -> (u64, f64) {
                     open[i] = None;
                 }
             } else if sys.sim().chance(0.8) {
-                let a = reader.begin();
+                let a = reader.begin_action();
                 if reader.activate_read_only(a, uid, 1).is_ok() {
                     open[i] = Some(a);
                 } else {
@@ -1066,7 +1066,7 @@ fn e13_admin_trial(seed: u64, scheme: BindingScheme) -> (u64, u64) {
                     open[i] = None;
                 }
             } else if sys.sim().chance(0.8) {
-                let a = client.begin();
+                let a = client.begin_action();
                 if client.activate(a, uid, 2).is_ok() {
                     open[i] = Some(a);
                 } else {
@@ -1128,7 +1128,7 @@ fn e13_safety_trial(seed: u64, scheme: BindingScheme) -> E10Outcome {
     sys.sim().crash(n(2));
     let writer = sys.client(n(3));
     let counter = writer.open::<Counter>(uid);
-    let action = writer.begin();
+    let action = writer.begin_action();
     if counter.activate(action, 1).is_err() {
         writer.abort(action);
         return E10Outcome::Unavailable;
@@ -1141,7 +1141,7 @@ fn e13_safety_trial(seed: u64, scheme: BindingScheme) -> E10Outcome {
     sys.sim().crash(n(1));
     let reader = sys.client(n(4));
     let observer = reader.open::<Counter>(uid);
-    let action = reader.begin();
+    let action = reader.begin_action();
     match observer.activate_read_only(action, 1) {
         Ok(_) => match observer.invoke(action, CounterOp::Get) {
             Ok(value) => {

@@ -285,7 +285,7 @@ fn drive(
         let uid = uids[(actions as usize) % uids.len()];
         actions += 1;
         let handle = uid.open(client);
-        let action = client.begin();
+        let action = client.begin_action();
         handle.activate(action, replicas).expect("activate");
         let in_action = (ops_per_action as u64).min(ops_target - done) as usize;
         let mut left = in_action;

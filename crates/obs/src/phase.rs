@@ -27,11 +27,20 @@ pub enum Phase {
     Commit,
     /// Abort: running the undo stack.
     Undo,
+    /// Typed multi-object transaction: the `Client::begin()` builder
+    /// opening its top-level action.
+    TxBegin,
+    /// Typed multi-object transaction: one `tx.invoke` (auto-activate +
+    /// lock + apply under the shared action).
+    TxInvoke,
+    /// Typed multi-object transaction: `tx.commit()` driving the store 2PC
+    /// over the union of touched objects.
+    TxCommit,
 }
 
 impl Phase {
     /// Every phase, in lifecycle order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Bind,
         Phase::Probe,
         Phase::LockAcquire,
@@ -40,6 +49,9 @@ impl Phase {
         Phase::Prepare,
         Phase::Commit,
         Phase::Undo,
+        Phase::TxBegin,
+        Phase::TxInvoke,
+        Phase::TxCommit,
     ];
 
     /// Number of phases (array dimensions in the registry).
@@ -56,6 +68,9 @@ impl Phase {
             Phase::Prepare => "prepare",
             Phase::Commit => "commit",
             Phase::Undo => "undo",
+            Phase::TxBegin => "tx_begin",
+            Phase::TxInvoke => "tx_invoke",
+            Phase::TxCommit => "tx_commit",
         }
     }
 
@@ -80,7 +95,7 @@ mod tests {
         for (i, phase) in Phase::ALL.iter().enumerate() {
             assert_eq!(phase.index(), i);
         }
-        assert_eq!(Phase::COUNT, 8);
+        assert_eq!(Phase::COUNT, 11);
     }
 
     #[test]

@@ -290,11 +290,15 @@ impl System {
         Ok(replies)
     }
 
-    /// Registers an undo that restores every live same-lineage replica of
-    /// the group's object to its pre-operation state if the action later
-    /// aborts. Reborn replicas (a different incarnation than the action
-    /// bound) belong to other activations and must not be touched — in
-    /// either direction.
+    /// Logs this write into the action's undo arena so an abort restores
+    /// every live same-lineage replica of the group's object to its
+    /// pre-transaction state. The *first* write per (action, object) logs a
+    /// snapshot entry with the pinned `(node, incarnation)` pairs; every
+    /// later write appends only a `(uid, op_id)` record — amortised zero
+    /// allocations per op. Reborn replicas (a different incarnation than
+    /// the action bound) belong to other activations; the abort-time
+    /// [`groupview_actions::UndoApplier`] re-checks incarnations and skips
+    /// them.
     fn push_object_undo(
         &self,
         action: ActionId,
@@ -303,44 +307,46 @@ impl System {
     ) -> Result<(), groupview_actions::TxError> {
         let inner = &self.inner;
         let uid = group.uid;
-        let mut snapshot = None;
-        let mut handles = Vec::new();
-        for &node in &group.servers {
-            if !group.same_lineage(self, node) {
-                continue;
-            }
-            let handle = inner.registry.get(uid, node).expect("lineage checked");
-            if !handle.borrow_mut().is_loaded(&inner.sim) {
-                continue;
-            }
-            if snapshot.is_none() {
+        if !inner.tx.undo_logged(action, uid.raw()) {
+            let mut snapshot = None;
+            for &node in &group.servers {
+                if !group.same_lineage(self, node) {
+                    continue;
+                }
+                let handle = inner.registry.get(uid, node).expect("lineage checked");
+                if !handle.borrow_mut().is_loaded(&inner.sim) {
+                    continue;
+                }
                 // One snapshot restores every replica (all loaded copies
-                // are mutually consistent); the undo closure keeps a
-                // refcount on its shared buffer, not a private copy.
+                // are mutually consistent).
                 let state = handle
                     .borrow_mut()
                     .snapshot_state(&inner.sim, &inner.wire)
                     .expect("checked loaded");
                 snapshot = Some((state.type_tag, state.data));
+                break;
             }
-            let pinned = group.pinned_incarnation(node).expect("lineage checked");
-            handles.push((handle, pinned));
-        }
-        let Some((tag, data)) = snapshot else {
-            return Ok(()); // nothing loaded — nothing to undo
-        };
-        let sim = inner.sim.clone();
-        let types = inner.types.clone();
-        inner.tx.push_undo(action, move || {
-            for (handle, pinned) in &handles {
-                if handle.borrow().incarnation() != *pinned {
-                    continue; // reborn since: another activation's state
+            let Some((tag, data)) = snapshot else {
+                return Ok(()); // nothing loaded — nothing to undo
+            };
+            let servers = group.servers.iter().filter_map(|&node| {
+                if !group.same_lineage(self, node) {
+                    return None;
                 }
-                handle
-                    .borrow_mut()
-                    .restore_data(&sim, tag, &data, &[op_id], &types);
-            }
-        })
+                let loaded = inner
+                    .registry
+                    .get(uid, node)
+                    .is_some_and(|h| h.borrow_mut().is_loaded(&inner.sim));
+                if !loaded {
+                    return None;
+                }
+                Some((node.raw(), group.pinned_incarnation(node)?))
+            });
+            inner
+                .tx
+                .log_undo_snapshot(action, uid.raw(), tag.raw(), servers, &data)?;
+        }
+        inner.tx.log_undo_op(action, uid.raw(), op_id)
     }
 
     /// §2.3(2)(i): every replica processes the op via reliable ordered

@@ -38,7 +38,7 @@
 //!
 //! let client = sys.client(nodes[4]);
 //! let counter = uid.open(&client);
-//! let action = client.begin();
+//! let action = client.begin_action();
 //! counter.activate(action, 2).expect("activate");
 //! assert_eq!(counter.invoke(action, CounterOp::Add(5)).expect("invoke"), 5);
 //! client.commit(action).expect("commit");
@@ -52,7 +52,9 @@ pub mod policy;
 pub mod replica;
 pub mod shard;
 pub mod system;
+pub mod tx;
 pub mod typed;
+pub(crate) mod undo;
 pub mod wire;
 pub mod writeback;
 
@@ -67,11 +69,16 @@ pub use crate::shard::{
     HashRouter, RangeRouter, ShardError, ShardRouter, ShardWorld, ShardedClient, ShardedSystem,
 };
 pub use crate::system::{Client, System, SystemBuilder};
+pub use crate::tx::{Tx, TxOpError};
 pub use crate::typed::{Handle, KvReply, ObjectType, TypedUid};
+
 pub use crate::wire::{
     BatchMsg, BatchMsgCodec, BatchReply, BatchReplyCodec, GroupMsg, GroupMsgCodec, MemberReply,
     MemberReplyCodec, BATCH_FLAG,
 };
+/// Support for the [`object_class!`] macro's expansion; not public API.
+#[doc(hidden)]
+pub use groupview_store::TypeTag as __TypeTag;
 
 /// Compile-time proof that replication values crossing a shard-thread
 /// boundary are `Send`. [`System`]/[`Client`]/[`Handle`] are shard-local

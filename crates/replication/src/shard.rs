@@ -35,6 +35,7 @@
 
 use crate::error::{ActivateError, CommitError, InvokeError};
 use crate::system::{Client, System, SystemBuilder};
+use crate::tx::{Tx, TxOpError};
 use crate::typed::{ObjectType, TypedUid};
 use groupview_core::DbError;
 use groupview_sim::NodeId;
@@ -407,6 +408,18 @@ pub enum ShardError {
     Invoke(InvokeError),
     /// Commit failed (the action is already aborted per commit semantics).
     Commit(CommitError),
+    /// A [`ShardedClient::transact`] named objects owned by two different
+    /// shards. Cross-shard two-phase commit is not implemented — split the
+    /// transaction, or route the objects to one shard. Refused before any
+    /// shard work starts, so nothing needs undoing.
+    CrossShard {
+        /// The transaction's home shard (owner of its first object).
+        home: usize,
+        /// The offending object and the shard that owns it.
+        uid: Uid,
+        /// The owning shard of `uid`.
+        other: usize,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -415,6 +428,10 @@ impl fmt::Display for ShardError {
             ShardError::Activate(e) => write!(f, "activate: {e}"),
             ShardError::Invoke(e) => write!(f, "invoke: {e}"),
             ShardError::Commit(e) => write!(f, "commit: {e}"),
+            ShardError::CrossShard { home, uid, other } => write!(
+                f,
+                "transaction spans shards: {uid} lives on shard {other}, not home shard {home}"
+            ),
         }
     }
 }
@@ -456,7 +473,7 @@ impl ShardedClient<'_> {
         self.system.exec(self.shard_of(uid.uid()), move |world| {
             let client = world.client();
             let handle = uid.open(client);
-            let action = client.begin();
+            let action = client.begin_action();
             if let Err(e) = handle.activate(action, replicas) {
                 client.abort(action);
                 return Err(ShardError::Activate(e));
@@ -498,7 +515,7 @@ impl ShardedClient<'_> {
         self.system.exec(self.shard_of(uid.uid()), move |world| {
             let client = world.client();
             let handle = uid.open(client);
-            let action = client.begin();
+            let action = client.begin_action();
             if let Err(e) = handle.activate(action, replicas) {
                 client.abort(action);
                 return Err(ShardError::Activate(e));
@@ -512,6 +529,56 @@ impl ShardedClient<'_> {
             };
             client.commit(action).map_err(ShardError::Commit)?;
             Ok(replies)
+        })
+    }
+
+    /// Runs a typed multi-object transaction on the shard owning every
+    /// object in `uids`: `body` receives a [`Tx`] on the shard's thread
+    /// (open handles against [`Tx::client`]), and a successful return
+    /// commits it. An `Err` from `body` — or a panic — aborts the
+    /// transaction and restores every touched object.
+    ///
+    /// All objects must live on **one** shard: cross-shard transactions are
+    /// refused up front with [`ShardError::CrossShard`] (distributed 2PC
+    /// across worlds is a non-goal of the sharding layer; see
+    /// `docs/SHARDING.md`).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::CrossShard`] before any work; otherwise the
+    /// transaction's own activate/invoke/commit failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uids` is empty.
+    pub fn transact<R, F>(&self, uids: &[Uid], body: F) -> Result<R, ShardError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Tx) -> Result<R, TxOpError> + Send + 'static,
+    {
+        let home = self.shard_of(*uids.first().expect("a transaction needs objects"));
+        for &uid in &uids[1..] {
+            let other = self.shard_of(uid);
+            if other != home {
+                return Err(ShardError::CrossShard { home, uid, other });
+            }
+        }
+        let replicas = self.replicas;
+        self.system.exec(home, move |world| {
+            let mut tx = world.client().begin().with_replicas(replicas);
+            match body(&mut tx) {
+                Ok(r) => {
+                    tx.commit().map_err(ShardError::Commit)?;
+                    Ok(r)
+                }
+                Err(e) => {
+                    tx.abort();
+                    Err(match e {
+                        TxOpError::Activate(a) => ShardError::Activate(a),
+                        TxOpError::Invoke(i) => ShardError::Invoke(i),
+                    })
+                }
+            }
         })
     }
 }

@@ -5,6 +5,7 @@ use crate::invoke::ObjectGroup;
 use crate::object::{ReplicaObject, TypeRegistry};
 use crate::policy::ReplicationPolicy;
 use crate::replica::ReplicaRegistry;
+use crate::tx::Tx;
 use crate::typed::{Handle, ObjectType, TypedUid};
 use groupview_actions::{ActionId, StoreWriteParticipant, TxSystem};
 use groupview_core::{
@@ -12,7 +13,7 @@ use groupview_core::{
     RecoveryManager, RemoteDirectory, RemoteServerCache, ServerCache,
 };
 use groupview_group::{GroupComms, GroupId};
-use groupview_obs::{MetricsSnapshot, Registry as ObsRegistry};
+use groupview_obs::{MetricsSnapshot, Phase, Registry as ObsRegistry};
 use groupview_sim::wire::{self, WireStats};
 use groupview_sim::{Bytes, ClientId, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
 use groupview_store::{ObjectState, Stores, Uid, UidGen, Version};
@@ -207,7 +208,7 @@ impl SystemBuilder {
             Some(cache) => recovery.with_cache(cache.clone()),
             None => recovery,
         };
-        System {
+        let sys = System {
             inner: Rc::new(SystemInner {
                 registry: ReplicaRegistry::new(),
                 types: TypeRegistry::with_builtins(),
@@ -234,7 +235,18 @@ impl SystemBuilder {
                 directory,
                 server_cache,
             }),
-        }
+        };
+        // The abort-time undo path: arena entries restore replicas through
+        // the registry. Installed after the inner Rc exists because the
+        // applier shares the registry and class table it holds.
+        sys.inner
+            .tx
+            .set_undo_applier(Rc::new(crate::undo::ReplicaUndoApplier::new(
+                sys.inner.sim.clone(),
+                sys.inner.registry.clone(),
+                sys.inner.types.clone(),
+            )));
+        sys
     }
 }
 
@@ -676,9 +688,37 @@ impl Client {
         self.node
     }
 
-    /// Begins a top-level atomic action.
-    pub fn begin(&self) -> ActionId {
+    /// Begins a typed multi-object transaction (see [`Tx`]): each
+    /// [`Tx::invoke`](crate::Tx::invoke) auto-activates and applies under
+    /// one top-level action, [`Tx::commit`](crate::Tx::commit) drives the
+    /// store two-phase commit once over the union of touched objects.
+    pub fn begin(&self) -> Tx {
+        let action = self.begin_action();
+        let now = self.sys.inner.sim.now().as_micros();
+        self.sys
+            .inner
+            .obs
+            .span(action.raw(), Phase::TxBegin, now, now);
+        Tx::new(self.clone(), action)
+    }
+
+    /// Begins a top-level atomic action on the raw surface (thread the
+    /// returned [`ActionId`] through activate/invoke/commit by hand; the
+    /// typed [`Client::begin`] builder wraps exactly this).
+    pub fn begin_action(&self) -> ActionId {
         self.sys.inner.tx.begin_top(self.node)
+    }
+
+    /// The system this client belongs to (typed surfaces record spans and
+    /// read the clock through it).
+    pub(crate) fn sys(&self) -> &System {
+        &self.sys
+    }
+
+    /// Whether `other` shares this client's activation bookkeeping (clones
+    /// of one client do; independently created clients do not).
+    pub(crate) fn shares_groups(&self, other: &Client) -> bool {
+        Rc::ptr_eq(&self.groups, &other.groups)
     }
 
     /// The system-wide pooled wire encoder (typed handles encode operations
@@ -895,18 +935,26 @@ impl Client {
                 }
             }
 
-            // Commit-time state copy (with Exclude) for modified objects.
+            // Commit-time state copy (with Exclude) for modified objects —
+            // one staging pass over the union of touched objects, so every
+            // store receives a multi-object transaction's full write-set
+            // under its single transaction token.
             let mut committed_versions: Vec<(usize, Version)> = Vec::new();
-            for (i, g) in groups.iter().enumerate() {
-                if sys.is_dirty(action, g.uid) {
-                    match sys.do_writeback(action, g) {
-                        Ok(version) => committed_versions.push((i, version)),
-                        Err(e) => {
-                            sys.inner.tx.abort(action);
-                            self.finish_bindings(&groups);
-                            sys.clear_dirty(action);
-                            return Err(e);
-                        }
+            let dirty_indices: Vec<usize> = (0..groups.len())
+                .filter(|&i| sys.is_dirty(action, groups[i].uid))
+                .collect();
+            if !dirty_indices.is_empty() {
+                let dirty_groups: Vec<&ObjectGroup> =
+                    dirty_indices.iter().map(|&i| &groups[i]).collect();
+                match sys.do_writeback(action, &dirty_groups) {
+                    Ok(versions) => {
+                        committed_versions = dirty_indices.into_iter().zip(versions).collect();
+                    }
+                    Err(e) => {
+                        sys.inner.tx.abort(action);
+                        self.finish_bindings(&groups);
+                        sys.clear_dirty(action);
+                        return Err(e);
                     }
                 }
             }

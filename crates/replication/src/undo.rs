@@ -1,0 +1,57 @@
+//! The replication-side [`UndoApplier`]: restores replicas from undo-log
+//! arena entries when an action aborts.
+//!
+//! The arena (see [`groupview_actions::UndoArena`]) records object
+//! identities, pinned `(node, incarnation)` pairs, and snapshot bytes — no
+//! replica handles. This applier closes the loop at abort time: it
+//! re-resolves each handle through the [`ReplicaRegistry`], re-checks the
+//! pinned incarnation (a reborn replica belongs to a later activation's
+//! lineage and must not be touched — in either direction), and restores the
+//! first-write snapshot in place, forgetting every op id the transaction
+//! applied so a retry re-executes them.
+
+use crate::object::TypeRegistry;
+use crate::replica::ReplicaRegistry;
+use groupview_actions::UndoApplier;
+use groupview_sim::{NodeId, Sim};
+use groupview_store::{TypeTag, Uid};
+
+/// Installed into the action service by `SystemBuilder::build`; one per
+/// world, shared by every transaction's abort path.
+pub(crate) struct ReplicaUndoApplier {
+    sim: Sim,
+    registry: ReplicaRegistry,
+    types: TypeRegistry,
+}
+
+impl ReplicaUndoApplier {
+    pub(crate) fn new(sim: Sim, registry: ReplicaRegistry, types: TypeRegistry) -> Self {
+        ReplicaUndoApplier {
+            sim,
+            registry,
+            types,
+        }
+    }
+}
+
+impl UndoApplier for ReplicaUndoApplier {
+    fn undo(&self, key: u64, tag: u32, servers: &[(u32, u64)], op_ids: &[u64], snapshot: &[u8]) {
+        let uid = Uid::from_raw(key);
+        for &(node_raw, pinned) in servers {
+            let node = NodeId::new(node_raw);
+            let Some(handle) = self.registry.get(uid, node) else {
+                continue; // expelled or passivated since the write
+            };
+            if handle.borrow().incarnation() != pinned {
+                continue; // reborn since: another activation's state
+            }
+            handle.borrow_mut().restore_data(
+                &self.sim,
+                TypeTag::new(tag),
+                snapshot,
+                op_ids,
+                &self.types,
+            );
+        }
+    }
+}

@@ -23,7 +23,7 @@ use crate::invoke::ObjectGroup;
 use crate::system::System;
 use groupview_actions::{ActionId, Participant, StoreWriteParticipant, TxSystem};
 use groupview_sim::NodeId;
-use groupview_store::{ObjectState, Version};
+use groupview_store::{ObjectState, Uid, Version};
 
 /// Wraps an already-prepared store write so the action's two-phase commit
 /// does not prepare it twice.
@@ -50,70 +50,100 @@ impl Participant for PrePrepared {
 }
 
 impl System {
-    /// Stages the modified state of `group`'s object on every functioning
-    /// store in `St`, excluding the unreachable ones, and registers the
-    /// staged writes with `action`'s two-phase commit. Returns the version
-    /// the object will have once the action commits.
+    /// Stages the modified state of every `groups` object on every
+    /// functioning store in its `St`, excluding the unreachable ones, and
+    /// registers the staged writes with `action`'s two-phase commit.
+    /// Returns the version each object will have once the action commits,
+    /// parallel to `groups`.
+    ///
+    /// The staging is **one participant per store node over the union of
+    /// touched objects**: a store's intent log keeps one staged write-set
+    /// per transaction token, so a multi-object transaction must hand each
+    /// store all of its writes at once — per-object participants would
+    /// overwrite each other's staged sets and commit only the last object.
     pub(crate) fn do_writeback(
         &self,
         action: ActionId,
-        group: &ObjectGroup,
-    ) -> Result<Version, CommitError> {
+        groups: &[&ObjectGroup],
+    ) -> Result<Vec<Version>, CommitError> {
         let inner = &self.inner;
-        let uid = group.uid;
 
-        // The final (uncommitted) state from a surviving replica the action
-        // actually wrote through (the bound set Sv'). Only replicas of the
-        // lineage pinned at activation qualify: a reborn copy (crashed and
-        // reloaded from the stores by a later activation) holds the last
-        // *committed* state without this action's operations — committing
-        // its snapshot would silently discard them.
-        let mut final_state: Option<ObjectState> = None;
-        for &node in &group.servers {
-            let Some(pinned) = group.pinned_incarnation(node) else {
-                continue;
-            };
-            if !inner.sim.is_up(node) {
-                continue;
+        // The final (uncommitted) state of each object, from a surviving
+        // replica the action actually wrote through (the bound set Sv').
+        // Only replicas of the lineage pinned at activation qualify: a
+        // reborn copy (crashed and reloaded from the stores by a later
+        // activation) holds the last *committed* state without this
+        // action's operations — committing its snapshot would silently
+        // discard them.
+        let mut new_states: Vec<ObjectState> = Vec::with_capacity(groups.len());
+        let mut versions: Vec<Version> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let uid = group.uid;
+            let mut final_state: Option<ObjectState> = None;
+            for &node in &group.servers {
+                let Some(pinned) = group.pinned_incarnation(node) else {
+                    continue;
+                };
+                if !inner.sim.is_up(node) {
+                    continue;
+                }
+                let Some(handle) = inner.registry.get(uid, node) else {
+                    continue;
+                };
+                if handle.borrow().incarnation() != pinned {
+                    continue;
+                }
+                let snapshot = handle.borrow_mut().snapshot_state(&inner.sim, &inner.wire);
+                if let Some(state) = snapshot {
+                    final_state = Some(state);
+                    break;
+                }
             }
-            let Some(handle) = inner.registry.get(uid, node) else {
-                continue;
-            };
-            if handle.borrow().incarnation() != pinned {
-                continue;
-            }
-            let snapshot = handle.borrow_mut().snapshot_state(&inner.sim, &inner.wire);
-            if let Some(state) = snapshot {
-                final_state = Some(state);
-                break;
-            }
+            let base = final_state.ok_or(CommitError::NoFinalState(uid))?;
+            let new_version = base.version.next();
+            versions.push(new_version);
+            new_states.push(ObjectState {
+                type_tag: base.type_tag,
+                version: new_version,
+                data: base.data,
+            });
         }
-        let base = final_state.ok_or(CommitError::NoFinalState(uid))?;
-        let new_version = base.version.next();
-        let new_state = ObjectState {
-            type_tag: base.type_tag,
-            version: new_version,
-            data: base.data,
-        };
 
         let token = TxSystem::token(action);
         let coordinator = inner
             .tx
             .client_node(action)
-            .unwrap_or(group.req.client_node);
+            .unwrap_or_else(|| groups[0].req.client_node);
 
-        // Stage on every store in St; collect failures with their sources.
+        // The union of store nodes across all touched objects, first-seen
+        // order (so the single-object message sequence is unchanged).
+        let mut store_nodes: Vec<NodeId> = Vec::new();
+        for group in groups {
+            for &st_node in &group.st_nodes {
+                if !store_nodes.contains(&st_node) {
+                    store_nodes.push(st_node);
+                }
+            }
+        }
+
+        // Stage one write-set per store; collect failures with sources.
         let mut prepared: Vec<StoreWriteParticipant> = Vec::new();
         let mut failed: Vec<NodeId> = Vec::new();
         let mut last_fault = None;
-        for &st_node in &group.st_nodes {
+        for &st_node in &store_nodes {
+            let writes: Vec<(Uid, ObjectState)> = groups
+                .iter()
+                .zip(&new_states)
+                .filter(|(g, _)| g.st_nodes.contains(&st_node))
+                .map(|(g, state)| (g.uid, state.clone()))
+                .collect();
             let mut participant = StoreWriteParticipant::new(
                 &inner.sim,
                 &inner.stores,
                 coordinator,
                 st_node,
                 token,
-                vec![(uid, new_state.clone())],
+                writes,
             );
             match participant.try_prepare() {
                 Ok(()) => prepared.push(participant),
@@ -124,26 +154,48 @@ impl System {
             }
         }
 
-        if prepared.is_empty() {
-            // "all the nodes ∈ StA are down" — the action must abort. The
-            // carried fault lets metrics attribute the abort to the crash.
-            return Err(CommitError::AllStoresFailed {
-                uid,
-                last: last_fault.expect("st_nodes is never empty"),
-            });
+        // Per-object verdicts: any object whose *entire* `St` missed the
+        // copy dooms the action ("all the nodes ∈ StA are down" — the
+        // action must abort; the carried fault lets metrics attribute the
+        // abort to the crash). Partially missed objects exclude the missed
+        // stores instead.
+        let mut exclusions: Vec<(Uid, Vec<NodeId>)> = Vec::new();
+        let mut doomed: Option<CommitError> = None;
+        for group in groups {
+            let missed: Vec<NodeId> = group
+                .st_nodes
+                .iter()
+                .copied()
+                .filter(|node| failed.contains(node))
+                .collect();
+            if missed.len() == group.st_nodes.len() {
+                doomed = Some(CommitError::AllStoresFailed {
+                    uid: group.uid,
+                    last: last_fault.expect("st_nodes is never empty"),
+                });
+                break;
+            }
+            if !missed.is_empty() {
+                exclusions.push((group.uid, missed));
+            }
+        }
+        if let Some(e) = doomed {
+            for mut p in prepared {
+                p.abort();
+            }
+            return Err(e);
         }
 
-        if !failed.is_empty() && inner.exclude_enabled {
+        if !exclusions.is_empty() && inner.exclude_enabled {
             // Exclude the missed stores within this same action. The client
-            // already holds a read lock on the entry (taken at activation);
-            // the policy decides whether this is a write promotion or the
-            // paper's exclude-write lock.
-            if let Err(e) = inner.naming.exclude_from(
-                coordinator,
-                action,
-                &[(uid, failed.clone())],
-                inner.exclude_policy,
-            ) {
+            // already holds a read lock on the entries (taken at
+            // activation); the policy decides whether this is a write
+            // promotion or the paper's exclude-write lock.
+            if let Err(e) =
+                inner
+                    .naming
+                    .exclude_from(coordinator, action, &exclusions, inner.exclude_policy)
+            {
                 for mut p in prepared {
                     p.abort();
                 }
@@ -157,6 +209,6 @@ impl System {
                 .add_participant(action, Box::new(PrePrepared { inner: participant }))
                 .map_err(CommitError::Tx)?;
         }
-        Ok(new_version)
+        Ok(versions)
     }
 }

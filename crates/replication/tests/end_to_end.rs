@@ -31,7 +31,7 @@ fn create_counter(sys: &System, value: i64) -> groupview_store::Uid {
 
 fn counter_value(sys: &System, uid: groupview_store::Uid, client_node: NodeId) -> i64 {
     let client = sys.client(client_node);
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate_read_only(a, uid, 1).expect("activate ro");
     let reply = client
         .invoke_read(a, &g, &CounterOp::Get.encode())
@@ -46,7 +46,7 @@ fn full_cycle_all_policies() {
         let sys = system(policy, BindingScheme::Standard);
         let uid = create_counter(&sys, 100);
         let client = sys.client(n(4));
-        let a = client.begin();
+        let a = client.begin_action();
         let g = client.activate(a, uid, 2).expect("activate");
         let r = client
             .invoke(a, &g, &CounterOp::Add(11).encode())
@@ -68,7 +68,7 @@ fn abort_undoes_replica_state_and_stores() {
     let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
     let uid = create_counter(&sys, 50);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 2).expect("activate");
     client
         .invoke(a, &g, &CounterOp::Add(999).encode())
@@ -86,7 +86,7 @@ fn active_replication_masks_server_crash_mid_action() {
     let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 3).expect("activate");
     client
         .invoke(a, &g, &CounterOp::Add(1).encode())
@@ -108,7 +108,7 @@ fn coordinator_cohort_failover_mid_action() {
     );
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 3).expect("activate");
     client
         .invoke(a, &g, &CounterOp::Add(5).encode())
@@ -132,7 +132,7 @@ fn single_copy_passive_crash_aborts_action() {
     );
     let uid = create_counter(&sys, 7);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 3).expect("activate");
     assert_eq!(
         g.servers.len(),
@@ -159,7 +159,7 @@ fn commit_excludes_crashed_store_and_later_recovery_reincludes() {
     let uid = create_counter(&sys, 0);
     // A store node (with no active replica bound) crashes before commit.
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 2).expect("activate"); // binds n1, n2
     assert_eq!(g.servers, vec![n(1), n(2)]);
     client
@@ -192,7 +192,7 @@ fn read_only_action_skips_state_copy() {
     // Note the store versions before.
     let v_before = sys.stores().read_local(n(1), uid).unwrap().version;
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate_read_only(a, uid, 1).expect("activate");
     client
         .invoke_read(a, &g, &CounterOp::Get.encode())
@@ -210,7 +210,7 @@ fn all_stores_down_aborts_commit() {
     let sys = system(ReplicationPolicy::Active, BindingScheme::Standard);
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 2).expect("activate");
     client
         .invoke(a, &g, &CounterOp::Add(1).encode())
@@ -243,7 +243,7 @@ fn independent_scheme_full_client_lifecycle() {
     );
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 2).expect("activate");
     assert!(g.binding().registered);
     // Use lists are visible while the action runs.
@@ -264,7 +264,7 @@ fn nested_top_level_scheme_full_client_lifecycle() {
     let sys = system(ReplicationPolicy::Active, BindingScheme::NestedTopLevel);
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 2).expect("activate");
     client
         .invoke(a, &g, &CounterOp::Add(3).encode())
@@ -282,7 +282,7 @@ fn crashed_client_leak_reclaimed_by_cleanup_daemon() {
     );
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 2).expect("activate");
     let _ = g;
     // The client crashes without decrementing.
@@ -306,7 +306,7 @@ fn passivation_after_quiescence() {
     );
     let uid = create_counter(&sys, 1);
     let client = sys.client(n(4));
-    let a = client.begin();
+    let a = client.begin_action();
     let g = client.activate(a, uid, 2).expect("activate");
     client
         .invoke(a, &g, &CounterOp::Add(1).encode())
@@ -325,12 +325,12 @@ fn object_write_lock_serialises_writers() {
     let uid = create_counter(&sys, 0);
     let c1 = sys.client(n(4));
     let c2 = sys.client(n(5));
-    let a1 = c1.begin();
+    let a1 = c1.begin_action();
     let g1 = c1.activate(a1, uid, 2).expect("activate 1");
     c1.invoke(a1, &g1, &CounterOp::Add(1).encode())
         .expect("op 1");
     // Second writer is refused at the object lock.
-    let a2 = c2.begin();
+    let a2 = c2.begin_action();
     let g2 = c2.activate(a2, uid, 2).expect("activate 2");
     let err = c2
         .invoke(a2, &g2, &CounterOp::Add(1).encode())
@@ -339,7 +339,7 @@ fn object_write_lock_serialises_writers() {
     c2.abort(a2);
     c1.commit(a1).expect("commit 1");
     // Now the second client can proceed.
-    let a3 = c2.begin();
+    let a3 = c2.begin_action();
     let g3 = c2.activate(a3, uid, 2).expect("activate 3");
     c2.invoke(a3, &g3, &CounterOp::Add(1).encode())
         .expect("op 3");
@@ -353,8 +353,8 @@ fn concurrent_readers_share_the_object() {
     let uid = create_counter(&sys, 9);
     let c1 = sys.client(n(4));
     let c2 = sys.client(n(5));
-    let a1 = c1.begin();
-    let a2 = c2.begin();
+    let a1 = c1.begin_action();
+    let a2 = c2.begin_action();
     let g1 = c1.activate_read_only(a1, uid, 1).expect("activate 1");
     let g2 = c2.activate_read_only(a2, uid, 1).expect("activate 2");
     let r1 = c1
@@ -381,7 +381,7 @@ fn bank_transfer_is_atomic_across_two_objects() {
     let client = sys.client(n(4));
 
     // Successful transfer.
-    let a = client.begin();
+    let a = client.begin_action();
     let ga = client.activate(a, alice, 2).expect("activate alice");
     let gb = client.activate(a, bob, 2).expect("activate bob");
     let w = client
@@ -394,7 +394,7 @@ fn bank_transfer_is_atomic_across_two_objects() {
     client.commit(a).expect("commit transfer");
 
     // Failed transfer aborts both legs.
-    let b = client.begin();
+    let b = client.begin_action();
     let ga = client.activate(b, alice, 2).expect("activate alice");
     let gb = client.activate(b, bob, 2).expect("activate bob");
     client
@@ -407,7 +407,7 @@ fn bank_transfer_is_atomic_across_two_objects() {
 
     // Balances: only the first transfer happened.
     let check = sys.client(n(5));
-    let c = check.begin();
+    let c = check.begin_action();
     let ga = check.activate_read_only(c, alice, 1).expect("alice ro");
     let gb = check.activate_read_only(c, bob, 1).expect("bob ro");
     let ra = check
@@ -437,11 +437,11 @@ fn exclude_policy_promote_aborts_under_concurrent_reader() {
         let uid = create_counter(&sys, 0);
         // A reader holds a read lock on the St entry (via activation).
         let reader = sys.client(n(5));
-        let ra = reader.begin();
+        let ra = reader.begin_action();
         let _rg = reader.activate_read_only(ra, uid, 1).expect("reader");
         // The writer modifies and commits while a store is down → Exclude.
         let writer = sys.client(n(4));
-        let wa = writer.begin();
+        let wa = writer.begin_action();
         let wg = writer.activate(wa, uid, 1).expect("writer");
         writer
             .invoke(wa, &wg, &CounterOp::Add(1).encode())
@@ -463,7 +463,7 @@ fn deterministic_same_seed_same_outcome() {
         let uid = create_counter(&sys, 0);
         let client = sys.client(n(4));
         for i in 0..5 {
-            let a = client.begin();
+            let a = client.begin_action();
             let g = client.activate(a, uid, 2).expect("activate");
             client
                 .invoke(a, &g, &CounterOp::Add(i).encode())
@@ -496,7 +496,7 @@ fn reborn_replica_fails_the_in_flight_action() {
         let sys = system(policy, BindingScheme::Standard);
         let uid = create_counter(&sys, 0);
         let a_client = sys.client(n(4));
-        let action = a_client.begin();
+        let action = a_client.begin_action();
         let group = a_client.activate(action, uid, 3).expect("activate A");
         let r = a_client
             .invoke(action, &group, &CounterOp::Add(1).encode())
@@ -513,7 +513,7 @@ fn reborn_replica_fails_the_in_flight_action() {
             sys.recovery().recover_node(server);
         }
         let b_client = sys.client(n(5));
-        let b_action = b_client.begin();
+        let b_action = b_client.begin_action();
         let _b_group = b_client
             .activate_read_only(b_action, uid, 3)
             .expect("B reactivates the passive object");
@@ -543,7 +543,7 @@ fn observed_system_reports_spans_counters_and_wire_stats() {
     let uid = create_counter(&sys, 0);
     let client = sys.client(n(4));
     for i in 0..3 {
-        let a = client.begin();
+        let a = client.begin_action();
         let g = client.activate(a, uid, 2).expect("activate");
         client
             .invoke(a, &g, &CounterOp::Add(i).encode())

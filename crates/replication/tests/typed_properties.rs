@@ -112,7 +112,7 @@ proptest! {
                 .expect("create");
             let client = sys.client(NodeId::new(4));
             let counter = uid.open(&client);
-            let action = client.begin();
+            let action = client.begin_action();
             counter.activate(action, 2).expect("activate");
             // Interleave Adds and Gets: each reply must reflect exactly the
             // ops before it in the batch, in order.
@@ -179,7 +179,7 @@ fn oversized_values_survive_the_full_typed_path() {
     let shelf = uid.open(&client);
     let big = "y".repeat(80 * 1024);
 
-    let action = client.begin();
+    let action = client.begin_action();
     shelf.activate(action, 2).expect("activate");
     assert_eq!(
         shelf
@@ -189,7 +189,7 @@ fn oversized_values_survive_the_full_typed_path() {
     );
     client.commit(action).expect("commit");
 
-    let action = client.begin();
+    let action = client.begin_action();
     shelf.activate_read_only(action, 1).expect("activate");
     assert_eq!(
         shelf.invoke(action, KvOp::Get("blob".into())).expect("get"),
@@ -215,14 +215,14 @@ fn typed_reply_survives_crash_masked_reactivation() {
     let counter = uid.open(&client);
 
     // Commit through two replicas.
-    let action = client.begin();
+    let action = client.begin_action();
     let group = counter.activate(action, 2).expect("activate");
     assert_eq!(counter.invoke(action, CounterOp::Add(7)).expect("add"), 7);
     client.commit(action).expect("commit");
 
     // Crash one bound replica; the next activation masks it.
     sys.sim().crash(group.servers[0]);
-    let action = client.begin();
+    let action = client.begin_action();
     let regrouped = counter.activate(action, 2).expect("re-activate");
     assert!(
         !regrouped.servers.contains(&group.servers[0]),
@@ -240,7 +240,7 @@ fn typed_reply_survives_crash_masked_reactivation() {
     sys.recovery().recover_node(group.servers[0]);
     let reader = sys.client(NodeId::new(5));
     let observer = uid.open(&reader);
-    let action = reader.begin();
+    let action = reader.begin_action();
     observer.activate_read_only(action, 1).expect("activate");
     assert_eq!(observer.invoke(action, CounterOp::Get).expect("get"), 10);
     reader.commit(action).expect("commit");

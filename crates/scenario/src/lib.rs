@@ -30,7 +30,7 @@
 //!   `workload::Driver`, reproducing its runs bit for bit —
 //!   `tests/parity.rs`). [`Scenario`] = workload × plan × checks, run as a
 //!   multi-seed matrix producing [`ScenarioReport`]s; plus
-//!   [`canned_scenarios`], the 14-scenario suite CI drives across seeds.
+//!   [`canned_scenarios`], the 22-scenario suite CI drives across seeds.
 //! * soak mode (`soak`) — [`run_soak`] chains composed nemesis schedules
 //!   across a seed range for the experiment harness, reporting an
 //!   aggregate oracle verdict summary.

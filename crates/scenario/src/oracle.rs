@@ -174,12 +174,31 @@ impl fmt::Display for OracleReport {
 #[derive(Debug, Clone)]
 pub struct Oracle {
     objects: Vec<ObjectModel>,
+    /// Check cross-object conservation: after every committed action's
+    /// atomic replay, the sum of all account balances must equal the sum of
+    /// their initial balances. Only meaningful for workloads whose account
+    /// operations are balanced transfers (a deposit-only mix legitimately
+    /// grows the total).
+    conservation: bool,
 }
 
 impl Oracle {
     /// An oracle for the given objects.
     pub fn new(objects: Vec<ObjectModel>) -> Self {
-        Oracle { objects }
+        Oracle {
+            objects,
+            conservation: false,
+        }
+    }
+
+    /// Enables the cross-object conservation check: the total across all
+    /// account models must be invariant at every commit point. This is the
+    /// atomicity oracle for transfers — a transaction that commits only one
+    /// leg (a withdrawal without its deposit, or vice versa) shifts the
+    /// total and is flagged at the exact action that broke it.
+    pub fn with_conservation(mut self) -> Self {
+        self.conservation = true;
+        self
     }
 
     /// The objects under test.
@@ -219,6 +238,14 @@ impl Oracle {
         // (commit order == serialization order under strict 2PL).
         type PendingOp = (Uid, groupview_sim::Bytes, groupview_sim::Bytes);
         let mut pending: HashMap<u64, Vec<PendingOp>> = HashMap::new();
+        let initial_total: u64 = self
+            .objects
+            .iter()
+            .filter_map(|o| match o.kind {
+                ModelKind::Account { initial } => Some(initial),
+                _ => None,
+            })
+            .sum();
         for ev in history.events() {
             match &ev.kind {
                 EventKind::Invoked { op, reply, .. } => {
@@ -260,6 +287,19 @@ impl Oracle {
                             ));
                         }
                     }
+                    // The commit point is where atomicity is observable:
+                    // both legs of a transfer (or neither) are now in the
+                    // models, so the account total must be back at par.
+                    if self.conservation {
+                        let total = account_total(&model, &enc);
+                        if total != initial_total {
+                            report.violations.push(format!(
+                                "conservation violated after action {}: accounts total \
+                                 {total}, expected {initial_total}",
+                                ev.action
+                            ));
+                        }
+                    }
                 }
                 // Aborted and crashed actions must leave no trace; their
                 // buffered ops are simply dropped from the model.
@@ -275,6 +315,22 @@ impl Oracle {
             .collect();
         report
     }
+}
+
+/// Sums the balances of every account model (an [`Account`] snapshot is its
+/// balance, little-endian).
+fn account_total(
+    model: &HashMap<Uid, (ModelKind, Box<dyn ReplicaObject>)>,
+    enc: &WireEncoder,
+) -> u64 {
+    model
+        .values()
+        .filter(|(kind, _)| matches!(kind, ModelKind::Account { .. }))
+        .map(|(_, object)| {
+            let snap = object.snapshot(enc);
+            u64::from_le_bytes(snap.as_slice()[..8].try_into().expect("account snapshot"))
+        })
+        .sum()
 }
 
 /// Checks that every store listed in each object's `St` holds state bytes
@@ -585,6 +641,60 @@ mod tests {
         let report = oracle_for(ModelKind::Account { initial: 10 }).replay(&h);
         assert!(!report.is_ok(), "overdraft must be flagged");
         assert!(report.violations[0].contains("Withdraw"), "{report}");
+    }
+
+    /// The cross-object atomicity oracle: balanced transfers conserve the
+    /// account total at every commit point; a commit that applied only one
+    /// leg is flagged at exactly that action.
+    #[test]
+    fn conservation_accepts_transfers_and_flags_a_lost_leg() {
+        let a = Uid::from_raw(1);
+        let b = Uid::from_raw(2);
+        let model = |uid| ObjectModel {
+            uid,
+            kind: ModelKind::Account { initial: 100 },
+            full_strength: 3,
+        };
+        let oracle = Oracle::new(vec![model(a), model(b)]).with_conservation();
+        let acct = |o: AccountOp| Bytes::from(Account::op_vec(&o));
+        let r = |v: u64| Bytes::from(Account::reply_vec(&v));
+        let t = SimTime::ZERO;
+
+        // A balanced two-leg transfer conserves.
+        let mut h = History::new();
+        h.invoked(t, 0, 1, a, acct(AccountOp::Withdraw(10)), r(90), true);
+        h.invoked(t, 0, 1, b, acct(AccountOp::Deposit(10)), r(110), true);
+        h.committed(t, 0, 1, a);
+        let report = oracle.replay(&h);
+        assert!(report.is_ok(), "{report}");
+
+        // A refused withdrawal whose deposit leg was skipped also conserves.
+        let mut h = History::new();
+        h.invoked(
+            t,
+            0,
+            1,
+            a,
+            acct(AccountOp::Withdraw(1000)),
+            r(AccountOp::REFUSED),
+            true,
+        );
+        h.committed(t, 0, 1, a);
+        assert!(oracle.replay(&h).is_ok());
+
+        // A committed withdrawal without its deposit shifts the total.
+        let mut h = History::new();
+        h.invoked(t, 0, 1, a, acct(AccountOp::Withdraw(10)), r(90), true);
+        h.committed(t, 0, 1, a);
+        let report = oracle.replay(&h);
+        assert!(!report.is_ok(), "one-legged transfer must be flagged");
+        assert!(report.violations[0].contains("conservation"), "{report}");
+        assert!(report.violations[0].contains("90"), "{report}");
+
+        // Without the flag the same history passes (deposit-only workloads
+        // legitimately change the total).
+        let plain = Oracle::new(vec![model(a), model(b)]);
+        assert!(plain.replay(&h).is_ok());
     }
 
     #[test]

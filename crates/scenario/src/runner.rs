@@ -23,7 +23,7 @@ use groupview_core::BindingScheme;
 use groupview_obs::MetricsSnapshot;
 use groupview_replication::{
     Account, AccountOp, Client, Counter, CounterOp, KvMap, KvOp, ObjectGroup, ObjectType,
-    ReplicationPolicy, System,
+    ReplicationPolicy, System, Tx, TxOpError, TypedUid,
 };
 use groupview_sim::{Bytes, ClientId, NodeId, ScheduledEvent, Sim, SimDuration};
 use groupview_store::Uid;
@@ -52,6 +52,15 @@ enum Phase {
         object_index: usize,
         ops_left: usize,
         read_only: bool,
+    },
+    /// A two-object transfer built through the typed [`Tx`] surface, both
+    /// legs applied; the next step commits (so fault plans can land in the
+    /// invoke→commit window, including `store_commit_crashes` traps).
+    Transfer {
+        tx: Tx,
+        /// The withdraw-side object: the history representative for the
+        /// commit/abort event.
+        uid: Uid,
     },
 }
 
@@ -337,10 +346,19 @@ pub fn run_plan_typed(
         if m.dead {
             continue;
         }
-        if let Phase::Running { action, group, .. } = std::mem::replace(&mut m.phase, Phase::Idle) {
-            m.client.abort(action);
-            metrics.aborts += 1;
-            history.aborted(sys.sim().now(), m.idx, action.raw(), group.uid, false);
+        match std::mem::replace(&mut m.phase, Phase::Idle) {
+            Phase::Idle => {}
+            Phase::Running { action, group, .. } => {
+                m.client.abort(action);
+                metrics.aborts += 1;
+                history.aborted(sys.sim().now(), m.idx, action.raw(), group.uid, false);
+            }
+            Phase::Transfer { tx, uid } => {
+                let action = tx.action().raw();
+                tx.abort();
+                metrics.aborts += 1;
+                history.aborted(sys.sim().now(), m.idx, action, uid, false);
+            }
         }
     }
     metrics.steps = step;
@@ -382,12 +400,23 @@ fn apply_plan_action(
             if let Some(m) = machines.get_mut(*i) {
                 if !m.dead {
                     m.dead = true;
-                    if let Phase::Running { action, group, .. } =
-                        std::mem::replace(&mut m.phase, Phase::Idle)
-                    {
-                        metrics.leaked_bindings += m.client.crash_without_cleanup(action) as u64;
-                        metrics.aborts += 1;
-                        history.crashed(sys.sim().now(), m.idx, action.raw(), group.uid);
+                    match std::mem::replace(&mut m.phase, Phase::Idle) {
+                        Phase::Idle => {}
+                        Phase::Running { action, group, .. } => {
+                            metrics.leaked_bindings +=
+                                m.client.crash_without_cleanup(action) as u64;
+                            metrics.aborts += 1;
+                            history.crashed(sys.sim().now(), m.idx, action.raw(), group.uid);
+                        }
+                        Phase::Transfer { tx, uid } => {
+                            // `leak` disarms the drop-abort: a crashing
+                            // client leaves its locks and bindings behind.
+                            let action = tx.leak();
+                            metrics.leaked_bindings +=
+                                m.client.crash_without_cleanup(action) as u64;
+                            metrics.aborts += 1;
+                            history.crashed(sys.sim().now(), m.idx, action.raw(), uid);
+                        }
                     }
                 }
             }
@@ -436,9 +465,13 @@ fn step_machine(
             metrics.attempts += 1;
             sim.account_reset(account);
             let read_only = sim.chance(spec.read_fraction);
+            if spec.transfers && !read_only && spec.objects.len() >= 2 {
+                start_transfer(sys, spec, m, metrics, history);
+                return;
+            }
             let object_index = sim.random_below(spec.objects.len() as u64) as usize;
             let uid = spec.objects[object_index];
-            let action = m.client.begin();
+            let action = m.client.begin_action();
             let outcome = if read_only {
                 m.client.activate_read_only(action, uid, spec.replicas)
             } else {
@@ -580,7 +613,129 @@ fn step_machine(
                 }
             }
         }
+        Phase::Transfer { tx, uid } => {
+            let action = tx.action().raw();
+            match tx.commit() {
+                Ok(()) => {
+                    history.committed(sim.now(), m.idx, action, uid);
+                    finish_action(sys, m, metrics, true);
+                }
+                Err(e) => {
+                    metrics.abort_commit += 1;
+                    if e.is_failure_caused() {
+                        metrics.abort_commit_failure += 1;
+                    } else {
+                        metrics.abort_commit_contention += 1;
+                    }
+                    history.aborted(sim.now(), m.idx, action, uid, e.is_failure_caused());
+                    finish_action(sys, m, metrics, false);
+                }
+            }
+            if spec.passivate_between_actions {
+                let _ = sys.try_passivate(uid);
+            }
+        }
     }
+}
+
+/// Starts one balanced two-account transfer through the typed [`Tx`]
+/// surface: withdraw from one seeded-random account, deposit the same
+/// amount into another (skipped when the withdrawal is refused — the
+/// total is conserved either way). Both legs run under one action; the
+/// commit happens on the machine's *next* step, so scripted faults can
+/// land in the invoke→commit window.
+fn start_transfer(
+    sys: &System,
+    spec: &WorkloadSpec,
+    m: &mut Machine,
+    metrics: &mut RunMetrics,
+    history: &mut History,
+) {
+    let sim = sys.sim();
+    let n = spec.objects.len() as u64;
+    let i = sim.random_below(n) as usize;
+    // Draw the deposit side from the remaining objects (never i itself).
+    let mut j = sim.random_below(n - 1) as usize;
+    if j >= i {
+        j += 1;
+    }
+    let (from_uid, to_uid) = (spec.objects[i], spec.objects[j]);
+    let from = TypedUid::<Account>::assume(from_uid).open(&m.client);
+    let to = TypedUid::<Account>::assume(to_uid).open(&m.client);
+    let amount = 1 + sim.random_below(5);
+    let mut tx = m.client.begin().with_replicas(spec.replicas);
+    let action = tx.action().raw();
+    match tx.invoke(&from, AccountOp::Withdraw(amount)) {
+        Ok(reply) => {
+            history.invoked(
+                sim.now(),
+                m.idx,
+                action,
+                from_uid,
+                Bytes::from(Account::op_vec(&AccountOp::Withdraw(amount))),
+                Bytes::from(Account::reply_vec(&reply)),
+                true,
+            );
+            if reply != AccountOp::REFUSED {
+                match tx.invoke(&to, AccountOp::Deposit(amount)) {
+                    Ok(deposited) => {
+                        history.invoked(
+                            sim.now(),
+                            m.idx,
+                            action,
+                            to_uid,
+                            Bytes::from(Account::op_vec(&AccountOp::Deposit(amount))),
+                            Bytes::from(Account::reply_vec(&deposited)),
+                            true,
+                        );
+                    }
+                    Err(e) => {
+                        abort_transfer(sys, m, metrics, history, tx, from_uid, e);
+                        return;
+                    }
+                }
+            }
+            m.phase = Phase::Transfer { tx, uid: from_uid };
+        }
+        Err(e) => abort_transfer(sys, m, metrics, history, tx, from_uid, e),
+    }
+}
+
+/// Aborts a failed transfer and books it under the matching taxonomy
+/// bucket: an [`TxOpError::Activate`] is a bind abort, an
+/// [`TxOpError::Invoke`] an invoke abort, each split contention/failure.
+fn abort_transfer(
+    sys: &System,
+    m: &mut Machine,
+    metrics: &mut RunMetrics,
+    history: &mut History,
+    tx: Tx,
+    uid: Uid,
+    e: TxOpError,
+) {
+    let action = tx.action().raw();
+    let failure = e.is_failure_caused();
+    tx.abort();
+    match e {
+        TxOpError::Activate(_) => {
+            metrics.abort_bind += 1;
+            if failure {
+                metrics.abort_bind_failure += 1;
+            } else {
+                metrics.abort_bind_contention += 1;
+            }
+        }
+        TxOpError::Invoke(_) => {
+            metrics.abort_invoke += 1;
+            if failure {
+                metrics.abort_failure += 1;
+            } else {
+                metrics.abort_contention += 1;
+            }
+        }
+    }
+    history.aborted(sys.sim().now(), m.idx, action, uid, failure);
+    finish_action(sys, m, metrics, false);
 }
 
 fn finish_action(sys: &System, m: &Machine, metrics: &mut RunMetrics, committed: bool) {
@@ -618,6 +773,11 @@ pub struct Checks {
     /// Require every crash to be masked: no failure-caused bind, invoke,
     /// or commit aborts anywhere in the run.
     pub expect_crash_masked: bool,
+    /// Enable the oracle's cross-object conservation check: the sum of all
+    /// account balances must be invariant at every commit point (only
+    /// sound for balanced-transfer workloads; see
+    /// [`groupview_workload::WorkloadSpec::transfers`]).
+    pub conservation: bool,
 }
 
 impl Default for Checks {
@@ -627,6 +787,7 @@ impl Default for Checks {
             invariants: true,
             expect_commits: true,
             expect_crash_masked: false,
+            conservation: false,
         }
     }
 }
@@ -702,10 +863,13 @@ impl fmt::Display for ScenarioReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{:<28} seed={}] {} | crashes={} masked={} | oracle: {} | {}",
+            "[{:<28} seed={}] {} | tx multi committed={} aborted={} | crashes={} masked={} \
+             | oracle: {} | {}",
             self.name,
             self.seed,
             self.metrics,
+            self.metrics.tx.multi_committed,
+            self.metrics.tx.multi_aborted,
             self.crashes,
             self.masked,
             self.oracle,
@@ -836,7 +1000,7 @@ pub fn run_scenario_in(
     // thread-local wire counters before results cross threads.
     let obs = sys.obs().is_enabled().then(|| sys.metrics_snapshot());
 
-    let oracle = Oracle::new(
+    let mut oracle = Oracle::new(
         uids.iter()
             .zip(&kinds)
             .map(|(&uid, &kind)| ObjectModel {
@@ -846,6 +1010,9 @@ pub fn run_scenario_in(
             })
             .collect(),
     );
+    if scenario.checks.conservation {
+        oracle = oracle.with_conservation();
+    }
     let mut oracle_report = if scenario.checks.replay {
         let mut report = oracle.replay(&outcome.history);
         let expected = report.final_states.clone();
@@ -1099,6 +1266,24 @@ mod tests {
             let report = run_scenario(&sc, seed);
             assert!(report.passed(), "{report}");
         }
+    }
+
+    /// Transfer mode drives balanced two-account transactions through the
+    /// typed `Tx` surface; the conservation oracle holds fault-free and the
+    /// multi-object commit counter moves.
+    #[test]
+    fn transfer_workload_conserves_across_accounts() {
+        let mut sc = scenario("transfer/fault_free", Box::new(|_| FaultPlan::new()));
+        sc.objects = vec![ModelKind::Account { initial: 50 }; 3];
+        sc.workload = sc.workload.clone().transfers();
+        sc.checks.conservation = true;
+        let report = run_scenario(&sc, 11);
+        assert!(report.passed(), "{report}");
+        assert!(
+            report.metrics.tx.multi_committed > 0,
+            "transfers commit multi-object transactions: {report}"
+        );
+        assert!(report.to_string().contains("tx multi"));
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! Canned scenarios: the matrix CI runs across seeds.
 //!
-//! Nineteen scenarios over one topology (7 nodes: node 0 names, nodes 1–3
-//! serve and store, nodes 4–6 host clients) covering all three replication
-//! policies, all fault families (crashes, rolling crashes, send-window
-//! crashes in the paper's Figure 1 window, partitions, flapping
-//! partitions, message loss, client churn, recovery storms), three binding
-//! schemes, batched and per-op invocation, and all three object classes
-//! (counters everywhere; the send-window scenarios also drive a KvMap and
-//! an Account so the oracle checks every operation type under
-//! mid-exchange crashes). Every scenario
-//! demands the oracle's sequential-replay equivalence and the paper's
-//! post-recovery invariants; scenarios where active replication should
-//! fully mask the injected faults additionally demand a zero
-//! failure-caused abort count.
+//! Twenty-two scenarios over one topology (7 nodes: node 0 names, nodes
+//! 1–3 serve and store, nodes 4–6 host clients) covering all three
+//! replication policies, all fault families (crashes, rolling crashes,
+//! send-window crashes in the paper's Figure 1 window, partitions,
+//! flapping partitions, message loss, client churn, recovery storms),
+//! three binding schemes, batched and per-op invocation, and all three
+//! object classes (counters everywhere; the send-window scenarios also
+//! drive a KvMap and an Account so the oracle checks every operation type
+//! under mid-exchange crashes; the transfer scenarios drive two-object
+//! transactions through the typed `Tx` surface over a population of
+//! Accounts and additionally demand conservation of money at every commit
+//! point). Every scenario demands the oracle's sequential-replay
+//! equivalence and the paper's post-recovery invariants; scenarios where
+//! active replication should fully mask the injected faults additionally
+//! demand a zero failure-caused abort count.
 
 use crate::nemesis;
 use crate::oracle::ModelKind;
@@ -298,7 +300,48 @@ pub fn canned_scenarios() -> Vec<Scenario> {
         scenarios.push(sc);
     }
 
-    // 18. Batched invocations under rolling crashes: ops travel as
+    // 18–20. Cross-object transfers under mid-2PC store crashes, one
+    // scenario per policy: every mutating action is a two-object balanced
+    // transfer built through the typed `Tx` surface (withdraw one account,
+    // deposit another under the same action), committed one machine step
+    // later so the armed store crash lands in the invoke→commit window.
+    // The oracle replays each committed transaction atomically and
+    // additionally checks *conservation*: the sum of all account balances
+    // equals the initial total at every commit point — a lost deposit leg
+    // or a half-committed transfer (one object installed, the other not)
+    // breaks the sum immediately. In-doubt store states left by the
+    // crashes must resolve at recovery to the same atomic outcome.
+    for (name, policy) in [
+        ("active/transfer_store_crash", ReplicationPolicy::Active),
+        (
+            "cohort/transfer_store_crash",
+            ReplicationPolicy::CoordinatorCohort,
+        ),
+        (
+            "single_copy/transfer_store_crash",
+            ReplicationPolicy::SingleCopyPassive,
+        ),
+    ] {
+        let mut sc = base(name, policy);
+        sc.objects = vec![ModelKind::Account { initial: 50 }; 4];
+        sc.workload = base_workload().transfers();
+        sc.plan = Box::new(|seed| {
+            nemesis::store_commit_crashes(
+                seed,
+                &[n(1), n(2), n(3)],
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(24),
+                SimDuration::from_millis(18),
+                2,
+            )
+        });
+        sc.checks.conservation = true;
+        // A mid-commit store crash can blanket a short run's window.
+        sc.checks.expect_commits = false;
+        scenarios.push(sc);
+    }
+
+    // 21. Batched invocations under rolling crashes: ops travel as
     // multi-op wire frames (one lock, one undo snapshot, one write-back
     // per batch), the history records them as ordered per-op events, and
     // the oracle must replay the batched commits exactly like unbatched
@@ -317,7 +360,7 @@ pub fn canned_scenarios() -> Vec<Scenario> {
     });
     scenarios.push(sc);
 
-    // 19. Batched invocations through coordinator-cohort with a
+    // 22. Batched invocations through coordinator-cohort with a
     // coordinator crash: a batch retried after failover must dedup as one
     // at-most-once unit — no partial re-execution of an already-applied
     // batch. Mixed read fraction also drives the read-only batch path.
@@ -373,6 +416,18 @@ mod tests {
                 .objects
                 .iter()
                 .any(|k| matches!(k, ModelKind::Account { .. })));
+            // Every policy gets a typed-Tx transfer scenario over Accounts
+            // with the conservation check armed.
+            let tr = scenarios
+                .iter()
+                .find(|s| s.policy == policy && s.name.ends_with("transfer_store_crash"))
+                .unwrap_or_else(|| panic!("no transfer scenario for {policy:?}"));
+            assert!(tr.workload.transfers);
+            assert!(tr.checks.conservation);
+            assert!(tr
+                .objects
+                .iter()
+                .all(|k| matches!(k, ModelKind::Account { .. })));
         }
         // At least one scenario drives batched invocations under a
         // nemesis, so the oracle verifies batched histories.

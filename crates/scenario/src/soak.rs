@@ -158,6 +158,7 @@ fn soak_scenario(name: &'static str, policy: ReplicationPolicy, round: u64) -> S
             // verdicts are the contract, not availability.
             expect_commits: false,
             expect_crash_masked: false,
+            conservation: false,
         },
     }
 }

@@ -26,7 +26,7 @@ fn store_crash_between_prepare_and_commit_resolves_by_decision_record() {
         let client = sys.client(n(4));
         let counter = uid.open(&client);
 
-        let action = client.begin();
+        let action = client.begin_action();
         counter.activate(action, 2).expect("activate");
         assert_eq!(
             counter.invoke(action, CounterOp::Add(5)).expect("invoke"),
@@ -80,7 +80,7 @@ fn store_crash_between_prepare_and_commit_resolves_by_decision_record() {
         assert!(sys.try_passivate(uid.uid()));
         let reader = sys.client(n(5));
         let observer = uid.open(&reader);
-        let action = reader.begin();
+        let action = reader.begin_action();
         observer.activate_read_only(action, 1).expect("activate");
         assert_eq!(
             observer.invoke(action, CounterOp::Get).expect("read"),
@@ -104,7 +104,7 @@ fn unfired_store_trap_disarms_cleanly() {
     sys.stores().disarm_crash_after_prepare(n(2));
     let client = sys.client(n(4));
     let counter = uid.open(&client);
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 2).expect("activate");
     counter.invoke(action, CounterOp::Add(1)).expect("invoke");
     client.commit(action).expect("commit");

@@ -33,6 +33,13 @@ pub struct WorkloadSpec {
     /// paper's normal mode: "objects not in use normally remain in a
     /// passive state"). Off by default so replicas stay warm.
     pub passivate_between_actions: bool,
+    /// Transfer mode: every mutating action is a two-object balanced
+    /// transfer (withdraw from one account, deposit the same amount into
+    /// another) driven through the typed `Tx` surface. Requires at least
+    /// two (account) objects; read-only actions stay single-object balance
+    /// reads. The account total is conserved at every commit, which the
+    /// oracle's conservation check exploits.
+    pub transfers: bool,
 }
 
 impl WorkloadSpec {
@@ -48,6 +55,7 @@ impl WorkloadSpec {
             read_fraction: 0.0,
             replicas: 2,
             passivate_between_actions: false,
+            transfers: false,
         }
     }
 
@@ -100,6 +108,13 @@ impl WorkloadSpec {
     /// Passivates objects whenever an action on them finishes.
     pub fn passivate_between_actions(mut self) -> Self {
         self.passivate_between_actions = true;
+        self
+    }
+
+    /// Makes every mutating action a two-object balanced transfer (see
+    /// [`WorkloadSpec::transfers`]).
+    pub fn transfers(mut self) -> Self {
+        self.transfers = true;
         self
     }
 

@@ -5,12 +5,17 @@
 //! Runs a batch of transfers between replicated accounts while servers crash
 //! and recover, then audits the books: despite failures and aborts, the
 //! total balance is conserved, because every transfer is an atomic action.
+//! Each transfer is a typed [`Tx`]: `begin` → `invoke` both legs → `commit`
+//! drives one store two-phase commit over both accounts; any error path
+//! just drops the builder, which replays the undo arena. The audit asserts
+//! conservation and the process exits non-zero if the books don't balance,
+//! so CI can run this example as a check.
 //!
 //! ```text
 //! cargo run --example bank_transfers
 //! ```
 
-use groupview::{Account, AccountOp, Handle, NodeId, ReplicationPolicy, System, TypedUid};
+use groupview::{Account, AccountOp, Handle, NodeId, ReplicationPolicy, System, Tx, TypedUid};
 
 const ACCOUNTS: usize = 4;
 const INITIAL_BALANCE: u64 = 1_000;
@@ -64,25 +69,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let to = &tills[(round + 1) % ACCOUNTS];
         let amount = 10 + (round as u64 % 90);
 
-        // One transfer = one atomic action touching two replicated objects.
-        let action = teller.begin();
+        // One transfer = one typed transaction touching two replicated
+        // objects; dropping `tx` on any early exit aborts it (the undo
+        // arena replays in reverse), so no error path can leak a half-done
+        // transfer.
+        let mut tx: Tx = teller.begin().with_replicas(2);
         let outcome = (|| -> Result<bool, Box<dyn std::error::Error>> {
-            from.activate(action, 2)?;
-            to.activate(action, 2)?;
-            if from.invoke(action, AccountOp::Withdraw(amount))? == AccountOp::REFUSED {
+            if tx.invoke(from, AccountOp::Withdraw(amount))? == AccountOp::REFUSED {
                 return Ok(false); // insufficient funds: roll back
             }
-            to.invoke(action, AccountOp::Deposit(amount))?;
+            tx.invoke(to, AccountOp::Deposit(amount))?;
             Ok(true)
         })();
         match outcome {
-            Ok(true) => match teller.commit(action) {
+            Ok(true) => match tx.commit() {
                 Ok(()) => committed += 1,
                 Err(_) => aborted += 1,
             },
             Ok(false) | Err(_) => {
-                teller.abort(action);
-                aborted += 1;
+                aborted += 1; // tx drops here, aborting the action
             }
         }
     }
@@ -91,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Audit: read every account and check conservation of money.
     let auditor = sys.client(nodes[7]);
-    let action = auditor.begin();
+    let action = auditor.begin_action();
     let mut total = 0u64;
     for (i, uid) in accounts.iter().enumerate() {
         let account = uid.open(&auditor);
@@ -104,7 +109,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let expected = INITIAL_BALANCE * ACCOUNTS as u64;
     println!("total = {total} (expected {expected})");
-    assert_eq!(total, expected, "atomicity violated!");
+    if total != expected {
+        eprintln!("AUDIT FAILED: atomicity violated — money was created or destroyed");
+        std::process::exit(1);
+    }
     println!("books balance: every transfer was atomic despite {aborted} aborts");
     Ok(())
 }

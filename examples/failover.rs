@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nn3 crashes.");
     let client = sys.client(n(4));
     let counter = uid.open(&client);
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 2)?;
     counter.invoke(action, CounterOp::Add(23))?;
     client.commit(action)?;
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nn1 and n2 crash; only n3 is left.");
     let reader = sys.client(n(5));
     let counter = uid.open(&reader);
-    let action = reader.begin();
+    let action = reader.begin_action();
     let group = counter.activate_read_only(action, 1)?;
     let value = counter.invoke(action, CounterOp::Get)?;
     println!("reader bound to {:?}, Get -> {value}", group.servers);

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // names (each lookup is a nested action of the sale). `open_by_name`
     // resolves, activates, and hands back a typed handle in one step.
     let clerk = sys.client(n(5));
-    let sale = clerk.begin();
+    let sale = clerk.begin_action();
     let tools = clerk.open_by_name::<KvMap>(sale, "shelves/tools", 2)?;
     let till = clerk.open_by_name::<Account>(sale, "till", 2)?;
     tools.invoke(sale, KvOp::Put("hammer".into(), "3 in stock".into()))?;
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.sim().crash(n(1));
     println!("n1 crashed");
 
-    let audit = clerk.begin();
+    let audit = clerk.begin_action();
     let tools = clerk.open_by_name::<KvMap>(audit, "shelves/tools", 1)?;
     let till = clerk.open_by_name::<Account>(audit, "till", 1)?;
     let stock = tools.invoke(audit, KvOp::Get("hammer".into()))?;

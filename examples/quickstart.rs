@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // encode operations and decode replies for us.
     let client = sys.client(client_node);
     let counter = uid.open(&client);
-    let action = client.begin();
+    let action = client.begin_action();
     let group = counter.activate(action, 2)?;
     println!("bound to servers {:?} (|Sv'| = 2)", group.servers);
     let value = counter.invoke(action, CounterOp::Add(10))?;
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         group.servers[0]
     );
 
-    let action = client.begin();
+    let action = client.begin_action();
     let group = counter.activate(action, 2)?;
     // `Get` is read-only, so the handle takes a read lock automatically.
     let value = counter.invoke(action, CounterOp::Get)?;
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Batched invocation: three ops in one wire frame and one replica
     // round; replies are index-aligned with the ops. The one write op
     // makes the whole batch take the write lock.
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 2)?;
     let replies =
         counter.invoke_batch(action, &[CounterOp::Get, CounterOp::Add(5), CounterOp::Get])?;

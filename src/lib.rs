@@ -37,7 +37,7 @@
 //! // typed handle: operations in, decoded replies out — no byte codecs.
 //! let client = sys.client(nodes[4]);
 //! let counter = uid.open(&client);
-//! let action = client.begin();
+//! let action = client.begin_action();
 //! counter.activate(action, 2)?;
 //! assert_eq!(counter.invoke(action, CounterOp::Add(10))?, 10);
 //! client.commit(action)?;
@@ -45,7 +45,7 @@
 //! // A crash of one replica is masked; the state is safe on every store.
 //! // `Get` is read-only, so the handle takes a read lock automatically.
 //! sys.sim().crash(nodes[1]);
-//! let action = client.begin();
+//! let action = client.begin_action();
 //! counter.activate(action, 2)?;
 //! assert_eq!(counter.invoke(action, CounterOp::Get)?, 10);
 //! client.commit(action)?;
@@ -95,7 +95,7 @@ pub use groupview_replication::{
     Account, AccountOp, ActivateError, Client, CommitError, Counter, CounterOp, Handle, HashRouter,
     InvokeError, KvMap, KvOp, KvReply, ObjectGroup, ObjectType, RangeRouter, ReplicaObject,
     ReplicationPolicy, ShardError, ShardRouter, ShardedClient, ShardedSystem, System,
-    SystemBuilder, TypedUid,
+    SystemBuilder, Tx, TxOpError, TypedUid,
 };
 pub use groupview_scenario::{
     canned_scenarios, run_matrix, run_plan, run_plan_typed, run_scenario, run_scenario_observed,

@@ -81,7 +81,7 @@ fn growing_sv_makes_the_new_server_bindable() {
     sys.sim().crash(n(1));
     let client = sys.client(n(5));
     let counter = client.open::<Counter>(uid);
-    let action = client.begin();
+    let action = client.begin_action();
     let group = counter.activate(action, 2).expect("bind the new server");
     assert_eq!(group.servers, vec![n(2), n(3)]);
     assert_eq!(
@@ -99,7 +99,7 @@ fn growing_st_adds_a_durable_copy() {
     // Commit a value first.
     let client = sys.client(n(5));
     let counter = client.open::<Counter>(uid);
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 2).expect("activate");
     counter.invoke(action, CounterOp::Add(42)).expect("invoke");
     client.commit(action).expect("commit");
@@ -115,7 +115,7 @@ fn growing_st_adds_a_durable_copy() {
     add_server(&sys, uid, n(3)).expect("insert n3");
     sys.sim().crash(n(1));
     sys.sim().crash(n(2));
-    let action = client.begin();
+    let action = client.begin_action();
     let group = counter.activate(action, 1).expect("activate from n4");
     assert_eq!(group.servers, vec![n(3)]);
     assert_eq!(counter.invoke(action, CounterOp::Get).expect("read"), 42);
@@ -130,7 +130,7 @@ fn sv_growth_is_refused_while_clients_use_the_object() {
     for scheme in [BindingScheme::Standard, BindingScheme::IndependentTopLevel] {
         let (sys, uid) = build(scheme);
         let user = sys.client(n(5));
-        let action = user.begin();
+        let action = user.begin_action();
         let _group = user.activate(action, uid, 2).expect("activate");
         let err = add_server(&sys, uid, n(3)).expect_err("must be refused in use");
         match scheme {
@@ -156,7 +156,7 @@ fn shrinking_sv_by_remove_hides_a_server_from_new_bindings() {
     assert!(sys.naming().server_db.remove(action, uid, n(2)).unwrap());
     sys.tx().commit(action).unwrap();
     let client = sys.client(n(5));
-    let a = client.begin();
+    let a = client.begin_action();
     let group = client.activate(a, uid, 2).expect("activate");
     assert_eq!(group.servers, vec![n(1)], "removed server not offered");
     client.commit(a).expect("commit");
@@ -166,7 +166,7 @@ fn shrinking_sv_by_remove_hides_a_server_from_new_bindings() {
 fn cached_scheme_changes_degree_without_any_refusal() {
     let (sys, uid) = build(BindingScheme::CachedNameServer);
     let user = sys.client(n(5));
-    let action = user.begin();
+    let action = user.begin_action();
     let _group = user.activate(action, uid, 2).expect("activate");
     // The §5 extension: membership updates cannot be refused, even mid-use.
     let cache = sys.server_cache().expect("cache").local();
@@ -176,7 +176,7 @@ fn cached_scheme_changes_degree_without_any_refusal() {
     // New activations see the wider candidate set once passive again.
     assert!(sys.try_passivate(uid));
     sys.sim().crash(n(1));
-    let a = user.begin();
+    let a = user.begin_action();
     let group = user.activate(a, uid, 3).expect("bind via cache");
     assert_eq!(group.servers, vec![n(2), n(3)], "new server offered");
     user.abort(a);

@@ -86,7 +86,7 @@ impl World {
                 let uid = self.objects[o];
                 let client = self.sys.client(self.client_node);
                 let counter = client.open::<Counter>(uid);
-                let action = client.begin();
+                let action = client.begin_action();
                 let committed = (|| {
                     counter.activate(action, 2).ok()?;
                     counter.invoke(action, CounterOp::Add(1)).ok()?;
@@ -101,7 +101,7 @@ impl World {
                 let uid = self.objects[o];
                 let client = self.sys.client(self.client_node);
                 let counter = client.open::<Counter>(uid);
-                let action = client.begin();
+                let action = client.begin_action();
                 let observed = (|| {
                     counter.activate_read_only(action, 1).ok()?;
                     let value = counter.invoke(action, CounterOp::Get).ok()?;
@@ -222,7 +222,7 @@ impl World {
         for (o, &uid) in self.objects.iter().enumerate() {
             let client = self.sys.client(n(5));
             let counter = client.open::<Counter>(uid);
-            let action = client.begin();
+            let action = client.begin_action();
             counter
                 .activate_read_only(action, 1)
                 .expect("activate after full recovery");

@@ -29,7 +29,7 @@ fn create_named_lookup_invoke_roundtrip() {
         .expect("create named");
 
     let client = sys.client(n(4));
-    let action = client.begin();
+    let action = client.begin_action();
     let account = client
         .open_by_name::<Account>(action, "accounts/alice", 2)
         .expect("activate by name");
@@ -45,7 +45,7 @@ fn create_named_lookup_invoke_roundtrip() {
 fn unknown_names_fail_cleanly() {
     let sys = build();
     let client = sys.client(n(4));
-    let action = client.begin();
+    let action = client.begin_action();
     let err = client
         .activate_by_name(action, "no/such/object", 1)
         .expect_err("unknown name");
@@ -81,7 +81,7 @@ fn names_survive_naming_node_crash_and_recovery() {
         .expect("create");
     // Write through the name.
     let client = sys.client(n(4));
-    let action = client.begin();
+    let action = client.begin_action();
     let session = client
         .open_by_name::<KvMap>(action, "kv/session", 2)
         .expect("activate");
@@ -92,14 +92,14 @@ fn names_survive_naming_node_crash_and_recovery() {
 
     // The naming node crashes: lookups fail while it is down...
     sys.sim().crash(n(0));
-    let action = client.begin();
+    let action = client.begin_action();
     assert!(client.activate_by_name(action, "kv/session", 2).is_err());
     client.abort(action);
 
     // ...and work again after recovery (directory state is in the service's
     // persistent object, which our simulation keeps with the service).
     sys.recovery().recover_node(n(0));
-    let action = client.begin();
+    let action = client.begin_action();
     let session = client
         .open_by_name::<KvMap>(action, "kv/session", 2)
         .expect("activate after recovery");

@@ -29,7 +29,7 @@ fn client_partitioned_from_naming_service_cannot_bind() {
     let (sys, uid) = build(201);
     let client = sys.client(n(4));
     sys.sim().partition(n(4), n(0));
-    let action = client.begin();
+    let action = client.begin_action();
     let err = client
         .activate(action, uid, 2)
         .expect_err("naming unreachable");
@@ -38,7 +38,7 @@ fn client_partitioned_from_naming_service_cannot_bind() {
     // Healing restores service.
     sys.sim().heal(n(4), n(0));
     let counter = client.open::<Counter>(uid);
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 2).expect("bind after heal");
     counter.invoke(action, CounterOp::Add(1)).expect("invoke");
     client.commit(action).expect("commit");
@@ -51,7 +51,7 @@ fn client_partitioned_from_a_server_binds_elsewhere() {
     let counter = client.open::<Counter>(uid);
     // The client cannot reach n1, but n2/n3 still serve it.
     sys.sim().partition(n(4), n(1));
-    let action = client.begin();
+    let action = client.begin_action();
     let group = counter.activate(action, 2).expect("bind around partition");
     assert!(
         !group.servers.contains(&n(1)),
@@ -67,7 +67,7 @@ fn store_partitioned_at_commit_gets_excluded_then_reincluded() {
     let (sys, uid) = build(203);
     let client = sys.client(n(4));
     let counter = client.open::<Counter>(uid);
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 2).expect("activate");
     counter.invoke(action, CounterOp::Add(9)).expect("invoke");
     // The commit coordinator (the client's node) loses contact with n3.
@@ -102,13 +102,13 @@ fn partition_between_groups_blocks_cross_traffic_only() {
     sys.sim()
         .partition_groups(&[n(0), n(1), n(2), n(3)], &[n(4)]);
     let cut_off = sys.client(n(4));
-    let action = cut_off.begin();
+    let action = cut_off.begin_action();
     assert!(cut_off.activate(action, uid, 2).is_err());
     cut_off.abort(action);
 
     let fine = sys.client(n(5));
     let fine_counter = fine.open::<Counter>(uid);
-    let action = fine.begin();
+    let action = fine.begin_action();
     fine_counter.activate(action, 2).expect("unaffected side");
     fine_counter
         .invoke(action, CounterOp::Add(2))
@@ -117,7 +117,7 @@ fn partition_between_groups_blocks_cross_traffic_only() {
 
     sys.sim().heal_all();
     let counter = cut_off.open::<Counter>(uid);
-    let action = cut_off.begin();
+    let action = cut_off.begin_action();
     counter.activate(action, 2).expect("after heal");
     assert_eq!(counter.invoke(action, CounterOp::Get).expect("read"), 2);
     cut_off.commit(action).expect("commit");
@@ -133,7 +133,7 @@ fn no_stale_reads_across_partition_heal_cycles() {
         sys.sim().partition(n(4), victim);
         let client = sys.client(n(4));
         let counter = client.open::<Counter>(uid);
-        let action = client.begin();
+        let action = client.begin_action();
         let committed = (|| {
             counter.activate(action, 2).ok()?;
             counter.invoke(action, CounterOp::Add(1)).ok()?;
@@ -180,7 +180,7 @@ fn cohort_partitioned_from_coordinator_is_expelled_not_stale() {
     let client = sys.client(n(4));
     let counter = client.open::<Counter>(uid);
     // Action 1 activates all three; coordinator is n1.
-    let action = client.begin();
+    let action = client.begin_action();
     let group = counter.activate(action, 3).expect("activate");
     assert_eq!(group.servers, vec![n(1), n(2), n(3)]);
     // n3 gets partitioned from the coordinator: it misses the checkpoint.
@@ -190,7 +190,7 @@ fn cohort_partitioned_from_coordinator_is_expelled_not_stale() {
     // n3 was expelled from the activation (unloaded); a new action joins
     // only the fresh members and never sees stale state through n3.
     sys.sim().heal_all();
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 3).expect("activate again");
     assert_eq!(
         counter.invoke(action, CounterOp::Get).expect("read"),

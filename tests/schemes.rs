@@ -45,7 +45,7 @@ fn run_workload(sys: &System, uid: Uid) -> i64 {
         if round == 8 {
             sys.recovery().recover_node(n(2));
         }
-        let action = client.begin();
+        let action = client.begin_action();
         let worked = (|| -> Result<(), RoundError> {
             counter
                 .activate(action, 2)
@@ -72,7 +72,7 @@ fn run_workload(sys: &System, uid: Uid) -> i64 {
     // Read back through a fresh client on another node.
     let reader = sys.client(n(6));
     let counter = reader.open::<Counter>(uid);
-    let action = reader.begin();
+    let action = reader.begin_action();
     counter
         .activate_read_only(action, 1)
         .expect("read activate");

@@ -23,14 +23,14 @@ fn quickstart_runs_end_to_end() -> Result<(), Box<dyn std::error::Error>> {
     // the typed handle surface.
     let client = sys.client(nodes[4]);
     let counter = uid.open(&client);
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 2)?;
     assert_eq!(counter.invoke(action, CounterOp::Add(10))?, 10);
     client.commit(action)?;
 
     // A crash of one replica is masked; the state is safe on every store.
     sys.sim().crash(nodes[1]);
-    let action = client.begin();
+    let action = client.begin_action();
     counter.activate(action, 2)?;
     assert_eq!(counter.invoke(action, CounterOp::Get)?, 10);
     client.commit(action)?;
