@@ -289,6 +289,7 @@ impl TxSystem {
                 // Lock acquisition is instantaneous in this model; the span
                 // still counts toward the phase breakdown.
                 obs.add(ObsCounter::LocksAcquired, 1);
+                obs.record_node_lock(rec.client_node.raw());
                 obs.span(action.raw(), Phase::LockAcquire, now, now);
                 Ok(())
             }

@@ -42,6 +42,11 @@ pub struct RecoveryReport {
     /// Objects whose store refresh failed (no reachable current store) —
     /// retry later.
     pub refresh_deferred: Vec<Uid>,
+    /// Objects whose local copy was purged because the replica had been
+    /// retired (migrated away) while the node was down. Without the
+    /// tombstone check, refresh would re-`Include` the stale copy and
+    /// resurrect a replica that was deliberately moved elsewhere.
+    pub purged: Vec<Uid>,
 }
 
 impl RecoveryReport {
@@ -60,6 +65,7 @@ impl RecoveryReport {
         self.inserted.extend(other.inserted);
         self.insert_deferred.extend(other.insert_deferred);
         self.refresh_deferred.extend(other.refresh_deferred);
+        self.purged.extend(other.purged);
     }
 }
 
@@ -136,10 +142,17 @@ impl RecoveryManager {
                 report.resolved_aborts.push(token);
             }
         }
-        // (2) refresh + Include.
+        // (2) refresh + Include — unless the replica was retired (migrated
+        // away) while the node was down, in which case the stale local copy
+        // is purged instead of resurrected.
         let mut uids = self.stores.with(node, |s| s.uids()).unwrap_or_default();
         uids.sort_unstable();
         for uid in uids {
+            if self.stores.is_retired(node, uid) {
+                let _ = self.stores.with(node, |s| s.remove(uid));
+                report.purged.push(uid);
+                continue;
+            }
             match self.refresh_one(node, uid) {
                 Ok(RefreshOutcome::AlreadyCurrent) => {}
                 Ok(RefreshOutcome::Refreshed) => {
@@ -396,6 +409,39 @@ mod tests {
             stores.read_local(n(1), uid()).unwrap().data,
             b"committed",
             "decided-commit installed, orphan discarded"
+        );
+    }
+
+    #[test]
+    fn retired_replica_is_purged_not_resurrected() {
+        let (sim, tx, ns, stores, rm) = world();
+        // n2 crashes; while it is down the replica at n2 migrates away:
+        // exclude n2 from St and drop the tombstone.
+        sim.crash(n(2));
+        let a = tx.begin_top(n(3));
+        ns.exclude_from(
+            n(3),
+            a,
+            &[(uid(), vec![n(2)])],
+            ExcludePolicy::ExcludeWriteLock,
+        )
+        .unwrap();
+        tx.commit(a).unwrap();
+        stores.retire(n(2), uid());
+
+        let report = rm.recover_node(n(2));
+        assert_eq!(report.purged, vec![uid()], "stale copy purged");
+        assert!(report.refreshed.is_empty(), "no refresh for retired copy");
+        assert!(report.included.is_empty(), "not re-included into St");
+        assert!(report.fully_recovered());
+        assert!(
+            stores.read_local(n(2), uid()).is_err(),
+            "local copy physically removed"
+        );
+        assert_eq!(
+            ns.state_db.entry(uid()).unwrap().stores,
+            vec![n(1)],
+            "St untouched by the recovered node"
         );
     }
 

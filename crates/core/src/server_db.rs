@@ -109,6 +109,14 @@ struct Inner {
     entries: BTreeMap<Uid, ServerEntry>,
     use_index: UseIndex,
     ops: ServerDbOps,
+    /// Cumulative `GetServer` + `Increment` traffic per object, never
+    /// decremented and never undone on abort: a monotone popularity
+    /// signal. Every binding scheme calls `GetServer` per bind, so this
+    /// counts activations even under the standard scheme (which never
+    /// touches use lists). The rebalancer reads it as a deterministic QPS
+    /// proxy (it depends only on the workload execution, not on whether
+    /// observability is enabled).
+    lifetime_uses: BTreeMap<Uid, u64>,
 }
 
 /// Records that one host's use list for `uid` gained a `client` entry.
@@ -168,6 +176,7 @@ impl ObjectServerDb {
                 entries: BTreeMap::new(),
                 use_index: UseIndex::new(),
                 ops: ServerDbOps::default(),
+                lifetime_uses: BTreeMap::new(),
             })),
         }
     }
@@ -229,11 +238,13 @@ impl ObjectServerDb {
         self.tx.lock(action, server_entry_key(uid), mode)?;
         let mut inner = self.inner.borrow_mut();
         inner.ops.get_server += 1;
-        inner
+        let entry = inner
             .entries
             .get(&uid)
             .cloned()
-            .ok_or(DbError::NotFound(uid))
+            .ok_or(DbError::NotFound(uid))?;
+        *inner.lifetime_uses.entry(uid).or_insert(0) += 1;
+        Ok(entry)
     }
 
     /// `GetServer` under a read lock (the common case).
@@ -299,6 +310,7 @@ impl ObjectServerDb {
                 entries,
                 use_index,
                 ops,
+                ..
             } = &mut *inner;
             ops.remove += 1;
             let entry = entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
@@ -360,9 +372,11 @@ impl ObjectServerDb {
                 entries,
                 use_index,
                 ops,
+                lifetime_uses,
             } = &mut *inner;
             ops.increment += 1;
             let entry = entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
+            *lifetime_uses.entry(uid).or_insert(0) += 1;
             for &host in hosts {
                 let counter = entry
                     .use_lists
@@ -415,6 +429,7 @@ impl ObjectServerDb {
                 entries,
                 use_index,
                 ops,
+                ..
             } = &mut *inner;
             ops.decrement += 1;
             let entry = entries.get_mut(&uid).ok_or(DbError::NotFound(uid))?;
@@ -556,6 +571,18 @@ impl ObjectServerDb {
             .filter(|(_, e)| e.servers.contains(&host))
             .map(|(&uid, _)| uid)
             .collect()
+    }
+
+    /// Cumulative `GetServer` + `Increment` count for `uid` over the
+    /// database's whole lifetime (monotone; aborts do not subtract). Zero
+    /// for unknown or never-used objects.
+    pub fn lifetime_uses(&self, uid: Uid) -> u64 {
+        self.inner
+            .borrow()
+            .lifetime_uses
+            .get(&uid)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Every client appearing in some use list (sorted, deduplicated).

@@ -1,0 +1,401 @@
+//! Node lifecycle: join, drain, decommission.
+//!
+//! A node's membership status is control-plane metadata kept *next to* the
+//! group-view databases, not inside them: `Sv`/`St` keep describing where
+//! replicas **are**, while the status map describes where replicas **may
+//! go**. A `Draining` node is excluded from target selection immediately
+//! (it stops accepting new replicas), but its existing replicas remain
+//! fully serviceable until each one has been migrated away.
+
+use groupview_obs::Phase;
+use groupview_replication::System;
+use groupview_sim::NodeId;
+use groupview_store::Uid;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Where a node stands in the elastic-membership lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Full member: hosts replicas and accepts new ones.
+    Active,
+    /// Stops accepting new replicas; existing ones are being migrated off.
+    Draining,
+    /// Drained empty and decommissioned. Re-adding requires a fresh
+    /// [`Membership::activate_node`].
+    Removed,
+}
+
+impl fmt::Display for NodeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeStatus::Active => write!(f, "active"),
+            NodeStatus::Draining => write!(f, "draining"),
+            NodeStatus::Removed => write!(f, "removed"),
+        }
+    }
+}
+
+/// What one drain pass over a node accomplished.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Replicas successfully migrated off the draining node.
+    pub moved: Vec<Uid>,
+    /// Replicas that refused the move because the object was in use or
+    /// locked — retry once the clients finish.
+    pub busy: Vec<Uid>,
+    /// Replicas whose migration failed outright this pass (e.g. no
+    /// reachable state source) — retry after recovery.
+    pub failed: Vec<Uid>,
+    /// Replicas still on the node after the pass.
+    pub remaining: usize,
+    /// Whether the node finished the pass empty (and, if draining, was
+    /// decommissioned).
+    pub complete: bool,
+}
+
+impl DrainReport {
+    /// Folds a later pass's results into this one.
+    pub fn merge(&mut self, other: DrainReport) {
+        self.moved.extend(other.moved);
+        self.busy = other.busy;
+        self.failed = other.failed;
+        self.remaining = other.remaining;
+        self.complete = other.complete;
+    }
+}
+
+impl fmt::Display for DrainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "drain: moved={} busy={} failed={} remaining={}{}",
+            self.moved.len(),
+            self.busy.len(),
+            self.failed.len(),
+            self.remaining,
+            if self.complete { " (complete)" } else { "" }
+        )
+    }
+}
+
+/// Elastic-membership coordinator for one [`System`].
+///
+/// Runs colocated with the naming service (all database calls are local),
+/// so lifecycle operations pay messages only for the state-copy legs of
+/// migrations — exactly the data-plane cost.
+#[derive(Clone)]
+pub struct Membership {
+    pub(crate) sys: System,
+    status: Rc<RefCell<BTreeMap<NodeId, NodeStatus>>>,
+}
+
+impl fmt::Debug for Membership {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Membership")
+            .field("tracked", &self.status.borrow().len())
+            .finish()
+    }
+}
+
+impl Membership {
+    /// Creates a membership coordinator over the system.
+    pub fn new(sys: &System) -> Self {
+        Membership {
+            sys: sys.clone(),
+            status: Rc::new(RefCell::new(BTreeMap::new())),
+        }
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Adds a brand-new node to the world: a fresh sim node with an empty
+    /// object store attached, immediately [`NodeStatus::Active`] and
+    /// eligible as a migration target. Returns its id (sequential, so
+    /// deterministic plans can name future nodes).
+    pub fn add_node(&self) -> NodeId {
+        let node = self.sys.sim().add_node();
+        self.activate_node(node);
+        node
+    }
+
+    /// Marks an *existing* node active and attaches an object store if it
+    /// lacks one — used to re-admit a previously drained node, or to
+    /// promote a client-only node into a replica host.
+    pub fn activate_node(&self, node: NodeId) {
+        self.sys.stores().add_store(node);
+        self.status.borrow_mut().insert(node, NodeStatus::Active);
+        self.sys
+            .sim()
+            .note(format!("membership: {node} active (store attached)"));
+    }
+
+    /// The node's lifecycle status. Nodes never touched by this
+    /// coordinator are implicitly active.
+    pub fn status(&self, node: NodeId) -> NodeStatus {
+        self.status
+            .borrow()
+            .get(&node)
+            .copied()
+            .unwrap_or(NodeStatus::Active)
+    }
+
+    /// Whether `node` may receive new replicas right now: active, has a
+    /// store, and is up (a down node cannot acknowledge the state copy).
+    pub fn is_eligible(&self, node: NodeId) -> bool {
+        self.status(node) == NodeStatus::Active
+            && self.sys.stores().has_store(node)
+            && self.sys.sim().is_up(node)
+    }
+
+    /// Store nodes currently eligible as migration targets, sorted,
+    /// excluding `not` (the source of the move under consideration).
+    pub fn targets(&self, not: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .sys
+            .stores()
+            .store_nodes()
+            .into_iter()
+            .filter(|&n| n != not && self.is_eligible(n))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// UIDs with a replica on `node`: the union of the server database's
+    /// hosting index and the state entries naming the node, sorted.
+    pub fn hosted(&self, node: NodeId) -> Vec<Uid> {
+        let naming = self.sys.naming();
+        let mut uids = naming.server_db.uids_hosting(node);
+        for uid in naming.state_db.uids() {
+            if naming.state_db.entry(uid).is_some_and(|e| e.contains(node)) && !uids.contains(&uid)
+            {
+                uids.push(uid);
+            }
+        }
+        uids.sort_unstable();
+        uids
+    }
+
+    /// Number of state replicas hosted on `node` (drain progress and the
+    /// least-loaded target heuristic).
+    pub fn replica_count(&self, node: NodeId) -> usize {
+        let naming = self.sys.naming();
+        naming
+            .state_db
+            .uids()
+            .into_iter()
+            .filter(|&uid| naming.state_db.entry(uid).is_some_and(|e| e.contains(node)))
+            .count()
+    }
+
+    /// Marks `node` as draining: it stops accepting new replicas at once.
+    /// Existing replicas keep serving until migrated. Draining a *down*
+    /// node is allowed — that is how a dead node is decommissioned (state
+    /// copies come from the surviving `St` members).
+    pub fn begin_drain(&self, node: NodeId) {
+        self.status.borrow_mut().insert(node, NodeStatus::Draining);
+        self.sys.sim().note(format!("membership: {node} draining"));
+    }
+
+    /// Whether nothing references `node` any more: it hosts no server
+    /// entry and appears in no state entry.
+    pub fn drain_complete(&self, node: NodeId) -> bool {
+        self.hosted(node).is_empty()
+    }
+
+    /// One drain pass: migrates every replica on `node` to the
+    /// least-loaded eligible target. Objects in use come back as `busy`
+    /// (retry after their clients finish); objects with no reachable state
+    /// source as `failed` (retry after recovery). When the pass leaves the
+    /// node empty, a draining node is decommissioned.
+    pub fn drain_step(&self, node: NodeId) -> DrainReport {
+        let start = self.sys.sim().now().as_micros();
+        let mut report = DrainReport::default();
+        for uid in self.hosted(node) {
+            let Some(&target) = self
+                .targets(node)
+                .iter()
+                .min_by_key(|&&t| (self.replica_count(t), t))
+            else {
+                report.failed.push(uid);
+                continue;
+            };
+            match self.migrate(uid, node, target) {
+                Ok(()) => report.moved.push(uid),
+                Err(e) if e.is_busy() => report.busy.push(uid),
+                Err(_) => report.failed.push(uid),
+            }
+        }
+        report.remaining = self.hosted(node).len();
+        report.complete = report.remaining == 0;
+        if report.complete && self.status(node) == NodeStatus::Draining {
+            self.status.borrow_mut().insert(node, NodeStatus::Removed);
+            self.sys
+                .sim()
+                .note(format!("membership: {node} drained and removed"));
+        }
+        self.sys
+            .obs()
+            .span(0, Phase::Drain, start, self.sys.sim().now().as_micros());
+        report
+    }
+
+    /// Drains `node` to empty: marks it draining, then runs up to
+    /// `max_rounds` passes (busy objects are retried each round). Returns
+    /// the cumulative report; `complete` tells whether the node was
+    /// decommissioned or still holds stragglers the caller should retry
+    /// later (e.g. after in-flight actions finish or crashed stores
+    /// recover).
+    pub fn drain_node(&self, node: NodeId, max_rounds: usize) -> DrainReport {
+        self.begin_drain(node);
+        let mut report = self.drain_step(node);
+        for _ in 1..max_rounds {
+            if report.complete || (report.busy.is_empty() && report.failed.is_empty()) {
+                break;
+            }
+            report.merge(self.drain_step(node));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupview_replication::{Counter, CounterOp};
+
+    /// 6 nodes: naming at 0, servers+stores 1..=3, clients 4..=5.
+    fn world() -> (System, Membership) {
+        let sys = System::builder(7).nodes(6).build();
+        let m = Membership::new(&sys);
+        (sys, m)
+    }
+
+    fn nodes(sys: &System) -> Vec<NodeId> {
+        sys.sim().nodes()
+    }
+
+    #[test]
+    fn added_node_gets_store_and_is_eligible() {
+        let (sys, m) = world();
+        let fresh = m.add_node();
+        assert_eq!(fresh.raw(), 6, "sequential node ids");
+        assert!(sys.stores().has_store(fresh));
+        assert_eq!(m.status(fresh), NodeStatus::Active);
+        assert!(m.is_eligible(fresh));
+        assert_eq!(m.replica_count(fresh), 0);
+    }
+
+    #[test]
+    fn draining_node_stops_accepting_targets() {
+        let (sys, m) = world();
+        let n = nodes(&sys);
+        let uid = sys
+            .create_typed(Counter::new(0), &n[1..3], &n[1..3])
+            .unwrap();
+        let fresh = m.add_node();
+        m.begin_drain(fresh);
+        assert_eq!(m.status(fresh), NodeStatus::Draining);
+        assert!(!m.is_eligible(fresh));
+        assert!(!m.targets(n[1]).contains(&fresh));
+        // A drained-empty node is decommissioned on its first pass.
+        let report = m.drain_step(fresh);
+        assert!(report.complete);
+        assert_eq!(m.status(fresh), NodeStatus::Removed);
+        // And can come back.
+        m.activate_node(fresh);
+        assert!(m.is_eligible(fresh));
+        let _ = uid;
+    }
+
+    #[test]
+    fn drain_moves_all_replicas_and_decommissions() {
+        let (sys, m) = world();
+        let n = nodes(&sys);
+        let a = sys
+            .create_typed(Counter::new(1), &n[1..3], &n[1..3])
+            .unwrap();
+        let b = sys
+            .create_typed(Counter::new(2), &[n[1], n[3]], &[n[1], n[3]])
+            .unwrap();
+        let fresh = m.add_node();
+        assert_eq!(m.hosted(n[1]), vec![a.uid(), b.uid()]);
+
+        let report = m.drain_node(n[1], 3);
+        assert!(report.complete, "drain finished: {report}");
+        assert_eq!(report.moved, vec![a.uid(), b.uid()]);
+        assert_eq!(m.status(n[1]), NodeStatus::Removed);
+        assert!(m.drain_complete(n[1]));
+        // Both objects keep full strength; the new host picked up slack.
+        for uid in [a.uid(), b.uid()] {
+            let entry = sys.naming().state_db.entry(uid).unwrap();
+            assert_eq!(entry.len(), 2);
+            assert!(!entry.contains(n[1]));
+        }
+        assert!(m.replica_count(fresh) >= 1, "new node absorbed a replica");
+
+        // The moved objects still serve invocations.
+        let client = sys.client(n[4]);
+        let counter = a.open(&client);
+        let action = client.begin_action();
+        counter.activate(action, 2).unwrap();
+        assert_eq!(counter.invoke(action, CounterOp::Get).unwrap(), 1);
+        client.commit(action).unwrap();
+    }
+
+    #[test]
+    fn busy_object_defers_drain_until_clients_finish() {
+        let (sys, m) = world();
+        let n = nodes(&sys);
+        let uid = sys
+            .create_typed(Counter::new(0), &n[1..3], &n[1..3])
+            .unwrap();
+        let _fresh = m.add_node();
+
+        // A client holds the object active across the drain attempt.
+        let client = sys.client(n[4]);
+        let counter = uid.open(&client);
+        let action = client.begin_action();
+        counter.activate(action, 2).unwrap();
+        counter.invoke(action, CounterOp::Add(5)).unwrap();
+
+        let report = m.drain_node(n[1], 2);
+        assert!(!report.complete);
+        assert_eq!(report.busy, vec![uid.uid()], "in-use object refused");
+        assert_eq!(m.status(n[1]), NodeStatus::Draining, "not decommissioned");
+
+        // Client finishes on the pinned incarnation; a retry then drains.
+        client.commit(action).unwrap();
+        assert!(sys.try_passivate(uid.uid()));
+        let retry = m.drain_step(n[1]);
+        assert!(retry.complete, "{retry}");
+        assert_eq!(retry.moved, vec![uid.uid()]);
+        assert_eq!(m.status(n[1]), NodeStatus::Removed);
+    }
+
+    #[test]
+    fn dead_node_can_be_decommissioned() {
+        let (sys, m) = world();
+        let n = nodes(&sys);
+        let uid = sys
+            .create_typed(Counter::new(9), &n[1..3], &n[1..3])
+            .unwrap();
+        let _fresh = m.add_node();
+        sys.sim().crash(n[1]);
+
+        let report = m.drain_node(n[1], 2);
+        assert!(report.complete, "{report}");
+        assert_eq!(report.moved, vec![uid.uid()]);
+        let entry = sys.naming().state_db.entry(uid.uid()).unwrap();
+        assert!(!entry.contains(n[1]));
+        assert_eq!(entry.len(), 2, "full strength from surviving member");
+        // The dead node is tombstoned so recovery will not resurrect it.
+        assert!(sys.stores().is_retired(n[1], uid.uid()));
+    }
+}

@@ -40,5 +40,5 @@ pub use export::{
     escape_json, span_jsonl, validate_chrome_trace, ChromeTrace, TraceSummary, PHASE_TID_BASE,
 };
 pub use phase::Phase;
-pub use registry::{Counter, Registry, SpanRec};
+pub use registry::{Counter, NodeLoad, Registry, SpanRec};
 pub use snapshot::{MetricsSnapshot, PhaseStats};

@@ -36,11 +36,20 @@ pub enum Phase {
     /// Typed multi-object transaction: `tx.commit()` driving the store 2PC
     /// over the union of touched objects.
     TxCommit,
+    /// A whole replica migration: the membership manager's transactional
+    /// move of one replica between nodes (directory repoint + staged copy).
+    Migrate,
+    /// The state-copy leg nested inside a migration: reading the committed
+    /// state from a current `St` member and staging it on the target.
+    MigrateCopy,
+    /// One drain pass over a draining node: migrating every replica it
+    /// still hosts somewhere else.
+    Drain,
 }
 
 impl Phase {
     /// Every phase, in lifecycle order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Bind,
         Phase::Probe,
         Phase::LockAcquire,
@@ -52,6 +61,9 @@ impl Phase {
         Phase::TxBegin,
         Phase::TxInvoke,
         Phase::TxCommit,
+        Phase::Migrate,
+        Phase::MigrateCopy,
+        Phase::Drain,
     ];
 
     /// Number of phases (array dimensions in the registry).
@@ -71,6 +83,9 @@ impl Phase {
             Phase::TxBegin => "tx_begin",
             Phase::TxInvoke => "tx_invoke",
             Phase::TxCommit => "tx_commit",
+            Phase::Migrate => "migrate",
+            Phase::MigrateCopy => "migrate_copy",
+            Phase::Drain => "drain",
         }
     }
 
@@ -95,7 +110,7 @@ mod tests {
         for (i, phase) in Phase::ALL.iter().enumerate() {
             assert_eq!(phase.index(), i);
         }
-        assert_eq!(Phase::COUNT, 11);
+        assert_eq!(Phase::COUNT, 14);
     }
 
     #[test]

@@ -100,11 +100,50 @@ impl SpanRec {
     }
 }
 
+/// Per-node load attribution: how much work one node did during the
+/// observation window. The rebalancer's *inputs* stay deterministic and
+/// obs-independent (directory use counts + store sizes); these counters are
+/// the shared **reporting** surface — `MetricsSnapshot.node_loads` — that
+/// `ScenarioReport` and examples read. `node` is the raw node id (this
+/// crate is dependency-free and does not know `NodeId`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeLoad {
+    /// Raw id of the node (`NodeId::raw()`).
+    pub node: u32,
+    /// Operation invocations executed by replicas hosted on this node.
+    pub invokes: u64,
+    /// Locks granted to actions whose client runs on this node.
+    pub locks: u64,
+    /// Network bytes delivered *to* this node.
+    pub bytes_in: u64,
+    /// Network bytes sent *from* this node (and delivered).
+    pub bytes_out: u64,
+}
+
+impl NodeLoad {
+    /// Whether every counter is zero (such entries are elided from
+    /// snapshots).
+    pub fn is_empty(&self) -> bool {
+        self.invokes == 0 && self.locks == 0 && self.bytes_in == 0 && self.bytes_out == 0
+    }
+
+    /// Adds `other`'s counters into `self` (same node).
+    pub fn absorb(&mut self, other: &NodeLoad) {
+        self.invokes += other.invokes;
+        self.locks += other.locks;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
+}
+
 #[derive(Default)]
 struct RegistryCore {
     enabled: Cell<bool>,
     counters: [Cell<u64>; Counter::COUNT],
     spans: RefCell<Vec<SpanRec>>,
+    /// Per-node invoke/lock attribution, indexed by raw node id (grown on
+    /// demand; only touched while enabled).
+    node_loads: RefCell<Vec<NodeLoad>>,
     /// Wire-pool stats absorbed from `groupview_sim::wire::stats()` deltas.
     wire_buffer_allocs: Cell<u64>,
     wire_pool_reuses: Cell<u64>,
@@ -170,6 +209,36 @@ impl Registry {
         }
     }
 
+    /// Attribute one replica-side invocation to `node` (raw id). No-op
+    /// while disabled.
+    #[inline]
+    pub fn record_node_invoke(&self, node: u32) {
+        if self.core.enabled.get() {
+            self.node_slot(node, |slot| slot.invokes += 1);
+        }
+    }
+
+    /// Attribute one granted lock to the client node `node` (raw id).
+    /// No-op while disabled.
+    #[inline]
+    pub fn record_node_lock(&self, node: u32) {
+        if self.core.enabled.get() {
+            self.node_slot(node, |slot| slot.locks += 1);
+        }
+    }
+
+    fn node_slot(&self, node: u32, f: impl FnOnce(&mut NodeLoad)) {
+        let mut loads = self.core.node_loads.borrow_mut();
+        let idx = node as usize;
+        if loads.len() <= idx {
+            loads.resize_with(idx + 1, NodeLoad::default);
+            for (i, slot) in loads.iter_mut().enumerate() {
+                slot.node = i as u32;
+            }
+        }
+        f(&mut loads[idx]);
+    }
+
     /// Absorb a delta of wire-pool statistics (buffer allocations, pool
     /// reuses, bytes copied). Unlike the hot-path recorders this is *not*
     /// gated on `enabled`: it is called once per run/quiesce from snapshot
@@ -224,6 +293,14 @@ impl Registry {
             worlds: 1,
             counters,
             phases,
+            node_loads: self
+                .core
+                .node_loads
+                .borrow()
+                .iter()
+                .filter(|l| !l.is_empty())
+                .copied()
+                .collect(),
             wire_buffer_allocs: self.core.wire_buffer_allocs.get(),
             wire_pool_reuses: self.core.wire_pool_reuses.get(),
             wire_bytes_copied: self.core.wire_bytes_copied.get(),
@@ -296,6 +373,27 @@ mod tests {
         assert_eq!(snap.wire_pool_reuses, 99);
         assert_eq!(snap.wire_bytes_copied, 4196);
         assert_eq!(snap.trace_dropped, 3);
+    }
+
+    #[test]
+    fn node_loads_attribute_per_node_and_respect_gating() {
+        let reg = Registry::new();
+        // Disabled: recorded nothing.
+        reg.record_node_invoke(3);
+        reg.record_node_lock(1);
+        assert!(reg.snapshot().node_loads.is_empty());
+
+        reg.set_enabled(true);
+        reg.record_node_invoke(3);
+        reg.record_node_invoke(3);
+        reg.record_node_lock(1);
+        let snap = reg.snapshot();
+        // Zero entries are elided; the rest carry their raw node ids.
+        assert_eq!(snap.node_loads.len(), 2);
+        assert_eq!(snap.node_loads[0].node, 1);
+        assert_eq!(snap.node_loads[0].locks, 1);
+        assert_eq!(snap.node_loads[1].node, 3);
+        assert_eq!(snap.node_loads[1].invokes, 2);
     }
 
     #[test]

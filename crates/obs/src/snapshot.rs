@@ -2,7 +2,7 @@
 //! aggregation.
 
 use crate::phase::Phase;
-use crate::registry::Counter;
+use crate::registry::{Counter, NodeLoad};
 use std::fmt;
 
 /// Latency distribution for one phase, in virtual microseconds.
@@ -94,6 +94,10 @@ pub struct MetricsSnapshot {
     pub counters: [u64; Counter::COUNT],
     /// Per-phase latency distributions, indexed by [`Phase::index`].
     pub phases: [PhaseStats; Phase::COUNT],
+    /// Per-node load attribution (invokes, locks, bytes), sorted by raw
+    /// node id; zero-load nodes are elided. The rebalancer's report surface
+    /// and `ScenarioReport`'s per-node lines both read this field.
+    pub node_loads: Vec<NodeLoad>,
     /// Wire buffers allocated fresh (pool misses), from the sim wire layer.
     pub wire_buffer_allocs: u64,
     /// Wire buffers served from the pool (pool hits).
@@ -110,6 +114,7 @@ impl Default for MetricsSnapshot {
             worlds: 0,
             counters: [0; Counter::COUNT],
             phases: Default::default(),
+            node_loads: Vec::new(),
             wire_buffer_allocs: 0,
             wire_pool_reuses: 0,
             wire_bytes_copied: 0,
@@ -139,10 +144,46 @@ impl MetricsSnapshot {
         for (mine, theirs) in self.phases.iter_mut().zip(other.phases.iter()) {
             mine.merge(theirs);
         }
+        for load in &other.node_loads {
+            self.absorb_node_load(load);
+        }
         self.wire_buffer_allocs += other.wire_buffer_allocs;
         self.wire_pool_reuses += other.wire_pool_reuses;
         self.wire_bytes_copied += other.wire_bytes_copied;
         self.trace_dropped += other.trace_dropped;
+    }
+
+    /// Fold one node's load into the snapshot, keeping `node_loads`
+    /// sorted by raw node id (counters of an existing entry add).
+    pub fn absorb_node_load(&mut self, load: &NodeLoad) {
+        if load.is_empty() {
+            return;
+        }
+        match self.node_loads.binary_search_by_key(&load.node, |l| l.node) {
+            Ok(i) => self.node_loads[i].absorb(load),
+            Err(i) => self.node_loads.insert(i, *load),
+        }
+    }
+
+    /// The load entry for one raw node id, if any work was attributed.
+    pub fn node_load(&self, node: u32) -> Option<&NodeLoad> {
+        self.node_loads
+            .binary_search_by_key(&node, |l| l.node)
+            .ok()
+            .map(|i| &self.node_loads[i])
+    }
+
+    /// Multi-line per-node load breakdown (empty string when no node work
+    /// was attributed). One line per node: invokes, locks, bytes in/out.
+    pub fn node_load_breakdown(&self) -> String {
+        let mut out = String::new();
+        for l in &self.node_loads {
+            out.push_str(&format!(
+                "  node {:<4} invokes={:<8} locks={:<8} in={:<10} out={:<10}\n",
+                l.node, l.invokes, l.locks, l.bytes_in, l.bytes_out,
+            ));
+        }
+        out
     }
 
     /// Total spans across all phases.
@@ -291,6 +332,45 @@ mod tests {
         assert_eq!(a.trace_dropped, 7);
         assert!((a.wire_pool_hit_rate() - 0.8).abs() < 1e-9);
         assert_eq!(a.span_count(), 3);
+    }
+
+    #[test]
+    fn node_loads_merge_by_node_id() {
+        let mut a = MetricsSnapshot::default();
+        a.absorb_node_load(&NodeLoad {
+            node: 2,
+            invokes: 5,
+            ..Default::default()
+        });
+        a.absorb_node_load(&NodeLoad {
+            node: 7,
+            bytes_in: 100,
+            ..Default::default()
+        });
+        let mut b = MetricsSnapshot::default();
+        b.absorb_node_load(&NodeLoad {
+            node: 2,
+            locks: 3,
+            bytes_out: 40,
+            ..Default::default()
+        });
+        b.absorb_node_load(&NodeLoad {
+            node: 1,
+            invokes: 1,
+            ..Default::default()
+        });
+        a.merge(&b);
+        let nodes: Vec<u32> = a.node_loads.iter().map(|l| l.node).collect();
+        assert_eq!(nodes, vec![1, 2, 7], "sorted union");
+        let n2 = a.node_load(2).unwrap();
+        assert_eq!((n2.invokes, n2.locks, n2.bytes_out), (5, 3, 40));
+        assert!(a.node_load(9).is_none());
+        let text = a.node_load_breakdown();
+        assert!(text.contains("node 2"), "{text}");
+        assert!(text.contains("out=40"), "{text}");
+        // Empty loads never enter the list.
+        a.absorb_node_load(&NodeLoad::default());
+        assert_eq!(a.node_loads.len(), 3);
     }
 
     #[test]

@@ -163,6 +163,9 @@ impl System {
         let inner = &self.inner;
         let invoke_start = inner.sim.now().as_micros();
         inner.obs.add(ObsCounter::Invokes, 1);
+        for &server in &group.servers {
+            inner.obs.record_node_invoke(server.raw());
+        }
         let mode = if write_intent {
             LockMode::Write
         } else {
@@ -257,6 +260,9 @@ impl System {
         let invoke_start = inner.sim.now().as_micros();
         inner.obs.add(ObsCounter::Invokes, 1);
         inner.obs.add(ObsCounter::BatchOps, ops.len() as u64);
+        for &server in &group.servers {
+            inner.obs.record_node_invoke(server.raw());
+        }
         let mode = if write_intent {
             LockMode::Write
         } else {

@@ -359,6 +359,13 @@ impl ReplicaRegistry {
         v
     }
 
+    /// Drops the single replica of `uid` at `node`, if present. Migration
+    /// uses this after a move commits: the expelled incarnation must not
+    /// linger as an activation target on the old host.
+    pub fn remove_at(&self, uid: Uid, node: NodeId) -> bool {
+        self.inner.borrow_mut().remove(&(uid, node)).is_some()
+    }
+
     /// Drops every replica of `uid` (passivation).
     pub fn remove_object(&self, uid: Uid) -> usize {
         let mut inner = self.inner.borrow_mut();

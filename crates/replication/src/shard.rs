@@ -31,6 +31,19 @@
 //! foreign and nothing is skipped, which is why `shards = 1` reproduces a
 //! solo world **bit for bit** (pinned by the scenario parity test).
 //!
+//! # Membership changes
+//!
+//! Elastic membership (the `groupview-membership` crate) adds, drains,
+//! and rebalances **nodes inside one world** — it moves *replicas*, never
+//! objects between shards. Routing is a pure total function of the UID
+//! alone (see [`ShardRouter`]), so growing or shrinking a shard's node
+//! set cannot re-route an existing UID: a migrated object keeps its shard
+//! home, only its replica placement within that world changes. UIDs
+//! minted by freshly added nodes (higher creator ids) route like any
+//! other. `tests/shard_router_properties.rs` pins both properties —
+//! membership-change stability and new-creator totality — alongside the
+//! classic totality/disjointness/re-keying suite.
+//!
 //! See `docs/SHARDING.md` for the full design discussion.
 
 use crate::error::{ActivateError, CommitError, InvokeError};

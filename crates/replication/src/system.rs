@@ -13,7 +13,7 @@ use groupview_core::{
     RecoveryManager, RemoteDirectory, RemoteServerCache, ServerCache,
 };
 use groupview_group::{GroupComms, GroupId};
-use groupview_obs::{MetricsSnapshot, Phase, Registry as ObsRegistry};
+use groupview_obs::{MetricsSnapshot, NodeLoad, Phase, Registry as ObsRegistry};
 use groupview_sim::wire::{self, WireStats};
 use groupview_sim::{Bytes, ClientId, NetConfig, NodeId, Sim, SimConfig, WireEncoder};
 use groupview_store::{ObjectState, Stores, Uid, UidGen, Version};
@@ -312,7 +312,23 @@ impl System {
             .obs
             .record_trace_dropped(dropped - inner.dropped_mark.get());
         inner.dropped_mark.set(dropped);
-        inner.obs.snapshot()
+        let mut snap = inner.obs.snapshot();
+        // Fold the sim's per-node delivered-byte counters into the node
+        // load table: invokes and locks are recorded by the protocol
+        // layers, bytes by the network model. Only when observing — a
+        // disabled registry must yield the all-empty snapshot.
+        if inner.obs.is_enabled() {
+            for node in inner.sim.nodes() {
+                let (bytes_in, bytes_out) = inner.sim.node_traffic(node);
+                snap.absorb_node_load(&NodeLoad {
+                    node: node.raw(),
+                    bytes_in,
+                    bytes_out,
+                    ..NodeLoad::default()
+                });
+            }
+        }
+        snap
     }
 
     /// The naming-and-binding service.

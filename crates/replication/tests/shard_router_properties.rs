@@ -68,6 +68,35 @@ proptest! {
     }
 
     #[test]
+    fn membership_changes_never_reroute_existing_uids(
+        uids in proptest::collection::vec(uid_strategy(), 1..64),
+        shards in 1usize..=16,
+        adds in 1u64..8,
+        block in 1u64..256,
+    ) {
+        // Elastic membership (crates/membership) adds, drains, and
+        // rebalances *nodes* inside a world; routing must be blind to all
+        // of it. Record every uid's home, then "change membership": uids
+        // minted by freshly added creator nodes (ids beyond the original
+        // world) appear, and the original creators notionally drain. No
+        // recorded uid may move, and the newcomers' uids must still route
+        // inside 0..shards.
+        let hash = HashRouter::new(shards);
+        let range = RangeRouter::new(shards, block);
+        let before: Vec<(usize, usize)> =
+            uids.iter().map(|&u| (hash.route(u), range.route(u))).collect();
+        for k in 0..adds {
+            // A fresh node's uids: creator id past the strategy's 0..64.
+            let fresh = Uid::from_raw(((64 + k) << 40) | (k * 17));
+            prop_assert!(hash.route(fresh) < shards, "new creator breaks totality");
+            prop_assert!(range.route(fresh) < shards, "new creator breaks totality");
+        }
+        let after: Vec<(usize, usize)> =
+            uids.iter().map(|&u| (hash.route(u), range.route(u))).collect();
+        prop_assert_eq!(before, after, "a membership change re-routed an existing uid");
+    }
+
+    #[test]
     fn range_blocks_stay_together(
         node in 0u64..64,
         shards in 1usize..=16,

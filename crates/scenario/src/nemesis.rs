@@ -297,6 +297,77 @@ pub fn recovery_storm(
     plan
 }
 
+/// Elastic-membership ramp: grows the world by `adds` fresh nodes early in
+/// the window, drains `drain` mid-window — transactionally migrating every
+/// replica it hosts onto the survivors and newcomers — and rebalances
+/// placement near the end, once the drained replicas have landed.
+/// Membership actions carry no well-formedness constraints (an add always
+/// succeeds; a drain or rebalance against a busy or degraded world defers
+/// and retries), so the seed only jitters *when* each step lands.
+pub fn elastic_ramp(
+    seed: u64,
+    adds: usize,
+    drain: NodeId,
+    start: SimDuration,
+    window: SimDuration,
+) -> FaultPlan {
+    assert!(
+        adds > 0,
+        "elastic_ramp grows the world by at least one node"
+    );
+    let mut rng = rng_for(seed, 8);
+    let w = window.as_micros().max(8 * (adds as u64 + 2));
+    let stride = w / (2 * adds as u64);
+    let mut plan = FaultPlan::new();
+    let mut t = start.as_micros();
+    for _ in 0..adds {
+        t += 1 + jitter(&mut rng, stride.max(2) - 1);
+        plan = plan.at_micros(t, PlanAction::AddNode);
+    }
+    let drain_at = (start.as_micros() + w / 2 + jitter(&mut rng, w / 8)).max(t + 1);
+    let rebalance_at = drain_at + w / 4 + jitter(&mut rng, w / 8);
+    plan.at_micros(drain_at, PlanAction::DrainNode(drain))
+        .at_micros(rebalance_at, PlanAction::Rebalance)
+}
+
+/// Rebalance storm: repeated placement rebalances racing node crashes.
+/// Round `k` crashes one of `nodes` (seeded choice), rebalances while it
+/// is down, recovers it, and rebalances again once it is back — so
+/// migration transactions keep running into dead state sources, shrunken
+/// target sets, and freshly refreshed stores, and every move must still
+/// commit atomically or abort without a trace.
+pub fn rebalance_storm(
+    seed: u64,
+    nodes: &[NodeId],
+    start: SimDuration,
+    period: SimDuration,
+    rounds: usize,
+) -> FaultPlan {
+    assert!(!nodes.is_empty(), "rebalance_storm needs crash candidates");
+    let mut rng = rng_for(seed, 9);
+    let mut plan = FaultPlan::new();
+    // Quarter-phase slots with jitter ≤ one slot keep each round's
+    // crash → rebalance → recover → rebalance strictly ordered and the
+    // recover strictly before the next round's crash.
+    let p = period.as_micros().max(16);
+    let q = p / 8;
+    let mut t = start.as_micros();
+    for _ in 0..rounds {
+        let node = nodes[rng.random_range(0..nodes.len())];
+        let crash_at = t + jitter(&mut rng, q);
+        let mid_at = crash_at + 1 + q + jitter(&mut rng, q);
+        let recover_at = mid_at + 1 + q + jitter(&mut rng, q);
+        let late_at = recover_at + 1 + q + jitter(&mut rng, q);
+        plan = plan
+            .at_micros(crash_at, PlanAction::CrashNode(node))
+            .at_micros(mid_at, PlanAction::Rebalance)
+            .at_micros(recover_at, PlanAction::RecoverNode(node))
+            .at_micros(late_at, PlanAction::Rebalance);
+        t += p;
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +518,63 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.action, PlanAction::CrashStoreInCommit(_))));
+    }
+
+    #[test]
+    fn elastic_ramp_adds_then_drains_then_rebalances() {
+        let mk = |seed| {
+            elastic_ramp(
+                seed,
+                2,
+                n(2),
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(30),
+            )
+        };
+        let plan = mk(7);
+        plan.validate().expect("well-formed");
+        assert!(plan.is_time_sorted());
+        assert_eq!(plan, mk(7), "same seed, same plan");
+        assert_ne!(plan, mk(8), "different seed, different schedule");
+        let kinds: Vec<&PlanAction> = plan.events().iter().map(|e| &e.action).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &PlanAction::AddNode,
+                &PlanAction::AddNode,
+                &PlanAction::DrainNode(n(2)),
+                &PlanAction::Rebalance,
+            ],
+            "grow, then drain, then rebalance"
+        );
+    }
+
+    #[test]
+    fn rebalance_storm_keeps_crashes_balanced_around_rebalances() {
+        let mk = |seed| {
+            rebalance_storm(
+                seed,
+                &trio(),
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(10),
+                4,
+            )
+        };
+        let plan = mk(5);
+        plan.validate().expect("well-formed");
+        assert!(plan.is_time_sorted());
+        assert_eq!(plan.len(), 16, "four events per round");
+        assert_eq!(plan, mk(5), "same seed, same plan");
+        assert_ne!(plan, mk(6), "different seed, different schedule");
+        let rebalances = plan
+            .events()
+            .iter()
+            .filter(|e| e.action == PlanAction::Rebalance)
+            .count();
+        assert_eq!(
+            rebalances, 8,
+            "one mid-crash and one post-recover per round"
+        );
     }
 
     #[test]

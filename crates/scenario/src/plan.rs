@@ -67,6 +67,19 @@ pub enum PlanAction {
     ///
     /// [`RecoverNode`]: PlanAction::RecoverNode
     CrashStoreInCommit(NodeId),
+    /// Grow the world: add a brand-new node with an empty object store,
+    /// immediately eligible as a migration target. Node ids are
+    /// sequential, so a deterministic plan can name the node in advance
+    /// (the first `AddNode` of a 7-node scenario creates node 7).
+    AddNode,
+    /// Drain a node: it stops accepting new replicas, its existing
+    /// replicas migrate to the least-loaded eligible nodes, and it is
+    /// decommissioned once empty. Replicas busy with in-flight client
+    /// actions are retried at the end of the run.
+    DrainNode(NodeId),
+    /// Run the stats-driven rebalancer once: plan a bounded batch of
+    /// migrations over the current load spread and execute it.
+    Rebalance,
 }
 
 impl fmt::Display for PlanAction {
@@ -89,6 +102,9 @@ impl fmt::Display for PlanAction {
             PlanAction::CrashStoreInCommit(n) => {
                 write!(f, "crash store {n} between prepare and commit")
             }
+            PlanAction::AddNode => write!(f, "add a fresh node"),
+            PlanAction::DrainNode(n) => write!(f, "drain {n} and migrate its replicas"),
+            PlanAction::Rebalance => write!(f, "rebalance replica placement"),
         }
     }
 }
@@ -348,7 +364,14 @@ impl FaultPlan {
                         return Err(PlanError::BadProbability { index });
                     }
                 }
-                PlanAction::CrashClient(_) | PlanAction::CleanupSweep => {}
+                // Membership actions have no static balance constraints: a
+                // drained node may later be crashed/recovered like any
+                // other, and AddNode/Rebalance are always applicable.
+                PlanAction::CrashClient(_)
+                | PlanAction::CleanupSweep
+                | PlanAction::AddNode
+                | PlanAction::DrainNode(_)
+                | PlanAction::Rebalance => {}
             }
         }
         Ok(())
@@ -585,6 +608,9 @@ mod tests {
                 PlanAction::CrashStoreInCommit(n(2)),
                 "between prepare and commit",
             ),
+            (PlanAction::AddNode, "add"),
+            (PlanAction::DrainNode(n(2)), "drain"),
+            (PlanAction::Rebalance, "rebalance"),
         ] {
             assert!(action.to_string().contains(needle), "{action}");
         }

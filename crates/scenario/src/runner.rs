@@ -20,6 +20,7 @@ use crate::oracle::{
 };
 use crate::plan::{FaultPlan, PlanAction};
 use groupview_core::BindingScheme;
+use groupview_membership::{Membership, Rebalancer};
 use groupview_obs::MetricsSnapshot;
 use groupview_replication::{
     Account, AccountOp, Client, Counter, CounterOp, KvMap, KvOp, ObjectGroup, ObjectType,
@@ -75,6 +76,36 @@ struct Machine {
 impl Machine {
     fn is_finished(&self) -> bool {
         self.dead || (self.actions_left == 0 && matches!(self.phase, Phase::Idle))
+    }
+}
+
+/// Elastic-membership state for one run, created lazily on the **first**
+/// membership plan action ([`PlanAction::AddNode`], [`PlanAction::DrainNode`],
+/// [`PlanAction::Rebalance`]). Plans without one never build it, so the run
+/// is bit-for-bit identical to a pre-elastic runner — `tests/parity.rs`,
+/// `tests/obs_parity.rs`, and `tests/sharded_parity.rs` all pin this.
+struct Elastic {
+    membership: Membership,
+    /// Nodes whose drain still has busy or failed replicas; retried every
+    /// step (like deferred recovery work) and once more after the workload
+    /// ends, when every lock is released.
+    draining: Vec<NodeId>,
+}
+
+impl Elastic {
+    fn new(sys: &System) -> Self {
+        Elastic {
+            membership: Membership::new(sys),
+            draining: Vec::new(),
+        }
+    }
+
+    /// Folds one drain pass into the metrics and reports completion.
+    fn drain_pass(&self, node: NodeId, metrics: &mut RunMetrics) -> bool {
+        let report = self.membership.drain_step(node);
+        metrics.migrations += report.moved.len() as u64;
+        metrics.migrations_deferred += (report.busy.len() + report.failed.len()) as u64;
+        report.complete
     }
 }
 
@@ -270,6 +301,9 @@ pub fn run_plan_typed(
     // step like the paper's recovering node does.
     let mut recovering: Vec<NodeId> = Vec::new();
 
+    // Lazily-built elastic membership (None until the plan asks for it).
+    let mut elastic: Option<Elastic> = None;
+
     let mut step = 0u64;
     while step < max_steps {
         step += 1;
@@ -282,6 +316,7 @@ pub fn run_plan_typed(
                 &mut machines,
                 &mut metrics,
                 &mut recovering,
+                &mut elastic,
                 &mut history,
             );
         }
@@ -302,6 +337,7 @@ pub fn run_plan_typed(
                             &mut machines,
                             &mut metrics,
                             &mut recovering,
+                            &mut elastic,
                             &mut history,
                         );
                     }
@@ -318,6 +354,16 @@ pub fn run_plan_typed(
             report.merge(sys.recovery().recover_server(node));
             !report.fully_recovered()
         });
+        // Retry unfinished drains the same way: busy replicas free up as
+        // their clients commit or abort.
+        if let Some(el) = elastic.as_mut() {
+            let pending = std::mem::take(&mut el.draining);
+            for node in pending {
+                if !el.drain_pass(node, &mut metrics) {
+                    el.draining.push(node);
+                }
+            }
+        }
         sys.sim().advance(SimDuration::from_micros(50));
 
         let mut order: Vec<usize> = machines
@@ -361,6 +407,23 @@ pub fn run_plan_typed(
             }
         }
     }
+    // Elastic finalization: with every workload action finished, nothing
+    // holds locks any more, so unfinished drains either complete now or
+    // are genuinely blocked on a down node (quiesce recovers those; the
+    // oracle's invariant check flags anything still stranded).
+    if let Some(el) = elastic.as_mut() {
+        for _ in 0..4 {
+            if el.draining.is_empty() {
+                break;
+            }
+            let pending = std::mem::take(&mut el.draining);
+            for node in pending {
+                if !el.drain_pass(node, &mut metrics) {
+                    el.draining.push(node);
+                }
+            }
+        }
+    }
     metrics.steps = step;
     metrics.tx = sys.tx().stats();
     metrics.net = sys.sim().counters();
@@ -382,6 +445,7 @@ fn apply_plan_action(
     machines: &mut [Machine],
     metrics: &mut RunMetrics,
     recovering: &mut Vec<NodeId>,
+    elastic: &mut Option<Elastic>,
     history: &mut History,
 ) {
     match action {
@@ -438,6 +502,23 @@ fn apply_plan_action(
         PlanAction::HealAll => sys.sim().heal_all(),
         PlanAction::SetDropProbability(p) => sys.sim().set_drop_probability(*p),
         PlanAction::CrashStoreInCommit(node) => sys.stores().arm_crash_after_prepare(*node),
+        PlanAction::AddNode => {
+            let el = elastic.get_or_insert_with(|| Elastic::new(sys));
+            el.membership.add_node();
+        }
+        PlanAction::DrainNode(node) => {
+            let el = elastic.get_or_insert_with(|| Elastic::new(sys));
+            el.membership.begin_drain(*node);
+            if !el.drain_pass(*node, metrics) && !el.draining.contains(node) {
+                el.draining.push(*node);
+            }
+        }
+        PlanAction::Rebalance => {
+            let el = elastic.get_or_insert_with(|| Elastic::new(sys));
+            let report = Rebalancer::default().rebalance(&el.membership);
+            metrics.migrations += report.moved.len() as u64;
+            metrics.migrations_deferred += (report.busy.len() + report.failed.len()) as u64;
+        }
     }
 }
 
@@ -881,6 +962,10 @@ impl fmt::Display for ScenarioReport {
         )?;
         if let Some(snap) = &self.obs {
             write!(f, "\n{}", snap.phase_breakdown().trim_end_matches('\n'))?;
+            let loads = snap.node_load_breakdown();
+            if !loads.is_empty() {
+                write!(f, "\nper-node load:\n{}", loads.trim_end_matches('\n'))?;
+            }
         }
         Ok(())
     }

@@ -1,10 +1,12 @@
 //! Canned scenarios: the matrix CI runs across seeds.
 //!
-//! Twenty-two scenarios over one topology (7 nodes: node 0 names, nodes
-//! 1–3 serve and store, nodes 4–6 host clients) covering all three
+//! Twenty-six scenarios over one base topology (7 nodes: node 0 names,
+//! nodes 1–3 serve and store, nodes 4–6 host clients; the elastic family
+//! grows it mid-run) covering all three
 //! replication policies, all fault families (crashes, rolling crashes,
 //! send-window crashes in the paper's Figure 1 window, partitions,
-//! flapping partitions, message loss, client churn, recovery storms),
+//! flapping partitions, message loss, client churn, recovery storms,
+//! elastic membership ramps and rebalance storms),
 //! three binding schemes, batched and per-op invocation, and all three
 //! object classes (counters everywhere; the send-window scenarios also
 //! drive a KvMap and an Account so the oracle checks every operation type
@@ -379,6 +381,66 @@ pub fn canned_scenarios() -> Vec<Scenario> {
     });
     scenarios.push(sc);
 
+    // 23–25. Elastic membership ramp, one scenario per policy: the world
+    // grows by two fresh nodes mid-run, original server 2 drains — every
+    // replica it hosts migrates transactionally onto the survivors and
+    // newcomers — and a stats-driven rebalance then spreads placement,
+    // all under a lossy network window. The oracle still demands
+    // sequential-replay equivalence and the paper's invariants at full
+    // strength after quiesce: the committed history must survive every
+    // move, and a half-migrated replica (repointed directory without
+    // state, or state without directory) would fail I1/I2 immediately.
+    for (name, policy) in [
+        ("active/elastic_ramp", ReplicationPolicy::Active),
+        ("cohort/elastic_ramp", ReplicationPolicy::CoordinatorCohort),
+        (
+            "single_copy/elastic_ramp",
+            ReplicationPolicy::SingleCopyPassive,
+        ),
+    ] {
+        let mut sc = base(name, policy);
+        sc.workload = base_workload().actions_per_client(5);
+        sc.plan = Box::new(|seed| {
+            nemesis::elastic_ramp(
+                seed,
+                2,
+                n(2),
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(30),
+            )
+            .merge(nemesis::lossy_window(
+                seed,
+                SimDuration::from_millis(4),
+                SimDuration::from_millis(16),
+                0.08,
+                2,
+            ))
+        });
+        // Loss plus a draining server can blanket a short run's window.
+        sc.checks.expect_commits = false;
+        scenarios.push(sc);
+    }
+
+    // 26. Rebalance storm: a fresh node joins at once, then repeated
+    // stats-driven rebalances race server crashes and recoveries — every
+    // migration transaction keeps running into dead state sources,
+    // shrunken target sets, and freshly refreshed stores, and each move
+    // must still commit atomically or abort without a trace.
+    let mut sc = base("active/rebalance_storm", ReplicationPolicy::Active);
+    sc.plan = Box::new(|seed| {
+        FaultPlan::new()
+            .at(SimDuration::from_millis(1), PlanAction::AddNode)
+            .merge(nemesis::rebalance_storm(
+                seed,
+                &[n(2), n(3)],
+                SimDuration::from_millis(3),
+                SimDuration::from_millis(12),
+                3,
+            ))
+    });
+    sc.checks.expect_commits = false; // crash-heavy storms can blanket a short run
+    scenarios.push(sc);
+
     scenarios
 }
 
@@ -429,6 +491,31 @@ mod tests {
                 .iter()
                 .all(|k| matches!(k, ModelKind::Account { .. })));
         }
+        for policy in ReplicationPolicy::ALL {
+            // Every policy gets an elastic-membership ramp (grow, drain,
+            // rebalance) so transactional migration runs under each
+            // replication discipline.
+            let el = scenarios
+                .iter()
+                .find(|s| s.policy == policy && s.name.ends_with("elastic_ramp"))
+                .unwrap_or_else(|| panic!("no elastic-ramp scenario for {policy:?}"));
+            let plan = (el.plan)(1);
+            let has = |want: fn(&PlanAction) -> bool| plan.events().iter().any(|e| want(&e.action));
+            assert!(has(|a| *a == PlanAction::AddNode));
+            assert!(has(|a| matches!(a, PlanAction::DrainNode(_))));
+            assert!(has(|a| *a == PlanAction::Rebalance));
+        }
+        // Plus a rebalance storm racing crashes against migrations.
+        assert!(
+            scenarios.iter().any(|s| {
+                s.name.ends_with("rebalance_storm")
+                    && (s.plan)(1)
+                        .events()
+                        .iter()
+                        .any(|e| matches!(e.action, PlanAction::CrashNode(_)))
+            }),
+            "no rebalance-storm scenario"
+        );
         // At least one scenario drives batched invocations under a
         // nemesis, so the oracle verifies batched histories.
         assert!(

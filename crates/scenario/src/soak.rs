@@ -3,7 +3,9 @@
 //! A soak chains **composed** nemesis schedules across a seed range: every
 //! round takes a fresh seed, merges several nemesis families into one
 //! fault plan (send-window crashes in the paper's Figure 1 window riding
-//! on top of a lossy window, rolling crashes over client churn, …), runs
+//! on top of a lossy window, rolling crashes over client churn, an
+//! elastic grow-the-world ramp — add two nodes, drain a server,
+//! rebalance — under loss), runs
 //! it under every replication policy against a mixed-class object
 //! population (counter + kv map + account), and demands the full oracle
 //! verdict each time. `cargo run -p groupview-bench --bin experiments soak`
@@ -113,10 +115,10 @@ fn soak_scenario(name: &'static str, policy: ReplicationPolicy, round: u64) -> S
             .replicas(2)
             .read_fraction(0.25),
         plan: Box::new(move |seed| {
-            // Chain two nemesis families per round, alternating the pair so
+            // Chain two nemesis families per round, rotating the pair so
             // consecutive rounds stress different fault combinations.
-            if round.is_multiple_of(2) {
-                nemesis::send_window_crashes(
+            match round % 3 {
+                0 => nemesis::send_window_crashes(
                     seed,
                     &[n(2), n(3)],
                     SimDuration::from_millis(2),
@@ -131,9 +133,8 @@ fn soak_scenario(name: &'static str, policy: ReplicationPolicy, round: u64) -> S
                     SimDuration::from_millis(30),
                     0.08,
                     3,
-                ))
-            } else {
-                nemesis::rolling_crashes(
+                )),
+                1 => nemesis::rolling_crashes(
                     seed,
                     &[n(1), n(2)],
                     SimDuration::from_millis(3),
@@ -148,7 +149,25 @@ fn soak_scenario(name: &'static str, policy: ReplicationPolicy, round: u64) -> S
                     SimDuration::from_millis(25),
                     1,
                     1,
-                ))
+                )),
+                // Grow-the-world round: two fresh nodes join, server 2
+                // drains (every replica transactionally migrated off), and
+                // a stats-driven rebalance spreads placement — all under a
+                // lossy window, so migrations race dropped messages.
+                _ => nemesis::elastic_ramp(
+                    seed,
+                    2,
+                    n(2),
+                    SimDuration::from_millis(2),
+                    SimDuration::from_millis(28),
+                )
+                .merge(nemesis::lossy_window(
+                    seed,
+                    SimDuration::from_millis(4),
+                    SimDuration::from_millis(20),
+                    0.08,
+                    2,
+                )),
             }
         }),
         checks: Checks {
@@ -214,22 +233,58 @@ mod tests {
 
     #[test]
     fn soak_rounds_chain_distinct_nemesis_pairs() {
-        // Even rounds arm send-window crashes; odd rounds roll crashes over
-        // client churn — both families appear across a two-round soak.
-        let even = soak_scenario("soak/active", ReplicationPolicy::Active, 0);
-        let odd = soak_scenario("soak/active", ReplicationPolicy::Active, 1);
-        let even_plan = (even.plan)(1);
-        let odd_plan = (odd.plan)(1);
+        // Round 0 arms send-window crashes; round 1 rolls crashes over
+        // client churn; round 2 grows the world (add, drain, rebalance)
+        // under loss — all three families appear across a three-round soak.
+        let r0 = soak_scenario("soak/active", ReplicationPolicy::Active, 0);
+        let r1 = soak_scenario("soak/active", ReplicationPolicy::Active, 1);
+        let r2 = soak_scenario("soak/active", ReplicationPolicy::Active, 2);
+        let p0 = (r0.plan)(1);
+        let p1 = (r1.plan)(1);
+        let p2 = (r2.plan)(1);
         use crate::plan::PlanAction;
-        assert!(even_plan
+        assert!(p0
             .events()
             .iter()
             .any(|e| matches!(e.action, PlanAction::CrashAfterSends(..))));
-        assert!(odd_plan
+        assert!(p1
             .events()
             .iter()
             .any(|e| matches!(e.action, PlanAction::CrashClient(_))));
-        even_plan.validate().expect("well-formed");
-        odd_plan.validate().expect("well-formed");
+        assert!(p2.events().iter().any(|e| e.action == PlanAction::AddNode));
+        assert!(p2
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, PlanAction::DrainNode(_))));
+        assert!(p2
+            .events()
+            .iter()
+            .any(|e| e.action == PlanAction::Rebalance));
+        p0.validate().expect("well-formed");
+        p1.validate().expect("well-formed");
+        p2.validate().expect("well-formed");
+    }
+
+    /// The elastic acceptance drill: the grow-the-world round (two nodes
+    /// added, server 2 drained, placement rebalanced, all under a lossy
+    /// window) completes with zero oracle violations across every
+    /// replication policy × three seeds, and every cell really migrated.
+    #[test]
+    fn elastic_round_passes_across_policies_and_seeds() {
+        for policy in ReplicationPolicy::ALL {
+            let scenario = soak_scenario("soak/elastic", policy, 2);
+            for seed in [1, 2, 3] {
+                let report = run_scenario_observed(&scenario, seed);
+                assert!(report.passed(), "{policy:?} seed {seed}: {report}");
+                assert!(
+                    report.oracle.violations.is_empty(),
+                    "{policy:?} seed {seed}: {report}"
+                );
+                assert!(
+                    report.metrics.migrations > 0,
+                    "{policy:?} seed {seed} moved nothing: {report}"
+                );
+            }
+        }
     }
 }

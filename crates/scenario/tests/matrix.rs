@@ -34,7 +34,7 @@ fn canned_matrix_passes_across_seeds() {
         reports.iter().map(|r| r.oracle.replayed_ops).sum::<u64>() > 0,
         "the oracle replayed nothing"
     );
-    // Anti-vacuity for the harness itself, not a quality floor: across 66
+    // Anti-vacuity for the harness itself, not a quality floor: across 78
     // deterministic cells some fault must have intersected in-flight work
     // (the single-copy crash scenarios guarantee it — an unreplicated
     // server crash cannot be masked). If the vendored RNG ever changes,
@@ -42,5 +42,15 @@ fn canned_matrix_passes_across_seeds() {
     assert!(
         reports.iter().any(|r| r.metrics.abort_failure > 0),
         "no scenario produced a failure-caused abort — faults too tame"
+    );
+    // The elastic cells really migrated replicas (a drain of server 2 has
+    // replicas to move in every policy), and no cell left a migration
+    // permanently stranded.
+    assert!(
+        reports
+            .iter()
+            .filter(|r| r.name.ends_with("elastic_ramp"))
+            .all(|r| r.metrics.migrations > 0),
+        "an elastic cell moved nothing"
     );
 }

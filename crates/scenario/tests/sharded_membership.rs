@@ -1,0 +1,60 @@
+//! Membership changes inside shard worlds never re-route objects: the
+//! router's shard assignment is a pure function of the UID, so growing a
+//! shard's world and draining one of its servers moves *replicas within
+//! the world*, never objects between shards — and every object keeps
+//! serving from its home shard afterwards. The pure-function half of the
+//! contract is property-tested in
+//! `crates/replication/tests/shard_router_properties.rs`; this is the
+//! end-to-end half over live shard worlds.
+
+use groupview_membership::Membership;
+use groupview_replication::{Counter, CounterOp, HashRouter, ShardRouter, ShardedSystem, System};
+use groupview_sim::NodeId;
+use std::sync::Arc;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+#[test]
+fn shard_membership_changes_never_move_objects_between_shards() {
+    let router = Arc::new(HashRouter::new(2));
+    let world = ShardedSystem::launch(System::builder(21).nodes(7), router.clone());
+    let trio = [n(1), n(2), n(3)];
+    let uids: Vec<_> = (0..6i64)
+        .map(|i| {
+            world
+                .create_typed(Counter::new(i), &trio, &trio)
+                .expect("create")
+        })
+        .collect();
+    let homes: Vec<usize> = uids.iter().map(|u| router.route(u.uid())).collect();
+
+    // Every shard's world grows a fresh node and drains server 2 — the
+    // same elastic churn a membership plan action applies, run on the
+    // shard's own thread like any other job.
+    for shard in 0..world.shards() {
+        let (complete, moved) = world.exec(shard, |w| {
+            let membership = Membership::new(w.sys());
+            membership.add_node();
+            let report = membership.drain_node(n(2), 4);
+            (report.complete, report.moved.len())
+        });
+        assert!(complete, "shard {shard}: drain left replicas behind");
+        assert!(moved > 0, "shard {shard}: server 2 hosted nothing to move");
+    }
+
+    // No uid changed shards…
+    let after: Vec<usize> = uids.iter().map(|u| router.route(u.uid())).collect();
+    assert_eq!(homes, after, "a membership change re-routed an object");
+
+    // …and every object still serves from its membership-changed home.
+    let client = world.client(2);
+    for (i, &uid) in uids.iter().enumerate() {
+        assert_eq!(
+            client.invoke(uid, CounterOp::Add(1)).expect("invoke"),
+            i as i64 + 1,
+            "object {i} lost its committed state across the drain"
+        );
+    }
+}

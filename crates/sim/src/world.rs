@@ -36,6 +36,24 @@ struct NodeState {
     /// Scripted fault point: crash this node after it completes this many
     /// more successful sends.
     crash_after_sends: Option<u32>,
+    /// Bytes delivered *to* this node over the lifetime of the world.
+    /// Always-on observer counters (never read by protocol code), surfaced
+    /// per node through [`Sim::node_traffic`] for load attribution.
+    bytes_in: u64,
+    /// Bytes this node sent that were actually delivered.
+    bytes_out: u64,
+}
+
+impl NodeState {
+    fn fresh() -> NodeState {
+        NodeState {
+            up: true,
+            epoch: 0,
+            crash_after_sends: None,
+            bytes_in: 0,
+            bytes_out: 0,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -122,13 +140,7 @@ impl fmt::Debug for Sim {
 impl Sim {
     /// Creates a new world from a configuration.
     pub fn new(cfg: SimConfig) -> Sim {
-        let nodes = (0..cfg.nodes)
-            .map(|_| NodeState {
-                up: true,
-                epoch: 0,
-                crash_after_sends: None,
-            })
-            .collect();
+        let nodes = (0..cfg.nodes).map(|_| NodeState::fresh()).collect();
         Sim {
             inner: Rc::new(RefCell::new(SimCore {
                 rng: StdRng::seed_from_u64(cfg.seed),
@@ -157,16 +169,33 @@ impl Sim {
         self.inner.borrow().cfg
     }
 
-    /// Adds a node to the world, returning its id.
+    /// Adds a node to the world, returning its id. Membership changes are
+    /// recorded in the trace ring (when tracing is on) so exported traces
+    /// show when the world grew.
     pub fn add_node(&self) -> NodeId {
         let mut core = self.inner.borrow_mut();
         let id = NodeId::new(core.nodes.len() as u32);
-        core.nodes.push(NodeState {
-            up: true,
-            epoch: 0,
-            crash_after_sends: None,
+        core.nodes.push(NodeState::fresh());
+        let at = core.clock;
+        core.trace(TraceEvent::Note {
+            at,
+            text: format!("membership: node {id} joined the world"),
         });
         id
+    }
+
+    /// Lifetime delivered traffic of one node as `(bytes_in, bytes_out)`.
+    /// Counts only messages that were actually delivered (drops, partition
+    /// losses and sends to down nodes are excluded), matching the global
+    /// `bytes_delivered` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this world.
+    pub fn node_traffic(&self, n: NodeId) -> (u64, u64) {
+        let core = self.inner.borrow();
+        let state = &core.nodes[n.index()];
+        (state.bytes_in, state.bytes_out)
     }
 
     /// Number of nodes in the world.
@@ -638,6 +667,8 @@ impl SimCore {
         self.charge(latency, 1);
         self.counters.delivered += 1;
         self.counters.bytes_delivered += bytes as u64;
+        self.nodes[from.index()].bytes_out += bytes as u64;
+        self.nodes[to.index()].bytes_in += bytes as u64;
         let at = self.clock;
         self.trace(TraceEvent::Deliver {
             at,
@@ -732,6 +763,28 @@ mod tests {
         let c = sim.counters();
         assert_eq!(c.delivered, 1);
         assert_eq!(c.bytes_delivered, 100);
+    }
+
+    #[test]
+    fn node_traffic_attributes_delivered_bytes_only() {
+        let sim = sim3();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        sim.deliver(a, b, 100).expect("delivery");
+        sim.deliver(b, a, 30).expect("delivery");
+        // A failed attempt counts for no one.
+        sim.crash(c);
+        assert!(sim.deliver(a, c, 999).is_err());
+        assert_eq!(sim.node_traffic(a), (30, 100));
+        assert_eq!(sim.node_traffic(b), (100, 30));
+        assert_eq!(sim.node_traffic(c), (0, 0));
+        // Traffic history survives a crash/recover cycle (observer data,
+        // not volatile node state).
+        sim.crash(b);
+        sim.recover(b);
+        assert_eq!(sim.node_traffic(b), (100, 30));
+        // Nodes added later start at zero.
+        let d = sim.add_node();
+        assert_eq!(sim.node_traffic(d), (0, 0));
     }
 
     #[test]

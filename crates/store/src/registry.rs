@@ -33,6 +33,13 @@ pub struct Stores {
     /// in-doubt for recovery to resolve (the §4 window the scenario
     /// engine's store nemesis targets).
     armed_prepare_crashes: Rc<RefCell<HashSet<NodeId>>>,
+    /// Replica tombstones: `(node, uid)` pairs whose local state copy was
+    /// migrated away. Control-plane metadata (held by the membership
+    /// manager, writable even while the node is down): §4 recovery normally
+    /// **re-includes** any state a recovering store still holds, which
+    /// would resurrect a migrated-away replica — a retired pair is purged
+    /// instead. Migrating a replica back clears the tombstone.
+    retired: Rc<RefCell<HashSet<(NodeId, Uid)>>>,
 }
 
 impl fmt::Debug for Stores {
@@ -51,7 +58,26 @@ impl Stores {
             sim: sim.clone(),
             inner: Rc::new(RefCell::new(HashMap::new())),
             armed_prepare_crashes: Rc::new(RefCell::new(HashSet::new())),
+            retired: Rc::new(RefCell::new(HashSet::new())),
         }
+    }
+
+    /// Tombstones `uid`'s state copy on `node`: the copy was migrated away
+    /// and must not be re-included by recovery. May be called while the
+    /// node is down (tombstones are control-plane metadata, not node
+    /// state).
+    pub fn retire(&self, node: NodeId, uid: Uid) {
+        self.retired.borrow_mut().insert((node, uid));
+    }
+
+    /// Whether `uid`'s copy on `node` is tombstoned.
+    pub fn is_retired(&self, node: NodeId, uid: Uid) -> bool {
+        self.retired.borrow().contains(&(node, uid))
+    }
+
+    /// Clears a tombstone (the replica is migrating back onto `node`).
+    pub fn unretire(&self, node: NodeId, uid: Uid) {
+        self.retired.borrow_mut().remove(&(node, uid));
     }
 
     /// Arms the mid-commit fault point on `node`: its next successful
@@ -380,6 +406,24 @@ mod tests {
         stores.commit_local(n1, tx).unwrap();
         assert!(sim.is_up(n1), "no further crash");
         assert_eq!(stores.read_local(n1, uid).unwrap().data, b"new");
+    }
+
+    #[test]
+    fn tombstones_track_retired_copies_even_while_down() {
+        let (sim, stores) = world();
+        let n = NodeId::new(1);
+        let uid = Uid::from_raw(8);
+        stores.write_local(n, uid, st(b"v")).unwrap();
+        assert!(!stores.is_retired(n, uid));
+        // Retiring works while the node is crashed: tombstones are
+        // control-plane metadata, not node state.
+        sim.crash(n);
+        stores.retire(n, uid);
+        assert!(stores.is_retired(n, uid));
+        sim.recover(n);
+        assert!(stores.is_retired(n, uid), "tombstones survive recovery");
+        stores.unretire(n, uid);
+        assert!(!stores.is_retired(n, uid));
     }
 
     #[test]

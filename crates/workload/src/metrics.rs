@@ -55,6 +55,14 @@ pub struct RunMetrics {
     pub leaked_bindings: u64,
     /// Use-list entries reclaimed by cleanup sweeps.
     pub cleanup_reclaimed: u64,
+    /// Replica migrations committed by elastic-membership plan actions
+    /// (`AddNode` activation moves, `DrainNode` evacuations, `Rebalance`
+    /// moves). Zero for every plan without membership actions.
+    pub migrations: u64,
+    /// Migration attempts deferred because the object was bound or locked
+    /// at the time (the §4.1.2 quiescence check refused the repoint);
+    /// retried by later drain rounds and rebalance sweeps.
+    pub migrations_deferred: u64,
     /// Per-action virtual latency (µs), successful and failed alike.
     pub action_latency_us: Histogram,
     /// Per-action message counts.
@@ -97,7 +105,17 @@ impl fmt::Display for RunMetrics {
             self.abort_commit_contention,
             self.abort_commit_failure,
             self.availability() * 100.0
-        )
+        )?;
+        // Only elastic plans migrate; keep the classic line untouched for
+        // everything else (recorded-output tests pin it).
+        if self.migrations != 0 || self.migrations_deferred != 0 {
+            write!(
+                f,
+                " migrations={} [deferred={}]",
+                self.migrations, self.migrations_deferred
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -56,6 +56,12 @@
 //! available as an escape hatch; see `docs/OBJECTS.md` for the
 //! [`ObjectType`]/[`ReplicaObject`] split and the encoder-ownership rules.
 //!
+//! Worlds are **elastic**: [`Membership`] adds fresh nodes and drains old
+//! ones at runtime — each replica moved by a transactional migration that
+//! repoints the directory and copies state atomically — and a
+//! [`Rebalancer`] spreads placement by measured per-object load. See
+//! `docs/MEMBERSHIP.md` and `examples/elastic_cluster.rs`.
+//!
 //! ## Crate map
 //!
 //! | module | crate | contents |
@@ -67,6 +73,7 @@
 //! | [`core`] | `groupview-core` | **the paper's contribution**: Object Server / Object State databases, use lists, binding schemes, recovery, cleanup |
 //! | [`obs`] | `groupview-obs` | observability: causal action spans, per-shard metrics registry, Perfetto/JSONL exporters |
 //! | [`replication`] | `groupview-replication` | replication policies, activation, commit-time write-back, the [`System`] façade |
+//! | [`membership`] | `groupview-membership` | elastic membership: add/drain nodes, transactional replica migration, stats-driven rebalancing |
 //! | [`workload`] | `groupview-workload` | workload specs, legacy fault scripts, run metrics, tables |
 //! | [`scenario`] | `groupview-scenario` | chaos + execution engine: the workload runner, time-keyed fault plans, seeded nemeses, history recorder, consistency oracle, scenario matrix, soak mode |
 //!
@@ -75,6 +82,7 @@
 pub use groupview_actions as actions;
 pub use groupview_core as core;
 pub use groupview_group as group;
+pub use groupview_membership as membership;
 pub use groupview_obs as obs;
 pub use groupview_replication as replication;
 pub use groupview_scenario as scenario;
@@ -86,6 +94,10 @@ pub use groupview_actions::{ActionId, LockMode, TxSystem};
 pub use groupview_core::{
     BindError, Binder, BindingScheme, CleanupDaemon, DbError, ExcludePolicy, NamingService,
     RecoveryManager,
+};
+pub use groupview_membership::{
+    DrainReport, Membership, MigrateError, MigrationPlan, Move, NodeLoadStat, NodeStatus,
+    ObjectStat, RebalanceReport, Rebalancer,
 };
 pub use groupview_obs::{
     validate_chrome_trace, ChromeTrace, MetricsSnapshot, Phase, PhaseStats, Registry, SpanRec,
